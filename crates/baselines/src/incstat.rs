@@ -1,0 +1,240 @@
+//! Damped incremental statistics — Kitsune's feature substrate.
+//!
+//! Each statistic maintains exponentially-decayed weight/linear-sum/
+//! square-sum triples `(w, LS, SS)`, decayed by `2^(-λ·Δt)`, from which
+//! mean, standard deviation and magnitude are read out in O(1). The 2-D
+//! variant additionally tracks a residual co-moment between two streams
+//! for covariance/correlation readouts.
+
+use serde::{Deserialize, Serialize};
+
+/// One-dimensional damped incremental statistic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncStat {
+    lambda: f64,
+    w: f64,
+    ls: f64,
+    ss: f64,
+    last_t: Option<f64>,
+}
+
+impl IncStat {
+    /// `lambda` is the decay rate in 1/seconds (Kitsune uses
+    /// λ ∈ {5, 3, 1, 0.1, 0.01}).
+    pub fn new(lambda: f64) -> Self {
+        IncStat { lambda, w: 0.0, ls: 0.0, ss: 0.0, last_t: None }
+    }
+
+    fn decay(&mut self, t: f64) {
+        if let Some(last) = self.last_t {
+            let dt = (t - last).max(0.0);
+            let d = (2.0f64).powf(-self.lambda * dt);
+            self.w *= d;
+            self.ls *= d;
+            self.ss *= d;
+        }
+        self.last_t = Some(t);
+    }
+
+    /// Inserts observation `v` at time `t`.
+    pub fn insert(&mut self, t: f64, v: f64) {
+        self.decay(t);
+        self.w += 1.0;
+        self.ls += v;
+        self.ss += v * v;
+    }
+
+    /// Decayed observation weight.
+    pub fn weight(&self) -> f64 {
+        self.w
+    }
+
+    /// Decayed mean.
+    pub fn mean(&self) -> f64 {
+        if self.w > 1e-12 {
+            self.ls / self.w
+        } else {
+            0.0
+        }
+    }
+
+    /// Decayed standard deviation.
+    pub fn std(&self) -> f64 {
+        if self.w > 1e-12 {
+            let var = (self.ss / self.w - self.mean().powi(2)).max(0.0);
+            var.sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// `(weight, mean, std)` in one call.
+    pub fn stats(&self) -> [f64; 3] {
+        [self.weight(), self.mean(), self.std()]
+    }
+}
+
+/// Two-stream damped statistic with covariance readouts (Kitsune's
+/// channel/socket features relating the two directions of a flow).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncStat2D {
+    pub a: IncStat,
+    pub b: IncStat,
+    /// Decayed co-moment of residuals.
+    sr: f64,
+    w3: f64,
+    lambda: f64,
+    last_t: Option<f64>,
+}
+
+impl IncStat2D {
+    pub fn new(lambda: f64) -> Self {
+        IncStat2D {
+            a: IncStat::new(lambda),
+            b: IncStat::new(lambda),
+            sr: 0.0,
+            w3: 0.0,
+            lambda,
+            last_t: None,
+        }
+    }
+
+    fn decay_joint(&mut self, t: f64) {
+        if let Some(last) = self.last_t {
+            let dt = (t - last).max(0.0);
+            let d = (2.0f64).powf(-self.lambda * dt);
+            self.sr *= d;
+            self.w3 *= d;
+        }
+        self.last_t = Some(t);
+    }
+
+    /// Inserts an observation on stream A (0) or B (1).
+    pub fn insert(&mut self, t: f64, v: f64, stream_b: bool) {
+        self.decay_joint(t);
+        // Residual against the other stream's current mean.
+        let (this_mean, other_mean) = if stream_b {
+            (self.b.mean(), self.a.mean())
+        } else {
+            (self.a.mean(), self.b.mean())
+        };
+        let _ = this_mean;
+        if stream_b {
+            self.b.insert(t, v);
+            self.sr += (v - self.b.mean()) * (0.0 - other_mean).abs().min(1.0);
+        } else {
+            self.a.insert(t, v);
+            self.sr += (v - self.a.mean()) * (0.0 - other_mean).abs().min(1.0);
+        }
+        self.w3 += 1.0;
+    }
+
+    /// Euclidean norm of the two means ("magnitude" in Kitsune).
+    pub fn magnitude(&self) -> f64 {
+        (self.a.mean().powi(2) + self.b.mean().powi(2)).sqrt()
+    }
+
+    /// Euclidean norm of the two variances ("radius").
+    pub fn radius(&self) -> f64 {
+        (self.a.std().powi(4) + self.b.std().powi(4)).sqrt()
+    }
+
+    /// Approximate covariance of the residuals.
+    pub fn cov(&self) -> f64 {
+        if self.w3 > 1e-12 {
+            self.sr / self.w3
+        } else {
+            0.0
+        }
+    }
+
+    /// Approximate Pearson correlation.
+    pub fn pcc(&self) -> f64 {
+        let denom = self.a.std() * self.b.std();
+        if denom > 1e-12 {
+            (self.cov() / denom).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// The 7 channel statistics Kitsune extracts per λ:
+    /// weight, mean, std (of the observing stream) + magnitude, radius,
+    /// covariance, correlation of the pair.
+    pub fn stats7(&self) -> [f64; 7] {
+        [
+            self.a.weight(),
+            self.a.mean(),
+            self.a.std(),
+            self.magnitude(),
+            self.radius(),
+            self.cov(),
+            self.pcc(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stream_has_zero_std() {
+        let mut s = IncStat::new(1.0);
+        for i in 0..50 {
+            s.insert(i as f64 * 0.01, 10.0);
+        }
+        assert!((s.mean() - 10.0).abs() < 1e-9);
+        assert!(s.std() < 1e-6);
+        assert!(s.weight() > 10.0);
+    }
+
+    #[test]
+    fn decay_forgets_the_past() {
+        let mut s = IncStat::new(5.0);
+        s.insert(0.0, 100.0);
+        // After 10 seconds at λ=5, the old observation is ~2^-50 ≈ gone.
+        s.insert(10.0, 1.0);
+        assert!((s.mean() - 1.0).abs() < 1e-6);
+        assert!((s.weight() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_decay_at_same_instant() {
+        let mut s = IncStat::new(5.0);
+        s.insert(1.0, 2.0);
+        s.insert(1.0, 4.0);
+        assert!((s.weight() - 2.0).abs() < 1e-9);
+        assert!((s.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_of_alternating_values() {
+        let mut s = IncStat::new(0.0001); // effectively undamped
+        for i in 0..1000 {
+            s.insert(i as f64 * 1e-4, if i % 2 == 0 { 0.0 } else { 2.0 });
+        }
+        assert!((s.mean() - 1.0).abs() < 0.01);
+        assert!((s.std() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn twod_magnitude_and_radius() {
+        let mut s = IncStat2D::new(0.001);
+        for i in 0..100 {
+            s.insert(i as f64 * 0.001, 3.0, false);
+            s.insert(i as f64 * 0.001, 4.0, true);
+        }
+        assert!((s.magnitude() - 5.0).abs() < 0.05);
+        assert!(s.radius() < 0.1); // constant streams, no variance
+        assert!(s.pcc().abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = IncStat::new(1.0);
+        assert_eq!(s.stats(), [0.0, 0.0, 0.0]);
+        let s2 = IncStat2D::new(1.0);
+        assert_eq!(s2.stats7(), [0.0; 7]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Evaluation baselines from the paper (§4.1):
+//!
+//! * **Baseline #1** ([`Baseline1`]) — the context-agnostic ablation of
+//!   CLAP: the same pipeline with all gate-weight features removed and
+//!   profiles limited to a single packet, i.e. an autoencoder over the 51
+//!   intra-packet features only (Table 6: 3 layers, bottleneck 5). The gap
+//!   between CLAP and Baseline #1 is the paper's measure of how much the
+//!   *inter-packet* context contributes (Table 2).
+//! * **Baseline #2** ([`KitsuneLite`]) — a faithful-in-spirit
+//!   reimplementation of Kitsune (Mirsky et al., NDSS '18), the
+//!   state-of-the-art general-purpose autoencoder-ensemble NIDS: damped
+//!   incremental statistics over traffic streams, a correlation-based
+//!   feature mapper, an ensemble of small autoencoders and an output
+//!   autoencoder (Table 6: ensemble 16, 100 input features, 1 epoch).
+//!   Kitsune's features describe traffic *volume and timing*, not header
+//!   semantics — which is exactly why the paper finds it blind to DPI
+//!   evasion (AUC ≈ 0.5).
+
+pub mod baseline1;
+pub mod incstat;
+pub mod kitsune;
+
+pub use baseline1::{Baseline1, Baseline1Config};
+pub use incstat::{IncStat, IncStat2D};
+pub use kitsune::{KitsuneConfig, KitsuneLite, KITSUNE_FEATURES};

@@ -1,0 +1,87 @@
+//! Property-based tests for the baseline detectors.
+
+use baselines::incstat::{IncStat, IncStat2D};
+use baselines::kitsune::extract_features;
+use proptest::prelude::*;
+
+proptest! {
+    /// Damped statistics are total and sane for any observation stream:
+    /// weight positive after an insert, std non-negative, mean within the
+    /// observed value envelope.
+    #[test]
+    fn incstat_invariants(
+        obs in prop::collection::vec((0.0f64..1000.0, 0.0f64..100.0), 1..50),
+        lambda in 0.01f64..5.0,
+    ) {
+        let mut s = IncStat::new(lambda);
+        let mut t = 0.0;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (dt, v) in obs {
+            t += dt;
+            s.insert(t, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            prop_assert!(s.weight() > 0.0);
+            prop_assert!(s.std() >= 0.0);
+            prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9,
+                "mean {} outside [{lo}, {hi}]", s.mean());
+        }
+    }
+
+    /// Later observations dominate a damped mean: after a long quiet
+    /// period the mean converges to the new value regardless of history.
+    #[test]
+    fn incstat_forgets(history in prop::collection::vec(0.0f64..100.0, 1..20), new_val in 0.0f64..100.0) {
+        let mut s = IncStat::new(5.0);
+        for (i, v) in history.iter().enumerate() {
+            s.insert(i as f64 * 0.01, *v);
+        }
+        s.insert(1e4, new_val);
+        prop_assert!((s.mean() - new_val).abs() < 1e-6);
+    }
+
+    /// 2-D statistics: correlation is always within [-1, 1]; magnitude is
+    /// bounded by the largest mean pair.
+    #[test]
+    fn incstat2d_bounds(
+        obs in prop::collection::vec((0.0f64..0.1, -50.0f64..50.0, any::<bool>()), 1..60),
+    ) {
+        let mut s = IncStat2D::new(1.0);
+        let mut t = 0.0;
+        for (dt, v, dir) in obs {
+            t += dt;
+            s.insert(t, v, dir);
+            prop_assert!(s.pcc().abs() <= 1.0 + 1e-6);
+            prop_assert!(s.magnitude() >= 0.0);
+            prop_assert!(s.radius() >= 0.0);
+        }
+    }
+
+    /// Kitsune feature extraction is total on generated traffic and always
+    /// emits exactly 100 finite features per packet.
+    #[test]
+    fn kitsune_features_total(seed in 0u64..2_000) {
+        let conns = traffic_gen::dataset(seed, 1);
+        let feats = extract_features(&conns[0]);
+        prop_assert_eq!(feats.len(), conns[0].len());
+        for f in &feats {
+            prop_assert_eq!(f.len(), baselines::KITSUNE_FEATURES);
+            prop_assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Kitsune features are insensitive to header-field corruption that
+    /// leaves sizes/timing unchanged — the mechanism behind Baseline #2's
+    /// blindness in the paper.
+    #[test]
+    fn kitsune_blind_to_checksum_bits(seed in 0u64..500, which in 0usize..50) {
+        let conns = traffic_gen::dataset(seed, 1);
+        let mut corrupted = conns[0].clone();
+        let idx = which % corrupted.len();
+        corrupted.packets[idx].tcp.checksum ^= 0xbeef;
+        let a = extract_features(&conns[0]);
+        let b = extract_features(&corrupted);
+        prop_assert_eq!(a, b, "volume/timing features must ignore checksum bits");
+    }
+}

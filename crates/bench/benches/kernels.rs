@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the hot kernels: feature extraction, reference
+//! tracker labeling, GRU stepping and autoencoder forward passes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use neural::{Autoencoder, GruClassifier, GruClassifierConfig, Matrix};
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let conns = traffic_gen::dataset(0xfea7, 50);
+    let packets: usize = conns.iter().map(net_packet::Connection::len).sum();
+    let mut group = c.benchmark_group("substrate");
+    group.throughput(Throughput::Elements(packets as u64));
+    group.sample_size(20);
+    group.bench_function("feature_extraction", |b| {
+        b.iter(|| {
+            conns
+                .iter()
+                .map(clap_core::extract_connection)
+                .map(|f| f.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("tcp_state_labeling", |b| {
+        b.iter(|| {
+            conns
+                .iter()
+                .map(|c| tcp_state::label_connection(c).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = GruClassifierConfig {
+        input: 32,
+        hidden: 32,
+        classes: 22,
+        epochs: 1,
+        batch_size: 8,
+        learning_rate: 1e-3,
+        seed: 1,
+    };
+    let rnn = GruClassifier::new(&cfg);
+    let seq: Vec<Vec<f32>> = (0..16).map(|t| vec![0.1 * t as f32; 32]).collect();
+
+    let ae = Autoencoder::new(&[345, 192, 96, 40, 96, 192, 345], 2);
+    let batch = Matrix::from_fn(32, 345, |r, c| ((r * 31 + c) % 17) as f32 / 17.0);
+
+    let mut group = c.benchmark_group("models");
+    group.sample_size(30);
+    group.bench_function("gru_forward_16pkt", |b| b.iter(|| rnn.trace(&seq).len()));
+    group.bench_function("ae_forward_batch32", |b| {
+        b.iter(|| ae.reconstruction_errors(&batch).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_extraction, bench_models);
+criterion_main!(benches);

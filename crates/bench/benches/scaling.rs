@@ -1,0 +1,34 @@
+//! Thread-scaling benchmark behind the paper's "linear scalability" claim
+//! (contribution 4): scoring throughput with 1, 2 and 4 rayon threads.
+//! On single-core machines the higher thread counts degenerate to the
+//! 1-thread case, which is itself informative.
+
+use clap_core::{Clap, ClapConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut cfg = ClapConfig::ci();
+    cfg.ae.epochs = 4;
+    cfg.rnn.epochs = 2;
+    let train = traffic_gen::dataset(0x5ca1e, 40);
+    let (clap, _) = Clap::train(&train, &cfg);
+    let corpus = traffic_gen::dataset(0xfeed, 24);
+    let packets: usize = corpus.iter().map(net_packet::Connection::len).sum();
+
+    let mut group = c.benchmark_group("thread_scaling");
+    group.throughput(Throughput::Elements(packets as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| clap.score_connections(&corpus).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 4: statistics of the (synthetic MAWI-substitute) dataset.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_dataset_stats -- [--preset quick|ci|paper]
+//! ```
+
+use bench::{render_table, Preset};
+use traffic_gen::TrafficStats;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = Preset::from_args(&args);
+
+    let train = traffic_gen::dataset(preset.seed, preset.train_conns);
+    let test = traffic_gen::dataset(preset.seed ^ 0x7e57, preset.test_benign);
+    let train_stats = TrafficStats::of(&train);
+    let test_stats = TrafficStats::of(&test);
+
+    println!("\n== Table 4: dataset statistics (preset `{}`) ==", preset.name);
+    println!("   (paper: 448,091 training / 92,262 testing TCP/IPv4 packets,");
+    println!("    31,198 / 6,424 connections ⇒ ≈14.4 packets/connection)");
+    let table = vec![
+        vec![
+            "Training".to_string(),
+            format!("{}", train_stats.connections),
+            format!("{}", train_stats.packets),
+            format!("{:.1}", train_stats.mean_packets_per_connection),
+            format!("{}", train_stats.payload_bytes),
+        ],
+        vec![
+            "Testing (benign)".to_string(),
+            format!("{}", test_stats.connections),
+            format!("{}", test_stats.packets),
+            format!("{:.1}", test_stats.mean_packets_per_connection),
+            format!("{}", test_stats.payload_bytes),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["Split", "Connections", "Packets", "Pkts/Conn", "Payload bytes"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,162 @@
+//! Detection-accuracy experiments: Table 1, Table 2 and the per-strategy
+//! bar data of Figures 7, 8 and 9.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_detection -- [--preset quick|ci|paper]
+//!     [--table1] [--table2] [--figure7] [--figure8] [--figure9] [--json out.json]
+//! ```
+//!
+//! With no artifact flag, everything is printed.
+
+use bench::{
+    benign_scores, evaluate_strategy, has_flag, mean, render_table, train_all, DetectionRow,
+    Preset,
+};
+use dpi_attacks::{registry, AttackSource, ContextCategory};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = Preset::from_args(&args);
+    let all = !(has_flag(&args, "--table1")
+        || has_flag(&args, "--table2")
+        || has_flag(&args, "--figure7")
+        || has_flag(&args, "--figure8")
+        || has_flag(&args, "--figure9"));
+
+    let models = train_all(&preset);
+    let benign = benign_scores(&models);
+
+    eprintln!("[{}] evaluating all 73 strategies…", preset.name);
+    let rows: Vec<DetectionRow> = registry()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            eprint!("\r[{}] strategy {}/{} {:<44}", preset.name, i + 1, registry().len(), s.id);
+            evaluate_strategy(&models, s, &preset, &benign)
+        })
+        .collect();
+    eprintln!();
+
+    if all || has_flag(&args, "--table1") {
+        print_table1(&rows);
+    }
+    if all || has_flag(&args, "--table2") {
+        print_table2(&rows);
+    }
+    for (flag, source, figure) in [
+        ("--figure7", AttackSource::SymTcp, "Figure 7"),
+        ("--figure8", AttackSource::Liberate, "Figure 8"),
+        ("--figure9", AttackSource::Geneva, "Figure 9"),
+    ] {
+        if all || has_flag(&args, flag) {
+            print_figure(&rows, source, figure);
+        }
+    }
+
+    if let Some(path) = bench::arg_value(&args, "--json") {
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        eprintln!("wrote {path}");
+    }
+}
+
+fn source_rows<'a>(rows: &'a [DetectionRow], source: AttackSource) -> Vec<&'a DetectionRow> {
+    let tag = format!("{source:?}");
+    rows.iter().filter(|r| r.source == tag).collect()
+}
+
+fn print_table1(rows: &[DetectionRow]) {
+    println!("\n== Table 1: mean detection performance per attack source ==");
+    println!("   (paper: CLAP 0.953/0.072 [23], 0.952/0.082 [10], 0.988/0.024 [4];");
+    println!("    Baseline #1 ≈ 0.8–0.9 AUC, Baseline #2 ≈ 0.5 AUC)");
+    let mut table = Vec::new();
+    for (source, label) in [
+        (AttackSource::SymTcp, "SymTCP [23]"),
+        (AttackSource::Liberate, "Liberate [10]"),
+        (AttackSource::Geneva, "Geneva [4]"),
+    ] {
+        let rs = source_rows(rows, source);
+        let col = |f: &dyn Fn(&DetectionRow) -> f32| {
+            mean(&rs.iter().map(|r| f(r)).collect::<Vec<_>>())
+        };
+        table.push(vec![
+            label.to_string(),
+            format!("{:.3}", col(&|r| r.auc[0])),
+            format!("{:.3}", col(&|r| r.eer[0])),
+            format!("{:.3}", col(&|r| r.auc[1])),
+            format!("{:.3}", col(&|r| r.eer[1])),
+            format!("{:.3}", col(&|r| r.auc[2])),
+            format!("{:.3}", col(&|r| r.eer[2])),
+        ]);
+    }
+    let overall = |m: usize, metric: usize| {
+        mean(&rows
+            .iter()
+            .map(|r| if metric == 0 { r.auc[m] } else { r.eer[m] })
+            .collect::<Vec<_>>())
+    };
+    table.push(vec![
+        "ALL (73)".into(),
+        format!("{:.3}", overall(0, 0)),
+        format!("{:.3}", overall(0, 1)),
+        format!("{:.3}", overall(1, 0)),
+        format!("{:.3}", overall(1, 1)),
+        format!("{:.3}", overall(2, 0)),
+        format!("{:.3}", overall(2, 1)),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &["Source", "CLAP AUC", "CLAP EER", "B1 AUC", "B1 EER", "B2 AUC", "B2 EER"],
+            &table
+        )
+    );
+}
+
+fn print_table2(rows: &[DetectionRow]) {
+    println!("\n== Table 2: inter- vs intra-packet context violations (CLAP vs B1) ==");
+    println!("   (paper: inter 0.925/0.109 vs B1 0.672/0.364; intra 0.980/0.039 vs B1 0.923/0.123)");
+    let mut table = Vec::new();
+    for (cat, label) in [
+        (ContextCategory::InterPacket, "Inter-packet (24)"),
+        (ContextCategory::IntraPacket, "Intra-packet (49)"),
+    ] {
+        let tag = format!("{cat:?}");
+        let rs: Vec<&DetectionRow> = rows.iter().filter(|r| r.category == tag).collect();
+        table.push(vec![
+            label.to_string(),
+            format!("{}", rs.len()),
+            format!("{:.3}", mean(&rs.iter().map(|r| r.auc[0]).collect::<Vec<_>>())),
+            format!("{:.3}", mean(&rs.iter().map(|r| r.eer[0]).collect::<Vec<_>>())),
+            format!("{:.3}", mean(&rs.iter().map(|r| r.auc[1]).collect::<Vec<_>>())),
+            format!("{:.3}", mean(&rs.iter().map(|r| r.eer[1]).collect::<Vec<_>>())),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Category", "N", "CLAP AUC", "CLAP EER", "B1 AUC", "B1 EER"],
+            &table
+        )
+    );
+}
+
+fn print_figure(rows: &[DetectionRow], source: AttackSource, figure: &str) {
+    println!("\n== {figure}: per-strategy detection AUC-ROC ({}) ==", source.name());
+    let rs = source_rows(rows, source);
+    let table: Vec<Vec<String>> = rs
+        .iter()
+        .map(|r| {
+            vec![
+                r.strategy_name.clone(),
+                format!("{:.3}", r.auc[0]),
+                format!("{:.3}", r.auc[1]),
+                format!("{:.3}", r.auc[2]),
+                format!("{:.3}", r.eer[0]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Strategy", "CLAP AUC", "B1 AUC", "B2 AUC", "CLAP EER"], &table)
+    );
+}

@@ -1,0 +1,56 @@
+//! Table 6: hyper-parameters of every model, as configured in this
+//! reproduction (paper values shown for comparison).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_hyperparams -- [--preset quick|ci|paper]
+//! ```
+
+use bench::{render_table, Preset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = Preset::from_args(&args);
+
+    println!("\n== Table 6: model hyper-parameters (preset `{}`) ==", preset.name);
+    let rnn = &preset.clap.rnn;
+    let ae = &preset.clap.ae;
+    let b1 = &preset.baseline1.ae;
+    let k = &preset.kitsune;
+    let rows = vec![
+        vec![
+            "RNN (GRU) in CLAP".into(),
+            format!("layers 1, input {}, hidden/gate {}", rnn.input, rnn.hidden),
+            format!("epochs {} (paper: 30)", rnn.epochs),
+        ],
+        vec![
+            "Autoencoder in CLAP".into(),
+            format!(
+                "layers {} {:?}, stacking {}",
+                ae.layer_sizes.len(),
+                ae.layer_sizes,
+                preset.clap.stack
+            ),
+            format!("epochs {} (paper: 1,000)", ae.epochs),
+        ],
+        vec![
+            "Autoencoder in Baseline #1".into(),
+            format!("layers {} {:?}", b1.layer_sizes.len(), b1.layer_sizes),
+            format!("epochs {} (paper: 1,000)", b1.epochs),
+        ],
+        vec![
+            "Ensemble in Baseline #2".into(),
+            format!(
+                "{} autoencoders, {} total inputs (avg {:.2}/AE)",
+                k.ensemble,
+                baselines::KITSUNE_FEATURES,
+                baselines::KITSUNE_FEATURES as f32 / k.ensemble as f32
+            ),
+            format!("epochs {} (paper: 1)", k.epochs),
+        ],
+    ];
+    println!("{}", render_table(&["Model", "Architecture", "Training"], &rows));
+    println!(
+        "score: stacked windows of {}, adversarial-score window {} (paper: 3 / 5)",
+        preset.clap.stack, preset.clap.score_window
+    );
+}

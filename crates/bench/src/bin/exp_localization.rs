@@ -1,0 +1,75 @@
+//! Localization-accuracy experiments: Figures 10, 11 and 12 (Top-1/3/5
+//! hit rates per strategy) plus the §4.2 takeaway averages.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_localization -- [--preset quick|ci|paper]
+//!     [--figure10] [--figure11] [--figure12] [--json out.json]
+//! ```
+
+use bench::{evaluate_localization, has_flag, mean, render_table, train_all, LocalizationRow, Preset};
+use dpi_attacks::{registry, AttackSource};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = Preset::from_args(&args);
+    let all = !(has_flag(&args, "--figure10")
+        || has_flag(&args, "--figure11")
+        || has_flag(&args, "--figure12"));
+
+    let models = train_all(&preset);
+    eprintln!("[{}] evaluating localization on all 73 strategies…", preset.name);
+    let rows: Vec<LocalizationRow> = registry()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            eprint!("\r[{}] strategy {}/{} {:<44}", preset.name, i + 1, registry().len(), s.id);
+            evaluate_localization(&models, s, &preset)
+        })
+        .collect();
+    eprintln!();
+
+    for (flag, source, figure) in [
+        ("--figure10", AttackSource::SymTcp, "Figure 10"),
+        ("--figure11", AttackSource::Liberate, "Figure 11"),
+        ("--figure12", AttackSource::Geneva, "Figure 12"),
+    ] {
+        if all || has_flag(&args, flag) {
+            print_figure(&rows, source, figure);
+        }
+    }
+
+    let t1 = mean(&rows.iter().map(|r| r.top1).collect::<Vec<_>>());
+    let t3 = mean(&rows.iter().map(|r| r.top3).collect::<Vec<_>>());
+    let t5 = mean(&rows.iter().map(|r| r.top5).collect::<Vec<_>>());
+    println!("\n== Localization takeaway (§4.2) ==");
+    println!("paper:    Top-1 76.8%   Top-3 91.0%   Top-5 94.6%");
+    println!(
+        "measured: Top-1 {:.1}%   Top-3 {:.1}%   Top-5 {:.1}%",
+        t1 * 100.0,
+        t3 * 100.0,
+        t5 * 100.0
+    );
+
+    if let Some(path) = bench::arg_value(&args, "--json") {
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        eprintln!("wrote {path}");
+    }
+}
+
+fn print_figure(rows: &[LocalizationRow], source: AttackSource, figure: &str) {
+    println!("\n== {figure}: per-strategy Top-N localization ({}) ==", source.name());
+    let tag = format!("{source:?}");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .filter(|r| r.source == tag)
+        .map(|r| {
+            vec![
+                r.strategy_name.clone(),
+                format!("{:.2}", r.top5),
+                format!("{:.2}", r.top3),
+                format!("{:.2}", r.top1),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["Strategy", "Top-5", "Top-3", "Top-1"], &table));
+}

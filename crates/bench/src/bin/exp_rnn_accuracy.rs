@@ -1,0 +1,54 @@
+//! Table 5: per-label accuracy of the state-prediction RNN on held-out
+//! benign traffic.
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_rnn_accuracy -- [--preset quick|ci|paper]
+//! ```
+
+use bench::{render_table, Preset};
+use clap_core::Clap;
+use tcp_state::{StateLabel, TcpState};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = Preset::from_args(&args);
+
+    let train = traffic_gen::dataset(preset.seed, preset.train_conns);
+    let test = traffic_gen::dataset(preset.seed ^ 0x7e57, preset.test_benign.max(100));
+    eprintln!("[{}] training CLAP RNN…", preset.name);
+    let (clap, summary) = Clap::train(&train, &preset.clap);
+
+    let counts = clap.rnn_confusion(&test);
+    println!("\n== Table 5: per-label RNN state-prediction accuracy (held-out) ==");
+    println!("   (paper: overall 0.995; in-window cells ≥ 0.987, sparse out-of-window cells lower)");
+    let mut rows = Vec::new();
+    let mut correct_total = (0usize, 0usize);
+    for (idx, &(correct, total)) in counts.iter().enumerate() {
+        if total == 0 {
+            continue;
+        }
+        let label = StateLabel::from_class_index(idx);
+        rows.push(vec![
+            label.state.name().to_string(),
+            if label.in_window { "In-Window".into() } else { "Out-of-Window".into() },
+            format!("{total}"),
+            format!("{:.4}", correct as f64 / total as f64),
+        ]);
+        correct_total.0 += correct;
+        correct_total.1 += total;
+    }
+    println!("{}", render_table(&["TCP state", "Window verdict", "Packets", "Accuracy"], &rows));
+    println!(
+        "overall accuracy: {:.4} (training-set accuracy {:.4})",
+        correct_total.0 as f64 / correct_total.1.max(1) as f64,
+        summary.rnn_accuracy
+    );
+
+    // Which states were exercised? For reference against TcpState::ALL.
+    let seen: Vec<&str> = TcpState::ALL
+        .iter()
+        .filter(|s| counts[**s as usize * 2].1 + counts[**s as usize * 2 + 1].1 > 0)
+        .map(|s| s.name())
+        .collect();
+    println!("states present in test traffic: {}", seen.join(", "));
+}

@@ -1,0 +1,71 @@
+//! Table 3: model processing throughput (packets/s and connections/s) of
+//! CLAP vs Baseline #2 (Kitsune), single-threaded as in the paper's
+//! one-logical-core setup (§4.4).
+//!
+//! ```text
+//! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper]
+//!     [--threads N]
+//! ```
+
+use bench::{arg_value, render_table, train_all, Preset};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = Preset::from_args(&args);
+    let threads: usize = arg_value(&args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // The paper constrains both pipelines to one logical core; a local
+    // rayon pool pins our parallelism the same way.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+
+    let models = train_all(&preset);
+    // Adversarial corpus mirroring §4.4: a mixed bag across strategies.
+    let mut corpus = Vec::new();
+    for strat in dpi_attacks::registry() {
+        let set = bench::adversarial_set(strat, &preset);
+        corpus.extend(set.into_iter().map(|r| r.connection));
+    }
+    let packets: usize = corpus.iter().map(net_packet::Connection::len).sum();
+    eprintln!(
+        "[{}] corpus: {} connections / {} packets, {} thread(s)",
+        preset.name,
+        corpus.len(),
+        packets,
+        threads
+    );
+
+    let (clap_elapsed, kitsune_elapsed) = pool.install(|| {
+        let t0 = Instant::now();
+        let s1 = models.clap.score_connections(&corpus);
+        let clap_elapsed = t0.elapsed();
+        let t1 = Instant::now();
+        let s2 = models.kitsune.score_connections(&corpus);
+        let kitsune_elapsed = t1.elapsed();
+        assert_eq!(s1.len(), s2.len());
+        (clap_elapsed, kitsune_elapsed)
+    });
+
+    let rate = |elapsed: std::time::Duration, n: usize| n as f64 / elapsed.as_secs_f64();
+    println!("\n== Table 3: model processing throughput ({threads} thread(s)) ==");
+    println!("   (paper, 1 core: CLAP 2,162.2 pkt/s / 97.0 conn/s; Kitsune 1,444.5 / 64.8 —");
+    println!("    absolute numbers differ by implementation; the shape is CLAP > Kitsune)");
+    let table = vec![
+        vec![
+            "CLAP".to_string(),
+            format!("{:.1}", rate(clap_elapsed, packets)),
+            format!("{:.1}", rate(clap_elapsed, corpus.len())),
+        ],
+        vec![
+            "Kitsune-lite [17]".to_string(),
+            format!("{:.1}", rate(kitsune_elapsed, packets)),
+            format!("{:.1}", rate(kitsune_elapsed, corpus.len())),
+        ],
+    ];
+    println!("{}", render_table(&["Model", "Packets/Second", "Connections/Second"], &table));
+}

@@ -1,0 +1,356 @@
+//! Shared experiment harness for regenerating every table and figure of
+//! the CLAP paper. Each `exp_*` binary in `src/bin/` prints the rows of
+//! one artifact; this library holds the common machinery: presets,
+//! model training, per-strategy evaluation and table formatting.
+//!
+//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results.
+
+use baselines::{Baseline1, Baseline1Config, KitsuneConfig, KitsuneLite};
+use clap_core::{auc_roc, equal_error_rate, top_n_hit, Clap, ClapConfig};
+use dpi_attacks::{build_adversarial_set, AttackResult, Strategy};
+use net_packet::Connection;
+use serde::{Deserialize, Serialize};
+
+/// Scale preset for an experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Preset {
+    pub name: String,
+    /// Benign connections used for training.
+    pub train_conns: usize,
+    /// Held-out benign connections for the negative score distribution.
+    pub test_benign: usize,
+    /// Benign connections each strategy is applied to (positives).
+    pub test_adv_per_strategy: usize,
+    pub clap: ClapConfig,
+    pub baseline1: Baseline1Config,
+    pub kitsune: KitsuneConfig,
+    /// Seed for dataset generation.
+    pub seed: u64,
+}
+
+impl Preset {
+    /// Minutes-scale single-core preset; the default for every binary.
+    pub fn quick() -> Self {
+        let mut clap = ClapConfig::quick();
+        clap.rnn.epochs = 20;
+        clap.ae.epochs = 110;
+        clap.ae.learning_rate = 3e-3;
+        let mut baseline1 = Baseline1Config::quick();
+        baseline1.ae.epochs = 40;
+        Preset {
+            name: "quick".into(),
+            train_conns: 250,
+            test_benign: 80,
+            test_adv_per_strategy: 40,
+            clap,
+            baseline1,
+            kitsune: KitsuneConfig::default(),
+            seed: 0xc1a9,
+        }
+    }
+
+    /// CI-scale: seconds, for integration tests of the harness itself.
+    pub fn ci() -> Self {
+        let mut p = Self::quick();
+        p.name = "ci".into();
+        p.train_conns = 60;
+        p.test_benign = 24;
+        p.test_adv_per_strategy = 12;
+        p.clap = ClapConfig::ci();
+        p.baseline1.ae.epochs = 12;
+        p
+    }
+
+    /// Paper-scale (Table 4/Table 6 sizes). Hours of CPU time.
+    pub fn paper() -> Self {
+        let mut p = Self::quick();
+        p.name = "paper".into();
+        p.train_conns = 31_198;
+        p.test_benign = 1_000;
+        p.test_adv_per_strategy = 75; // ≈ 6,424 test conns over 73 strategies
+        p.clap = ClapConfig::paper();
+        p.baseline1 = Baseline1Config::paper();
+        p
+    }
+
+    /// Parses `--preset <name>` from CLI args; defaults to quick.
+    pub fn from_args(args: &[String]) -> Preset {
+        match arg_value(args, "--preset").as_deref() {
+            Some("paper") => Preset::paper(),
+            Some("ci") => Preset::ci(),
+            _ => Preset::quick(),
+        }
+    }
+}
+
+/// Returns the value following a `--flag` argument.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// True when `--flag` is present.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// All three trained models plus the data splits they share.
+pub struct TrainedModels {
+    pub clap: Clap,
+    pub baseline1: Baseline1,
+    pub kitsune: KitsuneLite,
+    pub train: Vec<Connection>,
+    pub test_benign: Vec<Connection>,
+    pub summary: clap_core::TrainSummary,
+}
+
+/// Generates the benign splits and trains CLAP + both baselines.
+pub fn train_all(preset: &Preset) -> TrainedModels {
+    eprintln!(
+        "[{}] generating {} train / {} test connections…",
+        preset.name, preset.train_conns, preset.test_benign
+    );
+    let train = traffic_gen::dataset(preset.seed, preset.train_conns);
+    let test_benign = traffic_gen::dataset(preset.seed ^ 0x7e57, preset.test_benign);
+
+    eprintln!("[{}] training CLAP…", preset.name);
+    let (clap, summary) = Clap::train(&train, &preset.clap);
+    eprintln!(
+        "[{}] CLAP: rnn accuracy {:.3}, {} profiles, final AE loss {:.5}",
+        preset.name,
+        summary.rnn_accuracy,
+        summary.profiles,
+        summary.ae_losses.last().copied().unwrap_or(f32::NAN)
+    );
+    eprintln!("[{}] training Baseline #1…", preset.name);
+    let baseline1 = Baseline1::train(&train, &preset.baseline1);
+    eprintln!("[{}] training Baseline #2 (Kitsune-lite)…", preset.name);
+    let kitsune = KitsuneLite::train(&train, &preset.kitsune);
+
+    TrainedModels { clap, baseline1, kitsune, train, test_benign, summary }
+}
+
+/// Detection numbers for one (strategy, model) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionRow {
+    pub strategy_id: String,
+    pub strategy_name: String,
+    pub source: String,
+    pub category: String,
+    pub auc: [f32; 3],
+    pub eer: [f32; 3],
+}
+
+/// Localization numbers for one strategy (CLAP only, as in the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalizationRow {
+    pub strategy_id: String,
+    pub strategy_name: String,
+    pub source: String,
+    pub top1: f32,
+    pub top3: f32,
+    pub top5: f32,
+}
+
+/// Builds the adversarial test set for a strategy from held-out benign
+/// connections.
+pub fn adversarial_set(
+    strategy: &Strategy,
+    preset: &Preset,
+) -> Vec<AttackResult> {
+    let base = traffic_gen::dataset(
+        preset.seed ^ 0xadb0 ^ dpi_attacks_hash(strategy.id),
+        preset.test_adv_per_strategy,
+    );
+    build_adversarial_set(strategy, &base, preset.seed)
+}
+
+fn dpi_attacks_hash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Evaluates detection for one strategy across all three models.
+pub fn evaluate_strategy(
+    models: &TrainedModels,
+    strategy: &Strategy,
+    preset: &Preset,
+    benign_scores: &BenignScores,
+) -> DetectionRow {
+    let adv = adversarial_set(strategy, preset);
+    let adv_conns: Vec<Connection> = adv.iter().map(|r| r.connection.clone()).collect();
+    let clap_scores: Vec<f32> =
+        models.clap.score_connections(&adv_conns).iter().map(|s| s.score).collect();
+    let b1_scores: Vec<f32> =
+        models.baseline1.score_connections(&adv_conns).iter().map(|s| s.score).collect();
+    let b2_scores: Vec<f32> =
+        models.kitsune.score_connections(&adv_conns).iter().map(|s| s.score).collect();
+
+    DetectionRow {
+        strategy_id: strategy.id.to_string(),
+        strategy_name: strategy.name.to_string(),
+        source: format!("{:?}", strategy.source),
+        category: format!("{:?}", strategy.category),
+        auc: [
+            auc_roc(&benign_scores.clap, &clap_scores),
+            auc_roc(&benign_scores.baseline1, &b1_scores),
+            auc_roc(&benign_scores.kitsune, &b2_scores),
+        ],
+        eer: [
+            equal_error_rate(&benign_scores.clap, &clap_scores),
+            equal_error_rate(&benign_scores.baseline1, &b1_scores),
+            equal_error_rate(&benign_scores.kitsune, &b2_scores),
+        ],
+    }
+}
+
+/// Benign score distributions per model (computed once, reused across
+/// strategies).
+pub struct BenignScores {
+    pub clap: Vec<f32>,
+    pub baseline1: Vec<f32>,
+    pub kitsune: Vec<f32>,
+}
+
+pub fn benign_scores(models: &TrainedModels) -> BenignScores {
+    BenignScores {
+        clap: models
+            .clap
+            .score_connections(&models.test_benign)
+            .iter()
+            .map(|s| s.score)
+            .collect(),
+        baseline1: models
+            .baseline1
+            .score_connections(&models.test_benign)
+            .iter()
+            .map(|s| s.score)
+            .collect(),
+        kitsune: models
+            .kitsune
+            .score_connections(&models.test_benign)
+            .iter()
+            .map(|s| s.score)
+            .collect(),
+    }
+}
+
+/// Evaluates CLAP's Top-1/3/5 localization for one strategy
+/// (paper Figures 10–12).
+pub fn evaluate_localization(
+    models: &TrainedModels,
+    strategy: &Strategy,
+    preset: &Preset,
+) -> LocalizationRow {
+    let adv = adversarial_set(strategy, preset);
+    let mut hits = [0usize; 3];
+    for r in &adv {
+        let scored = models.clap.score_connection(&r.connection);
+        let identified = scored.peak_packet;
+        for (slot, n) in [(0, 1usize), (1, 3), (2, 5)] {
+            hits[slot] += usize::from(top_n_hit(identified, &r.adversarial_indices, n));
+        }
+    }
+    let total = adv.len().max(1) as f32;
+    LocalizationRow {
+        strategy_id: strategy.id.to_string(),
+        strategy_name: strategy.name.to_string(),
+        source: format!("{:?}", strategy.source),
+        top1: hits[0] as f32 / total,
+        top3: hits[1] as f32 / total,
+        top5: hits[2] as f32 / total,
+    }
+}
+
+/// Mean of a slice (NaN-free).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Renders an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let sep = |c: char| {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&std::iter::repeat(c).take(w + 2).collect::<String>());
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            s.push_str(&format!(" {cell:<w$} |"));
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&sep('-'));
+    out.push('\n');
+    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&sep('='));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep('-'));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_scale() {
+        let ci = Preset::ci();
+        let quick = Preset::quick();
+        let paper = Preset::paper();
+        assert!(ci.train_conns < quick.train_conns);
+        assert!(quick.train_conns < paper.train_conns);
+        assert_eq!(paper.train_conns, 31_198, "Table 4 training connections");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--preset", "ci", "--table1"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--preset").as_deref(), Some("ci"));
+        assert!(has_flag(&args, "--table1"));
+        assert!(!has_flag(&args, "--table2"));
+        assert_eq!(Preset::from_args(&args).name, "ci");
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn mean_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

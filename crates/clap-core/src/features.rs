@@ -1,0 +1,369 @@
+//! Packet feature extraction — Table 7 of the paper.
+//!
+//! Every packet yields:
+//!
+//! * **32 base features** (Table 7 #1–#32) used as RNN input: direction,
+//!   relative SEQ/ACK, data offset, the 9 flag bits one-hot, window,
+//!   checksum validities, urgent pointer, payload length, option values
+//!   (MSS, TSval/TSecr deltas, WScale, UTO, MD5 presence), timestamps and
+//!   the IP-layer fields — all lightly scaled to ≈[0, 1] but otherwise raw
+//!   ("minimum feature engineering", §3.3(a));
+//! * **19 amplification features** (Table 7 #33–#51): out-of-range
+//!   indicators for the 13 numeric TCP and 5 numeric IP features — binary
+//!   flags lit when a value falls outside the range observed in benign
+//!   training traffic — plus the payload-length equivalence check
+//!   `#17 = #26 − #28 − 4·#4`. These amplify perturbations too subtle for
+//!   the autoencoder to notice otherwise (§3.3(b)).
+//!
+//! The out-of-range flags need the benign ranges, so extraction is
+//! two-phase: [`extract_connection`] computes base features plus the raw
+//! numeric values; the trained [`RangeModel`] then materializes the final
+//! 51-dim packet-feature vector.
+
+use net_packet::{Connection, Direction, Packet, TcpFlags};
+use serde::{Deserialize, Serialize};
+
+/// Base (RNN-input) feature count — Table 7 features #1–#32.
+pub const NUM_BASE: usize = 32;
+/// Raw numeric values tracked for out-of-range amplification (13 TCP + 5 IP).
+pub const NUM_RAW: usize = 18;
+/// Full packet-feature vector width (#1–#51).
+pub const NUM_PACKET: usize = NUM_BASE + NUM_RAW + 1;
+
+/// Per-packet extraction output (before range amplification).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Features #1–#32, scaled to ≈[0, 1].
+    pub base: Vec<f32>,
+    /// Raw numeric values for the 18 out-of-range indicators, in the fixed
+    /// order documented on [`RAW_NAMES`].
+    pub raw: Vec<f32>,
+    /// Whether the payload-length equivalence (#51) holds.
+    pub equiv_ok: bool,
+}
+
+/// Names for the raw numeric slots (debugging / experiment output).
+pub const RAW_NAMES: [&str; NUM_RAW] = [
+    "rel_seq",
+    "rel_ack",
+    "data_offset",
+    "window",
+    "urgent",
+    "payload_len",
+    "mss",
+    "tsval_delta",
+    "tsecr",
+    "wscale",
+    "uto",
+    "tsval",
+    "inter_arrival",
+    "ip_total_len",
+    "ttl",
+    "ihl",
+    "ip_version",
+    "tos",
+];
+
+/// Wrapping distance from an initial sequence number, saturated into f32.
+fn rel_seq(value: u32, isn: Option<u32>) -> f32 {
+    match isn {
+        Some(base) => value.wrapping_sub(base) as f32,
+        None => 0.0,
+    }
+}
+
+/// Extracts base features + raw numerics for every packet of a connection.
+///
+/// Per-connection state (ISNs per direction, previous timestamps) is
+/// maintained internally; packets are processed in capture order.
+pub fn extract_connection(conn: &Connection) -> Vec<FeatureVector> {
+    let mut isn: [Option<u32>; 2] = [None, None];
+    let mut prev_tsval: [Option<u32>; 2] = [None, None];
+    let mut prev_time: Option<f64> = None;
+    let mut out = Vec::with_capacity(conn.len());
+
+    for (i, p) in conn.packets.iter().enumerate() {
+        let dir = conn.direction(i);
+        // The first sequence number seen per direction anchors relative
+        // SEQ/ACK (for SYNs this is the true ISN).
+        if isn[dir.index()].is_none() {
+            isn[dir.index()] = Some(p.tcp.seq);
+        }
+        out.push(extract_packet(
+            p,
+            dir,
+            isn,
+            &mut prev_tsval,
+            &mut prev_time,
+        ));
+    }
+    out
+}
+
+fn extract_packet(
+    p: &Packet,
+    dir: Direction,
+    isn: [Option<u32>; 2],
+    prev_tsval: &mut [Option<u32>; 2],
+    prev_time: &mut Option<f64>,
+) -> FeatureVector {
+    let f = p.tcp.flags;
+    let has_ack = f.contains(TcpFlags::ACK);
+
+    // --- Raw numeric values -------------------------------------------
+    let r_seq = rel_seq(p.tcp.seq, isn[dir.index()]);
+    let r_ack = if has_ack { rel_seq(p.tcp.ack, isn[dir.flip().index()]) } else { 0.0 };
+    let (tsval, tsecr) = p.tcp.timestamps().unwrap_or((0, 0));
+    let ts_delta = match (p.tcp.timestamps(), prev_tsval[dir.index()]) {
+        (Some((v, _)), Some(prev)) => v.wrapping_sub(prev) as i32 as f32,
+        _ => 0.0,
+    };
+    if let Some((v, _)) = p.tcp.timestamps() {
+        prev_tsval[dir.index()] = Some(v);
+    }
+    let iat = match *prev_time {
+        Some(t) => (p.timestamp - t).max(0.0) as f32,
+        None => 0.0,
+    };
+    *prev_time = Some(p.timestamp);
+
+    let raw = vec![
+        r_seq,
+        r_ack,
+        p.tcp.data_offset as f32,
+        p.tcp.window as f32,
+        p.tcp.urgent as f32,
+        p.payload.len() as f32,
+        p.tcp.mss().unwrap_or(0) as f32,
+        ts_delta,
+        tsecr as f32,
+        p.tcp.window_scale().unwrap_or(0) as f32,
+        p.tcp.user_timeout().unwrap_or(0) as f32,
+        tsval as f32,
+        iat,
+        p.ip.total_length as f32,
+        p.ip.ttl as f32,
+        p.ip.ihl as f32,
+        p.ip.version as f32,
+        p.ip.tos as f32,
+    ];
+
+    // --- Base features #1..#32, scaled --------------------------------
+    // Heavy-tailed quantities are log-compressed: without this, a single
+    // large benign value (a long idle gap, a big transfer) dominates the
+    // autoencoder's reconstruction error and drowns the one-bit signals
+    // the amplification features carry.
+    let log_scale = |v: f32, cap: f32| ((1.0 + v.max(0.0)).ln() / (1.0 + cap).ln()).min(1.0);
+
+    let mut base = Vec::with_capacity(NUM_BASE);
+    base.push(dir.index() as f32); // #1 direction
+    base.push(log_scale(r_seq, u32::MAX as f32)); // #2
+    base.push(log_scale(r_ack, u32::MAX as f32)); // #3
+    base.push(p.tcp.data_offset as f32 / 15.0); // #4
+    for flag in TcpFlags::ALL {
+        base.push(f.contains(flag) as u8 as f32); // #5..#13
+    }
+    base.push(p.tcp.window as f32 / 65_535.0); // #14
+    base.push(p.tcp_checksum_valid() as u8 as f32); // #15
+    base.push(p.tcp.urgent as f32 / 65_535.0); // #16
+    base.push((p.payload.len() as f32 / 1500.0).min(2.0) / 2.0); // #17
+    base.push(p.tcp.mss().unwrap_or(0) as f32 / 1460.0); // #18
+    base.push((ts_delta / 1.0e6).clamp(-1.0, 1.0) * 0.5 + 0.5); // #19
+    base.push(tsecr as f32 / u32::MAX as f32); // #20
+    base.push(p.tcp.window_scale().unwrap_or(0) as f32 / 14.0); // #21
+    base.push((p.tcp.user_timeout().unwrap_or(0) as f32 / 600.0).min(2.0) / 2.0); // #22
+    base.push(p.tcp.has_md5() as u8 as f32); // #23
+    base.push(tsval as f32 / u32::MAX as f32); // #24
+    base.push(log_scale(iat * 1000.0, 60_000.0)); // #25 (log-ms, cap 60 s)
+    base.push((p.ip.total_length as f32 / 1500.0).min(2.0) / 2.0); // #26
+    base.push(p.ip.ttl as f32 / 255.0); // #27
+    base.push(p.ip.ihl as f32 / 15.0); // #28
+    base.push(p.ip_checksum_valid() as u8 as f32); // #29
+    base.push(p.ip.version as f32 / 15.0); // #30
+    base.push(p.ip.tos as f32 / 255.0); // #31
+    base.push(p.ip.has_nonstandard_options() as u8 as f32); // #32
+    debug_assert_eq!(base.len(), NUM_BASE);
+
+    // --- Equivalence relation #51: payload_len = ip_len - ihl*4 - off*4 --
+    let expected = i64::from(p.ip.total_length)
+        - i64::from(p.ip.ihl) * 4
+        - i64::from(p.tcp.data_offset) * 4;
+    let equiv_ok = expected == p.payload.len() as i64;
+
+    FeatureVector { base, raw, equiv_ok }
+}
+
+/// Benign value ranges for the 18 raw numerics; lights the out-of-range
+/// amplification flags (#33–#50) at inference time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RangeModel {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+/// Raw slots derived from unbounded, wrap-prone counters (relative
+/// SEQ/ACK, timestamp values and deltas). On backbone-scale traffic their
+/// benign ranges cover essentially the whole value space, so out-of-range
+/// amplification is vacuous for them; we disable it outright rather than
+/// let small synthetic corpora make these flags unrealistically sharp.
+const WRAP_PRONE_SLOTS: [usize; 5] = [0, 1, 7, 8, 11];
+
+impl RangeModel {
+    /// Learns per-feature [min, max] over benign packets, widened by a
+    /// small tolerance so borderline-benign values do not flap.
+    pub fn fit<'a>(packets: impl IntoIterator<Item = &'a FeatureVector>) -> Self {
+        let mut mins = vec![f32::INFINITY; NUM_RAW];
+        let mut maxs = vec![f32::NEG_INFINITY; NUM_RAW];
+        for fv in packets {
+            for (i, &v) in fv.raw.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        for i in 0..NUM_RAW {
+            if !mins[i].is_finite() {
+                mins[i] = 0.0;
+                maxs[i] = 0.0;
+            }
+            let span = (maxs[i] - mins[i]).abs().max(1.0);
+            mins[i] -= span * 0.01;
+            maxs[i] += span * 0.01;
+        }
+        for slot in WRAP_PRONE_SLOTS {
+            // Finite sentinels (JSON cannot carry infinities): no raw value
+            // ever falls outside [f32::MIN, f32::MAX].
+            mins[slot] = f32::MIN;
+            maxs[slot] = f32::MAX;
+        }
+        RangeModel { mins, maxs }
+    }
+
+    /// True when raw slot `i` is outside the benign range.
+    pub fn out_of_range(&self, i: usize, v: f32) -> bool {
+        v < self.mins[i] || v > self.maxs[i]
+    }
+
+    /// Materializes the full 51-dim packet-feature vector
+    /// (#1–#32 base, #33–#50 out-of-range flags, #51 equivalence).
+    pub fn packet_features(&self, fv: &FeatureVector) -> Vec<f32> {
+        let mut out = Vec::with_capacity(NUM_PACKET);
+        out.extend_from_slice(&fv.base);
+        for (i, &v) in fv.raw.iter().enumerate() {
+            out.push(self.out_of_range(i, v) as u8 as f32);
+        }
+        out.push(fv.equiv_ok as u8 as f32);
+        debug_assert_eq!(out.len(), NUM_PACKET);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_packet::{Endpoint, FlowKey, Ipv4Header, TcpHeader, TcpOption};
+    use std::net::Ipv4Addr;
+
+    fn test_conn() -> Connection {
+        let key = FlowKey::new(
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 40000),
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 443),
+        );
+        let mut conn = Connection::new(key);
+        let mk = |dir: Direction, flags: TcpFlags, seq: u32, ack: u32, payload: &[u8], ts: f64| {
+            let (src, dst) = match dir {
+                Direction::ClientToServer => (key.client, key.server),
+                Direction::ServerToClient => (key.server, key.client),
+            };
+            let ip = Ipv4Header::new(src.addr, dst.addr, 57);
+            let mut tcp = TcpHeader::new(src.port, dst.port, seq, ack);
+            tcp.flags = flags;
+            Packet::new(ts, ip, tcp, payload.to_vec())
+        };
+        conn.packets.push(mk(Direction::ClientToServer, TcpFlags::SYN, 1000, 0, &[], 0.0));
+        conn.packets.push(mk(Direction::ServerToClient, TcpFlags::SYN | TcpFlags::ACK, 9000, 1001, &[], 0.01));
+        conn.packets.push(mk(Direction::ClientToServer, TcpFlags::ACK, 1001, 9001, &[], 0.02));
+        conn.packets.push(mk(Direction::ClientToServer, TcpFlags::ACK | TcpFlags::PSH, 1001, 9001, b"hello", 0.03));
+        conn
+    }
+
+    #[test]
+    fn feature_widths() {
+        let fvs = extract_connection(&test_conn());
+        assert_eq!(fvs.len(), 4);
+        for fv in &fvs {
+            assert_eq!(fv.base.len(), NUM_BASE);
+            assert_eq!(fv.raw.len(), NUM_RAW);
+        }
+        let rm = RangeModel::fit(&fvs);
+        assert_eq!(rm.packet_features(&fvs[0]).len(), NUM_PACKET);
+    }
+
+    #[test]
+    fn direction_and_flags_encoded() {
+        let fvs = extract_connection(&test_conn());
+        assert_eq!(fvs[0].base[0], 0.0); // c2s
+        assert_eq!(fvs[1].base[0], 1.0); // s2c
+        // #5..#13 one-hot: SYN is the 2nd flag (index 1).
+        assert_eq!(fvs[0].base[4 + 1], 1.0);
+        assert_eq!(fvs[0].base[4], 0.0); // FIN off
+        // SYN-ACK sets both SYN (idx 1) and ACK (idx 4).
+        assert_eq!(fvs[1].base[4 + 1], 1.0);
+        assert_eq!(fvs[1].base[4 + 4], 1.0);
+    }
+
+    #[test]
+    fn relative_seq_starts_at_zero_and_grows() {
+        let fvs = extract_connection(&test_conn());
+        assert_eq!(fvs[0].raw[0], 0.0); // first client packet anchors ISN
+        assert_eq!(fvs[2].raw[0], 1.0); // +1 after SYN
+        assert_eq!(fvs[3].raw[5], 5.0); // payload length
+    }
+
+    #[test]
+    fn checksum_validity_features() {
+        let mut conn = test_conn();
+        conn.packets[3].tcp.checksum ^= 0xbad;
+        let fvs = extract_connection(&conn);
+        assert_eq!(fvs[3].base[14], 0.0); // #15 invalid
+        assert_eq!(fvs[2].base[14], 1.0);
+    }
+
+    #[test]
+    fn equivalence_feature_detects_length_lies() {
+        let mut conn = test_conn();
+        assert!(extract_connection(&conn)[3].equiv_ok);
+        conn.packets[3].ip.total_length += 7;
+        assert!(!extract_connection(&conn)[3].equiv_ok);
+    }
+
+    #[test]
+    fn range_model_flags_outliers() {
+        let fvs = extract_connection(&test_conn());
+        let rm = RangeModel::fit(&fvs);
+        // TTL (raw slot 14) was 57 everywhere; 3 is out of range.
+        assert!(rm.out_of_range(14, 3.0));
+        assert!(!rm.out_of_range(14, 57.0));
+        // IP version (slot 16) was 4; 5 is out of range.
+        assert!(rm.out_of_range(16, 5.0));
+    }
+
+    #[test]
+    fn md5_and_urgent_features() {
+        let mut conn = test_conn();
+        conn.packets[3].tcp.options.push(TcpOption::Md5([1; 16]));
+        conn.packets[3].tcp.urgent = 5;
+        let p = conn.packets[3].clone();
+        conn.packets[3] = Packet::new(p.timestamp, p.ip, p.tcp, p.payload);
+        let fvs = extract_connection(&conn);
+        assert_eq!(fvs[3].base[22], 1.0); // #23 MD5 present
+        assert!(fvs[3].base[15] > 0.0); // #16 urgent pointer
+    }
+
+    #[test]
+    fn timestamp_delta_neutral_without_option() {
+        let fvs = extract_connection(&test_conn());
+        for fv in &fvs {
+            assert_eq!(fv.base[18], 0.5); // #19 centred when no TS option
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! CLAP — Context Learning based Adversarial Protection.
+//!
+//! Reproduction of the system from *"You Do (Not) Belong Here: Detecting DPI
+//! Evasion Attacks with Context Learning"* (Zhu et al., CoNEXT '20). CLAP is
+//! an unsupervised detector for packets crafted to elude stateful DPI
+//! middleboxes. It trains on benign traffic only, in four stages (paper
+//! §3.3):
+//!
+//! 1. **Inter-packet context** ([`rnn`] via [`features`] + `tcp-state`): a
+//!    GRU is trained to predict, per packet, the reference TCP-stack state
+//!    (22 classes). The trained gates encode how packets relate across a
+//!    connection.
+//! 2. **Context-profile fusion** ([`profile`]): per-packet header features
+//!    (incl. amplification features) are concatenated with the GRU's update
+//!    and reset gate activations into a 115-dim context profile; 3
+//!    consecutive profiles are stacked into the 345-dim autoencoder input.
+//! 3. **Joint-distribution learning**: an L1 autoencoder learns the benign
+//!    context-profile distribution.
+//! 4. **Verification** ([`score`]): sliding-window reconstruction errors are
+//!    summarized with the paper's *localize-and-estimate* adversarial
+//!    score; thresholding yields detection, the error peak yields
+//!    localization.
+//!
+//! # Quick start
+//!
+//! ```
+//! use clap_core::{Clap, ClapConfig};
+//!
+//! // Benign traffic only (here: synthetic; swap in PCAPs for real use).
+//! let benign = traffic_gen::dataset(42, 60);
+//! let (clap, summary) = Clap::train(&benign, &ClapConfig::ci());
+//! assert!(summary.rnn_accuracy > 0.5);
+//!
+//! // Score an unseen connection: higher = more likely adversarial.
+//! let unseen = traffic_gen::dataset(43, 1).pop().unwrap();
+//! let scored = clap.score_connection(&unseen);
+//! assert!(scored.score.is_finite());
+//! ```
+
+pub mod features;
+pub mod metrics;
+pub mod pipeline;
+pub mod profile;
+pub mod score;
+
+pub use features::{extract_connection, FeatureVector, RangeModel, NUM_BASE, NUM_PACKET, NUM_RAW};
+pub use metrics::{auc_roc, equal_error_rate, roc_curve, top_n_hit, RocPoint};
+pub use pipeline::{Clap, ClapConfig, TrainSummary};
+pub use profile::{ProfileBuilder, GATE_FEATURES, PROFILE_LEN};
+pub use score::{score_errors, ScoredConnection};

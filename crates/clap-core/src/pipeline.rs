@@ -1,0 +1,298 @@
+//! The end-to-end CLAP pipeline: training (Figure 2) and testing (Figure 3).
+
+use crate::features::{extract_connection, FeatureVector, RangeModel, NUM_BASE};
+use crate::profile::ProfileBuilder;
+use crate::score::{score_errors, ScoredConnection};
+use net_packet::Connection;
+use neural::{Autoencoder, AutoencoderConfig, GruClassifier, GruClassifierConfig, Matrix, TrainReport};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use tcp_state::{label_connection, NUM_CLASSES};
+
+/// Full pipeline configuration (Table 6 hyper-parameters + presets).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClapConfig {
+    pub rnn: GruClassifierConfig,
+    pub ae: AutoencoderConfig,
+    /// Profiles per stacked window (paper: 3).
+    pub stack: usize,
+    /// Profiles averaged around the error peak for the adversarial score
+    /// (paper: 5).
+    pub score_window: usize,
+}
+
+impl ClapConfig {
+    /// Paper-scale hyper-parameters (Table 6): RNN 30 epochs, AE 1000
+    /// epochs. Expensive — intended for full reproductions.
+    pub fn paper() -> Self {
+        let mut rnn = GruClassifierConfig::clap_paper(NUM_CLASSES);
+        rnn.input = NUM_BASE;
+        let stack = 3;
+        let mut ae = AutoencoderConfig::clap_paper(stack * crate::profile::PROFILE_LEN);
+        rnn.epochs = 30;
+        ae.epochs = 1000;
+        ClapConfig { rnn, ae, stack, score_window: 5 }
+    }
+
+    /// Minutes-scale preset: same architecture, fewer epochs. The default
+    /// for the experiment binaries.
+    pub fn quick() -> Self {
+        let mut cfg = Self::paper();
+        cfg.rnn.epochs = 20;
+        cfg.rnn.batch_size = 8;
+        cfg.ae.epochs = 60;
+        cfg.ae.learning_rate = 2e-3;
+        cfg
+    }
+
+    /// Seconds-scale preset for unit/integration tests.
+    pub fn ci() -> Self {
+        let mut cfg = Self::paper();
+        cfg.rnn.epochs = 12;
+        cfg.rnn.batch_size = 8;
+        cfg.ae.epochs = 15;
+        cfg
+    }
+}
+
+/// Metrics from a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainSummary {
+    pub rnn_report: TrainReport,
+    /// Per-timestep state-prediction accuracy on the training set (paper
+    /// Table 5 reports ≈0.995 on held-out data).
+    pub rnn_accuracy: f32,
+    /// Mean L1 loss per autoencoder epoch.
+    pub ae_losses: Vec<f32>,
+    /// Number of stacked context profiles the autoencoder was trained on.
+    pub profiles: usize,
+}
+
+/// A trained CLAP detector: the `{M_GRU, M_AE}` pair of the paper plus the
+/// benign range model for amplification features. Serializable, so the
+/// "persist / load" arrows of Figures 2–3 are `serde_json` round trips.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Clap {
+    pub config: ClapConfig,
+    pub ranges: RangeModel,
+    pub rnn: GruClassifier,
+    pub ae: Autoencoder,
+}
+
+impl Clap {
+    /// Trains the full pipeline on benign connections only (unsupervised
+    /// with respect to attacks).
+    pub fn train(benign: &[Connection], cfg: &ClapConfig) -> (Clap, TrainSummary) {
+        assert!(!benign.is_empty(), "training requires benign traffic");
+
+        // Stage (a) inputs: features and reference-stack labels.
+        let fvs_per_conn: Vec<Vec<FeatureVector>> =
+            benign.par_iter().map(extract_connection).collect();
+        let ranges = RangeModel::fit(fvs_per_conn.iter().flatten());
+
+        let sequences: Vec<(Vec<Vec<f32>>, Vec<usize>)> = benign
+            .par_iter()
+            .zip(&fvs_per_conn)
+            .map(|(conn, fvs)| {
+                let xs: Vec<Vec<f32>> = fvs.iter().map(|fv| fv.base.clone()).collect();
+                let ys: Vec<usize> =
+                    label_connection(conn).iter().map(|l| l.class_index()).collect();
+                (xs, ys)
+            })
+            .collect();
+
+        let mut rnn = GruClassifier::new(&cfg.rnn);
+        let rnn_report = rnn.train(&sequences, &cfg.rnn);
+        let rnn_accuracy = rnn.accuracy(&sequences);
+
+        // Stages (b)+(c): benign context profiles -> autoencoder.
+        let builder = ProfileBuilder::new(cfg.stack);
+        let per_conn: Vec<Matrix> = fvs_per_conn
+            .par_iter()
+            .map(|fvs| builder.stacked_profiles(&ranges, &rnn, fvs))
+            .collect();
+        let total_rows: usize = per_conn.iter().map(|m| m.rows).sum();
+        let mut data = Matrix::zeros(total_rows, builder.stacked_len());
+        let mut r = 0;
+        for m in &per_conn {
+            data.data[r * data.cols..(r + m.rows) * data.cols].copy_from_slice(&m.data);
+            r += m.rows;
+        }
+
+        let mut ae_cfg = cfg.ae.clone();
+        ae_cfg.layer_sizes[0] = builder.stacked_len();
+        *ae_cfg.layer_sizes.last_mut().unwrap() = builder.stacked_len();
+        let mut ae = Autoencoder::new(&ae_cfg.layer_sizes, ae_cfg.seed);
+        let ae_losses = ae.train(&data, &ae_cfg);
+
+        let clap = Clap { config: cfg.clone(), ranges, rnn, ae };
+        let summary =
+            TrainSummary { rnn_report, rnn_accuracy, ae_losses, profiles: total_rows };
+        (clap, summary)
+    }
+
+    /// Stage (d): scores one unseen connection. Higher = more likely to
+    /// contain adversarial packets.
+    pub fn score_connection(&self, conn: &Connection) -> ScoredConnection {
+        let fvs = extract_connection(conn);
+        let builder = ProfileBuilder::new(self.config.stack);
+        let stacked = builder.stacked_profiles(&self.ranges, &self.rnn, &fvs);
+        let window_errors = self.ae.reconstruction_errors(&stacked);
+        let (peak_window, score) = score_errors(&window_errors, self.config.score_window);
+        ScoredConnection {
+            peak_packet: builder.window_center(peak_window, conn.len()),
+            peak_window,
+            window_errors,
+            score,
+        }
+    }
+
+    /// Scores a batch of connections in parallel.
+    pub fn score_connections(&self, conns: &[Connection]) -> Vec<ScoredConnection> {
+        conns.par_iter().map(|c| self.score_connection(c)).collect()
+    }
+
+    /// Boolean verdict against a deployer-chosen threshold.
+    pub fn detect(&self, conn: &Connection, threshold: f32) -> bool {
+        self.score_connection(conn).score > threshold
+    }
+
+    /// Packet index of the most suspicious packet (first step of
+    /// localize-and-estimate).
+    pub fn localize(&self, conn: &Connection) -> usize {
+        self.score_connection(conn).peak_packet
+    }
+
+    /// Suggests a detection threshold as a quantile of benign scores
+    /// (e.g. `0.95` → ≈5% false-positive budget).
+    pub fn threshold_from_benign(&self, benign: &[Connection], quantile: f64) -> f32 {
+        let mut scores: Vec<f32> =
+            self.score_connections(benign).iter().map(|s| s.score).collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if scores.is_empty() {
+            return 0.0;
+        }
+        let idx = ((scores.len() as f64 - 1.0) * quantile.clamp(0.0, 1.0)).round() as usize;
+        scores[idx]
+    }
+
+    /// Per-label `(correct, total)` state-prediction counts on a labelled
+    /// corpus — the data behind the paper's Table 5.
+    pub fn rnn_confusion(&self, conns: &[Connection]) -> Vec<(usize, usize)> {
+        let mut counts = vec![(0usize, 0usize); NUM_CLASSES];
+        for conn in conns {
+            let fvs = extract_connection(conn);
+            let xs: Vec<Vec<f32>> = fvs.iter().map(|fv| fv.base.clone()).collect();
+            let preds = self.rnn.predict(&xs);
+            for (label, pred) in label_connection(conn).iter().zip(preds) {
+                let idx = label.class_index();
+                counts[idx].1 += 1;
+                counts[idx].0 += usize::from(pred == idx);
+            }
+        }
+        counts
+    }
+
+    /// Serializes the whole detector to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a detector from [`Clap::to_json`] output.
+    pub fn from_json(json: &str) -> serde_json::Result<Clap> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ClapConfig {
+        let mut cfg = ClapConfig::ci();
+        cfg.ae.epochs = 8;
+        cfg
+    }
+
+    #[test]
+    fn train_and_score_smoke() {
+        let benign = traffic_gen::dataset(21, 30);
+        let (clap, summary) = Clap::train(&benign, &tiny_cfg());
+        assert!(summary.rnn_accuracy > 0.5, "accuracy {}", summary.rnn_accuracy);
+        assert!(summary.profiles > 100);
+        assert!(summary.ae_losses.last().unwrap() < &summary.ae_losses[0]);
+        let s = clap.score_connection(&benign[0]);
+        assert!(s.score.is_finite() && s.score >= 0.0);
+        assert_eq!(s.window_errors.len(), benign[0].len().max(3) - 2);
+        assert!(s.peak_packet < benign[0].len());
+    }
+
+    #[test]
+    fn corrupted_connection_scores_higher_than_benign() {
+        let benign = traffic_gen::dataset(22, 40);
+        let (clap, _) = Clap::train(&benign, &tiny_cfg());
+        let held_out = traffic_gen::dataset(522, 12);
+        let benign_mean: f32 = clap
+            .score_connections(&held_out)
+            .iter()
+            .map(|s| s.score)
+            .sum::<f32>()
+            / held_out.len() as f32;
+
+        // Hand-rolled Bad-Checksum-RST (the paper's motivating example).
+        let mut attacked = held_out.clone();
+        for conn in &mut attacked {
+            if let Some(idx) = conn.first_index_after_handshake() {
+                let mut rst = conn.packets[idx.min(conn.len() - 1)].clone();
+                rst.tcp.flags = net_packet::TcpFlags::RST;
+                rst.payload.clear();
+                rst.fill_checksums();
+                rst.tcp.checksum ^= 0x0bad;
+                conn.packets.insert(idx.min(conn.len() - 1), rst);
+            }
+        }
+        let adv_mean: f32 = clap
+            .score_connections(&attacked)
+            .iter()
+            .map(|s| s.score)
+            .sum::<f32>()
+            / attacked.len() as f32;
+        assert!(
+            adv_mean > benign_mean,
+            "adversarial mean {adv_mean} should exceed benign mean {benign_mean}"
+        );
+    }
+
+    #[test]
+    fn threshold_quantile_behaviour() {
+        let benign = traffic_gen::dataset(23, 25);
+        let (clap, _) = Clap::train(&benign, &tiny_cfg());
+        let t50 = clap.threshold_from_benign(&benign, 0.5);
+        let t95 = clap.threshold_from_benign(&benign, 0.95);
+        assert!(t95 >= t50);
+        let flagged = benign.iter().filter(|c| clap.detect(c, t95)).count();
+        assert!(flagged <= benign.len() / 10);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_scores() {
+        let benign = traffic_gen::dataset(24, 15);
+        let (clap, _) = Clap::train(&benign, &tiny_cfg());
+        let json = clap.to_json().unwrap();
+        let back = Clap::from_json(&json).unwrap();
+        let a = clap.score_connection(&benign[3]);
+        let b = back.score_connection(&benign[3]);
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.peak_packet, b.peak_packet);
+    }
+
+    #[test]
+    fn confusion_counts_sum_to_packets() {
+        let benign = traffic_gen::dataset(25, 10);
+        let (clap, _) = Clap::train(&benign, &tiny_cfg());
+        let counts = clap.rnn_confusion(&benign);
+        let total: usize = counts.iter().map(|&(_, t)| t).sum();
+        let packets: usize = benign.iter().map(Connection::len).sum();
+        assert_eq!(total, packets);
+    }
+}

@@ -1,0 +1,131 @@
+//! The localize-and-estimate adversarial score (paper §3.3(d)).
+//!
+//! The autoencoder yields one reconstruction error per stacked profile.
+//! Injected adversarial packets produce a spike in that sequence (Figure
+//! 6); the score is the mean error over a window of 5 profiles centred on
+//! the spike, which "best captures the most distinguishing part of the
+//! reconstruction error sequence".
+
+use serde::{Deserialize, Serialize};
+
+/// Scoring output for one connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoredConnection {
+    /// Reconstruction error per sliding stacked-profile window.
+    pub window_errors: Vec<f32>,
+    /// Index (into `window_errors`) of the maximum-error window.
+    pub peak_window: usize,
+    /// Packet index CLAP reports as the most suspicious.
+    pub peak_packet: usize,
+    /// The localize-and-estimate adversarial score.
+    pub score: f32,
+}
+
+impl ScoredConnection {
+    /// Packet indices for the `n` highest-error windows (descending error),
+    /// mapped through the given window→packet function. Used by Top-N
+    /// forensics.
+    pub fn top_packets(&self, n: usize, window_to_packet: impl Fn(usize) -> usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.window_errors.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.window_errors[b]
+                .partial_cmp(&self.window_errors[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut out = Vec::new();
+        for w in idx.into_iter().map(window_to_packet) {
+            if !out.contains(&w) {
+                out.push(w);
+            }
+            if out.len() == n {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Computes the adversarial score from a sequence of window errors:
+/// locate the maximum, then average over `score_window` profiles centred
+/// on it (clamped at the sequence boundaries).
+pub fn score_errors(window_errors: &[f32], score_window: usize) -> (usize, f32) {
+    if window_errors.is_empty() {
+        return (0, 0.0);
+    }
+    let peak = window_errors
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let half = score_window.max(1) / 2;
+    let lo = peak.saturating_sub(half);
+    let hi = (peak + half + 1).min(window_errors.len());
+    let mean = window_errors[lo..hi].iter().sum::<f32>() / (hi - lo) as f32;
+    (peak, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_errors_scores_zero() {
+        assert_eq!(score_errors(&[], 5), (0, 0.0));
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(score_errors(&[0.7], 5), (0, 0.7));
+    }
+
+    #[test]
+    fn peak_found_and_averaged() {
+        let errs = [0.1, 0.1, 0.9, 0.5, 0.1, 0.1];
+        let (peak, score) = score_errors(&errs, 5);
+        assert_eq!(peak, 2);
+        // Window [0..5): mean of 0.1,0.1,0.9,0.5,0.1
+        assert!((score - 0.34).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_at_boundary_clamps() {
+        let errs = [0.9, 0.1, 0.1, 0.1];
+        let (peak, score) = score_errors(&errs, 5);
+        assert_eq!(peak, 0);
+        // Window [0..3): mean of 0.9, 0.1, 0.1
+        assert!((score - (1.1 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_window_one_is_just_the_peak() {
+        let errs = [0.2, 0.8, 0.3];
+        let (peak, score) = score_errors(&errs, 1);
+        assert_eq!(peak, 1);
+        assert_eq!(score, 0.8);
+    }
+
+    #[test]
+    fn spike_raises_score_vs_flat() {
+        let flat = [0.1; 9];
+        let mut spiked = flat;
+        spiked[4] = 0.9;
+        let (_, s_flat) = score_errors(&flat, 5);
+        let (_, s_spiked) = score_errors(&spiked, 5);
+        assert!(s_spiked > s_flat * 2.0);
+    }
+
+    #[test]
+    fn top_packets_ordering_and_dedup() {
+        let sc = ScoredConnection {
+            window_errors: vec![0.1, 0.9, 0.8, 0.05],
+            peak_window: 1,
+            peak_packet: 2,
+            score: 0.6,
+        };
+        // Identity mapping.
+        assert_eq!(sc.top_packets(2, |w| w), vec![1, 2]);
+        // Collapsing mapping dedups.
+        assert_eq!(sc.top_packets(2, |_| 7), vec![7]);
+    }
+}

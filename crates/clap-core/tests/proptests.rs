@@ -1,0 +1,126 @@
+//! Property-based tests for CLAP's feature extraction, metrics and
+//! scoring invariants.
+
+use clap_core::{auc_roc, equal_error_rate, extract_connection, roc_curve, score_errors, RangeModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Feature extraction is total and well-shaped on arbitrary generated
+    /// traffic, and every base feature stays within sane bounds.
+    #[test]
+    fn features_are_bounded(seed in 0u64..500) {
+        let conns = traffic_gen::dataset(seed, 1);
+        let fvs = extract_connection(&conns[0]);
+        prop_assert_eq!(fvs.len(), conns[0].len());
+        for fv in &fvs {
+            prop_assert_eq!(fv.base.len(), clap_core::NUM_BASE);
+            prop_assert_eq!(fv.raw.len(), clap_core::NUM_RAW);
+            for (i, &v) in fv.base.iter().enumerate() {
+                prop_assert!(v.is_finite(), "base[{i}] not finite");
+                prop_assert!((-0.01..=1.01).contains(&v), "base[{i}] = {v} out of [0,1]");
+            }
+            for (i, &v) in fv.raw.iter().enumerate() {
+                prop_assert!(v.is_finite(), "raw[{i}] not finite");
+            }
+        }
+    }
+
+    /// Benign traffic fits its own fitted ranges: no out-of-range flags.
+    #[test]
+    fn fitted_ranges_cover_training_data(seed in 0u64..300) {
+        let conns = traffic_gen::dataset(seed, 3);
+        let fvs: Vec<_> = conns.iter().flat_map(extract_connection).collect();
+        let rm = RangeModel::fit(&fvs);
+        for fv in &fvs {
+            let row = rm.packet_features(fv);
+            // Amplification slots #33..#50 (indices 32..50) must all be 0.
+            for (i, &v) in row[32..50].iter().enumerate() {
+                prop_assert_eq!(v, 0.0, "training data flagged out-of-range at slot {}", i);
+            }
+        }
+    }
+
+    /// AUC is symmetric under swapping populations: AUC(a,b) = 1 - AUC(b,a).
+    #[test]
+    fn auc_antisymmetry(
+        a in prop::collection::vec(0.0f32..1.0, 1..30),
+        b in prop::collection::vec(0.0f32..1.0, 1..30),
+    ) {
+        let x = auc_roc(&a, &b);
+        let y = auc_roc(&b, &a);
+        prop_assert!((x + y - 1.0).abs() < 1e-5, "{x} + {y} != 1");
+    }
+
+    /// AUC is invariant under any strictly monotone transform of scores.
+    #[test]
+    fn auc_monotone_invariance(
+        a in prop::collection::vec(0.0f32..1.0, 1..20),
+        b in prop::collection::vec(0.0f32..1.0, 1..20),
+    ) {
+        let x = auc_roc(&a, &b);
+        let ta: Vec<f32> = a.iter().map(|v| v * 3.0 + 1.0).collect();
+        let tb: Vec<f32> = b.iter().map(|v| v * 3.0 + 1.0).collect();
+        prop_assert!((auc_roc(&ta, &tb) - x).abs() < 1e-6);
+    }
+
+    /// EER is always in [0, 1] and roughly complements AUC direction:
+    /// perfect separation gives EER ~0, inverted separation gives high EER.
+    #[test]
+    fn eer_bounds(
+        a in prop::collection::vec(0.0f32..1.0, 2..30),
+        b in prop::collection::vec(0.0f32..1.0, 2..30),
+    ) {
+        let e = equal_error_rate(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&e));
+    }
+
+    /// ROC curves always span (0,0) to (1,1) and are monotone.
+    #[test]
+    fn roc_curve_monotone(
+        a in prop::collection::vec(0.0f32..1.0, 1..25),
+        b in prop::collection::vec(0.0f32..1.0, 1..25),
+    ) {
+        let curve = roc_curve(&a, &b);
+        prop_assert_eq!(curve[0].tpr, 1.0);
+        prop_assert_eq!(curve[0].fpr, 1.0);
+        let last = curve.last().unwrap();
+        prop_assert_eq!(last.tpr, 0.0);
+        prop_assert_eq!(last.fpr, 0.0);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].tpr <= w[0].tpr + 1e-6);
+            prop_assert!(w[1].fpr <= w[0].fpr + 1e-6);
+        }
+    }
+
+    /// The adversarial score never exceeds the peak error and never falls
+    /// below the minimum error (it is a mean over a window containing the
+    /// peak).
+    #[test]
+    fn score_bounded_by_errors(errs in prop::collection::vec(0.0f32..10.0, 1..50)) {
+        let (peak, score) = score_errors(&errs, 5);
+        let max = errs.iter().cloned().fold(f32::MIN, f32::max);
+        let min = errs.iter().cloned().fold(f32::MAX, f32::min);
+        prop_assert!(errs[peak] == max);
+        prop_assert!(score <= max + 1e-6);
+        prop_assert!(score >= min - 1e-6);
+    }
+
+    /// Raising any single error never lowers the adversarial score's peak.
+    #[test]
+    fn score_monotone_in_spikes(
+        errs in prop::collection::vec(0.0f32..1.0, 3..30),
+        which in 0usize..30,
+        boost in 1.0f32..10.0,
+    ) {
+        let mut spiked = errs.clone();
+        let i = which % errs.len();
+        spiked[i] += boost;
+        let (_, s0) = score_errors(&errs, 5);
+        let (p1, s1) = score_errors(&spiked, 5);
+        prop_assert_eq!(p1, i, "spike must relocate the peak");
+        // The spiked score includes the boosted element, so it cannot be
+        // lower than the average the boost replaced by more than the old
+        // score.
+        prop_assert!(s1 >= s0 - 1.0, "score collapsed: {s0} -> {s1}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests over the whole strategy registry.
+
+use dpi_attacks::{registry, Mechanic};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy, applied to any generated connection with any RNG
+    /// stream: never panics, ground-truth indices valid and sorted,
+    /// original packet order preserved.
+    #[test]
+    fn strategies_are_total_and_sound(seed in 0u64..200, rng_seed in 0u64..50, strat_idx in 0usize..73) {
+        let conns = traffic_gen::dataset(seed, 1);
+        let conn = &conns[0];
+        let strategy = &registry()[strat_idx];
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        if let Some(result) = strategy.apply(conn, &mut rng) {
+            // Indices valid and strictly increasing.
+            for w in result.adversarial_indices.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &i in &result.adversarial_indices {
+                prop_assert!(i < result.connection.len());
+            }
+            // Original benign packets appear in order (for non-in-place
+            // strategies the subsequence is exact).
+            if !matches!(strategy.mechanic, Mechanic::ModifySyn { .. }) {
+                let mut iter = result.connection.packets.iter();
+                for orig in &conn.packets {
+                    prop_assert!(
+                        iter.any(|p| p == orig),
+                        "{}: benign packet lost or reordered",
+                        strategy.id
+                    );
+                }
+            }
+            // Key is unchanged: attacks never alter the 4-tuple.
+            prop_assert_eq!(result.connection.key, conn.key);
+            // Capture timestamps stay monotone.
+            for w in result.connection.packets.windows(2) {
+                prop_assert!(w[1].timestamp >= w[0].timestamp - 1e-9);
+            }
+        }
+    }
+
+    /// Adversarial packets always differ from a well-formed baseline in at
+    /// least one of the ways CLAP can observe: structural rejection,
+    /// out-of-window placement, exotic options, or anomalous flags.
+    #[test]
+    fn adversarial_packets_are_observable(seed in 0u64..100, strat_idx in 0usize..73) {
+        use net_packet::TcpFlags;
+        let conns = traffic_gen::dataset(seed, 1);
+        let strategy = &registry()[strat_idx];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        if let Some(result) = strategy.apply(&conns[0], &mut rng) {
+            let mut tracker = tcp_state::TcpTracker::new();
+            let labels: Vec<_> = result
+                .connection
+                .packets
+                .iter()
+                .enumerate()
+                .map(|(i, p)| tracker.process(p, result.connection.direction(i)))
+                .collect();
+            for &i in &result.adversarial_indices {
+                let p = &result.connection.packets[i];
+                let observable = !labels[i].in_window
+                    || !tcp_state::TcpTracker::segment_acceptable(p)
+                    || p.tcp.has_md5()
+                    || p.tcp.user_timeout().is_some()
+                    || p.tcp.urgent != 0
+                    || p.tcp.flags.contains(TcpFlags::RST)
+                    || p.tcp.flags.contains(TcpFlags::FIN)
+                    || p.tcp.flags.contains(TcpFlags::SYN)
+                    || p.tcp.window_scale().map_or(false, |w| w > 14);
+                prop_assert!(
+                    observable,
+                    "{}: adversarial packet {} indistinguishable from benign",
+                    strategy.id,
+                    i
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Connection-level containers shared across the workspace.
+
+use crate::{Packet, TcpFlags};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Direction of a packet relative to the connection initiator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// From the connection initiator (client) to the responder (server).
+    ClientToServer,
+    /// From the responder back to the initiator.
+    ServerToClient,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::ClientToServer => Direction::ServerToClient,
+            Direction::ServerToClient => Direction::ClientToServer,
+        }
+    }
+
+    /// Index (0 = client→server, 1 = server→client) for per-direction state.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::ClientToServer => 0,
+            Direction::ServerToClient => 1,
+        }
+    }
+}
+
+/// One endpoint of a TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    pub addr: Ipv4Addr,
+    pub port: u16,
+}
+
+impl Endpoint {
+    pub fn new(addr: Ipv4Addr, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// The 4-tuple identifying a connection, oriented client → server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    pub client: Endpoint,
+    pub server: Endpoint,
+}
+
+impl FlowKey {
+    pub fn new(client: Endpoint, server: Endpoint) -> Self {
+        FlowKey { client, server }
+    }
+
+    /// Classifies a packet against this key by source address/port.
+    /// Returns `None` for packets that belong to neither direction.
+    pub fn direction_of(&self, p: &Packet) -> Option<Direction> {
+        let src = Endpoint::new(p.ip.src, p.tcp.src_port);
+        let dst = Endpoint::new(p.ip.dst, p.tcp.dst_port);
+        if src == self.client && dst == self.server {
+            Some(Direction::ClientToServer)
+        } else if src == self.server && dst == self.client {
+            Some(Direction::ServerToClient)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.client, self.server)
+    }
+}
+
+/// A single TCP connection: its 4-tuple and time-ordered packets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    pub key: FlowKey,
+    pub packets: Vec<Packet>,
+}
+
+impl Connection {
+    pub fn new(key: FlowKey) -> Self {
+        Connection { key, packets: Vec::new() }
+    }
+
+    /// Direction of packet `i` relative to the flow key; packets that match
+    /// neither orientation (malformed injections with foreign tuples) are
+    /// treated as client→server, the direction evasion attacks originate
+    /// from in the paper's threat model.
+    pub fn direction(&self, i: usize) -> Direction {
+        self.key
+            .direction_of(&self.packets[i])
+            .unwrap_or(Direction::ClientToServer)
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the connection holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Indices of packets carrying payload in the ESTABLISHED phase, i.e.
+    /// candidate "data packets" as the attack literature uses the term:
+    /// non-SYN, non-RST packets with non-empty payload.
+    pub fn data_packet_indices(&self) -> Vec<usize> {
+        self.packets
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                !p.payload.is_empty()
+                    && !p.tcp.flags.contains(TcpFlags::SYN)
+                    && !p.tcp.flags.contains(TcpFlags::RST)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the first packet after the three-way handshake completes
+    /// (first packet following the client's handshake-completing ACK), or
+    /// `None` for traces without a complete handshake.
+    pub fn first_index_after_handshake(&self) -> Option<usize> {
+        // SYN, then SYN-ACK, then the first client ACK completes the
+        // handshake; return the position after that ACK.
+        let mut saw_syn = false;
+        let mut saw_synack = false;
+        for (i, p) in self.packets.iter().enumerate() {
+            let f = p.tcp.flags;
+            if f.contains(TcpFlags::SYN) && !f.contains(TcpFlags::ACK) {
+                saw_syn = true;
+            } else if f.contains(TcpFlags::SYN) && f.contains(TcpFlags::ACK) {
+                saw_synack = saw_syn;
+            } else if saw_synack && f.contains(TcpFlags::ACK) {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    /// Total payload bytes across the connection.
+    pub fn total_payload(&self) -> usize {
+        self.packets.iter().map(|p| p.payload.len()).sum()
+    }
+
+    /// Renumbers IP identification fields and recomputes checksums for all
+    /// packets, preserving any deliberately-corrupted fields is NOT done —
+    /// this is a helper for generators producing benign traffic only.
+    pub fn finalize_benign(&mut self) {
+        for (i, p) in self.packets.iter_mut().enumerate() {
+            p.ip.identification = i as u16;
+            p.fill_checksums();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ipv4Header, TcpHeader};
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Endpoint::new(Ipv4Addr::new(192, 168, 1, 10), 50000),
+            Endpoint::new(Ipv4Addr::new(93, 184, 216, 34), 443),
+        )
+    }
+
+    fn pkt(key: &FlowKey, dir: Direction, flags: TcpFlags, payload: &[u8]) -> Packet {
+        let (src, dst) = match dir {
+            Direction::ClientToServer => (key.client, key.server),
+            Direction::ServerToClient => (key.server, key.client),
+        };
+        let ip = Ipv4Header::new(src.addr, dst.addr, 64);
+        let mut tcp = TcpHeader::new(src.port, dst.port, 100, 200);
+        tcp.flags = flags;
+        Packet::new(0.0, ip, tcp, payload.to_vec())
+    }
+
+    #[test]
+    fn direction_classification() {
+        let k = key();
+        let c2s = pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]);
+        let s2c = pkt(&k, Direction::ServerToClient, TcpFlags::SYN | TcpFlags::ACK, &[]);
+        assert_eq!(k.direction_of(&c2s), Some(Direction::ClientToServer));
+        assert_eq!(k.direction_of(&s2c), Some(Direction::ServerToClient));
+        assert_eq!(Direction::ClientToServer.flip(), Direction::ServerToClient);
+    }
+
+    #[test]
+    fn handshake_detection() {
+        let k = key();
+        let mut conn = Connection::new(k);
+        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]));
+        conn.packets.push(pkt(&k, Direction::ServerToClient, TcpFlags::SYN | TcpFlags::ACK, &[]));
+        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::ACK, &[]));
+        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::ACK | TcpFlags::PSH, b"data"));
+        assert_eq!(conn.first_index_after_handshake(), Some(3));
+        assert_eq!(conn.data_packet_indices(), vec![3]);
+        assert_eq!(conn.total_payload(), 4);
+    }
+
+    #[test]
+    fn incomplete_handshake_returns_none() {
+        let k = key();
+        let mut conn = Connection::new(k);
+        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]));
+        assert_eq!(conn.first_index_after_handshake(), None);
+    }
+
+    #[test]
+    fn foreign_packets_default_to_client_direction() {
+        let k = key();
+        let mut conn = Connection::new(k);
+        let mut stray = pkt(&k, Direction::ClientToServer, TcpFlags::RST, &[]);
+        stray.ip.src = Ipv4Addr::new(8, 8, 8, 8);
+        conn.packets.push(stray);
+        assert_eq!(conn.direction(0), Direction::ClientToServer);
+    }
+}

@@ -1,0 +1,139 @@
+//! IPv4 header model.
+//!
+//! Every field is stored verbatim so that deliberately invalid values
+//! (wrong version, bad header length, corrupt total length) survive
+//! serialization — DPI-evasion strategies depend on emitting such packets.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Fixed IPv4 header length in 32-bit words (no options).
+pub const BASE_IHL: u8 = 5;
+
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+
+/// Structured IPv4 header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// IP version. 4 for well-formed packets; attacks may set e.g. 5.
+    pub version: u8,
+    /// Header length in 32-bit words as written on the wire. For a
+    /// well-formed packet this is `BASE_IHL + ceil(options/4)`.
+    pub ihl: u8,
+    /// Type of service / DSCP+ECN byte.
+    pub tos: u8,
+    /// Total datagram length in bytes as written on the wire. Attacks may
+    /// store values longer or shorter than the actual packet.
+    pub total_length: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Flags (3 bits: reserved, DF, MF).
+    pub flags: u8,
+    /// Fragment offset in 8-byte units (13 bits).
+    pub fragment_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Encapsulated protocol (6 = TCP).
+    pub protocol: u8,
+    /// Header checksum as written on the wire.
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Raw option bytes (will be zero-padded to a 4-byte boundary on wire).
+    pub options: Vec<u8>,
+}
+
+impl Ipv4Header {
+    /// A well-formed TCP/IPv4 header with no options; lengths and checksum
+    /// are finalized by [`crate::Packet::new`].
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, ttl: u8) -> Self {
+        Ipv4Header {
+            version: 4,
+            ihl: BASE_IHL,
+            tos: 0,
+            total_length: 0,
+            identification: 0,
+            flags: 0b010, // DF
+            fragment_offset: 0,
+            ttl,
+            protocol: PROTO_TCP,
+            checksum: 0,
+            src,
+            dst,
+            options: Vec::new(),
+        }
+    }
+
+    /// Actual header length in bytes implied by the structure (20 + padded
+    /// options), independent of the possibly-corrupted `ihl` field.
+    pub fn header_len_bytes(&self) -> usize {
+        20 + self.options.len().div_ceil(4) * 4
+    }
+
+    /// Header length in bytes implied by the on-wire `ihl` field.
+    pub fn ihl_bytes(&self) -> usize {
+        self.ihl as usize * 4
+    }
+
+    /// True when the on-wire `ihl` agrees with the actual option length and
+    /// is within the legal range [5, 15].
+    pub fn ihl_consistent(&self) -> bool {
+        (BASE_IHL..=15).contains(&self.ihl) && self.ihl_bytes() == self.header_len_bytes()
+    }
+
+    /// True when non-standard options are present. The CLAP feature set has
+    /// a binary "existence of non-standard IP options" feature (#32).
+    pub fn has_nonstandard_options(&self) -> bool {
+        // Treat any IP option other than End-of-List/NOP padding as
+        // non-standard: options are essentially unused on the modern
+        // Internet, so benign traffic carries none.
+        self.options.iter().any(|&b| b != 0 && b != 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Ipv4Header {
+        Ipv4Header::new(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 64)
+    }
+
+    #[test]
+    fn base_header_is_20_bytes() {
+        let h = hdr();
+        assert_eq!(h.header_len_bytes(), 20);
+        assert!(h.ihl_consistent());
+    }
+
+    #[test]
+    fn options_round_up_to_word() {
+        let mut h = hdr();
+        h.options = vec![7, 4, 0]; // 3 bytes -> padded to 4
+        assert_eq!(h.header_len_bytes(), 24);
+        h.ihl = 6;
+        assert!(h.ihl_consistent());
+    }
+
+    #[test]
+    fn corrupt_ihl_is_flagged() {
+        let mut h = hdr();
+        h.ihl = 15;
+        assert!(!h.ihl_consistent());
+        h.ihl = 4; // below minimum
+        assert!(!h.ihl_consistent());
+    }
+
+    #[test]
+    fn nonstandard_options_detected() {
+        let mut h = hdr();
+        assert!(!h.has_nonstandard_options());
+        h.options = vec![1, 1, 1, 0]; // NOP padding only
+        assert!(!h.has_nonstandard_options());
+        h.options = vec![7, 4, 0, 0]; // Record Route
+        assert!(h.has_nonstandard_options());
+    }
+}

@@ -1,0 +1,176 @@
+//! IPv4/TCP packet model for the CLAP reproduction.
+//!
+//! This crate is the wire-format substrate of the workspace. It provides:
+//!
+//! * a *structured* representation of IPv4 and TCP headers ([`Ipv4Header`],
+//!   [`TcpHeader`], [`TcpOption`]) in which every scalar field is stored
+//!   verbatim — including fields that DPI-evasion attacks deliberately
+//!   corrupt (checksums, lengths, data offsets, versions). Serialization
+//!   writes the stored values as-is, so an attack simulator can produce
+//!   ill-formed packets that survive a round trip through the wire format;
+//! * Internet checksum computation and validation ([`checksum`]);
+//! * lenient wire-format parsing that never panics on hostile input
+//!   ([`wire`]);
+//! * classic libpcap file I/O with the `LINKTYPE_RAW` link type so traces
+//!   interoperate with tcpdump/Wireshark ([`pcap`]);
+//! * connection-level containers ([`Connection`], [`Direction`],
+//!   [`FlowKey`]) shared by the traffic generator, the attack simulator and
+//!   the detector.
+//!
+//! The design follows the smoltcp philosophy: plain data structures, explicit
+//! state, no macro tricks, and `Result`-based error handling throughout.
+
+pub mod checksum;
+pub mod connection;
+pub mod flows;
+pub mod ipv4;
+pub mod pcap;
+pub mod tcp;
+pub mod wire;
+
+pub use connection::{Connection, Direction, Endpoint, FlowKey};
+pub use flows::assemble_connections;
+pub use ipv4::Ipv4Header;
+pub use tcp::{TcpFlags, TcpHeader, TcpOption};
+
+use serde::{Deserialize, Serialize};
+
+/// One captured TCP/IPv4 packet: capture timestamp, both headers and payload.
+///
+/// `timestamp` is in seconds relative to the start of the trace. Payload is
+/// kept as raw bytes; CLAP itself never inspects payload contents (the paper
+/// trains on payload-stripped captures) but payload *length* is a feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Capture time in seconds relative to trace start.
+    pub timestamp: f64,
+    /// IPv4 header, stored field-by-field (possibly deliberately invalid).
+    pub ip: Ipv4Header,
+    /// TCP header, stored field-by-field (possibly deliberately invalid).
+    pub tcp: TcpHeader,
+    /// TCP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Builds a packet with consistent length/offset fields and correct
+    /// checksums from the given headers and payload.
+    pub fn new(timestamp: f64, mut ip: Ipv4Header, mut tcp: TcpHeader, payload: Vec<u8>) -> Self {
+        tcp.normalize_data_offset();
+        ip.ihl = ipv4::BASE_IHL + (ip.options.len() as u8).div_ceil(4);
+        ip.total_length = (ip.header_len_bytes() + tcp.header_len_bytes() + payload.len()) as u16;
+        let mut pkt = Packet { timestamp, ip, tcp, payload };
+        pkt.fill_checksums();
+        pkt
+    }
+
+    /// Recomputes and stores correct IPv4 and TCP checksums.
+    pub fn fill_checksums(&mut self) {
+        self.ip.checksum = 0;
+        self.ip.checksum = checksum::ipv4_checksum(&self.ip);
+        self.tcp.checksum = 0;
+        self.tcp.checksum = checksum::tcp_checksum(&self.ip, &self.tcp, &self.payload);
+    }
+
+    /// True when the stored IPv4 header checksum matches the header contents.
+    pub fn ip_checksum_valid(&self) -> bool {
+        let mut ip = self.ip.clone();
+        ip.checksum = 0;
+        checksum::ipv4_checksum(&ip) == self.ip.checksum
+    }
+
+    /// True when the stored TCP checksum matches the segment contents
+    /// (including the pseudo-header derived from the IP addresses).
+    pub fn tcp_checksum_valid(&self) -> bool {
+        let mut tcp = self.tcp.clone();
+        tcp.checksum = 0;
+        checksum::tcp_checksum(&self.ip, &tcp, &self.payload) == self.tcp.checksum
+    }
+
+    /// Total on-wire length implied by the *actual* structure (not the
+    /// possibly-corrupted `total_length` field).
+    pub fn wire_len(&self) -> usize {
+        self.ip.header_len_bytes() + self.tcp.header_len_bytes() + self.payload.len()
+    }
+
+    /// Sequence-space length consumed by this segment (payload + SYN + FIN).
+    pub fn seq_len(&self) -> u32 {
+        let mut len = self.payload.len() as u32;
+        if self.tcp.flags.contains(TcpFlags::SYN) {
+            len += 1;
+        }
+        if self.tcp.flags.contains(TcpFlags::FIN) {
+            len += 1;
+        }
+        len
+    }
+
+    /// Serializes to raw IPv4 bytes (suitable for `LINKTYPE_RAW` pcap).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        wire::serialize_packet(self)
+    }
+
+    /// Parses raw IPv4 bytes. Lenient: tolerates corrupted length fields by
+    /// falling back to the actual buffer size; returns `Err` only when the
+    /// buffer is too short to contain fixed headers.
+    pub fn from_bytes(timestamp: f64, data: &[u8]) -> Result<Self, wire::ParseError> {
+        wire::parse_packet(timestamp, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Packet {
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let mut tcp = TcpHeader::new(40000, 80, 1000, 2000);
+        tcp.flags = TcpFlags::ACK | TcpFlags::PSH;
+        tcp.options.push(TcpOption::Timestamps { tsval: 77, tsecr: 66 });
+        Packet::new(0.5, ip, tcp, b"hello".to_vec())
+    }
+
+    #[test]
+    fn new_packet_has_valid_checksums() {
+        let p = sample();
+        assert!(p.ip_checksum_valid());
+        assert!(p.tcp_checksum_valid());
+    }
+
+    #[test]
+    fn corrupting_checksum_is_detected() {
+        let mut p = sample();
+        p.tcp.checksum ^= 0xdead;
+        assert!(!p.tcp_checksum_valid());
+        p = sample();
+        p.ip.checksum ^= 0x1;
+        assert!(!p.ip_checksum_valid());
+    }
+
+    #[test]
+    fn total_length_consistent() {
+        let p = sample();
+        // 20 IP + 20 TCP + 12 options (10 rounded to 12) + 5 payload
+        assert_eq!(p.ip.total_length as usize, p.wire_len());
+        assert_eq!(p.wire_len(), 20 + 20 + 12 + 5);
+    }
+
+    #[test]
+    fn seq_len_counts_syn_fin() {
+        let mut p = sample();
+        assert_eq!(p.seq_len(), 5);
+        p.tcp.flags |= TcpFlags::SYN;
+        assert_eq!(p.seq_len(), 6);
+        p.tcp.flags |= TcpFlags::FIN;
+        assert_eq!(p.seq_len(), 7);
+    }
+
+    #[test]
+    fn mutating_payload_invalidates_tcp_checksum_only() {
+        let mut p = sample();
+        p.payload[0] ^= 0xff;
+        assert!(p.ip_checksum_valid());
+        assert!(!p.tcp_checksum_valid());
+    }
+}

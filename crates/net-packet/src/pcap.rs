@@ -1,0 +1,178 @@
+//! Classic libpcap file format (`LINKTYPE_RAW` = 101, i.e. raw IPv4/IPv6).
+//!
+//! Traces written here open in tcpdump/Wireshark, and real captures using
+//! the raw link type can be ingested in place of synthetic traffic. Only the
+//! classic (non-ng) little-endian format is produced; both byte orders and
+//! microsecond/nanosecond precision are accepted on read.
+
+use crate::Packet;
+use std::io::{self, Read, Write};
+
+const MAGIC_LE_US: u32 = 0xa1b2c3d4;
+const MAGIC_BE_US: u32 = 0xd4c3b2a1;
+const MAGIC_LE_NS: u32 = 0xa1b23c4d;
+const MAGIC_BE_NS: u32 = 0x4d3cb2a1;
+/// Raw IP link type: packet begins directly with the IP header.
+pub const LINKTYPE_RAW: u32 = 101;
+
+/// Errors from pcap reading.
+#[derive(Debug)]
+pub enum PcapError {
+    Io(io::Error),
+    /// Magic number is not a known pcap magic.
+    BadMagic(u32),
+    /// Link type other than `LINKTYPE_RAW`.
+    UnsupportedLinkType(u32),
+    /// A packet record was truncated.
+    Truncated,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "I/O error: {e}"),
+            PcapError::BadMagic(m) => write!(f, "not a pcap file (magic {m:#010x})"),
+            PcapError::UnsupportedLinkType(lt) => write!(f, "unsupported link type {lt}"),
+            PcapError::Truncated => write!(f, "truncated packet record"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+/// Writes packets as a classic little-endian microsecond pcap stream.
+pub fn write_pcap<W: Write>(mut w: W, packets: &[Packet]) -> io::Result<()> {
+    w.write_all(&MAGIC_LE_US.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // major
+    w.write_all(&4u16.to_le_bytes())?; // minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&65535u32.to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+    for p in packets {
+        let data = p.to_bytes();
+        let secs = p.timestamp.floor() as u32;
+        let usecs = ((p.timestamp - p.timestamp.floor()) * 1e6).round() as u32;
+        w.write_all(&secs.to_le_bytes())?;
+        w.write_all(&usecs.to_le_bytes())?;
+        w.write_all(&(data.len() as u32).to_le_bytes())?;
+        w.write_all(&(data.len() as u32).to_le_bytes())?;
+        w.write_all(&data)?;
+    }
+    Ok(())
+}
+
+/// Reads a pcap stream produced by [`write_pcap`] (or any `LINKTYPE_RAW`
+/// classic pcap). Records that fail TCP/IPv4 parsing (e.g. UDP traffic in a
+/// real capture) are skipped rather than failing the whole file.
+pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<Packet>, PcapError> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let (big_endian, ns) = match magic {
+        MAGIC_LE_US => (false, false),
+        MAGIC_LE_NS => (false, true),
+        MAGIC_BE_US => (true, false),
+        MAGIC_BE_NS => (true, true),
+        other => return Err(PcapError::BadMagic(other)),
+    };
+    let read_u32 = |b: &[u8]| {
+        if big_endian {
+            u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+        } else {
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+        }
+    };
+    let linktype = read_u32(&header[20..24]);
+    if linktype != LINKTYPE_RAW {
+        return Err(PcapError::UnsupportedLinkType(linktype));
+    }
+
+    let mut packets = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match r.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let secs = read_u32(&rec[0..4]) as f64;
+        let frac = read_u32(&rec[4..8]) as f64;
+        let caplen = read_u32(&rec[8..12]) as usize;
+        let ts = secs + frac / if ns { 1e9 } else { 1e6 };
+        let mut data = vec![0u8; caplen];
+        r.read_exact(&mut data).map_err(|_| PcapError::Truncated)?;
+        if let Ok(p) = Packet::from_bytes(ts, &data) {
+            packets.push(p);
+        }
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ipv4Header, TcpFlags, TcpHeader};
+    use std::net::Ipv4Addr;
+
+    fn sample(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+                let mut tcp = TcpHeader::new(1234, 80, i as u32 * 100, 0);
+                tcp.flags = TcpFlags::ACK;
+                Packet::new(i as f64 * 0.001 + 1000.0, ip, tcp, vec![i as u8; i % 7])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let pkts = sample(5);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &pkts).unwrap();
+        let back = read_pcap(&buf[..]).unwrap();
+        assert_eq!(back.len(), 5);
+        for (a, b) in pkts.iter().zip(&back) {
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.tcp, b.tcp);
+            assert_eq!(a.payload, b.payload);
+            assert!((a.timestamp - b.timestamp).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[]).unwrap();
+        assert!(read_pcap(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 24];
+        assert!(matches!(read_pcap(&buf[..]), Err(PcapError::BadMagic(0))));
+    }
+
+    #[test]
+    fn wrong_linktype_rejected() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[]).unwrap();
+        buf[20] = 1; // LINKTYPE_ETHERNET
+        assert!(matches!(read_pcap(&buf[..]), Err(PcapError::UnsupportedLinkType(1))));
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &sample(1)).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_pcap(&buf[..]), Err(PcapError::Truncated)));
+    }
+}

@@ -1,0 +1,331 @@
+//! TCP header and option model.
+
+use serde::{Deserialize, Serialize};
+
+/// TCP flag bits, including the ECN-nonce (NS) bit from RFC 3540.
+///
+/// Implemented as a plain newtype over `u16` (bits 0..=8) rather than via a
+/// macro crate, keeping the wire mapping explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(pub u16);
+
+impl TcpFlags {
+    pub const FIN: TcpFlags = TcpFlags(1 << 0);
+    pub const SYN: TcpFlags = TcpFlags(1 << 1);
+    pub const RST: TcpFlags = TcpFlags(1 << 2);
+    pub const PSH: TcpFlags = TcpFlags(1 << 3);
+    pub const ACK: TcpFlags = TcpFlags(1 << 4);
+    pub const URG: TcpFlags = TcpFlags(1 << 5);
+    pub const ECE: TcpFlags = TcpFlags(1 << 6);
+    pub const CWR: TcpFlags = TcpFlags(1 << 7);
+    pub const NS: TcpFlags = TcpFlags(1 << 8);
+
+    /// The empty flag set.
+    pub const fn empty() -> Self {
+        TcpFlags(0)
+    }
+
+    /// True when every bit of `other` is set in `self`.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when any bit of `other` is set in `self`.
+    pub const fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Number of flag bits set.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Flag bits in packet order for one-hot feature encoding:
+    /// FIN, SYN, RST, PSH, ACK, URG, ECE, CWR, NS.
+    pub const ALL: [TcpFlags; 9] = [
+        TcpFlags::FIN,
+        TcpFlags::SYN,
+        TcpFlags::RST,
+        TcpFlags::PSH,
+        TcpFlags::ACK,
+        TcpFlags::URG,
+        TcpFlags::ECE,
+        TcpFlags::CWR,
+        TcpFlags::NS,
+    ];
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for TcpFlags {
+    type Output = TcpFlags;
+    fn bitand(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::Not for TcpFlags {
+    type Output = TcpFlags;
+    fn not(self) -> TcpFlags {
+        TcpFlags(!self.0 & 0x1ff)
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const NAMES: [&str; 9] = ["FIN", "SYN", "RST", "PSH", "ACK", "URG", "ECE", "CWR", "NS"];
+        let mut first = true;
+        for (i, name) in NAMES.iter().enumerate() {
+            if self.0 & (1 << i) != 0 {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TCP option.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TcpOption {
+    /// Kind 2: maximum segment size (SYN only in well-formed traffic).
+    Mss(u16),
+    /// Kind 3: window scale shift count.
+    WindowScale(u8),
+    /// Kind 4: SACK permitted.
+    SackPermitted,
+    /// Kind 5: selective acknowledgement blocks.
+    Sack(Vec<(u32, u32)>),
+    /// Kind 8: RFC 7323 timestamps.
+    Timestamps { tsval: u32, tsecr: u32 },
+    /// Kind 19: TCP MD5 signature (RFC 2385). The 16 digest bytes are kept
+    /// verbatim; middleboxes cannot validate them without the key, which is
+    /// exactly why evasion strategies abuse this option.
+    Md5([u8; 16]),
+    /// Kind 28: user timeout (RFC 5482), granularity bit + 15-bit timeout.
+    UserTimeout(u16),
+    /// Any other option kind, kept raw.
+    Unknown { kind: u8, data: Vec<u8> },
+}
+
+impl TcpOption {
+    /// On-wire length in bytes (kind + length + payload; NOP/EOL handled by
+    /// the serializer, not represented here).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Sack(blocks) => 2 + blocks.len() * 8,
+            TcpOption::Timestamps { .. } => 10,
+            TcpOption::Md5(_) => 18,
+            TcpOption::UserTimeout(_) => 4,
+            TcpOption::Unknown { data, .. } => 2 + data.len(),
+        }
+    }
+
+    /// Option kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            TcpOption::Mss(_) => 2,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 4,
+            TcpOption::Sack(_) => 5,
+            TcpOption::Timestamps { .. } => 8,
+            TcpOption::Md5(_) => 19,
+            TcpOption::UserTimeout(_) => 28,
+            TcpOption::Unknown { kind, .. } => *kind,
+        }
+    }
+}
+
+/// Structured TCP header. As with [`crate::Ipv4Header`], scalar fields are
+/// stored verbatim so attacks can corrupt them and still serialize.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Data offset in 32-bit words as written on the wire. A well-formed
+    /// header has `5 + ceil(options_wire_len/4)`; attacks store invalid
+    /// values (e.g. < 5 or beyond the packet end).
+    pub data_offset: u8,
+    pub flags: TcpFlags,
+    pub window: u16,
+    /// Checksum as written on the wire.
+    pub checksum: u16,
+    pub urgent: u16,
+    pub options: Vec<TcpOption>,
+}
+
+impl TcpHeader {
+    /// A bare header with the given ports and sequence numbers; flags and
+    /// options are filled in by the caller.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            data_offset: 5,
+            flags: TcpFlags::empty(),
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// Total length in bytes of the serialized options, padded to a 4-byte
+    /// boundary.
+    pub fn options_len_bytes(&self) -> usize {
+        let raw: usize = self.options.iter().map(TcpOption::wire_len).sum();
+        raw.div_ceil(4) * 4
+    }
+
+    /// Actual header length in bytes implied by the structure.
+    pub fn header_len_bytes(&self) -> usize {
+        20 + self.options_len_bytes()
+    }
+
+    /// Sets `data_offset` to the value consistent with the options.
+    pub fn normalize_data_offset(&mut self) {
+        self.data_offset = (self.header_len_bytes() / 4) as u8;
+    }
+
+    /// True when the on-wire data offset matches the actual header length
+    /// and lies in the legal range [5, 15].
+    pub fn data_offset_consistent(&self) -> bool {
+        (5..=15).contains(&self.data_offset)
+            && self.data_offset as usize * 4 == self.header_len_bytes()
+    }
+
+    /// First option of the given kind, if any.
+    pub fn option(&self, kind: u8) -> Option<&TcpOption> {
+        self.options.iter().find(|o| o.kind() == kind)
+    }
+
+    /// RFC 7323 timestamp option values, if present.
+    pub fn timestamps(&self) -> Option<(u32, u32)> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Timestamps { tsval, tsecr } => Some((*tsval, *tsecr)),
+            _ => None,
+        })
+    }
+
+    /// MSS option value, if present.
+    pub fn mss(&self) -> Option<u16> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Mss(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Window-scale option value, if present.
+    pub fn window_scale(&self) -> Option<u8> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::WindowScale(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// User-timeout option value, if present.
+    pub fn user_timeout(&self) -> Option<u16> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::UserTimeout(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// True when an MD5 signature option is present.
+    pub fn has_md5(&self) -> bool {
+        self.options.iter().any(|o| matches!(o, TcpOption::Md5(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert!(f.intersects(TcpFlags::SYN | TcpFlags::RST));
+        assert_eq!(f.count(), 2);
+        assert_eq!(format!("{f}"), "SYN|ACK");
+        assert_eq!(format!("{}", TcpFlags::empty()), "(none)");
+    }
+
+    #[test]
+    fn flags_not_masks_to_nine_bits() {
+        let inv = !TcpFlags::empty();
+        assert_eq!(inv.0, 0x1ff);
+        assert_eq!(inv.count(), 9);
+    }
+
+    #[test]
+    fn option_lengths() {
+        assert_eq!(TcpOption::Mss(1460).wire_len(), 4);
+        assert_eq!(TcpOption::WindowScale(7).wire_len(), 3);
+        assert_eq!(TcpOption::SackPermitted.wire_len(), 2);
+        assert_eq!(TcpOption::Sack(vec![(1, 2), (3, 4)]).wire_len(), 18);
+        assert_eq!(TcpOption::Timestamps { tsval: 0, tsecr: 0 }.wire_len(), 10);
+        assert_eq!(TcpOption::Md5([0; 16]).wire_len(), 18);
+        assert_eq!(TcpOption::UserTimeout(30).wire_len(), 4);
+    }
+
+    #[test]
+    fn data_offset_normalization() {
+        let mut h = TcpHeader::new(1, 2, 0, 0);
+        assert_eq!(h.header_len_bytes(), 20);
+        h.options.push(TcpOption::Mss(1460));
+        h.options.push(TcpOption::WindowScale(7));
+        h.options.push(TcpOption::SackPermitted);
+        // 4 + 3 + 2 = 9 bytes -> padded to 12
+        assert_eq!(h.options_len_bytes(), 12);
+        h.normalize_data_offset();
+        assert_eq!(h.data_offset, 8);
+        assert!(h.data_offset_consistent());
+        h.data_offset = 15;
+        assert!(!h.data_offset_consistent());
+    }
+
+    #[test]
+    fn option_accessors() {
+        let mut h = TcpHeader::new(1, 2, 0, 0);
+        h.options.push(TcpOption::Mss(1400));
+        h.options.push(TcpOption::Timestamps { tsval: 10, tsecr: 20 });
+        h.options.push(TcpOption::Md5([7; 16]));
+        h.options.push(TcpOption::UserTimeout(120));
+        assert_eq!(h.mss(), Some(1400));
+        assert_eq!(h.timestamps(), Some((10, 20)));
+        assert_eq!(h.user_timeout(), Some(120));
+        assert!(h.has_md5());
+        assert!(h.window_scale().is_none());
+        assert!(h.option(2).is_some());
+        assert!(h.option(3).is_none());
+    }
+}

@@ -1,0 +1,334 @@
+//! Wire-format serialization and lenient parsing.
+//!
+//! Serialization writes stored field values verbatim — including inconsistent
+//! lengths, offsets and checksums — because the attack simulator must emit
+//! ill-formed packets. Parsing never panics on hostile input: length fields
+//! are clamped to the actual buffer, and structurally unreadable options are
+//! preserved as raw bytes.
+
+use crate::{Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption};
+use std::net::Ipv4Addr;
+
+/// Errors returned by the packet parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the 20-byte fixed IPv4 header.
+    TruncatedIpHeader,
+    /// Buffer shorter than the 20-byte fixed TCP header.
+    TruncatedTcpHeader,
+    /// IP protocol field is not TCP.
+    NotTcp(u8),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::TruncatedIpHeader => write!(f, "buffer too short for IPv4 header"),
+            ParseError::TruncatedTcpHeader => write!(f, "buffer too short for TCP header"),
+            ParseError::NotTcp(p) => write!(f, "IP protocol {p} is not TCP"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes an IPv4 header (fixed part + padded options) to bytes.
+pub fn serialize_ipv4(h: &Ipv4Header) -> Vec<u8> {
+    let mut out = Vec::with_capacity(h.header_len_bytes());
+    out.push((h.version << 4) | (h.ihl & 0x0f));
+    out.push(h.tos);
+    out.extend_from_slice(&h.total_length.to_be_bytes());
+    out.extend_from_slice(&h.identification.to_be_bytes());
+    let frag = (u16::from(h.flags & 0x7) << 13) | (h.fragment_offset & 0x1fff);
+    out.extend_from_slice(&frag.to_be_bytes());
+    out.push(h.ttl);
+    out.push(h.protocol);
+    out.extend_from_slice(&h.checksum.to_be_bytes());
+    out.extend_from_slice(&h.src.octets());
+    out.extend_from_slice(&h.dst.octets());
+    out.extend_from_slice(&h.options);
+    while out.len() % 4 != 0 {
+        out.push(0);
+    }
+    out
+}
+
+/// Serializes TCP options with end-of-list padding to a 4-byte boundary.
+pub fn serialize_tcp_options(options: &[TcpOption]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for opt in options {
+        match opt {
+            TcpOption::Mss(v) => {
+                out.extend_from_slice(&[2, 4]);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            TcpOption::WindowScale(v) => out.extend_from_slice(&[3, 3, *v]),
+            TcpOption::SackPermitted => out.extend_from_slice(&[4, 2]),
+            TcpOption::Sack(blocks) => {
+                out.extend_from_slice(&[5, (2 + blocks.len() * 8) as u8]);
+                for (l, r) in blocks {
+                    out.extend_from_slice(&l.to_be_bytes());
+                    out.extend_from_slice(&r.to_be_bytes());
+                }
+            }
+            TcpOption::Timestamps { tsval, tsecr } => {
+                out.extend_from_slice(&[8, 10]);
+                out.extend_from_slice(&tsval.to_be_bytes());
+                out.extend_from_slice(&tsecr.to_be_bytes());
+            }
+            TcpOption::Md5(digest) => {
+                out.extend_from_slice(&[19, 18]);
+                out.extend_from_slice(digest);
+            }
+            TcpOption::UserTimeout(v) => {
+                out.extend_from_slice(&[28, 4]);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            TcpOption::Unknown { kind, data } => {
+                out.push(*kind);
+                out.push((2 + data.len()) as u8);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+    while out.len() % 4 != 0 {
+        out.push(0); // End-of-list padding
+    }
+    out
+}
+
+/// Serializes a TCP header (fixed part + padded options) to bytes.
+pub fn serialize_tcp(h: &TcpHeader) -> Vec<u8> {
+    let mut out = Vec::with_capacity(h.header_len_bytes());
+    out.extend_from_slice(&h.src_port.to_be_bytes());
+    out.extend_from_slice(&h.dst_port.to_be_bytes());
+    out.extend_from_slice(&h.seq.to_be_bytes());
+    out.extend_from_slice(&h.ack.to_be_bytes());
+    // Data offset (4 bits) | reserved (3 bits) | NS bit.
+    let ns = u8::from(h.flags.contains(TcpFlags::NS));
+    out.push((h.data_offset << 4) | ns);
+    out.push((h.flags.0 & 0xff) as u8);
+    out.extend_from_slice(&h.window.to_be_bytes());
+    out.extend_from_slice(&h.checksum.to_be_bytes());
+    out.extend_from_slice(&h.urgent.to_be_bytes());
+    out.extend_from_slice(&serialize_tcp_options(&h.options));
+    out
+}
+
+/// Serializes a whole packet to raw IPv4 bytes.
+pub fn serialize_packet(p: &Packet) -> Vec<u8> {
+    let mut out = serialize_ipv4(&p.ip);
+    out.extend_from_slice(&serialize_tcp(&p.tcp));
+    out.extend_from_slice(&p.payload);
+    out
+}
+
+/// Parses TCP option bytes leniently; malformed trailing bytes become
+/// [`TcpOption::Unknown`] entries so no information is lost.
+pub fn parse_tcp_options(mut data: &[u8]) -> Vec<TcpOption> {
+    let mut opts = Vec::new();
+    while !data.is_empty() {
+        let kind = data[0];
+        match kind {
+            0 => break,        // end of list
+            1 => data = &data[1..], // NOP
+            _ => {
+                if data.len() < 2 {
+                    opts.push(TcpOption::Unknown { kind, data: Vec::new() });
+                    break;
+                }
+                let len = data[1] as usize;
+                if len < 2 || len > data.len() {
+                    // Malformed length: swallow the remainder verbatim.
+                    opts.push(TcpOption::Unknown { kind, data: data[2.min(data.len())..].to_vec() });
+                    break;
+                }
+                let body = &data[2..len];
+                let opt = match (kind, body.len()) {
+                    (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                    (3, 1) => TcpOption::WindowScale(body[0]),
+                    (4, 0) => TcpOption::SackPermitted,
+                    (5, n) if n % 8 == 0 => {
+                        let blocks = body
+                            .chunks_exact(8)
+                            .map(|c| {
+                                (
+                                    u32::from_be_bytes([c[0], c[1], c[2], c[3]]),
+                                    u32::from_be_bytes([c[4], c[5], c[6], c[7]]),
+                                )
+                            })
+                            .collect();
+                        TcpOption::Sack(blocks)
+                    }
+                    (8, 8) => TcpOption::Timestamps {
+                        tsval: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                        tsecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                    },
+                    (19, 16) => {
+                        let mut digest = [0u8; 16];
+                        digest.copy_from_slice(body);
+                        TcpOption::Md5(digest)
+                    }
+                    (28, 2) => TcpOption::UserTimeout(u16::from_be_bytes([body[0], body[1]])),
+                    _ => TcpOption::Unknown { kind, data: body.to_vec() },
+                };
+                opts.push(opt);
+                data = &data[len..];
+            }
+        }
+    }
+    opts
+}
+
+/// Parses a raw IPv4+TCP packet leniently. The IP header length is taken
+/// from the IHL field but clamped to the buffer; the TCP header length from
+/// the data offset, also clamped. Everything after the TCP header is
+/// payload.
+pub fn parse_packet(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
+    if data.len() < 20 {
+        return Err(ParseError::TruncatedIpHeader);
+    }
+    let version = data[0] >> 4;
+    let ihl = data[0] & 0x0f;
+    let ip_hdr_len = (ihl as usize * 4).clamp(20, data.len());
+    let frag = u16::from_be_bytes([data[6], data[7]]);
+    let protocol = data[9];
+    if protocol != crate::ipv4::PROTO_TCP {
+        return Err(ParseError::NotTcp(protocol));
+    }
+    let ip = Ipv4Header {
+        version,
+        ihl,
+        tos: data[1],
+        total_length: u16::from_be_bytes([data[2], data[3]]),
+        identification: u16::from_be_bytes([data[4], data[5]]),
+        flags: (frag >> 13) as u8,
+        fragment_offset: frag & 0x1fff,
+        ttl: data[8],
+        protocol,
+        checksum: u16::from_be_bytes([data[10], data[11]]),
+        src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+        dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+        options: data[20..ip_hdr_len].to_vec(),
+    };
+
+    let tcp_data = &data[ip_hdr_len..];
+    if tcp_data.len() < 20 {
+        return Err(ParseError::TruncatedTcpHeader);
+    }
+    let data_offset = tcp_data[12] >> 4;
+    let tcp_hdr_len = (data_offset as usize * 4).clamp(20, tcp_data.len());
+    let ns = tcp_data[12] & 0x01;
+    let flags = TcpFlags(u16::from(tcp_data[13]) | (u16::from(ns) << 8));
+    let tcp = TcpHeader {
+        src_port: u16::from_be_bytes([tcp_data[0], tcp_data[1]]),
+        dst_port: u16::from_be_bytes([tcp_data[2], tcp_data[3]]),
+        seq: u32::from_be_bytes([tcp_data[4], tcp_data[5], tcp_data[6], tcp_data[7]]),
+        ack: u32::from_be_bytes([tcp_data[8], tcp_data[9], tcp_data[10], tcp_data[11]]),
+        data_offset,
+        flags,
+        window: u16::from_be_bytes([tcp_data[14], tcp_data[15]]),
+        checksum: u16::from_be_bytes([tcp_data[16], tcp_data[17]]),
+        urgent: u16::from_be_bytes([tcp_data[18], tcp_data[19]]),
+        options: parse_tcp_options(&tcp_data[20..tcp_hdr_len]),
+    };
+    Ok(Packet { timestamp, ip, tcp, payload: tcp_data[tcp_hdr_len..].to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_formed() -> Packet {
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let mut tcp = TcpHeader::new(4321, 443, 0xdeadbeef, 0x01020304);
+        tcp.flags = TcpFlags::SYN;
+        tcp.options = vec![
+            TcpOption::Mss(1460),
+            TcpOption::SackPermitted,
+            TcpOption::Timestamps { tsval: 1, tsecr: 0 },
+            TcpOption::WindowScale(7),
+        ];
+        Packet::new(0.0, ip, tcp, Vec::new())
+    }
+
+    #[test]
+    fn round_trip_well_formed() {
+        let p = well_formed();
+        let bytes = serialize_packet(&p);
+        let q = parse_packet(0.0, &bytes).unwrap();
+        assert_eq!(p.ip, q.ip);
+        assert_eq!(p.tcp.src_port, q.tcp.src_port);
+        assert_eq!(p.tcp.seq, q.tcp.seq);
+        assert_eq!(p.tcp.flags, q.tcp.flags);
+        assert_eq!(p.tcp.options, q.tcp.options);
+        assert_eq!(p.payload, q.payload);
+        assert!(q.ip_checksum_valid());
+        assert!(q.tcp_checksum_valid());
+    }
+
+    #[test]
+    fn ns_flag_round_trips() {
+        let mut p = well_formed();
+        p.tcp.flags |= TcpFlags::NS;
+        p.fill_checksums();
+        let q = parse_packet(0.0, &serialize_packet(&p)).unwrap();
+        assert!(q.tcp.flags.contains(TcpFlags::NS));
+    }
+
+    #[test]
+    fn corrupt_total_length_survives_round_trip() {
+        let mut p = well_formed();
+        p.ip.total_length = 9; // nonsense, deliberately
+        let bytes = serialize_packet(&p);
+        let q = parse_packet(0.0, &bytes).unwrap();
+        assert_eq!(q.ip.total_length, 9);
+        assert!(!q.ip_checksum_valid()); // checksum was for the old value
+    }
+
+    #[test]
+    fn corrupt_data_offset_is_clamped_not_panicking() {
+        let mut p = well_formed();
+        p.tcp.data_offset = 15; // claims 60-byte header, actual is 36
+        let bytes = serialize_packet(&p);
+        let q = parse_packet(0.0, &bytes).unwrap();
+        assert_eq!(q.tcp.data_offset, 15);
+    }
+
+    #[test]
+    fn short_buffers_error() {
+        assert_eq!(parse_packet(0.0, &[0; 10]), Err(ParseError::TruncatedIpHeader));
+        let mut buf = vec![0x45u8; 25];
+        buf[9] = 6;
+        assert_eq!(parse_packet(0.0, &buf), Err(ParseError::TruncatedTcpHeader));
+    }
+
+    #[test]
+    fn non_tcp_rejected() {
+        let mut buf = vec![0u8; 40];
+        buf[0] = 0x45;
+        buf[9] = 17; // UDP
+        assert_eq!(parse_packet(0.0, &buf), Err(ParseError::NotTcp(17)));
+    }
+
+    #[test]
+    fn malformed_option_length_preserved_as_unknown() {
+        let opts = parse_tcp_options(&[2, 60, 5, 0]); // MSS with absurd length
+        assert_eq!(opts.len(), 1);
+        assert!(matches!(opts[0], TcpOption::Unknown { kind: 2, .. }));
+    }
+
+    #[test]
+    fn nop_and_eol_handling() {
+        let opts = parse_tcp_options(&[1, 1, 2, 4, 0x05, 0xb4, 0, 0]);
+        assert_eq!(opts, vec![TcpOption::Mss(1460)]);
+    }
+
+    #[test]
+    fn md5_option_round_trip() {
+        let bytes = serialize_tcp_options(&[TcpOption::Md5([0xaa; 16])]);
+        assert_eq!(bytes.len(), 20); // 18 padded to 20
+        let opts = parse_tcp_options(&bytes);
+        assert_eq!(opts, vec![TcpOption::Md5([0xaa; 16])]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the wire codecs.
+
+use net_packet::{wire, Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    (0u16..=0x1ff).prop_map(TcpFlags)
+}
+
+fn arb_option() -> impl Strategy<Value = TcpOption> {
+    prop_oneof![
+        any::<u16>().prop_map(TcpOption::Mss),
+        (0u8..=14).prop_map(TcpOption::WindowScale),
+        Just(TcpOption::SackPermitted),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 1..=3).prop_map(TcpOption::Sack),
+        (any::<u32>(), any::<u32>()).prop_map(|(tsval, tsecr)| TcpOption::Timestamps { tsval, tsecr }),
+        any::<[u8; 16]>().prop_map(TcpOption::Md5),
+        any::<u16>().prop_map(TcpOption::UserTimeout),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        arb_flags(),
+        any::<u16>(),
+        any::<u16>(),
+        prop::collection::vec(arb_option(), 0..4).prop_filter(
+            "TCP options must fit the 40-byte option space",
+            |opts| opts.iter().map(TcpOption::wire_len).sum::<usize>() <= 36,
+        ),
+        prop::collection::vec(any::<u8>(), 0..64),
+        1u8..=255,
+    )
+        .prop_map(
+            |(src, dst, sport, dport, seq, ack, flags, window, urgent, options, payload, ttl)| {
+                let ip = Ipv4Header::new(Ipv4Addr::from(src), Ipv4Addr::from(dst), ttl);
+                let mut tcp = TcpHeader::new(sport, dport, seq, ack);
+                tcp.flags = flags;
+                tcp.window = window;
+                tcp.urgent = urgent;
+                tcp.options = options;
+                Packet::new(0.0, ip, tcp, payload)
+            },
+        )
+}
+
+proptest! {
+    /// Any consistent packet survives serialize → parse unchanged.
+    #[test]
+    fn round_trip_consistent_packet(p in arb_packet()) {
+        let bytes = p.to_bytes();
+        let q = Packet::from_bytes(0.0, &bytes).unwrap();
+        prop_assert_eq!(&p.ip, &q.ip);
+        prop_assert_eq!(&p.tcp, &q.tcp);
+        prop_assert_eq!(&p.payload, &q.payload);
+    }
+
+    /// Freshly built packets always carry valid checksums and consistent
+    /// length fields.
+    #[test]
+    fn new_packets_are_well_formed(p in arb_packet()) {
+        prop_assert!(p.ip_checksum_valid());
+        prop_assert!(p.tcp_checksum_valid());
+        prop_assert!(p.ip.ihl_consistent());
+        prop_assert!(p.tcp.data_offset_consistent());
+        prop_assert_eq!(p.ip.total_length as usize, p.wire_len());
+    }
+
+    /// Flipping any single byte of the fixed TCP header or the payload
+    /// invalidates the TCP checksum. (The option region is excluded: bytes
+    /// in end-of-list padding are not semantically part of the header, so a
+    /// lenient parse + re-serialize legitimately canonicalizes them away.
+    /// The checksum field itself is excluded for the obvious reason.)
+    #[test]
+    fn checksum_detects_single_byte_corruption(p in arb_packet(), which in 0usize..1000) {
+        let ip_len = p.ip.header_len_bytes();
+        let tcp_hdr_len = p.tcp.header_len_bytes();
+        let seg_len = p.wire_len() - ip_len;
+        let mut bytes = p.to_bytes();
+        // Candidates: fixed header minus checksum bytes (16..18), plus payload.
+        let candidates: Vec<usize> = (0..16)
+            .chain(18..20)
+            .chain(tcp_hdr_len..seg_len)
+            .collect();
+        let off = ip_len + candidates[which % candidates.len()];
+        bytes[off] ^= 0x5a;
+        let q = Packet::from_bytes(0.0, &bytes).unwrap();
+        prop_assert!(!q.tcp_checksum_valid());
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_never_panics(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Packet::from_bytes(0.0, &data);
+    }
+
+    /// Arbitrary bytes through the option parser never panic and always
+    /// terminate.
+    #[test]
+    fn option_parser_never_panics(data in prop::collection::vec(any::<u8>(), 0..60)) {
+        let _ = wire::parse_tcp_options(&data);
+    }
+
+    /// pcap round trip preserves every packet.
+    #[test]
+    fn pcap_round_trip(pkts in prop::collection::vec(arb_packet(), 0..8)) {
+        let mut buf = Vec::new();
+        net_packet::pcap::write_pcap(&mut buf, &pkts).unwrap();
+        let back = net_packet::pcap::read_pcap(&buf[..]).unwrap();
+        prop_assert_eq!(pkts.len(), back.len());
+        for (a, b) in pkts.iter().zip(&back) {
+            prop_assert_eq!(&a.ip, &b.ip);
+            prop_assert_eq!(&a.tcp, &b.tcp);
+            prop_assert_eq!(&a.payload, &b.payload);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Dense autoencoder trained with L1 reconstruction loss (paper Eq. 3).
+
+use crate::dense::{Activation, Dense, DenseGrads, DenseTrace};
+use crate::{Adam, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoencoderConfig {
+    /// Neuron counts per layer, input first, output last. The paper's CLAP
+    /// autoencoder is 7 layers with a 345-wide input and a 40-wide
+    /// bottleneck; [`AutoencoderConfig::clap_paper`] builds exactly that.
+    pub layer_sizes: Vec<usize>,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    pub seed: u64,
+}
+
+impl AutoencoderConfig {
+    /// The paper's CLAP autoencoder shape (Table 6): 7 layers, input 345,
+    /// bottleneck 40.
+    pub fn clap_paper(input: usize) -> Self {
+        AutoencoderConfig {
+            layer_sizes: vec![input, 192, 96, 40, 96, 192, input],
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            seed: 0xae,
+        }
+    }
+
+    /// Baseline #1's smaller shape (Table 6): 3 layers, bottleneck 5.
+    pub fn baseline1(input: usize) -> Self {
+        AutoencoderConfig {
+            layer_sizes: vec![input, 5, input],
+            epochs: 300,
+            batch_size: 64,
+            learning_rate: 3e-3,
+            seed: 0xb1,
+        }
+    }
+}
+
+/// A stack of dense layers trained to reproduce its input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Autoencoder {
+    layers: Vec<Dense>,
+}
+
+impl Autoencoder {
+    /// Builds the network: tanh on hidden layers, linear output.
+    pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 3, "need at least input/bottleneck/output");
+        assert_eq!(
+            layer_sizes.first(),
+            layer_sizes.last(),
+            "autoencoder output must match input"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = layer_sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == layer_sizes.len() { Activation::Linear } else { Activation::Tanh };
+                Dense::new(w[0], w[1], act, &mut rng)
+            })
+            .collect();
+        Autoencoder { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].input_size()
+    }
+
+    /// Reconstruction for a batch (rows = samples).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Mean absolute reconstruction error per row — CLAP's anomaly signal.
+    pub fn reconstruction_errors(&self, x: &Matrix) -> Vec<f32> {
+        let y = self.forward(x);
+        (0..x.rows)
+            .map(|r| {
+                let xr = x.row(r);
+                let yr = y.row(r);
+                xr.iter().zip(yr).map(|(a, b)| (a - b).abs()).sum::<f32>() / x.cols as f32
+            })
+            .collect()
+    }
+
+    /// Reconstruction error for a single vector.
+    pub fn reconstruction_error(&self, x: &[f32]) -> f32 {
+        let m = Matrix::from_vec(1, x.len(), x.to_vec());
+        self.reconstruction_errors(&m)[0]
+    }
+
+    /// Trains on `data` (rows = samples); returns the mean L1 loss per
+    /// epoch.
+    pub fn train(&mut self, data: &Matrix, cfg: &AutoencoderConfig) -> Vec<f32> {
+        assert_eq!(data.cols, self.input_size(), "training data width mismatch");
+        // Shuffling RNG decorrelated from weight-init RNG, still deterministic.
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7321_9afe_11d3_0042);
+        let mut opts: Vec<(Adam, Adam)> = self
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    Adam::new(l.w.data.len(), cfg.learning_rate),
+                    Adam::new(l.b.len(), cfg.learning_rate),
+                )
+            })
+            .collect();
+
+        let n = data.rows;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let batch = gather_rows(data, chunk);
+                let (loss, grads) = self.batch_grads(&batch);
+                total_loss += loss as f64;
+                batches += 1;
+                for ((layer, (ow, ob)), g) in
+                    self.layers.iter_mut().zip(opts.iter_mut()).zip(&grads)
+                {
+                    let (wp, bp) = layer.params_mut();
+                    ow.step(wp, &g.dw.data);
+                    ob.step(bp, &g.db);
+                }
+            }
+            epoch_losses.push((total_loss / batches.max(1) as f64) as f32);
+        }
+        epoch_losses
+    }
+
+    /// Forward + backward for one batch under L1 loss; returns the mean
+    /// loss and per-layer gradients.
+    fn batch_grads(&self, batch: &Matrix) -> (f32, Vec<DenseGrads>) {
+        let mut traces: Vec<DenseTrace> = Vec::with_capacity(self.layers.len());
+        let mut cur = batch.clone();
+        for layer in &self.layers {
+            let tr = layer.forward_trace(&cur);
+            cur = tr.output.clone();
+            traces.push(tr);
+        }
+        // L1 loss: mean |out - in|; gradient = sign / (rows * cols).
+        let out = &traces.last().unwrap().output;
+        let scale = 1.0 / (batch.rows * batch.cols) as f32;
+        let mut loss = 0.0f32;
+        let mut dy = Matrix::zeros(out.rows, out.cols);
+        for i in 0..out.data.len() {
+            let diff = out.data[i] - batch.data[i];
+            loss += diff.abs();
+            dy.data[i] = diff.signum() * scale;
+        }
+        loss *= scale;
+
+        let mut grads = vec![None; self.layers.len()];
+        let mut grad_in = dy;
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (dx, g) = layer.backward(&traces[i], grad_in);
+            grads[i] = Some(g);
+            grad_in = dx;
+        }
+        (loss, grads.into_iter().map(Option::unwrap).collect())
+    }
+}
+
+/// Collects the given rows of `data` into a new matrix.
+pub fn gather_rows(data: &Matrix, rows: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), data.cols);
+    for (i, &r) in rows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(data.row(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic data living on a 2-D manifold inside 8-D space.
+    fn manifold_data(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, 8);
+        for i in 0..n {
+            let a = (i as f32 * 0.7).sin();
+            let b = (i as f32 * 0.3).cos();
+            let row = m.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = match j % 4 {
+                    0 => a,
+                    1 => b,
+                    2 => a * b,
+                    _ => 0.5 * a - 0.25 * b,
+                };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = manifold_data(256);
+        let cfg = AutoencoderConfig {
+            layer_sizes: vec![8, 6, 3, 6, 8],
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            seed: 5,
+        };
+        let mut ae = Autoencoder::new(&cfg.layer_sizes, cfg.seed);
+        let losses = ae.train(&data, &cfg);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss did not halve: {:?} -> {:?}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn anomalies_score_higher_than_inliers() {
+        let data = manifold_data(512);
+        let cfg = AutoencoderConfig {
+            layer_sizes: vec![8, 6, 2, 6, 8],
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            seed: 6,
+        };
+        let mut ae = Autoencoder::new(&cfg.layer_sizes, cfg.seed);
+        ae.train(&data, &cfg);
+        let inlier_err: f32 =
+            ae.reconstruction_errors(&data).iter().sum::<f32>() / data.rows as f32;
+        // Off-manifold point: break the j%4 structure.
+        let anomaly = vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let anom_err = ae.reconstruction_error(&anomaly);
+        assert!(
+            anom_err > inlier_err * 2.0,
+            "anomaly {anom_err} vs inlier {inlier_err}"
+        );
+    }
+
+    #[test]
+    fn reconstruction_error_nonnegative_and_finite() {
+        let ae = Autoencoder::new(&[4, 3, 4], 1);
+        let e = ae.reconstruction_error(&[0.1, 0.2, 0.3, 0.4]);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_behaviour() {
+        let data = manifold_data(64);
+        let cfg = AutoencoderConfig {
+            layer_sizes: vec![8, 4, 8],
+            epochs: 5,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            seed: 9,
+        };
+        let mut ae = Autoencoder::new(&cfg.layer_sizes, cfg.seed);
+        ae.train(&data, &cfg);
+        let json = serde_json::to_string(&ae).unwrap();
+        let back: Autoencoder = serde_json::from_str(&json).unwrap();
+        let x = vec![0.3f32; 8];
+        assert_eq!(ae.reconstruction_error(&x), back.reconstruction_error(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "output must match input")]
+    fn mismatched_shape_rejected() {
+        let _ = Autoencoder::new(&[8, 4, 7], 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fully-connected layer with batched forward/backward.
+
+use crate::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after the affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    Linear,
+    Relu,
+    Tanh,
+    Sigmoid,
+}
+
+impl Activation {
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => crate::sigmoid(x),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activation output* `y`.
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// `y = act(x Wᵀ + b)` with `W: out×in`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    pub w: Matrix,
+    pub b: Vec<f32>,
+    pub activation: Activation,
+}
+
+/// Cached activations from a forward pass, needed for backward.
+pub struct DenseTrace {
+    /// Layer input (batch × in).
+    pub input: Matrix,
+    /// Layer output after activation (batch × out).
+    pub output: Matrix,
+}
+
+/// Parameter gradients for one layer.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    pub dw: Matrix,
+    pub db: Vec<f32>,
+}
+
+impl Dense {
+    pub fn new(input: usize, output: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        Dense { w: Matrix::xavier(output, input, rng), b: vec![0.0; output], activation }
+    }
+
+    pub fn input_size(&self) -> usize {
+        self.w.cols
+    }
+
+    pub fn output_size(&self) -> usize {
+        self.w.rows
+    }
+
+    /// Batched forward pass; `x` is batch × in.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::matmul_nt(x, &self.w);
+        for r in 0..y.rows {
+            let row = y.row_mut(r);
+            for (v, &bias) in row.iter_mut().zip(&self.b) {
+                *v = self.activation.apply(*v + bias);
+            }
+        }
+        y
+    }
+
+    /// Forward pass that also returns the trace for backprop.
+    pub fn forward_trace(&self, x: &Matrix) -> DenseTrace {
+        let output = self.forward(x);
+        DenseTrace { input: x.clone(), output }
+    }
+
+    /// Backward pass: given `dl/dy`, returns (`dl/dx`, parameter grads).
+    pub fn backward(&self, trace: &DenseTrace, mut dy: Matrix) -> (Matrix, DenseGrads) {
+        // Fold the activation derivative into dy.
+        for (dv, &yv) in dy.data.iter_mut().zip(&trace.output.data) {
+            *dv *= self.activation.derivative_from_output(yv);
+        }
+        let dw = Matrix::matmul_tn(&dy, &trace.input);
+        let mut db = vec![0.0; self.output_size()];
+        for r in 0..dy.rows {
+            for (acc, &v) in db.iter_mut().zip(dy.row(r)) {
+                *acc += v;
+            }
+        }
+        let dx = Matrix::matmul_nn(&dy, &self.w);
+        (dx, DenseGrads { dw, db })
+    }
+
+    /// Flattens parameters into `(weights, biases)` mutable views for the
+    /// optimizer.
+    pub fn params_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.w.data, &mut self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 2, Activation::Linear, &mut rng);
+        layer.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        layer.b = vec![0.5, -0.5];
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.data, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(1, 2, Activation::Relu, &mut rng);
+        layer.w = Matrix::from_vec(2, 1, vec![1.0, -1.0]);
+        layer.b = vec![0.0, 0.0];
+        let y = layer.forward(&Matrix::from_vec(1, 1, vec![2.0]));
+        assert_eq!(y.data, vec![2.0, 0.0]);
+    }
+
+    /// Finite-difference check of dense backward for every activation.
+    #[test]
+    fn gradients_match_finite_differences() {
+        for act in [Activation::Linear, Activation::Tanh, Activation::Sigmoid, Activation::Relu] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut layer = Dense::new(3, 2, act, &mut rng);
+            // Keep ReLU away from the kink.
+            if act == Activation::Relu {
+                layer.b = vec![0.3, 0.4];
+            }
+            let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+            // Loss = sum(y).
+            let loss = |layer: &Dense, x: &Matrix| layer.forward(x).data.iter().sum::<f32>();
+
+            let trace = layer.forward_trace(&x);
+            let dy = Matrix::from_vec(2, 2, vec![1.0; 4]);
+            let (dx, grads) = layer.backward(&trace, dy);
+
+            let eps = 1e-2f32;
+            // Weight grads.
+            for i in 0..layer.w.data.len() {
+                let orig = layer.w.data[i];
+                layer.w.data[i] = orig + eps;
+                let lp = loss(&layer, &x);
+                layer.w.data[i] = orig - eps;
+                let lm = loss(&layer, &x);
+                layer.w.data[i] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grads.dw.data[i]).abs() < 2e-2,
+                    "{act:?} dW[{i}]: fd={fd} analytic={}",
+                    grads.dw.data[i]
+                );
+            }
+            // Input grads.
+            let mut x2 = x.clone();
+            for i in 0..x2.data.len() {
+                let orig = x2.data[i];
+                x2.data[i] = orig + eps;
+                let lp = loss(&layer, &x2);
+                x2.data[i] = orig - eps;
+                let lm = loss(&layer, &x2);
+                x2.data[i] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dx.data[i]).abs() < 2e-2,
+                    "{act:?} dX[{i}]: fd={fd} analytic={}",
+                    dx.data[i]
+                );
+            }
+        }
+    }
+}

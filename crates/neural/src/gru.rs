@@ -1,0 +1,421 @@
+//! Gated Recurrent Unit with full backpropagation through time.
+//!
+//! The cell follows the standard (PyTorch-convention) formulation:
+//!
+//! ```text
+//! z_t = σ(Wz x_t + Uz h_{t-1} + bz)              (update gate)
+//! r_t = σ(Wr x_t + Ur h_{t-1} + br)              (reset gate)
+//! n_t = tanh(Wn x_t + bn + r_t ∘ (Un h_{t-1}))   (candidate state)
+//! h_t = (1 - z_t) ∘ n_t + z_t ∘ h_{t-1}
+//! ```
+//!
+//! CLAP does not only use the classifier output: the per-timestep **gate
+//! activations** `z_t` and `r_t` are the learned inter-packet context that
+//! gets fused into the context profile (paper §3.3(b), features #52–#115 of
+//! Table 7). [`GruTrace`] therefore exposes them directly.
+
+use crate::matrix::vecops;
+use crate::{sigmoid, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// GRU parameters. All matrices are `hidden × input` (W*) or
+/// `hidden × hidden` (U*).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruCell {
+    pub wz: Matrix,
+    pub uz: Matrix,
+    pub bz: Vec<f32>,
+    pub wr: Matrix,
+    pub ur: Matrix,
+    pub br: Vec<f32>,
+    pub wn: Matrix,
+    pub un: Matrix,
+    pub bn: Vec<f32>,
+}
+
+/// Everything the backward pass (and CLAP's feature fusion) needs from a
+/// forward run over one sequence.
+#[derive(Debug, Clone)]
+pub struct GruTrace {
+    /// Inputs, one per timestep.
+    pub xs: Vec<Vec<f32>>,
+    /// Hidden states `h_1..h_T` (`h_0` is the zero vector).
+    pub hs: Vec<Vec<f32>>,
+    /// Update-gate activations `z_t` per timestep.
+    pub zs: Vec<Vec<f32>>,
+    /// Reset-gate activations `r_t` per timestep.
+    pub rs: Vec<Vec<f32>>,
+    /// Candidate states `n_t`.
+    pub ns: Vec<Vec<f32>>,
+    /// Cached `Un · h_{t-1}` (needed for the reset-gate gradient).
+    pub un_hs: Vec<Vec<f32>>,
+}
+
+impl GruTrace {
+    pub fn len(&self) -> usize {
+        self.hs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hs.is_empty()
+    }
+}
+
+/// Gradients for every GRU parameter, same shapes as [`GruCell`].
+#[derive(Debug, Clone)]
+pub struct GruGrads {
+    pub dwz: Matrix,
+    pub duz: Matrix,
+    pub dbz: Vec<f32>,
+    pub dwr: Matrix,
+    pub dur: Matrix,
+    pub dbr: Vec<f32>,
+    pub dwn: Matrix,
+    pub dun: Matrix,
+    pub dbn: Vec<f32>,
+}
+
+impl GruGrads {
+    pub fn zeros(input: usize, hidden: usize) -> Self {
+        GruGrads {
+            dwz: Matrix::zeros(hidden, input),
+            duz: Matrix::zeros(hidden, hidden),
+            dbz: vec![0.0; hidden],
+            dwr: Matrix::zeros(hidden, input),
+            dur: Matrix::zeros(hidden, hidden),
+            dbr: vec![0.0; hidden],
+            dwn: Matrix::zeros(hidden, input),
+            dun: Matrix::zeros(hidden, hidden),
+            dbn: vec![0.0; hidden],
+        }
+    }
+
+    /// Accumulates another gradient set (used for batching across
+    /// sequences).
+    pub fn add_assign(&mut self, other: &GruGrads) {
+        self.dwz.add_assign(&other.dwz);
+        self.duz.add_assign(&other.duz);
+        vecops::add_assign(&mut self.dbz, &other.dbz);
+        self.dwr.add_assign(&other.dwr);
+        self.dur.add_assign(&other.dur);
+        vecops::add_assign(&mut self.dbr, &other.dbr);
+        self.dwn.add_assign(&other.dwn);
+        self.dun.add_assign(&other.dun);
+        vecops::add_assign(&mut self.dbn, &other.dbn);
+    }
+
+    /// Scales all gradients (e.g. by 1/batch).
+    pub fn scale(&mut self, s: f32) {
+        self.dwz.scale(s);
+        self.duz.scale(s);
+        self.dbz.iter_mut().for_each(|v| *v *= s);
+        self.dwr.scale(s);
+        self.dur.scale(s);
+        self.dbr.iter_mut().for_each(|v| *v *= s);
+        self.dwn.scale(s);
+        self.dun.scale(s);
+        self.dbn.iter_mut().for_each(|v| *v *= s);
+    }
+}
+
+impl GruCell {
+    pub fn new(input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        GruCell {
+            wz: Matrix::xavier(hidden, input, rng),
+            uz: Matrix::xavier(hidden, hidden, rng),
+            bz: vec![0.0; hidden],
+            wr: Matrix::xavier(hidden, input, rng),
+            ur: Matrix::xavier(hidden, hidden, rng),
+            br: vec![0.0; hidden],
+            wn: Matrix::xavier(hidden, input, rng),
+            un: Matrix::xavier(hidden, hidden, rng),
+            bn: vec![0.0; hidden],
+        }
+    }
+
+    pub fn input_size(&self) -> usize {
+        self.wz.cols
+    }
+
+    pub fn hidden_size(&self) -> usize {
+        self.wz.rows
+    }
+
+    /// Runs the cell over a sequence, returning the full trace.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> GruTrace {
+        let hidden = self.hidden_size();
+        let mut trace = GruTrace {
+            xs: xs.to_vec(),
+            hs: Vec::with_capacity(xs.len()),
+            zs: Vec::with_capacity(xs.len()),
+            rs: Vec::with_capacity(xs.len()),
+            ns: Vec::with_capacity(xs.len()),
+            un_hs: Vec::with_capacity(xs.len()),
+        };
+        let mut h = vec![0.0f32; hidden];
+        for x in xs {
+            debug_assert_eq!(x.len(), self.input_size());
+            let mut z = self.wz.matvec(x);
+            vecops::add_assign(&mut z, &self.uz.matvec(&h));
+            vecops::add_assign(&mut z, &self.bz);
+            z.iter_mut().for_each(|v| *v = sigmoid(*v));
+
+            let mut r = self.wr.matvec(x);
+            vecops::add_assign(&mut r, &self.ur.matvec(&h));
+            vecops::add_assign(&mut r, &self.br);
+            r.iter_mut().for_each(|v| *v = sigmoid(*v));
+
+            let un_h = self.un.matvec(&h);
+            let mut n = self.wn.matvec(x);
+            vecops::add_assign(&mut n, &self.bn);
+            for i in 0..hidden {
+                n[i] = (n[i] + r[i] * un_h[i]).tanh();
+            }
+
+            let mut h_new = vec![0.0f32; hidden];
+            for i in 0..hidden {
+                h_new[i] = (1.0 - z[i]) * n[i] + z[i] * h[i];
+            }
+
+            trace.zs.push(z);
+            trace.rs.push(r);
+            trace.ns.push(n);
+            trace.un_hs.push(un_h);
+            trace.hs.push(h_new.clone());
+            h = h_new;
+        }
+        trace
+    }
+
+    /// Backpropagation through time.
+    ///
+    /// `dhs[t]` is ∂loss/∂h_t coming from outside the recurrence (e.g. the
+    /// per-timestep classification head). Returns parameter gradients and
+    /// ∂loss/∂x_t for each step.
+    pub fn backward(&self, trace: &GruTrace, dhs: &[Vec<f32>]) -> (GruGrads, Vec<Vec<f32>>) {
+        let hidden = self.hidden_size();
+        let input = self.input_size();
+        let steps = trace.len();
+        assert_eq!(dhs.len(), steps, "dh per timestep required");
+        let mut grads = GruGrads::zeros(input, hidden);
+        let mut dxs = vec![vec![0.0f32; input]; steps];
+        let zero = vec![0.0f32; hidden];
+        let mut dh_next = vec![0.0f32; hidden]; // carried from t+1
+
+        for t in (0..steps).rev() {
+            let h_prev = if t == 0 { &zero } else { &trace.hs[t - 1] };
+            let (z, r, n, un_h, x) =
+                (&trace.zs[t], &trace.rs[t], &trace.ns[t], &trace.un_hs[t], &trace.xs[t]);
+
+            // Total gradient flowing into h_t.
+            let mut dh = dhs[t].clone();
+            vecops::add_assign(&mut dh, &dh_next);
+
+            // h_t = (1-z) n + z h_prev
+            let mut dz = vec![0.0f32; hidden];
+            let mut dn = vec![0.0f32; hidden];
+            let mut dh_prev = vec![0.0f32; hidden];
+            for i in 0..hidden {
+                dz[i] = dh[i] * (h_prev[i] - n[i]);
+                dn[i] = dh[i] * (1.0 - z[i]);
+                dh_prev[i] = dh[i] * z[i];
+            }
+
+            // n = tanh(pre_n); pre_n = Wn x + bn + r ∘ (Un h_prev)
+            let mut dn_pre = vec![0.0f32; hidden];
+            for i in 0..hidden {
+                dn_pre[i] = dn[i] * (1.0 - n[i] * n[i]);
+            }
+            grads.dwn.add_outer(&dn_pre, x, 1.0);
+            vecops::add_assign(&mut grads.dbn, &dn_pre);
+            let dn_pre_r = vecops::hadamard(&dn_pre, r);
+            grads.dun.add_outer(&dn_pre_r, h_prev, 1.0);
+            vecops::add_assign(&mut dh_prev, &self.un.matvec_t(&dn_pre_r));
+            vecops::add_assign(&mut dxs[t], &self.wn.matvec_t(&dn_pre));
+            let dr = vecops::hadamard(&dn_pre, un_h);
+
+            // z = σ(pre_z)
+            let mut dz_pre = vec![0.0f32; hidden];
+            for i in 0..hidden {
+                dz_pre[i] = dz[i] * z[i] * (1.0 - z[i]);
+            }
+            grads.dwz.add_outer(&dz_pre, x, 1.0);
+            grads.duz.add_outer(&dz_pre, h_prev, 1.0);
+            vecops::add_assign(&mut grads.dbz, &dz_pre);
+            vecops::add_assign(&mut dh_prev, &self.uz.matvec_t(&dz_pre));
+            vecops::add_assign(&mut dxs[t], &self.wz.matvec_t(&dz_pre));
+
+            // r = σ(pre_r)
+            let mut dr_pre = vec![0.0f32; hidden];
+            for i in 0..hidden {
+                dr_pre[i] = dr[i] * r[i] * (1.0 - r[i]);
+            }
+            grads.dwr.add_outer(&dr_pre, x, 1.0);
+            grads.dur.add_outer(&dr_pre, h_prev, 1.0);
+            vecops::add_assign(&mut grads.dbr, &dr_pre);
+            vecops::add_assign(&mut dh_prev, &self.ur.matvec_t(&dr_pre));
+            vecops::add_assign(&mut dxs[t], &self.wr.matvec_t(&dr_pre));
+
+            dh_next = dh_prev;
+        }
+        (grads, dxs)
+    }
+
+    /// Flat views over all parameter buffers, paired with matching
+    /// gradient buffers — convenient for driving one optimizer per tensor.
+    pub fn param_grad_pairs<'a>(
+        &'a mut self,
+        g: &'a GruGrads,
+    ) -> Vec<(&'a mut [f32], &'a [f32])> {
+        vec![
+            (&mut self.wz.data[..], &g.dwz.data[..]),
+            (&mut self.uz.data[..], &g.duz.data[..]),
+            (&mut self.bz[..], &g.dbz[..]),
+            (&mut self.wr.data[..], &g.dwr.data[..]),
+            (&mut self.ur.data[..], &g.dur.data[..]),
+            (&mut self.br[..], &g.dbr[..]),
+            (&mut self.wn.data[..], &g.dwn.data[..]),
+            (&mut self.un.data[..], &g.dun.data[..]),
+            (&mut self.bn[..], &g.dbn[..]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_inputs(seq: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..seq)
+            .map(|t| (0..dim).map(|i| ((t * dim + i) as f32 * 0.37).sin() * 0.5).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_gate_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = GruCell::new(4, 6, &mut rng);
+        let xs = toy_inputs(5, 4);
+        let trace = cell.forward(&xs);
+        assert_eq!(trace.len(), 5);
+        for t in 0..5 {
+            assert_eq!(trace.hs[t].len(), 6);
+            assert!(trace.zs[t].iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(trace.rs[t].iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(trace.hs[t].iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn empty_sequence_yields_empty_trace() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = GruCell::new(4, 6, &mut rng);
+        let trace = cell.forward(&[]);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cell = GruCell::new(3, 5, &mut rng);
+        let xs = toy_inputs(4, 3);
+        let a = cell.forward(&xs);
+        let b = cell.forward(&xs);
+        assert_eq!(a.hs, b.hs);
+    }
+
+    /// The heavyweight correctness test: full BPTT against central finite
+    /// differences, for every parameter tensor and the inputs.
+    #[test]
+    fn bptt_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cell = GruCell::new(3, 4, &mut rng);
+        let xs = toy_inputs(6, 3);
+
+        // Loss = sum over timesteps of sum(h_t) — exercises the recurrence.
+        fn loss(cell: &GruCell, xs: &[Vec<f32>]) -> f32 {
+            let tr = cell.forward(xs);
+            tr.hs.iter().map(|h| h.iter().sum::<f32>()).sum()
+        }
+
+        let trace = cell.forward(&xs);
+        let dhs: Vec<Vec<f32>> = (0..trace.len()).map(|_| vec![1.0f32; 4]).collect();
+        let (grads, dxs) = cell.backward(&trace, &dhs);
+
+        let eps = 1e-2f32;
+        let tol = 3e-2f32;
+
+        macro_rules! check_tensor {
+            ($field:expr, $grad:expr, $name:expr) => {
+                for i in 0..$field.len() {
+                    let orig = $field[i];
+                    $field[i] = orig + eps;
+                    let lp = loss(&cell, &xs);
+                    // Re-borrow because `cell` was borrowed by `loss`.
+                    $field[i] = orig - eps;
+                    let lm = loss(&cell, &xs);
+                    $field[i] = orig;
+                    let fd = (lp - lm) / (2.0 * eps);
+                    let an = $grad[i];
+                    assert!(
+                        (fd - an).abs() < tol,
+                        "{}[{}]: finite-diff {} vs analytic {}",
+                        $name,
+                        i,
+                        fd,
+                        an
+                    );
+                }
+            };
+        }
+
+        check_tensor!(cell.wz.data, grads.dwz.data, "Wz");
+        check_tensor!(cell.uz.data, grads.duz.data, "Uz");
+        check_tensor!(cell.bz, grads.dbz, "bz");
+        check_tensor!(cell.wr.data, grads.dwr.data, "Wr");
+        check_tensor!(cell.ur.data, grads.dur.data, "Ur");
+        check_tensor!(cell.br, grads.dbr, "br");
+        check_tensor!(cell.wn.data, grads.dwn.data, "Wn");
+        check_tensor!(cell.un.data, grads.dun.data, "Un");
+        check_tensor!(cell.bn, grads.dbn, "bn");
+
+        // Input gradients.
+        let mut xs2 = xs.clone();
+        for t in 0..xs2.len() {
+            for i in 0..xs2[t].len() {
+                let orig = xs2[t][i];
+                xs2[t][i] = orig + eps;
+                let lp = loss(&cell, &xs2);
+                xs2[t][i] = orig - eps;
+                let lm = loss(&cell, &xs2);
+                xs2[t][i] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dxs[t][i]).abs() < tol,
+                    "dx[{t}][{i}]: finite-diff {fd} vs analytic {}",
+                    dxs[t][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_and_scale() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cell = GruCell::new(2, 3, &mut rng);
+        let xs = toy_inputs(3, 2);
+        let trace = cell.forward(&xs);
+        let dhs: Vec<Vec<f32>> = (0..3).map(|_| vec![1.0f32; 3]).collect();
+        let (g1, _) = cell.backward(&trace, &dhs);
+        let mut acc = GruGrads::zeros(2, 3);
+        acc.add_assign(&g1);
+        acc.add_assign(&g1);
+        acc.scale(0.5);
+        for (a, b) in acc.dwz.data.iter().zip(&g1.dwz.data) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! A small, pure-Rust neural-network library for the CLAP reproduction.
+//!
+//! The paper's models are deliberately compact (Table 6): a single-layer
+//! GRU with 32 hidden units for connection-state prediction, and a 7-layer
+//! dense autoencoder (345 → 40 → 345) for context-profile density
+//! estimation. This crate implements exactly the pieces those models need,
+//! from scratch:
+//!
+//! * [`Matrix`] — row-major `f32` matrices with the three GEMM variants the
+//!   backward passes require, parallelized with rayon where it pays;
+//! * [`GruCell`] / [`GruClassifier`] — a gated recurrent unit with full
+//!   backpropagation through time, exposing per-timestep **update and reset
+//!   gate activations** (CLAP's inter-packet context features);
+//! * [`Autoencoder`] — dense autoencoder trained with L1 reconstruction
+//!   loss (paper Eq. 3);
+//! * [`Adam`] — the Adam optimizer;
+//! * losses ([`softmax_cross_entropy`]) and activations.
+//!
+//! Every gradient is verified against central finite differences in the
+//! test suite. Models serialize with serde for the persistence arrows in
+//! the paper's Figure 2/3 pipeline.
+
+pub mod adam;
+pub mod autoencoder;
+pub mod classifier;
+pub mod dense;
+pub mod gru;
+pub mod matrix;
+
+pub use adam::Adam;
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use classifier::{GruClassifier, GruClassifierConfig, TrainReport};
+pub use dense::Dense;
+pub use gru::{GruCell, GruTrace};
+pub use matrix::Matrix;
+
+/// Numerically-stable softmax over a slice, in place.
+pub fn softmax_inplace(logits: &mut [f32]) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+    for v in logits.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Softmax + cross-entropy against a one-hot target class.
+///
+/// Returns `(loss, dlogits)` where `dlogits = softmax(logits) - onehot`.
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    let mut probs = logits.to_vec();
+    softmax_inplace(&mut probs);
+    let p = probs[target].max(1e-12);
+    let loss = -p.ln();
+    probs[target] -= 1.0;
+    (loss, probs)
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        softmax_inplace(&mut v);
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut v = vec![1000.0, 1001.0];
+        softmax_inplace(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_shape() {
+        let (loss, grad) = softmax_cross_entropy(&[0.0, 0.0, 10.0], 2);
+        assert!(loss < 0.01);
+        assert!(grad[2] < 0.0); // pushes the target logit up
+        assert!(grad[0] > 0.0 && grad[1] > 0.0);
+        let sum: f32 = grad.iter().sum();
+        assert!(sum.abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_wrong_prediction_is_costly() {
+        let (loss, _) = softmax_cross_entropy(&[10.0, 0.0], 1);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+    }
+}

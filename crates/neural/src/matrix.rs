@@ -1,0 +1,292 @@
+//! Row-major `f32` matrices with the GEMM variants backprop needs.
+
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Minimum number of output elements before a GEMM is worth parallelizing.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer (must have `rows * cols` elements).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization for a layer mapping `cols`
+    /// inputs to `rows` outputs.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
+    }
+
+    /// Immutable row view.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row view.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor (row, col).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter (row, col).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product `y = self · x` (self: m×n, x: n).
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `y = selfᵀ · x` (self: m×n, x: m).
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for (r, &xv) in x.iter().enumerate() {
+            if xv != 0.0 {
+                for (yv, &w) in y.iter_mut().zip(self.row(r)) {
+                    *yv += xv * w;
+                }
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `self += alpha · u · vᵀ` (u: rows, v: cols).
+    pub fn add_outer(&mut self, u: &[f32], v: &[f32], alpha: f32) {
+        debug_assert_eq!(u.len(), self.rows);
+        debug_assert_eq!(v.len(), self.cols);
+        for (r, &uv) in u.iter().enumerate() {
+            let s = alpha * uv;
+            if s != 0.0 {
+                for (dst, &vv) in self.row_mut(r).iter_mut().zip(v) {
+                    *dst += s * vv;
+                }
+            }
+        }
+    }
+
+    /// `C = A · B` (A: m×k, B: k×n).
+    pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows, "nn shape mismatch");
+        let mut c = Matrix::zeros(a.rows, b.cols);
+        let kernel = |(i, crow): (usize, &mut [f32])| {
+            for k in 0..a.cols {
+                let aik = a.get(i, k);
+                if aik != 0.0 {
+                    let brow = b.row(k);
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        };
+        if c.data.len() >= PAR_THRESHOLD {
+            c.data.par_chunks_mut(b.cols).enumerate().for_each(kernel);
+        } else {
+            c.data.chunks_mut(b.cols).enumerate().for_each(kernel);
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ` (A: m×k, B: n×k) — the forward pass `X · Wᵀ`.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.cols, "nt shape mismatch");
+        let mut c = Matrix::zeros(a.rows, b.rows);
+        let kernel = |(i, crow): (usize, &mut [f32])| {
+            let arow = a.row(i);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+            }
+        };
+        if c.data.len() >= PAR_THRESHOLD {
+            c.data.par_chunks_mut(b.rows).enumerate().for_each(kernel);
+        } else {
+            c.data.chunks_mut(b.rows).enumerate().for_each(kernel);
+        }
+        c
+    }
+
+    /// `C = Aᵀ · B` (A: k×m, B: k×n) — the weight gradient `dYᵀ · X`.
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows, b.rows, "tn shape mismatch");
+        let mut c = Matrix::zeros(a.cols, b.cols);
+        for k in 0..a.rows {
+            let arow = a.row(k);
+            let brow = b.row(k);
+            for (i, &av) in arow.iter().enumerate() {
+                if av != 0.0 {
+                    let crow = c.row_mut(i);
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Adds another matrix elementwise.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Elementwise vector helpers used by the recurrent cells.
+pub mod vecops {
+    /// `a += b`.
+    pub fn add_assign(a: &mut [f32], b: &[f32]) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+    }
+
+    /// Elementwise product into a new vector.
+    pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+        a.iter().zip(b).map(|(x, y)| x * y).collect()
+    }
+
+    /// Dot product.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matvec_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemm_variants_agree_with_naive() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let b = Matrix::from_fn(3, 5, |r, c| (r as f32 - c as f32) * 0.25);
+        let c = Matrix::matmul_nn(&a, &b);
+        for i in 0..4 {
+            for j in 0..5 {
+                let expect: f32 = (0..3).map(|k| a.get(i, k) * b.get(k, j)).sum();
+                assert!((c.get(i, j) - expect).abs() < 1e-5);
+            }
+        }
+        // nt: A (4x3) · Bt where B (5x3)
+        let b2 = Matrix::from_fn(5, 3, |r, c| (r + 2 * c) as f32 * 0.1);
+        let c2 = Matrix::matmul_nt(&a, &b2);
+        for i in 0..4 {
+            for j in 0..5 {
+                let expect: f32 = (0..3).map(|k| a.get(i, k) * b2.get(j, k)).sum();
+                assert!((c2.get(i, j) - expect).abs() < 1e-5);
+            }
+        }
+        // tn: At (3x4) · B3 (4x2)
+        let b3 = Matrix::from_fn(4, 2, |r, c| (r as f32 + 1.0) * (c as f32 - 0.5));
+        let c3 = Matrix::matmul_tn(&a, &b3);
+        for i in 0..3 {
+            for j in 0..2 {
+                let expect: f32 = (0..4).map(|k| a.get(k, i) * b3.get(k, j)).sum();
+                assert!((c3.get(i, j) - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn large_gemm_parallel_path_matches_serial() {
+        let a = Matrix::from_fn(80, 70, |r, c| ((r * 7 + c * 13) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(70, 90, |r, c| ((r * 3 + c * 5) % 7) as f32 - 3.0);
+        let c = Matrix::matmul_nn(&a, &b); // hits the parallel path
+        for &(i, j) in &[(0, 0), (79, 89), (40, 45), (13, 71)] {
+            let expect: f32 = (0..70).map(|k| a.get(i, k) * b.get(k, j)).sum();
+            assert!((c.get(i, j) - expect).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn outer_product_update() {
+        let mut w = Matrix::zeros(2, 3);
+        w.add_outer(&[1.0, 2.0], &[3.0, 4.0, 5.0], 0.5);
+        assert_eq!(w.data, vec![1.5, 2.0, 2.5, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let w = Matrix::xavier(10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(w.data.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_size_checked() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

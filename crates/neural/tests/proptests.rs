@@ -1,0 +1,124 @@
+//! Property-based tests for the neural substrate.
+
+use neural::{softmax_cross_entropy, softmax_inplace, Autoencoder, GruCell, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Softmax output is a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_distribution(v in prop::collection::vec(-50.0f32..50.0, 1..20)) {
+        let mut p = v.clone();
+        softmax_inplace(&mut p);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient sums to ~0.
+    #[test]
+    fn cross_entropy_invariants(
+        v in prop::collection::vec(-20.0f32..20.0, 2..15),
+        t in 0usize..15,
+    ) {
+        let target = t % v.len();
+        let (loss, grad) = softmax_cross_entropy(&v, target);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad[target] <= 0.0);
+        let sum: f32 = grad.iter().sum();
+        prop_assert!(sum.abs() < 1e-4);
+    }
+
+    /// GEMM identities: (A·B)ᵀ relations across the three variants.
+    #[test]
+    fn gemm_consistency(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::xavier(m, k, &mut rng);
+        let b = Matrix::xavier(k, n, &mut rng);
+        let c_nn = Matrix::matmul_nn(&a, &b);
+        // nt: A · (Bᵀ)ᵀ — build Bᵀ explicitly.
+        let bt = Matrix::from_fn(n, k, |r, c| b.get(c, r));
+        let c_nt = Matrix::matmul_nt(&a, &bt);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((c_nn.get(i, j) - c_nt.get(i, j)).abs() < 1e-4);
+            }
+        }
+        // tn: (Aᵀ)ᵀ · B.
+        let at = Matrix::from_fn(k, m, |r, c| a.get(c, r));
+        let c_tn = Matrix::matmul_tn(&at, &b);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((c_nn.get(i, j) - c_tn.get(i, j)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// matvec agrees with matmul against a 1-column matrix.
+    #[test]
+    fn matvec_matches_gemm(rows in 1usize..8, cols in 1usize..8, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Matrix::xavier(rows, cols, &mut rng);
+        let x = Matrix::xavier(cols, 1, &mut rng);
+        let y1 = w.matvec(&x.data);
+        let y2 = Matrix::matmul_nn(&w, &x);
+        for i in 0..rows {
+            prop_assert!((y1[i] - y2.get(i, 0)).abs() < 1e-5);
+        }
+    }
+
+    /// GRU hidden states and gates stay in their analytic ranges for any
+    /// bounded input sequence.
+    #[test]
+    fn gru_ranges(
+        seq_len in 1usize..12,
+        seed in 0u64..500,
+        scale in 0.1f32..5.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = GruCell::new(4, 6, &mut rng);
+        let xs: Vec<Vec<f32>> = (0..seq_len)
+            .map(|t| (0..4).map(|i| ((t * 7 + i) as f32).sin() * scale).collect())
+            .collect();
+        let trace = cell.forward(&xs);
+        for t in 0..seq_len {
+            prop_assert!(trace.hs[t].iter().all(|v| v.abs() <= 1.0 + 1e-5));
+            prop_assert!(trace.zs[t].iter().all(|v| (0.0..=1.0).contains(v)));
+            prop_assert!(trace.rs[t].iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    /// Prefix property: the GRU's state at step t depends only on inputs
+    /// up to t (causality).
+    #[test]
+    fn gru_is_causal(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = GruCell::new(3, 4, &mut rng);
+        let xs: Vec<Vec<f32>> = (0..8)
+            .map(|t| (0..3).map(|i| ((t + i) as f32 * 0.3).cos()).collect())
+            .collect();
+        let full = cell.forward(&xs);
+        let prefix = cell.forward(&xs[..5]);
+        for t in 0..5 {
+            prop_assert_eq!(&full.hs[t], &prefix.hs[t]);
+            prop_assert_eq!(&full.zs[t], &prefix.zs[t]);
+        }
+    }
+
+    /// Autoencoder reconstruction error is zero iff the net reproduces the
+    /// input; always finite and non-negative for bounded inputs.
+    #[test]
+    fn ae_error_nonnegative(
+        v in prop::collection::vec(-1.0f32..1.0, 6),
+        seed in 0u64..100,
+    ) {
+        let ae = Autoencoder::new(&[6, 3, 6], seed);
+        let e = ae.reconstruction_error(&v);
+        prop_assert!(e.is_finite());
+        prop_assert!(e >= 0.0);
+    }
+}

@@ -1,0 +1,753 @@
+//! The conntrack-style tracker and window validator.
+
+use net_packet::{Direction, Packet, TcpFlags};
+use serde::{Deserialize, Serialize};
+
+/// Master TCP connection states, following the alphabet of Linux
+/// `nf_conntrack_proto_tcp` (the module the paper instruments), which views
+/// the connection from the middle rather than from one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum TcpState {
+    /// No connection tracked yet.
+    None = 0,
+    /// Original-direction SYN seen.
+    SynSent = 1,
+    /// Simultaneous open: SYNs seen in both directions.
+    SynSent2 = 2,
+    /// SYN-ACK seen from the responder.
+    SynRecv = 3,
+    /// Three-way handshake complete.
+    Established = 4,
+    /// First FIN seen.
+    FinWait = 5,
+    /// First FIN acknowledged; waiting for the second FIN.
+    CloseWait = 6,
+    /// Both FINs seen before either was acknowledged (simultaneous close).
+    Closing = 7,
+    /// Second FIN seen; waiting for its acknowledgment.
+    LastAck = 8,
+    /// Orderly close complete (both FINs acked).
+    TimeWait = 9,
+    /// Connection torn down (RST, or reuse after TimeWait).
+    Close = 10,
+}
+
+impl TcpState {
+    /// All states in index order.
+    pub const ALL: [TcpState; 11] = [
+        TcpState::None,
+        TcpState::SynSent,
+        TcpState::SynSent2,
+        TcpState::SynRecv,
+        TcpState::Established,
+        TcpState::FinWait,
+        TcpState::CloseWait,
+        TcpState::Closing,
+        TcpState::LastAck,
+        TcpState::TimeWait,
+        TcpState::Close,
+    ];
+
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TcpState::None => "NONE",
+            TcpState::SynSent => "SYN_SENT",
+            TcpState::SynSent2 => "SYN_SENT2",
+            TcpState::SynRecv => "SYN_RECV",
+            TcpState::Established => "ESTABLISHED",
+            TcpState::FinWait => "FIN_WAIT",
+            TcpState::CloseWait => "CLOSE_WAIT",
+            TcpState::Closing => "CLOSING",
+            TcpState::LastAck => "LAST_ACK",
+            TcpState::TimeWait => "TIME_WAIT",
+            TcpState::Close => "CLOSE",
+        }
+    }
+}
+
+impl std::fmt::Display for TcpState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The per-packet label CLAP trains its RNN on: the master state the
+/// machine transitions to as a result of the packet, plus the subtle
+/// in-/out-of-window verdict (paper §3.3(a), footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StateLabel {
+    pub state: TcpState,
+    pub in_window: bool,
+}
+
+impl StateLabel {
+    /// Index into the 22-class label space.
+    pub fn class_index(self) -> usize {
+        self.state as usize * 2 + usize::from(!self.in_window)
+    }
+
+    /// Inverse of [`class_index`](Self::class_index).
+    pub fn from_class_index(idx: usize) -> StateLabel {
+        let state = TcpState::ALL[(idx / 2).min(10)];
+        StateLabel { state, in_window: idx % 2 == 0 }
+    }
+}
+
+impl std::fmt::Display for StateLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.state, if self.in_window { "IN" } else { "OUT" })
+    }
+}
+
+/// Sequence-number comparison helpers (RFC 793 §3.3, mod-2^32 arithmetic).
+#[inline]
+fn seq_lte(a: u32, b: u32) -> bool {
+    b.wrapping_sub(a) as i32 >= 0
+}
+
+/// Maximum plausible distance between an acknowledgment and the highest
+/// sequence we have seen, mirroring conntrack's MAXACKWINDOW idea. Benign
+/// acks trail the sender by at most a window; adversarial "Bad ACK Num"
+/// values are (with overwhelming probability) far outside this range.
+const MAX_ACK_LAG: u32 = 1 << 22; // 4 MiB
+
+#[derive(Debug, Clone, Default)]
+struct PeerState {
+    /// Initial sequence number (first SYN seen from this direction).
+    isn: Option<u32>,
+    /// Next sequence expected from this direction (highest seg_end seen).
+    seq_nxt: u32,
+    /// Last raw window advertised by this direction.
+    window: u16,
+    /// Window-scale shift negotiated by this direction (applies once both
+    /// sides offered the option).
+    wscale: u8,
+    /// Highest timestamp value seen from this direction (PAWS).
+    ts_recent: Option<u32>,
+    /// Sequence just past this direction's FIN, once one was accepted.
+    fin_seq: Option<u32>,
+}
+
+/// Middlebox-viewpoint TCP connection tracker.
+///
+/// Feed packets in capture order with their direction; each call returns the
+/// 22-class [`StateLabel`]. The tracker is deliberately *rigorous* — it
+/// validates checksums, header-structure consistency and sequence windows
+/// like an endhost — because CLAP's labels must reflect what the protocol
+/// actually does with a packet, not what a lenient DPI believes.
+#[derive(Debug, Clone)]
+pub struct TcpTracker {
+    state: TcpState,
+    /// Direction of the first SYN (conntrack's "original" direction).
+    orig: Option<Direction>,
+    /// Direction that sent the first FIN.
+    fin_dir: Option<Direction>,
+    peers: [PeerState; 2],
+    /// Whether window scaling is active (both sides offered it).
+    wscale_ok: bool,
+    packets_seen: usize,
+}
+
+impl Default for TcpTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTracker {
+    pub fn new() -> Self {
+        TcpTracker {
+            state: TcpState::None,
+            orig: None,
+            fin_dir: None,
+            peers: [PeerState::default(), PeerState::default()],
+            wscale_ok: false,
+            packets_seen: 0,
+        }
+    }
+
+    /// Current master state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Number of packets processed.
+    pub fn packets_seen(&self) -> usize {
+        self.packets_seen
+    }
+
+    /// Structural acceptability: would a rigorous endhost even parse this
+    /// packet? Checks checksums, version, header-length consistency and
+    /// illegal flag combinations. Unacceptable packets are dropped without
+    /// any state change — precisely the discrepancy evasion attacks exploit
+    /// against lenient DPIs.
+    pub fn segment_acceptable(p: &Packet) -> bool {
+        let f = p.tcp.flags;
+        p.ip.version == 4
+            && p.ip.ihl_consistent()
+            && p.ip.total_length as usize == p.wire_len()
+            && p.tcp.data_offset_consistent()
+            && p.ip_checksum_valid()
+            && p.tcp_checksum_valid()
+            && f.0 != 0 // null scan
+            && !(f.contains(TcpFlags::SYN) && f.contains(TcpFlags::FIN))
+            && !(f.contains(TcpFlags::SYN) && f.contains(TcpFlags::RST))
+    }
+
+    fn scaled_window(&self, dir: Direction) -> u32 {
+        let ps = &self.peers[dir.index()];
+        let shift = if self.wscale_ok { ps.wscale.min(14) } else { 0 };
+        u32::from(ps.window) << shift
+    }
+
+    /// Sequence acceptance: does the segment overlap the receiver's window?
+    /// A one-byte grace below `rcv_nxt` admits keepalive probes.
+    fn seq_ok(&self, p: &Packet, dir: Direction) -> bool {
+        let ps = &self.peers[dir.index()];
+        let syn = p.tcp.flags.contains(TcpFlags::SYN);
+        if self.state == TcpState::None {
+            // Nothing tracked: only an opening SYN "belongs".
+            return syn && !p.tcp.flags.contains(TcpFlags::ACK);
+        }
+        if matches!(self.state, TcpState::TimeWait | TcpState::Close)
+            && syn
+            && !p.tcp.flags.contains(TcpFlags::ACK)
+        {
+            // Connection reuse: a fresh SYN after close starts over, so the
+            // old sequence space does not constrain it.
+            return true;
+        }
+        let Some(_) = ps.isn else {
+            // First packet we see from this direction mid-connection
+            // (e.g. the responder's SYN-ACK): nothing to violate yet.
+            return true;
+        };
+        let rcv_nxt = ps.seq_nxt;
+        let rwin = self.scaled_window(dir.flip()).max(1);
+        let seg_seq = p.tcp.seq;
+        let seg_end = seg_seq.wrapping_add(p.seq_len());
+        let ok_low = seq_lte(rcv_nxt.wrapping_sub(1), seg_end);
+        let ok_high = seq_lte(seg_seq, rcv_nxt.wrapping_add(rwin));
+        ok_low && ok_high
+    }
+
+    /// Acknowledgment plausibility: the ack must not exceed what the other
+    /// side has sent, nor trail it by more than `MAX_ACK_LAG`.
+    fn ack_ok(&self, p: &Packet, dir: Direction) -> bool {
+        if !p.tcp.flags.contains(TcpFlags::ACK) {
+            return true;
+        }
+        let other = &self.peers[dir.flip().index()];
+        let Some(_) = other.isn else {
+            // Acking a direction we have never seen: cannot belong
+            // (e.g. a SYN-ACK injected before any SYN).
+            return self.state == TcpState::None;
+        };
+        let lag = other.seq_nxt.wrapping_sub(p.tcp.ack);
+        (lag as i32) >= 0 && lag <= MAX_ACK_LAG
+    }
+
+    /// PAWS-style timestamp monotonicity for this direction.
+    fn ts_ok(&self, p: &Packet, dir: Direction) -> bool {
+        let Some((tsval, _)) = p.tcp.timestamps() else {
+            return true;
+        };
+        match self.peers[dir.index()].ts_recent {
+            Some(recent) => seq_lte(recent, tsval),
+            Option::None => true,
+        }
+    }
+
+    fn acks_fin_of(&self, p: &Packet, fin_owner: Direction) -> bool {
+        match self.peers[fin_owner.index()].fin_seq {
+            Some(fs) => p.tcp.flags.contains(TcpFlags::ACK) && seq_lte(fs, p.tcp.ack),
+            Option::None => false,
+        }
+    }
+
+    /// Processes one packet, returning its 22-class label.
+    pub fn process(&mut self, p: &Packet, dir: Direction) -> StateLabel {
+        use TcpState::*;
+        self.packets_seen += 1;
+
+        if !Self::segment_acceptable(p) {
+            // A rigorous endhost drops the packet: no transition, and by
+            // definition the packet does not belong in the window.
+            return StateLabel { state: self.state, in_window: false };
+        }
+
+        let f = p.tcp.flags;
+        let syn = f.contains(TcpFlags::SYN);
+        let ack = f.contains(TcpFlags::ACK);
+        let fin = f.contains(TcpFlags::FIN);
+        let rst = f.contains(TcpFlags::RST);
+
+        let seq_ok = self.seq_ok(p, dir);
+        let ack_ok = self.ack_ok(p, dir);
+        let ts_ok = self.ts_ok(p, dir);
+        let in_window = seq_ok && ack_ok && ts_ok;
+        // A segment only advances the machine when it belongs.
+        let accept = in_window;
+
+        let next = match self.state {
+            None | Close | TimeWait if syn && !ack && accept => {
+                // Open (or reopen after close/time-wait): reset everything.
+                let fresh_orig = dir;
+                *self = TcpTracker::new();
+                self.packets_seen = 1; // keep this packet counted
+                self.orig = Some(fresh_orig);
+                SynSent
+            }
+            None | Close => self.state,
+            SynSent => {
+                if rst && accept {
+                    Close
+                } else if syn && ack && accept && Some(dir) != self.orig {
+                    SynRecv
+                } else if syn && !ack && accept && Some(dir) != self.orig {
+                    SynSent2
+                } else {
+                    SynSent
+                }
+            }
+            SynSent2 => {
+                if rst && accept {
+                    Close
+                } else if syn && ack && accept {
+                    SynRecv
+                } else {
+                    SynSent2
+                }
+            }
+            SynRecv => {
+                if rst && accept {
+                    Close
+                } else if ack && !syn && !fin && accept && Some(dir) == self.orig {
+                    Established
+                } else if fin && accept {
+                    // FIN straight out of the handshake (rare but legal).
+                    self.fin_dir = Some(dir);
+                    FinWait
+                } else {
+                    SynRecv
+                }
+            }
+            Established => {
+                if rst && accept {
+                    Close
+                } else if fin && accept {
+                    self.fin_dir = Some(dir);
+                    FinWait
+                } else {
+                    Established
+                }
+            }
+            FinWait => {
+                let fin_owner = self.fin_dir.unwrap_or(Direction::ClientToServer);
+                if rst && accept {
+                    Close
+                } else if fin && accept && dir != fin_owner {
+                    Closing
+                } else if accept && dir != fin_owner && self.acks_fin_of(p, fin_owner) {
+                    CloseWait
+                } else {
+                    FinWait
+                }
+            }
+            CloseWait => {
+                let fin_owner = self.fin_dir.unwrap_or(Direction::ClientToServer);
+                if rst && accept {
+                    Close
+                } else if fin && accept && dir != fin_owner {
+                    LastAck
+                } else {
+                    CloseWait
+                }
+            }
+            Closing => {
+                let second_fin_owner =
+                    self.fin_dir.unwrap_or(Direction::ClientToServer).flip();
+                if rst && accept {
+                    Close
+                } else if accept && self.acks_fin_of(p, second_fin_owner) {
+                    TimeWait
+                } else {
+                    Closing
+                }
+            }
+            LastAck => {
+                let second_fin_owner =
+                    self.fin_dir.unwrap_or(Direction::ClientToServer).flip();
+                if rst && accept {
+                    Close
+                } else if accept
+                    && dir != second_fin_owner
+                    && self.acks_fin_of(p, second_fin_owner)
+                {
+                    TimeWait
+                } else {
+                    LastAck
+                }
+            }
+            TimeWait => {
+                if rst && accept {
+                    Close
+                } else {
+                    TimeWait
+                }
+            }
+        };
+        self.state = next;
+
+        if accept {
+            self.update_peer(p, dir, syn, fin);
+        }
+
+        StateLabel { state: self.state, in_window }
+    }
+
+    fn update_peer(&mut self, p: &Packet, dir: Direction, syn: bool, fin: bool) {
+        let seg_end = p.tcp.seq.wrapping_add(p.seq_len());
+        // Window scaling becomes active only when both sides offer it.
+        if syn {
+            if let Some(ws) = p.tcp.window_scale() {
+                self.peers[dir.index()].wscale = ws;
+                let other_offered = self.peers[dir.flip().index()].wscale > 0
+                    || self.peers[dir.flip().index()].isn.is_none();
+                // Activate tentatively; corrected when the other SYN arrives.
+                self.wscale_ok = other_offered;
+            }
+        }
+        let ps = &mut self.peers[dir.index()];
+        if syn && ps.isn.is_none() {
+            ps.isn = Some(p.tcp.seq);
+            ps.seq_nxt = seg_end;
+        } else if seq_lte(ps.seq_nxt, seg_end) {
+            ps.seq_nxt = seg_end;
+        }
+        ps.window = p.tcp.window;
+        if let Some((tsval, _)) = p.tcp.timestamps() {
+            match ps.ts_recent {
+                Some(r) if seq_lte(tsval, r) => {}
+                _ => ps.ts_recent = Some(tsval),
+            }
+        }
+        if fin {
+            ps.fin_seq.get_or_insert(seg_end);
+        }
+    }
+}
+
+/// Labels every packet of a connection with a fresh tracker.
+pub fn label_connection(conn: &net_packet::Connection) -> Vec<StateLabel> {
+    let mut tracker = TcpTracker::new();
+    conn.packets
+        .iter()
+        .enumerate()
+        .map(|(i, p)| tracker.process(p, conn.direction(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_packet::{Endpoint, FlowKey, Ipv4Header, TcpHeader, TcpOption};
+    use std::net::Ipv4Addr;
+
+    const CLIENT_ISN: u32 = 1_000_000;
+    const SERVER_ISN: u32 = 5_000_000;
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 40000),
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 443),
+        )
+    }
+
+    struct Builder {
+        key: FlowKey,
+        tracker: TcpTracker,
+    }
+
+    impl Builder {
+        fn new() -> Self {
+            Builder { key: key(), tracker: TcpTracker::new() }
+        }
+
+        fn packet(
+            &self,
+            dir: Direction,
+            flags: TcpFlags,
+            seq: u32,
+            ackn: u32,
+            payload: &[u8],
+        ) -> Packet {
+            let (src, dst) = match dir {
+                Direction::ClientToServer => (self.key.client, self.key.server),
+                Direction::ServerToClient => (self.key.server, self.key.client),
+            };
+            let ip = Ipv4Header::new(src.addr, dst.addr, 64);
+            let mut tcp = TcpHeader::new(src.port, dst.port, seq, ackn);
+            tcp.flags = flags;
+            Packet::new(0.0, ip, tcp, payload.to_vec())
+        }
+
+        fn feed(&mut self, dir: Direction, flags: TcpFlags, seq: u32, ackn: u32, payload: &[u8]) -> StateLabel {
+            let p = self.packet(dir, flags, seq, ackn, payload);
+            self.tracker.process(&p, dir)
+        }
+
+        /// Runs the three-way handshake; leaves the tracker ESTABLISHED.
+        fn handshake(&mut self) {
+            use Direction::*;
+            let l1 = self.feed(ClientToServer, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
+            assert_eq!(l1, StateLabel { state: TcpState::SynSent, in_window: true });
+            let l2 = self.feed(ServerToClient, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
+            assert_eq!(l2, StateLabel { state: TcpState::SynRecv, in_window: true });
+            let l3 = self.feed(ClientToServer, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+            assert_eq!(l3, StateLabel { state: TcpState::Established, in_window: true });
+        }
+    }
+
+    use Direction::{ClientToServer as C2S, ServerToClient as S2C};
+
+    #[test]
+    fn class_index_round_trip() {
+        for idx in 0..crate::NUM_CLASSES {
+            assert_eq!(StateLabel::from_class_index(idx).class_index(), idx);
+        }
+    }
+
+    #[test]
+    fn handshake_reaches_established() {
+        let mut b = Builder::new();
+        b.handshake();
+        assert_eq!(b.tracker.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn data_transfer_stays_established_in_window() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, SERVER_ISN + 1, b"GET /");
+        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: true });
+        let l = b.feed(S2C, TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 6, &[]);
+        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: true });
+        let l = b.feed(S2C, TcpFlags::ACK | TcpFlags::PSH, SERVER_ISN + 1, CLIENT_ISN + 6, b"200 OK");
+        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: true });
+    }
+
+    #[test]
+    fn orderly_close_walks_fin_states() {
+        let mut b = Builder::new();
+        b.handshake();
+        // Client FIN.
+        let l = b.feed(C2S, TcpFlags::FIN | TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        assert_eq!(l.state, TcpState::FinWait);
+        // Server acks the FIN.
+        let l = b.feed(S2C, TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
+        assert_eq!(l.state, TcpState::CloseWait);
+        // Server FIN.
+        let l = b.feed(S2C, TcpFlags::FIN | TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
+        assert_eq!(l.state, TcpState::LastAck);
+        // Client acks.
+        let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 2, SERVER_ISN + 2, &[]);
+        assert_eq!(l, StateLabel { state: TcpState::TimeWait, in_window: true });
+    }
+
+    #[test]
+    fn simultaneous_close_goes_through_closing() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::FIN | TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        assert_eq!(l.state, TcpState::FinWait);
+        // Server FIN before acking the client's FIN.
+        let l = b.feed(S2C, TcpFlags::FIN | TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 1, &[]);
+        assert_eq!(l.state, TcpState::Closing);
+        // Ack covering the server's FIN completes the close.
+        let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 2, SERVER_ISN + 2, &[]);
+        assert_eq!(l.state, TcpState::TimeWait);
+    }
+
+    #[test]
+    fn valid_rst_closes() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(S2C, TcpFlags::RST, SERVER_ISN + 1, 0, &[]);
+        assert_eq!(l, StateLabel { state: TcpState::Close, in_window: true });
+    }
+
+    #[test]
+    fn bad_checksum_rst_is_dropped_and_out_of_window() {
+        // The paper's motivating example: Bad-Checksum-RST after handshake.
+        let mut b = Builder::new();
+        b.handshake();
+        let mut p = b.packet(C2S, TcpFlags::RST, CLIENT_ISN + 1, 0, &[]);
+        p.tcp.checksum ^= 0x0bad;
+        let l = b.tracker.process(&p, C2S);
+        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: false });
+        assert_eq!(b.tracker.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn out_of_window_rst_does_not_close() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::RST, CLIENT_ISN.wrapping_sub(100_000_000), 0, &[]);
+        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: false });
+    }
+
+    #[test]
+    fn bad_ack_data_packet_is_out_of_window() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, 0xdead_0000, b"x");
+        assert!(!l.in_window);
+        assert_eq!(l.state, TcpState::Established);
+    }
+
+    #[test]
+    fn underflow_seq_is_out_of_window() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN.wrapping_sub(50_000_000), SERVER_ISN + 1, b"x");
+        assert!(!l.in_window);
+    }
+
+    #[test]
+    fn retransmission_is_in_window() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, SERVER_ISN + 1, b"hello");
+        assert!(l.in_window);
+        // Exact retransmission of the same segment.
+        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, SERVER_ISN + 1, b"hello");
+        assert!(l.in_window);
+        assert_eq!(l.state, TcpState::Established);
+    }
+
+    #[test]
+    fn paws_rejects_old_timestamp() {
+        let mut b = Builder::new();
+        // Handshake with timestamps.
+        let mut p = b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
+        p.tcp.options.push(TcpOption::Timestamps { tsval: 1000, tsecr: 0 });
+        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        assert!(b.tracker.process(&p, C2S).in_window);
+        let mut p = b.packet(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
+        p.tcp.options.push(TcpOption::Timestamps { tsval: 2000, tsecr: 1000 });
+        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        assert!(b.tracker.process(&p, S2C).in_window);
+        let mut p = b.packet(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        p.tcp.options.push(TcpOption::Timestamps { tsval: 1001, tsecr: 2000 });
+        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        assert!(b.tracker.process(&p, C2S).in_window);
+        assert_eq!(b.tracker.state(), TcpState::Established);
+        // RST with a wildly old timestamp: PAWS says it does not belong.
+        let mut p = b.packet(C2S, TcpFlags::RST, CLIENT_ISN + 1, 0, &[]);
+        p.tcp.options.push(TcpOption::Timestamps { tsval: 3, tsecr: 0 });
+        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        let l = b.tracker.process(&p, C2S);
+        assert!(!l.in_window);
+        assert_eq!(b.tracker.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn syn_fin_combo_is_structurally_dropped() {
+        let mut b = Builder::new();
+        let l = b.feed(C2S, TcpFlags::SYN | TcpFlags::FIN, CLIENT_ISN, 0, &[]);
+        assert_eq!(l, StateLabel { state: TcpState::None, in_window: false });
+    }
+
+    #[test]
+    fn null_flags_dropped() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::empty(), CLIENT_ISN + 1, 0, &[]);
+        assert!(!l.in_window);
+        assert_eq!(l.state, TcpState::Established);
+    }
+
+    #[test]
+    fn mid_connection_syn_is_out_of_window() {
+        let mut b = Builder::new();
+        b.handshake();
+        let l = b.feed(C2S, TcpFlags::SYN, CLIENT_ISN + 77777, 0, &[]);
+        assert_eq!(l.state, TcpState::Established);
+        // A fresh SYN mid-connection is either an in-window oddity or an
+        // out-of-window injection depending on seq; this one is beyond the
+        // server's advertised window.
+        // (seq CLIENT_ISN+77777 vs window 65535 -> out)
+        assert!(!l.in_window);
+    }
+
+    #[test]
+    fn reopen_after_timewait() {
+        let mut b = Builder::new();
+        b.handshake();
+        b.feed(C2S, TcpFlags::FIN | TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        b.feed(S2C, TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
+        b.feed(S2C, TcpFlags::FIN | TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
+        let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 2, SERVER_ISN + 2, &[]);
+        assert_eq!(l.state, TcpState::TimeWait);
+        // New SYN reopens the connection.
+        let l = b.feed(C2S, TcpFlags::SYN, 42_000_000, 0, &[]);
+        assert_eq!(l, StateLabel { state: TcpState::SynSent, in_window: true });
+        assert_eq!(b.tracker.state(), TcpState::SynSent);
+    }
+
+    #[test]
+    fn simultaneous_open() {
+        let mut b = Builder::new();
+        let l = b.feed(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
+        assert_eq!(l.state, TcpState::SynSent);
+        let l = b.feed(S2C, TcpFlags::SYN, SERVER_ISN, 0, &[]);
+        assert_eq!(l.state, TcpState::SynSent2);
+        let l = b.feed(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
+        assert_eq!(l.state, TcpState::SynRecv);
+    }
+
+    #[test]
+    fn data_before_any_syn_does_not_create_state() {
+        let mut b = Builder::new();
+        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, 500, 600, b"stray");
+        assert_eq!(l, StateLabel { state: TcpState::None, in_window: false });
+    }
+
+    #[test]
+    fn window_scaling_applies_after_negotiation() {
+        let mut b = Builder::new();
+        // SYN with wscale 7 on both sides, tiny raw window afterwards.
+        let mut p = b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
+        p.tcp.options.push(TcpOption::WindowScale(7));
+        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        b.tracker.process(&p, C2S);
+        let mut p = b.packet(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
+        p.tcp.options.push(TcpOption::WindowScale(7));
+        p.tcp.window = 1000; // scaled: 128,000
+        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        b.tracker.process(&p, S2C);
+        b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        // Data at rcv_nxt + 100,000 fits only thanks to scaling.
+        let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 1 + 100_000, SERVER_ISN + 1, b"z");
+        assert!(l.in_window);
+    }
+
+    #[test]
+    fn labels_for_whole_connection() {
+        use net_packet::Connection;
+        let b = Builder::new();
+        let mut conn = Connection::new(b.key);
+        conn.packets.push(b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]));
+        conn.packets.push(b.packet(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]));
+        conn.packets.push(b.packet(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]));
+        let labels = label_connection(&conn);
+        assert_eq!(
+            labels.iter().map(|l| l.state).collect::<Vec<_>>(),
+            vec![TcpState::SynSent, TcpState::SynRecv, TcpState::Established]
+        );
+        assert!(labels.iter().all(|l| l.in_window));
+    }
+}

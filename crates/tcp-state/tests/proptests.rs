@@ -1,0 +1,126 @@
+//! Property-based tests for the reference TCP tracker.
+
+use net_packet::{Connection, Endpoint, FlowKey, Ipv4Header, Packet, TcpFlags, TcpHeader};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use tcp_state::{label_connection, TcpState, TcpTracker};
+
+fn arb_segment() -> impl Strategy<Value = (bool, u16, u32, u32, u16, u8)> {
+    // (direction c2s?, flags, seq, ack, window, payload_len)
+    (
+        any::<bool>(),
+        0u16..=0x1ff,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        0u8..=64,
+    )
+}
+
+fn key() -> FlowKey {
+    FlowKey::new(
+        Endpoint::new(Ipv4Addr::new(10, 1, 0, 1), 40000),
+        Endpoint::new(Ipv4Addr::new(10, 1, 0, 2), 443),
+    )
+}
+
+fn make_packet(k: &FlowKey, c2s: bool, flags: u16, seq: u32, ack: u32, window: u16, plen: u8) -> Packet {
+    let (src, dst) = if c2s { (k.client, k.server) } else { (k.server, k.client) };
+    let ip = Ipv4Header::new(src.addr, dst.addr, 60);
+    let mut tcp = TcpHeader::new(src.port, dst.port, seq, ack);
+    tcp.flags = TcpFlags(flags);
+    tcp.window = window;
+    Packet::new(0.0, ip, tcp, vec![0u8; plen as usize])
+}
+
+proptest! {
+    /// The tracker never panics on arbitrary segment sequences, and its
+    /// state index always stays within the 11-state alphabet.
+    #[test]
+    fn tracker_total_on_arbitrary_sequences(
+        segs in prop::collection::vec(arb_segment(), 0..40)
+    ) {
+        let k = key();
+        let mut tracker = TcpTracker::new();
+        for (c2s, flags, seq, ack, window, plen) in segs {
+            let p = make_packet(&k, c2s, flags, seq, ack, window, plen);
+            let dir = if c2s {
+                net_packet::Direction::ClientToServer
+            } else {
+                net_packet::Direction::ServerToClient
+            };
+            let label = tracker.process(&p, dir);
+            prop_assert!(label.class_index() < tcp_state::NUM_CLASSES);
+            prop_assert_eq!(label.state, tracker.state());
+        }
+    }
+
+    /// Without any SYN, the tracker never leaves NONE.
+    #[test]
+    fn no_syn_no_connection(
+        segs in prop::collection::vec(arb_segment(), 1..30)
+    ) {
+        let k = key();
+        let mut tracker = TcpTracker::new();
+        for (c2s, flags, seq, ack, window, plen) in segs {
+            let flags = flags & !0x2; // strip SYN
+            let p = make_packet(&k, c2s, flags, seq, ack, window, plen);
+            let dir = if c2s {
+                net_packet::Direction::ClientToServer
+            } else {
+                net_packet::Direction::ServerToClient
+            };
+            tracker.process(&p, dir);
+            prop_assert_eq!(tracker.state(), TcpState::None);
+        }
+    }
+
+    /// Corrupting the TCP checksum of any packet in a benign trace never
+    /// changes the final state relative to dropping that packet entirely.
+    #[test]
+    fn checksum_corruption_equals_drop(conn_seed in 0u64..500, which in 0usize..100) {
+        let conns = traffic_gen::dataset(conn_seed, 1);
+        let conn = &conns[0];
+        let idx = which % conn.len();
+
+        // Trace A: packet `idx` has a corrupted checksum.
+        let mut corrupted = conn.clone();
+        corrupted.packets[idx].tcp.checksum ^= 0x5a5a;
+        let mut t1 = TcpTracker::new();
+        for (i, p) in corrupted.packets.iter().enumerate() {
+            t1.process(p, corrupted.direction(i));
+        }
+
+        // Trace B: packet `idx` never existed.
+        let mut dropped = conn.clone();
+        dropped.packets.remove(idx);
+        let mut t2 = TcpTracker::new();
+        for (i, p) in dropped.packets.iter().enumerate() {
+            t2.process(p, dropped.direction(i));
+        }
+
+        prop_assert_eq!(t1.state(), t2.state());
+    }
+
+    /// Labels are deterministic: same trace, same labels.
+    #[test]
+    fn labeling_is_deterministic(seed in 0u64..300) {
+        let conns = traffic_gen::dataset(seed, 1);
+        let a = label_connection(&conns[0]);
+        let b = label_connection(&conns[0]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Benign generated connections always progress monotonically through
+    /// the opening: the SynSent state is observed before Established.
+    #[test]
+    fn opening_order_is_respected(seed in 0u64..300) {
+        let conns = traffic_gen::dataset(seed, 1);
+        let labels = label_connection(&conns[0]);
+        let first_est = labels.iter().position(|l| l.state == TcpState::Established);
+        let first_syn = labels.iter().position(|l| l.state == TcpState::SynSent);
+        if let (Some(e), Some(s)) = (first_est, first_syn) {
+            prop_assert!(s < e, "SYN_SENT at {s} must precede ESTABLISHED at {e}");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The connection simulator behind the public generator API.
+
+use crate::TrafficConfig;
+use net_packet::{Connection, Direction, Endpoint, FlowKey, Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// High-level shape of a generated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowProfile {
+    /// Request/response exchange (web-like), `rounds` request-response pairs.
+    RequestResponse { rounds: u8 },
+    /// One-directional bulk transfer; `download` = server→client.
+    Bulk { download: bool },
+}
+
+/// How the connection ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Teardown {
+    /// Orderly close initiated by the client.
+    ClientFin,
+    /// Orderly close initiated by the server.
+    ServerFin,
+    /// Both FINs in flight simultaneously.
+    SimultaneousClose,
+    /// Abortive reset.
+    Rst { by_client: bool },
+    /// Capture ends mid-connection (no teardown observed).
+    HalfOpen,
+}
+
+/// The sampled plan for one connection; exposed for tests and examples that
+/// want to reason about what the generator decided to do.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectionSketch {
+    pub profile: FlowProfile,
+    pub teardown: Teardown,
+    pub mss: u16,
+    pub window_scaling: bool,
+    pub timestamps: bool,
+    pub rtt: f64,
+}
+
+struct Peer {
+    ep: Endpoint,
+    /// Next sequence number this peer will send.
+    seq: u32,
+    /// Next sequence number this peer expects from the other side.
+    rcv_nxt: u32,
+    ttl: u8,
+    window: u16,
+    wscale: u8,
+    ts_on: bool,
+    tsval: u32,
+    ts_recent: u32,
+    ip_id: u16,
+}
+
+/// The in-flight simulation of a single connection.
+struct Sim<'a> {
+    rng: &'a mut StdRng,
+    time: f64,
+    rtt: f64,
+    mss: usize,
+    packets: Vec<Packet>,
+    peers: [Peer; 2],
+    /// Copies of emitted data segments, kept for retransmission events.
+    sent_data: Vec<(Direction, u32, usize)>,
+}
+
+impl<'a> Sim<'a> {
+    fn peer(&self, d: Direction) -> &Peer {
+        &self.peers[d.index()]
+    }
+
+    fn advance(&mut self, secs: f64) {
+        self.time += secs.max(0.0);
+        // Timestamp clocks tick in milliseconds.
+        let ms = (secs * 1000.0).max(0.0) as u32;
+        for p in &mut self.peers {
+            p.tsval = p.tsval.wrapping_add(ms.max(1));
+        }
+    }
+
+    /// Emits one segment from `dir` with the given flags and payload length,
+    /// advancing sequence state; `seq_override` suppresses the normal
+    /// sequence bookkeeping (used for retransmissions and keepalives).
+    fn emit(
+        &mut self,
+        dir: Direction,
+        flags: TcpFlags,
+        payload_len: usize,
+        seq_override: Option<u32>,
+        options: Vec<TcpOption>,
+    ) {
+        let (si, di) = (dir.index(), dir.flip().index());
+        let seq = seq_override.unwrap_or(self.peers[si].seq);
+        let ack = if flags.contains(TcpFlags::ACK) { self.peers[si].rcv_nxt } else { 0 };
+        let src = self.peers[si].ep;
+        let dst = self.peers[di].ep;
+        let mut ip = Ipv4Header::new(src.addr, dst.addr, self.peers[si].ttl);
+        ip.identification = self.peers[si].ip_id;
+        self.peers[si].ip_id = self.peers[si].ip_id.wrapping_add(1);
+        let mut tcp = TcpHeader::new(src.port, dst.port, seq, ack);
+        tcp.flags = flags;
+        tcp.window = self.peers[si].window;
+        let mut opts = options;
+        if self.peers[si].ts_on && self.peers[di].ts_on {
+            opts.push(TcpOption::Timestamps {
+                tsval: self.peers[si].tsval,
+                tsecr: self.peers[si].ts_recent,
+            });
+        }
+        tcp.options = opts;
+        let payload = vec![0x61u8; payload_len];
+        let pkt = Packet::new(self.time, ip, tcp, payload);
+
+        // Sequence bookkeeping for "really sent" segments only.
+        if seq_override.is_none() {
+            let consumed = pkt.seq_len();
+            self.peers[si].seq = self.peers[si].seq.wrapping_add(consumed);
+            self.peers[di].rcv_nxt = self.peers[si].seq;
+            if payload_len > 0 {
+                self.sent_data.push((dir, seq, payload_len));
+            }
+        }
+        // The receiver's timestamp echo tracks the sender's clock.
+        if self.peers[si].ts_on && self.peers[di].ts_on {
+            self.peers[di].ts_recent = self.peers[si].tsval;
+        }
+        self.packets.push(pkt);
+    }
+
+    /// Sends `bytes` of data from `dir` as MSS-limited segments, with the
+    /// receiver acking roughly every other segment (delayed ack).
+    fn send_data(&mut self, dir: Direction, bytes: usize, cfg: &TrafficConfig) {
+        let mut remaining = bytes.max(1);
+        let mut unacked_segments = 0;
+        while remaining > 0 {
+            let chunk = remaining.min(self.mss);
+            remaining -= chunk;
+            let push = remaining == 0;
+            let mut flags = TcpFlags::ACK;
+            if push {
+                flags |= TcpFlags::PSH;
+            }
+            let dt = self.rng.gen_range(0.0001..0.003);
+            self.advance(dt);
+            self.emit(dir, flags, chunk, None, vec![]);
+
+            // Occasional immediate retransmission of the segment just sent.
+            if self.rng.gen_bool(cfg.p_retransmit / 4.0) {
+                let &(d, seq, len) = self.sent_data.last().unwrap();
+                self.advance(self.rtt * 1.5);
+                self.emit(d, TcpFlags::ACK | TcpFlags::PSH, len, Some(seq), vec![]);
+            }
+
+            unacked_segments += 1;
+            if unacked_segments >= 2 || remaining == 0 {
+                self.advance(self.rtt / 2.0);
+                self.emit(dir.flip(), TcpFlags::ACK, 0, None, vec![]);
+                unacked_segments = 0;
+            }
+        }
+    }
+}
+
+fn random_endpoints(rng: &mut StdRng) -> (Endpoint, Endpoint) {
+    const SERVER_PORTS: [u16; 10] = [80, 443, 22, 25, 110, 143, 993, 3306, 8080, 8443];
+    let client = Endpoint::new(
+        Ipv4Addr::new(10, rng.gen(), rng.gen(), rng.gen_range(1..255)),
+        rng.gen_range(32768..61000),
+    );
+    let server = Endpoint::new(
+        Ipv4Addr::new(
+            rng.gen_range(1..=223),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..255),
+        ),
+        SERVER_PORTS[rng.gen_range(0..SERVER_PORTS.len())],
+    );
+    (client, server)
+}
+
+fn sample_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> ConnectionSketch {
+    const MSS_CHOICES: [u16; 4] = [536, 1400, 1440, 1460];
+    let profile = if rng.gen_bool(cfg.p_bulk) {
+        FlowProfile::Bulk { download: rng.gen_bool(0.7) }
+    } else {
+        FlowProfile::RequestResponse { rounds: rng.gen_range(1..=4) }
+    };
+    let teardown = if rng.gen_bool(cfg.p_half_open) {
+        Teardown::HalfOpen
+    } else if rng.gen_bool(cfg.p_rst_teardown) {
+        Teardown::Rst { by_client: rng.gen_bool(0.6) }
+    } else if rng.gen_bool(cfg.p_simultaneous_close) {
+        Teardown::SimultaneousClose
+    } else if rng.gen_bool(0.55) {
+        Teardown::ClientFin
+    } else {
+        Teardown::ServerFin
+    };
+    ConnectionSketch {
+        profile,
+        teardown,
+        mss: MSS_CHOICES[rng.gen_range(0..MSS_CHOICES.len())],
+        window_scaling: rng.gen_bool(0.85),
+        timestamps: rng.gen_bool(0.7),
+        rtt: LogNormal::new((-3.6f64).ln().max(-3.6), 0.8).unwrap().sample(rng).clamp(0.002, 0.3),
+    }
+}
+
+/// Generates one benign connection (public via [`crate::generate`]).
+pub(crate) fn generate_connection(cfg: &TrafficConfig, rng: &mut StdRng) -> Connection {
+    let (sketch, conn) = generate_with_sketch(cfg, rng);
+    let _ = sketch;
+    conn
+}
+
+/// Generates one benign connection together with the plan that produced it.
+pub fn generate_with_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> (ConnectionSketch, Connection) {
+    let sketch = sample_sketch(cfg, rng);
+    let (client_ep, server_ep) = random_endpoints(rng);
+
+    let client_ttl_base: u8 = *[64u8, 128].get(rng.gen_range(0..2)).unwrap();
+    let server_ttl_base: u8 = *[64u8, 64, 255].get(rng.gen_range(0..3)).unwrap();
+    let hops_c: u8 = rng.gen_range(3..25);
+    let hops_s: u8 = rng.gen_range(3..25);
+
+    let make_peer = |ep: Endpoint, ttl: u8, rng: &mut StdRng, sketch: &ConnectionSketch| Peer {
+        ep,
+        seq: rng.gen(),
+        rcv_nxt: 0,
+        ttl,
+        window: rng.gen_range(8192..=65535),
+        wscale: if sketch.window_scaling { rng.gen_range(1..=10) } else { 0 },
+        ts_on: sketch.timestamps,
+        tsval: rng.gen_range(1_000..u32::MAX / 2),
+        ts_recent: 0,
+        ip_id: rng.gen(),
+    };
+
+    let client = make_peer(client_ep, client_ttl_base.saturating_sub(hops_c), rng, &sketch);
+    let server = make_peer(server_ep, server_ttl_base.saturating_sub(hops_s), rng, &sketch);
+
+    let mut sim = Sim {
+        rng,
+        time: 0.0,
+        rtt: sketch.rtt,
+        mss: sketch.mss as usize,
+        packets: Vec::new(),
+        peers: [client, server],
+        sent_data: Vec::new(),
+    };
+
+    use Direction::{ClientToServer as C2S, ServerToClient as S2C};
+
+    // --- Three-way handshake -------------------------------------------
+    let syn_opts = |sim: &Sim, d: Direction| {
+        let mut o = vec![TcpOption::Mss(sim.mss as u16)];
+        if sim.peer(d).wscale > 0 {
+            o.push(TcpOption::WindowScale(sim.peer(d).wscale));
+        }
+        o.push(TcpOption::SackPermitted);
+        o
+    };
+    let opts = syn_opts(&sim, C2S);
+    sim.emit(C2S, TcpFlags::SYN, 0, None, opts.clone());
+    if sim.rng.gen_bool(cfg.p_syn_retransmit) {
+        // SYN retransmission after an RTO; same ISN.
+        let isn = sim.peers[0].seq.wrapping_sub(1);
+        sim.advance(1.0);
+        sim.emit(C2S, TcpFlags::SYN, 0, Some(isn), opts);
+    }
+    sim.advance(sim.rtt / 2.0);
+    let opts = syn_opts(&sim, S2C);
+    sim.emit(S2C, TcpFlags::SYN | TcpFlags::ACK, 0, None, opts);
+    sim.advance(sim.rtt / 2.0);
+    sim.emit(C2S, TcpFlags::ACK, 0, None, vec![]);
+
+    // --- Data phase ------------------------------------------------------
+    let req_dist = LogNormal::new(5.2f64, 0.6).unwrap(); // median ≈ 180 B
+    let resp_dist = LogNormal::new(7.6f64, 1.1).unwrap(); // median ≈ 2 KB
+    let bulk_dist = LogNormal::new(9.2f64, 1.0).unwrap(); // median ≈ 10 KB
+
+    match sketch.profile {
+        FlowProfile::RequestResponse { rounds } => {
+            for _ in 0..rounds {
+                let think = Exp::new(50.0).unwrap().sample(sim.rng);
+                sim.advance(think);
+                let req = req_dist.sample(sim.rng).clamp(16.0, 4096.0) as usize;
+                sim.send_data(C2S, req, cfg);
+                let dt = sim.rtt / 2.0 + sim.rng.gen_range(0.0005..0.02);
+                sim.advance(dt);
+                let resp = resp_dist.sample(sim.rng).clamp(64.0, 120_000.0) as usize;
+                sim.send_data(S2C, resp, cfg);
+            }
+        }
+        FlowProfile::Bulk { download } => {
+            let dir = if download { S2C } else { C2S };
+            let total = bulk_dist.sample(sim.rng).clamp(1024.0, 250_000.0) as usize;
+            sim.send_data(dir, total, cfg);
+        }
+    }
+
+    // Optional keepalive probe during an idle period: a pure ACK whose
+    // sequence is one before the next expected — in-window by the standard
+    // one-byte grace.
+    if sim.rng.gen_bool(cfg.p_keepalive) {
+        sim.advance(5.0);
+        let seq = sim.peers[0].seq.wrapping_sub(1);
+        sim.emit(C2S, TcpFlags::ACK, 0, Some(seq), vec![]);
+        sim.advance(sim.rtt / 2.0);
+        sim.emit(S2C, TcpFlags::ACK, 0, None, vec![]);
+    }
+
+    // Old-duplicate arrival: a stale copy of the first data segment shows up
+    // long after its sequence range was consumed. The reference tracker
+    // labels it out-of-window — benign traces do contain such packets.
+    if sim.rng.gen_bool(cfg.p_old_duplicate) && sim.sent_data.len() >= 3 {
+        let (d, seq, len) = sim.sent_data[0];
+        let newer = sim.sent_data.iter().filter(|(dd, ..)| *dd == d).count();
+        if newer >= 2 {
+            { let dt = sim.rng.gen_range(0.001..0.05); sim.advance(dt); }
+            sim.emit(d, TcpFlags::ACK, len, Some(seq), vec![]);
+        }
+    }
+
+    // --- Teardown ----------------------------------------------------------
+    match sketch.teardown {
+        Teardown::ClientFin | Teardown::ServerFin => {
+            let first = if sketch.teardown == Teardown::ClientFin { C2S } else { S2C };
+            { let dt = sim.rng.gen_range(0.001..0.1); sim.advance(dt); }
+            sim.emit(first, TcpFlags::FIN | TcpFlags::ACK, 0, None, vec![]);
+            sim.advance(sim.rtt / 2.0);
+            sim.emit(first.flip(), TcpFlags::ACK, 0, None, vec![]);
+            { let dt = sim.rng.gen_range(0.0001..0.05); sim.advance(dt); }
+            sim.emit(first.flip(), TcpFlags::FIN | TcpFlags::ACK, 0, None, vec![]);
+            sim.advance(sim.rtt / 2.0);
+            sim.emit(first, TcpFlags::ACK, 0, None, vec![]);
+        }
+        Teardown::SimultaneousClose => {
+            { let dt = sim.rng.gen_range(0.001..0.1); sim.advance(dt); }
+            sim.emit(C2S, TcpFlags::FIN | TcpFlags::ACK, 0, None, vec![]);
+            // Server's FIN crosses the client's in flight: it has not seen
+            // the client FIN, so it acks only the data so far.
+            sim.advance(0.0001);
+            sim.emit(S2C, TcpFlags::FIN | TcpFlags::ACK, 0, None, vec![]);
+            sim.advance(sim.rtt / 2.0);
+            sim.emit(C2S, TcpFlags::ACK, 0, None, vec![]);
+            sim.emit(S2C, TcpFlags::ACK, 0, None, vec![]);
+        }
+        Teardown::Rst { by_client } => {
+            let dir = if by_client { C2S } else { S2C };
+            { let dt = sim.rng.gen_range(0.001..0.1); sim.advance(dt); }
+            // Real traffic aborts with both RST-ACK and bare RST.
+            let flags = if sim.rng.gen_bool(0.4) {
+                TcpFlags::RST
+            } else {
+                TcpFlags::RST | TcpFlags::ACK
+            };
+            sim.emit(dir, flags, 0, None, vec![]);
+        }
+        Teardown::HalfOpen => {}
+    }
+
+    // Reordering event: swap two adjacent same-direction packets while
+    // keeping capture timestamps monotone.
+    let mut packets = sim.packets;
+    if rng.gen_bool(cfg.p_reorder) && packets.len() >= 6 {
+        let i = rng.gen_range(3..packets.len() - 1);
+        let (ts_a, ts_b) = (packets[i].timestamp, packets[i + 1].timestamp);
+        packets.swap(i, i + 1);
+        packets[i].timestamp = ts_a;
+        packets[i + 1].timestamp = ts_b;
+        // Swapping changed TCP payload/hdr positions only, checksums remain
+        // attached to their packets; recompute nothing.
+    }
+
+    let key = FlowKey::new(client_ep, server_ep);
+    (sketch, Connection { key, packets })
+}

@@ -1,0 +1,61 @@
+//! Tour of the attack corpus: applies each of the 73 strategies to one
+//! benign connection and prints what changed — a quick way to see the
+//! simulator's output and the Table 8 taxonomy.
+//!
+//! ```text
+//! cargo run --release --example attack_zoo [-- <strategy-id-substring>]
+//! ```
+
+use clap_repro::dpi_attacks::{registry, ContextCategory};
+use clap_repro::tcp_state::TcpTracker;
+use clap_repro::traffic_gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let benign = traffic_gen::dataset(404, 10);
+    let mut rng = StdRng::seed_from_u64(9);
+
+    println!(
+        "{:<38} {:>5} {:>7} {:>9}  {}",
+        "strategy id", "cat", "#adv", "dropped", "name"
+    );
+    for strategy in registry() {
+        if !strategy.id.contains(&filter) {
+            continue;
+        }
+        // First applicable victim.
+        let Some(result) = benign.iter().find_map(|c| strategy.apply(c, &mut rng)) else {
+            println!("{:<38} (no applicable connection)", strategy.id);
+            continue;
+        };
+        // How does the rigorous reference stack treat the injected packets?
+        let mut tracker = TcpTracker::new();
+        let labels: Vec<_> = result
+            .connection
+            .packets
+            .iter()
+            .enumerate()
+            .map(|(i, p)| tracker.process(p, result.connection.direction(i)))
+            .collect();
+        let dropped = result
+            .adversarial_indices
+            .iter()
+            .filter(|&&i| !labels[i].in_window)
+            .count();
+        let cat = match strategy.category {
+            ContextCategory::InterPacket => "inter",
+            ContextCategory::IntraPacket => "intra",
+        };
+        println!(
+            "{:<38} {:>5} {:>7} {:>6}/{:<2}  {}",
+            strategy.id,
+            cat,
+            result.adversarial_indices.len(),
+            dropped,
+            result.adversarial_indices.len(),
+            strategy.name
+        );
+    }
+}
