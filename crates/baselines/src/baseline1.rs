@@ -12,6 +12,11 @@ use neural::{Autoencoder, AutoencoderConfig, Matrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// Index of the SYN bit inside the flag one-hot block (Table 7 #5–#13).
+const SYN_FLAG_FEATURE: usize = 5;
+/// Extra copies of each SYN-flagged row added to the training matrix.
+const SYN_OVERSAMPLE: usize = 5;
+
 /// Baseline #1 configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Baseline1Config {
@@ -25,7 +30,10 @@ impl Baseline1Config {
     /// Table 6 shape with a minutes-scale epoch budget.
     pub fn quick() -> Self {
         let ae = AutoencoderConfig::baseline1(NUM_PACKET);
-        Baseline1Config { ae, score_window: 5 }
+        Baseline1Config {
+            ae,
+            score_window: 5,
+        }
     }
 
     /// Paper-scale epochs (Table 6: 1000).
@@ -49,11 +57,24 @@ impl Baseline1 {
     pub fn train(benign: &[Connection], cfg: &Baseline1Config) -> Baseline1 {
         let fvs_per_conn: Vec<_> = benign.par_iter().map(extract_connection).collect();
         let ranges = RangeModel::fit(fvs_per_conn.iter().flatten());
-        let rows: Vec<Vec<f32>> = fvs_per_conn
+        let mut rows: Vec<Vec<f32>> = fvs_per_conn
             .iter()
             .flatten()
             .map(|fv| ranges.packet_features(fv))
             .collect();
+        // Handshake rows are a small minority (2–3 per connection), and a
+        // 5-wide bottleneck under L1 loss simply ignores them — leaving the
+        // SYN as every connection's reconstruction-error peak, which blinds
+        // the localize-and-estimate score to real single-packet anomalies.
+        // Oversample SYN-flagged rows so the benign manifold covers them.
+        let syn_rows: Vec<Vec<f32>> = rows
+            .iter()
+            .filter(|r| r[SYN_FLAG_FEATURE] == 1.0)
+            .cloned()
+            .collect();
+        for _ in 0..SYN_OVERSAMPLE {
+            rows.extend(syn_rows.iter().cloned());
+        }
         let mut data = Matrix::zeros(rows.len(), NUM_PACKET);
         for (i, row) in rows.iter().enumerate() {
             data.row_mut(i).copy_from_slice(row);
@@ -62,7 +83,11 @@ impl Baseline1 {
         ae_cfg.layer_sizes = vec![NUM_PACKET, 5, NUM_PACKET];
         let mut ae = Autoencoder::new(&ae_cfg.layer_sizes, ae_cfg.seed);
         ae.train(&data, &ae_cfg);
-        Baseline1 { ranges, ae, score_window: cfg.score_window }
+        Baseline1 {
+            ranges,
+            ae,
+            score_window: cfg.score_window,
+        }
     }
 
     /// Scores one connection with per-packet profiles.
@@ -70,7 +95,8 @@ impl Baseline1 {
         let fvs = extract_connection(conn);
         let mut data = Matrix::zeros(fvs.len(), NUM_PACKET);
         for (i, fv) in fvs.iter().enumerate() {
-            data.row_mut(i).copy_from_slice(&self.ranges.packet_features(fv));
+            data.row_mut(i)
+                .copy_from_slice(&self.ranges.packet_features(fv));
         }
         let window_errors = self.ae.reconstruction_errors(&data);
         let (peak, score) = score_errors(&window_errors, self.score_window);
@@ -114,8 +140,11 @@ mod tests {
         let benign = traffic_gen::dataset(52, 40);
         let b1 = Baseline1::train(&benign, &tiny_cfg());
         let held_out = traffic_gen::dataset(99, 10);
-        let benign_scores: Vec<f32> =
-            b1.score_connections(&held_out).iter().map(|s| s.score).collect();
+        let benign_scores: Vec<f32> = b1
+            .score_connections(&held_out)
+            .iter()
+            .map(|s| s.score)
+            .collect();
 
         let strat = dpi_attacks::strategy_by_id("liberate-bad-tcp-checksum-max").unwrap();
         let attacked = dpi_attacks::build_adversarial_set(strat, &held_out, 1);
@@ -124,7 +153,10 @@ mod tests {
             .map(|r| b1.score_connection(&r.connection).score)
             .collect();
         let auc = clap_core::auc_roc(&benign_scores, &adv_scores);
-        assert!(auc > 0.6, "Baseline1 should catch bad checksums, AUC = {auc}");
+        assert!(
+            auc > 0.6,
+            "Baseline1 should catch bad checksums, AUC = {auc}"
+        );
     }
 
     #[test]
@@ -134,8 +166,11 @@ mod tests {
         let benign = traffic_gen::dataset(53, 40);
         let b1 = Baseline1::train(&benign, &tiny_cfg());
         let held_out = traffic_gen::dataset(98, 10);
-        let benign_scores: Vec<f32> =
-            b1.score_connections(&held_out).iter().map(|s| s.score).collect();
+        let benign_scores: Vec<f32> = b1
+            .score_connections(&held_out)
+            .iter()
+            .map(|s| s.score)
+            .collect();
         let strat = dpi_attacks::strategy_by_id("symtcp-snort-rst-pure").unwrap();
         let attacked = dpi_attacks::build_adversarial_set(strat, &held_out, 1);
         let adv_scores: Vec<f32> = attacked

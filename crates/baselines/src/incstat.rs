@@ -22,7 +22,13 @@ impl IncStat {
     /// `lambda` is the decay rate in 1/seconds (Kitsune uses
     /// λ ∈ {5, 3, 1, 0.1, 0.01}).
     pub fn new(lambda: f64) -> Self {
-        IncStat { lambda, w: 0.0, ls: 0.0, ss: 0.0, last_t: None }
+        IncStat {
+            lambda,
+            w: 0.0,
+            ls: 0.0,
+            ss: 0.0,
+            last_t: None,
+        }
     }
 
     fn decay(&mut self, t: f64) {

@@ -46,7 +46,13 @@ pub struct KitsuneConfig {
 
 impl Default for KitsuneConfig {
     fn default() -> Self {
-        KitsuneConfig { ensemble: 16, epochs: 1, learning_rate: 1e-3, score_window: 5, seed: 0xb2 }
+        KitsuneConfig {
+            ensemble: 16,
+            epochs: 1,
+            learning_rate: 1e-3,
+            score_window: 5,
+            seed: 0xb2,
+        }
     }
 }
 
@@ -195,17 +201,21 @@ fn cluster_features(rows: &[Vec<f32>], k: usize) -> Vec<Vec<usize>> {
             }
             cov /= n;
             let denom = (var[i] * var[j]).sqrt();
-            let corr = if denom > 1e-12 { (cov / denom).abs() } else { 0.0 };
+            let corr = if denom > 1e-12 {
+                (cov / denom).abs()
+            } else {
+                0.0
+            };
             pairs.push((i, j, corr));
         }
     }
-    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
 
     // Union-find with a size cap.
     let cap = dim.div_ceil(k).max(2);
     let mut parent: Vec<usize> = (0..dim).collect();
     let mut size = vec![1usize; dim];
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
             parent[r] = parent[parent[r]];
@@ -252,10 +262,7 @@ fn cluster_features(rows: &[Vec<f32>], k: usize) -> Vec<Vec<usize>> {
 impl KitsuneLite {
     /// Trains on benign traffic.
     pub fn train(benign: &[Connection], cfg: &KitsuneConfig) -> KitsuneLite {
-        let rows: Vec<Vec<f32>> = benign
-            .par_iter()
-            .flat_map_iter(extract_features)
-            .collect();
+        let rows: Vec<Vec<f32>> = benign.par_iter().flat_map_iter(extract_features).collect();
         let norm = MinMax::fit(&rows);
         let normed: Vec<Vec<f32>> = rows.iter().map(|r| norm.apply(r)).collect();
         let clusters = cluster_features(&normed, cfg.ensemble);
@@ -264,7 +271,8 @@ impl KitsuneLite {
         let mut ensemble = Vec::with_capacity(clusters.len());
         for (ci, cluster) in clusters.iter().enumerate() {
             let d = cluster.len();
-            let bottleneck = ((d as f32 * 0.75).round() as usize).clamp(1, d.saturating_sub(1).max(1));
+            let bottleneck =
+                ((d as f32 * 0.75).round() as usize).clamp(1, d.saturating_sub(1).max(1));
             let sizes = vec![d, bottleneck, d];
             let mut data = Matrix::zeros(normed.len(), d);
             for (r, row) in normed.iter().enumerate() {
@@ -284,15 +292,27 @@ impl KitsuneLite {
             ensemble.push(ae);
         }
 
-        // Output AE over the ensemble's per-packet error vector.
+        // Output AE over the ensemble's per-packet error vector, batched
+        // per ensemble member across the whole training set.
         let mut err_rows = Matrix::zeros(normed.len(), clusters.len());
-        for (r, row) in normed.iter().enumerate() {
-            for (ci, (cluster, ae)) in clusters.iter().zip(&ensemble).enumerate() {
-                let sub: Vec<f32> = cluster.iter().map(|&fi| row[fi]).collect();
-                err_rows.set(r, ci, ae.reconstruction_error(&sub));
+        let mut sub = Matrix::default();
+        for (ci, (cluster, ae)) in clusters.iter().zip(&ensemble).enumerate() {
+            sub.resize(normed.len(), cluster.len());
+            for (r, row) in normed.iter().enumerate() {
+                let dst = sub.row_mut(r);
+                for (c, &fi) in cluster.iter().enumerate() {
+                    dst[c] = row[fi];
+                }
+            }
+            for (r, err) in ae.reconstruction_errors(&sub).into_iter().enumerate() {
+                err_rows.set(r, ci, err);
             }
         }
-        let out_sizes = vec![clusters.len(), (clusters.len() * 3 / 4).max(1), clusters.len()];
+        let out_sizes = vec![
+            clusters.len(),
+            (clusters.len() * 3 / 4).max(1),
+            clusters.len(),
+        ];
         let out_cfg = AutoencoderConfig {
             layer_sizes: out_sizes.clone(),
             epochs: cfg.epochs,
@@ -303,27 +323,45 @@ impl KitsuneLite {
         let mut output = Autoencoder::new(&out_sizes, out_cfg.seed);
         output.train(&err_rows, &out_cfg);
 
-        KitsuneLite { norm, clusters, ensemble, output, score_window: cfg.score_window }
+        KitsuneLite {
+            norm,
+            clusters,
+            ensemble,
+            output,
+            score_window: cfg.score_window,
+        }
     }
 
     /// Per-packet anomaly scores (output-AE reconstruction errors).
+    ///
+    /// Batched on the shared GEMM kernels: one forward pass per ensemble
+    /// member over all packets of the connection (instead of one 1-row
+    /// round trip per packet per member), then one batched pass through
+    /// the output autoencoder.
     pub fn packet_scores(&self, conn: &Connection) -> Vec<f32> {
-        extract_features(conn)
+        let rows: Vec<Vec<f32>> = extract_features(conn)
             .iter()
-            .map(|raw| {
-                let row = self.norm.apply(raw);
-                let errs: Vec<f32> = self
-                    .clusters
-                    .iter()
-                    .zip(&self.ensemble)
-                    .map(|(cluster, ae)| {
-                        let sub: Vec<f32> = cluster.iter().map(|&fi| row[fi]).collect();
-                        ae.reconstruction_error(&sub)
-                    })
-                    .collect();
-                self.output.reconstruction_error(&errs)
-            })
-            .collect()
+            .map(|raw| self.norm.apply(raw))
+            .collect();
+        let packets = rows.len();
+        if packets == 0 {
+            return Vec::new();
+        }
+        let mut err_rows = Matrix::zeros(packets, self.clusters.len());
+        let mut sub = Matrix::default();
+        for (ci, (cluster, ae)) in self.clusters.iter().zip(&self.ensemble).enumerate() {
+            sub.resize(packets, cluster.len());
+            for (r, row) in rows.iter().enumerate() {
+                let dst = sub.row_mut(r);
+                for (c, &fi) in cluster.iter().enumerate() {
+                    dst[c] = row[fi];
+                }
+            }
+            for (r, err) in ae.reconstruction_errors(&sub).into_iter().enumerate() {
+                err_rows.set(r, ci, err);
+            }
+        }
+        self.output.reconstruction_errors(&err_rows)
     }
 
     /// Connection-level score via the same localize-and-estimate summary
@@ -386,8 +424,11 @@ mod tests {
         let benign = traffic_gen::dataset(64, 30);
         let model = KitsuneLite::train(&benign, &KitsuneConfig::default());
         let held_out = traffic_gen::dataset(97, 12);
-        let benign_scores: Vec<f32> =
-            model.score_connections(&held_out).iter().map(|s| s.score).collect();
+        let benign_scores: Vec<f32> = model
+            .score_connections(&held_out)
+            .iter()
+            .map(|s| s.score)
+            .collect();
         let strat = dpi_attacks::strategy_by_id("geneva-rst-bad-chksum").unwrap();
         let attacked = dpi_attacks::build_adversarial_set(strat, &held_out, 1);
         let adv_scores: Vec<f32> = attacked

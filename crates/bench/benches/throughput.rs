@@ -15,8 +15,10 @@ fn bench_scoring(c: &mut Criterion) {
     let mut b1_cfg = Baseline1Config::quick();
     b1_cfg.ae.epochs = 10;
     let b1 = Baseline1::train(&train, &b1_cfg);
-    let mut k_cfg = KitsuneConfig::default();
-    k_cfg.epochs = 1;
+    let k_cfg = KitsuneConfig {
+        epochs: 1,
+        ..KitsuneConfig::default()
+    };
     let kitsune = KitsuneLite::train(&train, &k_cfg);
 
     let corpus = traffic_gen::dataset(0xc0de, 20);
@@ -29,6 +31,13 @@ fn bench_scoring(c: &mut Criterion) {
         b.iter_batched(
             || corpus.clone(),
             |conns| clap.score_connections(&conns),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("clap_unfused", |b| {
+        b.iter_batched(
+            || corpus.clone(),
+            |conns| clap.score_connections_unfused(&conns),
             BatchSize::LargeInput,
         )
     });

@@ -60,15 +60,21 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, clap) in &variants {
-        let benign_scores: Vec<f32> =
-            clap.score_connections(&test_benign).iter().map(|s| s.score).collect();
+        let benign_scores: Vec<f32> = clap
+            .score_connections(&test_benign)
+            .iter()
+            .map(|s| s.score)
+            .collect();
         let mut aucs = Vec::new();
         for id in STRATEGIES {
             let strat = dpi_attacks::strategy_by_id(id).unwrap();
             let adv = adversarial_set(strat, &preset);
             let conns: Vec<Connection> = adv.iter().map(|r| r.connection.clone()).collect();
-            let adv_scores: Vec<f32> =
-                clap.score_connections(&conns).iter().map(|s| s.score).collect();
+            let adv_scores: Vec<f32> = clap
+                .score_connections(&conns)
+                .iter()
+                .map(|s| s.score)
+                .collect();
             aucs.push(auc_roc(&benign_scores, &adv_scores));
         }
         let mut row = vec![name.to_string(), format!("{:.3}", mean(&aucs))];
@@ -76,7 +82,10 @@ fn main() {
         rows.push(row);
     }
 
-    println!("\n== Ablation: CLAP design choices (mean AUC over {} strategies) ==", STRATEGIES.len());
+    println!(
+        "\n== Ablation: CLAP design choices (mean AUC over {} strategies) ==",
+        STRATEGIES.len()
+    );
     let mut headers: Vec<&str> = vec!["Variant", "Mean AUC"];
     headers.extend(STRATEGIES.iter().map(|s| &s[..s.len().min(18)]));
     println!("{}", render_table(&headers, &rows));

@@ -16,7 +16,10 @@ fn main() {
     let train_stats = TrafficStats::of(&train);
     let test_stats = TrafficStats::of(&test);
 
-    println!("\n== Table 4: dataset statistics (preset `{}`) ==", preset.name);
+    println!(
+        "\n== Table 4: dataset statistics (preset `{}`) ==",
+        preset.name
+    );
     println!("   (paper: 448,091 training / 92,262 testing TCP/IPv4 packets,");
     println!("    31,198 / 6,424 connections ⇒ ≈14.4 packets/connection)");
     let table = vec![
@@ -38,7 +41,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Split", "Connections", "Packets", "Pkts/Conn", "Payload bytes"],
+            &[
+                "Split",
+                "Connections",
+                "Packets",
+                "Pkts/Conn",
+                "Payload bytes"
+            ],
             &table
         )
     );

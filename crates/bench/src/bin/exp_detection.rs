@@ -9,8 +9,7 @@
 //! With no artifact flag, everything is printed.
 
 use bench::{
-    benign_scores, evaluate_strategy, has_flag, mean, render_table, train_all, DetectionRow,
-    Preset,
+    benign_scores, evaluate_strategy, has_flag, mean, render_table, train_all, DetectionRow, Preset,
 };
 use dpi_attacks::{registry, AttackSource, ContextCategory};
 
@@ -31,7 +30,13 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            eprint!("\r[{}] strategy {}/{} {:<44}", preset.name, i + 1, registry().len(), s.id);
+            eprint!(
+                "\r[{}] strategy {}/{} {:<44}",
+                preset.name,
+                i + 1,
+                registry().len(),
+                s.id
+            );
             evaluate_strategy(&models, s, &preset, &benign)
         })
         .collect();
@@ -59,7 +64,7 @@ fn main() {
     }
 }
 
-fn source_rows<'a>(rows: &'a [DetectionRow], source: AttackSource) -> Vec<&'a DetectionRow> {
+fn source_rows(rows: &[DetectionRow], source: AttackSource) -> Vec<&DetectionRow> {
     let tag = format!("{source:?}");
     rows.iter().filter(|r| r.source == tag).collect()
 }
@@ -75,9 +80,8 @@ fn print_table1(rows: &[DetectionRow]) {
         (AttackSource::Geneva, "Geneva [4]"),
     ] {
         let rs = source_rows(rows, source);
-        let col = |f: &dyn Fn(&DetectionRow) -> f32| {
-            mean(&rs.iter().map(|r| f(r)).collect::<Vec<_>>())
-        };
+        let col =
+            |f: &dyn Fn(&DetectionRow) -> f32| mean(&rs.iter().map(|r| f(r)).collect::<Vec<_>>());
         table.push(vec![
             label.to_string(),
             format!("{:.3}", col(&|r| r.auc[0])),
@@ -89,10 +93,12 @@ fn print_table1(rows: &[DetectionRow]) {
         ]);
     }
     let overall = |m: usize, metric: usize| {
-        mean(&rows
-            .iter()
-            .map(|r| if metric == 0 { r.auc[m] } else { r.eer[m] })
-            .collect::<Vec<_>>())
+        mean(
+            &rows
+                .iter()
+                .map(|r| if metric == 0 { r.auc[m] } else { r.eer[m] })
+                .collect::<Vec<_>>(),
+        )
     };
     table.push(vec![
         "ALL (73)".into(),
@@ -114,7 +120,9 @@ fn print_table1(rows: &[DetectionRow]) {
 
 fn print_table2(rows: &[DetectionRow]) {
     println!("\n== Table 2: inter- vs intra-packet context violations (CLAP vs B1) ==");
-    println!("   (paper: inter 0.925/0.109 vs B1 0.672/0.364; intra 0.980/0.039 vs B1 0.923/0.123)");
+    println!(
+        "   (paper: inter 0.925/0.109 vs B1 0.672/0.364; intra 0.980/0.039 vs B1 0.923/0.123)"
+    );
     let mut table = Vec::new();
     for (cat, label) in [
         (ContextCategory::InterPacket, "Inter-packet (24)"),
@@ -125,10 +133,22 @@ fn print_table2(rows: &[DetectionRow]) {
         table.push(vec![
             label.to_string(),
             format!("{}", rs.len()),
-            format!("{:.3}", mean(&rs.iter().map(|r| r.auc[0]).collect::<Vec<_>>())),
-            format!("{:.3}", mean(&rs.iter().map(|r| r.eer[0]).collect::<Vec<_>>())),
-            format!("{:.3}", mean(&rs.iter().map(|r| r.auc[1]).collect::<Vec<_>>())),
-            format!("{:.3}", mean(&rs.iter().map(|r| r.eer[1]).collect::<Vec<_>>())),
+            format!(
+                "{:.3}",
+                mean(&rs.iter().map(|r| r.auc[0]).collect::<Vec<_>>())
+            ),
+            format!(
+                "{:.3}",
+                mean(&rs.iter().map(|r| r.eer[0]).collect::<Vec<_>>())
+            ),
+            format!(
+                "{:.3}",
+                mean(&rs.iter().map(|r| r.auc[1]).collect::<Vec<_>>())
+            ),
+            format!(
+                "{:.3}",
+                mean(&rs.iter().map(|r| r.eer[1]).collect::<Vec<_>>())
+            ),
         ]);
     }
     println!(
@@ -141,7 +161,10 @@ fn print_table2(rows: &[DetectionRow]) {
 }
 
 fn print_figure(rows: &[DetectionRow], source: AttackSource, figure: &str) {
-    println!("\n== {figure}: per-strategy detection AUC-ROC ({}) ==", source.name());
+    println!(
+        "\n== {figure}: per-strategy detection AUC-ROC ({}) ==",
+        source.name()
+    );
     let rs = source_rows(rows, source);
     let table: Vec<Vec<String>> = rs
         .iter()
@@ -157,6 +180,9 @@ fn print_figure(rows: &[DetectionRow], source: AttackSource, figure: &str) {
         .collect();
     println!(
         "{}",
-        render_table(&["Strategy", "CLAP AUC", "B1 AUC", "B2 AUC", "CLAP EER"], &table)
+        render_table(
+            &["Strategy", "CLAP AUC", "B1 AUC", "B2 AUC", "CLAP EER"],
+            &table
+        )
     );
 }

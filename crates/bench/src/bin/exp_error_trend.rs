@@ -36,12 +36,24 @@ fn main() {
     let benign_scored = models.clap.score_connection(&conn);
     let adv_scored = models.clap.score_connection(&attacked.connection);
 
-    println!("\n== Figure 6: reconstruction-error trend ({}) ==", strategy.name);
-    println!("injected adversarial packet index(es): {:?}", attacked.adversarial_indices);
+    println!(
+        "\n== Figure 6: reconstruction-error trend ({}) ==",
+        strategy.name
+    );
+    println!(
+        "injected adversarial packet index(es): {:?}",
+        attacked.adversarial_indices
+    );
     println!("\nbenign copy   (score {:.4}):", benign_scored.score);
     println!("{}", sparkline(&benign_scored.window_errors, &[]));
-    println!("attacked copy (score {:.4}, peak at window {}):", adv_scored.score, adv_scored.peak_window);
-    println!("{}", sparkline(&adv_scored.window_errors, &attacked.adversarial_indices));
+    println!(
+        "attacked copy (score {:.4}, peak at window {}):",
+        adv_scored.score, adv_scored.peak_window
+    );
+    println!(
+        "{}",
+        sparkline(&adv_scored.window_errors, &attacked.adversarial_indices)
+    );
     println!(
         "\nspike ratio (attacked peak / benign peak): {:.2}",
         max(&adv_scored.window_errors) / max(&benign_scored.window_errors).max(1e-9)

@@ -11,7 +11,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let preset = Preset::from_args(&args);
 
-    println!("\n== Table 6: model hyper-parameters (preset `{}`) ==", preset.name);
+    println!(
+        "\n== Table 6: model hyper-parameters (preset `{}`) ==",
+        preset.name
+    );
     let rnn = &preset.clap.rnn;
     let ae = &preset.clap.ae;
     let b1 = &preset.baseline1.ae;
@@ -48,7 +51,10 @@ fn main() {
             format!("epochs {} (paper: 1)", k.epochs),
         ],
     ];
-    println!("{}", render_table(&["Model", "Architecture", "Training"], &rows));
+    println!(
+        "{}",
+        render_table(&["Model", "Architecture", "Training"], &rows)
+    );
     println!(
         "score: stacked windows of {}, adversarial-score window {} (paper: 3 / 5)",
         preset.clap.stack, preset.clap.score_window

@@ -6,7 +6,9 @@
 //!     [--figure10] [--figure11] [--figure12] [--json out.json]
 //! ```
 
-use bench::{evaluate_localization, has_flag, mean, render_table, train_all, LocalizationRow, Preset};
+use bench::{
+    evaluate_localization, has_flag, mean, render_table, train_all, LocalizationRow, Preset,
+};
 use dpi_attacks::{registry, AttackSource};
 
 fn main() {
@@ -17,12 +19,21 @@ fn main() {
         || has_flag(&args, "--figure12"));
 
     let models = train_all(&preset);
-    eprintln!("[{}] evaluating localization on all 73 strategies…", preset.name);
+    eprintln!(
+        "[{}] evaluating localization on all 73 strategies…",
+        preset.name
+    );
     let rows: Vec<LocalizationRow> = registry()
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            eprint!("\r[{}] strategy {}/{} {:<44}", preset.name, i + 1, registry().len(), s.id);
+            eprint!(
+                "\r[{}] strategy {}/{} {:<44}",
+                preset.name,
+                i + 1,
+                registry().len(),
+                s.id
+            );
             evaluate_localization(&models, s, &preset)
         })
         .collect();
@@ -57,7 +68,10 @@ fn main() {
 }
 
 fn print_figure(rows: &[LocalizationRow], source: AttackSource, figure: &str) {
-    println!("\n== {figure}: per-strategy Top-N localization ({}) ==", source.name());
+    println!(
+        "\n== {figure}: per-strategy Top-N localization ({}) ==",
+        source.name()
+    );
     let tag = format!("{source:?}");
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -71,5 +85,8 @@ fn print_figure(rows: &[LocalizationRow], source: AttackSource, figure: &str) {
             ]
         })
         .collect();
-    println!("{}", render_table(&["Strategy", "Top-5", "Top-3", "Top-1"], &table));
+    println!(
+        "{}",
+        render_table(&["Strategy", "Top-5", "Top-3", "Top-1"], &table)
+    );
 }

@@ -20,7 +20,9 @@ fn main() {
 
     let counts = clap.rnn_confusion(&test);
     println!("\n== Table 5: per-label RNN state-prediction accuracy (held-out) ==");
-    println!("   (paper: overall 0.995; in-window cells ≥ 0.987, sparse out-of-window cells lower)");
+    println!(
+        "   (paper: overall 0.995; in-window cells ≥ 0.987, sparse out-of-window cells lower)"
+    );
     let mut rows = Vec::new();
     let mut correct_total = (0usize, 0usize);
     for (idx, &(correct, total)) in counts.iter().enumerate() {
@@ -30,14 +32,24 @@ fn main() {
         let label = StateLabel::from_class_index(idx);
         rows.push(vec![
             label.state.name().to_string(),
-            if label.in_window { "In-Window".into() } else { "Out-of-Window".into() },
+            if label.in_window {
+                "In-Window".into()
+            } else {
+                "Out-of-Window".into()
+            },
             format!("{total}"),
             format!("{:.4}", correct as f64 / total as f64),
         ]);
         correct_total.0 += correct;
         correct_total.1 += total;
     }
-    println!("{}", render_table(&["TCP state", "Window verdict", "Packets", "Accuracy"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["TCP state", "Window verdict", "Packets", "Accuracy"],
+            &rows
+        )
+    );
     println!(
         "overall accuracy: {:.4} (training-set accuracy {:.4})",
         correct_total.0 as f64 / correct_total.1.max(1) as f64,

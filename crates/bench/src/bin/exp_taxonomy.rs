@@ -10,13 +10,25 @@ use dpi_attacks::{registry, ContextCategory};
 fn main() {
     println!("\n== Table 8: per-context categorization of evasion strategies ==");
     for (cat, label) in [
-        (ContextCategory::InterPacket, "Inter-packet Context Violation"),
-        (ContextCategory::IntraPacket, "Intra-packet Context Violation"),
+        (
+            ContextCategory::InterPacket,
+            "Inter-packet Context Violation",
+        ),
+        (
+            ContextCategory::IntraPacket,
+            "Intra-packet Context Violation",
+        ),
     ] {
         let rows: Vec<Vec<String>> = registry()
             .iter()
             .filter(|s| s.category == cat)
-            .map(|s| vec![s.source.name().to_string(), s.name.to_string(), s.id.to_string()])
+            .map(|s| {
+                vec![
+                    s.source.name().to_string(),
+                    s.name.to_string(),
+                    s.id.to_string(),
+                ]
+            })
             .collect();
         println!("\n-- {label} ({} strategies) --", rows.len());
         println!("{}", render_table(&["From", "Strategy Name", "id"], &rows));
@@ -24,7 +36,13 @@ fn main() {
     println!(
         "total: {} strategies ({} inter / {} intra; paper Table 2: 24 / 49)",
         registry().len(),
-        registry().iter().filter(|s| s.category == ContextCategory::InterPacket).count(),
-        registry().iter().filter(|s| s.category == ContextCategory::IntraPacket).count(),
+        registry()
+            .iter()
+            .filter(|s| s.category == ContextCategory::InterPacket)
+            .count(),
+        registry()
+            .iter()
+            .filter(|s| s.category == ContextCategory::IntraPacket)
+            .count(),
     );
 }

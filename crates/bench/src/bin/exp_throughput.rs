@@ -1,14 +1,36 @@
 //! Table 3: model processing throughput (packets/s and connections/s) of
 //! CLAP vs Baseline #2 (Kitsune), single-threaded as in the paper's
-//! one-logical-core setup (§4.4).
+//! one-logical-core setup (§4.4) — plus the fused-vs-unfused inference
+//! engine comparison for this reproduction.
 //!
 //! ```text
 //! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper]
-//!     [--threads N]
+//!     [--threads N] [--json PATH]
 //! ```
+//!
+//! Writes a machine-readable `BENCH_throughput.json` (override with
+//! `--json`) so the performance trajectory is tracked across PRs.
 
 use bench::{arg_value, render_table, train_all, Preset};
+use serde::Serialize;
 use std::time::Instant;
+
+/// Machine-readable throughput record, one per run.
+#[derive(Debug, Serialize)]
+struct ThroughputReport {
+    preset: String,
+    threads: usize,
+    connections: usize,
+    packets: usize,
+    /// Packets/second of the fused allocation-free CLAP engine.
+    clap_fused_pps: f64,
+    /// Packets/second of the unfused reference CLAP path.
+    clap_unfused_pps: f64,
+    /// Fused ÷ unfused.
+    fusion_speedup: f64,
+    baseline1_pps: f64,
+    kitsune_pps: f64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,6 +38,8 @@ fn main() {
     let threads: usize = arg_value(&args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let json_path =
+        arg_value(&args, "--json").unwrap_or_else(|| "BENCH_throughput.json".to_string());
 
     // The paper constrains both pipelines to one logical core; a local
     // rayon pool pins our parallelism the same way.
@@ -40,32 +64,94 @@ fn main() {
         threads
     );
 
-    let (clap_elapsed, kitsune_elapsed) = pool.install(|| {
-        let t0 = Instant::now();
-        let s1 = models.clap.score_connections(&corpus);
-        let clap_elapsed = t0.elapsed();
-        let t1 = Instant::now();
-        let s2 = models.kitsune.score_connections(&corpus);
-        let kitsune_elapsed = t1.elapsed();
-        assert_eq!(s1.len(), s2.len());
-        (clap_elapsed, kitsune_elapsed)
+    let (fused, unfused, b1, kitsune) = pool.install(|| {
+        // Warm-up pass so one-time costs (page faults, lazy init) don't
+        // skew the first measurement.
+        let warm = models.clap.score_connections(&corpus);
+
+        let t = Instant::now();
+        let s_fused = models.clap.score_connections(&corpus);
+        let fused = t.elapsed();
+
+        let t = Instant::now();
+        let s_unfused = models.clap.score_connections_unfused(&corpus);
+        let unfused = t.elapsed();
+
+        let t = Instant::now();
+        let s_b1 = models.baseline1.score_connections(&corpus);
+        let b1 = t.elapsed();
+
+        let t = Instant::now();
+        let s_k = models.kitsune.score_connections(&corpus);
+        let kitsune = t.elapsed();
+
+        assert_eq!(warm.len(), s_fused.len());
+        assert_eq!(s_fused.len(), s_unfused.len());
+        assert_eq!(s_b1.len(), s_k.len());
+        // The two engines must agree, not just run: scoring is only "fast"
+        // if it is still computing the same thing.
+        for (a, b) in s_fused.iter().zip(&s_unfused) {
+            assert!(
+                (a.score - b.score).abs() < 1e-5,
+                "fused/unfused divergence: {} vs {}",
+                a.score,
+                b.score
+            );
+        }
+        (fused, unfused, b1, kitsune)
     });
 
-    let rate = |elapsed: std::time::Duration, n: usize| n as f64 / elapsed.as_secs_f64();
+    let pps = |elapsed: std::time::Duration| packets as f64 / elapsed.as_secs_f64();
+    let cps = |elapsed: std::time::Duration| corpus.len() as f64 / elapsed.as_secs_f64();
+
     println!("\n== Table 3: model processing throughput ({threads} thread(s)) ==");
     println!("   (paper, 1 core: CLAP 2,162.2 pkt/s / 97.0 conn/s; Kitsune 1,444.5 / 64.8 —");
     println!("    absolute numbers differ by implementation; the shape is CLAP > Kitsune)");
     let table = vec![
         vec![
-            "CLAP".to_string(),
-            format!("{:.1}", rate(clap_elapsed, packets)),
-            format!("{:.1}", rate(clap_elapsed, corpus.len())),
+            "CLAP (fused engine)".to_string(),
+            format!("{:.1}", pps(fused)),
+            format!("{:.1}", cps(fused)),
+        ],
+        vec![
+            "CLAP (unfused reference)".to_string(),
+            format!("{:.1}", pps(unfused)),
+            format!("{:.1}", cps(unfused)),
+        ],
+        vec![
+            "Baseline #1".to_string(),
+            format!("{:.1}", pps(b1)),
+            format!("{:.1}", cps(b1)),
         ],
         vec![
             "Kitsune-lite [17]".to_string(),
-            format!("{:.1}", rate(kitsune_elapsed, packets)),
-            format!("{:.1}", rate(kitsune_elapsed, corpus.len())),
+            format!("{:.1}", pps(kitsune)),
+            format!("{:.1}", cps(kitsune)),
         ],
     ];
-    println!("{}", render_table(&["Model", "Packets/Second", "Connections/Second"], &table));
+    println!(
+        "{}",
+        render_table(&["Model", "Packets/Second", "Connections/Second"], &table)
+    );
+    println!(
+        "fusion speedup: {:.2}x (fused {:.1} pkt/s vs unfused {:.1} pkt/s)",
+        pps(fused) / pps(unfused),
+        pps(fused),
+        pps(unfused)
+    );
+
+    let report = ThroughputReport {
+        preset: preset.name.clone(),
+        threads,
+        connections: corpus.len(),
+        packets,
+        clap_fused_pps: pps(fused),
+        clap_unfused_pps: pps(unfused),
+        fusion_speedup: pps(fused) / pps(unfused),
+        baseline1_pps: pps(b1),
+        kitsune_pps: pps(kitsune),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&json_path, json).expect("write throughput json");
+    eprintln!("wrote {json_path}");
 }

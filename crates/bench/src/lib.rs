@@ -86,7 +86,10 @@ impl Preset {
 
 /// Returns the value following a `--flag` argument.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// True when `--flag` is present.
@@ -127,7 +130,14 @@ pub fn train_all(preset: &Preset) -> TrainedModels {
     eprintln!("[{}] training Baseline #2 (Kitsune-lite)…", preset.name);
     let kitsune = KitsuneLite::train(&train, &preset.kitsune);
 
-    TrainedModels { clap, baseline1, kitsune, train, test_benign, summary }
+    TrainedModels {
+        clap,
+        baseline1,
+        kitsune,
+        train,
+        test_benign,
+        summary,
+    }
 }
 
 /// Detection numbers for one (strategy, model) pair.
@@ -154,10 +164,7 @@ pub struct LocalizationRow {
 
 /// Builds the adversarial test set for a strategy from held-out benign
 /// connections.
-pub fn adversarial_set(
-    strategy: &Strategy,
-    preset: &Preset,
-) -> Vec<AttackResult> {
+pub fn adversarial_set(strategy: &Strategy, preset: &Preset) -> Vec<AttackResult> {
     let base = traffic_gen::dataset(
         preset.seed ^ 0xadb0 ^ dpi_attacks_hash(strategy.id),
         preset.test_adv_per_strategy,
@@ -180,12 +187,24 @@ pub fn evaluate_strategy(
 ) -> DetectionRow {
     let adv = adversarial_set(strategy, preset);
     let adv_conns: Vec<Connection> = adv.iter().map(|r| r.connection.clone()).collect();
-    let clap_scores: Vec<f32> =
-        models.clap.score_connections(&adv_conns).iter().map(|s| s.score).collect();
-    let b1_scores: Vec<f32> =
-        models.baseline1.score_connections(&adv_conns).iter().map(|s| s.score).collect();
-    let b2_scores: Vec<f32> =
-        models.kitsune.score_connections(&adv_conns).iter().map(|s| s.score).collect();
+    let clap_scores: Vec<f32> = models
+        .clap
+        .score_connections(&adv_conns)
+        .iter()
+        .map(|s| s.score)
+        .collect();
+    let b1_scores: Vec<f32> = models
+        .baseline1
+        .score_connections(&adv_conns)
+        .iter()
+        .map(|s| s.score)
+        .collect();
+    let b2_scores: Vec<f32> = models
+        .kitsune
+        .score_connections(&adv_conns)
+        .iter()
+        .map(|s| s.score)
+        .collect();
 
     DetectionRow {
         strategy_id: strategy.id.to_string(),
@@ -285,7 +304,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let sep = |c: char| {
         let mut s = String::from("+");
         for w in &widths {
-            s.push_str(&std::iter::repeat(c).take(w + 2).collect::<String>());
+            s.push_str(&std::iter::repeat_n(c, w + 2).collect::<String>());
             s.push('+');
         }
         s
@@ -301,7 +320,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&sep('-'));
     out.push('\n');
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&sep('='));
     out.push('\n');
@@ -330,8 +351,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--preset", "ci", "--table1"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--preset", "ci", "--table1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--preset").as_deref(), Some("ci"));
         assert!(has_flag(&args, "--table1"));
         assert!(!has_flag(&args, "--table2"));
@@ -342,7 +365,10 @@ mod tests {
     fn table_rendering_aligns() {
         let t = render_table(
             &["a", "bbbb"],
-            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["long".into(), "z".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert!(lines.iter().all(|l| l.len() == lines[0].len()));

@@ -89,13 +89,7 @@ pub fn extract_connection(conn: &Connection) -> Vec<FeatureVector> {
         if isn[dir.index()].is_none() {
             isn[dir.index()] = Some(p.tcp.seq);
         }
-        out.push(extract_packet(
-            p,
-            dir,
-            isn,
-            &mut prev_tsval,
-            &mut prev_time,
-        ));
+        out.push(extract_packet(p, dir, isn, &mut prev_tsval, &mut prev_time));
     }
     out
 }
@@ -112,7 +106,11 @@ fn extract_packet(
 
     // --- Raw numeric values -------------------------------------------
     let r_seq = rel_seq(p.tcp.seq, isn[dir.index()]);
-    let r_ack = if has_ack { rel_seq(p.tcp.ack, isn[dir.flip().index()]) } else { 0.0 };
+    let r_ack = if has_ack {
+        rel_seq(p.tcp.ack, isn[dir.flip().index()])
+    } else {
+        0.0
+    };
     let (tsval, tsecr) = p.tcp.timestamps().unwrap_or((0, 0));
     let ts_delta = match (p.tcp.timestamps(), prev_tsval[dir.index()]) {
         (Some((v, _)), Some(prev)) => v.wrapping_sub(prev) as i32 as f32,
@@ -185,12 +183,15 @@ fn extract_packet(
     debug_assert_eq!(base.len(), NUM_BASE);
 
     // --- Equivalence relation #51: payload_len = ip_len - ihl*4 - off*4 --
-    let expected = i64::from(p.ip.total_length)
-        - i64::from(p.ip.ihl) * 4
-        - i64::from(p.tcp.data_offset) * 4;
+    let expected =
+        i64::from(p.ip.total_length) - i64::from(p.ip.ihl) * 4 - i64::from(p.tcp.data_offset) * 4;
     let equiv_ok = expected == p.payload.len() as i64;
 
-    FeatureVector { base, raw, equiv_ok }
+    FeatureVector {
+        base,
+        raw,
+        equiv_ok,
+    }
 }
 
 /// Benign value ranges for the 18 raw numerics; lights the out-of-range
@@ -246,14 +247,21 @@ impl RangeModel {
     /// Materializes the full 51-dim packet-feature vector
     /// (#1–#32 base, #33–#50 out-of-range flags, #51 equivalence).
     pub fn packet_features(&self, fv: &FeatureVector) -> Vec<f32> {
-        let mut out = Vec::with_capacity(NUM_PACKET);
-        out.extend_from_slice(&fv.base);
-        for (i, &v) in fv.raw.iter().enumerate() {
-            out.push(self.out_of_range(i, v) as u8 as f32);
-        }
-        out.push(fv.equiv_ok as u8 as f32);
-        debug_assert_eq!(out.len(), NUM_PACKET);
+        let mut out = vec![0.0; NUM_PACKET];
+        self.write_packet_features(fv, &mut out);
         out
+    }
+
+    /// Allocation-free variant of [`packet_features`](Self::packet_features):
+    /// writes the 51 values into a caller-owned slice (e.g. a profile-matrix
+    /// row), so the scoring hot path reuses one buffer per worker.
+    pub fn write_packet_features(&self, fv: &FeatureVector, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), NUM_PACKET);
+        out[..NUM_BASE].copy_from_slice(&fv.base);
+        for (i, &v) in fv.raw.iter().enumerate() {
+            out[NUM_BASE + i] = self.out_of_range(i, v) as u8 as f32;
+        }
+        out[NUM_PACKET - 1] = fv.equiv_ok as u8 as f32;
     }
 }
 
@@ -279,10 +287,38 @@ mod tests {
             tcp.flags = flags;
             Packet::new(ts, ip, tcp, payload.to_vec())
         };
-        conn.packets.push(mk(Direction::ClientToServer, TcpFlags::SYN, 1000, 0, &[], 0.0));
-        conn.packets.push(mk(Direction::ServerToClient, TcpFlags::SYN | TcpFlags::ACK, 9000, 1001, &[], 0.01));
-        conn.packets.push(mk(Direction::ClientToServer, TcpFlags::ACK, 1001, 9001, &[], 0.02));
-        conn.packets.push(mk(Direction::ClientToServer, TcpFlags::ACK | TcpFlags::PSH, 1001, 9001, b"hello", 0.03));
+        conn.packets.push(mk(
+            Direction::ClientToServer,
+            TcpFlags::SYN,
+            1000,
+            0,
+            &[],
+            0.0,
+        ));
+        conn.packets.push(mk(
+            Direction::ServerToClient,
+            TcpFlags::SYN | TcpFlags::ACK,
+            9000,
+            1001,
+            &[],
+            0.01,
+        ));
+        conn.packets.push(mk(
+            Direction::ClientToServer,
+            TcpFlags::ACK,
+            1001,
+            9001,
+            &[],
+            0.02,
+        ));
+        conn.packets.push(mk(
+            Direction::ClientToServer,
+            TcpFlags::ACK | TcpFlags::PSH,
+            1001,
+            9001,
+            b"hello",
+            0.03,
+        ));
         conn
     }
 
@@ -303,10 +339,10 @@ mod tests {
         let fvs = extract_connection(&test_conn());
         assert_eq!(fvs[0].base[0], 0.0); // c2s
         assert_eq!(fvs[1].base[0], 1.0); // s2c
-        // #5..#13 one-hot: SYN is the 2nd flag (index 1).
+                                         // #5..#13 one-hot: SYN is the 2nd flag (index 1).
         assert_eq!(fvs[0].base[4 + 1], 1.0);
         assert_eq!(fvs[0].base[4], 0.0); // FIN off
-        // SYN-ACK sets both SYN (idx 1) and ACK (idx 4).
+                                         // SYN-ACK sets both SYN (idx 1) and ACK (idx 4).
         assert_eq!(fvs[1].base[4 + 1], 1.0);
         assert_eq!(fvs[1].base[4 + 4], 1.0);
     }

@@ -45,6 +45,6 @@ pub mod score;
 
 pub use features::{extract_connection, FeatureVector, RangeModel, NUM_BASE, NUM_PACKET, NUM_RAW};
 pub use metrics::{auc_roc, equal_error_rate, roc_curve, top_n_hit, RocPoint};
-pub use pipeline::{Clap, ClapConfig, TrainSummary};
-pub use profile::{ProfileBuilder, GATE_FEATURES, PROFILE_LEN};
+pub use pipeline::{Clap, ClapConfig, ClapScorer, TrainSummary};
+pub use profile::{ProfileBuilder, ProfileWorkspace, GATE_FEATURES, PROFILE_LEN};
 pub use score::{score_errors, ScoredConnection};

@@ -19,14 +19,26 @@ pub fn roc_curve(benign: &[f32], adversarial: &[f32]) -> Vec<RocPoint> {
     thresholds.dedup();
 
     let mut curve = Vec::with_capacity(thresholds.len() + 2);
-    curve.push(RocPoint { threshold: f32::NEG_INFINITY, tpr: 1.0, fpr: 1.0 });
+    curve.push(RocPoint {
+        threshold: f32::NEG_INFINITY,
+        tpr: 1.0,
+        fpr: 1.0,
+    });
     for &th in &thresholds {
         let tp = adversarial.iter().filter(|&&s| s > th).count() as f32;
         let fp = benign.iter().filter(|&&s| s > th).count() as f32;
         curve.push(RocPoint {
             threshold: th,
-            tpr: if adversarial.is_empty() { 0.0 } else { tp / adversarial.len() as f32 },
-            fpr: if benign.is_empty() { 0.0 } else { fp / benign.len() as f32 },
+            tpr: if adversarial.is_empty() {
+                0.0
+            } else {
+                tp / adversarial.len() as f32
+            },
+            fpr: if benign.is_empty() {
+                0.0
+            } else {
+                fp / benign.len() as f32
+            },
         });
     }
     curve
@@ -57,7 +69,11 @@ pub fn auc_roc(benign: &[f32], adversarial: &[f32]) -> f32 {
 pub fn equal_error_rate(benign: &[f32], adversarial: &[f32]) -> f32 {
     let mut curve = roc_curve(benign, adversarial);
     // Walk from permissive to strict; find where FNR (=1-TPR) crosses FPR.
-    curve.sort_by(|a, b| b.fpr.partial_cmp(&a.fpr).unwrap_or(std::cmp::Ordering::Equal));
+    curve.sort_by(|a, b| {
+        b.fpr
+            .partial_cmp(&a.fpr)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut prev: Option<&RocPoint> = None;
     for pt in &curve {
         let fnr = 1.0 - pt.tpr;
@@ -84,9 +100,7 @@ pub fn equal_error_rate(benign: &[f32], adversarial: &[f32]) -> f32 {
 /// within five packets, Top-3 = within three, Top-1 = exact.)
 pub fn top_n_hit(identified: usize, truth: &[usize], n: usize) -> bool {
     let radius = (n.max(1) - 1) / 2;
-    truth
-        .iter()
-        .any(|&t| identified.abs_diff(t) <= radius)
+    truth.iter().any(|&t| identified.abs_diff(t) <= radius)
 }
 
 #[cfg(test)]

@@ -1,10 +1,13 @@
 //! The end-to-end CLAP pipeline: training (Figure 2) and testing (Figure 3).
 
 use crate::features::{extract_connection, FeatureVector, RangeModel, NUM_BASE};
-use crate::profile::ProfileBuilder;
+use crate::profile::{ProfileBuilder, ProfileWorkspace};
 use crate::score::{score_errors, ScoredConnection};
 use net_packet::Connection;
-use neural::{Autoencoder, AutoencoderConfig, GruClassifier, GruClassifierConfig, Matrix, TrainReport};
+use neural::{
+    AeWorkspace, Autoencoder, AutoencoderConfig, GruClassifier, GruClassifierConfig, GruWorkspace,
+    Matrix, PackedGru, TrainReport,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tcp_state::{label_connection, NUM_CLASSES};
@@ -31,7 +34,12 @@ impl ClapConfig {
         let mut ae = AutoencoderConfig::clap_paper(stack * crate::profile::PROFILE_LEN);
         rnn.epochs = 30;
         ae.epochs = 1000;
-        ClapConfig { rnn, ae, stack, score_window: 5 }
+        ClapConfig {
+            rnn,
+            ae,
+            stack,
+            score_window: 5,
+        }
     }
 
     /// Minutes-scale preset: same architecture, fewer epochs. The default
@@ -90,13 +98,16 @@ impl Clap {
             benign.par_iter().map(extract_connection).collect();
         let ranges = RangeModel::fit(fvs_per_conn.iter().flatten());
 
-        let sequences: Vec<(Vec<Vec<f32>>, Vec<usize>)> = benign
+        // Sequences borrow the feature rows — no per-packet clones.
+        let sequences: Vec<(Vec<&[f32]>, Vec<usize>)> = benign
             .par_iter()
             .zip(&fvs_per_conn)
             .map(|(conn, fvs)| {
-                let xs: Vec<Vec<f32>> = fvs.iter().map(|fv| fv.base.clone()).collect();
-                let ys: Vec<usize> =
-                    label_connection(conn).iter().map(|l| l.class_index()).collect();
+                let xs: Vec<&[f32]> = fvs.iter().map(|fv| fv.base.as_slice()).collect();
+                let ys: Vec<usize> = label_connection(conn)
+                    .iter()
+                    .map(|l| l.class_index())
+                    .collect();
                 (xs, ys)
             })
             .collect();
@@ -125,19 +136,56 @@ impl Clap {
         let mut ae = Autoencoder::new(&ae_cfg.layer_sizes, ae_cfg.seed);
         let ae_losses = ae.train(&data, &ae_cfg);
 
-        let clap = Clap { config: cfg.clone(), ranges, rnn, ae };
-        let summary =
-            TrainSummary { rnn_report, rnn_accuracy, ae_losses, profiles: total_rows };
+        let clap = Clap {
+            config: cfg.clone(),
+            ranges,
+            rnn,
+            ae,
+        };
+        let summary = TrainSummary {
+            rnn_report,
+            rnn_accuracy,
+            ae_losses,
+            profiles: total_rows,
+        };
         (clap, summary)
+    }
+
+    /// Builds a reusable scoring session holding the packed GRU weights
+    /// and every scratch arena the fused hot path needs. One scorer per
+    /// worker thread; scoring through it is allocation-free in steady
+    /// state (aside from the returned results).
+    pub fn scorer(&self) -> ClapScorer<'_> {
+        ClapScorer {
+            clap: self,
+            builder: ProfileBuilder::new(self.config.stack),
+            packed: self.rnn.packed(),
+            profiles: ProfileWorkspace::new(),
+            ae_ws: AeWorkspace::new(),
+            batch: Matrix::default(),
+            errors: Vec::new(),
+        }
     }
 
     /// Stage (d): scores one unseen connection. Higher = more likely to
     /// contain adversarial packets.
+    ///
+    /// Convenience wrapper that builds a fresh [`ClapScorer`]; loops should
+    /// create one scorer via [`Clap::scorer`] and reuse it.
     pub fn score_connection(&self, conn: &Connection) -> ScoredConnection {
+        self.scorer().score_connection(conn)
+    }
+
+    /// Reference (unfused) scoring path, frozen at the seed
+    /// implementation: naive sequential-sum kernels, six matvecs per
+    /// packet, fresh buffers everywhere. Kept to prove the fused engine
+    /// equivalent and to measure the speedup; not used by production
+    /// scoring.
+    pub fn score_connection_unfused(&self, conn: &Connection) -> ScoredConnection {
         let fvs = extract_connection(conn);
         let builder = ProfileBuilder::new(self.config.stack);
-        let stacked = builder.stacked_profiles(&self.ranges, &self.rnn, &fvs);
-        let window_errors = self.ae.reconstruction_errors(&stacked);
+        let stacked = builder.stacked_profiles_unfused(&self.ranges, &self.rnn, &fvs);
+        let window_errors = self.ae.reconstruction_errors_unfused(&stacked);
         let (peak_window, score) = score_errors(&window_errors, self.config.score_window);
         ScoredConnection {
             peak_packet: builder.window_center(peak_window, conn.len()),
@@ -147,9 +195,33 @@ impl Clap {
         }
     }
 
-    /// Scores a batch of connections in parallel.
+    /// Parallel batch scoring over the unfused reference path (see
+    /// [`score_connection_unfused`](Self::score_connection_unfused)).
+    pub fn score_connections_unfused(&self, conns: &[Connection]) -> Vec<ScoredConnection> {
+        conns
+            .par_iter()
+            .map(|c| self.score_connection_unfused(c))
+            .collect()
+    }
+
+    /// Scores a batch of connections, sharding them across rayon workers.
+    /// Each worker owns one [`ClapScorer`] arena set and pushes its whole
+    /// shard through the autoencoder in per-shard batched GEMM chains.
     pub fn score_connections(&self, conns: &[Connection]) -> Vec<ScoredConnection> {
-        conns.par_iter().map(|c| self.score_connection(c)).collect()
+        if conns.is_empty() {
+            return Vec::new();
+        }
+        // ~4 shards per worker keeps the pool busy despite uneven
+        // connection lengths, while each shard is still large enough to
+        // batch well. Sized from the executing rayon pool, so a pinned
+        // single-thread pool gets 4 large batches, not one per core.
+        let workers = rayon::current_num_threads().max(1);
+        let shard = conns.len().div_ceil(workers * 4).max(1);
+        let nested: Vec<Vec<ScoredConnection>> = conns
+            .par_chunks(shard)
+            .map(|chunk| self.scorer().score_batch(chunk))
+            .collect();
+        nested.into_iter().flatten().collect()
     }
 
     /// Boolean verdict against a deployer-chosen threshold.
@@ -166,9 +238,13 @@ impl Clap {
     /// Suggests a detection threshold as a quantile of benign scores
     /// (e.g. `0.95` → ≈5% false-positive budget).
     pub fn threshold_from_benign(&self, benign: &[Connection], quantile: f64) -> f32 {
-        let mut scores: Vec<f32> =
-            self.score_connections(benign).iter().map(|s| s.score).collect();
-        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut scores: Vec<f32> = self
+            .score_connections(benign)
+            .iter()
+            .map(|s| s.score)
+            .collect();
+        // total_cmp: a NaN score must not scramble the quantile order.
+        scores.sort_by(f32::total_cmp);
         if scores.is_empty() {
             return 0.0;
         }
@@ -177,14 +253,24 @@ impl Clap {
     }
 
     /// Per-label `(correct, total)` state-prediction counts on a labelled
-    /// corpus — the data behind the paper's Table 5.
+    /// corpus — the data behind the paper's Table 5. Runs on the fused
+    /// engine with one reused arena: no per-packet clones.
     pub fn rnn_confusion(&self, conns: &[Connection]) -> Vec<(usize, usize)> {
+        let packed = self.rnn.packed();
+        let mut ws = GruWorkspace::new();
+        let mut x = Matrix::default();
+        let mut logits = vec![0.0f32; self.rnn.num_classes()];
+        let mut preds = Vec::new();
         let mut counts = vec![(0usize, 0usize); NUM_CLASSES];
         for conn in conns {
             let fvs = extract_connection(conn);
-            let xs: Vec<Vec<f32>> = fvs.iter().map(|fv| fv.base.clone()).collect();
-            let preds = self.rnn.predict(&xs);
-            for (label, pred) in label_connection(conn).iter().zip(preds) {
+            x.resize(fvs.len(), NUM_BASE);
+            for (t, fv) in fvs.iter().enumerate() {
+                x.row_mut(t).copy_from_slice(&fv.base);
+            }
+            self.rnn
+                .predict_packed_into(&packed, &x, &mut ws, &mut logits, &mut preds);
+            for (label, &pred) in label_connection(conn).iter().zip(&preds) {
                 let idx = label.class_index();
                 counts[idx].1 += 1;
                 counts[idx].0 += usize::from(pred == idx);
@@ -204,6 +290,92 @@ impl Clap {
     }
 }
 
+/// A scoring session: the gate-packed GRU weights plus every scratch arena
+/// the fused hot path threads through ([`ProfileWorkspace`],
+/// [`AeWorkspace`], the shard batch matrix and the error buffer). Create
+/// one per worker via [`Clap::scorer`] and feed it connections; steady
+/// state performs no heap allocation beyond the returned results.
+pub struct ClapScorer<'a> {
+    clap: &'a Clap,
+    builder: ProfileBuilder,
+    packed: PackedGru,
+    profiles: ProfileWorkspace,
+    ae_ws: AeWorkspace,
+    /// Concatenated stacked profiles of one shard (AE batch input).
+    batch: Matrix,
+    errors: Vec<f32>,
+}
+
+impl ClapScorer<'_> {
+    /// Scores one connection through the fused engine.
+    pub fn score_connection(&mut self, conn: &Connection) -> ScoredConnection {
+        let fvs = extract_connection(conn);
+        self.builder.stacked_profiles_into(
+            &self.clap.ranges,
+            &self.packed,
+            &fvs,
+            &mut self.profiles,
+        );
+        self.errors.clear();
+        self.clap.ae.reconstruction_errors_into(
+            &self.profiles.stacked,
+            &mut self.ae_ws,
+            &mut self.errors,
+        );
+        let (peak_window, score) = score_errors(&self.errors, self.clap.config.score_window);
+        ScoredConnection {
+            peak_packet: self.builder.window_center(peak_window, conn.len()),
+            peak_window,
+            window_errors: self.errors.clone(),
+            score,
+        }
+    }
+
+    /// Scores a shard of connections, pushing **all** their stacked
+    /// windows through the autoencoder in one batched GEMM chain instead
+    /// of one chain per connection.
+    pub fn score_batch(&mut self, conns: &[Connection]) -> Vec<ScoredConnection> {
+        let width = self.builder.stacked_len();
+        self.batch.data.clear();
+        self.batch.cols = width;
+        let mut rows_per_conn = Vec::with_capacity(conns.len());
+        for conn in conns {
+            let fvs = extract_connection(conn);
+            self.builder.stacked_profiles_into(
+                &self.clap.ranges,
+                &self.packed,
+                &fvs,
+                &mut self.profiles,
+            );
+            self.batch
+                .data
+                .extend_from_slice(&self.profiles.stacked.data);
+            rows_per_conn.push(self.profiles.stacked.rows);
+        }
+        self.batch.rows = rows_per_conn.iter().sum();
+
+        self.errors.clear();
+        self.clap
+            .ae
+            .reconstruction_errors_into(&self.batch, &mut self.ae_ws, &mut self.errors);
+
+        let mut out = Vec::with_capacity(conns.len());
+        let mut offset = 0;
+        for (conn, &rows) in conns.iter().zip(&rows_per_conn) {
+            let window_errors = self.errors[offset..offset + rows].to_vec();
+            offset += rows;
+            let (peak_window, score) = score_errors(&window_errors, self.clap.config.score_window);
+            out.push(ScoredConnection {
+                peak_packet: self.builder.window_center(peak_window, conn.len()),
+                peak_window,
+                window_errors,
+                score,
+            });
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,7 +390,11 @@ mod tests {
     fn train_and_score_smoke() {
         let benign = traffic_gen::dataset(21, 30);
         let (clap, summary) = Clap::train(&benign, &tiny_cfg());
-        assert!(summary.rnn_accuracy > 0.5, "accuracy {}", summary.rnn_accuracy);
+        assert!(
+            summary.rnn_accuracy > 0.5,
+            "accuracy {}",
+            summary.rnn_accuracy
+        );
         assert!(summary.profiles > 100);
         assert!(summary.ae_losses.last().unwrap() < &summary.ae_losses[0]);
         let s = clap.score_connection(&benign[0]);
@@ -284,6 +460,58 @@ mod tests {
         let b = back.score_connection(&benign[3]);
         assert_eq!(a.score, b.score);
         assert_eq!(a.peak_packet, b.peak_packet);
+    }
+
+    /// The headline equivalence guarantee: the fused engine (packed GRU,
+    /// workspace arenas, batched AE) scores every connection identically
+    /// (≤1e-6) to the unfused reference path, via both the single and the
+    /// sharded batch entry points.
+    #[test]
+    fn fused_engine_matches_unfused_reference() {
+        let benign = traffic_gen::dataset(26, 25);
+        let (clap, _) = Clap::train(&benign, &tiny_cfg());
+        let corpus = traffic_gen::dataset(777, 30);
+
+        let reference = clap.score_connections_unfused(&corpus);
+        let batched = clap.score_connections(&corpus);
+        let mut scorer = clap.scorer();
+        assert_eq!(reference.len(), batched.len());
+        for (conn, (r, b)) in corpus.iter().zip(reference.iter().zip(&batched)) {
+            let single = scorer.score_connection(conn);
+            for fused in [&single, b] {
+                assert!(
+                    (r.score - fused.score).abs() < 1e-6,
+                    "score drift: {} vs {}",
+                    r.score,
+                    fused.score
+                );
+                assert_eq!(r.peak_window, fused.peak_window);
+                assert_eq!(r.peak_packet, fused.peak_packet);
+                assert_eq!(r.window_errors.len(), fused.window_errors.len());
+                for (x, y) in r.window_errors.iter().zip(&fused.window_errors) {
+                    assert!((x - y).abs() < 1e-6, "window error drift: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    /// Scorer arenas are reused across connections of wildly different
+    /// lengths; reuse must never change results versus a fresh scorer.
+    #[test]
+    fn scorer_reuse_across_connection_sizes() {
+        let benign = traffic_gen::dataset(27, 20);
+        let (clap, _) = Clap::train(&benign, &tiny_cfg());
+        let corpus = traffic_gen::dataset(888, 12);
+        let mut reused = clap.scorer();
+        // Interleave: big/small connections through one scorer.
+        for _ in 0..2 {
+            for conn in &corpus {
+                let a = reused.score_connection(conn);
+                let b = clap.scorer().score_connection(conn);
+                assert_eq!(a.score, b.score, "arena reuse changed a score");
+                assert_eq!(a.window_errors, b.window_errors);
+            }
+        }
     }
 
     #[test]

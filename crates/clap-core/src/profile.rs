@@ -7,8 +7,30 @@
 //! temporal neighbourhood explicitly — the chain-graph view of Figure 5.
 
 use crate::features::{FeatureVector, RangeModel, NUM_PACKET};
-use neural::{GruClassifier, Matrix};
+use neural::{GruClassifier, GruWorkspace, Matrix, PackedGru};
 use serde::{Deserialize, Serialize};
+
+/// Per-worker scratch arena for fused profile construction: the RNN input
+/// matrix, the GRU workspace and the single/stacked profile matrices are
+/// all reused across connections, so steady-state profile building
+/// allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileWorkspace {
+    /// `T×NUM_BASE` RNN inputs, copied straight from feature vectors.
+    x: Matrix,
+    /// Gate trajectories from the packed GRU run.
+    pub gru: GruWorkspace,
+    /// `T_padded×PROFILE_LEN` single-packet profiles.
+    singles: Matrix,
+    /// `rows×stacked_len()` stacked windows — the autoencoder input.
+    pub stacked: Matrix,
+}
+
+impl ProfileWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Gate features appended per packet: update + reset gates, `hidden` each.
 pub const GATE_FEATURES: usize = 64;
@@ -82,6 +104,95 @@ impl ProfileBuilder {
         m
     }
 
+    /// Seed-era profile construction on the frozen naive kernels: one
+    /// `Vec` per profile row, per-packet feature vectors, unfused GRU.
+    /// The pre-fusion baseline for equivalence tests and benchmarks.
+    pub fn stacked_profiles_unfused(
+        &self,
+        ranges: &RangeModel,
+        rnn: &GruClassifier,
+        fvs: &[FeatureVector],
+    ) -> Matrix {
+        let rnn_inputs: Vec<&[f32]> = fvs.iter().map(|fv| fv.base.as_slice()).collect();
+        let trace = rnn.trace_unfused(&rnn_inputs);
+        let mut singles: Vec<Vec<f32>> = fvs
+            .iter()
+            .enumerate()
+            .map(|(t, fv)| {
+                let mut row = ranges.packet_features(fv);
+                row.extend_from_slice(&trace.zs[t]);
+                row.extend_from_slice(&trace.rs[t]);
+                row
+            })
+            .collect();
+        if singles.is_empty() {
+            return Matrix::zeros(0, self.stacked_len());
+        }
+        while singles.len() < self.stack {
+            singles.push(singles.last().unwrap().clone());
+        }
+        let rows = singles.len() - self.stack + 1;
+        let mut m = Matrix::zeros(rows, self.stacked_len());
+        for r in 0..rows {
+            let row = m.row_mut(r);
+            for (j, single) in singles[r..r + self.stack].iter().enumerate() {
+                row[j * PROFILE_LEN..(j + 1) * PROFILE_LEN].copy_from_slice(single);
+            }
+        }
+        m
+    }
+
+    /// Fused, allocation-free equivalent of
+    /// [`stacked_profiles`](Self::stacked_profiles): runs the packed GRU
+    /// over the whole sequence (one GEMM for the input side), writes
+    /// features and gate activations straight into reused matrix rows, and
+    /// leaves the stacked windows in `ws.stacked`.
+    ///
+    /// Equivalence with the naive path is pinned to 1e-6 by the test suite.
+    pub fn stacked_profiles_into(
+        &self,
+        ranges: &RangeModel,
+        packed: &PackedGru,
+        fvs: &[FeatureVector],
+        ws: &mut ProfileWorkspace,
+    ) {
+        let steps = fvs.len();
+        if steps == 0 {
+            ws.stacked.resize(0, self.stacked_len());
+            return;
+        }
+        ws.x.resize(steps, packed.input_size());
+        for (t, fv) in fvs.iter().enumerate() {
+            ws.x.row_mut(t).copy_from_slice(&fv.base);
+        }
+        packed.run(&ws.x, &mut ws.gru);
+        let hidden = packed.hidden_size();
+        debug_assert_eq!(2 * hidden, GATE_FEATURES);
+
+        // Single-packet profiles, padded by repeating the last row so every
+        // connection yields at least one stacked window.
+        let padded = steps.max(self.stack);
+        ws.singles.resize(padded, PROFILE_LEN);
+        for (t, fv) in fvs.iter().enumerate() {
+            let row = ws.singles.row_mut(t);
+            ranges.write_packet_features(fv, &mut row[..NUM_PACKET]);
+            row[NUM_PACKET..NUM_PACKET + hidden].copy_from_slice(ws.gru.zs.row(t));
+            row[NUM_PACKET + hidden..].copy_from_slice(ws.gru.rs.row(t));
+        }
+        for t in steps..padded {
+            let (done, todo) = ws.singles.data.split_at_mut(t * PROFILE_LEN);
+            todo[..PROFILE_LEN]
+                .copy_from_slice(&done[(steps - 1) * PROFILE_LEN..steps * PROFILE_LEN]);
+        }
+
+        let rows = padded - self.stack + 1;
+        ws.stacked.resize(rows, self.stacked_len());
+        for r in 0..rows {
+            let src = &ws.singles.data[r * PROFILE_LEN..(r + self.stack) * PROFILE_LEN];
+            ws.stacked.row_mut(r).copy_from_slice(src);
+        }
+    }
+
     /// Maps a stacked-window index to the packet index CLAP reports when
     /// localizing: the window's center packet (clamped to the connection).
     pub fn window_center(&self, window_idx: usize, num_packets: usize) -> usize {
@@ -111,7 +222,11 @@ mod tests {
     #[test]
     fn profile_dimensions_match_paper() {
         assert_eq!(PROFILE_LEN, 115, "Table 7 lists 115 per-packet entries");
-        assert_eq!(ProfileBuilder::new(3).stacked_len(), 345, "Table 6 AE input");
+        assert_eq!(
+            ProfileBuilder::new(3).stacked_len(),
+            345,
+            "Table 6 AE input"
+        );
     }
 
     #[test]

@@ -27,11 +27,9 @@ impl ScoredConnection {
     /// forensics.
     pub fn top_packets(&self, n: usize, window_to_packet: impl Fn(usize) -> usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.window_errors.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.window_errors[b]
-                .partial_cmp(&self.window_errors[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // total_cmp: NaN errors sort deterministically instead of
+        // scrambling the ranking.
+        idx.sort_by(|&a, &b| self.window_errors[b].total_cmp(&self.window_errors[a]));
         let mut out = Vec::new();
         for w in idx.into_iter().map(window_to_packet) {
             if !out.contains(&w) {

@@ -1,7 +1,9 @@
 //! Property-based tests for CLAP's feature extraction, metrics and
 //! scoring invariants.
 
-use clap_core::{auc_roc, equal_error_rate, extract_connection, roc_curve, score_errors, RangeModel};
+use clap_core::{
+    auc_roc, equal_error_rate, extract_connection, roc_curve, score_errors, RangeModel,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -93,7 +93,9 @@ impl Corruption {
                 p.tcp.checksum ^= rng.gen_range(1u16..=u16::MAX);
             }
             Corruption::BadSeq => {
-                p.tcp.seq = ctx.snd_nxt.wrapping_add(rng.gen_range(0x1000_0000u32..0x7000_0000));
+                p.tcp.seq = ctx
+                    .snd_nxt
+                    .wrapping_add(rng.gen_range(0x1000_0000u32..0x7000_0000));
             }
             Corruption::UnderflowSeq => {
                 p.tcp.seq = ctx.isn.wrapping_sub(rng.gen_range(100_000u32..50_000_000));
@@ -102,7 +104,9 @@ impl Corruption {
                 p.tcp.seq = ctx.snd_nxt.wrapping_add(rng.gen_range(64u32..8_192));
             }
             Corruption::OverlappingSeq => {
-                let back = rng.gen_range(1u32..64).min(ctx.snd_nxt.wrapping_sub(ctx.isn).max(1));
+                let back = rng
+                    .gen_range(1u32..64)
+                    .min(ctx.snd_nxt.wrapping_sub(ctx.isn).max(1));
                 p.tcp.seq = ctx.snd_nxt.wrapping_sub(back);
             }
             Corruption::BadAck => {
@@ -125,17 +129,28 @@ impl Corruption {
             Corruption::BadTimestamp => {
                 let base = ctx.last_tsval.unwrap_or(1_000_000);
                 let old = base.wrapping_sub(rng.gen_range(0x0100_0000u32..0x4000_0000));
-                p.tcp.options.retain(|o| !matches!(o, TcpOption::Timestamps { .. }));
-                p.tcp.options.push(TcpOption::Timestamps { tsval: old, tsecr: 0 });
+                p.tcp
+                    .options
+                    .retain(|o| !matches!(o, TcpOption::Timestamps { .. }));
+                p.tcp.options.push(TcpOption::Timestamps {
+                    tsval: old,
+                    tsecr: 0,
+                });
                 p.tcp.normalize_data_offset();
             }
             Corruption::UtoOption => {
-                p.tcp.options.push(TcpOption::UserTimeout(rng.gen_range(1u16..=0x7fff)));
+                p.tcp
+                    .options
+                    .push(TcpOption::UserTimeout(rng.gen_range(1u16..=0x7fff)));
                 p.tcp.normalize_data_offset();
             }
             Corruption::InvalidWScale => {
-                p.tcp.options.retain(|o| !matches!(o, TcpOption::WindowScale(_)));
-                p.tcp.options.push(TcpOption::WindowScale(rng.gen_range(15u8..=200)));
+                p.tcp
+                    .options
+                    .retain(|o| !matches!(o, TcpOption::WindowScale(_)));
+                p.tcp
+                    .options
+                    .push(TcpOption::WindowScale(rng.gen_range(15u8..=200)));
                 p.tcp.normalize_data_offset();
             }
             Corruption::LowTtl => {
@@ -143,7 +158,9 @@ impl Corruption {
             }
             Corruption::DataOffsetTooLarge => {
                 let real = (p.tcp.header_len_bytes() / 4) as u8;
-                p.tcp.data_offset = rng.gen_range((real + 1).min(15)..=15).max(real.saturating_add(1).min(15));
+                p.tcp.data_offset = rng
+                    .gen_range((real + 1).min(15)..=15)
+                    .max(real.saturating_add(1).min(15));
             }
             Corruption::DataOffsetTooSmall => {
                 p.tcp.data_offset = rng.gen_range(0u8..5);
@@ -213,7 +230,11 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn ctx() -> SeqContext {
-        SeqContext { isn: 10_000, snd_nxt: 15_000, last_tsval: Some(500_000) }
+        SeqContext {
+            isn: 10_000,
+            snd_nxt: 15_000,
+            last_tsval: Some(500_000),
+        }
     }
 
     fn packet() -> Packet {
@@ -262,7 +283,12 @@ mod tests {
 
     #[test]
     fn option_corruptions_keep_offsets_consistent() {
-        for c in [Corruption::Md5Option, Corruption::BadTimestamp, Corruption::UtoOption, Corruption::InvalidWScale] {
+        for c in [
+            Corruption::Md5Option,
+            Corruption::BadTimestamp,
+            Corruption::UtoOption,
+            Corruption::InvalidWScale,
+        ] {
             let mut p = packet();
             Corruption::apply_all(&[c], &mut p, &ctx(), &mut rng());
             assert!(p.tcp.data_offset_consistent(), "{c:?} broke data offset");
@@ -288,7 +314,10 @@ mod tests {
         ] {
             let mut p = packet();
             Corruption::apply_all(&[c], &mut p, &ctx(), &mut rng());
-            assert!(!TcpTracker::segment_acceptable(&p), "{c:?} should be endhost-dropped");
+            assert!(
+                !TcpTracker::segment_acceptable(&p),
+                "{c:?} should be endhost-dropped"
+            );
         }
     }
 
@@ -305,7 +334,10 @@ mod tests {
         let mut p = packet();
         Corruption::apply_all(&[Corruption::LowTtl], &mut p, &ctx(), &mut rng());
         assert!((1..=4).contains(&p.ip.ttl));
-        assert!(p.ip_checksum_valid(), "TTL rewrite must refresh the IP checksum");
+        assert!(
+            p.ip_checksum_valid(),
+            "TTL rewrite must refresh the IP checksum"
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod strategy;
 
 pub use corruption::Corruption;
 pub use registry::{registry, strategies_from, strategy_by_id, Strategy};
-pub use strategy::{AttackResult, AttackSource, ContextCategory, InjectionPoint, Mechanic, ShadowCount};
+pub use strategy::{
+    AttackResult, AttackSource, ContextCategory, InjectionPoint, Mechanic, ShadowCount,
+};
 
 use net_packet::Connection;
 use rand::rngs::StdRng;
@@ -111,7 +113,11 @@ mod tests {
                 benign.len()
             );
             for r in &set {
-                assert!(!r.adversarial_indices.is_empty(), "{}: no ground truth", strat.id);
+                assert!(
+                    !r.adversarial_indices.is_empty(),
+                    "{}: no ground truth",
+                    strat.id
+                );
                 for &i in &r.adversarial_indices {
                     assert!(i < r.connection.len(), "{}: index out of range", strat.id);
                 }

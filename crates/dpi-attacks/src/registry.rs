@@ -51,15 +51,27 @@ fn inject(
     payload: usize,
     corruptions: &[Corruption],
 ) -> Mechanic {
-    Mechanic::Inject { point, flags, payload, corruptions: corruptions.to_vec() }
+    Mechanic::Inject {
+        point,
+        flags,
+        payload,
+        corruptions: corruptions.to_vec(),
+    }
 }
 
 fn shadow(count: ShadowCount, corruptions: &[Corruption]) -> Mechanic {
-    Mechanic::ShadowData { count, corruptions: corruptions.to_vec() }
+    Mechanic::ShadowData {
+        count,
+        corruptions: corruptions.to_vec(),
+    }
 }
 
 fn shadow_rst(count: ShadowCount, with_ack: bool, corruptions: &[Corruption]) -> Mechanic {
-    Mechanic::ShadowRst { count, with_ack, corruptions: corruptions.to_vec() }
+    Mechanic::ShadowRst {
+        count,
+        with_ack,
+        corruptions: corruptions.to_vec(),
+    }
 }
 
 fn build_registry() -> Vec<Strategy> {
@@ -75,164 +87,543 @@ fn build_registry() -> Vec<Strategy> {
     let synack = TcpFlags::SYN | TcpFlags::ACK;
     let _ = ACK;
 
-    let s = |id, name, source, category, mechanic| Strategy { id, name, source, category, mechanic };
+    let s = |id, name, source, category, mechanic| Strategy {
+        id,
+        name,
+        source,
+        category,
+        mechanic,
+    };
 
     vec![
         // ============== SymTCP [23] — 30 strategies =====================
         // --- inter-packet (12) -----------------------------------------
-        s("symtcp-zeek-data-bad-seq", "Zeek: Data Packet (ACK) Bad SEQ",
-            SymTcp, InterPacket, inject(AfterHandshake, data, 64, &[BadSeq])),
-        s("symtcp-gfw-data-bad-chksum-md5", "GFW: Data Packet (ACK) Bad TCP-Checksum/MD5-Option",
-            SymTcp, InterPacket, inject(AfterHandshake, data, 64, &[Md5Option, BadTcpChecksum])),
-        s("symtcp-gfw-data-no-ack", "GFW: Data Packet (ACK) wo/ ACK Flag",
-            SymTcp, InterPacket, inject(AfterHandshake, data, 64, &[NoAckFlag])),
-        s("symtcp-zeek-data-no-ack", "Zeek: Data Packet (ACK) wo/ ACK Flag",
-            SymTcp, InterPacket, inject(BeforeFirstData, data, 64, &[NoAckFlag])),
-        s("symtcp-zeek-data-bad-ack", "Zeek: Data Packet (ACK) Bad ACK Num",
-            SymTcp, InterPacket, inject(AfterHandshake, data, 64, &[BadAck])),
-        s("symtcp-zeek-data-overlapping", "Zeek: Data Packet (ACK) Overlapping",
-            SymTcp, InterPacket, inject(BeforeFirstData, data, 64, &[OverlappingSeq])),
-        s("symtcp-gfw-finack-bad-ack", "GFW: Injected FIN-ACK Bad ACK Num",
-            SymTcp, InterPacket, inject(AfterHandshake, finack, 0, &[BadAck])),
-        s("symtcp-snort-finack-bad-ack", "Snort: Injected FIN-ACK Bad ACK Num",
-            SymTcp, InterPacket, inject(BeforeFirstData, finack, 0, &[BadAck])),
-        s("symtcp-gfw-rst-bad-timestamp", "GFW: Injected RST Bad Timestamp",
-            SymTcp, InterPacket, inject(DuringSynRecv, TcpFlags::RST, 0, &[BadTimestamp])),
-        s("symtcp-snort-rst-bad-timestamp", "Snort: Injected RST Bad Timestamp",
-            SymTcp, InterPacket, inject(DuringSynRecv, TcpFlags::RST, 0, &[BadTimestamp])),
-        s("symtcp-gfw-rstack-bad-ack", "GFW: Injected RST-ACK Bad ACK Num",
-            SymTcp, InterPacket, inject(AfterHandshake, rstack, 0, &[BadAck])),
-        s("symtcp-snort-rstack-bad-ack", "Snort: Injected RST-ACK Bad ACK Num",
-            SymTcp, InterPacket, inject(BeforeFirstData, rstack, 0, &[BadAck])),
+        s(
+            "symtcp-zeek-data-bad-seq",
+            "Zeek: Data Packet (ACK) Bad SEQ",
+            SymTcp,
+            InterPacket,
+            inject(AfterHandshake, data, 64, &[BadSeq]),
+        ),
+        s(
+            "symtcp-gfw-data-bad-chksum-md5",
+            "GFW: Data Packet (ACK) Bad TCP-Checksum/MD5-Option",
+            SymTcp,
+            InterPacket,
+            inject(AfterHandshake, data, 64, &[Md5Option, BadTcpChecksum]),
+        ),
+        s(
+            "symtcp-gfw-data-no-ack",
+            "GFW: Data Packet (ACK) wo/ ACK Flag",
+            SymTcp,
+            InterPacket,
+            inject(AfterHandshake, data, 64, &[NoAckFlag]),
+        ),
+        s(
+            "symtcp-zeek-data-no-ack",
+            "Zeek: Data Packet (ACK) wo/ ACK Flag",
+            SymTcp,
+            InterPacket,
+            inject(BeforeFirstData, data, 64, &[NoAckFlag]),
+        ),
+        s(
+            "symtcp-zeek-data-bad-ack",
+            "Zeek: Data Packet (ACK) Bad ACK Num",
+            SymTcp,
+            InterPacket,
+            inject(AfterHandshake, data, 64, &[BadAck]),
+        ),
+        s(
+            "symtcp-zeek-data-overlapping",
+            "Zeek: Data Packet (ACK) Overlapping",
+            SymTcp,
+            InterPacket,
+            inject(BeforeFirstData, data, 64, &[OverlappingSeq]),
+        ),
+        s(
+            "symtcp-gfw-finack-bad-ack",
+            "GFW: Injected FIN-ACK Bad ACK Num",
+            SymTcp,
+            InterPacket,
+            inject(AfterHandshake, finack, 0, &[BadAck]),
+        ),
+        s(
+            "symtcp-snort-finack-bad-ack",
+            "Snort: Injected FIN-ACK Bad ACK Num",
+            SymTcp,
+            InterPacket,
+            inject(BeforeFirstData, finack, 0, &[BadAck]),
+        ),
+        s(
+            "symtcp-gfw-rst-bad-timestamp",
+            "GFW: Injected RST Bad Timestamp",
+            SymTcp,
+            InterPacket,
+            inject(DuringSynRecv, TcpFlags::RST, 0, &[BadTimestamp]),
+        ),
+        s(
+            "symtcp-snort-rst-bad-timestamp",
+            "Snort: Injected RST Bad Timestamp",
+            SymTcp,
+            InterPacket,
+            inject(DuringSynRecv, TcpFlags::RST, 0, &[BadTimestamp]),
+        ),
+        s(
+            "symtcp-gfw-rstack-bad-ack",
+            "GFW: Injected RST-ACK Bad ACK Num",
+            SymTcp,
+            InterPacket,
+            inject(AfterHandshake, rstack, 0, &[BadAck]),
+        ),
+        s(
+            "symtcp-snort-rstack-bad-ack",
+            "Snort: Injected RST-ACK Bad ACK Num",
+            SymTcp,
+            InterPacket,
+            inject(BeforeFirstData, rstack, 0, &[BadAck]),
+        ),
         // --- intra-packet (18) -----------------------------------------
-        s("symtcp-gfw-finack-bad-chksum-md5", "GFW: Injected FIN-ACK Bad TCP-Checksum/MD5-Option",
-            SymTcp, IntraPacket, inject(AfterHandshake, finack, 0, &[Md5Option, BadTcpChecksum])),
-        s("symtcp-snort-finack-bad-md5", "Snort: Injected FIN-ACK Bad TCP MD5-Option",
-            SymTcp, IntraPacket, inject(AfterHandshake, finack, 0, &[Md5Option])),
-        s("symtcp-gfw-rst-bad-chksum-md5", "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[Md5Option, BadTcpChecksum])),
-        s("symtcp-snort-rst-pure", "Snort: Injected RST Pure",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[])),
-        s("symtcp-snort-rst-partial-inwindow", "Snort: Injected RST Partial In-Window",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[PartialInWindowSeq])),
-        s("symtcp-snort-rst-bad-md5", "Snort: Injected RST Bad TCP MD5-Option",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[Md5Option])),
-        s("symtcp-gfw-fin-payload", "GFW: Injected FIN w/ Payload",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::FIN, 32, &[])),
-        s("symtcp-snort-fin-pure", "Snort: Injected FIN Pure",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::FIN, 0, &[])),
-        s("symtcp-zeek-fin-pure", "Zeek: Injected FIN Pure",
-            SymTcp, IntraPacket, inject(BeforeFirstData, TcpFlags::FIN, 0, &[])),
-        s("symtcp-zeek-syn-payload", "Zeek: SYN w/ Payload",
-            SymTcp, IntraPacket, Mechanic::ModifySyn { payload: 64, corruptions: vec![] }),
-        s("symtcp-gfw1-syn-payload-bad-seq", "GFW #1: SYN w/ Payload & Bad SEQ",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::SYN, 64, &[BadSeq])),
-        s("symtcp-gfw2-syn-payload-bad-seq", "GFW #2: SYN w/ Payload & Bad SEQ",
-            SymTcp, IntraPacket, inject(BeforeFirstData, TcpFlags::SYN, 64, &[UnderflowSeq])),
-        s("symtcp-snort-syn-multiple", "Snort: SYN Multiple (SYN)",
-            SymTcp, IntraPacket, inject(AfterHandshake, TcpFlags::SYN, 0, &[])),
-        s("symtcp-zeek-syn-multiple", "Zeek: SYN Multiple (SYN)",
-            SymTcp, IntraPacket, inject(BeforeFirstData, TcpFlags::SYN, 0, &[])),
-        s("symtcp-zeek-rstfinack-bad-seq", "Zeek: Injected RST/FIN-ACK Bad SEQ",
-            SymTcp, IntraPacket, inject(AfterHandshake, rstack, 0, &[BadSeq])),
-        s("symtcp-gfw-data-underflow-seq", "GFW: Data Packet (ACK) Underflow SEQ",
-            SymTcp, IntraPacket, inject(AfterHandshake, data, 64, &[UnderflowSeq])),
-        s("symtcp-zeek-data-underflow-seq", "Zeek: Data Packet (ACK) Underflow SEQ",
-            SymTcp, IntraPacket, inject(BeforeFirstData, data, 64, &[UnderflowSeq])),
-        s("symtcp-snort-data-urgent", "Snort: Data Packet (ACK) w/ Urgent Pointer",
-            SymTcp, IntraPacket, inject(AfterHandshake, data, 64, &[UrgentPointer])),
+        s(
+            "symtcp-gfw-finack-bad-chksum-md5",
+            "GFW: Injected FIN-ACK Bad TCP-Checksum/MD5-Option",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, finack, 0, &[Md5Option, BadTcpChecksum]),
+        ),
+        s(
+            "symtcp-snort-finack-bad-md5",
+            "Snort: Injected FIN-ACK Bad TCP MD5-Option",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, finack, 0, &[Md5Option]),
+        ),
+        s(
+            "symtcp-gfw-rst-bad-chksum-md5",
+            "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+            SymTcp,
+            IntraPacket,
+            inject(
+                AfterHandshake,
+                TcpFlags::RST,
+                0,
+                &[Md5Option, BadTcpChecksum],
+            ),
+        ),
+        s(
+            "symtcp-snort-rst-pure",
+            "Snort: Injected RST Pure",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::RST, 0, &[]),
+        ),
+        s(
+            "symtcp-snort-rst-partial-inwindow",
+            "Snort: Injected RST Partial In-Window",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::RST, 0, &[PartialInWindowSeq]),
+        ),
+        s(
+            "symtcp-snort-rst-bad-md5",
+            "Snort: Injected RST Bad TCP MD5-Option",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::RST, 0, &[Md5Option]),
+        ),
+        s(
+            "symtcp-gfw-fin-payload",
+            "GFW: Injected FIN w/ Payload",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::FIN, 32, &[]),
+        ),
+        s(
+            "symtcp-snort-fin-pure",
+            "Snort: Injected FIN Pure",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::FIN, 0, &[]),
+        ),
+        s(
+            "symtcp-zeek-fin-pure",
+            "Zeek: Injected FIN Pure",
+            SymTcp,
+            IntraPacket,
+            inject(BeforeFirstData, TcpFlags::FIN, 0, &[]),
+        ),
+        s(
+            "symtcp-zeek-syn-payload",
+            "Zeek: SYN w/ Payload",
+            SymTcp,
+            IntraPacket,
+            Mechanic::ModifySyn {
+                payload: 64,
+                corruptions: vec![],
+            },
+        ),
+        s(
+            "symtcp-gfw1-syn-payload-bad-seq",
+            "GFW #1: SYN w/ Payload & Bad SEQ",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::SYN, 64, &[BadSeq]),
+        ),
+        s(
+            "symtcp-gfw2-syn-payload-bad-seq",
+            "GFW #2: SYN w/ Payload & Bad SEQ",
+            SymTcp,
+            IntraPacket,
+            inject(BeforeFirstData, TcpFlags::SYN, 64, &[UnderflowSeq]),
+        ),
+        s(
+            "symtcp-snort-syn-multiple",
+            "Snort: SYN Multiple (SYN)",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::SYN, 0, &[]),
+        ),
+        s(
+            "symtcp-zeek-syn-multiple",
+            "Zeek: SYN Multiple (SYN)",
+            SymTcp,
+            IntraPacket,
+            inject(BeforeFirstData, TcpFlags::SYN, 0, &[]),
+        ),
+        s(
+            "symtcp-zeek-rstfinack-bad-seq",
+            "Zeek: Injected RST/FIN-ACK Bad SEQ",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, rstack, 0, &[BadSeq]),
+        ),
+        s(
+            "symtcp-gfw-data-underflow-seq",
+            "GFW: Data Packet (ACK) Underflow SEQ",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, data, 64, &[UnderflowSeq]),
+        ),
+        s(
+            "symtcp-zeek-data-underflow-seq",
+            "Zeek: Data Packet (ACK) Underflow SEQ",
+            SymTcp,
+            IntraPacket,
+            inject(BeforeFirstData, data, 64, &[UnderflowSeq]),
+        ),
+        s(
+            "symtcp-snort-data-urgent",
+            "Snort: Data Packet (ACK) w/ Urgent Pointer",
+            SymTcp,
+            IntraPacket,
+            inject(AfterHandshake, data, 64, &[UrgentPointer]),
+        ),
         // ============== Liberate [10] — 23 strategies ===================
         // --- inter-packet (8) -------------------------------------------
-        s("liberate-low-ttl-max", "Low TTL (Max)",
-            Liberate, InterPacket, shadow(Five, &[LowTtl])),
-        s("liberate-low-ttl-min", "Low TTL (Min)",
-            Liberate, InterPacket, shadow(One, &[LowTtl])),
-        s("liberate-rst-low-ttl-1-max", "RST w/ Low TTL #1 (Max)",
-            Liberate, InterPacket, shadow_rst(Five, false, &[LowTtl])),
-        s("liberate-rst-low-ttl-1-min", "RST w/ Low TTL #1 (Min)",
-            Liberate, InterPacket, shadow_rst(One, false, &[LowTtl])),
-        s("liberate-rst-low-ttl-2-max", "RST w/ Low TTL #2 (Max)",
-            Liberate, InterPacket, shadow_rst(Five, true, &[LowTtl])),
-        s("liberate-rst-low-ttl-2-min", "RST w/ Low TTL #2 (Min)",
-            Liberate, InterPacket, shadow_rst(One, true, &[LowTtl])),
-        s("liberate-bad-ip-len-long-min", "Bad IP Length (Too Long) (Min)",
-            Liberate, InterPacket, shadow(One, &[BadIpLenLong])),
-        s("liberate-bad-ip-len-short-min", "Bad IP Length (Too Short) (Min)",
-            Liberate, InterPacket, shadow(One, &[BadIpLenShort])),
+        s(
+            "liberate-low-ttl-max",
+            "Low TTL (Max)",
+            Liberate,
+            InterPacket,
+            shadow(Five, &[LowTtl]),
+        ),
+        s(
+            "liberate-low-ttl-min",
+            "Low TTL (Min)",
+            Liberate,
+            InterPacket,
+            shadow(One, &[LowTtl]),
+        ),
+        s(
+            "liberate-rst-low-ttl-1-max",
+            "RST w/ Low TTL #1 (Max)",
+            Liberate,
+            InterPacket,
+            shadow_rst(Five, false, &[LowTtl]),
+        ),
+        s(
+            "liberate-rst-low-ttl-1-min",
+            "RST w/ Low TTL #1 (Min)",
+            Liberate,
+            InterPacket,
+            shadow_rst(One, false, &[LowTtl]),
+        ),
+        s(
+            "liberate-rst-low-ttl-2-max",
+            "RST w/ Low TTL #2 (Max)",
+            Liberate,
+            InterPacket,
+            shadow_rst(Five, true, &[LowTtl]),
+        ),
+        s(
+            "liberate-rst-low-ttl-2-min",
+            "RST w/ Low TTL #2 (Min)",
+            Liberate,
+            InterPacket,
+            shadow_rst(One, true, &[LowTtl]),
+        ),
+        s(
+            "liberate-bad-ip-len-long-min",
+            "Bad IP Length (Too Long) (Min)",
+            Liberate,
+            InterPacket,
+            shadow(One, &[BadIpLenLong]),
+        ),
+        s(
+            "liberate-bad-ip-len-short-min",
+            "Bad IP Length (Too Short) (Min)",
+            Liberate,
+            InterPacket,
+            shadow(One, &[BadIpLenShort]),
+        ),
         // --- intra-packet (15) -------------------------------------------
-        s("liberate-invalid-ihl-max", "Invalid IP Header Length (Max)",
-            Liberate, IntraPacket, shadow(Five, &[IhlTooLarge])),
-        s("liberate-invalid-ihl-min", "Invalid IP Header Length (Min)",
-            Liberate, IntraPacket, shadow(One, &[IhlTooSmall])),
-        s("liberate-invalid-ip-version-min", "Invalid IP Version (Min)",
-            Liberate, IntraPacket, shadow(One, &[InvalidIpVersion])),
-        s("liberate-bad-ip-len-long-max", "Bad IP Length (Too Long) (Max)",
-            Liberate, IntraPacket, shadow(Five, &[BadIpLenLong])),
-        s("liberate-bad-ip-len-short-max", "Bad IP Length (Too Short) (Max)",
-            Liberate, IntraPacket, shadow(Five, &[BadIpLenShort])),
-        s("liberate-data-no-ack-max", "Data Packet wo/ ACK Flag (Max)",
-            Liberate, IntraPacket, shadow(Five, &[NoAckFlag])),
-        s("liberate-data-no-ack-min", "Data Packet wo/ ACK Flag (Min)",
-            Liberate, IntraPacket, shadow(One, &[NoAckFlag])),
-        s("liberate-invalid-data-offset-max", "Invalid Data-Offset (Max)",
-            Liberate, IntraPacket, shadow(Five, &[DataOffsetTooLarge])),
-        s("liberate-invalid-data-offset-min", "Invalid Data-Offset (Min)",
-            Liberate, IntraPacket, shadow(One, &[DataOffsetTooSmall])),
-        s("liberate-invalid-flags-max", "Invalid Flags (Max)",
-            Liberate, IntraPacket, shadow(Five, &[InvalidFlagsSynFin])),
-        s("liberate-invalid-flags-min", "Invalid Flags (Min)",
-            Liberate, IntraPacket, shadow(One, &[InvalidFlagsNull])),
-        s("liberate-bad-tcp-checksum-max", "Bad TCP Checksum (Max)",
-            Liberate, IntraPacket, shadow(Five, &[BadTcpChecksum])),
-        s("liberate-bad-tcp-checksum-min", "Bad TCP Checksum (Min)",
-            Liberate, IntraPacket, shadow(One, &[BadTcpChecksum])),
-        s("liberate-bad-seq-max", "Bad SEQ (Max)",
-            Liberate, IntraPacket, shadow(Five, &[BadSeq])),
-        s("liberate-bad-seq-min", "Bad SEQ (Min)",
-            Liberate, IntraPacket, shadow(One, &[BadSeq])),
+        s(
+            "liberate-invalid-ihl-max",
+            "Invalid IP Header Length (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[IhlTooLarge]),
+        ),
+        s(
+            "liberate-invalid-ihl-min",
+            "Invalid IP Header Length (Min)",
+            Liberate,
+            IntraPacket,
+            shadow(One, &[IhlTooSmall]),
+        ),
+        s(
+            "liberate-invalid-ip-version-min",
+            "Invalid IP Version (Min)",
+            Liberate,
+            IntraPacket,
+            shadow(One, &[InvalidIpVersion]),
+        ),
+        s(
+            "liberate-bad-ip-len-long-max",
+            "Bad IP Length (Too Long) (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[BadIpLenLong]),
+        ),
+        s(
+            "liberate-bad-ip-len-short-max",
+            "Bad IP Length (Too Short) (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[BadIpLenShort]),
+        ),
+        s(
+            "liberate-data-no-ack-max",
+            "Data Packet wo/ ACK Flag (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[NoAckFlag]),
+        ),
+        s(
+            "liberate-data-no-ack-min",
+            "Data Packet wo/ ACK Flag (Min)",
+            Liberate,
+            IntraPacket,
+            shadow(One, &[NoAckFlag]),
+        ),
+        s(
+            "liberate-invalid-data-offset-max",
+            "Invalid Data-Offset (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[DataOffsetTooLarge]),
+        ),
+        s(
+            "liberate-invalid-data-offset-min",
+            "Invalid Data-Offset (Min)",
+            Liberate,
+            IntraPacket,
+            shadow(One, &[DataOffsetTooSmall]),
+        ),
+        s(
+            "liberate-invalid-flags-max",
+            "Invalid Flags (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[InvalidFlagsSynFin]),
+        ),
+        s(
+            "liberate-invalid-flags-min",
+            "Invalid Flags (Min)",
+            Liberate,
+            IntraPacket,
+            shadow(One, &[InvalidFlagsNull]),
+        ),
+        s(
+            "liberate-bad-tcp-checksum-max",
+            "Bad TCP Checksum (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[BadTcpChecksum]),
+        ),
+        s(
+            "liberate-bad-tcp-checksum-min",
+            "Bad TCP Checksum (Min)",
+            Liberate,
+            IntraPacket,
+            shadow(One, &[BadTcpChecksum]),
+        ),
+        s(
+            "liberate-bad-seq-max",
+            "Bad SEQ (Max)",
+            Liberate,
+            IntraPacket,
+            shadow(Five, &[BadSeq]),
+        ),
+        s(
+            "liberate-bad-seq-min",
+            "Bad SEQ (Min)",
+            Liberate,
+            IntraPacket,
+            shadow(One, &[BadSeq]),
+        ),
         // ============== Geneva [4] — 20 strategies ======================
         // --- inter-packet (4) -------------------------------------------
-        s("geneva-rst-low-ttl", "Injected RST / Low TTL",
-            Geneva, InterPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[LowTtl])),
-        s("geneva-rstack-bad-chksum", "Injected RST-ACK / Bad TCP Checksum",
-            Geneva, InterPacket, inject(AfterHandshake, rstack, 0, &[BadTcpChecksum])),
-        s("geneva-rstack-low-ttl", "Injected RST-ACK / Low TTL",
-            Geneva, InterPacket, inject(AfterHandshake, rstack, 0, &[LowTtl])),
-        s("geneva-synack-bad-md5", "Injected SYN-ACK / Bad TCP MD5-Option",
-            Geneva, InterPacket, inject(AfterHandshake, synack, 0, &[Md5Option])),
+        s(
+            "geneva-rst-low-ttl",
+            "Injected RST / Low TTL",
+            Geneva,
+            InterPacket,
+            inject(AfterHandshake, TcpFlags::RST, 0, &[LowTtl]),
+        ),
+        s(
+            "geneva-rstack-bad-chksum",
+            "Injected RST-ACK / Bad TCP Checksum",
+            Geneva,
+            InterPacket,
+            inject(AfterHandshake, rstack, 0, &[BadTcpChecksum]),
+        ),
+        s(
+            "geneva-rstack-low-ttl",
+            "Injected RST-ACK / Low TTL",
+            Geneva,
+            InterPacket,
+            inject(AfterHandshake, rstack, 0, &[LowTtl]),
+        ),
+        s(
+            "geneva-synack-bad-md5",
+            "Injected SYN-ACK / Bad TCP MD5-Option",
+            Geneva,
+            InterPacket,
+            inject(AfterHandshake, synack, 0, &[Md5Option]),
+        ),
         // --- intra-packet (16) -------------------------------------------
-        s("geneva-dataoffset-bad-chksum", "Invalid Data-Offset / Bad TCP Checksum",
-            Geneva, IntraPacket, shadow(All, &[DataOffsetTooLarge, BadTcpChecksum])),
-        s("geneva-dataoffset-low-ttl", "Invalid Data-Offset / Low TTL",
-            Geneva, IntraPacket, shadow(All, &[DataOffsetTooLarge, LowTtl])),
-        s("geneva-dataoffset-bad-ack", "Invalid Data-Offset / Bad ACK Num",
-            Geneva, IntraPacket, shadow(All, &[DataOffsetTooLarge, BadAck])),
-        s("geneva-rst-bad-ip-len", "Injected RST / Bad IP Length",
-            Geneva, IntraPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[BadIpLenLong])),
-        s("geneva-rst-bad-chksum", "Injected RST / Bad TCP Checksum",
-            Geneva, IntraPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[BadTcpChecksum])),
-        s("geneva-md5-rst", "Bad TCP MD5-Option / Injected RST",
-            Geneva, IntraPacket, inject(AfterHandshake, TcpFlags::RST, 0, &[Md5Option])),
-        s("geneva-flags1-bad-chksum", "Invalid Flags #1 / Bad TCP Checksum",
-            Geneva, IntraPacket, shadow(All, &[InvalidFlagsSynFin, BadTcpChecksum])),
-        s("geneva-flags2-low-ttl", "Invalid Flags #2 / Low TTL",
-            Geneva, IntraPacket, shadow(All, &[InvalidFlagsXmas, LowTtl])),
-        s("geneva-flags2-bad-md5", "Invalid Flags #2 / Bad TCP MD5-Option",
-            Geneva, IntraPacket, shadow(All, &[InvalidFlagsXmas, Md5Option])),
-        s("geneva-uto-bad-md5", "Bad TCP UTO-Option / Bad TCP MD5-Option",
-            Geneva, IntraPacket, shadow(All, &[UtoOption, Md5Option])),
-        s("geneva-wscale-dataoffset", "Invalid TCP WScale-Option / Invalid Data-Offset",
-            Geneva, IntraPacket, shadow(All, &[InvalidWScale, DataOffsetTooLarge])),
-        s("geneva-badpayloadlen-bad-chksum", "Bad Payload Length / Bad TCP Checksum",
-            Geneva, IntraPacket, shadow(All, &[BadPayloadLength, BadTcpChecksum])),
-        s("geneva-badpayloadlen-low-ttl", "Bad Payload Length / Low TTL",
-            Geneva, IntraPacket, shadow(All, &[BadPayloadLength, LowTtl])),
-        s("geneva-badpayloadlen-bad-ack", "Bad Payload Length / Bad ACK Num",
-            Geneva, IntraPacket, shadow(All, &[BadPayloadLength, BadAck])),
-        s("geneva-badpayloadlen", "Bad Payload Length",
-            Geneva, IntraPacket, shadow(All, &[BadPayloadLength])),
-        s("geneva-bad-ip-len", "Bad IP Length",
-            Geneva, IntraPacket, shadow(All, &[BadIpLenLong])),
+        s(
+            "geneva-dataoffset-bad-chksum",
+            "Invalid Data-Offset / Bad TCP Checksum",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[DataOffsetTooLarge, BadTcpChecksum]),
+        ),
+        s(
+            "geneva-dataoffset-low-ttl",
+            "Invalid Data-Offset / Low TTL",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[DataOffsetTooLarge, LowTtl]),
+        ),
+        s(
+            "geneva-dataoffset-bad-ack",
+            "Invalid Data-Offset / Bad ACK Num",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[DataOffsetTooLarge, BadAck]),
+        ),
+        s(
+            "geneva-rst-bad-ip-len",
+            "Injected RST / Bad IP Length",
+            Geneva,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::RST, 0, &[BadIpLenLong]),
+        ),
+        s(
+            "geneva-rst-bad-chksum",
+            "Injected RST / Bad TCP Checksum",
+            Geneva,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::RST, 0, &[BadTcpChecksum]),
+        ),
+        s(
+            "geneva-md5-rst",
+            "Bad TCP MD5-Option / Injected RST",
+            Geneva,
+            IntraPacket,
+            inject(AfterHandshake, TcpFlags::RST, 0, &[Md5Option]),
+        ),
+        s(
+            "geneva-flags1-bad-chksum",
+            "Invalid Flags #1 / Bad TCP Checksum",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[InvalidFlagsSynFin, BadTcpChecksum]),
+        ),
+        s(
+            "geneva-flags2-low-ttl",
+            "Invalid Flags #2 / Low TTL",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[InvalidFlagsXmas, LowTtl]),
+        ),
+        s(
+            "geneva-flags2-bad-md5",
+            "Invalid Flags #2 / Bad TCP MD5-Option",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[InvalidFlagsXmas, Md5Option]),
+        ),
+        s(
+            "geneva-uto-bad-md5",
+            "Bad TCP UTO-Option / Bad TCP MD5-Option",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[UtoOption, Md5Option]),
+        ),
+        s(
+            "geneva-wscale-dataoffset",
+            "Invalid TCP WScale-Option / Invalid Data-Offset",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[InvalidWScale, DataOffsetTooLarge]),
+        ),
+        s(
+            "geneva-badpayloadlen-bad-chksum",
+            "Bad Payload Length / Bad TCP Checksum",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[BadPayloadLength, BadTcpChecksum]),
+        ),
+        s(
+            "geneva-badpayloadlen-low-ttl",
+            "Bad Payload Length / Low TTL",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[BadPayloadLength, LowTtl]),
+        ),
+        s(
+            "geneva-badpayloadlen-bad-ack",
+            "Bad Payload Length / Bad ACK Num",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[BadPayloadLength, BadAck]),
+        ),
+        s(
+            "geneva-badpayloadlen",
+            "Bad Payload Length",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[BadPayloadLength]),
+        ),
+        s(
+            "geneva-bad-ip-len",
+            "Bad IP Length",
+            Geneva,
+            IntraPacket,
+            shadow(All, &[BadIpLenLong]),
+        ),
     ]
 }
 

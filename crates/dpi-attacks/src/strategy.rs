@@ -82,14 +82,24 @@ pub enum Mechanic {
         corruptions: Vec<Corruption>,
     },
     /// Modify the original SYN in place (SymTCP's SYN-with-payload family).
-    ModifySyn { payload: usize, corruptions: Vec<Corruption> },
+    ModifySyn {
+        payload: usize,
+        corruptions: Vec<Corruption>,
+    },
     /// Insert corrupted *shadow copies* in front of data packets
     /// (Liberate/Geneva insertion strategies; §4.3 "shadow packets").
-    ShadowData { count: ShadowCount, corruptions: Vec<Corruption> },
+    ShadowData {
+        count: ShadowCount,
+        corruptions: Vec<Corruption>,
+    },
     /// Insert a crafted RST in front of data packets (Liberate's
     /// RST-with-low-TTL family). `with_ack` distinguishes the #1/#2
     /// variants.
-    ShadowRst { count: ShadowCount, with_ack: bool, corruptions: Vec<Corruption> },
+    ShadowRst {
+        count: ShadowCount,
+        with_ack: bool,
+        corruptions: Vec<Corruption>,
+    },
 }
 
 /// Output of applying a strategy: the attacked trace and ground truth.
@@ -123,7 +133,11 @@ pub(crate) fn seq_context_at(conn: &Connection, at: usize) -> SeqContext {
             last_tsval = Some(tsval);
         }
     }
-    SeqContext { isn: isn.unwrap_or(0), snd_nxt, last_tsval }
+    SeqContext {
+        isn: isn.unwrap_or(0),
+        snd_nxt,
+        last_tsval,
+    }
 }
 
 /// Latest server-side sequence state before index `at` (for plausible ACK
@@ -230,7 +244,12 @@ impl Mechanic {
         rng: &mut StdRng,
     ) -> Option<AttackResult> {
         match self {
-            Mechanic::Inject { point, flags, payload, corruptions } => {
+            Mechanic::Inject {
+                point,
+                flags,
+                payload,
+                corruptions,
+            } => {
                 let at = resolve_point(conn, *point)?;
                 let mut out = conn.clone();
                 let mut pkt = craft_client_segment(conn, at, *flags, *payload);
@@ -243,7 +262,10 @@ impl Mechanic {
                     strategy_id,
                 })
             }
-            Mechanic::ModifySyn { payload, corruptions } => {
+            Mechanic::ModifySyn {
+                payload,
+                corruptions,
+            } => {
                 // Locate the client SYN.
                 let idx = conn.packets.iter().enumerate().find_map(|(i, p)| {
                     (p.tcp.flags.contains(TcpFlags::SYN)
@@ -271,9 +293,16 @@ impl Mechanic {
             Mechanic::ShadowData { count, corruptions } => {
                 self.shadow(conn, strategy_id, rng, *count, corruptions, None)
             }
-            Mechanic::ShadowRst { count, with_ack, corruptions } => {
-                let flags =
-                    if *with_ack { TcpFlags::RST | TcpFlags::ACK } else { TcpFlags::RST };
+            Mechanic::ShadowRst {
+                count,
+                with_ack,
+                corruptions,
+            } => {
+                let flags = if *with_ack {
+                    TcpFlags::RST | TcpFlags::ACK
+                } else {
+                    TcpFlags::RST
+                };
                 self.shadow(conn, strategy_id, rng, *count, corruptions, Some(flags))
             }
         }
@@ -299,7 +328,10 @@ impl Mechanic {
             .collect();
         // Fall back to any-direction data packets for pure-download flows.
         let targets = if targets.is_empty() {
-            conn.data_packet_indices().into_iter().take(count.limit()).collect()
+            conn.data_packet_indices()
+                .into_iter()
+                .take(count.limit())
+                .collect()
         } else {
             targets
         };
@@ -326,7 +358,11 @@ impl Mechanic {
             }
             out.packets.push(p.clone());
         }
-        Some(AttackResult { connection: out, adversarial_indices: adversarial, strategy_id })
+        Some(AttackResult {
+            connection: out,
+            adversarial_indices: adversarial,
+            strategy_id,
+        })
     }
 }
 
@@ -387,7 +423,10 @@ mod tests {
     #[test]
     fn modify_syn_keeps_length_and_index() {
         let conns = benign();
-        let mech = Mechanic::ModifySyn { payload: 32, corruptions: vec![] };
+        let mech = Mechanic::ModifySyn {
+            payload: 32,
+            corruptions: vec![],
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for conn in &conns {
             let r = mech.apply(conn, "t", &mut rng).unwrap();
@@ -414,7 +453,7 @@ mod tests {
                     let n = r.adversarial_indices.len();
                     match count {
                         ShadowCount::One => assert_eq!(n, 1),
-                        ShadowCount::Five => assert!(n <= 5 && n >= 1),
+                        ShadowCount::Five => assert!((1..=5).contains(&n)),
                         ShadowCount::All => assert!(n >= 1),
                     }
                     assert_eq!(r.connection.len(), conn.len() + n);

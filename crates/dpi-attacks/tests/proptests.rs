@@ -1,9 +1,37 @@
 //! Property-based tests over the whole strategy registry.
 
 use dpi_attacks::{registry, Mechanic};
+use net_packet::Connection;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// True when packet `i` carries data that starts strictly inside sequence
+/// space already covered by an earlier same-direction segment, without
+/// exactly repeating one (benign overlaps — retransmissions and old
+/// duplicates — repeat a prior `(seq, len)` pair verbatim).
+fn overlaps_no_prior_segment(conn: &Connection, i: usize) -> bool {
+    let p = &conn.packets[i];
+    if p.payload.is_empty() {
+        return false;
+    }
+    let dir = conn.direction(i);
+    let (seq, end) = (p.tcp.seq, p.tcp.seq.wrapping_add(p.seq_len()));
+    let mut regressed = false;
+    for (j, q) in conn.packets.iter().enumerate().take(i) {
+        if conn.direction(j) != dir {
+            continue;
+        }
+        let (qseq, qend) = (q.tcp.seq, q.tcp.seq.wrapping_add(q.seq_len()));
+        if qseq == seq && qend == end {
+            return false; // exact retransmission — benign-shaped
+        }
+        if qend != qseq && (seq.wrapping_sub(qend) as i32) < 0 {
+            regressed = true;
+        }
+    }
+    regressed
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -74,7 +102,22 @@ proptest! {
                     || p.tcp.flags.contains(TcpFlags::RST)
                     || p.tcp.flags.contains(TcpFlags::FIN)
                     || p.tcp.flags.contains(TcpFlags::SYN)
-                    || p.tcp.window_scale().map_or(false, |w| w > 14);
+                    || p.tcp.window_scale().is_some_and(|w| w > 14)
+                    // TTL-decrement evasion: benign TTLs are base − hops
+                    // (≥ 39 for every generator profile), so a hop-limited
+                    // shadow packet trips the out-of-range amplification
+                    // feature on the raw TTL slot (Table 7 #47).
+                    || p.ip.ttl <= 4
+                    // A data-bearing segment without ACK: benign traffic
+                    // only omits ACK on the initial SYN, which is empty, so
+                    // the ACK bit of the flag one-hot (#9) exposes this.
+                    || (!p.tcp.flags.contains(TcpFlags::ACK) && !p.payload.is_empty())
+                    // Overlapping injection: new data starting inside
+                    // already-consumed sequence space without repeating a
+                    // genuine segment (benign overlaps are exact
+                    // retransmissions) — a relative-SEQ (#2) regression the
+                    // RNN context observes.
+                    || overlaps_no_prior_segment(&result.connection, i);
                 prop_assert!(
                     observable,
                     "{}: adversarial packet {} indistinguishable from benign",

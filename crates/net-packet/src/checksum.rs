@@ -74,7 +74,11 @@ mod tests {
     fn known_ipv4_header_checksum() {
         // Classic worked example (Wikipedia): 4500 0073 0000 4000 4011 b861
         // c0a8 0001 c0a8 00c7 has checksum 0xb861.
-        let mut h = Ipv4Header::new(Ipv4Addr::new(192, 168, 0, 1), Ipv4Addr::new(192, 168, 0, 199), 64);
+        let mut h = Ipv4Header::new(
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 199),
+            64,
+        );
         h.total_length = 0x73;
         h.flags = 0b010;
         h.protocol = 17; // UDP in the worked example

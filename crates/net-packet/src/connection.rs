@@ -92,7 +92,10 @@ pub struct Connection {
 
 impl Connection {
     pub fn new(key: FlowKey) -> Self {
-        Connection { key, packets: Vec::new() }
+        Connection {
+            key,
+            packets: Vec::new(),
+        }
     }
 
     /// Direction of packet `i` relative to the flow key; packets that match
@@ -195,7 +198,12 @@ mod tests {
     fn direction_classification() {
         let k = key();
         let c2s = pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]);
-        let s2c = pkt(&k, Direction::ServerToClient, TcpFlags::SYN | TcpFlags::ACK, &[]);
+        let s2c = pkt(
+            &k,
+            Direction::ServerToClient,
+            TcpFlags::SYN | TcpFlags::ACK,
+            &[],
+        );
         assert_eq!(k.direction_of(&c2s), Some(Direction::ClientToServer));
         assert_eq!(k.direction_of(&s2c), Some(Direction::ServerToClient));
         assert_eq!(Direction::ClientToServer.flip(), Direction::ServerToClient);
@@ -205,10 +213,22 @@ mod tests {
     fn handshake_detection() {
         let k = key();
         let mut conn = Connection::new(k);
-        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]));
-        conn.packets.push(pkt(&k, Direction::ServerToClient, TcpFlags::SYN | TcpFlags::ACK, &[]));
-        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::ACK, &[]));
-        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::ACK | TcpFlags::PSH, b"data"));
+        conn.packets
+            .push(pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]));
+        conn.packets.push(pkt(
+            &k,
+            Direction::ServerToClient,
+            TcpFlags::SYN | TcpFlags::ACK,
+            &[],
+        ));
+        conn.packets
+            .push(pkt(&k, Direction::ClientToServer, TcpFlags::ACK, &[]));
+        conn.packets.push(pkt(
+            &k,
+            Direction::ClientToServer,
+            TcpFlags::ACK | TcpFlags::PSH,
+            b"data",
+        ));
         assert_eq!(conn.first_index_after_handshake(), Some(3));
         assert_eq!(conn.data_packet_indices(), vec![3]);
         assert_eq!(conn.total_payload(), 4);
@@ -218,7 +238,8 @@ mod tests {
     fn incomplete_handshake_returns_none() {
         let k = key();
         let mut conn = Connection::new(k);
-        conn.packets.push(pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]));
+        conn.packets
+            .push(pkt(&k, Direction::ClientToServer, TcpFlags::SYN, &[]));
         assert_eq!(conn.first_index_after_handshake(), None);
     }
 

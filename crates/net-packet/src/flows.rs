@@ -76,12 +76,7 @@ mod tests {
     use crate::{Ipv4Header, TcpHeader};
     use std::net::Ipv4Addr;
 
-    fn pkt(
-        src: (Ipv4Addr, u16),
-        dst: (Ipv4Addr, u16),
-        flags: TcpFlags,
-        ts: f64,
-    ) -> Packet {
+    fn pkt(src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), flags: TcpFlags, ts: f64) -> Packet {
         let ip = Ipv4Header::new(src.0, dst.0, 64);
         let mut tcp = TcpHeader::new(src.1, dst.1, 100, 0);
         tcp.flags = flags;
@@ -146,6 +141,8 @@ mod tests {
         };
         assert_eq!(conns.len(), 2);
         assert!(conns.iter().all(|c| c.len() == 3));
-        assert!(conns.iter().all(|c| c.first_index_after_handshake() == Some(3)));
+        assert!(conns
+            .iter()
+            .all(|c| c.first_index_after_handshake() == Some(3)));
     }
 }

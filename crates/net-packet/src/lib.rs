@@ -59,7 +59,12 @@ impl Packet {
         tcp.normalize_data_offset();
         ip.ihl = ipv4::BASE_IHL + (ip.options.len() as u8).div_ceil(4);
         ip.total_length = (ip.header_len_bytes() + tcp.header_len_bytes() + payload.len()) as u16;
-        let mut pkt = Packet { timestamp, ip, tcp, payload };
+        let mut pkt = Packet {
+            timestamp,
+            ip,
+            tcp,
+            payload,
+        };
         pkt.fill_checksums();
         pkt
     }
@@ -127,7 +132,10 @@ mod tests {
         let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
         let mut tcp = TcpHeader::new(40000, 80, 1000, 2000);
         tcp.flags = TcpFlags::ACK | TcpFlags::PSH;
-        tcp.options.push(TcpOption::Timestamps { tsval: 77, tsecr: 66 });
+        tcp.options.push(TcpOption::Timestamps {
+            tsval: 77,
+            tsecr: 66,
+        });
         Packet::new(0.5, ip, tcp, b"hello".to_vec())
     }
 

@@ -124,7 +124,8 @@ mod tests {
     fn sample(n: usize) -> Vec<Packet> {
         (0..n)
             .map(|i| {
-                let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+                let ip =
+                    Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
                 let mut tcp = TcpHeader::new(1234, 80, i as u32 * 100, 0);
                 tcp.flags = TcpFlags::ACK;
                 Packet::new(i as f64 * 0.001 + 1000.0, ip, tcp, vec![i as u8; i % 7])
@@ -156,7 +157,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let buf = vec![0u8; 24];
+        let buf = [0u8; 24];
         assert!(matches!(read_pcap(&buf[..]), Err(PcapError::BadMagic(0))));
     }
 
@@ -165,7 +166,10 @@ mod tests {
         let mut buf = Vec::new();
         write_pcap(&mut buf, &[]).unwrap();
         buf[20] = 1; // LINKTYPE_ETHERNET
-        assert!(matches!(read_pcap(&buf[..]), Err(PcapError::UnsupportedLinkType(1))));
+        assert!(matches!(
+            read_pcap(&buf[..]),
+            Err(PcapError::UnsupportedLinkType(1))
+        ));
     }
 
     #[test]

@@ -121,13 +121,21 @@ pub enum TcpOption {
     Md5([u8; 16]),
     /// Kind 28: user timeout (RFC 5482), granularity bit + 15-bit timeout.
     UserTimeout(u16),
+    /// Kind 1: no-operation padding byte, preserved so parse→serialize
+    /// reproduces the original option area byte-exactly.
+    Nop,
     /// Any other option kind, kept raw.
     Unknown { kind: u8, data: Vec<u8> },
+    /// Malformed trailing option bytes (e.g. a lying length byte, or
+    /// payload bytes pulled into the option area by a corrupted data
+    /// offset), preserved verbatim so the wire image round-trips
+    /// bit-exactly through capture and re-serialization.
+    Raw(Vec<u8>),
 }
 
 impl TcpOption {
-    /// On-wire length in bytes (kind + length + payload; NOP/EOL handled by
-    /// the serializer, not represented here).
+    /// On-wire length in bytes (kind + length + payload; end-of-list
+    /// padding is handled by the serializer, not represented here).
     pub fn wire_len(&self) -> usize {
         match self {
             TcpOption::Mss(_) => 4,
@@ -138,6 +146,8 @@ impl TcpOption {
             TcpOption::Md5(_) => 18,
             TcpOption::UserTimeout(_) => 4,
             TcpOption::Unknown { data, .. } => 2 + data.len(),
+            TcpOption::Nop => 1,
+            TcpOption::Raw(bytes) => bytes.len(),
         }
     }
 
@@ -152,6 +162,8 @@ impl TcpOption {
             TcpOption::Md5(_) => 19,
             TcpOption::UserTimeout(_) => 28,
             TcpOption::Unknown { kind, .. } => *kind,
+            TcpOption::Nop => 1,
+            TcpOption::Raw(bytes) => bytes.first().copied().unwrap_or(0),
         }
     }
 }
@@ -317,7 +329,10 @@ mod tests {
     fn option_accessors() {
         let mut h = TcpHeader::new(1, 2, 0, 0);
         h.options.push(TcpOption::Mss(1400));
-        h.options.push(TcpOption::Timestamps { tsval: 10, tsecr: 20 });
+        h.options.push(TcpOption::Timestamps {
+            tsval: 10,
+            tsecr: 20,
+        });
         h.options.push(TcpOption::Md5([7; 16]));
         h.options.push(TcpOption::UserTimeout(120));
         assert_eq!(h.mss(), Some(1400));

@@ -89,6 +89,8 @@ pub fn serialize_tcp_options(options: &[TcpOption]) -> Vec<u8> {
                 out.push((2 + data.len()) as u8);
                 out.extend_from_slice(data);
             }
+            TcpOption::Nop => out.push(1),
+            TcpOption::Raw(bytes) => out.extend_from_slice(bytes),
         }
     }
     while out.len() % 4 != 0 {
@@ -126,21 +128,42 @@ pub fn serialize_packet(p: &Packet) -> Vec<u8> {
 /// Parses TCP option bytes leniently; malformed trailing bytes become
 /// [`TcpOption::Unknown`] entries so no information is lost.
 pub fn parse_tcp_options(mut data: &[u8]) -> Vec<TcpOption> {
+    let orig_len = data.len();
     let mut opts = Vec::new();
     while !data.is_empty() {
         let kind = data[0];
         match kind {
-            0 => break,        // end of list
-            1 => data = &data[1..], // NOP
+            0 => {
+                // End of list. The serializer re-pads with zeros to the next
+                // 4-byte boundary; if the remaining bytes are exactly that
+                // padding, drop them, otherwise (nonzero garbage after EOL,
+                // or an over-long zero run under a corrupted data offset)
+                // keep the tail verbatim so the wire image round-trips.
+                let consumed = orig_len - data.len();
+                let pad = (4 - consumed % 4) % 4;
+                if data.len() != pad || data.iter().any(|&b| b != 0) {
+                    opts.push(TcpOption::Raw(data.to_vec()));
+                }
+                break;
+            }
+            1 => {
+                // NOPs are kept so the serializer reproduces the original
+                // layout (and so the EOL padding arithmetic below counts
+                // only bytes the serializer will actually emit).
+                opts.push(TcpOption::Nop);
+                data = &data[1..];
+            }
             _ => {
                 if data.len() < 2 {
-                    opts.push(TcpOption::Unknown { kind, data: Vec::new() });
+                    opts.push(TcpOption::Raw(data.to_vec()));
                     break;
                 }
                 let len = data[1] as usize;
                 if len < 2 || len > data.len() {
-                    // Malformed length: swallow the remainder verbatim.
-                    opts.push(TcpOption::Unknown { kind, data: data[2.min(data.len())..].to_vec() });
+                    // Malformed length: keep the remainder (including the
+                    // lying length byte) verbatim so serialization
+                    // reproduces the exact wire image.
+                    opts.push(TcpOption::Raw(data.to_vec()));
                     break;
                 }
                 let body = &data[2..len];
@@ -170,7 +193,10 @@ pub fn parse_tcp_options(mut data: &[u8]) -> Vec<TcpOption> {
                         TcpOption::Md5(digest)
                     }
                     (28, 2) => TcpOption::UserTimeout(u16::from_be_bytes([body[0], body[1]])),
-                    _ => TcpOption::Unknown { kind, data: body.to_vec() },
+                    _ => TcpOption::Unknown {
+                        kind,
+                        data: body.to_vec(),
+                    },
                 };
                 opts.push(opt);
                 data = &data[len..];
@@ -232,7 +258,12 @@ pub fn parse_packet(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
         urgent: u16::from_be_bytes([tcp_data[18], tcp_data[19]]),
         options: parse_tcp_options(&tcp_data[20..tcp_hdr_len]),
     };
-    Ok(Packet { timestamp, ip, tcp, payload: tcp_data[tcp_hdr_len..].to_vec() })
+    Ok(Packet {
+        timestamp,
+        ip,
+        tcp,
+        payload: tcp_data[tcp_hdr_len..].to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -297,7 +328,10 @@ mod tests {
 
     #[test]
     fn short_buffers_error() {
-        assert_eq!(parse_packet(0.0, &[0; 10]), Err(ParseError::TruncatedIpHeader));
+        assert_eq!(
+            parse_packet(0.0, &[0; 10]),
+            Err(ParseError::TruncatedIpHeader)
+        );
         let mut buf = vec![0x45u8; 25];
         buf[9] = 6;
         assert_eq!(parse_packet(0.0, &buf), Err(ParseError::TruncatedTcpHeader));
@@ -312,16 +346,25 @@ mod tests {
     }
 
     #[test]
-    fn malformed_option_length_preserved_as_unknown() {
-        let opts = parse_tcp_options(&[2, 60, 5, 0]); // MSS with absurd length
+    fn malformed_option_length_preserved_verbatim() {
+        let bytes = [2, 60, 5, 0]; // MSS with absurd length
+        let opts = parse_tcp_options(&bytes);
         assert_eq!(opts.len(), 1);
-        assert!(matches!(opts[0], TcpOption::Unknown { kind: 2, .. }));
+        assert_eq!(opts[0], TcpOption::Raw(bytes.to_vec()));
+        // The whole point of `Raw`: the wire image survives re-serialization.
+        assert_eq!(serialize_tcp_options(&opts), bytes.to_vec());
     }
 
     #[test]
     fn nop_and_eol_handling() {
-        let opts = parse_tcp_options(&[1, 1, 2, 4, 0x05, 0xb4, 0, 0]);
-        assert_eq!(opts, vec![TcpOption::Mss(1460)]);
+        let bytes = [1, 1, 2, 4, 0x05, 0xb4, 0, 0];
+        let opts = parse_tcp_options(&bytes);
+        assert_eq!(
+            opts,
+            vec![TcpOption::Nop, TcpOption::Nop, TcpOption::Mss(1460)]
+        );
+        // NOPs and trailing padding survive re-serialization byte-exactly.
+        assert_eq!(serialize_tcp_options(&opts), bytes.to_vec());
     }
 
     #[test]

@@ -14,7 +14,8 @@ fn arb_option() -> impl Strategy<Value = TcpOption> {
         (0u8..=14).prop_map(TcpOption::WindowScale),
         Just(TcpOption::SackPermitted),
         prop::collection::vec((any::<u32>(), any::<u32>()), 1..=3).prop_map(TcpOption::Sack),
-        (any::<u32>(), any::<u32>()).prop_map(|(tsval, tsecr)| TcpOption::Timestamps { tsval, tsecr }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(tsval, tsecr)| TcpOption::Timestamps { tsval, tsecr }),
         any::<[u8; 16]>().prop_map(TcpOption::Md5),
         any::<u16>().prop_map(TcpOption::UserTimeout),
     ]
@@ -31,10 +32,10 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         arb_flags(),
         any::<u16>(),
         any::<u16>(),
-        prop::collection::vec(arb_option(), 0..4).prop_filter(
-            "TCP options must fit the 40-byte option space",
-            |opts| opts.iter().map(TcpOption::wire_len).sum::<usize>() <= 36,
-        ),
+        prop::collection::vec(arb_option(), 0..4)
+            .prop_filter("TCP options must fit the 40-byte option space", |opts| {
+                opts.iter().map(TcpOption::wire_len).sum::<usize>() <= 36
+            }),
         prop::collection::vec(any::<u8>(), 0..64),
         1u8..=255,
     )

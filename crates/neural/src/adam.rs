@@ -19,7 +19,15 @@ pub struct Adam {
 impl Adam {
     /// Standard hyper-parameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
     pub fn new(len: usize, lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; len], v: vec![0.0; len] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
     }
 
     /// Current learning rate.

@@ -51,10 +51,26 @@ pub struct Autoencoder {
     layers: Vec<Dense>,
 }
 
+/// Ping-pong activation buffers for [`Autoencoder::forward_into`]. Reuse
+/// one per scoring session; buffers grow to the largest batch seen.
+#[derive(Debug, Clone, Default)]
+pub struct AeWorkspace {
+    bufs: [Matrix; 2],
+}
+
+impl AeWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl Autoencoder {
     /// Builds the network: tanh on hidden layers, linear output.
     pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
-        assert!(layer_sizes.len() >= 3, "need at least input/bottleneck/output");
+        assert!(
+            layer_sizes.len() >= 3,
+            "need at least input/bottleneck/output"
+        );
         assert_eq!(
             layer_sizes.first(),
             layer_sizes.last(),
@@ -65,7 +81,11 @@ impl Autoencoder {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == layer_sizes.len() { Activation::Linear } else { Activation::Tanh };
+                let act = if i + 2 == layer_sizes.len() {
+                    Activation::Linear
+                } else {
+                    Activation::Tanh
+                };
                 Dense::new(w[0], w[1], act, &mut rng)
             })
             .collect();
@@ -79,29 +99,81 @@ impl Autoencoder {
 
     /// Reconstruction for a batch (rows = samples).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward(&cur);
+        let mut ws = AeWorkspace::new();
+        self.forward_into(x, &mut ws).clone()
+    }
+
+    /// Batched reconstruction through ping-ponged workspace buffers: the
+    /// whole GEMM chain runs with zero allocation once `ws` has grown.
+    /// Returns the output buffer (valid until the next call with `ws`).
+    pub fn forward_into<'w>(&self, x: &Matrix, ws: &'w mut AeWorkspace) -> &'w Matrix {
+        debug_assert!(!self.layers.is_empty());
+        let [a, b] = &mut ws.bufs;
+        self.layers[0].forward_into(x, a);
+        let mut flip = false; // output currently in `a`
+        for layer in &self.layers[1..] {
+            let (src, dst) = if flip { (&*b, &mut *a) } else { (&*a, &mut *b) };
+            layer.forward_into(src, dst);
+            flip = !flip;
         }
-        cur
+        if flip {
+            &ws.bufs[1]
+        } else {
+            &ws.bufs[0]
+        }
     }
 
     /// Mean absolute reconstruction error per row — CLAP's anomaly signal.
     pub fn reconstruction_errors(&self, x: &Matrix) -> Vec<f32> {
-        let y = self.forward(x);
-        (0..x.rows)
-            .map(|r| {
-                let xr = x.row(r);
-                let yr = y.row(r);
-                xr.iter().zip(yr).map(|(a, b)| (a - b).abs()).sum::<f32>() / x.cols as f32
-            })
-            .collect()
+        let mut ws = AeWorkspace::new();
+        let mut out = Vec::new();
+        self.reconstruction_errors_into(x, &mut ws, &mut out);
+        out
+    }
+
+    /// Allocation-free batched variant of
+    /// [`reconstruction_errors`](Self::reconstruction_errors): appends one
+    /// error per row of `x` to `out`.
+    pub fn reconstruction_errors_into(&self, x: &Matrix, ws: &mut AeWorkspace, out: &mut Vec<f32>) {
+        let y = self.forward_into(x, ws);
+        out.reserve(x.rows);
+        for r in 0..x.rows {
+            let xr = x.row(r);
+            let yr = y.row(r);
+            let err = xr.iter().zip(yr).map(|(a, b)| (a - b).abs()).sum::<f32>();
+            out.push(err / x.cols as f32);
+        }
     }
 
     /// Reconstruction error for a single vector.
     pub fn reconstruction_error(&self, x: &[f32]) -> f32 {
         let m = Matrix::from_vec(1, x.len(), x.to_vec());
         self.reconstruction_errors(&m)[0]
+    }
+
+    /// Seed-era reconstruction path, frozen on the naive GEMM kernel with
+    /// one fresh matrix per layer — the pre-fusion baseline for
+    /// equivalence tests and before/after benchmarking.
+    pub fn reconstruction_errors_unfused(&self, x: &Matrix) -> Vec<f32> {
+        use crate::matrix::naive;
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let mut y = naive::matmul_nt(&cur, &layer.w);
+            for r in 0..y.rows {
+                let row = y.row_mut(r);
+                for (v, &bias) in row.iter_mut().zip(&layer.b) {
+                    *v = layer.activation.apply(*v + bias);
+                }
+            }
+            cur = y;
+        }
+        (0..x.rows)
+            .map(|r| {
+                let xr = x.row(r);
+                let yr = cur.row(r);
+                xr.iter().zip(yr).map(|(a, b)| (a - b).abs()).sum::<f32>() / x.cols as f32
+            })
+            .collect()
     }
 
     /// Trains on `data` (rows = samples); returns the mean L1 loss per

@@ -5,6 +5,7 @@
 //! only a *training vehicle* — what CLAP actually consumes downstream are
 //! the gate activations in the [`GruTrace`].
 
+use crate::gru::{GruWorkspace, PackedGru};
 use crate::matrix::vecops;
 use crate::{softmax_cross_entropy, softmax_inplace, Adam, GruCell, GruTrace, Matrix};
 use rand::rngs::StdRng;
@@ -81,9 +82,21 @@ impl GruClassifier {
     }
 
     /// Runs the GRU over a sequence; the trace carries the gate activations
-    /// CLAP fuses into context profiles.
-    pub fn trace(&self, xs: &[Vec<f32>]) -> GruTrace {
+    /// CLAP fuses into context profiles. Borrows the rows — no cloning of
+    /// caller feature storage is required.
+    pub fn trace<S: AsRef<[f32]>>(&self, xs: &[S]) -> GruTrace {
         self.cell.forward(xs)
+    }
+
+    /// Gate-packed copy of the recurrent weights for the fused inference
+    /// path; build once per scoring session and reuse.
+    pub fn packed(&self) -> PackedGru {
+        PackedGru::pack(&self.cell)
+    }
+
+    /// Seed-era trace on the frozen naive kernels (pre-fusion baseline).
+    pub fn trace_unfused<S: AsRef<[f32]>>(&self, xs: &[S]) -> GruTrace {
+        self.cell.forward_unfused(xs)
     }
 
     /// Class logits for one hidden state.
@@ -94,7 +107,7 @@ impl GruClassifier {
     }
 
     /// Predicted class per timestep.
-    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<usize> {
+    pub fn predict<S: AsRef<[f32]>>(&self, xs: &[S]) -> Vec<usize> {
         let trace = self.trace(xs);
         trace
             .hs
@@ -107,10 +120,32 @@ impl GruClassifier {
             .collect()
     }
 
-    /// Mean loss + gradient contribution of one sequence.
-    fn sequence_grads(
+    /// Fused, allocation-free prediction: runs the packed engine over a
+    /// `T×I` input matrix (reusing `ws`) and writes one class per timestep
+    /// into `out`. `logits` is a `classes`-wide scratch slice.
+    pub fn predict_packed_into(
         &self,
-        xs: &[Vec<f32>],
+        packed: &PackedGru,
+        xs: &Matrix,
+        ws: &mut GruWorkspace,
+        logits: &mut [f32],
+        out: &mut Vec<usize>,
+    ) {
+        debug_assert_eq!(logits.len(), self.num_classes());
+        packed.run(xs, ws);
+        out.clear();
+        for t in 0..ws.len() {
+            self.wo.matvec_into(ws.hs.row(t), logits);
+            vecops::add_assign(logits, &self.bo);
+            // Softmax is monotone; argmax over logits is the prediction.
+            out.push(argmax(logits));
+        }
+    }
+
+    /// Mean loss + gradient contribution of one sequence.
+    fn sequence_grads<S: AsRef<[f32]>>(
+        &self,
+        xs: &[S],
         labels: &[usize],
     ) -> (f32, usize, crate::gru::GruGrads, Matrix, Vec<f32>) {
         debug_assert_eq!(xs.len(), labels.len());
@@ -137,9 +172,14 @@ impl GruClassifier {
     }
 
     /// Trains on labelled sequences; parallelizes gradient computation
-    /// across the sequences of each mini-batch with rayon.
-    pub fn train(&mut self, data: &[LabeledSequence], cfg: &GruClassifierConfig) -> TrainReport {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5481_11);
+    /// across the sequences of each mini-batch with rayon. Sequences may
+    /// borrow their rows (`Vec<&[f32]>`) — feature storage is not cloned.
+    pub fn train<S: AsRef<[f32]> + Sync>(
+        &mut self,
+        data: &[(Vec<S>, Vec<usize>)],
+        cfg: &GruClassifierConfig,
+    ) -> TrainReport {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0054_8111);
         let mut report = TrainReport::default();
 
         let mut cell_opts: Vec<Adam> = {
@@ -155,7 +195,10 @@ impl GruClassifier {
                 dummy.dun.data.len(),
                 dummy.dbn.len(),
             ];
-            sizes.iter().map(|&s| Adam::new(s, cfg.learning_rate)).collect()
+            sizes
+                .iter()
+                .map(|&s| Adam::new(s, cfg.learning_rate))
+                .collect()
         };
         let mut wo_opt = Adam::new(self.wo.data.len(), cfg.learning_rate);
         let mut bo_opt = Adam::new(self.bo.len(), cfg.learning_rate);
@@ -181,8 +224,6 @@ impl GruClassifier {
                 let mut dbo = vec![0.0f32; self.bo.len()];
                 let mut steps = 0usize;
                 for (l, c, g, dw, db) in results {
-                    let n = g.dbz.len(); // dummy use to satisfy clippy? no-op
-                    let _ = n;
                     epoch_loss += l as f64;
                     epoch_correct += c;
                     acc.add_assign(&g);
@@ -195,10 +236,7 @@ impl GruClassifier {
                 acc.scale(scale);
                 dwo.scale(scale);
                 dbo.iter_mut().for_each(|v| *v *= scale);
-                epoch_steps += chunk
-                    .iter()
-                    .map(|&i| data[i].0.len())
-                    .sum::<usize>();
+                epoch_steps += chunk.iter().map(|&i| data[i].0.len()).sum::<usize>();
 
                 for (opt, (param, grad)) in
                     cell_opts.iter_mut().zip(self.cell.param_grad_pairs(&acc))
@@ -220,7 +258,7 @@ impl GruClassifier {
     }
 
     /// Per-timestep accuracy over a labelled evaluation set.
-    pub fn accuracy(&self, data: &[LabeledSequence]) -> f32 {
+    pub fn accuracy<S: AsRef<[f32]> + Sync>(&self, data: &[(Vec<S>, Vec<usize>)]) -> f32 {
         let (correct, total) = data
             .par_iter()
             .map(|(xs, labels)| {
@@ -312,7 +350,7 @@ mod tests {
         let xs = vec![vec![0.0; 3]; 7];
         assert_eq!(clf.predict(&xs).len(), 7);
         assert!(clf.predict(&xs).iter().all(|&c| c < 5));
-        assert_eq!(clf.predict(&[]).len(), 0);
+        assert_eq!(clf.predict::<Vec<f32>>(&[]).len(), 0);
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub struct DenseGrads {
 
 impl Dense {
     pub fn new(input: usize, output: usize, activation: Activation, rng: &mut impl Rng) -> Self {
-        Dense { w: Matrix::xavier(output, input, rng), b: vec![0.0; output], activation }
+        Dense {
+            w: Matrix::xavier(output, input, rng),
+            b: vec![0.0; output],
+            activation,
+        }
     }
 
     pub fn input_size(&self) -> usize {
@@ -80,20 +84,30 @@ impl Dense {
 
     /// Batched forward pass; `x` is batch × in.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = Matrix::matmul_nt(x, &self.w);
+        let mut y = Matrix::zeros(x.rows, self.w.rows);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Batched forward pass into a caller-owned output matrix (reused
+    /// allocation); the inference engine's building block.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
+        Matrix::matmul_nt_into(x, &self.w, y);
         for r in 0..y.rows {
             let row = y.row_mut(r);
             for (v, &bias) in row.iter_mut().zip(&self.b) {
                 *v = self.activation.apply(*v + bias);
             }
         }
-        y
     }
 
     /// Forward pass that also returns the trace for backprop.
     pub fn forward_trace(&self, x: &Matrix) -> DenseTrace {
         let output = self.forward(x);
-        DenseTrace { input: x.clone(), output }
+        DenseTrace {
+            input: x.clone(),
+            output,
+        }
     }
 
     /// Backward pass: given `dl/dy`, returns (`dl/dx`, parameter grads).
@@ -150,7 +164,12 @@ mod tests {
     /// Finite-difference check of dense backward for every activation.
     #[test]
     fn gradients_match_finite_differences() {
-        for act in [Activation::Linear, Activation::Tanh, Activation::Sigmoid, Activation::Relu] {
+        for act in [
+            Activation::Linear,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Relu,
+        ] {
             let mut rng = StdRng::seed_from_u64(42);
             let mut layer = Dense::new(3, 2, act, &mut rng);
             // Keep ReLU away from the kink.

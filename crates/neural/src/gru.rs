@@ -143,10 +143,18 @@ impl GruCell {
     }
 
     /// Runs the cell over a sequence, returning the full trace.
-    pub fn forward(&self, xs: &[Vec<f32>]) -> GruTrace {
+    ///
+    /// This is the **reference implementation**: six separate `matvec`s and
+    /// fresh buffers per step. Inference goes through [`PackedGru`], which
+    /// is proven equivalent to this path by the test suite; training keeps
+    /// using this trace because BPTT needs every intermediate.
+    ///
+    /// Accepts any slice-of-rows shape (`&[Vec<f32>]`, `&[&[f32]]`), so
+    /// callers can borrow feature storage instead of cloning it.
+    pub fn forward<S: AsRef<[f32]>>(&self, xs: &[S]) -> GruTrace {
         let hidden = self.hidden_size();
         let mut trace = GruTrace {
-            xs: xs.to_vec(),
+            xs: xs.iter().map(|x| x.as_ref().to_vec()).collect(),
             hs: Vec::with_capacity(xs.len()),
             zs: Vec::with_capacity(xs.len()),
             rs: Vec::with_capacity(xs.len()),
@@ -155,6 +163,7 @@ impl GruCell {
         };
         let mut h = vec![0.0f32; hidden];
         for x in xs {
+            let x = x.as_ref();
             debug_assert_eq!(x.len(), self.input_size());
             let mut z = self.wz.matvec(x);
             vecops::add_assign(&mut z, &self.uz.matvec(&h));
@@ -168,6 +177,59 @@ impl GruCell {
 
             let un_h = self.un.matvec(&h);
             let mut n = self.wn.matvec(x);
+            vecops::add_assign(&mut n, &self.bn);
+            for i in 0..hidden {
+                n[i] = (n[i] + r[i] * un_h[i]).tanh();
+            }
+
+            let mut h_new = vec![0.0f32; hidden];
+            for i in 0..hidden {
+                h_new[i] = (1.0 - z[i]) * n[i] + z[i] * h[i];
+            }
+
+            trace.zs.push(z);
+            trace.rs.push(r);
+            trace.ns.push(n);
+            trace.un_hs.push(un_h);
+            trace.hs.push(h_new.clone());
+            h = h_new;
+        }
+        trace
+    }
+
+    /// The seed-era forward pass, frozen verbatim on the [`naive`] kernels:
+    /// six separate matvecs and ~10 fresh `Vec`s per step. This is the
+    /// pre-fusion baseline the fused engine is measured against; production
+    /// inference uses [`PackedGru::run`], training uses [`forward`].
+    ///
+    /// [`naive`]: crate::matrix::naive
+    /// [`forward`]: Self::forward
+    pub fn forward_unfused<S: AsRef<[f32]>>(&self, xs: &[S]) -> GruTrace {
+        use crate::matrix::naive;
+        let hidden = self.hidden_size();
+        let mut trace = GruTrace {
+            xs: xs.iter().map(|x| x.as_ref().to_vec()).collect(),
+            hs: Vec::with_capacity(xs.len()),
+            zs: Vec::with_capacity(xs.len()),
+            rs: Vec::with_capacity(xs.len()),
+            ns: Vec::with_capacity(xs.len()),
+            un_hs: Vec::with_capacity(xs.len()),
+        };
+        let mut h = vec![0.0f32; hidden];
+        for x in xs {
+            let x = x.as_ref();
+            let mut z = naive::matvec(&self.wz, x);
+            vecops::add_assign(&mut z, &naive::matvec(&self.uz, &h));
+            vecops::add_assign(&mut z, &self.bz);
+            z.iter_mut().for_each(|v| *v = sigmoid(*v));
+
+            let mut r = naive::matvec(&self.wr, x);
+            vecops::add_assign(&mut r, &naive::matvec(&self.ur, &h));
+            vecops::add_assign(&mut r, &self.br);
+            r.iter_mut().for_each(|v| *v = sigmoid(*v));
+
+            let un_h = naive::matvec(&self.un, &h);
+            let mut n = naive::matvec(&self.wn, x);
             vecops::add_assign(&mut n, &self.bn);
             for i in 0..hidden {
                 n[i] = (n[i] + r[i] * un_h[i]).tanh();
@@ -205,8 +267,13 @@ impl GruCell {
 
         for t in (0..steps).rev() {
             let h_prev = if t == 0 { &zero } else { &trace.hs[t - 1] };
-            let (z, r, n, un_h, x) =
-                (&trace.zs[t], &trace.rs[t], &trace.ns[t], &trace.un_hs[t], &trace.xs[t]);
+            let (z, r, n, un_h, x) = (
+                &trace.zs[t],
+                &trace.rs[t],
+                &trace.ns[t],
+                &trace.un_hs[t],
+                &trace.xs[t],
+            );
 
             // Total gradient flowing into h_t.
             let mut dh = dhs[t].clone();
@@ -264,10 +331,7 @@ impl GruCell {
 
     /// Flat views over all parameter buffers, paired with matching
     /// gradient buffers — convenient for driving one optimizer per tensor.
-    pub fn param_grad_pairs<'a>(
-        &'a mut self,
-        g: &'a GruGrads,
-    ) -> Vec<(&'a mut [f32], &'a [f32])> {
+    pub fn param_grad_pairs<'a>(&'a mut self, g: &'a GruGrads) -> Vec<(&'a mut [f32], &'a [f32])> {
         vec![
             (&mut self.wz.data[..], &g.dwz.data[..]),
             (&mut self.uz.data[..], &g.duz.data[..]),
@@ -282,6 +346,149 @@ impl GruCell {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fused inference engine
+// ---------------------------------------------------------------------------
+
+/// Gate-packed GRU weights for inference.
+///
+/// The three input projections `Wz/Wr/Wn` are stacked into one `3H×I`
+/// matrix and the recurrent projections `Uz/Ur/Un` into one `3H×H` matrix,
+/// so a whole sequence's input side is a single GEMM (`X · Wᵀ`) and each
+/// step's recurrent side is one fused matvec instead of three. Built from a
+/// [`GruCell`] on demand (typically once per scoring session); not
+/// serialized — the cell remains the source of truth.
+#[derive(Debug, Clone)]
+pub struct PackedGru {
+    /// `[Wz; Wr; Wn]` stacked row-wise: `3H×I`.
+    w: Matrix,
+    /// `[Uz; Ur; Un]` stacked row-wise: `3H×H`.
+    u: Matrix,
+    /// `[bz; br; bn]`: `3H`.
+    b: Vec<f32>,
+    hidden: usize,
+}
+
+/// Reusable scratch arena for [`PackedGru::run`]. All buffers grow to the
+/// longest sequence seen and are then reused, so steady-state inference
+/// performs **zero heap allocation**. Outputs (`hs`, `zs`, `rs`) are flat
+/// `T×H` matrices — one contiguous row per timestep.
+#[derive(Debug, Clone, Default)]
+pub struct GruWorkspace {
+    /// `T×3H` input-side projections `X·Wᵀ + b`.
+    xp: Matrix,
+    /// Current step's recurrent projections `U·h_{t-1}` (`3H`).
+    up: Vec<f32>,
+    /// Hidden states, one row per step (`T×H`).
+    pub hs: Matrix,
+    /// Update-gate activations per step (`T×H`).
+    pub zs: Matrix,
+    /// Reset-gate activations per step (`T×H`).
+    pub rs: Matrix,
+    /// Running hidden state (`H`).
+    h: Vec<f32>,
+}
+
+impl GruWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Steps recorded by the last [`PackedGru::run`].
+    pub fn len(&self) -> usize {
+        self.hs.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hs.rows == 0
+    }
+}
+
+impl PackedGru {
+    /// Packs a cell's nine parameter tensors into the fused layout.
+    pub fn pack(cell: &GruCell) -> PackedGru {
+        let hidden = cell.hidden_size();
+        let input = cell.input_size();
+        let mut w = Matrix::zeros(3 * hidden, input);
+        let mut u = Matrix::zeros(3 * hidden, hidden);
+        let mut b = vec![0.0f32; 3 * hidden];
+        for (block, (wsrc, usrc, bsrc)) in [
+            (&cell.wz, &cell.uz, &cell.bz),
+            (&cell.wr, &cell.ur, &cell.br),
+            (&cell.wn, &cell.un, &cell.bn),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let lo = block * hidden;
+            w.data[lo * input..(lo + hidden) * input].copy_from_slice(&wsrc.data);
+            u.data[lo * hidden..(lo + hidden) * hidden].copy_from_slice(&usrc.data);
+            b[lo..lo + hidden].copy_from_slice(bsrc);
+        }
+        PackedGru { w, u, b, hidden }
+    }
+
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    pub fn input_size(&self) -> usize {
+        self.w.cols
+    }
+
+    /// Runs the cell over a sequence laid out as a `T×I` matrix, filling
+    /// the workspace's `hs`/`zs`/`rs`. Allocation-free once `ws` has grown
+    /// to the sequence size.
+    ///
+    /// Produces the same gate/hidden trajectories as [`GruCell::forward`]
+    /// up to floating-point reassociation (the equivalence tests pin this
+    /// to ≤1e-6).
+    pub fn run(&self, xs: &Matrix, ws: &mut GruWorkspace) {
+        let hidden = self.hidden;
+        let steps = xs.rows;
+        debug_assert_eq!(xs.cols, self.input_size());
+
+        // Whole-sequence input projections in one GEMM, bias folded in.
+        Matrix::matmul_nt_into(xs, &self.w, &mut ws.xp);
+        for r in 0..steps {
+            let row = ws.xp.row_mut(r);
+            for (v, &bv) in row.iter_mut().zip(&self.b) {
+                *v += bv;
+            }
+        }
+
+        ws.hs.resize(steps, hidden);
+        ws.zs.resize(steps, hidden);
+        ws.rs.resize(steps, hidden);
+        ws.up.resize(3 * hidden, 0.0);
+        ws.h.clear();
+        ws.h.resize(hidden, 0.0);
+
+        for t in 0..steps {
+            // One fused matvec covers Uz·h, Ur·h and Un·h.
+            self.u.matvec_into(&ws.h, &mut ws.up);
+            let xp = ws.xp.row(t);
+            let z_row = ws.zs.row_mut(t);
+            for i in 0..hidden {
+                z_row[i] = sigmoid(xp[i] + ws.up[i]);
+            }
+            let r_row = ws.rs.row_mut(t);
+            for i in 0..hidden {
+                r_row[i] = sigmoid(xp[hidden + i] + ws.up[hidden + i]);
+            }
+            // h_t = (1-z)·tanh(pre_n) + z·h_{t-1}, written straight into
+            // the trajectory row; `ws.h` keeps the running copy.
+            let h_row = ws.hs.row_mut(t);
+            for i in 0..hidden {
+                let n = (xp[2 * hidden + i] + r_row[i] * ws.up[2 * hidden + i]).tanh();
+                let z = z_row[i];
+                h_row[i] = (1.0 - z) * n + z * ws.h[i];
+            }
+            ws.h.copy_from_slice(h_row);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,7 +497,11 @@ mod tests {
 
     fn toy_inputs(seq: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..seq)
-            .map(|t| (0..dim).map(|i| ((t * dim + i) as f32 * 0.37).sin() * 0.5).collect())
+            .map(|t| {
+                (0..dim)
+                    .map(|i| ((t * dim + i) as f32 * 0.37).sin() * 0.5)
+                    .collect()
+            })
             .collect()
     }
 
@@ -313,7 +524,7 @@ mod tests {
     fn empty_sequence_yields_empty_trace() {
         let mut rng = StdRng::seed_from_u64(3);
         let cell = GruCell::new(4, 6, &mut rng);
-        let trace = cell.forward(&[]);
+        let trace = cell.forward::<Vec<f32>>(&[]);
         assert!(trace.is_empty());
     }
 
@@ -400,6 +611,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn as_matrix(xs: &[Vec<f32>]) -> Matrix {
+        let cols = xs.first().map_or(0, Vec::len);
+        let mut m = Matrix::zeros(xs.len(), cols);
+        for (r, x) in xs.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(x);
+        }
+        m
+    }
+
+    /// The packed inference engine must reproduce the reference forward
+    /// pass: hidden states and both gate trajectories, step for step.
+    #[test]
+    fn packed_matches_reference_forward() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let cell = GruCell::new(7, 12, &mut rng);
+        let packed = PackedGru::pack(&cell);
+        let mut ws = GruWorkspace::new();
+        for seq in [1usize, 2, 5, 33] {
+            let xs = toy_inputs(seq, 7);
+            let trace = cell.forward(&xs);
+            packed.run(&as_matrix(&xs), &mut ws);
+            assert_eq!(ws.len(), seq);
+            for t in 0..seq {
+                for i in 0..12 {
+                    assert!((trace.hs[t][i] - ws.hs.get(t, i)).abs() < 1e-6);
+                    assert!((trace.zs[t][i] - ws.zs.get(t, i)).abs() < 1e-6);
+                    assert!((trace.rs[t][i] - ws.rs.get(t, i)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Workspace reuse across differently-sized sequences must not leak
+    /// state between runs: re-running a sequence after longer/shorter ones
+    /// gives bitwise-identical trajectories.
+    #[test]
+    fn workspace_reuse_is_stateless() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cell = GruCell::new(4, 9, &mut rng);
+        let packed = PackedGru::pack(&cell);
+        let xs = as_matrix(&toy_inputs(6, 4));
+
+        let mut fresh = GruWorkspace::new();
+        packed.run(&xs, &mut fresh);
+        let expect = fresh.hs.clone();
+
+        let mut reused = GruWorkspace::new();
+        for other_len in [31usize, 1, 17, 2] {
+            packed.run(&as_matrix(&toy_inputs(other_len, 4)), &mut reused);
+            packed.run(&xs, &mut reused);
+            assert_eq!(reused.hs, expect, "after interleaving len {other_len}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_through_packed_path() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let cell = GruCell::new(3, 5, &mut rng);
+        let packed = PackedGru::pack(&cell);
+        let mut ws = GruWorkspace::new();
+        packed.run(&Matrix::zeros(0, 3), &mut ws);
+        assert!(ws.is_empty());
     }
 
     #[test]

@@ -19,6 +19,34 @@
 //! Every gradient is verified against central finite differences in the
 //! test suite. Models serialize with serde for the persistence arrows in
 //! the paper's Figure 2/3 pipeline.
+//!
+//! # The fused inference engine
+//!
+//! Training wants per-step intermediates; scoring wants throughput. The
+//! crate therefore keeps two forward implementations and proves them
+//! equivalent in the test suite:
+//!
+//! * **Reference path** — [`GruCell::forward`] / [`Autoencoder::forward`]:
+//!   readable, one allocation per intermediate, used by training and as the
+//!   oracle in equivalence tests.
+//! * **Fused path** — the inference engine, built from three pieces:
+//!   * *Packed gates* ([`PackedGru`]): `Wz/Wr/Wn` stacked into one `3H×I`
+//!     matrix and `Uz/Ur/Un` into one `3H×H` matrix, so a sequence's whole
+//!     input side is a single `X·Wᵀ` GEMM and each step's recurrent side is
+//!     one fused matvec instead of three.
+//!   * *Workspaces* ([`GruWorkspace`], [`AeWorkspace`]): grow-only scratch
+//!     arenas threaded through the hot path; steady-state inference
+//!     performs zero heap allocation. The `*_into` kernels on [`Matrix`],
+//!     [`Dense`] and [`Autoencoder`] write into these caller-owned buffers.
+//!   * *Batching*: autoencoder scoring takes whole `rows×width` batches
+//!     through one ping-ponged GEMM chain ([`Autoencoder::forward_into`]);
+//!     `clap-core` shards connections across rayon workers, each worker
+//!     owning one set of arenas.
+//!
+//! The GEMM inner loops ([`matrix::dot`], register-blocked `dot4`) use
+//! `chunks_exact` lane accumulators with `mul_add` so LLVM autovectorizes
+//! them; results may differ from the reference by float reassociation only
+//! (bounded to 1e-6 in tests).
 
 pub mod adam;
 pub mod autoencoder;
@@ -28,10 +56,10 @@ pub mod gru;
 pub mod matrix;
 
 pub use adam::Adam;
-pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use autoencoder::{AeWorkspace, Autoencoder, AutoencoderConfig};
 pub use classifier::{GruClassifier, GruClassifierConfig, TrainReport};
 pub use dense::Dense;
-pub use gru::{GruCell, GruTrace};
+pub use gru::{GruCell, GruTrace, GruWorkspace, PackedGru};
 pub use matrix::Matrix;
 
 /// Numerically-stable softmax over a slice, in place.

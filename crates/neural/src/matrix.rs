@@ -1,4 +1,10 @@
-//! Row-major `f32` matrices with the GEMM variants backprop needs.
+//! Row-major `f32` matrices with the GEMM variants backprop needs, plus
+//! the allocation-free `*_into` kernels the inference engine runs on.
+//!
+//! The hot kernels ([`dot`], [`Matrix::matmul_nt_into`]) are written for
+//! autovectorization: fixed-width lane accumulators over `chunks_exact`
+//! with `mul_add`, and a 4-row register block in the GEMM so each loaded
+//! slice of `A` is reused against four rows of `B`.
 
 use rand::Rng;
 use rayon::prelude::*;
@@ -6,6 +12,72 @@ use serde::{Deserialize, Serialize};
 
 /// Minimum number of output elements before a GEMM is worth parallelizing.
 const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Lane width of the accumulator blocks in [`dot`]/[`dot4`]; matches one
+/// AVX2 register of `f32`s, and autovectorizes cleanly on narrower ISAs.
+const LANES: usize = 8;
+
+/// Dense dot product with lane-blocked accumulation (`a·b`).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; LANES];
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for i in 0..LANES {
+            lanes[i] = xa[i].mul_add(xb[i], lanes[i]);
+        }
+    }
+    let mut acc = 0.0;
+    for lane in lanes {
+        acc += lane;
+    }
+    for (x, y) in ra.iter().zip(rb) {
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}
+
+/// Four simultaneous dot products of `a` against `b0..b3`, reusing each
+/// loaded chunk of `a` four times (the register-blocked GEMM inner loop).
+#[inline]
+fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut l0 = [0.0f32; LANES];
+    let mut l1 = [0.0f32; LANES];
+    let mut l2 = [0.0f32; LANES];
+    let mut l3 = [0.0f32; LANES];
+    let n = a.len() / LANES * LANES;
+    let mut k = 0;
+    while k < n {
+        let xa = &a[k..k + LANES];
+        let x0 = &b0[k..k + LANES];
+        let x1 = &b1[k..k + LANES];
+        let x2 = &b2[k..k + LANES];
+        let x3 = &b3[k..k + LANES];
+        for i in 0..LANES {
+            l0[i] = xa[i].mul_add(x0[i], l0[i]);
+            l1[i] = xa[i].mul_add(x1[i], l1[i]);
+            l2[i] = xa[i].mul_add(x2[i], l2[i]);
+            l3[i] = xa[i].mul_add(x3[i], l3[i]);
+        }
+        k += LANES;
+    }
+    let mut out = [0.0f32; 4];
+    for (o, lanes) in out.iter_mut().zip([&l0, &l1, &l2, &l3]) {
+        for lane in lanes.iter() {
+            *o += lane;
+        }
+    }
+    for k in n..a.len() {
+        out[0] = a[k].mul_add(b0[k], out[0]);
+        out[1] = a[k].mul_add(b1[k], out[1]);
+        out[2] = a[k].mul_add(b2[k], out[2]);
+        out[3] = a[k].mul_add(b3[k], out[3]);
+    }
+    out
+}
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -15,10 +87,21 @@ pub struct Matrix {
     pub data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty (0×0) matrix; workspaces start here and grow on first use.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a closure over (row, col).
@@ -69,18 +152,43 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Reshapes in place, reusing the existing allocation. Contents are
+    /// unspecified afterwards (callers overwrite); grows the buffer only
+    /// when the new shape needs more room than any previous one.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix–vector product `y = self · x` (self: m×n, x: n).
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// In-place matrix–vector product `y = self · x` (self: m×n, x: n,
+    /// y: m). The inference engine's workhorse: no allocation.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
         debug_assert_eq!(x.len(), self.cols);
-        (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
-            .collect()
+        debug_assert_eq!(y.len(), self.rows);
+        let mut r = 0;
+        while r + 4 <= self.rows {
+            let out = dot4(
+                x,
+                self.row(r),
+                self.row(r + 1),
+                self.row(r + 2),
+                self.row(r + 3),
+            );
+            y[r..r + 4].copy_from_slice(&out);
+            r += 4;
+        }
+        let done = r;
+        for (r, yv) in y.iter_mut().enumerate().skip(done) {
+            *yv = dot(self.row(r), x);
+        }
     }
 
     /// Transposed matrix–vector product `y = selfᵀ · x` (self: m×n, x: m).
@@ -113,43 +221,76 @@ impl Matrix {
 
     /// `C = A · B` (A: m×k, B: k×n).
     pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Matrix {
-        assert_eq!(a.cols, b.rows, "nn shape mismatch");
         let mut c = Matrix::zeros(a.rows, b.cols);
+        Matrix::matmul_nn_into(a, b, &mut c);
+        c
+    }
+
+    /// In-place `C = A · B`, reusing `c`'s allocation.
+    pub fn matmul_nn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(a.cols, b.rows, "nn shape mismatch");
+        c.resize(a.rows, b.cols);
         let kernel = |(i, crow): (usize, &mut [f32])| {
+            crow.fill(0.0);
             for k in 0..a.cols {
                 let aik = a.get(i, k);
                 if aik != 0.0 {
                     let brow = b.row(k);
                     for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += aik * bv;
+                        *cv = aik.mul_add(bv, *cv);
                     }
                 }
             }
         };
         if c.data.len() >= PAR_THRESHOLD {
-            c.data.par_chunks_mut(b.cols).enumerate().for_each(kernel);
+            c.data
+                .par_chunks_mut(b.cols.max(1))
+                .enumerate()
+                .for_each(kernel);
         } else {
-            c.data.chunks_mut(b.cols).enumerate().for_each(kernel);
+            c.data
+                .chunks_mut(b.cols.max(1))
+                .enumerate()
+                .for_each(kernel);
         }
-        c
     }
 
     /// `C = A · Bᵀ` (A: m×k, B: n×k) — the forward pass `X · Wᵀ`.
     pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
-        assert_eq!(a.cols, b.cols, "nt shape mismatch");
         let mut c = Matrix::zeros(a.rows, b.rows);
+        Matrix::matmul_nt_into(a, b, &mut c);
+        c
+    }
+
+    /// In-place `C = A · Bᵀ`, reusing `c`'s allocation. Register-blocked:
+    /// each row of `A` is streamed once against four rows of `B`.
+    pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(a.cols, b.cols, "nt shape mismatch");
+        c.resize(a.rows, b.rows);
         let kernel = |(i, crow): (usize, &mut [f32])| {
             let arow = a.row(i);
-            for (j, cv) in crow.iter_mut().enumerate() {
-                *cv = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+            let mut j = 0;
+            while j + 4 <= b.rows {
+                let out = dot4(arow, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+                crow[j..j + 4].copy_from_slice(&out);
+                j += 4;
+            }
+            let done = j;
+            for (j, cv) in crow.iter_mut().enumerate().skip(done) {
+                *cv = dot(arow, b.row(j));
             }
         };
         if c.data.len() >= PAR_THRESHOLD {
-            c.data.par_chunks_mut(b.rows).enumerate().for_each(kernel);
+            c.data
+                .par_chunks_mut(b.rows.max(1))
+                .enumerate()
+                .for_each(kernel);
         } else {
-            c.data.chunks_mut(b.rows).enumerate().for_each(kernel);
+            c.data
+                .chunks_mut(b.rows.max(1))
+                .enumerate()
+                .for_each(kernel);
         }
-        c
     }
 
     /// `C = Aᵀ · B` (A: k×m, B: k×n) — the weight gradient `dYᵀ · X`.
@@ -189,6 +330,37 @@ impl Matrix {
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// The seed-era kernels, frozen verbatim. These are the **pre-fusion
+/// baseline**: sequential-sum inner loops whose loop-carried dependency
+/// blocks vectorization. They exist so equivalence tests have an
+/// independent oracle and so `exp_throughput` can measure the fused
+/// engine against exactly what this PR replaced. Not used in production.
+pub mod naive {
+    use super::Matrix;
+
+    /// Seed implementation of `Matrix::matvec`.
+    pub fn matvec(m: &Matrix, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), m.cols);
+        (0..m.rows)
+            .map(|r| m.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Seed implementation of `Matrix::matmul_nt`.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.cols, "nt shape mismatch");
+        let mut c = Matrix::zeros(a.rows, b.rows);
+        for i in 0..a.rows {
+            let arow = a.row(i);
+            let crow = c.row_mut(i);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+            }
+        }
+        c
     }
 }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the neural substrate.
 
-use neural::{softmax_cross_entropy, softmax_inplace, Autoencoder, GruCell, Matrix};
+use neural::{
+    softmax_cross_entropy, softmax_inplace, Autoencoder, GruCell, GruWorkspace, Matrix, PackedGru,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,8 +68,8 @@ proptest! {
         let x = Matrix::xavier(cols, 1, &mut rng);
         let y1 = w.matvec(&x.data);
         let y2 = Matrix::matmul_nn(&w, &x);
-        for i in 0..rows {
-            prop_assert!((y1[i] - y2.get(i, 0)).abs() < 1e-5);
+        for (i, v) in y1.iter().enumerate() {
+            prop_assert!((v - y2.get(i, 0)).abs() < 1e-5);
         }
     }
 
@@ -120,5 +122,88 @@ proptest! {
         let e = ae.reconstruction_error(&v);
         prop_assert!(e.is_finite());
         prop_assert!(e >= 0.0);
+    }
+
+    /// Fused-engine equivalence over random shapes and inputs: the packed
+    /// GRU reproduces the reference forward pass within 1e-6.
+    #[test]
+    fn packed_gru_matches_reference(
+        seed in 0u64..300,
+        input in 1usize..9,
+        hidden in 1usize..17,
+        steps in 0usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = GruCell::new(input, hidden, &mut rng);
+        let xs: Vec<Vec<f32>> = (0..steps)
+            .map(|t| (0..input).map(|i| ((t * input + i) as f32 * 0.41 + seed as f32).sin()).collect())
+            .collect();
+        let trace = cell.forward(&xs);
+        let mut x = Matrix::zeros(steps, input);
+        for (t, row) in xs.iter().enumerate() {
+            x.row_mut(t).copy_from_slice(row);
+        }
+        let packed = PackedGru::pack(&cell);
+        let mut ws = GruWorkspace::new();
+        packed.run(&x, &mut ws);
+        prop_assert_eq!(ws.len(), steps);
+        for t in 0..steps {
+            for i in 0..hidden {
+                prop_assert!((trace.hs[t][i] - ws.hs.get(t, i)).abs() < 1e-6);
+                prop_assert!((trace.zs[t][i] - ws.zs.get(t, i)).abs() < 1e-6);
+                prop_assert!((trace.rs[t][i] - ws.rs.get(t, i)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Workspace reuse across random mixes of sequence lengths never
+    /// changes results: every run through a shared arena is bitwise equal
+    /// to a run through a fresh one.
+    #[test]
+    fn gru_workspace_reuse_never_changes_results(
+        seed in 0u64..200,
+        lens in prop::collection::vec(0usize..24, 1..8),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x60);
+        let cell = GruCell::new(5, 11, &mut rng);
+        let packed = PackedGru::pack(&cell);
+        let mut shared = GruWorkspace::new();
+        for (k, &len) in lens.iter().enumerate() {
+            let mut x = Matrix::zeros(len, 5);
+            for t in 0..len {
+                for i in 0..5 {
+                    x.set(t, i, ((t * 5 + i + k) as f32 * 0.29 + seed as f32 * 0.01).cos());
+                }
+            }
+            packed.run(&x, &mut shared);
+            let mut fresh = GruWorkspace::new();
+            packed.run(&x, &mut fresh);
+            prop_assert_eq!(&shared.hs, &fresh.hs, "len {} at position {}", len, k);
+            prop_assert_eq!(&shared.zs, &fresh.zs);
+            prop_assert_eq!(&shared.rs, &fresh.rs);
+        }
+    }
+
+    /// Batched AE inference through the workspace equals the allocating
+    /// reference for any batch size.
+    #[test]
+    fn ae_workspace_matches_reference(
+        seed in 0u64..100,
+        rows in 1usize..20,
+    ) {
+        let ae = Autoencoder::new(&[7, 4, 2, 4, 7], seed);
+        let x = Matrix::from_fn(rows, 7, |r, c| ((r * 7 + c) as f32 * 0.37 + seed as f32).sin());
+        let reference = ae.reconstruction_errors(&x);
+        let mut ws = neural::AeWorkspace::new();
+        let mut out = Vec::new();
+        // Twice through the same workspace: reuse must not drift.
+        for _ in 0..2 {
+            out.clear();
+            ae.reconstruction_errors_into(&x, &mut ws, &mut out);
+            prop_assert_eq!(out.len(), rows);
+            for (a, b) in out.iter().zip(&reference) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
     }
 }

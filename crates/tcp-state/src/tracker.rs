@@ -91,13 +91,21 @@ impl StateLabel {
     /// Inverse of [`class_index`](Self::class_index).
     pub fn from_class_index(idx: usize) -> StateLabel {
         let state = TcpState::ALL[(idx / 2).min(10)];
-        StateLabel { state, in_window: idx % 2 == 0 }
+        StateLabel {
+            state,
+            in_window: idx.is_multiple_of(2),
+        }
     }
 }
 
 impl std::fmt::Display for StateLabel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{}", self.state, if self.in_window { "IN" } else { "OUT" })
+        write!(
+            f,
+            "{}/{}",
+            self.state,
+            if self.in_window { "IN" } else { "OUT" }
+        )
     }
 }
 
@@ -275,7 +283,10 @@ impl TcpTracker {
         if !Self::segment_acceptable(p) {
             // A rigorous endhost drops the packet: no transition, and by
             // definition the packet does not belong in the window.
-            return StateLabel { state: self.state, in_window: false };
+            return StateLabel {
+                state: self.state,
+                in_window: false,
+            };
         }
 
         let f = p.tcp.flags;
@@ -367,8 +378,7 @@ impl TcpTracker {
                 }
             }
             Closing => {
-                let second_fin_owner =
-                    self.fin_dir.unwrap_or(Direction::ClientToServer).flip();
+                let second_fin_owner = self.fin_dir.unwrap_or(Direction::ClientToServer).flip();
                 if rst && accept {
                     Close
                 } else if accept && self.acks_fin_of(p, second_fin_owner) {
@@ -378,13 +388,10 @@ impl TcpTracker {
                 }
             }
             LastAck => {
-                let second_fin_owner =
-                    self.fin_dir.unwrap_or(Direction::ClientToServer).flip();
+                let second_fin_owner = self.fin_dir.unwrap_or(Direction::ClientToServer).flip();
                 if rst && accept {
                     Close
-                } else if accept
-                    && dir != second_fin_owner
-                    && self.acks_fin_of(p, second_fin_owner)
+                } else if accept && dir != second_fin_owner && self.acks_fin_of(p, second_fin_owner)
                 {
                     TimeWait
                 } else {
@@ -405,7 +412,10 @@ impl TcpTracker {
             self.update_peer(p, dir, syn, fin);
         }
 
-        StateLabel { state: self.state, in_window }
+        StateLabel {
+            state: self.state,
+            in_window,
+        }
     }
 
     fn update_peer(&mut self, p: &Packet, dir: Direction, syn: bool, fin: bool) {
@@ -473,7 +483,10 @@ mod tests {
 
     impl Builder {
         fn new() -> Self {
-            Builder { key: key(), tracker: TcpTracker::new() }
+            Builder {
+                key: key(),
+                tracker: TcpTracker::new(),
+            }
         }
 
         fn packet(
@@ -494,7 +507,14 @@ mod tests {
             Packet::new(0.0, ip, tcp, payload.to_vec())
         }
 
-        fn feed(&mut self, dir: Direction, flags: TcpFlags, seq: u32, ackn: u32, payload: &[u8]) -> StateLabel {
+        fn feed(
+            &mut self,
+            dir: Direction,
+            flags: TcpFlags,
+            seq: u32,
+            ackn: u32,
+            payload: &[u8],
+        ) -> StateLabel {
             let p = self.packet(dir, flags, seq, ackn, payload);
             self.tracker.process(&p, dir)
         }
@@ -503,11 +523,41 @@ mod tests {
         fn handshake(&mut self) {
             use Direction::*;
             let l1 = self.feed(ClientToServer, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
-            assert_eq!(l1, StateLabel { state: TcpState::SynSent, in_window: true });
-            let l2 = self.feed(ServerToClient, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
-            assert_eq!(l2, StateLabel { state: TcpState::SynRecv, in_window: true });
-            let l3 = self.feed(ClientToServer, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
-            assert_eq!(l3, StateLabel { state: TcpState::Established, in_window: true });
+            assert_eq!(
+                l1,
+                StateLabel {
+                    state: TcpState::SynSent,
+                    in_window: true
+                }
+            );
+            let l2 = self.feed(
+                ServerToClient,
+                TcpFlags::SYN | TcpFlags::ACK,
+                SERVER_ISN,
+                CLIENT_ISN + 1,
+                &[],
+            );
+            assert_eq!(
+                l2,
+                StateLabel {
+                    state: TcpState::SynRecv,
+                    in_window: true
+                }
+            );
+            let l3 = self.feed(
+                ClientToServer,
+                TcpFlags::ACK,
+                CLIENT_ISN + 1,
+                SERVER_ISN + 1,
+                &[],
+            );
+            assert_eq!(
+                l3,
+                StateLabel {
+                    state: TcpState::Established,
+                    in_window: true
+                }
+            );
         }
     }
 
@@ -531,12 +581,42 @@ mod tests {
     fn data_transfer_stays_established_in_window() {
         let mut b = Builder::new();
         b.handshake();
-        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, SERVER_ISN + 1, b"GET /");
-        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: true });
+        let l = b.feed(
+            C2S,
+            TcpFlags::ACK | TcpFlags::PSH,
+            CLIENT_ISN + 1,
+            SERVER_ISN + 1,
+            b"GET /",
+        );
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Established,
+                in_window: true
+            }
+        );
         let l = b.feed(S2C, TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 6, &[]);
-        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: true });
-        let l = b.feed(S2C, TcpFlags::ACK | TcpFlags::PSH, SERVER_ISN + 1, CLIENT_ISN + 6, b"200 OK");
-        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: true });
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Established,
+                in_window: true
+            }
+        );
+        let l = b.feed(
+            S2C,
+            TcpFlags::ACK | TcpFlags::PSH,
+            SERVER_ISN + 1,
+            CLIENT_ISN + 6,
+            b"200 OK",
+        );
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Established,
+                in_window: true
+            }
+        );
     }
 
     #[test]
@@ -544,27 +624,57 @@ mod tests {
         let mut b = Builder::new();
         b.handshake();
         // Client FIN.
-        let l = b.feed(C2S, TcpFlags::FIN | TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        let l = b.feed(
+            C2S,
+            TcpFlags::FIN | TcpFlags::ACK,
+            CLIENT_ISN + 1,
+            SERVER_ISN + 1,
+            &[],
+        );
         assert_eq!(l.state, TcpState::FinWait);
         // Server acks the FIN.
         let l = b.feed(S2C, TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
         assert_eq!(l.state, TcpState::CloseWait);
         // Server FIN.
-        let l = b.feed(S2C, TcpFlags::FIN | TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
+        let l = b.feed(
+            S2C,
+            TcpFlags::FIN | TcpFlags::ACK,
+            SERVER_ISN + 1,
+            CLIENT_ISN + 2,
+            &[],
+        );
         assert_eq!(l.state, TcpState::LastAck);
         // Client acks.
         let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 2, SERVER_ISN + 2, &[]);
-        assert_eq!(l, StateLabel { state: TcpState::TimeWait, in_window: true });
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::TimeWait,
+                in_window: true
+            }
+        );
     }
 
     #[test]
     fn simultaneous_close_goes_through_closing() {
         let mut b = Builder::new();
         b.handshake();
-        let l = b.feed(C2S, TcpFlags::FIN | TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        let l = b.feed(
+            C2S,
+            TcpFlags::FIN | TcpFlags::ACK,
+            CLIENT_ISN + 1,
+            SERVER_ISN + 1,
+            &[],
+        );
         assert_eq!(l.state, TcpState::FinWait);
         // Server FIN before acking the client's FIN.
-        let l = b.feed(S2C, TcpFlags::FIN | TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 1, &[]);
+        let l = b.feed(
+            S2C,
+            TcpFlags::FIN | TcpFlags::ACK,
+            SERVER_ISN + 1,
+            CLIENT_ISN + 1,
+            &[],
+        );
         assert_eq!(l.state, TcpState::Closing);
         // Ack covering the server's FIN completes the close.
         let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 2, SERVER_ISN + 2, &[]);
@@ -576,7 +686,13 @@ mod tests {
         let mut b = Builder::new();
         b.handshake();
         let l = b.feed(S2C, TcpFlags::RST, SERVER_ISN + 1, 0, &[]);
-        assert_eq!(l, StateLabel { state: TcpState::Close, in_window: true });
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Close,
+                in_window: true
+            }
+        );
     }
 
     #[test]
@@ -587,7 +703,13 @@ mod tests {
         let mut p = b.packet(C2S, TcpFlags::RST, CLIENT_ISN + 1, 0, &[]);
         p.tcp.checksum ^= 0x0bad;
         let l = b.tracker.process(&p, C2S);
-        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: false });
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Established,
+                in_window: false
+            }
+        );
         assert_eq!(b.tracker.state(), TcpState::Established);
     }
 
@@ -595,15 +717,33 @@ mod tests {
     fn out_of_window_rst_does_not_close() {
         let mut b = Builder::new();
         b.handshake();
-        let l = b.feed(C2S, TcpFlags::RST, CLIENT_ISN.wrapping_sub(100_000_000), 0, &[]);
-        assert_eq!(l, StateLabel { state: TcpState::Established, in_window: false });
+        let l = b.feed(
+            C2S,
+            TcpFlags::RST,
+            CLIENT_ISN.wrapping_sub(100_000_000),
+            0,
+            &[],
+        );
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Established,
+                in_window: false
+            }
+        );
     }
 
     #[test]
     fn bad_ack_data_packet_is_out_of_window() {
         let mut b = Builder::new();
         b.handshake();
-        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, 0xdead_0000, b"x");
+        let l = b.feed(
+            C2S,
+            TcpFlags::ACK | TcpFlags::PSH,
+            CLIENT_ISN + 1,
+            0xdead_0000,
+            b"x",
+        );
         assert!(!l.in_window);
         assert_eq!(l.state, TcpState::Established);
     }
@@ -612,7 +752,13 @@ mod tests {
     fn underflow_seq_is_out_of_window() {
         let mut b = Builder::new();
         b.handshake();
-        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN.wrapping_sub(50_000_000), SERVER_ISN + 1, b"x");
+        let l = b.feed(
+            C2S,
+            TcpFlags::ACK | TcpFlags::PSH,
+            CLIENT_ISN.wrapping_sub(50_000_000),
+            SERVER_ISN + 1,
+            b"x",
+        );
         assert!(!l.in_window);
     }
 
@@ -620,10 +766,22 @@ mod tests {
     fn retransmission_is_in_window() {
         let mut b = Builder::new();
         b.handshake();
-        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, SERVER_ISN + 1, b"hello");
+        let l = b.feed(
+            C2S,
+            TcpFlags::ACK | TcpFlags::PSH,
+            CLIENT_ISN + 1,
+            SERVER_ISN + 1,
+            b"hello",
+        );
         assert!(l.in_window);
         // Exact retransmission of the same segment.
-        let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, CLIENT_ISN + 1, SERVER_ISN + 1, b"hello");
+        let l = b.feed(
+            C2S,
+            TcpFlags::ACK | TcpFlags::PSH,
+            CLIENT_ISN + 1,
+            SERVER_ISN + 1,
+            b"hello",
+        );
         assert!(l.in_window);
         assert_eq!(l.state, TcpState::Established);
     }
@@ -633,21 +791,38 @@ mod tests {
         let mut b = Builder::new();
         // Handshake with timestamps.
         let mut p = b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
-        p.tcp.options.push(TcpOption::Timestamps { tsval: 1000, tsecr: 0 });
+        p.tcp.options.push(TcpOption::Timestamps {
+            tsval: 1000,
+            tsecr: 0,
+        });
         let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
         assert!(b.tracker.process(&p, C2S).in_window);
-        let mut p = b.packet(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
-        p.tcp.options.push(TcpOption::Timestamps { tsval: 2000, tsecr: 1000 });
+        let mut p = b.packet(
+            S2C,
+            TcpFlags::SYN | TcpFlags::ACK,
+            SERVER_ISN,
+            CLIENT_ISN + 1,
+            &[],
+        );
+        p.tcp.options.push(TcpOption::Timestamps {
+            tsval: 2000,
+            tsecr: 1000,
+        });
         let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
         assert!(b.tracker.process(&p, S2C).in_window);
         let mut p = b.packet(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
-        p.tcp.options.push(TcpOption::Timestamps { tsval: 1001, tsecr: 2000 });
+        p.tcp.options.push(TcpOption::Timestamps {
+            tsval: 1001,
+            tsecr: 2000,
+        });
         let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
         assert!(b.tracker.process(&p, C2S).in_window);
         assert_eq!(b.tracker.state(), TcpState::Established);
         // RST with a wildly old timestamp: PAWS says it does not belong.
         let mut p = b.packet(C2S, TcpFlags::RST, CLIENT_ISN + 1, 0, &[]);
-        p.tcp.options.push(TcpOption::Timestamps { tsval: 3, tsecr: 0 });
+        p.tcp
+            .options
+            .push(TcpOption::Timestamps { tsval: 3, tsecr: 0 });
         let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
         let l = b.tracker.process(&p, C2S);
         assert!(!l.in_window);
@@ -658,7 +833,13 @@ mod tests {
     fn syn_fin_combo_is_structurally_dropped() {
         let mut b = Builder::new();
         let l = b.feed(C2S, TcpFlags::SYN | TcpFlags::FIN, CLIENT_ISN, 0, &[]);
-        assert_eq!(l, StateLabel { state: TcpState::None, in_window: false });
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::None,
+                in_window: false
+            }
+        );
     }
 
     #[test]
@@ -687,14 +868,32 @@ mod tests {
     fn reopen_after_timewait() {
         let mut b = Builder::new();
         b.handshake();
-        b.feed(C2S, TcpFlags::FIN | TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
+        b.feed(
+            C2S,
+            TcpFlags::FIN | TcpFlags::ACK,
+            CLIENT_ISN + 1,
+            SERVER_ISN + 1,
+            &[],
+        );
         b.feed(S2C, TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
-        b.feed(S2C, TcpFlags::FIN | TcpFlags::ACK, SERVER_ISN + 1, CLIENT_ISN + 2, &[]);
+        b.feed(
+            S2C,
+            TcpFlags::FIN | TcpFlags::ACK,
+            SERVER_ISN + 1,
+            CLIENT_ISN + 2,
+            &[],
+        );
         let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 2, SERVER_ISN + 2, &[]);
         assert_eq!(l.state, TcpState::TimeWait);
         // New SYN reopens the connection.
         let l = b.feed(C2S, TcpFlags::SYN, 42_000_000, 0, &[]);
-        assert_eq!(l, StateLabel { state: TcpState::SynSent, in_window: true });
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::SynSent,
+                in_window: true
+            }
+        );
         assert_eq!(b.tracker.state(), TcpState::SynSent);
     }
 
@@ -705,7 +904,13 @@ mod tests {
         assert_eq!(l.state, TcpState::SynSent);
         let l = b.feed(S2C, TcpFlags::SYN, SERVER_ISN, 0, &[]);
         assert_eq!(l.state, TcpState::SynSent2);
-        let l = b.feed(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
+        let l = b.feed(
+            S2C,
+            TcpFlags::SYN | TcpFlags::ACK,
+            SERVER_ISN,
+            CLIENT_ISN + 1,
+            &[],
+        );
         assert_eq!(l.state, TcpState::SynRecv);
     }
 
@@ -713,7 +918,13 @@ mod tests {
     fn data_before_any_syn_does_not_create_state() {
         let mut b = Builder::new();
         let l = b.feed(C2S, TcpFlags::ACK | TcpFlags::PSH, 500, 600, b"stray");
-        assert_eq!(l, StateLabel { state: TcpState::None, in_window: false });
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::None,
+                in_window: false
+            }
+        );
     }
 
     #[test]
@@ -724,14 +935,26 @@ mod tests {
         p.tcp.options.push(TcpOption::WindowScale(7));
         let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
         b.tracker.process(&p, C2S);
-        let mut p = b.packet(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]);
+        let mut p = b.packet(
+            S2C,
+            TcpFlags::SYN | TcpFlags::ACK,
+            SERVER_ISN,
+            CLIENT_ISN + 1,
+            &[],
+        );
         p.tcp.options.push(TcpOption::WindowScale(7));
         p.tcp.window = 1000; // scaled: 128,000
         let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
         b.tracker.process(&p, S2C);
         b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
         // Data at rcv_nxt + 100,000 fits only thanks to scaling.
-        let l = b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 1 + 100_000, SERVER_ISN + 1, b"z");
+        let l = b.feed(
+            C2S,
+            TcpFlags::ACK,
+            CLIENT_ISN + 1 + 100_000,
+            SERVER_ISN + 1,
+            b"z",
+        );
         assert!(l.in_window);
     }
 
@@ -740,9 +963,17 @@ mod tests {
         use net_packet::Connection;
         let b = Builder::new();
         let mut conn = Connection::new(b.key);
-        conn.packets.push(b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]));
-        conn.packets.push(b.packet(S2C, TcpFlags::SYN | TcpFlags::ACK, SERVER_ISN, CLIENT_ISN + 1, &[]));
-        conn.packets.push(b.packet(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]));
+        conn.packets
+            .push(b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]));
+        conn.packets.push(b.packet(
+            S2C,
+            TcpFlags::SYN | TcpFlags::ACK,
+            SERVER_ISN,
+            CLIENT_ISN + 1,
+            &[],
+        ));
+        conn.packets
+            .push(b.packet(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]));
         let labels = label_connection(&conn);
         assert_eq!(
             labels.iter().map(|l| l.state).collect::<Vec<_>>(),

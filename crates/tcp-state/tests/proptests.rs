@@ -1,6 +1,6 @@
 //! Property-based tests for the reference TCP tracker.
 
-use net_packet::{Connection, Endpoint, FlowKey, Ipv4Header, Packet, TcpFlags, TcpHeader};
+use net_packet::{Endpoint, FlowKey, Ipv4Header, Packet, TcpFlags, TcpHeader};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 use tcp_state::{label_connection, TcpState, TcpTracker};
@@ -24,8 +24,20 @@ fn key() -> FlowKey {
     )
 }
 
-fn make_packet(k: &FlowKey, c2s: bool, flags: u16, seq: u32, ack: u32, window: u16, plen: u8) -> Packet {
-    let (src, dst) = if c2s { (k.client, k.server) } else { (k.server, k.client) };
+fn make_packet(
+    k: &FlowKey,
+    c2s: bool,
+    flags: u16,
+    seq: u32,
+    ack: u32,
+    window: u16,
+    plen: u8,
+) -> Packet {
+    let (src, dst) = if c2s {
+        (k.client, k.server)
+    } else {
+        (k.server, k.client)
+    };
     let ip = Ipv4Header::new(src.addr, dst.addr, 60);
     let mut tcp = TcpHeader::new(src.port, dst.port, seq, ack);
     tcp.flags = TcpFlags(flags);

@@ -1,7 +1,9 @@
 //! The connection simulator behind the public generator API.
 
 use crate::TrafficConfig;
-use net_packet::{Connection, Direction, Endpoint, FlowKey, Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption};
+use net_packet::{
+    Connection, Direction, Endpoint, FlowKey, Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand_distr::{Distribution, Exp, LogNormal};
@@ -98,7 +100,11 @@ impl<'a> Sim<'a> {
     ) {
         let (si, di) = (dir.index(), dir.flip().index());
         let seq = seq_override.unwrap_or(self.peers[si].seq);
-        let ack = if flags.contains(TcpFlags::ACK) { self.peers[si].rcv_nxt } else { 0 };
+        let ack = if flags.contains(TcpFlags::ACK) {
+            self.peers[si].rcv_nxt
+        } else {
+            0
+        };
         let src = self.peers[si].ep;
         let dst = self.peers[di].ep;
         let mut ip = Ipv4Header::new(src.addr, dst.addr, self.peers[si].ttl);
@@ -189,14 +195,20 @@ fn random_endpoints(rng: &mut StdRng) -> (Endpoint, Endpoint) {
 fn sample_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> ConnectionSketch {
     const MSS_CHOICES: [u16; 4] = [536, 1400, 1440, 1460];
     let profile = if rng.gen_bool(cfg.p_bulk) {
-        FlowProfile::Bulk { download: rng.gen_bool(0.7) }
+        FlowProfile::Bulk {
+            download: rng.gen_bool(0.7),
+        }
     } else {
-        FlowProfile::RequestResponse { rounds: rng.gen_range(1..=4) }
+        FlowProfile::RequestResponse {
+            rounds: rng.gen_range(1..=4),
+        }
     };
     let teardown = if rng.gen_bool(cfg.p_half_open) {
         Teardown::HalfOpen
     } else if rng.gen_bool(cfg.p_rst_teardown) {
-        Teardown::Rst { by_client: rng.gen_bool(0.6) }
+        Teardown::Rst {
+            by_client: rng.gen_bool(0.6),
+        }
     } else if rng.gen_bool(cfg.p_simultaneous_close) {
         Teardown::SimultaneousClose
     } else if rng.gen_bool(0.55) {
@@ -210,7 +222,10 @@ fn sample_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> ConnectionSketch {
         mss: MSS_CHOICES[rng.gen_range(0..MSS_CHOICES.len())],
         window_scaling: rng.gen_bool(0.85),
         timestamps: rng.gen_bool(0.7),
-        rtt: LogNormal::new((-3.6f64).ln().max(-3.6), 0.8).unwrap().sample(rng).clamp(0.002, 0.3),
+        rtt: LogNormal::new((-3.6f64).ln().max(-3.6), 0.8)
+            .unwrap()
+            .sample(rng)
+            .clamp(0.002, 0.3),
     }
 }
 
@@ -222,7 +237,10 @@ pub(crate) fn generate_connection(cfg: &TrafficConfig, rng: &mut StdRng) -> Conn
 }
 
 /// Generates one benign connection together with the plan that produced it.
-pub fn generate_with_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> (ConnectionSketch, Connection) {
+pub fn generate_with_sketch(
+    cfg: &TrafficConfig,
+    rng: &mut StdRng,
+) -> (ConnectionSketch, Connection) {
     let sketch = sample_sketch(cfg, rng);
     let (client_ep, server_ep) = random_endpoints(rng);
 
@@ -237,15 +255,29 @@ pub fn generate_with_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> (Connectio
         rcv_nxt: 0,
         ttl,
         window: rng.gen_range(8192..=65535),
-        wscale: if sketch.window_scaling { rng.gen_range(1..=10) } else { 0 },
+        wscale: if sketch.window_scaling {
+            rng.gen_range(1..=10)
+        } else {
+            0
+        },
         ts_on: sketch.timestamps,
         tsval: rng.gen_range(1_000..u32::MAX / 2),
         ts_recent: 0,
         ip_id: rng.gen(),
     };
 
-    let client = make_peer(client_ep, client_ttl_base.saturating_sub(hops_c), rng, &sketch);
-    let server = make_peer(server_ep, server_ttl_base.saturating_sub(hops_s), rng, &sketch);
+    let client = make_peer(
+        client_ep,
+        client_ttl_base.saturating_sub(hops_c),
+        rng,
+        &sketch,
+    );
+    let server = make_peer(
+        server_ep,
+        server_ttl_base.saturating_sub(hops_s),
+        rng,
+        &sketch,
+    );
 
     let mut sim = Sim {
         rng,
@@ -325,7 +357,10 @@ pub fn generate_with_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> (Connectio
         let (d, seq, len) = sim.sent_data[0];
         let newer = sim.sent_data.iter().filter(|(dd, ..)| *dd == d).count();
         if newer >= 2 {
-            { let dt = sim.rng.gen_range(0.001..0.05); sim.advance(dt); }
+            {
+                let dt = sim.rng.gen_range(0.001..0.05);
+                sim.advance(dt);
+            }
             sim.emit(d, TcpFlags::ACK, len, Some(seq), vec![]);
         }
     }
@@ -333,18 +368,31 @@ pub fn generate_with_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> (Connectio
     // --- Teardown ----------------------------------------------------------
     match sketch.teardown {
         Teardown::ClientFin | Teardown::ServerFin => {
-            let first = if sketch.teardown == Teardown::ClientFin { C2S } else { S2C };
-            { let dt = sim.rng.gen_range(0.001..0.1); sim.advance(dt); }
+            let first = if sketch.teardown == Teardown::ClientFin {
+                C2S
+            } else {
+                S2C
+            };
+            {
+                let dt = sim.rng.gen_range(0.001..0.1);
+                sim.advance(dt);
+            }
             sim.emit(first, TcpFlags::FIN | TcpFlags::ACK, 0, None, vec![]);
             sim.advance(sim.rtt / 2.0);
             sim.emit(first.flip(), TcpFlags::ACK, 0, None, vec![]);
-            { let dt = sim.rng.gen_range(0.0001..0.05); sim.advance(dt); }
+            {
+                let dt = sim.rng.gen_range(0.0001..0.05);
+                sim.advance(dt);
+            }
             sim.emit(first.flip(), TcpFlags::FIN | TcpFlags::ACK, 0, None, vec![]);
             sim.advance(sim.rtt / 2.0);
             sim.emit(first, TcpFlags::ACK, 0, None, vec![]);
         }
         Teardown::SimultaneousClose => {
-            { let dt = sim.rng.gen_range(0.001..0.1); sim.advance(dt); }
+            {
+                let dt = sim.rng.gen_range(0.001..0.1);
+                sim.advance(dt);
+            }
             sim.emit(C2S, TcpFlags::FIN | TcpFlags::ACK, 0, None, vec![]);
             // Server's FIN crosses the client's in flight: it has not seen
             // the client FIN, so it acks only the data so far.
@@ -356,7 +404,10 @@ pub fn generate_with_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> (Connectio
         }
         Teardown::Rst { by_client } => {
             let dir = if by_client { C2S } else { S2C };
-            { let dt = sim.rng.gen_range(0.001..0.1); sim.advance(dt); }
+            {
+                let dt = sim.rng.gen_range(0.001..0.1);
+                sim.advance(dt);
+            }
             // Real traffic aborts with both RST-ACK and bare RST.
             let flags = if sim.rng.gen_bool(0.4) {
                 TcpFlags::RST

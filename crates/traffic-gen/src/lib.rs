@@ -80,7 +80,11 @@ impl Default for TrafficConfig {
 impl TrafficConfig {
     /// Convenience constructor with the default probability mix.
     pub fn new(seed: u64, connections: usize) -> Self {
-        TrafficConfig { seed, connections, ..TrafficConfig::default() }
+        TrafficConfig {
+            seed,
+            connections,
+            ..TrafficConfig::default()
+        }
     }
 }
 
@@ -143,8 +147,14 @@ mod tests {
         let conns = dataset(1, 200);
         let stats = TrafficStats::of(&conns);
         assert_eq!(stats.connections, 200);
-        assert!(stats.mean_packets_per_connection >= 6.0, "mean too small: {stats:?}");
-        assert!(stats.mean_packets_per_connection <= 40.0, "mean too large: {stats:?}");
+        assert!(
+            stats.mean_packets_per_connection >= 6.0,
+            "mean too small: {stats:?}"
+        );
+        assert!(
+            stats.mean_packets_per_connection <= 40.0,
+            "mean too large: {stats:?}"
+        );
         for c in &conns {
             assert!(c.len() >= 3, "connection shorter than a handshake");
             assert!(c.len() <= 600);
@@ -162,7 +172,10 @@ mod tests {
                     .any(|l| l.state == TcpState::Established)
             })
             .count();
-        assert!(established >= 280, "only {established}/300 reached ESTABLISHED");
+        assert!(
+            established >= 280,
+            "only {established}/300 reached ESTABLISHED"
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(9);
 
     println!(
-        "{:<38} {:>5} {:>7} {:>9}  {}",
-        "strategy id", "cat", "#adv", "dropped", "name"
+        "{:<38} {:>5} {:>7} {:>9}  name",
+        "strategy id", "cat", "#adv", "dropped"
     );
     for strategy in registry() {
         if !strategy.id.contains(&filter) {

@@ -42,7 +42,9 @@ fn main() {
     let mut localized = 0;
     let mut applicable = 0;
     for conn in &victims {
-        let Some((attacked, truth)) = inject_bad_checksum_rst(conn) else { continue };
+        let Some((attacked, truth)) = inject_bad_checksum_rst(conn) else {
+            continue;
+        };
         applicable += 1;
 
         // What does the rigorous reference stack say about the RST?
@@ -54,7 +56,11 @@ fn main() {
             .map(|(i, p)| tracker.process(p, attacked.direction(i)))
             .collect();
         assert!(!labels[truth].in_window, "endhost must reject the bad RST");
-        assert_ne!(labels[truth].state, TcpState::Close, "connection must survive");
+        assert_ne!(
+            labels[truth].state,
+            TcpState::Close,
+            "connection must survive"
+        );
 
         let s = clap.score_connection(&attacked);
         if s.score > threshold {
@@ -67,5 +73,8 @@ fn main() {
     println!("applicable victims:       {applicable}");
     println!("detected (score > thr):   {detected}");
     println!("localized within ±2 pkts: {localized}");
-    assert!(detected * 2 > applicable, "CLAP should detect most Bad-Checksum-RSTs");
+    assert!(
+        detected * 2 > applicable,
+        "CLAP should detect most Bad-Checksum-RSTs"
+    );
 }

@@ -30,11 +30,18 @@ fn main() {
     let path = std::env::temp_dir().join("clap_forensics.pcap");
     let file = std::fs::File::create(&path).expect("create pcap");
     pcap::write_pcap(std::io::BufWriter::new(file), &case.connection.packets).expect("write");
-    println!("wrote capture to {} ({} packets)", path.display(), case.connection.len());
+    println!(
+        "wrote capture to {} ({} packets)",
+        path.display(),
+        case.connection.len()
+    );
 
     let file = std::fs::File::open(&path).expect("open pcap");
     let packets = pcap::read_pcap(std::io::BufReader::new(file)).expect("read");
-    let conn = Connection { key: case.connection.key, packets };
+    let conn = Connection {
+        key: case.connection.key,
+        packets,
+    };
     assert_eq!(conn.len(), case.connection.len());
 
     // Forensic scoring: rank packets by suspicion.
@@ -49,6 +56,13 @@ fn main() {
     let hit = suspects
         .iter()
         .any(|s| case.adversarial_indices.iter().any(|t| s.abs_diff(*t) <= 2));
-    println!("forensic verdict: {}", if hit { "ground truth located" } else { "missed" });
+    println!(
+        "forensic verdict: {}",
+        if hit {
+            "ground truth located"
+        } else {
+            "missed"
+        }
+    );
     std::fs::remove_file(&path).ok();
 }

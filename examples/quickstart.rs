@@ -34,7 +34,11 @@ fn main() {
     println!(
         "benign connection: score {:.4} -> {}",
         s.score,
-        if s.score > threshold { "FLAGGED (false positive)" } else { "pass" }
+        if s.score > threshold {
+            "FLAGGED (false positive)"
+        } else {
+            "pass"
+        }
     );
 
     // 4. Score the same connection with a DPI-evasion attack injected.
@@ -46,7 +50,11 @@ fn main() {
         "attacked connection ({}): score {:.4} -> {}",
         strategy.name,
         s.score,
-        if s.score > threshold { "FLAGGED" } else { "missed" }
+        if s.score > threshold {
+            "FLAGGED"
+        } else {
+            "missed"
+        }
     );
     println!(
         "localization: CLAP points at packet {}, ground truth {:?}",

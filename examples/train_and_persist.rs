@@ -16,13 +16,21 @@ fn main() {
     let benign = traffic_gen::dataset(5150, 80);
     println!("training CLAP on {} benign connections…", benign.len());
     let (clap, summary) = Clap::train(&benign, &ClapConfig::ci());
-    println!("RNN accuracy {:.3}, AE final loss {:.5}", summary.rnn_accuracy, summary.ae_losses.last().unwrap());
+    println!(
+        "RNN accuracy {:.3}, AE final loss {:.5}",
+        summary.rnn_accuracy,
+        summary.ae_losses.last().unwrap()
+    );
 
     // Persist.
     let path = std::env::temp_dir().join("clap_model.json");
     let json = clap.to_json().expect("serialize");
     std::fs::write(&path, &json).expect("write model");
-    println!("persisted detector: {} ({} KiB)", path.display(), json.len() / 1024);
+    println!(
+        "persisted detector: {} ({} KiB)",
+        path.display(),
+        json.len() / 1024
+    );
 
     // Load in a "fresh deployment" and compare behaviour.
     let loaded = Clap::from_json(&std::fs::read_to_string(&path).expect("read")).expect("parse");
@@ -33,6 +41,9 @@ fn main() {
         assert_eq!(a.score, b.score);
         assert_eq!(a.peak_packet, b.peak_packet);
     }
-    println!("loaded model reproduces all {} probe scores exactly", probe.len());
+    println!(
+        "loaded model reproduces all {} probe scores exactly",
+        probe.len()
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -9,10 +9,17 @@ use clap_repro::traffic_gen;
 fn trained() -> (Clap, Vec<net_packet::Connection>, Vec<f32>) {
     let benign = traffic_gen::dataset(0xe2e, 80);
     let (clap, summary) = Clap::train(&benign, &ClapConfig::ci());
-    assert!(summary.rnn_accuracy > 0.6, "rnn accuracy {}", summary.rnn_accuracy);
+    assert!(
+        summary.rnn_accuracy > 0.6,
+        "rnn accuracy {}",
+        summary.rnn_accuracy
+    );
     let held_out = traffic_gen::dataset(0xe2f, 25);
-    let benign_scores: Vec<f32> =
-        clap.score_connections(&held_out).iter().map(|s| s.score).collect();
+    let benign_scores: Vec<f32> = clap
+        .score_connections(&held_out)
+        .iter()
+        .map(|s| s.score)
+        .collect();
     (clap, held_out, benign_scores)
 }
 
@@ -20,7 +27,11 @@ fn trained() -> (Clap, Vec<net_packet::Connection>, Vec<f32>) {
 fn clap_separates_attacks_from_benign() {
     let (clap, held_out, benign_scores) = trained();
     // One representative strategy per source paper.
-    for id in ["symtcp-snort-rst-pure", "liberate-bad-tcp-checksum-max", "geneva-rst-bad-chksum"] {
+    for id in [
+        "symtcp-snort-rst-pure",
+        "liberate-bad-tcp-checksum-max",
+        "geneva-rst-bad-chksum",
+    ] {
         let strategy = dpi_attacks::strategy_by_id(id).unwrap();
         let attacked = dpi_attacks::build_adversarial_set(strategy, &held_out, 5);
         assert!(!attacked.is_empty());
@@ -41,10 +52,16 @@ fn clap_beats_kitsune_on_dpi_evasion() {
     let (clap, _) = Clap::train(&benign, &ClapConfig::ci());
     let kitsune = KitsuneLite::train(&benign, &KitsuneConfig::default());
     let held_out = traffic_gen::dataset(0xcaff, 20);
-    let clap_benign: Vec<f32> =
-        clap.score_connections(&held_out).iter().map(|s| s.score).collect();
-    let kit_benign: Vec<f32> =
-        kitsune.score_connections(&held_out).iter().map(|s| s.score).collect();
+    let clap_benign: Vec<f32> = clap
+        .score_connections(&held_out)
+        .iter()
+        .map(|s| s.score)
+        .collect();
+    let kit_benign: Vec<f32> = kitsune
+        .score_connections(&held_out)
+        .iter()
+        .map(|s| s.score)
+        .collect();
 
     let strategy = dpi_attacks::strategy_by_id("symtcp-zeek-data-bad-seq").unwrap();
     let attacked = dpi_attacks::build_adversarial_set(strategy, &held_out, 5);
@@ -72,7 +89,10 @@ fn localization_finds_injected_packets() {
     let mut top5_hits = 0;
     for r in &attacked {
         let s = clap.score_connection(&r.connection);
-        if r.adversarial_indices.iter().any(|&t| s.peak_packet.abs_diff(t) <= 2) {
+        if r.adversarial_indices
+            .iter()
+            .any(|&t| s.peak_packet.abs_diff(t) <= 2)
+        {
             top5_hits += 1;
         }
     }
@@ -100,9 +120,11 @@ fn every_strategy_produces_scoreable_traces() {
 #[test]
 fn sources_cover_the_paper_corpus() {
     assert_eq!(registry().len(), 73);
-    for (source, count) in
-        [(AttackSource::SymTcp, 30), (AttackSource::Liberate, 23), (AttackSource::Geneva, 20)]
-    {
+    for (source, count) in [
+        (AttackSource::SymTcp, 30),
+        (AttackSource::Liberate, 23),
+        (AttackSource::Geneva, 20),
+    ] {
         assert_eq!(
             registry().iter().filter(|s| s.source == source).count(),
             count,

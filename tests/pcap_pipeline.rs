@@ -29,7 +29,10 @@ fn scores_survive_pcap_round_trip() {
         pcap::write_pcap(&mut buf, &r.connection.packets).unwrap();
         let packets = pcap::read_pcap(&buf[..]).unwrap();
         assert_eq!(packets.len(), r.connection.len(), "no packets lost");
-        let reread = Connection { key: r.connection.key, packets };
+        let reread = Connection {
+            key: r.connection.key,
+            packets,
+        };
 
         let a = clap.score_connection(&r.connection);
         let b = clap.score_connection(&reread);

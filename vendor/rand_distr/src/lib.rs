@@ -1,0 +1,111 @@
+//! Offline drop-in subset of `rand_distr`: the `Distribution` trait plus
+//! the `Exp` and `LogNormal` distributions used by the traffic generator.
+
+use rand::{Rng, RngCore, Standard};
+
+/// Sampling interface, mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from an invalid distribution parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error("Exp: lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF transform; 1 - u in (0, 1] keeps ln() finite.
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: exp(N(mu, sigma²)).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error("LogNormal: sigma must be non-negative and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; uses one of the two produced normals.
+        let u1: f64 = loop {
+            let u = <f64 as Standard>::sample_standard(rng);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_close_to_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Exp::new(4.0).unwrap();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_close_to_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(2.0, 0.5).unwrap();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[10_000];
+        assert!((median - 2.0f64.exp()).abs() < 0.5, "median = {median}");
+        assert!(samples.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

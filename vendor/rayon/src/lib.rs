@@ -1,0 +1,586 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! No network access means no real rayon, but the workspace's hot paths are
+//! genuinely parallel: this crate reimplements the slice parallel-iterator
+//! surface the code uses (`par_iter`, `par_chunks`, `par_chunks_mut` and the
+//! `map`/`zip`/`enumerate`/`filter`/`flat_map_iter`/`reduce`/`collect`
+//! adapters) on top of `std::thread::scope`, dividing work into one
+//! contiguous stripe per available core.
+//!
+//! Two deliberate simplifications versus real rayon:
+//!
+//! * no work stealing — stripes are static, which is fine for the mostly
+//!   uniform batches this workspace processes;
+//! * nested parallelism runs sequentially — a worker thread that reaches
+//!   another `par_*` call executes it inline, bounding total threads at one
+//!   level of fan-out (rayon bounds this with its global pool instead).
+//!
+//! `ThreadPoolBuilder::num_threads(n)` + `ThreadPool::install` set a global
+//! thread-count override for the duration of the closure, which is how the
+//! experiment binaries pin the paper's single-core setup.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Effective parallelism for the next fan-out.
+fn current_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(32)
+}
+
+fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Splits `0..total` into one stripe per thread and evaluates `eval` on
+/// each stripe concurrently, preserving stripe order in the result.
+fn run_striped<R: Send>(total: usize, eval: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = current_threads();
+    if threads <= 1 || total == 1 || in_worker() {
+        return vec![eval(0..total)];
+    }
+    let stripes = threads.min(total);
+    let per = total.div_ceil(stripes);
+    let eval = &eval;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..stripes)
+            .map(|i| {
+                let lo = i * per;
+                let hi = ((i + 1) * per).min(total);
+                s.spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    eval(lo..hi)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// Core of every pipeline below: how to evaluate one index stripe into a
+/// buffer of produced items.
+pub trait ParallelIterator: Sync + Sized {
+    type Item: Send;
+
+    /// Number of base indices driving the pipeline.
+    fn pipeline_len(&self) -> usize;
+
+    /// Evaluates the stripe `range`, appending produced items to `out`.
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<Self::Item>);
+
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, f: F) -> Filter<Self, F> {
+        Filter { inner: self, f }
+    }
+
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync,
+    {
+        FlatMapIter { inner: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_striped(self.pipeline_len(), |range| {
+            let mut buf = Vec::new();
+            self.eval_into(range, &mut buf);
+            for item in buf {
+                f(item);
+            }
+        });
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let parts = run_striped(self.pipeline_len(), |range| {
+            let mut buf = Vec::with_capacity(range.len());
+            self.eval_into(range, &mut buf);
+            buf
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let parts = run_striped(self.pipeline_len(), |range| {
+            let mut buf = Vec::with_capacity(range.len());
+            self.eval_into(range, &mut buf);
+            buf.into_iter().fold(identity(), &op)
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        let parts = run_striped(self.pipeline_len(), |range| {
+            let mut buf = Vec::with_capacity(range.len());
+            self.eval_into(range, &mut buf);
+            buf
+        });
+        parts.into_iter().flatten().sum()
+    }
+
+    /// Pairs this pipeline with a slice of equal (or longer) length.
+    fn zip<U: Sync>(self, other: &[U]) -> Zip<Self, &[U]> {
+        Zip { a: self, b: other }
+    }
+}
+
+/// Borrowing parallel iteration (`slice.par_iter()` / `vec.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+/// Parallel chunk views over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel chunk views over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send + Sync> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+impl<T: Send + Sync> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk_size)
+    }
+}
+
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn pipeline_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<&'a T>) {
+        out.extend(self.slice[range].iter());
+    }
+}
+
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn pipeline_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<&'a [T]>) {
+        for i in range {
+            let lo = i * self.chunk_size;
+            let hi = (lo + self.chunk_size).min(self.slice.len());
+            out.push(&self.slice[lo..hi]);
+        }
+    }
+}
+
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send + Sync> ChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { inner: self }
+    }
+
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+pub struct EnumerateChunksMut<'a, T> {
+    inner: ChunksMut<'a, T>,
+}
+
+impl<'a, T: Send + Sync> EnumerateChunksMut<'a, T> {
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let chunk_size = self.inner.chunk_size;
+        // Materialize disjoint mutable chunk views, then stripe over them.
+        let mut views: Vec<Option<&'a mut [T]>> =
+            self.inner.slice.chunks_mut(chunk_size).map(Some).collect();
+        let total = views.len();
+        let cell = ViewCell(std::cell::UnsafeCell::new(&mut views));
+        let cell = &cell;
+        run_striped(total, |range| {
+            for i in range {
+                // SAFETY: stripes are disjoint index ranges, so each Option
+                // slot is taken by exactly one worker; the views themselves
+                // are disjoint subslices produced by `chunks_mut`.
+                let chunk = unsafe { cell.take(i) };
+                f((i, chunk));
+            }
+        });
+    }
+}
+
+/// Shared-access wrapper for the chunk-view table; safe because workers
+/// touch disjoint indices (see the SAFETY note at the use site).
+struct ViewCell<'v, 'a, T>(std::cell::UnsafeCell<&'v mut Vec<Option<&'a mut [T]>>>);
+
+impl<'a, T> ViewCell<'_, 'a, T> {
+    /// # Safety
+    /// Each index must be taken by at most one thread.
+    unsafe fn take(&self, i: usize) -> &'a mut [T] {
+        let views: &mut Vec<Option<&'a mut [T]>> = &mut **self.0.get();
+        views[i].take().expect("chunk taken twice")
+    }
+}
+
+unsafe impl<T: Send + Sync> Sync for ViewCell<'_, '_, T> {}
+
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pipeline_len(&self) -> usize {
+        self.inner.pipeline_len()
+    }
+
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<R>) {
+        let mut buf = Vec::with_capacity(range.len());
+        self.inner.eval_into(range, &mut buf);
+        out.extend(buf.into_iter().map(&self.f));
+    }
+}
+
+pub struct Filter<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+
+    fn pipeline_len(&self) -> usize {
+        self.inner.pipeline_len()
+    }
+
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<P::Item>) {
+        let mut buf = Vec::with_capacity(range.len());
+        self.inner.eval_into(range, &mut buf);
+        out.extend(buf.into_iter().filter(|item| (self.f)(item)));
+    }
+}
+
+pub struct FlatMapIter<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, I, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Sync,
+{
+    type Item = I::Item;
+
+    fn pipeline_len(&self) -> usize {
+        self.inner.pipeline_len()
+    }
+
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<I::Item>) {
+        let mut buf = Vec::with_capacity(range.len());
+        self.inner.eval_into(range, &mut buf);
+        for item in buf {
+            out.extend((self.f)(item));
+        }
+    }
+}
+
+pub struct Enumerate<P> {
+    inner: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn pipeline_len(&self) -> usize {
+        self.inner.pipeline_len()
+    }
+
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<(usize, P::Item)>) {
+        let start = range.start;
+        let mut buf = Vec::with_capacity(range.len());
+        self.inner.eval_into(range, &mut buf);
+        out.extend(
+            buf.into_iter()
+                .enumerate()
+                .map(|(i, item)| (start + i, item)),
+        );
+    }
+}
+
+pub struct Zip<P, S> {
+    a: P,
+    b: S,
+}
+
+impl<'b, P, U> ParallelIterator for Zip<P, &'b [U]>
+where
+    P: ParallelIterator,
+    U: Sync,
+{
+    type Item = (P::Item, &'b U);
+
+    fn pipeline_len(&self) -> usize {
+        self.a.pipeline_len().min(self.b.len())
+    }
+
+    fn eval_into(&self, range: Range<usize>, out: &mut Vec<(P::Item, &'b U)>) {
+        let bs = &self.b[range.clone()];
+        let mut buf = Vec::with_capacity(range.len());
+        self.a.eval_into(range, &mut buf);
+        out.extend(buf.into_iter().zip(bs.iter()));
+    }
+}
+
+/// Number of threads the current scope's `par_*` calls will fan out to —
+/// the installed pool's size inside `ThreadPool::install`, the default
+/// parallelism otherwise. Mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the default parallelism", as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override rather than a real pool: `install` pins
+/// the fan-out width of every `par_*` call made inside the closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.swap(self.num_threads, Ordering::Relaxed);
+        let result = op();
+        THREAD_OVERRIDE.store(prev, Ordering::Relaxed);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_collect() {
+        let v: Vec<u32> = (0..1000).collect();
+        let odds: Vec<u32> = v.par_iter().filter(|&&x| x % 2 == 1).map(|&x| x).collect();
+        assert_eq!(odds.len(), 500);
+        assert!(odds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zip_map_and_reduce() {
+        let a: Vec<u64> = (0..500).collect();
+        let b: Vec<u64> = (0..500).rev().collect();
+        let dot = a
+            .par_iter()
+            .zip(&b)
+            .map(|(&x, &y)| x * y)
+            .reduce(|| 0, |p, q| p + q);
+        let expect: u64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot, expect);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v = vec![1usize, 2, 3];
+        let out: Vec<usize> = v.par_iter().flat_map_iter(|&n| 0..n).collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_writes() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_shared() {
+        let data: Vec<u32> = (0..95).collect();
+        let sums: Vec<u32> = data.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 10);
+        assert_eq!(sums.iter().sum::<u32>(), data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<u32> = pool.install(|| {
+            (0..100)
+                .collect::<Vec<u32>>()
+                .par_iter()
+                .map(|&x| x)
+                .collect()
+        });
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_explode() {
+        let outer: Vec<u32> = (0..64).collect();
+        let total: u32 = outer
+            .par_iter()
+            .map(|&x| {
+                let inner: Vec<u32> = (0..64).collect();
+                inner.par_iter().map(|&y| x + y).reduce(|| 0, |a, b| a + b)
+            })
+            .reduce(|| 0, |a, b| a + b);
+        let expect: u32 = (0..64u32)
+            .map(|x| (0..64u32).map(|y| x + y).sum::<u32>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+}

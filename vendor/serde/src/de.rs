@@ -1,0 +1,324 @@
+//! Minimal JSON pull-parser backing the derived `Deserialize` impls.
+
+/// Parse error with byte position context.
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub message: String,
+    pub position: usize,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Cursor over JSON text. The derive macro drives this directly; users go
+/// through `serde_json::from_str`.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// First token of an enum value: a bare string (unit variant) or an object
+/// wrapping the variant's payload.
+pub enum EnumHead {
+    Unit(String),
+    Data(String),
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    pub fn error(&self, message: &str) -> Error {
+        Error {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    pub fn expect_char(&mut self, c: char) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == c as u8 => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(&format!(
+                "expected `{c}`, found {}",
+                other.map_or("end of input".into(), |b| format!("`{}`", b as char))
+            ))),
+        }
+    }
+
+    /// Consumes `null` if present.
+    pub fn eat_null(&mut self) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.error("expected boolean"))
+        }
+    }
+
+    /// Returns the raw text of a number token.
+    pub fn parse_number(&mut self) -> Result<String, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected number"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid UTF-8 in number"))?
+            .to_string())
+    }
+
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.error("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.error("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.error("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.error("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    // -- objects ----------------------------------------------------------
+
+    pub fn obj_begin(&mut self) -> Result<(), Error> {
+        self.expect_char('{')
+    }
+
+    /// Advances to the next key inside an object. Returns `None` after
+    /// consuming the closing `}`. `first` distinguishes "no comma yet".
+    pub fn obj_next_key(&mut self, first: bool) -> Result<Option<String>, Error> {
+        match self.peek() {
+            Some(b'}') => {
+                self.pos += 1;
+                Ok(None)
+            }
+            Some(b',') if !first => {
+                self.pos += 1;
+                let key = self.parse_string()?;
+                self.expect_char(':')?;
+                Ok(Some(key))
+            }
+            Some(b'"') if first => {
+                let key = self.parse_string()?;
+                self.expect_char(':')?;
+                Ok(Some(key))
+            }
+            _ => Err(self.error("malformed object")),
+        }
+    }
+
+    pub fn missing(&self, field: &str) -> Error {
+        self.error(&format!("missing field `{field}`"))
+    }
+
+    // -- arrays -----------------------------------------------------------
+
+    pub fn arr_begin(&mut self) -> Result<(), Error> {
+        self.expect_char('[')
+    }
+
+    /// True when another array item follows; consumes `,` / `]` as needed.
+    pub fn arr_has_item(&mut self, first: bool) -> Result<bool, Error> {
+        match self.peek() {
+            Some(b']') => {
+                self.pos += 1;
+                Ok(false)
+            }
+            Some(b',') if !first => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(_) if first => Ok(true),
+            _ => Err(self.error("malformed array")),
+        }
+    }
+
+    // -- enums ------------------------------------------------------------
+
+    /// Reads the head of an externally-tagged enum value.
+    pub fn enum_begin(&mut self) -> Result<EnumHead, Error> {
+        match self.peek() {
+            Some(b'"') => Ok(EnumHead::Unit(self.parse_string()?)),
+            Some(b'{') => {
+                self.pos += 1;
+                let variant = self.parse_string()?;
+                self.expect_char(':')?;
+                Ok(EnumHead::Data(variant))
+            }
+            _ => Err(self.error("expected enum value")),
+        }
+    }
+
+    /// Consumes the `}` closing a data-carrying enum variant.
+    pub fn enum_end(&mut self) -> Result<(), Error> {
+        self.expect_char('}')
+    }
+
+    // -- generic skipping --------------------------------------------------
+
+    /// Skips one complete JSON value (for unknown object keys).
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut first = true;
+                loop {
+                    match self.obj_next_key(first)? {
+                        Some(_) => {
+                            self.skip_value()?;
+                            first = false;
+                        }
+                        None => return Ok(()),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut first = true;
+                while self.arr_has_item(first)? {
+                    self.skip_value()?;
+                    first = false;
+                }
+                Ok(())
+            }
+            Some(b't') | Some(b'f') => {
+                self.parse_bool()?;
+                Ok(())
+            }
+            Some(b'n') => {
+                if self.eat_null() {
+                    Ok(())
+                } else {
+                    Err(self.error("expected value"))
+                }
+            }
+            Some(_) => {
+                self.parse_number()?;
+                Ok(())
+            }
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    /// Asserts the input is fully consumed (whitespace aside).
+    pub fn finish(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters after JSON value"))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! two traits the workspace derives everywhere, wired directly to JSON:
+//! [`Serialize`] writes JSON text, [`Deserialize`] reads it back through
+//! [`de::Parser`]. The companion `serde_derive` crate generates impls for
+//! structs and enums with the same externally-tagged layout real serde_json
+//! uses, and the `serde_json` vendor crate provides `to_string`/`from_str`
+//! on top.
+//!
+//! Float round-tripping matters here (trained models are persisted and
+//! reloaded, and tests assert score equality), so numbers are written with
+//! Rust's shortest-round-trip `Display` and parsed with `str::parse`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// Serializes `self` as JSON text appended to `out`.
+pub trait Serialize {
+    fn ser_json(&self, out: &mut String);
+}
+
+/// Deserializes `Self` from the JSON text behind `p`.
+pub trait Deserialize: Sized {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for the primitive / std types the workspace persists.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer formatting without the `to_string` allocation churn.
+fn itoa_buf(mut v: i128) -> String {
+    // Serialization is not a hot path; a String per number is fine, this
+    // helper just centralizes sign handling.
+    let neg = v < 0;
+    if neg {
+        v = -v;
+    }
+    let mut s = v.to_string();
+    if neg {
+        s.insert(0, '-');
+    }
+    s
+}
+
+impl Serialize for bool {
+    fn ser_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f32 {
+    fn ser_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `Display` is shortest-round-trip; force a float-looking token
+            // so parsing stays symmetric.
+            let s = self.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn ser_json(&self, out: &mut String) {
+        if self.is_finite() {
+            let s = self.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for String {
+    fn ser_json(&self, out: &mut String) {
+        escape_into(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn ser_json(&self, out: &mut String) {
+        escape_into(self, out);
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn ser_json(&self, out: &mut String) {
+        escape_into(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_json(&self, out: &mut String) {
+        self.as_slice().ser_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.ser_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser_json(&self, out: &mut String) {
+        self.as_slice().ser_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.ser_json(out),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_json(&self, out: &mut String) {
+        (*self).ser_json(out);
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.ser_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_ser_tuple!((0 A, 1 B)(0 A, 1 B, 2 C)(0 A, 1 B, 2 C, 3 D));
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                let n = p.parse_number()?;
+                n.parse::<$t>().map_err(|_| p.error(&format!(
+                    "invalid {} literal `{n}`", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_bool()
+    }
+}
+
+impl Deserialize for f32 {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.eat_null() {
+            return Ok(f32::NAN);
+        }
+        let n = p.parse_number()?;
+        n.parse::<f32>()
+            .map_err(|_| p.error(&format!("invalid f32 literal `{n}`")))
+    }
+}
+
+impl Deserialize for f64 {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.eat_null() {
+            return Ok(f64::NAN);
+        }
+        let n = p.parse_number()?;
+        n.parse::<f64>()
+            .map_err(|_| p.error(&format!("invalid f64 literal `{n}`")))
+    }
+}
+
+impl Deserialize for String {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_string()
+    }
+}
+
+impl Deserialize for &'static str {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        // The workspace stores interned identifiers (e.g. attack-strategy
+        // ids) as `&'static str`. Leaking on deserialization is bounded by
+        // the small fixed id vocabulary and keeps those fields serializable.
+        Ok(Box::leak(p.parse_string()?.into_boxed_str()))
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let s = p.parse_string()?;
+        s.parse()
+            .map_err(|_| p.error(&format!("invalid IPv4 address `{s}`")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let mut out = Vec::new();
+        p.arr_begin()?;
+        while p.arr_has_item(out.is_empty())? {
+            out.push(T::de_json(p)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let v: Vec<T> = Vec::de_json(p)?;
+        let len = v.len();
+        v.try_into()
+            .map_err(|_| p.error(&format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.eat_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::de_json(p)?))
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.arr_begin()?;
+                let mut first = true;
+                let tuple = ($(
+                    {
+                        if !first { p.expect_char(',')?; }
+                        first = false;
+                        $t::de_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect_char(']')?;
+                Ok(tuple)
+            }
+        }
+    )*};
+}
+impl_de_tuple!((A, B)(A, B, C)(A, B, C, D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize>(v: &T) -> T {
+        let mut s = String::new();
+        v.ser_json(&mut s);
+        let mut p = de::Parser::new(&s);
+        let back = T::de_json(&mut p).expect("parse");
+        p.finish().expect("trailing garbage");
+        back
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(round_trip(&42u32), 42);
+        assert_eq!(round_trip(&-17i64), -17);
+        assert!(round_trip(&true));
+        assert_eq!(round_trip(&"hi \"there\"\n".to_string()), "hi \"there\"\n");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1f32, -3.25e-7, 1.0, f32::MIN, f32::MAX, 1e-40] {
+            assert_eq!(round_trip(&v), v);
+        }
+        for v in [0.1f64, 2.0f64.powi(-1022), -1.5] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        assert_eq!(round_trip(&vec![1u8, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(
+            round_trip(&vec![(1u32, 2u32), (3, 4)]),
+            vec![(1, 2), (3, 4)]
+        );
+        assert_eq!(round_trip(&[1.5f32, -2.5, 0.0]), [1.5, -2.5, 0.0]);
+        assert_eq!(round_trip(&Some(7u16)), Some(7));
+        assert_eq!(round_trip(&Option::<u16>::None), None);
+        let addr: std::net::Ipv4Addr = "10.1.2.3".parse().unwrap();
+        assert_eq!(round_trip(&addr), addr);
+    }
+
+    #[test]
+    fn nested_vecs() {
+        let v = vec![vec![1.0f32, 2.0], vec![], vec![3.0]];
+        assert_eq!(round_trip(&v), v);
+    }
+}

@@ -1,0 +1,549 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset — no `syn`/`quote` available offline, so the item
+//! is parsed directly from the token stream and the impl is emitted as
+//! source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize as their inner value, wider tuples
+//!   as arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants, externally tagged like
+//!   real serde_json: `"Variant"`, `{"Variant": payload}`,
+//!   `{"Variant": {..fields..}}`.
+//!
+//! Generics, lifetimes and `#[serde(...)]` attributes are intentionally
+//! unsupported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("serde_derive internal error: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute groups (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a type (or any token run) up to a top-level `,`, tracking
+    /// `<`/`>` nesting. Returns whether any tokens were consumed.
+    fn skip_to_toplevel_comma(&mut self) -> bool {
+        let mut angle_depth = 0usize;
+        let mut consumed = false;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.pos += 1; // consume the comma
+                    return consumed;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+            consumed = true;
+        }
+        consumed
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident()?;
+    match kw.as_str() {
+        "struct" => {
+            let name = c.expect_ident()?;
+            check_no_generics(&mut c)?;
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Item::NamedStruct {
+                        name,
+                        fields: parse_named_fields(g.stream())?,
+                    })
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Ok(Item::TupleStruct {
+                        name,
+                        arity: count_tuple_fields(g.stream()),
+                    })
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+                other => Err(format!("unexpected struct body: {other:?}")),
+            }
+        }
+        "enum" => {
+            let name = c.expect_ident()?;
+            check_no_generics(&mut c)?;
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                }),
+                other => Err(format!("unexpected enum body: {other:?}")),
+            }
+        }
+        other => Err(format!(
+            "serde_derive supports structs and enums, found `{other}`"
+        )),
+    }
+}
+
+fn check_no_generics(c: &mut Cursor) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err("serde_derive (vendored) does not support generic types".into());
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        let field = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        c.skip_to_toplevel_comma();
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut arity = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_to_toplevel_comma();
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        match c.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                c.pos += 1;
+                c.skip_to_toplevel_comma();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                c.pos += 1;
+            }
+            _ => {}
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn push_literal(code: &mut String, text: &str) {
+    code.push_str(&format!("out.push_str({text:?});"));
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::NamedStruct { name, fields } => {
+            body.push_str("out.push('{');");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                push_literal(&mut body, &format!("\"{f}\":"));
+                body.push_str(&format!("::serde::Serialize::ser_json(&self.{f}, out);"));
+            }
+            body.push_str("out.push('}');");
+            name
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                body.push_str("::serde::Serialize::ser_json(&self.0, out);");
+            } else {
+                body.push_str("out.push('[');");
+                for i in 0..*arity {
+                    if i > 0 {
+                        body.push_str("out.push(',');");
+                    }
+                    body.push_str(&format!("::serde::Serialize::ser_json(&self.{i}, out);"));
+                }
+                body.push_str("out.push(']');");
+            }
+            name
+        }
+        Item::UnitStruct { name } => {
+            push_literal(&mut body, "null");
+            name
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!("{name}::{vn} => {{"));
+                        push_literal(&mut body, &format!("\"{vn}\""));
+                        body.push('}');
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__v{i}")).collect();
+                        body.push_str(&format!("{name}::{vn}({}) => {{", binds.join(", ")));
+                        push_literal(&mut body, &format!("{{\"{vn}\":"));
+                        if *arity == 1 {
+                            body.push_str("::serde::Serialize::ser_json(__v0, out);");
+                        } else {
+                            body.push_str("out.push('[');");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');");
+                                }
+                                body.push_str(&format!("::serde::Serialize::ser_json({b}, out);"));
+                            }
+                            body.push_str("out.push(']');");
+                        }
+                        body.push_str("out.push('}');}");
+                    }
+                    VariantKind::Struct(fields) => {
+                        body.push_str(&format!("{name}::{vn} {{ {} }} => {{", fields.join(", ")));
+                        push_literal(&mut body, &format!("{{\"{vn}\":{{"));
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str("out.push(',');");
+                            }
+                            push_literal(&mut body, &format!("\"{f}\":"));
+                            body.push_str(&format!("::serde::Serialize::ser_json({f}, out);"));
+                        }
+                        push_literal(&mut body, "}}");
+                        body.push('}');
+                    }
+                }
+            }
+            body.push('}');
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn ser_json(&self, out: &mut ::std::string::String) {{ {body} }}\n\
+        }}"
+    )
+}
+
+/// Generates the object-parsing snippet shared by named structs and struct
+/// variants: fills `__f_*` slots, then builds `ctor {{ .. }}`.
+fn gen_named_de(fields: &[String], ctor: &str) -> String {
+    let mut code = String::new();
+    code.push_str("p.obj_begin()?;");
+    for f in fields {
+        code.push_str(&format!("let mut __f_{f} = ::core::option::Option::None;"));
+    }
+    code.push_str(
+        "let mut __first = true;\
+         while let ::core::option::Option::Some(__key) = p.obj_next_key(__first)? {\
+             __first = false;\
+             match __key.as_str() {",
+    );
+    for f in fields {
+        code.push_str(&format!(
+            "{f:?} => {{ __f_{f} = ::core::option::Option::Some(\
+                 ::serde::Deserialize::de_json(p)?); }}"
+        ));
+    }
+    code.push_str("_ => { p.skip_value()?; } } }");
+    code.push_str(&format!("{ctor} {{"));
+    for f in fields {
+        code.push_str(&format!(
+            "{f}: match __f_{f} {{ \
+                ::core::option::Option::Some(__v) => __v, \
+                ::core::option::Option::None => \
+                    return ::core::result::Result::Err(p.missing({f:?})) }},"
+        ));
+    }
+    code.push('}');
+    code
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inner = gen_named_de(fields, name);
+            (name, format!("::core::result::Result::Ok({{ {inner} }})"))
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::core::result::Result::Ok({name}(::serde::Deserialize::de_json(p)?))")
+            } else {
+                let mut code = String::from("p.arr_begin()?;");
+                let mut binds = Vec::new();
+                for i in 0..*arity {
+                    if i > 0 {
+                        code.push_str("p.expect_char(',')?;");
+                    }
+                    code.push_str(&format!("let __v{i} = ::serde::Deserialize::de_json(p)?;"));
+                    binds.push(format!("__v{i}"));
+                }
+                code.push_str("p.expect_char(']')?;");
+                format!(
+                    "{{ {code} ::core::result::Result::Ok({name}({})) }}",
+                    binds.join(", ")
+                )
+            };
+            (name, body)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!(
+                "if p.eat_null() {{ ::core::result::Result::Ok({name}) }} \
+                 else {{ ::core::result::Result::Err(p.error(\"expected null\")) }}"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            let mut has_data = false;
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        has_data = true;
+                        let mut code = String::new();
+                        let mut binds = Vec::new();
+                        if *arity == 1 {
+                            code.push_str("let __v0 = ::serde::Deserialize::de_json(p)?;");
+                            binds.push("__v0".to_string());
+                        } else {
+                            code.push_str("p.arr_begin()?;");
+                            for i in 0..*arity {
+                                if i > 0 {
+                                    code.push_str("p.expect_char(',')?;");
+                                }
+                                code.push_str(&format!(
+                                    "let __v{i} = ::serde::Deserialize::de_json(p)?;"
+                                ));
+                                binds.push(format!("__v{i}"));
+                            }
+                            code.push_str("p.expect_char(']')?;");
+                        }
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ {code} {name}::{vn}({}) }}",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        has_data = true;
+                        let inner = gen_named_de(fields, &format!("{name}::{vn}"));
+                        data_arms.push_str(&format!("{vn:?} => {{ {inner} }}"));
+                    }
+                }
+            }
+            let data_branch = if has_data {
+                format!(
+                    "::serde::de::EnumHead::Data(__name) => {{\
+                         let __value = match __name.as_str() {{\
+                             {data_arms}\
+                             __other => return ::core::result::Result::Err(p.error(\
+                                 &::std::format!(\"unknown variant `{{__other}}`\"))),\
+                         }};\
+                         p.enum_end()?;\
+                         ::core::result::Result::Ok(__value)\
+                     }}"
+                )
+            } else {
+                "::serde::de::EnumHead::Data(__name) => \
+                     ::core::result::Result::Err(p.error(\
+                         &::std::format!(\"unknown variant `{{__name}}`\")))"
+                    .to_string()
+            };
+            let body = format!(
+                "match p.enum_begin()? {{\
+                     ::serde::de::EnumHead::Unit(__name) => match __name.as_str() {{\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(p.error(\
+                             &::std::format!(\"unknown unit variant `{{__other}}`\"))),\
+                     }},\
+                     {data_branch}\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn de_json(p: &mut ::serde::de::Parser<'_>) \
+                -> ::core::result::Result<Self, ::serde::de::Error> {{ {body} }}\n\
+        }}"
+    )
+}

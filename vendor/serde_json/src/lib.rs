@@ -1,0 +1,126 @@
+//! Offline drop-in subset of `serde_json`: `to_string`, `to_string_pretty`
+//! and `from_str` over the vendored serde traits.
+
+use serde::de::Parser;
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.ser_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value to indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Parses a value from JSON text, requiring full input consumption.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser::new(s);
+    let value = T::de_json(&mut p).map_err(|e| Error {
+        message: e.to_string(),
+    })?;
+    p.finish().map_err(|e| Error {
+        message: e.to_string(),
+    })?;
+    Ok(value)
+}
+
+/// Re-indents compact JSON. Operates on the token level, so string
+/// contents (which may hold braces) are left untouched.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                indent += 1;
+                newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_vec() {
+        let v = vec![1.5f32, -2.0, 0.25];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1.5,-2.0,0.25]");
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Vec<u8>>("[1,2,3] junk").is_err());
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<(u32, u32)> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+}
