@@ -78,6 +78,15 @@ impl IncStat {
     pub fn stats(&self) -> [f64; 3] {
         [self.weight(), self.mean(), self.std()]
     }
+
+    /// Clears all accumulated state (as if freshly constructed), keeping
+    /// the decay rate — lets per-connection scorers reuse one allocation.
+    pub fn reset(&mut self) {
+        self.w = 0.0;
+        self.ls = 0.0;
+        self.ss = 0.0;
+        self.last_t = None;
+    }
 }
 
 /// Two-stream damped statistic with covariance readouts (Kitsune's
@@ -162,6 +171,16 @@ impl IncStat2D {
         } else {
             0.0
         }
+    }
+
+    /// Clears all accumulated state, keeping the decay rate (see
+    /// [`IncStat::reset`]).
+    pub fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+        self.sr = 0.0;
+        self.w3 = 0.0;
+        self.last_t = None;
     }
 
     /// The 7 channel statistics Kitsune extracts per λ:

@@ -21,7 +21,7 @@
 use crate::incstat::{IncStat, IncStat2D};
 use clap_core::score::{score_errors, ScoredConnection};
 use net_packet::{Connection, Direction};
-use neural::{Autoencoder, AutoencoderConfig, Matrix};
+use neural::{AeWorkspace, Autoencoder, AutoencoderConfig, Matrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -74,7 +74,26 @@ impl StreamState {
         }
     }
 
+    /// Clears all statistics so a scorer can reuse one `StreamState`
+    /// across connections without reallocating the 20 stat objects.
+    fn reset(&mut self) {
+        self.src.iter_mut().for_each(IncStat::reset);
+        self.dst.iter_mut().for_each(IncStat::reset);
+        self.channel.iter_mut().for_each(IncStat2D::reset);
+        self.socket.iter_mut().for_each(IncStat2D::reset);
+    }
+
     fn update_and_extract(&mut self, t: f64, size: f64, dir: Direction) -> Vec<f32> {
+        let mut out = vec![0.0; KITSUNE_FEATURES];
+        self.update_and_extract_into(t, size, dir, &mut out);
+        out
+    }
+
+    /// Allocation-free extraction: updates the statistics and writes the
+    /// 100-dim feature vector into a caller-owned slice (e.g. a row of a
+    /// reused feature matrix).
+    fn update_and_extract_into(&mut self, t: f64, size: f64, dir: Direction, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), KITSUNE_FEATURES);
         let from_client = dir == Direction::ClientToServer;
         for s in &mut self.src {
             if from_client {
@@ -94,21 +113,32 @@ impl StreamState {
             // proxy for per-socket jitter statistics.
             s.insert(t, if from_client { size } else { -size }, !from_client);
         }
-        let mut out = Vec::with_capacity(KITSUNE_FEATURES);
+        let mut i = 0;
         for s in &self.src {
-            out.extend(s.stats().iter().map(|&v| v as f32));
+            for v in s.stats() {
+                out[i] = v as f32;
+                i += 1;
+            }
         }
         for s in &self.dst {
-            out.extend(s.stats().iter().map(|&v| v as f32));
+            for v in s.stats() {
+                out[i] = v as f32;
+                i += 1;
+            }
         }
         for s in &self.channel {
-            out.extend(s.stats7().iter().map(|&v| v as f32));
+            for v in s.stats7() {
+                out[i] = v as f32;
+                i += 1;
+            }
         }
         for s in &self.socket {
-            out.extend(s.stats7().iter().map(|&v| v as f32));
+            for v in s.stats7() {
+                out[i] = v as f32;
+                i += 1;
+            }
         }
-        debug_assert_eq!(out.len(), KITSUNE_FEATURES);
-        out
+        debug_assert_eq!(i, KITSUNE_FEATURES);
     }
 }
 
@@ -150,10 +180,17 @@ impl MinMax {
     }
 
     fn apply(&self, row: &[f32]) -> Vec<f32> {
-        row.iter()
-            .enumerate()
-            .map(|(i, &v)| ((v - self.mins[i]) / (self.maxs[i] - self.mins[i])).clamp(-1.0, 2.0))
-            .collect()
+        let mut out = row.to_vec();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// In-place normalization (same formula as [`apply`](Self::apply)),
+    /// for reused feature-matrix rows.
+    fn apply_in_place(&self, row: &mut [f32]) {
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = ((*v - self.mins[i]) / (self.maxs[i] - self.mins[i])).clamp(-1.0, 2.0);
+        }
     }
 }
 
@@ -332,54 +369,138 @@ impl KitsuneLite {
         }
     }
 
+    /// Builds a reusable scoring session holding every scratch arena the
+    /// hot path needs (mirroring `clap_core`'s `ClapScorer`): one scorer
+    /// per worker thread; scoring through it is allocation-free in steady
+    /// state aside from the returned results.
+    pub fn scorer(&self) -> KitsuneScorer<'_> {
+        KitsuneScorer {
+            model: self,
+            state: StreamState::new(),
+            features: Matrix::default(),
+            sub: Matrix::default(),
+            err_rows: Matrix::default(),
+            ae_ws: AeWorkspace::new(),
+            member_errs: Vec::new(),
+        }
+    }
+
     /// Per-packet anomaly scores (output-AE reconstruction errors).
     ///
-    /// Batched on the shared GEMM kernels: one forward pass per ensemble
-    /// member over all packets of the connection (instead of one 1-row
-    /// round trip per packet per member), then one batched pass through
-    /// the output autoencoder.
+    /// Convenience wrapper building a fresh [`KitsuneScorer`]; loops
+    /// should create one via [`KitsuneLite::scorer`] and reuse it.
     pub fn packet_scores(&self, conn: &Connection) -> Vec<f32> {
-        let rows: Vec<Vec<f32>> = extract_features(conn)
-            .iter()
-            .map(|raw| self.norm.apply(raw))
-            .collect();
-        let packets = rows.len();
-        if packets == 0 {
-            return Vec::new();
-        }
-        let mut err_rows = Matrix::zeros(packets, self.clusters.len());
-        let mut sub = Matrix::default();
-        for (ci, (cluster, ae)) in self.clusters.iter().zip(&self.ensemble).enumerate() {
-            sub.resize(packets, cluster.len());
-            for (r, row) in rows.iter().enumerate() {
-                let dst = sub.row_mut(r);
-                for (c, &fi) in cluster.iter().enumerate() {
-                    dst[c] = row[fi];
-                }
-            }
-            for (r, err) in ae.reconstruction_errors(&sub).into_iter().enumerate() {
-                err_rows.set(r, ci, err);
-            }
-        }
-        self.output.reconstruction_errors(&err_rows)
+        let mut out = Vec::new();
+        self.scorer().packet_scores_into(conn, &mut out);
+        out
     }
 
     /// Connection-level score via the same localize-and-estimate summary
     /// CLAP uses (fair comparison).
     pub fn score_connection(&self, conn: &Connection) -> ScoredConnection {
-        let window_errors = self.packet_scores(conn);
-        let (peak, score) = score_errors(&window_errors, self.score_window);
+        self.scorer().score_connection(conn)
+    }
+
+    /// Scores many connections in parallel, sharding them across rayon
+    /// workers with one [`KitsuneScorer`] arena set per shard (the same
+    /// fused-engine treatment CLAP's batch path gets, so throughput
+    /// comparisons are fused-vs-fused).
+    pub fn score_connections(&self, conns: &[Connection]) -> Vec<ScoredConnection> {
+        if conns.is_empty() {
+            return Vec::new();
+        }
+        let workers = rayon::current_num_threads().max(1);
+        let shard = conns.len().div_ceil(workers * 4).max(1);
+        let nested: Vec<Vec<ScoredConnection>> = conns
+            .par_chunks(shard)
+            .map(|chunk| {
+                let mut scorer = self.scorer();
+                chunk.iter().map(|c| scorer.score_connection(c)).collect()
+            })
+            .collect();
+        nested.into_iter().flatten().collect()
+    }
+}
+
+/// A Kitsune-lite scoring session: the damped-statistics state plus the
+/// feature/sub-cluster/error matrices and the autoencoder workspace, all
+/// reused across connections. Steady state performs no heap allocation
+/// beyond the returned results.
+pub struct KitsuneScorer<'a> {
+    model: &'a KitsuneLite,
+    state: StreamState,
+    /// `packets × 100` normalized feature rows of the current connection.
+    features: Matrix,
+    /// `packets × |cluster|` gather buffer for one ensemble member.
+    sub: Matrix,
+    /// `packets × ensemble` per-member reconstruction errors.
+    err_rows: Matrix,
+    ae_ws: AeWorkspace,
+    member_errs: Vec<f32>,
+}
+
+impl KitsuneScorer<'_> {
+    /// Per-packet anomaly scores, written into `out` (the buffer is
+    /// cleared first, so it holds exactly this connection's scores) — the
+    /// allocation-free core. Batched on the shared GEMM kernels: one
+    /// forward pass per ensemble member over all packets of the
+    /// connection, then one batched pass through the output autoencoder.
+    pub fn packet_scores_into(&mut self, conn: &Connection, out: &mut Vec<f32>) {
+        out.clear();
+        let packets = conn.len();
+        if packets == 0 {
+            return;
+        }
+        self.state.reset();
+        self.features.resize(packets, KITSUNE_FEATURES);
+        for (i, p) in conn.packets.iter().enumerate() {
+            let row = self.features.row_mut(i);
+            self.state.update_and_extract_into(
+                p.timestamp,
+                p.wire_len() as f64,
+                conn.direction(i),
+                row,
+            );
+            self.model.norm.apply_in_place(row);
+        }
+        self.err_rows.resize(packets, self.model.clusters.len());
+        for (ci, (cluster, ae)) in self
+            .model
+            .clusters
+            .iter()
+            .zip(&self.model.ensemble)
+            .enumerate()
+        {
+            self.sub.resize(packets, cluster.len());
+            for r in 0..packets {
+                let src = self.features.row(r);
+                let dst = self.sub.row_mut(r);
+                for (c, &fi) in cluster.iter().enumerate() {
+                    dst[c] = src[fi];
+                }
+            }
+            self.member_errs.clear();
+            ae.reconstruction_errors_into(&self.sub, &mut self.ae_ws, &mut self.member_errs);
+            for (r, &err) in self.member_errs.iter().enumerate() {
+                self.err_rows.set(r, ci, err);
+            }
+        }
+        self.model
+            .output
+            .reconstruction_errors_into(&self.err_rows, &mut self.ae_ws, out);
+    }
+
+    /// Scores one connection through the reused arenas.
+    pub fn score_connection(&mut self, conn: &Connection) -> ScoredConnection {
+        let mut window_errors = Vec::new();
+        self.packet_scores_into(conn, &mut window_errors);
+        let (peak, score) = score_errors(&window_errors, self.model.score_window);
         ScoredConnection {
             peak_packet: peak.min(conn.len().saturating_sub(1)),
             peak_window: peak,
             window_errors,
             score,
         }
-    }
-
-    /// Scores many connections in parallel.
-    pub fn score_connections(&self, conns: &[Connection]) -> Vec<ScoredConnection> {
-        conns.par_iter().map(|c| self.score_connection(c)).collect()
     }
 }
 

@@ -22,4 +22,4 @@ pub mod kitsune;
 
 pub use baseline1::{Baseline1, Baseline1Config};
 pub use incstat::{IncStat, IncStat2D};
-pub use kitsune::{KitsuneConfig, KitsuneLite, KITSUNE_FEATURES};
+pub use kitsune::{KitsuneConfig, KitsuneLite, KitsuneScorer, KITSUNE_FEATURES};

@@ -6,12 +6,23 @@
 //! ```text
 //! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper]
 //!     [--threads N] [--json PATH]
+//!     [--check-against REFERENCE.json] [--max-regress 0.20]
 //! ```
 //!
 //! Writes a machine-readable `BENCH_throughput.json` (override with
-//! `--json`) so the performance trajectory is tracked across PRs.
+//! `--json`) so the performance trajectory is tracked across PRs. Also
+//! measures the **streaming** per-flow engine (`exp_stream_throughput`
+//! mode): the whole corpus is flattened into one timestamp-ordered packet
+//! stream and pushed through a single `StreamScorer` flow table, the
+//! arrival order a line-rate tap would see.
+//!
+//! With `--check-against`, the run doubles as the CI throughput-regression
+//! gate: it exits non-zero when fused packets/second drop more than
+//! `--max-regress` (default 0.20 = 20%) below the reference record.
 
-use bench::{arg_value, render_table, train_all, Preset};
+use bench::{
+    arg_value, check_throughput_regression, render_table, train_all, Preset, ThroughputReference,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -28,6 +39,11 @@ struct ThroughputReport {
     clap_unfused_pps: f64,
     /// Fused ÷ unfused.
     fusion_speedup: f64,
+    /// Packets/second of the streaming per-flow engine (one flow table,
+    /// interleaved timestamp-ordered stream).
+    clap_stream_pps: f64,
+    /// Streaming ÷ fused batch (the price of online per-packet delivery).
+    stream_over_batch: f64,
     baseline1_pps: f64,
     kitsune_pps: f64,
 }
@@ -64,7 +80,13 @@ fn main() {
         threads
     );
 
-    let (fused, unfused, b1, kitsune) = pool.install(|| {
+    // The streaming engine sees what a tap would: one packet stream,
+    // interleaved across all flows, in timestamp order.
+    let mut stream: Vec<&net_packet::Packet> =
+        corpus.iter().flat_map(|c| c.packets.iter()).collect();
+    stream.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+
+    let (fused, unfused, streaming, b1, kitsune) = pool.install(|| {
         // Warm-up pass so one-time costs (page faults, lazy init) don't
         // skew the first measurement.
         let warm = models.clap.score_connections(&corpus);
@@ -76,6 +98,19 @@ fn main() {
         let t = Instant::now();
         let s_unfused = models.clap.score_connections_unfused(&corpus);
         let unfused = t.elapsed();
+
+        let t = Instant::now();
+        let mut scorer = models.clap.stream_scorer();
+        for p in &stream {
+            scorer.push(p);
+        }
+        let closed = scorer.finish();
+        let streaming = t.elapsed();
+        let streamed_packets: usize = closed.iter().map(|c| c.packets).sum();
+        assert_eq!(
+            streamed_packets, packets,
+            "streaming must account for every packet"
+        );
 
         let t = Instant::now();
         let s_b1 = models.baseline1.score_connections(&corpus);
@@ -98,7 +133,7 @@ fn main() {
                 b.score
             );
         }
-        (fused, unfused, b1, kitsune)
+        (fused, unfused, streaming, b1, kitsune)
     });
 
     let pps = |elapsed: std::time::Duration| packets as f64 / elapsed.as_secs_f64();
@@ -117,6 +152,11 @@ fn main() {
             "CLAP (unfused reference)".to_string(),
             format!("{:.1}", pps(unfused)),
             format!("{:.1}", cps(unfused)),
+        ],
+        vec![
+            "CLAP (streaming per-flow)".to_string(),
+            format!("{:.1}", pps(streaming)),
+            format!("{:.1}", cps(streaming)),
         ],
         vec![
             "Baseline #1".to_string(),
@@ -139,6 +179,12 @@ fn main() {
         pps(fused),
         pps(unfused)
     );
+    println!(
+        "streaming vs batch: {:.2}x (streaming {:.1} pkt/s vs fused batch {:.1} pkt/s)",
+        pps(streaming) / pps(fused),
+        pps(streaming),
+        pps(fused)
+    );
 
     let report = ThroughputReport {
         preset: preset.name.clone(),
@@ -148,10 +194,54 @@ fn main() {
         clap_fused_pps: pps(fused),
         clap_unfused_pps: pps(unfused),
         fusion_speedup: pps(fused) / pps(unfused),
+        clap_stream_pps: pps(streaming),
+        stream_over_batch: pps(streaming) / pps(fused),
         baseline1_pps: pps(b1),
         kitsune_pps: pps(kitsune),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&json_path, json).expect("write throughput json");
     eprintln!("wrote {json_path}");
+
+    // CI regression gate: compare fused pps against a checked-in
+    // reference record and fail the run past the budget.
+    if let Some(ref_path) = arg_value(&args, "--check-against") {
+        // An unparseable budget must fail the gate, not silently fall
+        // back to the default and enforce the wrong threshold.
+        let max_regress: f64 = match arg_value(&args, "--max-regress") {
+            Some(v) => match v.parse() {
+                Ok(m) => m,
+                Err(_) => {
+                    eprintln!("regression gate error: invalid --max-regress value `{v}`");
+                    std::process::exit(1);
+                }
+            },
+            None => 0.20,
+        };
+        let reference = match ThroughputReference::load(&ref_path) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("regression gate error: {msg}");
+                std::process::exit(1);
+            }
+        };
+        match check_throughput_regression(
+            report.clap_fused_pps,
+            reference.clap_fused_pps,
+            max_regress,
+        ) {
+            Ok(change) => eprintln!(
+                "regression gate OK: fused {:.1} pkt/s vs reference {:.1} pkt/s \
+                 ({:+.1}% change, budget -{:.0}%)",
+                report.clap_fused_pps,
+                reference.clap_fused_pps,
+                change * 100.0,
+                max_regress * 100.0
+            ),
+            Err(msg) => {
+                eprintln!("THROUGHPUT REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

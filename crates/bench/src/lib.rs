@@ -84,6 +84,61 @@ impl Preset {
     }
 }
 
+/// The subset of a `BENCH_throughput.json` record the CI regression gate
+/// reads. Extra fields in the file are ignored, so references recorded by
+/// older report formats keep working as the report grows fields.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ThroughputReference {
+    /// Packets/second of the fused CLAP engine when the reference was
+    /// recorded.
+    pub clap_fused_pps: f64,
+}
+
+impl ThroughputReference {
+    /// Loads a reference record from a JSON file (e.g. the checked-in
+    /// `BENCH_reference.json`).
+    pub fn load(path: &str) -> Result<ThroughputReference, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read reference {path}: {e}"))?;
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse reference {path}: {e:?}"))
+    }
+}
+
+/// The CI throughput-regression gate: fails when `current_pps` has lost
+/// more than `max_regress` (a fraction, e.g. `0.20` = 20%) of
+/// `reference_pps`. Returns the relative change (`+0.05` = 5% faster,
+/// `-0.25` = 25% slower) on success so callers can report the margin.
+///
+/// Non-finite or non-positive measurements and references are rejected
+/// outright — a NaN must fail the gate, not sail through a comparison.
+pub fn check_throughput_regression(
+    current_pps: f64,
+    reference_pps: f64,
+    max_regress: f64,
+) -> Result<f64, String> {
+    if !reference_pps.is_finite() || reference_pps <= 0.0 {
+        return Err(format!(
+            "reference throughput {reference_pps} is not a positive number"
+        ));
+    }
+    if !current_pps.is_finite() || current_pps <= 0.0 {
+        return Err(format!(
+            "measured throughput {current_pps} is not a positive number"
+        ));
+    }
+    let change = current_pps / reference_pps - 1.0;
+    let floor = reference_pps * (1.0 - max_regress);
+    if current_pps < floor {
+        return Err(format!(
+            "fused throughput regressed {:.1}% (measured {current_pps:.1} pkt/s vs reference \
+             {reference_pps:.1} pkt/s, budget {:.0}%)",
+            -change * 100.0,
+            max_regress * 100.0,
+        ));
+    }
+    Ok(change)
+}
+
 /// Returns the value following a `--flag` argument.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -378,5 +433,54 @@ mod tests {
     fn mean_edge_cases() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn regression_gate_passes_within_budget() {
+        // Faster than reference: positive change.
+        let change = check_throughput_regression(1200.0, 1000.0, 0.20).unwrap();
+        assert!((change - 0.2).abs() < 1e-9);
+        // 10% slower is inside a 20% budget.
+        let change = check_throughput_regression(900.0, 1000.0, 0.20).unwrap();
+        assert!((change + 0.1).abs() < 1e-9);
+        // Exactly on the floor passes (the gate fires strictly below it).
+        assert!(check_throughput_regression(800.0, 1000.0, 0.20).is_ok());
+    }
+
+    #[test]
+    fn regression_gate_fails_past_budget() {
+        let err = check_throughput_regression(799.0, 1000.0, 0.20).unwrap_err();
+        assert!(err.contains("regressed"), "unexpected message: {err}");
+        assert!(check_throughput_regression(500.0, 1000.0, 0.20).is_err());
+    }
+
+    #[test]
+    fn regression_gate_rejects_garbage_inputs() {
+        assert!(check_throughput_regression(f64::NAN, 1000.0, 0.20).is_err());
+        assert!(check_throughput_regression(1000.0, f64::NAN, 0.20).is_err());
+        assert!(check_throughput_regression(1000.0, 0.0, 0.20).is_err());
+        assert!(check_throughput_regression(-5.0, 1000.0, 0.20).is_err());
+        assert!(check_throughput_regression(1000.0, f64::INFINITY, 0.20).is_err());
+    }
+
+    #[test]
+    fn reference_parsing_ignores_extra_fields() {
+        // A full report record (with fields the gate does not read) must
+        // parse as a reference.
+        let json = r#"{
+            "preset": "ci",
+            "threads": 1,
+            "clap_fused_pps": 27767.36,
+            "clap_unfused_pps": 8982.54,
+            "fusion_speedup": 3.09
+        }"#;
+        let reference: ThroughputReference = serde_json::from_str(json).unwrap();
+        assert!((reference.clap_fused_pps - 27767.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_load_reports_missing_file() {
+        let err = ThroughputReference::load("/nonexistent/BENCH_reference.json").unwrap_err();
+        assert!(err.contains("cannot read"), "unexpected message: {err}");
     }
 }

@@ -72,35 +72,76 @@ fn rel_seq(value: u32, isn: Option<u32>) -> f32 {
     }
 }
 
+/// Incremental per-flow feature extraction state: the ISN anchor and
+/// previous-timestamp memory [`extract_connection`] keeps per connection,
+/// packaged so a streaming scorer can advance it one packet at a time.
+/// Feeding a connection's packets through [`push_into`](Self::push_into)
+/// in capture order produces exactly the vectors `extract_connection`
+/// returns (same code path, so bitwise identical).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    isn: [Option<u32>; 2],
+    prev_tsval: [Option<u32>; 2],
+    prev_time: Option<f64>,
+}
+
+impl FeatureExtractor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the next packet's features into a caller-owned
+    /// [`FeatureVector`], reusing its buffers — zero allocation once the
+    /// vector has been through one call.
+    pub fn push_into(&mut self, p: &Packet, dir: Direction, out: &mut FeatureVector) {
+        // The first sequence number seen per direction anchors relative
+        // SEQ/ACK (for SYNs this is the true ISN).
+        if self.isn[dir.index()].is_none() {
+            self.isn[dir.index()] = Some(p.tcp.seq);
+        }
+        extract_packet_into(
+            p,
+            dir,
+            self.isn,
+            &mut self.prev_tsval,
+            &mut self.prev_time,
+            out,
+        );
+    }
+
+    /// Allocating convenience wrapper around [`push_into`](Self::push_into).
+    pub fn push(&mut self, p: &Packet, dir: Direction) -> FeatureVector {
+        let mut fv = FeatureVector {
+            base: Vec::with_capacity(NUM_BASE),
+            raw: Vec::with_capacity(NUM_RAW),
+            equiv_ok: false,
+        };
+        self.push_into(p, dir, &mut fv);
+        fv
+    }
+}
+
 /// Extracts base features + raw numerics for every packet of a connection.
 ///
 /// Per-connection state (ISNs per direction, previous timestamps) is
 /// maintained internally; packets are processed in capture order.
 pub fn extract_connection(conn: &Connection) -> Vec<FeatureVector> {
-    let mut isn: [Option<u32>; 2] = [None, None];
-    let mut prev_tsval: [Option<u32>; 2] = [None, None];
-    let mut prev_time: Option<f64> = None;
-    let mut out = Vec::with_capacity(conn.len());
-
-    for (i, p) in conn.packets.iter().enumerate() {
-        let dir = conn.direction(i);
-        // The first sequence number seen per direction anchors relative
-        // SEQ/ACK (for SYNs this is the true ISN).
-        if isn[dir.index()].is_none() {
-            isn[dir.index()] = Some(p.tcp.seq);
-        }
-        out.push(extract_packet(p, dir, isn, &mut prev_tsval, &mut prev_time));
-    }
-    out
+    let mut extractor = FeatureExtractor::new();
+    conn.packets
+        .iter()
+        .enumerate()
+        .map(|(i, p)| extractor.push(p, conn.direction(i)))
+        .collect()
 }
 
-fn extract_packet(
+fn extract_packet_into(
     p: &Packet,
     dir: Direction,
     isn: [Option<u32>; 2],
     prev_tsval: &mut [Option<u32>; 2],
     prev_time: &mut Option<f64>,
-) -> FeatureVector {
+    out: &mut FeatureVector,
+) {
     let f = p.tcp.flags;
     let has_ack = f.contains(TcpFlags::ACK);
 
@@ -125,7 +166,8 @@ fn extract_packet(
     };
     *prev_time = Some(p.timestamp);
 
-    let raw = vec![
+    out.raw.clear();
+    out.raw.extend_from_slice(&[
         r_seq,
         r_ack,
         p.tcp.data_offset as f32,
@@ -144,7 +186,7 @@ fn extract_packet(
         p.ip.ihl as f32,
         p.ip.version as f32,
         p.ip.tos as f32,
-    ];
+    ]);
 
     // --- Base features #1..#32, scaled --------------------------------
     // Heavy-tailed quantities are log-compressed: without this, a single
@@ -153,7 +195,8 @@ fn extract_packet(
     // the amplification features carry.
     let log_scale = |v: f32, cap: f32| ((1.0 + v.max(0.0)).ln() / (1.0 + cap).ln()).min(1.0);
 
-    let mut base = Vec::with_capacity(NUM_BASE);
+    out.base.clear();
+    let base = &mut out.base;
     base.push(dir.index() as f32); // #1 direction
     base.push(log_scale(r_seq, u32::MAX as f32)); // #2
     base.push(log_scale(r_ack, u32::MAX as f32)); // #3
@@ -185,13 +228,7 @@ fn extract_packet(
     // --- Equivalence relation #51: payload_len = ip_len - ihl*4 - off*4 --
     let expected =
         i64::from(p.ip.total_length) - i64::from(p.ip.ihl) * 4 - i64::from(p.tcp.data_offset) * 4;
-    let equiv_ok = expected == p.payload.len() as i64;
-
-    FeatureVector {
-        base,
-        raw,
-        equiv_ok,
-    }
+    out.equiv_ok = expected == p.payload.len() as i64;
 }
 
 /// Benign value ranges for the 18 raw numerics; lights the out-of-range

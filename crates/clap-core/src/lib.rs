@@ -21,6 +21,13 @@
 //!    score; thresholding yields detection, the error peak yields
 //!    localization.
 //!
+//! Scoring runs in two modes: **offline batch** over reassembled
+//! connections ([`Clap::score_connections`], sharded across rayon workers
+//! on the fused engine) and **online streaming** over an interleaved
+//! packet stream ([`stream`]: per-flow incremental state, bounded flow
+//! table, scores emitted as packets arrive — equivalent to the batch path
+//! within 1e-6).
+//!
 //! # Quick start
 //!
 //! ```
@@ -42,9 +49,13 @@ pub mod metrics;
 pub mod pipeline;
 pub mod profile;
 pub mod score;
+pub mod stream;
 
-pub use features::{extract_connection, FeatureVector, RangeModel, NUM_BASE, NUM_PACKET, NUM_RAW};
+pub use features::{
+    extract_connection, FeatureExtractor, FeatureVector, RangeModel, NUM_BASE, NUM_PACKET, NUM_RAW,
+};
 pub use metrics::{auc_roc, equal_error_rate, roc_curve, top_n_hit, RocPoint};
 pub use pipeline::{Clap, ClapConfig, ClapScorer, TrainSummary};
 pub use profile::{ProfileBuilder, ProfileWorkspace, GATE_FEATURES, PROFILE_LEN};
 pub use score::{score_errors, ScoredConnection};
+pub use stream::{CloseReason, ClosedFlow, StreamConfig, StreamScorer};

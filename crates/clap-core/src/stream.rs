@@ -1,0 +1,655 @@
+//! Streaming per-flow scoring — the online counterpart of
+//! [`Clap::score_connection`].
+//!
+//! The batch pipeline scores *complete* connections: capture, reassemble,
+//! score. A line-rate DPI deployment cannot wait for completeness — it sees
+//! one interleaved packet stream over millions of concurrent flows and must
+//! emit verdicts as packets arrive. [`StreamScorer`] is that mode:
+//!
+//! * **Per-flow state, shared arenas.** Each live flow persists only what
+//!   the model mathematically needs: the incremental feature-extraction
+//!   anchors ([`FeatureExtractor`]), a [`TcpTracker`] for teardown
+//!   detection, the GRU hidden state (`H` floats, advanced by
+//!   [`PackedGru::step`]), a ring of the last `stack` single-packet
+//!   profiles, and the flow's window-error log. Everything else — GRU step
+//!   scratch, the 1×345 window matrix, the autoencoder workspace — is
+//!   scorer-level and shared across all flows, so per-flow memory is a few
+//!   hundred floats and steady-state scoring performs **no per-packet heap
+//!   allocation** (the only growth is each flow's error log, amortized).
+//! * **Exact batch equivalence.** Feeding a connection's packets one at a
+//!   time yields the same window errors and final score as the offline
+//!   path: the resumable GRU step is bitwise identical to the batched run,
+//!   feature extraction shares one code path, and a 1-row autoencoder pass
+//!   computes the same dot products as a batched one. The property tests
+//!   pin streaming-vs-batch to ≤1e-6.
+//! * **Bounded memory.** Flows are evicted on TCP teardown (RST, or an
+//!   orderly close reaching TIME_WAIT), on idle timeout (amortized sweeps
+//!   every [`StreamConfig::sweep_interval`] packets), on a per-flow packet
+//!   cap, and — conntrack-`early_drop`-style — by probing a handful of
+//!   table entries and dropping the stalest when the table is full. Every
+//!   eviction finalizes the flow and emits its [`ScoredConnection`].
+//!
+//! Divergences from the batch path, by design: flow orientation is pinned
+//! by the first packet seen (the offline reassembler can retroactively
+//! re-orient a mid-capture flow when a later SYN arrives; a streaming
+//! scorer cannot rewrite history), and a connection reusing its 4-tuple
+//! after teardown becomes a *new* flow rather than one long connection.
+//!
+//! ```
+//! use clap_core::{Clap, ClapConfig};
+//!
+//! let benign = traffic_gen::dataset(42, 40);
+//! let (clap, _) = Clap::train(&benign, &ClapConfig::ci());
+//!
+//! let mut scorer = clap.stream_scorer();
+//! for conn in &benign[..4] {
+//!     for p in &conn.packets {
+//!         // Window errors surface online, packet by packet.
+//!         let _maybe_err: Option<f32> = scorer.push(p);
+//!     }
+//! }
+//! // FIN-terminated flows were finalized inline; drain the rest.
+//! let closed = scorer.finish();
+//! assert!(!closed.is_empty());
+//! assert!(closed.iter().all(|c| c.scored.score.is_finite()));
+//! ```
+
+use crate::features::{FeatureExtractor, FeatureVector, NUM_PACKET};
+use crate::pipeline::Clap;
+use crate::profile::{ProfileBuilder, PROFILE_LEN};
+use crate::score::{score_errors, ScoredConnection};
+use net_packet::{CanonicalKey, Direction, Endpoint, FlowKey, Packet};
+use neural::{AeWorkspace, GruStepScratch, Matrix, PackedGru};
+use std::collections::HashMap;
+use tcp_state::{TcpState, TcpTracker};
+
+/// Flow-table policy for a [`StreamScorer`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Evict flows idle for longer than this many seconds. The clock is
+    /// the maximum packet timestamp seen, so replayed captures age flows
+    /// at capture speed, not wall-clock speed.
+    pub idle_timeout: f64,
+    /// Hard cap on concurrently tracked flows; at capacity the stalest of
+    /// a small probe set is evicted to admit a new flow.
+    pub max_flows: usize,
+    /// Finalize a flow when its tracker reaches `CLOSE` (RST) or
+    /// `TIME_WAIT` (orderly close). Disable to score past teardown — e.g.
+    /// when comparing against batch scoring of captures that keep packets
+    /// after a close.
+    pub teardown_on_close: bool,
+    /// Finalize a flow after this many packets regardless of TCP state,
+    /// bounding per-flow memory (the error log grows one `f32` per packet
+    /// past the stack depth). Subsequent packets start a fresh flow.
+    pub max_packets_per_flow: usize,
+    /// Run an idle-flow sweep every this many packets. Each sweep visits
+    /// a bounded chunk of the table through a rotating scan ring, so
+    /// per-packet cost is O(1) regardless of table size; an idle flow is
+    /// reclaimed within one ring cycle.
+    pub sweep_interval: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            idle_timeout: 300.0,
+            max_flows: 1 << 20,
+            teardown_on_close: true,
+            max_packets_per_flow: 1 << 20,
+            sweep_interval: 4096,
+        }
+    }
+}
+
+/// Why a flow left the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// TCP teardown observed (RST, or orderly close reaching TIME_WAIT).
+    TcpClose,
+    /// No packets for [`StreamConfig::idle_timeout`] seconds.
+    IdleTimeout,
+    /// Evicted to admit a new flow at [`StreamConfig::max_flows`].
+    CapacityEvicted,
+    /// Hit [`StreamConfig::max_packets_per_flow`].
+    LengthCapped,
+    /// Flushed by [`StreamScorer::finish`].
+    Drained,
+}
+
+/// A finalized flow: its identity, size, why it closed, and the same
+/// [`ScoredConnection`] the batch path would have produced.
+#[derive(Debug, Clone)]
+pub struct ClosedFlow {
+    pub key: FlowKey,
+    pub packets: usize,
+    pub reason: CloseReason,
+    pub scored: ScoredConnection,
+}
+
+/// Per-flow incremental state (see the module docs for the size budget).
+#[derive(Debug, Clone)]
+struct FlowState {
+    key: FlowKey,
+    extractor: FeatureExtractor,
+    tracker: TcpTracker,
+    /// GRU hidden state carried across this flow's packets (`H`).
+    h: Vec<f32>,
+    /// Ring buffer of the last `stack` single-packet profiles
+    /// (`stack × PROFILE_LEN`, slot `t % stack` holds packet `t`).
+    singles: Vec<f32>,
+    /// Reconstruction error per emitted stacked window, in order.
+    window_errors: Vec<f32>,
+    packets: usize,
+    last_seen: f64,
+}
+
+impl FlowState {
+    fn new(key: FlowKey, hidden: usize, stack: usize, now: f64) -> Self {
+        FlowState {
+            key,
+            extractor: FeatureExtractor::new(),
+            tracker: TcpTracker::new(),
+            h: vec![0.0; hidden],
+            singles: vec![0.0; stack * PROFILE_LEN],
+            window_errors: Vec::new(),
+            packets: 0,
+            last_seen: now,
+        }
+    }
+}
+
+/// How many table entries the capacity evictor probes before dropping the
+/// stalest (conntrack's `early_drop` idea: O(1) bounded work instead of a
+/// full LRU structure).
+const EVICT_PROBES: usize = 8;
+
+/// How many table entries one idle sweep visits. Bounds sweep cost
+/// independently of table size; the scan ring rotates, so every flow is
+/// still visited once per ring cycle.
+const SWEEP_CHUNK: usize = 256;
+
+/// Online per-flow scoring session over one interleaved packet stream.
+/// Create via [`Clap::stream_scorer`] (or
+/// [`Clap::stream_scorer_with`] for a custom [`StreamConfig`]); one
+/// scorer per ingest thread.
+pub struct StreamScorer<'a> {
+    clap: &'a Clap,
+    config: StreamConfig,
+    builder: ProfileBuilder,
+    packed: PackedGru,
+    flows: HashMap<CanonicalKey, FlowState>,
+    /// Flows finalized since the last [`drain_closed`](Self::drain_closed).
+    closed: Vec<ClosedFlow>,
+    // --- shared scratch (flow-independent) ---
+    gru_scratch: GruStepScratch,
+    ae_ws: AeWorkspace,
+    fv: FeatureVector,
+    /// 1×stacked_len window staged for the autoencoder.
+    window: Matrix,
+    err_scratch: Vec<f32>,
+    sweep_keys: Vec<CanonicalKey>,
+    /// Rotating scan ring over flow keys, lazily refilled from the table.
+    /// Idle sweeps and capacity probes draw from it so their coverage is
+    /// unbiased and amortized O(1) — std `HashMap` iteration always
+    /// restarts at the same buckets, which would pin eviction victims to
+    /// the leading entries and never visit the rest.
+    scan_ring: Vec<CanonicalKey>,
+    /// Max packet timestamp seen (the stream clock).
+    clock: f64,
+    packets_since_sweep: usize,
+}
+
+impl Clap {
+    /// Builds a streaming per-flow scorer with default table policy.
+    pub fn stream_scorer(&self) -> StreamScorer<'_> {
+        self.stream_scorer_with(StreamConfig::default())
+    }
+
+    /// Builds a streaming per-flow scorer with an explicit table policy.
+    pub fn stream_scorer_with(&self, config: StreamConfig) -> StreamScorer<'_> {
+        StreamScorer {
+            clap: self,
+            config,
+            builder: ProfileBuilder::new(self.config.stack),
+            packed: self.rnn.packed(),
+            flows: HashMap::new(),
+            closed: Vec::new(),
+            gru_scratch: GruStepScratch::new(),
+            ae_ws: AeWorkspace::new(),
+            fv: FeatureVector {
+                base: Vec::new(),
+                raw: Vec::new(),
+                equiv_ok: false,
+            },
+            window: Matrix::default(),
+            err_scratch: Vec::new(),
+            sweep_keys: Vec::new(),
+            scan_ring: Vec::new(),
+            clock: 0.0,
+            packets_since_sweep: 0,
+        }
+    }
+}
+
+impl StreamScorer<'_> {
+    /// Consumes one packet from the interleaved stream.
+    ///
+    /// Returns the reconstruction error of the stacked window completed by
+    /// this packet, if the flow has accumulated enough packets — the
+    /// online anomaly signal. Flows torn down by this packet (TCP close,
+    /// length cap) are finalized and queued for
+    /// [`drain_closed`](Self::drain_closed).
+    pub fn push(&mut self, p: &Packet) -> Option<f32> {
+        self.clock = self.clock.max(p.timestamp);
+        self.packets_since_sweep += 1;
+        if self.packets_since_sweep >= self.config.sweep_interval.max(1) {
+            self.packets_since_sweep = 0;
+            self.sweep_idle();
+        }
+
+        let stack = self.builder.stack;
+        let hidden = self.packed.hidden_size();
+        let ck = CanonicalKey::of(p);
+        if !self.flows.contains_key(&ck) {
+            if self.flows.len() >= self.config.max_flows.max(1) {
+                self.evict_stalest();
+            }
+            // Orientation is pinned by the first packet of the flow.
+            let key = FlowKey::new(
+                Endpoint::new(p.ip.src, p.tcp.src_port),
+                Endpoint::new(p.ip.dst, p.tcp.dst_port),
+            );
+            self.flows
+                .insert(ck, FlowState::new(key, hidden, stack, self.clock));
+        }
+
+        let flow = self.flows.get_mut(&ck).expect("flow inserted above");
+        // Same fallback as `Connection::direction`: packets matching
+        // neither orientation count as client→server.
+        let dir = flow
+            .key
+            .direction_of(p)
+            .unwrap_or(Direction::ClientToServer);
+        flow.tracker.process(p, dir);
+        flow.extractor.push_into(p, dir, &mut self.fv);
+        flow.last_seen = self.clock;
+        let t = flow.packets;
+        flow.packets += 1;
+
+        // Single-packet context profile straight into the ring slot:
+        // packet features ‖ update gates ‖ reset gates.
+        let slot = t % stack;
+        let row = &mut flow.singles[slot * PROFILE_LEN..(slot + 1) * PROFILE_LEN];
+        let (feat, gates) = row.split_at_mut(NUM_PACKET);
+        self.clap.ranges.write_packet_features(&self.fv, feat);
+        let (z, r) = gates.split_at_mut(hidden);
+        self.packed
+            .step(&self.fv.base, &mut flow.h, &mut self.gru_scratch, z, r);
+
+        // A full stack of profiles completes one sliding window. The
+        // oldest profile of the window is packet `packets - stack`.
+        let mut emitted = None;
+        if flow.packets >= stack {
+            let packets = flow.packets;
+            let err = window_error(
+                self.clap,
+                &mut self.window,
+                &mut self.ae_ws,
+                &mut self.err_scratch,
+                &flow.singles,
+                stack,
+                |j| (packets - stack + j) % stack,
+            );
+            flow.window_errors.push(err);
+            emitted = Some(err);
+        }
+
+        let torn_down = self.config.teardown_on_close
+            && matches!(flow.tracker.state(), TcpState::Close | TcpState::TimeWait);
+        let capped = flow.packets >= self.config.max_packets_per_flow;
+        if torn_down || capped {
+            let flow = self.flows.remove(&ck).expect("flow present");
+            let reason = if torn_down {
+                CloseReason::TcpClose
+            } else {
+                CloseReason::LengthCapped
+            };
+            self.finalize(flow, reason);
+        }
+        emitted
+    }
+
+    /// Currently tracked (live) flows.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Takes every flow finalized since the last drain.
+    pub fn drain_closed(&mut self) -> Vec<ClosedFlow> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Finalizes all remaining live flows and returns everything closed
+    /// since the last drain (end-of-capture flush).
+    pub fn finish(&mut self) -> Vec<ClosedFlow> {
+        self.sweep_keys.clear();
+        self.sweep_keys.extend(self.flows.keys().copied());
+        for i in 0..self.sweep_keys.len() {
+            let k = self.sweep_keys[i];
+            if let Some(flow) = self.flows.remove(&k) {
+                self.finalize(flow, CloseReason::Drained);
+            }
+        }
+        self.drain_closed()
+    }
+
+    /// Pops the next *live* key from the rotating scan ring, refilling the
+    /// ring from the table when it runs dry (keys that left the table
+    /// since the refill are skipped for free). Returns `None` only when
+    /// the table is empty. Amortized O(1): each refill costs one pass
+    /// over the table and funds as many pops.
+    fn next_scan_key(&mut self) -> Option<CanonicalKey> {
+        loop {
+            match self.scan_ring.pop() {
+                Some(k) if self.flows.contains_key(&k) => return Some(k),
+                Some(_) => continue,
+                None => {
+                    if self.flows.is_empty() {
+                        return None;
+                    }
+                    self.scan_ring.extend(self.flows.keys().copied());
+                }
+            }
+        }
+    }
+
+    /// Evicts flows idle past the timeout. Called every `sweep_interval`
+    /// packets; each call visits at most [`SWEEP_CHUNK`] ring entries, so
+    /// sweep cost is bounded regardless of table size and an idle flow is
+    /// reclaimed within one ring cycle.
+    fn sweep_idle(&mut self) {
+        let deadline = self.clock - self.config.idle_timeout;
+        for _ in 0..SWEEP_CHUNK.min(self.flows.len()) {
+            let Some(k) = self.next_scan_key() else { break };
+            if self.flows[&k].last_seen < deadline {
+                let flow = self.flows.remove(&k).expect("scanned key is live");
+                self.finalize(flow, CloseReason::IdleTimeout);
+            }
+        }
+    }
+
+    /// Table-full eviction: probe a few ring entries, drop the stalest.
+    fn evict_stalest(&mut self) {
+        let mut victim: Option<(CanonicalKey, f64)> = None;
+        for _ in 0..EVICT_PROBES.min(self.flows.len()) {
+            let Some(k) = self.next_scan_key() else { break };
+            let last_seen = self.flows[&k].last_seen;
+            if victim.is_none_or(|(_, t)| last_seen < t) {
+                victim = Some((k, last_seen));
+            }
+        }
+        if let Some((k, _)) = victim {
+            let flow = self.flows.remove(&k).expect("probed key is live");
+            self.finalize(flow, CloseReason::CapacityEvicted);
+        }
+    }
+
+    /// Scores a departing flow and queues the result. Mirrors the batch
+    /// path exactly, including the short-connection padding rule (repeat
+    /// the final profile until one full window exists).
+    fn finalize(&mut self, mut flow: FlowState, reason: CloseReason) {
+        let stack = self.builder.stack;
+        if flow.packets > 0 && flow.packets < stack {
+            // Fewer packets than the stack depth: ring slots 0..packets-1
+            // are packets 0..packets-1; pad by repeating the last one.
+            let last = flow.packets - 1;
+            let err = window_error(
+                self.clap,
+                &mut self.window,
+                &mut self.ae_ws,
+                &mut self.err_scratch,
+                &flow.singles,
+                stack,
+                |j| j.min(last),
+            );
+            flow.window_errors.push(err);
+        }
+        let (peak_window, score) = score_errors(&flow.window_errors, self.clap.config.score_window);
+        let scored = ScoredConnection {
+            peak_packet: self.builder.window_center(peak_window, flow.packets),
+            peak_window,
+            window_errors: std::mem::take(&mut flow.window_errors),
+            score,
+        };
+        self.closed.push(ClosedFlow {
+            key: flow.key,
+            packets: flow.packets,
+            reason,
+            scored,
+        });
+    }
+}
+
+/// Gathers `stack` single-packet profiles from a flow's ring buffer
+/// (slot `slot_of(j)` becomes window position `j`), stages them as one
+/// 1×stacked row and returns its autoencoder reconstruction error. Shared
+/// by the live-window path in [`StreamScorer::push`] and the short-flow
+/// padding path in finalization, so the two can never drift apart. A free
+/// function (not a method) because callers hold a `&mut` borrow of the
+/// flow alongside the scorer's scratch fields.
+fn window_error(
+    clap: &Clap,
+    window: &mut Matrix,
+    ae_ws: &mut AeWorkspace,
+    err_scratch: &mut Vec<f32>,
+    singles: &[f32],
+    stack: usize,
+    slot_of: impl Fn(usize) -> usize,
+) -> f32 {
+    window.resize(1, stack * PROFILE_LEN);
+    let dst = window.row_mut(0);
+    for j in 0..stack {
+        let src = slot_of(j);
+        dst[j * PROFILE_LEN..(j + 1) * PROFILE_LEN]
+            .copy_from_slice(&singles[src * PROFILE_LEN..(src + 1) * PROFILE_LEN]);
+    }
+    err_scratch.clear();
+    clap.ae
+        .reconstruction_errors_into(window, ae_ws, err_scratch);
+    err_scratch[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ClapConfig;
+    use net_packet::{Connection, Ipv4Header, TcpFlags, TcpHeader};
+    use std::net::Ipv4Addr;
+    use std::sync::OnceLock;
+
+    /// One trained model shared across tests (training dominates runtime).
+    fn model() -> &'static Clap {
+        static MODEL: OnceLock<Clap> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let benign = traffic_gen::dataset(91, 20);
+            let mut cfg = ClapConfig::ci();
+            cfg.ae.epochs = 8;
+            Clap::train(&benign, &cfg).0
+        })
+    }
+
+    fn no_teardown() -> StreamConfig {
+        StreamConfig {
+            teardown_on_close: false,
+            ..StreamConfig::default()
+        }
+    }
+
+    fn assert_scored_eq(stream: &ScoredConnection, batch: &ScoredConnection) {
+        assert!(
+            (stream.score - batch.score).abs() < 1e-6,
+            "score drift: stream {} vs batch {}",
+            stream.score,
+            batch.score
+        );
+        assert_eq!(stream.peak_window, batch.peak_window);
+        assert_eq!(stream.peak_packet, batch.peak_packet);
+        assert_eq!(stream.window_errors.len(), batch.window_errors.len());
+        for (s, b) in stream.window_errors.iter().zip(&batch.window_errors) {
+            assert!((s - b).abs() < 1e-6, "window error drift: {s} vs {b}");
+        }
+    }
+
+    /// The headline guarantee: packets fed one at a time — with flows
+    /// interleaved round-robin through ONE scorer — produce the same
+    /// scores as offline batch scoring of each complete connection.
+    #[test]
+    fn interleaved_streaming_matches_batch() {
+        let clap = model();
+        let corpus = traffic_gen::dataset(911, 12);
+        let mut scorer = clap.stream_scorer_with(no_teardown());
+        let longest = corpus.iter().map(Connection::len).max().unwrap();
+        for i in 0..longest {
+            for conn in &corpus {
+                if let Some(p) = conn.packets.get(i) {
+                    scorer.push(p);
+                }
+            }
+        }
+        let closed = scorer.finish();
+        assert_eq!(closed.len(), corpus.len(), "one flow per connection");
+        for conn in &corpus {
+            let flow = closed
+                .iter()
+                .find(|c| c.key == conn.key)
+                .expect("flow key matches connection key");
+            assert_eq!(flow.packets, conn.len());
+            assert_eq!(flow.reason, CloseReason::Drained);
+            assert_scored_eq(&flow.scored, &clap.score_connection(conn));
+        }
+    }
+
+    /// An orderly close (or RST) finalizes the flow inline, and the score
+    /// still matches the batch path because teardown lands on the last
+    /// packet of the capture.
+    #[test]
+    fn tcp_teardown_finalizes_inline_with_batch_score() {
+        let clap = model();
+        let corpus = traffic_gen::dataset(913, 10);
+        let mut scorer = clap.stream_scorer();
+        for conn in &corpus {
+            for p in &conn.packets {
+                scorer.push(p);
+            }
+        }
+        let inline = scorer.drain_closed();
+        assert!(
+            !inline.is_empty(),
+            "generated traffic contains orderly closes"
+        );
+        for flow in &inline {
+            assert_eq!(flow.reason, CloseReason::TcpClose);
+            let conn = corpus
+                .iter()
+                .find(|c| c.key == flow.key && c.len() == flow.packets)
+                .expect("teardown flow corresponds to a full connection");
+            assert_scored_eq(&flow.scored, &clap.score_connection(conn));
+        }
+    }
+
+    /// Flows shorter than the stack depth are padded exactly like the
+    /// batch path (repeat the last profile, emit one window).
+    #[test]
+    fn short_flow_padding_matches_batch() {
+        let clap = model();
+        let conn = &traffic_gen::dataset(917, 1)[0];
+        for take in 1..clap.config.stack {
+            let mut truncated = Connection::new(conn.key);
+            truncated.packets = conn.packets[..take].to_vec();
+            let mut scorer = clap.stream_scorer_with(no_teardown());
+            for p in &truncated.packets {
+                assert_eq!(scorer.push(p), None, "no window before a full stack");
+            }
+            let closed = scorer.finish();
+            assert_eq!(closed.len(), 1);
+            assert_eq!(closed[0].scored.window_errors.len(), 1);
+            assert_scored_eq(&closed[0].scored, &clap.score_connection(&truncated));
+        }
+    }
+
+    fn raw_packet(src: (u8, u16), dst: (u8, u16), ts: f64) -> Packet {
+        let ip = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, src.0),
+            Ipv4Addr::new(10, 0, 0, dst.0),
+            64,
+        );
+        let mut tcp = TcpHeader::new(src.1, dst.1, 1000, 0);
+        tcp.flags = TcpFlags::SYN;
+        Packet::new(ts, ip, tcp, Vec::new())
+    }
+
+    #[test]
+    fn idle_flows_are_swept() {
+        let clap = model();
+        let mut scorer = clap.stream_scorer_with(StreamConfig {
+            idle_timeout: 1.0,
+            sweep_interval: 1,
+            teardown_on_close: false,
+            ..StreamConfig::default()
+        });
+        scorer.push(&raw_packet((1, 1111), (2, 80), 0.0));
+        scorer.push(&raw_packet((3, 2222), (4, 80), 0.5));
+        assert_eq!(scorer.live_flows(), 2);
+        // 10s later: both earlier flows are past the idle deadline.
+        scorer.push(&raw_packet((5, 3333), (6, 80), 10.0));
+        assert_eq!(scorer.live_flows(), 1);
+        let closed = scorer.drain_closed();
+        assert_eq!(closed.len(), 2);
+        assert!(closed.iter().all(|c| c.reason == CloseReason::IdleTimeout));
+        assert!(closed.iter().all(|c| c.packets == 1));
+    }
+
+    #[test]
+    fn flow_table_capacity_is_bounded() {
+        let clap = model();
+        let mut scorer = clap.stream_scorer_with(StreamConfig {
+            max_flows: 2,
+            teardown_on_close: false,
+            ..StreamConfig::default()
+        });
+        for i in 0..5u8 {
+            scorer.push(&raw_packet(
+                (i + 1, 4000 + u16::from(i)),
+                (100, 80),
+                f64::from(i),
+            ));
+            assert!(scorer.live_flows() <= 2, "table exceeded max_flows");
+        }
+        let closed = scorer.drain_closed();
+        assert_eq!(closed.len(), 3);
+        assert!(closed
+            .iter()
+            .all(|c| c.reason == CloseReason::CapacityEvicted));
+    }
+
+    #[test]
+    fn length_capped_flows_restart() {
+        let clap = model();
+        let mut scorer = clap.stream_scorer_with(StreamConfig {
+            max_packets_per_flow: 5,
+            teardown_on_close: false,
+            ..StreamConfig::default()
+        });
+        for t in 0..12 {
+            scorer.push(&raw_packet((1, 1111), (2, 80), f64::from(t)));
+        }
+        let capped = scorer.drain_closed();
+        assert_eq!(capped.len(), 2, "5+5 packets hit the cap twice");
+        assert!(capped.iter().all(|c| c.reason == CloseReason::LengthCapped));
+        assert!(capped.iter().all(|c| c.packets == 5));
+        assert_eq!(scorer.live_flows(), 1, "remaining 2 packets live on");
+        let rest = scorer.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].packets, 2);
+    }
+}

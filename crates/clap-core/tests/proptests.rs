@@ -2,9 +2,24 @@
 //! scoring invariants.
 
 use clap_core::{
-    auc_roc, equal_error_rate, extract_connection, roc_curve, score_errors, RangeModel,
+    auc_roc, equal_error_rate, extract_connection, roc_curve, score_errors, Clap, ClapConfig,
+    RangeModel, StreamConfig,
 };
+use net_packet::{Connection, TcpFlags};
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One trained detector shared across property cases (training dominates
+/// runtime; per-case work is scoring only).
+fn model() -> &'static Clap {
+    static MODEL: OnceLock<Clap> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let benign = traffic_gen::dataset(77, 20);
+        let mut cfg = ClapConfig::ci();
+        cfg.ae.epochs = 8;
+        Clap::train(&benign, &cfg).0
+    })
+}
 
 proptest! {
     /// Feature extraction is total and well-shaped on arbitrary generated
@@ -105,6 +120,66 @@ proptest! {
         prop_assert!(errs[peak] == max);
         prop_assert!(score <= max + 1e-6);
         prop_assert!(score >= min - 1e-6);
+    }
+
+    /// The streaming engine's headline guarantee: feeding a connection's
+    /// packets one at a time — with flows interleaved through one shared
+    /// scorer — yields scores within 1e-6 of the offline batch path, on
+    /// arbitrary generated traffic with and without injected adversarial
+    /// packets (the paper's Bad-Checksum-RST).
+    #[test]
+    fn streaming_scores_match_batch(seed in 0u64..10_000, corrupt in any::<bool>()) {
+        let clap = model();
+        let mut conns = traffic_gen::dataset(seed ^ 0x57ab, 2);
+        if corrupt {
+            for conn in &mut conns {
+                if let Some(idx) = conn.first_index_after_handshake() {
+                    let at = idx.min(conn.len() - 1);
+                    let mut rst = conn.packets[at].clone();
+                    rst.tcp.flags = TcpFlags::RST;
+                    rst.payload.clear();
+                    rst.fill_checksums();
+                    rst.tcp.checksum ^= 0x0bad;
+                    conn.packets.insert(at, rst);
+                }
+            }
+        }
+
+        let mut scorer = clap.stream_scorer_with(StreamConfig {
+            // Score past teardown, like batch scoring of a full capture.
+            teardown_on_close: false,
+            ..StreamConfig::default()
+        });
+        let longest = conns.iter().map(Connection::len).max().unwrap();
+        for i in 0..longest {
+            for conn in &conns {
+                if let Some(p) = conn.packets.get(i) {
+                    scorer.push(p);
+                }
+            }
+        }
+        let closed = scorer.finish();
+        prop_assert_eq!(closed.len(), conns.len(), "one flow per connection");
+        for conn in &conns {
+            let flow = closed
+                .iter()
+                .find(|c| c.key == conn.key)
+                .expect("flow key matches connection key");
+            let batch = clap.score_connection(conn);
+            prop_assert!(
+                (flow.scored.score - batch.score).abs() < 1e-6,
+                "score drift: stream {} vs batch {}", flow.scored.score, batch.score
+            );
+            prop_assert_eq!(flow.scored.peak_window, batch.peak_window);
+            prop_assert_eq!(flow.scored.peak_packet, batch.peak_packet);
+            prop_assert_eq!(
+                flow.scored.window_errors.len(),
+                batch.window_errors.len()
+            );
+            for (s, b) in flow.scored.window_errors.iter().zip(&batch.window_errors) {
+                prop_assert!((s - b).abs() < 1e-6, "window error drift: {} vs {}", s, b);
+            }
+        }
     }
 
     /// Raising any single error never lowers the adversarial score's peak.

@@ -9,20 +9,26 @@
 use crate::{Connection, Endpoint, FlowKey, Packet, TcpFlags};
 use std::collections::HashMap;
 
-/// Canonical (order-independent) form of a 4-tuple for hashing.
-#[derive(PartialEq, Eq, Hash, Clone, Copy)]
-struct CanonicalKey {
+/// Canonical (order-independent) form of a 4-tuple for hashing: both
+/// directions of a flow map to the same key. This is the lookup key of
+/// both the offline reassembler below and the streaming per-flow tables
+/// in `clap-core`.
+#[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
+pub struct CanonicalKey {
     lo: (u32, u16),
     hi: (u32, u16),
 }
 
-fn canonical(p: &Packet) -> CanonicalKey {
-    let a = (u32::from(p.ip.src), p.tcp.src_port);
-    let b = (u32::from(p.ip.dst), p.tcp.dst_port);
-    if a <= b {
-        CanonicalKey { lo: a, hi: b }
-    } else {
-        CanonicalKey { lo: b, hi: a }
+impl CanonicalKey {
+    /// Canonical key of a packet's 4-tuple.
+    pub fn of(p: &Packet) -> CanonicalKey {
+        let a = (u32::from(p.ip.src), p.tcp.src_port);
+        let b = (u32::from(p.ip.dst), p.tcp.dst_port);
+        if a <= b {
+            CanonicalKey { lo: a, hi: b }
+        } else {
+            CanonicalKey { lo: b, hi: a }
+        }
     }
 }
 
@@ -37,7 +43,7 @@ pub fn assemble_connections(packets: &[Packet]) -> Vec<Connection> {
     let mut flows: Vec<(Vec<Packet>, Option<FlowKey>)> = Vec::new();
 
     for p in packets {
-        let ck = canonical(p);
+        let ck = CanonicalKey::of(p);
         let slot = *index.entry(ck).or_insert_with(|| {
             flows.push((Vec::new(), None));
             flows.len() - 1

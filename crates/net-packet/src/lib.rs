@@ -29,7 +29,7 @@ pub mod tcp;
 pub mod wire;
 
 pub use connection::{Connection, Direction, Endpoint, FlowKey};
-pub use flows::assemble_connections;
+pub use flows::{assemble_connections, CanonicalKey};
 pub use ipv4::Ipv4Header;
 pub use tcp::{TcpFlags, TcpHeader, TcpOption};
 

@@ -404,6 +404,25 @@ impl GruWorkspace {
     }
 }
 
+/// Scratch buffers for the resumable [`PackedGru::step`] API: the input
+/// and recurrent projections of the *current* step only. One scratch set
+/// can be shared across any number of flows (the per-flow state is just
+/// the `H`-wide hidden vector), so a streaming scorer tracking millions of
+/// flows pays 2 × 3H floats once, not per flow.
+#[derive(Debug, Clone, Default)]
+pub struct GruStepScratch {
+    /// Current step's input-side projections `W·x + b` (`3H`).
+    xp: Vec<f32>,
+    /// Current step's recurrent projections `U·h_{t-1}` (`3H`).
+    up: Vec<f32>,
+}
+
+impl GruStepScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl PackedGru {
     /// Packs a cell's nine parameter tensors into the fused layout.
     pub fn pack(cell: &GruCell) -> PackedGru {
@@ -485,6 +504,56 @@ impl PackedGru {
                 h_row[i] = (1.0 - z) * n + z * ws.h[i];
             }
             ws.h.copy_from_slice(h_row);
+        }
+    }
+
+    /// Advances the cell by **one** timestep, carrying the hidden state
+    /// across calls — the resumable core of streaming per-flow scoring.
+    ///
+    /// `h` is the caller-owned running hidden state (`H` floats, zeroed
+    /// before the first packet of a flow); it is updated in place. The
+    /// update- and reset-gate activations are written to `z`/`r` (`H`
+    /// each), which may alias rows of a caller's profile matrix. `scratch`
+    /// is flow-independent and reusable across flows.
+    ///
+    /// Feeding a sequence through `step` one packet at a time produces
+    /// **bitwise identical** trajectories to one [`run`](Self::run) over
+    /// the whole sequence: both sides compute the input projection row
+    /// with the same `dot`/`dot4` kernels (`matmul_nt_into` degenerates to
+    /// `matvec_into` row-for-row) and share the elementwise tail. The test
+    /// suite pins this.
+    pub fn step(
+        &self,
+        x: &[f32],
+        h: &mut [f32],
+        scratch: &mut GruStepScratch,
+        z: &mut [f32],
+        r: &mut [f32],
+    ) {
+        let hidden = self.hidden;
+        debug_assert_eq!(x.len(), self.input_size());
+        debug_assert_eq!(h.len(), hidden);
+        debug_assert_eq!(z.len(), hidden);
+        debug_assert_eq!(r.len(), hidden);
+        scratch.xp.resize(3 * hidden, 0.0);
+        scratch.up.resize(3 * hidden, 0.0);
+
+        self.w.matvec_into(x, &mut scratch.xp);
+        for (v, &bv) in scratch.xp.iter_mut().zip(&self.b) {
+            *v += bv;
+        }
+        self.u.matvec_into(h, &mut scratch.up);
+
+        let (xp, up) = (&scratch.xp, &scratch.up);
+        for i in 0..hidden {
+            z[i] = sigmoid(xp[i] + up[i]);
+        }
+        for i in 0..hidden {
+            r[i] = sigmoid(xp[hidden + i] + up[hidden + i]);
+        }
+        for i in 0..hidden {
+            let n = (xp[2 * hidden + i] + r[i] * up[2 * hidden + i]).tanh();
+            h[i] = (1.0 - z[i]) * n + z[i] * h[i];
         }
     }
 }
@@ -664,6 +733,64 @@ mod tests {
             packed.run(&as_matrix(&toy_inputs(other_len, 4)), &mut reused);
             packed.run(&xs, &mut reused);
             assert_eq!(reused.hs, expect, "after interleaving len {other_len}");
+        }
+    }
+
+    /// Streaming invariant: advancing packet-by-packet through `step`
+    /// (carrying the hidden state across calls) reproduces the batched
+    /// `run` trajectories bitwise — the foundation of per-flow scoring.
+    #[test]
+    fn step_matches_batched_run_bitwise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cell = GruCell::new(6, 10, &mut rng);
+        let packed = PackedGru::pack(&cell);
+        let mut ws = GruWorkspace::new();
+        let mut scratch = GruStepScratch::new();
+        for seq in [1usize, 3, 9, 40] {
+            let xs = toy_inputs(seq, 6);
+            packed.run(&as_matrix(&xs), &mut ws);
+
+            let mut h = vec![0.0f32; 10];
+            let mut z = vec![0.0f32; 10];
+            let mut r = vec![0.0f32; 10];
+            for (t, x) in xs.iter().enumerate() {
+                packed.step(x, &mut h, &mut scratch, &mut z, &mut r);
+                assert_eq!(h.as_slice(), ws.hs.row(t), "h diverged at t={t}");
+                assert_eq!(z.as_slice(), ws.zs.row(t), "z diverged at t={t}");
+                assert_eq!(r.as_slice(), ws.rs.row(t), "r diverged at t={t}");
+            }
+        }
+    }
+
+    /// One shared scratch across interleaved flows must not leak state
+    /// between them: only the per-flow hidden vector matters.
+    #[test]
+    fn step_scratch_shared_across_flows() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let cell = GruCell::new(4, 8, &mut rng);
+        let packed = PackedGru::pack(&cell);
+        let xs_a = toy_inputs(7, 4);
+        let xs_b: Vec<Vec<f32>> = toy_inputs(7, 4)
+            .into_iter()
+            .map(|row| row.into_iter().map(|v| -v).collect())
+            .collect();
+
+        // Reference: each flow alone.
+        let mut ws = GruWorkspace::new();
+        packed.run(&as_matrix(&xs_a), &mut ws);
+        let expect_a = ws.hs.clone();
+        packed.run(&as_matrix(&xs_b), &mut ws);
+        let expect_b = ws.hs.clone();
+
+        // Interleaved through one scratch.
+        let mut scratch = GruStepScratch::new();
+        let (mut ha, mut hb) = (vec![0.0f32; 8], vec![0.0f32; 8]);
+        let (mut z, mut r) = (vec![0.0f32; 8], vec![0.0f32; 8]);
+        for t in 0..7 {
+            packed.step(&xs_a[t], &mut ha, &mut scratch, &mut z, &mut r);
+            assert_eq!(ha.as_slice(), expect_a.row(t));
+            packed.step(&xs_b[t], &mut hb, &mut scratch, &mut z, &mut r);
+            assert_eq!(hb.as_slice(), expect_b.row(t));
         }
     }
 

@@ -42,6 +42,12 @@
 //!     through one ping-ponged GEMM chain ([`Autoencoder::forward_into`]);
 //!     `clap-core` shards connections across rayon workers, each worker
 //!     owning one set of arenas.
+//!   * *Resumable stepping* ([`PackedGru::step`] + [`GruStepScratch`]):
+//!     one timestep at a time with the hidden state carried by the caller,
+//!     so a streaming scorer can persist an `H`-float state per live flow
+//!     and advance it as packets arrive. Step-by-step trajectories are
+//!     bitwise identical to a batched [`PackedGru::run`] (pinned in tests),
+//!     which is what makes online scores match offline ones exactly.
 //!
 //! The GEMM inner loops ([`matrix::dot`], register-blocked `dot4`) use
 //! `chunks_exact` lane accumulators with `mul_add` so LLVM autovectorizes
@@ -59,7 +65,7 @@ pub use adam::Adam;
 pub use autoencoder::{AeWorkspace, Autoencoder, AutoencoderConfig};
 pub use classifier::{GruClassifier, GruClassifierConfig, TrainReport};
 pub use dense::Dense;
-pub use gru::{GruCell, GruTrace, GruWorkspace, PackedGru};
+pub use gru::{GruCell, GruStepScratch, GruTrace, GruWorkspace, PackedGru};
 pub use matrix::Matrix;
 
 /// Numerically-stable softmax over a slice, in place.
