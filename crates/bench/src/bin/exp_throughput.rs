@@ -7,6 +7,7 @@
 //! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper]
 //!     [--threads N] [--json PATH]
 //!     [--check-against REFERENCE.json] [--max-regress 0.20]
+//!     [--max-regress-speedup 0.30]
 //! ```
 //!
 //! Writes a machine-readable `BENCH_throughput.json` (override with
@@ -17,11 +18,22 @@
 //! arrival order a line-rate tap would see.
 //!
 //! With `--check-against`, the run doubles as the CI throughput-regression
-//! gate: it exits non-zero when fused packets/second drop more than
-//! `--max-regress` (default 0.20 = 20%) below the reference record.
+//! gate: it exits non-zero when fused packets/second — or, when the
+//! reference records one, the machine-independent `fusion_speedup` ratio —
+//! drop more than `--max-regress` (default 0.20 = 20%) below the
+//! reference record. The ratio gate is the second line of defense: CI
+//! runner speed drift cancels out of fused ÷ unfused, so a kernel
+//! regression cannot hide behind a faster machine. Both gates are still
+//! ISA-sensitive (an AVX2-only runner fuses less than an AVX-512 one), so
+//! the checked-in `BENCH_reference.json` is recorded with
+//! `NEURAL_KERNELS=avx2` — the lowest-common CI ISA — and the ratio gets
+//! its own budget (`--max-regress-speedup`, default 0.30) sized so an
+//! AVX2 runner passes comfortably while a silent fall-back to the scalar
+//! kernels (ratio ≈ 3.1 vs the ≈ 5.3 AVX2 reference) still fails.
 
 use bench::{
-    arg_value, check_throughput_regression, render_table, train_all, Preset, ThroughputReference,
+    arg_value, check_speedup_regression, check_throughput_regression, render_table, train_all,
+    Preset, ThroughputReference,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -242,6 +254,39 @@ fn main() {
                 eprintln!("THROUGHPUT REGRESSION: {msg}");
                 std::process::exit(1);
             }
+        }
+        // Second, machine-independent gate: the fused ÷ unfused ratio.
+        // Runner speed drift shifts both engines equally, so only a
+        // kernel regression — or a narrower dispatched ISA — can move
+        // this ratio down; the wider default budget absorbs the latter.
+        let max_regress_speedup: f64 = match arg_value(&args, "--max-regress-speedup") {
+            Some(v) => match v.parse() {
+                Ok(m) => m,
+                Err(_) => {
+                    eprintln!("regression gate error: invalid --max-regress-speedup value `{v}`");
+                    std::process::exit(1);
+                }
+            },
+            None => 0.30,
+        };
+        if let Some(ref_speedup) = reference.fusion_speedup {
+            match check_speedup_regression(report.fusion_speedup, ref_speedup, max_regress_speedup)
+            {
+                Ok(change) => eprintln!(
+                    "speedup gate OK: fusion {:.2}x vs reference {:.2}x \
+                     ({:+.1}% change, budget -{:.0}%)",
+                    report.fusion_speedup,
+                    ref_speedup,
+                    change * 100.0,
+                    max_regress_speedup * 100.0
+                ),
+                Err(msg) => {
+                    eprintln!("THROUGHPUT REGRESSION: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            eprintln!("speedup gate skipped: reference records no fusion_speedup");
         }
     }
 }

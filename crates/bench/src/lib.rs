@@ -87,56 +87,136 @@ impl Preset {
 /// The subset of a `BENCH_throughput.json` record the CI regression gate
 /// reads. Extra fields in the file are ignored, so references recorded by
 /// older report formats keep working as the report grows fields.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputReference {
     /// Packets/second of the fused CLAP engine when the reference was
     /// recorded.
     pub clap_fused_pps: f64,
+    /// Fused ÷ unfused packets/second when the reference was recorded.
+    /// Unlike absolute pps this ratio is machine-independent (both
+    /// engines run on the same hardware), so gating on it catches kernel
+    /// regressions that a faster CI runner would otherwise mask. `None`
+    /// for references recorded before the field existed — those gate on
+    /// pps alone.
+    pub fusion_speedup: Option<f64>,
+}
+
+/// Deserialization targets for the two reference generations (the
+/// vendored serde derive has no `#[serde(default)]`, so optionality is a
+/// parse fallback instead of an attribute).
+#[derive(Deserialize)]
+struct ReferenceWithSpeedup {
+    clap_fused_pps: f64,
+    fusion_speedup: f64,
+}
+
+#[derive(Deserialize)]
+struct ReferencePpsOnly {
+    clap_fused_pps: f64,
 }
 
 impl ThroughputReference {
+    /// Parses a reference record, accepting both the current format (with
+    /// `fusion_speedup`) and pre-ratio-gate records (pps only). A record
+    /// that *mentions* `fusion_speedup` but fails to parse it is a hard
+    /// error — silently downgrading it to a pps-only reference would
+    /// disable the ratio gate exactly when the file is broken.
+    pub fn from_json(json: &str) -> Result<ThroughputReference, String> {
+        if json.contains("\"fusion_speedup\"") {
+            let r = serde_json::from_str::<ReferenceWithSpeedup>(json)
+                .map_err(|e| format!("cannot parse reference fusion_speedup/pps: {e:?}"))?;
+            // The vendored JSON parser maps type mismatches to NaN rather
+            // than failing; treat that as the parse error it is.
+            if !r.fusion_speedup.is_finite() {
+                return Err(format!(
+                    "reference fusion_speedup is not a finite number ({})",
+                    r.fusion_speedup
+                ));
+            }
+            return Ok(ThroughputReference {
+                clap_fused_pps: r.clap_fused_pps,
+                fusion_speedup: Some(r.fusion_speedup),
+            });
+        }
+        serde_json::from_str::<ReferencePpsOnly>(json)
+            .map(|r| ThroughputReference {
+                clap_fused_pps: r.clap_fused_pps,
+                fusion_speedup: None,
+            })
+            .map_err(|e| format!("cannot parse reference: {e:?}"))
+    }
+
     /// Loads a reference record from a JSON file (e.g. the checked-in
     /// `BENCH_reference.json`).
     pub fn load(path: &str) -> Result<ThroughputReference, String> {
         let json = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read reference {path}: {e}"))?;
-        serde_json::from_str(&json).map_err(|e| format!("cannot parse reference {path}: {e:?}"))
+        Self::from_json(&json).map_err(|e| format!("{e} ({path})"))
     }
 }
 
-/// The CI throughput-regression gate: fails when `current_pps` has lost
-/// more than `max_regress` (a fraction, e.g. `0.20` = 20%) of
-/// `reference_pps`. Returns the relative change (`+0.05` = 5% faster,
-/// `-0.25` = 25% slower) on success so callers can report the margin.
+/// Generic relative-regression gate: fails when `current` has lost more
+/// than `max_regress` (a fraction, e.g. `0.20` = 20%) of `reference`.
+/// Returns the relative change (`+0.05` = 5% better, `-0.25` = 25% worse)
+/// on success so callers can report the margin. `metric` names the
+/// quantity in error messages.
 ///
 /// Non-finite or non-positive measurements and references are rejected
 /// outright — a NaN must fail the gate, not sail through a comparison.
-pub fn check_throughput_regression(
-    current_pps: f64,
-    reference_pps: f64,
+pub fn check_metric_regression(
+    metric: &str,
+    current: f64,
+    reference: f64,
     max_regress: f64,
 ) -> Result<f64, String> {
-    if !reference_pps.is_finite() || reference_pps <= 0.0 {
+    if !reference.is_finite() || reference <= 0.0 {
         return Err(format!(
-            "reference throughput {reference_pps} is not a positive number"
+            "reference {metric} {reference} is not a positive number"
         ));
     }
-    if !current_pps.is_finite() || current_pps <= 0.0 {
+    if !current.is_finite() || current <= 0.0 {
         return Err(format!(
-            "measured throughput {current_pps} is not a positive number"
+            "measured {metric} {current} is not a positive number"
         ));
     }
-    let change = current_pps / reference_pps - 1.0;
-    let floor = reference_pps * (1.0 - max_regress);
-    if current_pps < floor {
+    let change = current / reference - 1.0;
+    let floor = reference * (1.0 - max_regress);
+    if current < floor {
         return Err(format!(
-            "fused throughput regressed {:.1}% (measured {current_pps:.1} pkt/s vs reference \
-             {reference_pps:.1} pkt/s, budget {:.0}%)",
+            "{metric} regressed {:.1}% (measured {current:.2} vs reference {reference:.2}, \
+             budget {:.0}%)",
             -change * 100.0,
             max_regress * 100.0,
         ));
     }
     Ok(change)
+}
+
+/// The CI throughput-regression gate on absolute fused packets/second.
+/// Machine-relative: a slower or faster CI runner shifts both sides, so
+/// pair it with [`check_speedup_regression`].
+pub fn check_throughput_regression(
+    current_pps: f64,
+    reference_pps: f64,
+    max_regress: f64,
+) -> Result<f64, String> {
+    check_metric_regression("fused throughput", current_pps, reference_pps, max_regress)
+}
+
+/// The machine-independent second line of defense: gates the fused ÷
+/// unfused `fusion_speedup` ratio. Runner speed drift cancels out of the
+/// ratio, so a kernel regression cannot hide behind a faster machine.
+pub fn check_speedup_regression(
+    current_speedup: f64,
+    reference_speedup: f64,
+    max_regress: f64,
+) -> Result<f64, String> {
+    check_metric_regression(
+        "fusion speedup",
+        current_speedup,
+        reference_speedup,
+        max_regress,
+    )
 }
 
 /// Returns the value following a `--flag` argument.
@@ -474,8 +554,49 @@ mod tests {
             "clap_unfused_pps": 8982.54,
             "fusion_speedup": 3.09
         }"#;
-        let reference: ThroughputReference = serde_json::from_str(json).unwrap();
+        let reference = ThroughputReference::from_json(json).unwrap();
         assert!((reference.clap_fused_pps - 27767.36).abs() < 1e-9);
+        assert!((reference.fusion_speedup.unwrap() - 3.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_without_speedup_field_still_parses() {
+        // Pre-ratio-gate references carry only pps; the speedup gate must
+        // be skippable, not a parse failure.
+        let json = r#"{ "clap_fused_pps": 1000.0 }"#;
+        let reference = ThroughputReference::from_json(json).unwrap();
+        assert_eq!(reference.fusion_speedup, None);
+        assert!(ThroughputReference::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn malformed_speedup_field_is_a_hard_error() {
+        // A present-but-broken fusion_speedup must NOT silently downgrade
+        // to a pps-only reference (that would disable the ratio gate).
+        for bad in [
+            r#"{ "clap_fused_pps": 1000.0, "fusion_speedup": "3.1" }"#,
+            r#"{ "clap_fused_pps": 1000.0, "fusion_speedup": null }"#,
+        ] {
+            let err = ThroughputReference::from_json(bad).unwrap_err();
+            assert!(err.contains("fusion_speedup"), "unexpected message: {err}");
+        }
+    }
+
+    #[test]
+    fn speedup_gate_is_machine_independent_defense() {
+        // Within budget: a small ratio dip passes.
+        let change = check_speedup_regression(2.9, 3.0, 0.20).unwrap();
+        assert!(change < 0.0 && change > -0.20);
+        // A halved speedup — e.g. SIMD dispatch silently falling back to
+        // scalar — fails even if absolute pps grew on a faster runner.
+        let err = check_speedup_regression(1.5, 3.1, 0.20).unwrap_err();
+        assert!(
+            err.contains("fusion speedup regressed"),
+            "unexpected message: {err}"
+        );
+        // Garbage ratios are rejected like garbage throughputs.
+        assert!(check_speedup_regression(f64::NAN, 3.0, 0.20).is_err());
+        assert!(check_speedup_regression(3.0, 0.0, 0.20).is_err());
     }
 
     #[test]

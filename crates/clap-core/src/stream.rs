@@ -29,11 +29,18 @@
 //!   table entries and dropping the stalest when the table is full. Every
 //!   eviction finalizes the flow and emits its [`ScoredConnection`].
 //!
-//! Divergences from the batch path, by design: flow orientation is pinned
-//! by the first packet seen (the offline reassembler can retroactively
-//! re-orient a mid-capture flow when a later SYN arrives; a streaming
-//! scorer cannot rewrite history), and a connection reusing its 4-tuple
-//! after teardown becomes a *new* flow rather than one long connection.
+//! Orientation matches the offline reassembler for every realistic
+//! capture: a flow whose first packet is a pure SYN is oriented
+//! immediately (the SYN sender is the client); a flow that starts
+//! mid-capture buffers up to [`StreamConfig::orient_buffer`] leading
+//! packets *unprocessed*, so a pure SYN arriving among them can
+//! retroactively re-orient the flow before any feature is extracted —
+//! exactly what [`net_packet::assemble_connections`] does offline. Only a
+//! pure SYN arriving *after* the buffer has flushed diverges (the offline
+//! reassembler re-orients at any depth; a streaming scorer cannot rewrite
+//! already-scored history). The remaining divergence by design: a
+//! connection reusing its 4-tuple after teardown becomes a *new* flow
+//! rather than one long connection.
 //!
 //! ```
 //! use clap_core::{Clap, ClapConfig};
@@ -58,7 +65,7 @@ use crate::features::{FeatureExtractor, FeatureVector, NUM_PACKET};
 use crate::pipeline::Clap;
 use crate::profile::{ProfileBuilder, PROFILE_LEN};
 use crate::score::{score_errors, ScoredConnection};
-use net_packet::{CanonicalKey, Direction, Endpoint, FlowKey, Packet};
+use net_packet::{CanonicalKey, Direction, Endpoint, FlowKey, Packet, TcpFlags};
 use neural::{AeWorkspace, GruStepScratch, Matrix, PackedGru};
 use std::collections::HashMap;
 use tcp_state::{TcpState, TcpTracker};
@@ -87,6 +94,11 @@ pub struct StreamConfig {
     /// per-packet cost is O(1) regardless of table size; an idle flow is
     /// reclaimed within one ring cycle.
     pub sweep_interval: usize,
+    /// A flow that does **not** begin with a pure SYN (a mid-capture
+    /// start) buffers up to this many leading packets before anything is
+    /// scored, so a late pure SYN among them re-orients the flow exactly
+    /// like the offline reassembler. `0` restores first-packet pinning.
+    pub orient_buffer: usize,
 }
 
 impl Default for StreamConfig {
@@ -97,6 +109,7 @@ impl Default for StreamConfig {
             teardown_on_close: true,
             max_packets_per_flow: 1 << 20,
             sweep_interval: 4096,
+            orient_buffer: 3,
         }
     }
 }
@@ -139,6 +152,10 @@ struct FlowState {
     singles: Vec<f32>,
     /// Reconstruction error per emitted stacked window, in order.
     window_errors: Vec<f32>,
+    /// Leading packets held back while the flow's orientation is still
+    /// undecided (`Some` only for flows that did not start with a pure
+    /// SYN, until [`StreamConfig::orient_buffer`] fills or a SYN lands).
+    pending: Option<Vec<Packet>>,
     packets: usize,
     last_seen: f64,
 }
@@ -152,6 +169,7 @@ impl FlowState {
             h: vec![0.0; hidden],
             singles: vec![0.0; stack * PROFILE_LEN],
             window_errors: Vec::new(),
+            pending: None,
             packets: 0,
             last_seen: now,
         }
@@ -236,8 +254,12 @@ impl StreamScorer<'_> {
     ///
     /// Returns the reconstruction error of the stacked window completed by
     /// this packet, if the flow has accumulated enough packets — the
-    /// online anomaly signal. Flows torn down by this packet (TCP close,
-    /// length cap) are finalized and queued for
+    /// online anomaly signal. For a flow still buffering its leading
+    /// packets (orientation undecided, see
+    /// [`StreamConfig::orient_buffer`]) the buffered packets are scored in
+    /// order once orientation resolves, and the error returned is that of
+    /// the latest completed window. Flows torn down by this packet (TCP
+    /// close, length cap) are finalized and queued for
     /// [`drain_closed`](Self::drain_closed).
     pub fn push(&mut self, p: &Packet) -> Option<f32> {
         self.clock = self.clock.max(p.timestamp);
@@ -246,64 +268,93 @@ impl StreamScorer<'_> {
             self.packets_since_sweep = 0;
             self.sweep_idle();
         }
+        self.ingest(p)
+    }
 
-        let stack = self.builder.stack;
-        let hidden = self.packed.hidden_size();
+    /// [`push`](Self::push) minus the clock/sweep bookkeeping, so replayed
+    /// buffered packets do not count as new stream arrivals.
+    fn ingest(&mut self, p: &Packet) -> Option<f32> {
         let ck = CanonicalKey::of(p);
+        let is_pure_syn =
+            p.tcp.flags.contains(TcpFlags::SYN) && !p.tcp.flags.contains(TcpFlags::ACK);
         if !self.flows.contains_key(&ck) {
             if self.flows.len() >= self.config.max_flows.max(1) {
                 self.evict_stalest();
             }
-            // Orientation is pinned by the first packet of the flow.
+            // Orientation: a pure SYN identifies the initiator outright;
+            // anything else is provisionally first-packet-oriented and —
+            // with a non-zero orient buffer — held back so a late SYN can
+            // still re-orient it.
             let key = FlowKey::new(
                 Endpoint::new(p.ip.src, p.tcp.src_port),
                 Endpoint::new(p.ip.dst, p.tcp.dst_port),
             );
-            self.flows
-                .insert(ck, FlowState::new(key, hidden, stack, self.clock));
+            let stack = self.builder.stack;
+            let hidden = self.packed.hidden_size();
+            let mut flow = FlowState::new(key, hidden, stack, self.clock);
+            if !is_pure_syn && self.config.orient_buffer > 0 {
+                flow.pending = Some(Vec::with_capacity(1));
+            }
+            self.flows.insert(ck, flow);
         }
 
         let flow = self.flows.get_mut(&ck).expect("flow inserted above");
-        // Same fallback as `Connection::direction`: packets matching
-        // neither orientation count as client→server.
-        let dir = flow
-            .key
-            .direction_of(p)
-            .unwrap_or(Direction::ClientToServer);
-        flow.tracker.process(p, dir);
-        flow.extractor.push_into(p, dir, &mut self.fv);
         flow.last_seen = self.clock;
-        let t = flow.packets;
-        flow.packets += 1;
-
-        // Single-packet context profile straight into the ring slot:
-        // packet features ‖ update gates ‖ reset gates.
-        let slot = t % stack;
-        let row = &mut flow.singles[slot * PROFILE_LEN..(slot + 1) * PROFILE_LEN];
-        let (feat, gates) = row.split_at_mut(NUM_PACKET);
-        self.clap.ranges.write_packet_features(&self.fv, feat);
-        let (z, r) = gates.split_at_mut(hidden);
-        self.packed
-            .step(&self.fv.base, &mut flow.h, &mut self.gru_scratch, z, r);
-
-        // A full stack of profiles completes one sliding window. The
-        // oldest profile of the window is packet `packets - stack`.
-        let mut emitted = None;
-        if flow.packets >= stack {
-            let packets = flow.packets;
-            let err = window_error(
-                self.clap,
-                &mut self.window,
-                &mut self.ae_ws,
-                &mut self.err_scratch,
-                &flow.singles,
-                stack,
-                |j| (packets - stack + j) % stack,
-            );
-            flow.window_errors.push(err);
-            emitted = Some(err);
+        if let Some(buf) = flow.pending.as_mut() {
+            if is_pure_syn {
+                // The SYN sender is the real client; re-orient before any
+                // packet of this flow has been scored, then replay.
+                flow.key = FlowKey::new(
+                    Endpoint::new(p.ip.src, p.tcp.src_port),
+                    Endpoint::new(p.ip.dst, p.tcp.dst_port),
+                );
+            } else if buf.len() < self.config.orient_buffer {
+                buf.push(p.clone());
+                return None;
+            }
+            // Buffer full (no SYN showed up) or SYN-resolved: flush.
+            let buffered = flow.pending.take().expect("pending checked above");
+            return self.replay(ck, &buffered, p);
         }
+        self.score_packet(ck, p)
+    }
 
+    /// Scores previously buffered packets in arrival order, then the
+    /// current one. Teardown can finalize the flow mid-replay; any
+    /// remaining packets then re-enter through [`ingest`](Self::ingest)
+    /// and start a fresh flow, exactly as they would have live.
+    fn replay(&mut self, ck: CanonicalKey, buffered: &[Packet], current: &Packet) -> Option<f32> {
+        let mut last = None;
+        for q in buffered.iter().chain(std::iter::once(current)) {
+            let oriented = self
+                .flows
+                .get(&ck)
+                .is_some_and(|flow| flow.pending.is_none());
+            last = if oriented {
+                self.score_packet(ck, q)
+            } else {
+                self.ingest(q)
+            };
+        }
+        last
+    }
+
+    /// Runs one packet of an oriented flow through the scoring engine and
+    /// applies the teardown / length-cap policy.
+    fn score_packet(&mut self, ck: CanonicalKey, p: &Packet) -> Option<f32> {
+        let flow = self.flows.get_mut(&ck).expect("oriented flow present");
+        let emitted = advance_flow(
+            self.clap,
+            &self.builder,
+            &self.packed,
+            &mut self.gru_scratch,
+            &mut self.ae_ws,
+            &mut self.fv,
+            &mut self.window,
+            &mut self.err_scratch,
+            flow,
+            p,
+        );
         let torn_down = self.config.teardown_on_close
             && matches!(flow.tracker.state(), TcpState::Close | TcpState::TimeWait);
         let capped = flow.packets >= self.config.max_packets_per_flow;
@@ -398,6 +449,26 @@ impl StreamScorer<'_> {
     /// path exactly, including the short-connection padding rule (repeat
     /// the final profile until one full window exists).
     fn finalize(&mut self, mut flow: FlowState, reason: CloseReason) {
+        // A flow evicted while still orientation-buffering scores its held
+        // packets now, under the provisional (first-packet) orientation —
+        // the same key the offline reassembler would use for a capture
+        // with no SYN.
+        if let Some(buffered) = flow.pending.take() {
+            for q in &buffered {
+                advance_flow(
+                    self.clap,
+                    &self.builder,
+                    &self.packed,
+                    &mut self.gru_scratch,
+                    &mut self.ae_ws,
+                    &mut self.fv,
+                    &mut self.window,
+                    &mut self.err_scratch,
+                    &mut flow,
+                    q,
+                );
+            }
+        }
         let stack = self.builder.stack;
         if flow.packets > 0 && flow.packets < stack {
             // Fewer packets than the stack depth: ring slots 0..packets-1
@@ -428,6 +499,65 @@ impl StreamScorer<'_> {
             scored,
         });
     }
+}
+
+/// Advances one oriented flow by one packet: TCP tracking, incremental
+/// feature extraction, the profile-ring write, the resumable GRU step and
+/// — once a full stack of profiles exists — the sliding-window
+/// reconstruction error. A free function (not a method) because callers
+/// hold a `&mut` borrow of the flow alongside the scorer's scratch fields.
+#[allow(clippy::too_many_arguments)]
+fn advance_flow(
+    clap: &Clap,
+    builder: &ProfileBuilder,
+    packed: &PackedGru,
+    gru_scratch: &mut GruStepScratch,
+    ae_ws: &mut AeWorkspace,
+    fv: &mut FeatureVector,
+    window: &mut Matrix,
+    err_scratch: &mut Vec<f32>,
+    flow: &mut FlowState,
+    p: &Packet,
+) -> Option<f32> {
+    let stack = builder.stack;
+    let hidden = packed.hidden_size();
+    // Same fallback as `Connection::direction`: packets matching
+    // neither orientation count as client→server.
+    let dir = flow
+        .key
+        .direction_of(p)
+        .unwrap_or(Direction::ClientToServer);
+    flow.tracker.process(p, dir);
+    flow.extractor.push_into(p, dir, fv);
+    let t = flow.packets;
+    flow.packets += 1;
+
+    // Single-packet context profile straight into the ring slot:
+    // packet features ‖ update gates ‖ reset gates.
+    let slot = t % stack;
+    let row = &mut flow.singles[slot * PROFILE_LEN..(slot + 1) * PROFILE_LEN];
+    let (feat, gates) = row.split_at_mut(NUM_PACKET);
+    clap.ranges.write_packet_features(fv, feat);
+    let (z, r) = gates.split_at_mut(hidden);
+    packed.step(&fv.base, &mut flow.h, gru_scratch, z, r);
+
+    // A full stack of profiles completes one sliding window. The
+    // oldest profile of the window is packet `packets - stack`.
+    if flow.packets >= stack {
+        let packets = flow.packets;
+        let err = window_error(
+            clap,
+            window,
+            ae_ws,
+            err_scratch,
+            &flow.singles,
+            stack,
+            |j| (packets - stack + j) % stack,
+        );
+        flow.window_errors.push(err);
+        return Some(err);
+    }
+    None
 }
 
 /// Gathers `stack` single-packet profiles from a flow's ring buffer
@@ -585,6 +715,124 @@ mod tests {
         );
         let mut tcp = TcpHeader::new(src.1, dst.1, 1000, 0);
         tcp.flags = TcpFlags::SYN;
+        Packet::new(ts, ip, tcp, Vec::new())
+    }
+
+    /// A capture that opens mid-flow (server→client data first) followed
+    /// by the client's pure SYN: the orient buffer lets streaming adopt
+    /// the SYN sender as client, so scores match the offline reassembler's
+    /// re-oriented connection exactly.
+    #[test]
+    fn late_syn_reorients_like_offline_reassembler() {
+        let clap = model();
+        let conn = &traffic_gen::dataset(919, 1)[0];
+        // Find a genuine server→client packet to put in front.
+        let s2c = (0..conn.len())
+            .find(|&i| conn.direction(i) == net_packet::Direction::ServerToClient)
+            .expect("generated connection has server traffic");
+        let mut stream_pkts = vec![conn.packets[s2c].clone()];
+        stream_pkts.extend(
+            conn.packets
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != s2c)
+                .map(|(_, p)| p.clone()),
+        );
+        // `stream_pkts[1]` is now the client's pure SYN (packet 0 of the
+        // generated handshake).
+        let offline = net_packet::assemble_connections(&stream_pkts);
+        assert_eq!(offline.len(), 1);
+        assert_eq!(
+            offline[0].key.client, conn.key.client,
+            "offline reassembler re-orients on the late SYN"
+        );
+
+        let mut scorer = clap.stream_scorer_with(no_teardown());
+        for p in &stream_pkts {
+            scorer.push(p);
+        }
+        let closed = scorer.finish();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(
+            closed[0].key, offline[0].key,
+            "streaming must adopt the SYN sender as client"
+        );
+        assert_scored_eq(&closed[0].scored, &clap.score_connection(&offline[0]));
+    }
+
+    /// No SYN ever arrives: after `orient_buffer` packets the flow flushes
+    /// under first-packet orientation — which is also what the offline
+    /// reassembler pins for a SYN-less capture, so scores still match.
+    #[test]
+    fn syn_less_capture_flushes_with_first_packet_orientation() {
+        let clap = model();
+        let conn = &traffic_gen::dataset(921, 1)[0];
+        // Drop the handshake: start mid-connection, no pure SYN anywhere.
+        let start = conn
+            .first_index_after_handshake()
+            .unwrap_or(3)
+            .min(conn.len() - 1);
+        let stream_pkts: Vec<_> = conn.packets[start..].to_vec();
+        assert!(
+            stream_pkts.iter().all(
+                |p| !p.tcp.flags.contains(TcpFlags::SYN) || p.tcp.flags.contains(TcpFlags::ACK)
+            ),
+            "test premise: no pure SYN in the tail"
+        );
+        let offline = net_packet::assemble_connections(&stream_pkts);
+        assert_eq!(offline.len(), 1);
+
+        let mut scorer = clap.stream_scorer_with(no_teardown());
+        for p in &stream_pkts {
+            scorer.push(p);
+        }
+        let closed = scorer.finish();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].key, offline[0].key);
+        assert_eq!(closed[0].packets, stream_pkts.len());
+        assert_scored_eq(&closed[0].scored, &clap.score_connection(&offline[0]));
+    }
+
+    /// `orient_buffer: 0` restores PR 2 behavior: orientation pinned by
+    /// the first packet, a later SYN changes nothing.
+    #[test]
+    fn zero_orient_buffer_pins_first_packet() {
+        let clap = model();
+        let mut cfg = no_teardown();
+        cfg.orient_buffer = 0;
+        let mut scorer = clap.stream_scorer_with(cfg);
+        // Server-ish side speaks first, then the "client" SYNs.
+        scorer.push(&raw_packet_flags((2, 80), (1, 1111), TcpFlags::ACK, 0.0));
+        scorer.push(&raw_packet_flags((1, 1111), (2, 80), TcpFlags::SYN, 0.1));
+        let closed = scorer.finish();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].key.client.port, 80, "first packet stays client");
+    }
+
+    /// Flows evicted while still orientation-buffering must score their
+    /// held packets before finalization — no packet may vanish.
+    #[test]
+    fn pending_flows_score_buffered_packets_on_finish() {
+        let clap = model();
+        let mut scorer = clap.stream_scorer_with(no_teardown());
+        // Two non-SYN packets: still inside the orient buffer at finish.
+        scorer.push(&raw_packet_flags((2, 80), (1, 1111), TcpFlags::ACK, 0.0));
+        scorer.push(&raw_packet_flags((2, 80), (1, 1111), TcpFlags::ACK, 0.1));
+        let closed = scorer.finish();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].packets, 2);
+        assert_eq!(closed[0].scored.window_errors.len(), 1, "padded window");
+        assert!(closed[0].scored.score.is_finite());
+    }
+
+    fn raw_packet_flags(src: (u8, u16), dst: (u8, u16), flags: TcpFlags, ts: f64) -> Packet {
+        let ip = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, src.0),
+            Ipv4Addr::new(10, 0, 0, dst.0),
+            64,
+        );
+        let mut tcp = TcpHeader::new(src.1, dst.1, 1000, 0);
+        tcp.flags = flags;
         Packet::new(ts, ip, tcp, Vec::new())
     }
 

@@ -182,6 +182,70 @@ proptest! {
         }
     }
 
+    /// Orientation recovery: a capture that opens with up to 3 mid-flow
+    /// (server-sent) packets before the client's pure SYN must stream to
+    /// exactly the scores of the offline reassembler, which re-orients the
+    /// connection on that late SYN. This pins the streaming orient buffer
+    /// against `net_packet::assemble_connections` + batch scoring.
+    #[test]
+    fn late_syn_streaming_matches_reassembled_batch(
+        seed in 0u64..5_000,
+        lead in 1usize..4,
+    ) {
+        let clap = model();
+        let conn = &traffic_gen::dataset(seed ^ 0x0a1e, 1)[0];
+        // Move up to `lead` server→client packets in front of the SYN,
+        // simulating a capture that starts mid-connection.
+        let s2c: Vec<usize> = (0..conn.len())
+            .filter(|&i| i > 0 && conn.direction(i) == net_packet::Direction::ServerToClient)
+            .take(lead)
+            .collect();
+        if s2c.is_empty() {
+            // Degenerate connection with no server traffic: nothing to test.
+            return;
+        }
+        let mut stream_pkts: Vec<_> = s2c.iter().map(|&i| conn.packets[i].clone()).collect();
+        stream_pkts.extend(
+            conn.packets
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !s2c.contains(i))
+                .map(|(_, p)| p.clone()),
+        );
+
+        let offline = net_packet::assemble_connections(&stream_pkts);
+        prop_assert_eq!(offline.len(), 1);
+        prop_assert_eq!(
+            offline[0].key.client, conn.key.client,
+            "offline reassembly re-orients on the late pure SYN"
+        );
+        let batch = clap.score_connection(&offline[0]);
+
+        let mut scorer = clap.stream_scorer_with(StreamConfig {
+            teardown_on_close: false,
+            ..StreamConfig::default()
+        });
+        for p in &stream_pkts {
+            scorer.push(p);
+        }
+        let closed = scorer.finish();
+        prop_assert_eq!(closed.len(), 1);
+        prop_assert_eq!(closed[0].key, offline[0].key, "streaming re-orients too");
+        prop_assert_eq!(closed[0].packets, stream_pkts.len());
+        prop_assert!(
+            (closed[0].scored.score - batch.score).abs() < 1e-6,
+            "score drift: stream {} vs batch {}", closed[0].scored.score, batch.score
+        );
+        prop_assert_eq!(closed[0].scored.peak_window, batch.peak_window);
+        prop_assert_eq!(
+            closed[0].scored.window_errors.len(),
+            batch.window_errors.len()
+        );
+        for (s, b) in closed[0].scored.window_errors.iter().zip(&batch.window_errors) {
+            prop_assert!((s - b).abs() < 1e-6, "window error drift: {} vs {}", s, b);
+        }
+    }
+
     /// Raising any single error never lowers the adversarial score's peak.
     #[test]
     fn score_monotone_in_spikes(

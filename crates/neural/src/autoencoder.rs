@@ -136,11 +136,10 @@ impl Autoencoder {
     /// error per row of `x` to `out`.
     pub fn reconstruction_errors_into(&self, x: &Matrix, ws: &mut AeWorkspace, out: &mut Vec<f32>) {
         let y = self.forward_into(x, ws);
+        let ks = crate::simd::KernelSet::active();
         out.reserve(x.rows);
         for r in 0..x.rows {
-            let xr = x.row(r);
-            let yr = y.row(r);
-            let err = xr.iter().zip(yr).map(|(a, b)| (a - b).abs()).sum::<f32>();
+            let err = ks.sum_abs_diff(x.row(r), y.row(r));
             out.push(err / x.cols as f32);
         }
     }

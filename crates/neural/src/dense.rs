@@ -90,14 +90,14 @@ impl Dense {
     }
 
     /// Batched forward pass into a caller-owned output matrix (reused
-    /// allocation); the inference engine's building block.
+    /// allocation); the inference engine's building block. The bias +
+    /// activation epilogue runs on the dispatched kernel set (vectorized
+    /// tanh/sigmoid on SIMD-capable CPUs).
     pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
         Matrix::matmul_nt_into(x, &self.w, y);
+        let ks = crate::simd::KernelSet::active();
         for r in 0..y.rows {
-            let row = y.row_mut(r);
-            for (v, &bias) in row.iter_mut().zip(&self.b) {
-                *v = self.activation.apply(*v + bias);
-            }
+            ks.bias_act(y.row_mut(r), &self.b, self.activation);
         }
     }
 

@@ -483,27 +483,22 @@ impl PackedGru {
         ws.h.clear();
         ws.h.resize(hidden, 0.0);
 
+        let ks = crate::simd::KernelSet::active();
         for t in 0..steps {
             // One fused matvec covers Uz·h, Ur·h and Un·h.
             self.u.matvec_into(&ws.h, &mut ws.up);
-            let xp = ws.xp.row(t);
-            let z_row = ws.zs.row_mut(t);
-            for i in 0..hidden {
-                z_row[i] = sigmoid(xp[i] + ws.up[i]);
-            }
-            let r_row = ws.rs.row_mut(t);
-            for i in 0..hidden {
-                r_row[i] = sigmoid(xp[hidden + i] + ws.up[hidden + i]);
-            }
-            // h_t = (1-z)·tanh(pre_n) + z·h_{t-1}, written straight into
-            // the trajectory row; `ws.h` keeps the running copy.
-            let h_row = ws.hs.row_mut(t);
-            for i in 0..hidden {
-                let n = (xp[2 * hidden + i] + r_row[i] * ws.up[2 * hidden + i]).tanh();
-                let z = z_row[i];
-                h_row[i] = (1.0 - z) * n + z * ws.h[i];
-            }
-            ws.h.copy_from_slice(h_row);
+            // The dispatched gate kernel computes z/r and the new hidden
+            // state over the packed 3H slab (vectorized sigmoid/tanh on
+            // SIMD sets); `ws.h` keeps the running copy, the trajectory
+            // row gets a copy.
+            ks.gru_gates(
+                ws.xp.row(t),
+                &ws.up,
+                &mut ws.h,
+                ws.zs.row_mut(t),
+                ws.rs.row_mut(t),
+            );
+            ws.hs.row_mut(t).copy_from_slice(&ws.h);
         }
     }
 
@@ -544,17 +539,9 @@ impl PackedGru {
         }
         self.u.matvec_into(h, &mut scratch.up);
 
-        let (xp, up) = (&scratch.xp, &scratch.up);
-        for i in 0..hidden {
-            z[i] = sigmoid(xp[i] + up[i]);
-        }
-        for i in 0..hidden {
-            r[i] = sigmoid(xp[hidden + i] + up[hidden + i]);
-        }
-        for i in 0..hidden {
-            let n = (xp[2 * hidden + i] + r[i] * up[2 * hidden + i]).tanh();
-            h[i] = (1.0 - z[i]) * n + z[i] * h[i];
-        }
+        // Same dispatched gate kernel as `run`, which is what keeps the
+        // two paths bitwise identical.
+        crate::simd::KernelSet::active().gru_gates(&scratch.xp, &scratch.up, h, z, r);
     }
 }
 

@@ -49,10 +49,44 @@
 //!     bitwise identical to a batched [`PackedGru::run`] (pinned in tests),
 //!     which is what makes online scores match offline ones exactly.
 //!
-//! The GEMM inner loops ([`matrix::dot`], register-blocked `dot4`) use
-//! `chunks_exact` lane accumulators with `mul_add` so LLVM autovectorizes
-//! them; results may differ from the reference by float reassociation only
-//! (bounded to 1e-6 in tests).
+//! # Kernel dispatch
+//!
+//! The engine's dense inner loops — the dot products behind
+//! [`Matrix::matvec_into`]/`matmul_nt_into`, the axpy updates behind the
+//! training GEMMs, the fused GRU gate block, the dense bias+activation
+//! epilogue and the autoencoder's L1 error reduction — are function
+//! pointers in a [`simd::KernelSet`], selected **once per process**:
+//!
+//! * **Feature detection.** [`simd::KernelSet::active`] probes the CPU
+//!   with `is_x86_feature_detected!` and picks the widest supported set:
+//!   `avx512` (AVX-512F, 16-lane) → `avx2` (AVX2+FMA, 8-lane) → `scalar`.
+//!   The SIMD sets are explicit `std::arch::x86_64` intrinsic kernels, so
+//!   vectorized builds no longer depend on `-C target-cpu=native`;
+//!   non-x86 targets always get the scalar set.
+//! * **Override.** Setting the `NEURAL_FORCE_SCALAR` environment variable
+//!   (to anything but `0`/empty/`false`) pins the scalar reference set —
+//!   CI runs the whole suite that way. `NEURAL_KERNELS=scalar|avx2|avx512`
+//!   requests a specific set (best effort: unsupported requests fall back
+//!   to the ladder), e.g. to benchmark the AVX2 path on an AVX-512
+//!   machine. Tests can also fetch a specific set
+//!   ([`simd::KernelSet::scalar`], `avx2()`, `avx512()`) and call its
+//!   kernels directly without affecting the process-wide choice.
+//! * **Adding an ISA.** Implement the six kernel functions (dot, dot4,
+//!   axpy, bias_act, gru_gates, sum_abs_diff) for the new instruction
+//!   set, add a `static` `KernelSet` naming them, and extend the
+//!   `select()` ladder in `simd.rs` behind the right
+//!   `is_x86_feature_detected!`/`cfg` guard. The property tests in
+//!   `tests/proptests.rs` automatically cover any set reported by
+//!   [`simd::KernelSet::available`], pinning it to the scalar reference
+//!   within 1e-6 across randomized (including non-multiple-of-lane)
+//!   shapes.
+//!
+//! SIMD results may differ from the scalar reference by float
+//! reassociation and by the polynomial `exp` used for vectorized
+//! sigmoid/tanh; both are bounded to 1e-6 by the test suite. Within one
+//! kernel set results are deterministic, and one-row GEMMs are bitwise
+//! identical to matvecs — which is what keeps streaming (step-at-a-time)
+//! scoring exactly equal to batched scoring.
 
 pub mod adam;
 pub mod autoencoder;
@@ -60,6 +94,7 @@ pub mod classifier;
 pub mod dense;
 pub mod gru;
 pub mod matrix;
+pub mod simd;
 
 pub use adam::Adam;
 pub use autoencoder::{AeWorkspace, Autoencoder, AutoencoderConfig};
@@ -67,6 +102,7 @@ pub use classifier::{GruClassifier, GruClassifierConfig, TrainReport};
 pub use dense::Dense;
 pub use gru::{GruCell, GruStepScratch, GruTrace, GruWorkspace, PackedGru};
 pub use matrix::Matrix;
+pub use simd::KernelSet;
 
 /// Numerically-stable softmax over a slice, in place.
 pub fn softmax_inplace(logits: &mut [f32]) {

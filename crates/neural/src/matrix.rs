@@ -1,11 +1,15 @@
 //! Row-major `f32` matrices with the GEMM variants backprop needs, plus
 //! the allocation-free `*_into` kernels the inference engine runs on.
 //!
-//! The hot kernels ([`dot`], [`Matrix::matmul_nt_into`]) are written for
-//! autovectorization: fixed-width lane accumulators over `chunks_exact`
-//! with `mul_add`, and a 4-row register block in the GEMM so each loaded
-//! slice of `A` is reused against four rows of `B`.
+//! The hot inner loops (the dot products behind [`Matrix::matvec_into`] /
+//! [`Matrix::matmul_nt_into`], the axpy updates behind the nn/tn GEMMs)
+//! all route through the runtime-dispatched [`KernelSet`]: explicit
+//! AVX2+FMA / AVX-512 intrinsic kernels where the CPU supports them, a
+//! safe scalar reference otherwise — no `-C target-cpu=native` required.
+//! The 4-row register block in the nt-GEMM reuses each loaded slice of
+//! `A` against four rows of `B`.
 
+use crate::simd::KernelSet;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -13,70 +17,29 @@ use serde::{Deserialize, Serialize};
 /// Minimum number of output elements before a GEMM is worth parallelizing.
 const PAR_THRESHOLD: usize = 64 * 64;
 
-/// Lane width of the accumulator blocks in [`dot`]/[`dot4`]; matches one
-/// AVX2 register of `f32`s, and autovectorizes cleanly on narrower ISAs.
-const LANES: usize = 8;
-
-/// Dense dot product with lane-blocked accumulation (`a·b`).
+/// Dense dot product (`a·b`) through the dispatched kernel set.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f32; LANES];
-    let ca = a.chunks_exact(LANES);
-    let cb = b.chunks_exact(LANES);
-    let (ra, rb) = (ca.remainder(), cb.remainder());
-    for (xa, xb) in ca.zip(cb) {
-        for i in 0..LANES {
-            lanes[i] = xa[i].mul_add(xb[i], lanes[i]);
-        }
-    }
-    let mut acc = 0.0;
-    for lane in lanes {
-        acc += lane;
-    }
-    for (x, y) in ra.iter().zip(rb) {
-        acc = x.mul_add(*y, acc);
-    }
-    acc
+    KernelSet::active().dot(a, b)
 }
 
-/// Four simultaneous dot products of `a` against `b0..b3`, reusing each
-/// loaded chunk of `a` four times (the register-blocked GEMM inner loop).
+/// One output row of `C = A · Bᵀ`: `crow[j] = arow · b.row(j)`, blocked
+/// four rows of `B` at a time. Shared by [`Matrix::matvec_into`] and
+/// [`Matrix::matmul_nt_into`] so a one-row GEMM is bitwise identical to a
+/// matvec — the invariant that keeps streaming (step-at-a-time) scoring
+/// exactly equal to batched runs.
 #[inline]
-fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
-    let mut l0 = [0.0f32; LANES];
-    let mut l1 = [0.0f32; LANES];
-    let mut l2 = [0.0f32; LANES];
-    let mut l3 = [0.0f32; LANES];
-    let n = a.len() / LANES * LANES;
-    let mut k = 0;
-    while k < n {
-        let xa = &a[k..k + LANES];
-        let x0 = &b0[k..k + LANES];
-        let x1 = &b1[k..k + LANES];
-        let x2 = &b2[k..k + LANES];
-        let x3 = &b3[k..k + LANES];
-        for i in 0..LANES {
-            l0[i] = xa[i].mul_add(x0[i], l0[i]);
-            l1[i] = xa[i].mul_add(x1[i], l1[i]);
-            l2[i] = xa[i].mul_add(x2[i], l2[i]);
-            l3[i] = xa[i].mul_add(x3[i], l3[i]);
-        }
-        k += LANES;
+fn nt_row(ks: &KernelSet, arow: &[f32], b: &Matrix, crow: &mut [f32]) {
+    let mut j = 0;
+    while j + 4 <= b.rows {
+        let out = ks.dot4(arow, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+        crow[j..j + 4].copy_from_slice(&out);
+        j += 4;
     }
-    let mut out = [0.0f32; 4];
-    for (o, lanes) in out.iter_mut().zip([&l0, &l1, &l2, &l3]) {
-        for lane in lanes.iter() {
-            *o += lane;
-        }
+    let done = j;
+    for (j, cv) in crow.iter_mut().enumerate().skip(done) {
+        *cv = ks.dot(arow, b.row(j));
     }
-    for k in n..a.len() {
-        out[0] = a[k].mul_add(b0[k], out[0]);
-        out[1] = a[k].mul_add(b1[k], out[1]);
-        out[2] = a[k].mul_add(b2[k], out[2]);
-        out[3] = a[k].mul_add(b3[k], out[3]);
-    }
-    out
 }
 
 /// A dense row-major matrix.
@@ -173,33 +136,17 @@ impl Matrix {
     pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(y.len(), self.rows);
-        let mut r = 0;
-        while r + 4 <= self.rows {
-            let out = dot4(
-                x,
-                self.row(r),
-                self.row(r + 1),
-                self.row(r + 2),
-                self.row(r + 3),
-            );
-            y[r..r + 4].copy_from_slice(&out);
-            r += 4;
-        }
-        let done = r;
-        for (r, yv) in y.iter_mut().enumerate().skip(done) {
-            *yv = dot(self.row(r), x);
-        }
+        nt_row(KernelSet::active(), x, self, y);
     }
 
     /// Transposed matrix–vector product `y = selfᵀ · x` (self: m×n, x: m).
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.rows);
+        let ks = KernelSet::active();
         let mut y = vec![0.0; self.cols];
         for (r, &xv) in x.iter().enumerate() {
             if xv != 0.0 {
-                for (yv, &w) in y.iter_mut().zip(self.row(r)) {
-                    *yv += xv * w;
-                }
+                ks.axpy(&mut y, self.row(r), xv);
             }
         }
         y
@@ -209,12 +156,11 @@ impl Matrix {
     pub fn add_outer(&mut self, u: &[f32], v: &[f32], alpha: f32) {
         debug_assert_eq!(u.len(), self.rows);
         debug_assert_eq!(v.len(), self.cols);
+        let ks = KernelSet::active();
         for (r, &uv) in u.iter().enumerate() {
             let s = alpha * uv;
             if s != 0.0 {
-                for (dst, &vv) in self.row_mut(r).iter_mut().zip(v) {
-                    *dst += s * vv;
-                }
+                ks.axpy(self.row_mut(r), v, s);
             }
         }
     }
@@ -230,15 +176,13 @@ impl Matrix {
     pub fn matmul_nn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         assert_eq!(a.cols, b.rows, "nn shape mismatch");
         c.resize(a.rows, b.cols);
+        let ks = KernelSet::active();
         let kernel = |(i, crow): (usize, &mut [f32])| {
             crow.fill(0.0);
             for k in 0..a.cols {
                 let aik = a.get(i, k);
                 if aik != 0.0 {
-                    let brow = b.row(k);
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv = aik.mul_add(bv, *cv);
-                    }
+                    ks.axpy(crow, b.row(k), aik);
                 }
             }
         };
@@ -267,19 +211,8 @@ impl Matrix {
     pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         assert_eq!(a.cols, b.cols, "nt shape mismatch");
         c.resize(a.rows, b.rows);
-        let kernel = |(i, crow): (usize, &mut [f32])| {
-            let arow = a.row(i);
-            let mut j = 0;
-            while j + 4 <= b.rows {
-                let out = dot4(arow, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
-                crow[j..j + 4].copy_from_slice(&out);
-                j += 4;
-            }
-            let done = j;
-            for (j, cv) in crow.iter_mut().enumerate().skip(done) {
-                *cv = dot(arow, b.row(j));
-            }
-        };
+        let ks = KernelSet::active();
+        let kernel = |(i, crow): (usize, &mut [f32])| nt_row(ks, a.row(i), b, crow);
         if c.data.len() >= PAR_THRESHOLD {
             c.data
                 .par_chunks_mut(b.rows.max(1))
@@ -296,16 +229,14 @@ impl Matrix {
     /// `C = Aᵀ · B` (A: k×m, B: k×n) — the weight gradient `dYᵀ · X`.
     pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.rows, b.rows, "tn shape mismatch");
+        let ks = KernelSet::active();
         let mut c = Matrix::zeros(a.cols, b.cols);
         for k in 0..a.rows {
             let arow = a.row(k);
             let brow = b.row(k);
             for (i, &av) in arow.iter().enumerate() {
                 if av != 0.0 {
-                    let crow = c.row_mut(i);
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
+                    ks.axpy(c.row_mut(i), brow, av);
                 }
             }
         }

@@ -1,0 +1,1217 @@
+//! Runtime-dispatched SIMD kernels for the inference hot path.
+//!
+//! Every dense kernel the scoring engine runs on — the dot products behind
+//! [`Matrix::matvec_into`]/[`Matrix::matmul_nt_into`], the axpy update
+//! behind the training GEMMs, the fused GRU gate block of
+//! [`PackedGru::run`]/[`PackedGru::step`], the dense layer's bias +
+//! activation epilogue and the autoencoder's L1 error reduction — is a
+//! function pointer in a [`KernelSet`]. Three sets exist:
+//!
+//! * **scalar** — safe reference implementations written with plain
+//!   multiply/add (no `mul_add`, so they never lower to a slow `fmaf` libm
+//!   call on builds without FMA codegen) and `std` `exp`/`tanh`. This is
+//!   the ground truth the SIMD sets are property-tested against.
+//! * **avx2** — explicit `std::arch::x86_64` AVX2+FMA intrinsics: 8-lane
+//!   FMA dot kernels with register blocking, and a polynomial `exp`
+//!   (Cephes `expf` constants, ≈2 ulp) powering vectorized
+//!   sigmoid/tanh for the gate block and dense activations.
+//! * **avx512** — the same kernels widened to 16 lanes with masked tails,
+//!   used where AVX-512F is available.
+//!
+//! Selection happens **once per process** via
+//! [`is_x86_feature_detected!`]: [`KernelSet::active`] picks the widest
+//! supported set (avx512 → avx2 → scalar) and caches it. Setting the
+//! environment variable `NEURAL_FORCE_SCALAR` (to anything but `0`, the
+//! empty string, or `false`) pins the scalar set — CI runs the whole test
+//! suite that way to keep the reference path exercised — and
+//! `NEURAL_KERNELS=scalar|avx2|avx512` requests a specific set, falling
+//! back to the ladder when the CPU lacks it. Tests can also grab a
+//! specific set directly ([`KernelSet::scalar`], [`KernelSet::avx2`],
+//! [`KernelSet::avx512`]) without touching the process-wide choice.
+//!
+//! SIMD results differ from scalar only by float reassociation and the
+//! polynomial `exp` (both bounded to 1e-6 by the property tests); within
+//! one set the kernels are deterministic, which is what keeps
+//! step-by-step streaming bitwise identical to batched runs.
+//!
+//! [`Matrix::matvec_into`]: crate::Matrix::matvec_into
+//! [`Matrix::matmul_nt_into`]: crate::Matrix::matmul_nt_into
+//! [`PackedGru::run`]: crate::PackedGru::run
+//! [`PackedGru::step`]: crate::PackedGru::step
+
+use crate::dense::Activation;
+use std::sync::OnceLock;
+
+/// `dot4(a, b0, b1, b2, b3)` — four dot products sharing one `a`.
+type Dot4Fn = fn(&[f32], &[f32], &[f32], &[f32], &[f32]) -> [f32; 4];
+/// `gru_gates(xp, up, h, z, r)` — the fused gate block over a 3H slab.
+type GruGatesFn = fn(&[f32], &[f32], &mut [f32], &mut [f32], &mut [f32]);
+
+/// A coherent set of hot-path kernels, selected once at startup. All
+/// function pointers are plain safe `fn`s; the SIMD variants wrap their
+/// `unsafe` intrinsic bodies and are only ever placed in sets whose
+/// constructor verified the required CPU features.
+#[derive(Clone, Copy)]
+pub struct KernelSet {
+    /// Kernel family name: `"scalar"`, `"avx2"` or `"avx512"`.
+    pub name: &'static str,
+    dot: fn(&[f32], &[f32]) -> f32,
+    dot4: Dot4Fn,
+    axpy: fn(&mut [f32], &[f32], f32),
+    bias_act: fn(&mut [f32], &[f32], Activation),
+    gru_gates: GruGatesFn,
+    sum_abs_diff: fn(&[f32], &[f32]) -> f32,
+}
+
+impl std::fmt::Debug for KernelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelSet")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl KernelSet {
+    /// Dense dot product `a·b`. Lengths must match — checked here (not
+    /// per-set) because the SIMD bodies do raw-pointer loads sized by
+    /// `a.len()`; one compare is noise next to the kernel itself.
+    #[inline]
+    pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        (self.dot)(a, b)
+    }
+
+    /// Four simultaneous dot products of `a` against `b0..b3` — the
+    /// register-blocked GEMM inner loop (each loaded chunk of `a` is
+    /// reused four times). All five slices must share one length.
+    #[inline]
+    pub fn dot4(&self, a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        let n = a.len();
+        assert!(
+            b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n,
+            "dot4 length mismatch"
+        );
+        (self.dot4)(a, b0, b1, b2, b3)
+    }
+
+    /// `dst += alpha · src` (the rank-1 / nn-GEMM inner loop).
+    #[inline]
+    pub fn axpy(&self, dst: &mut [f32], src: &[f32], alpha: f32) {
+        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+        (self.axpy)(dst, src, alpha)
+    }
+
+    /// Fused bias add + activation over one output row:
+    /// `row[i] = act(row[i] + bias[i])`.
+    #[inline]
+    pub fn bias_act(&self, row: &mut [f32], bias: &[f32], act: Activation) {
+        assert_eq!(row.len(), bias.len(), "bias_act length mismatch");
+        (self.bias_act)(row, bias, act)
+    }
+
+    /// The fused GRU gate block over the packed `3H` pre-activation slab:
+    ///
+    /// ```text
+    /// z[i] = σ(xp[i]      + up[i])
+    /// r[i] = σ(xp[H + i]  + up[H + i])
+    /// n    = tanh(xp[2H+i] + r[i]·up[2H+i])
+    /// h[i] = (1 − z[i])·n + z[i]·h[i]
+    /// ```
+    ///
+    /// `h` is updated in place; `z`/`r` receive the gate activations
+    /// (they may alias rows of a caller's profile matrix).
+    #[inline]
+    pub fn gru_gates(&self, xp: &[f32], up: &[f32], h: &mut [f32], z: &mut [f32], r: &mut [f32]) {
+        let hidden = h.len();
+        assert!(
+            xp.len() == 3 * hidden
+                && up.len() == 3 * hidden
+                && z.len() == hidden
+                && r.len() == hidden,
+            "gru_gates shape mismatch"
+        );
+        (self.gru_gates)(xp, up, h, z, r)
+    }
+
+    /// `Σ |a[i] − b[i]|` — the autoencoder's L1 reconstruction-error
+    /// reduction.
+    #[inline]
+    pub fn sum_abs_diff(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "sum_abs_diff length mismatch");
+        (self.sum_abs_diff)(a, b)
+    }
+
+    /// The safe scalar reference set. Always available; forced
+    /// process-wide by `NEURAL_FORCE_SCALAR`.
+    pub fn scalar() -> &'static KernelSet {
+        &SCALAR
+    }
+
+    /// The AVX2+FMA set, if this CPU supports it.
+    pub fn avx2() -> Option<&'static KernelSet> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return Some(&x86::AVX2);
+            }
+        }
+        None
+    }
+
+    /// The AVX-512F set, if this CPU supports it.
+    pub fn avx512() -> Option<&'static KernelSet> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return Some(&x86::AVX512);
+            }
+        }
+        None
+    }
+
+    /// Every set this CPU can run — scalar plus whatever was detected.
+    /// Equivalence tests iterate this so they exercise exactly the kernels
+    /// the host can dispatch.
+    pub fn available() -> Vec<&'static KernelSet> {
+        let mut sets = vec![Self::scalar()];
+        sets.extend(Self::avx2());
+        sets.extend(Self::avx512());
+        sets
+    }
+
+    /// The process-wide dispatched set: the widest ISA the CPU supports,
+    /// unless `NEURAL_FORCE_SCALAR` pins the scalar reference or
+    /// `NEURAL_KERNELS=scalar|avx2|avx512` requests a specific set (best
+    /// effort — an unsupported or unknown request falls back to the
+    /// normal ladder, so `NEURAL_KERNELS=avx2` on an AVX-512 machine
+    /// reproduces what an AVX2-only host would dispatch, e.g. to record a
+    /// comparable benchmark reference). Selected on first call, cached
+    /// forever.
+    pub fn active() -> &'static KernelSet {
+        static ACTIVE: OnceLock<&'static KernelSet> = OnceLock::new();
+        ACTIVE.get_or_init(|| {
+            select(
+                env_forces_scalar(std::env::var("NEURAL_FORCE_SCALAR").ok().as_deref()),
+                std::env::var("NEURAL_KERNELS").ok().as_deref(),
+            )
+        })
+    }
+}
+
+/// Whether a `NEURAL_FORCE_SCALAR` value requests the scalar override.
+/// Unset, empty, `0` and `false` mean "no"; anything else means "yes".
+fn env_forces_scalar(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"),
+    }
+}
+
+/// The dispatch policy, factored out of [`KernelSet::active`] so it can be
+/// unit-tested without mutating process environment. `requested` is the
+/// `NEURAL_KERNELS` value: a supported set name pins that set; anything
+/// unsupported or unrecognized falls through to the widest-ISA ladder.
+fn select(force_scalar: bool, requested: Option<&str>) -> &'static KernelSet {
+    if force_scalar {
+        return KernelSet::scalar();
+    }
+    match requested {
+        Some("scalar") => return KernelSet::scalar(),
+        Some("avx2") => {
+            if let Some(ks) = KernelSet::avx2() {
+                return ks;
+            }
+        }
+        Some("avx512") => {
+            if let Some(ks) = KernelSet::avx512() {
+                return ks;
+            }
+        }
+        _ => {}
+    }
+    KernelSet::avx512()
+        .or_else(KernelSet::avx2)
+        .unwrap_or_else(KernelSet::scalar)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------------
+
+/// Lane width of the scalar accumulator blocks; matches one AVX2 register
+/// of `f32`s and autovectorizes cleanly on narrower ISAs (SSE2 baseline).
+const LANES: usize = 8;
+
+static SCALAR: KernelSet = KernelSet {
+    name: "scalar",
+    dot: dot_scalar,
+    dot4: dot4_scalar,
+    axpy: axpy_scalar,
+    bias_act: bias_act_scalar,
+    gru_gates: gru_gates_scalar,
+    sum_abs_diff: sum_abs_diff_scalar,
+};
+
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; LANES];
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for i in 0..LANES {
+            lanes[i] += xa[i] * xb[i];
+        }
+    }
+    let mut acc = 0.0;
+    for lane in lanes {
+        acc += lane;
+    }
+    for (x, y) in ra.iter().zip(rb) {
+        acc += x * y;
+    }
+    acc
+}
+
+fn dot4_scalar(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let mut l0 = [0.0f32; LANES];
+    let mut l1 = [0.0f32; LANES];
+    let mut l2 = [0.0f32; LANES];
+    let mut l3 = [0.0f32; LANES];
+    let n = a.len() / LANES * LANES;
+    let mut k = 0;
+    while k < n {
+        let xa = &a[k..k + LANES];
+        let x0 = &b0[k..k + LANES];
+        let x1 = &b1[k..k + LANES];
+        let x2 = &b2[k..k + LANES];
+        let x3 = &b3[k..k + LANES];
+        for i in 0..LANES {
+            l0[i] += xa[i] * x0[i];
+            l1[i] += xa[i] * x1[i];
+            l2[i] += xa[i] * x2[i];
+            l3[i] += xa[i] * x3[i];
+        }
+        k += LANES;
+    }
+    let mut out = [0.0f32; 4];
+    for (o, lanes) in out.iter_mut().zip([&l0, &l1, &l2, &l3]) {
+        for lane in lanes.iter() {
+            *o += lane;
+        }
+    }
+    for k in n..a.len() {
+        out[0] += a[k] * b0[k];
+        out[1] += a[k] * b1[k];
+        out[2] += a[k] * b2[k];
+        out[3] += a[k] * b3[k];
+    }
+    out
+}
+
+fn axpy_scalar(dst: &mut [f32], src: &[f32], alpha: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += alpha * s;
+    }
+}
+
+fn bias_act_scalar(row: &mut [f32], bias: &[f32], act: Activation) {
+    debug_assert_eq!(row.len(), bias.len());
+    for (v, &b) in row.iter_mut().zip(bias) {
+        *v = act.apply(*v + b);
+    }
+}
+
+fn gru_gates_scalar(xp: &[f32], up: &[f32], h: &mut [f32], z: &mut [f32], r: &mut [f32]) {
+    let hidden = h.len();
+    for i in 0..hidden {
+        z[i] = crate::sigmoid(xp[i] + up[i]);
+    }
+    for i in 0..hidden {
+        r[i] = crate::sigmoid(xp[hidden + i] + up[hidden + i]);
+    }
+    for i in 0..hidden {
+        let n = (xp[2 * hidden + i] + r[i] * up[2 * hidden + i]).tanh();
+        h[i] = (1.0 - z[i]) * n + z[i] * h[i];
+    }
+}
+
+fn sum_abs_diff_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; LANES];
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for i in 0..LANES {
+            lanes[i] += (xa[i] - xb[i]).abs();
+        }
+    }
+    let mut acc = 0.0;
+    for lane in lanes {
+        acc += lane;
+    }
+    for (x, y) in ra.iter().zip(rb) {
+        acc += (x - y).abs();
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 SIMD kernels (AVX2+FMA and AVX-512F)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{Activation, KernelSet};
+    use std::arch::x86_64::*;
+
+    pub(super) static AVX2: KernelSet = KernelSet {
+        name: "avx2",
+        dot: dot_avx2,
+        dot4: dot4_avx2,
+        axpy: axpy_avx2,
+        bias_act: bias_act_avx2,
+        gru_gates: gru_gates_avx2,
+        sum_abs_diff: sum_abs_diff_avx2,
+    };
+
+    pub(super) static AVX512: KernelSet = KernelSet {
+        name: "avx512",
+        dot: dot_avx512,
+        dot4: dot4_avx512,
+        axpy: axpy_avx512,
+        bias_act: bias_act_avx512,
+        gru_gates: gru_gates_avx512,
+        sum_abs_diff: sum_abs_diff_avx512,
+    };
+
+    // Cephes-style polynomial `expf` constants (same as avx_mathfun /
+    // SLEEF's fast path): Cody–Waite range reduction against ln 2 split
+    // into a high and a low part, then a degree-5 minimax polynomial on
+    // the reduced interval. Max relative error ≈ 2 ulp, which keeps the
+    // derived sigmoid/tanh within ~2e-7 of `std` — well inside the 1e-6
+    // equivalence budget the engine tests pin.
+    const EXP_HI: f32 = 88.376_26;
+    const EXP_LO: f32 = -88.376_26;
+    const LOG2EF: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    const EXP_P0: f32 = 1.987_569_1e-4;
+    const EXP_P1: f32 = 1.398_199_9e-3;
+    const EXP_P2: f32 = 8.333_452e-3;
+    const EXP_P3: f32 = 4.166_579_6e-2;
+    const EXP_P4: f32 = 1.666_666_5e-1;
+    const EXP_P5: f32 = 5.000_000_3e-1;
+
+    // ---------------- AVX2 ----------------
+
+    /// # Safety
+    /// Requires AVX2+FMA (guaranteed by `KernelSet::avx2` detection).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp256(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(x, _mm256_set1_ps(EXP_HI));
+        let x = _mm256_max_ps(x, _mm256_set1_ps(EXP_LO));
+        // n = round(x / ln 2)
+        let n = _mm256_round_ps(
+            _mm256_mul_ps(x, _mm256_set1_ps(LOG2EF)),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC,
+        );
+        // Reduced argument r = x − n·ln2 (two-step for precision).
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(LN2_HI), x);
+        let r = _mm256_fnmadd_ps(n, _mm256_set1_ps(LN2_LO), r);
+        // Polynomial e^r ≈ 1 + r + r²·p(r).
+        let mut p = _mm256_set1_ps(EXP_P0);
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P1));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P2));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P3));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P4));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P5));
+        let r2 = _mm256_mul_ps(r, r);
+        let y = _mm256_add_ps(_mm256_fmadd_ps(p, r2, r), _mm256_set1_ps(1.0));
+        // Scale by 2ⁿ through the exponent bits.
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(n),
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, pow2n)
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn sigmoid256(x: __m256) -> __m256 {
+        // 1 / (1 + e^(−x)); the clamp inside exp256 handles saturation.
+        let e = exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
+        _mm256_div_ps(_mm256_set1_ps(1.0), _mm256_add_ps(_mm256_set1_ps(1.0), e))
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tanh256(x: __m256) -> __m256 {
+        // tanh(x) = (e^{2x} − 1) / (e^{2x} + 1).
+        let e = exp256(_mm256_add_ps(x, x));
+        let one = _mm256_set1_ps(1.0);
+        _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one))
+    }
+
+    /// Sums the 8 lanes of a register.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps::<1>(v);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_movehdup_ps(s));
+        _mm_cvtss_f32(s)
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 16)),
+                _mm256_loadu_ps(pb.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 24)),
+                _mm256_loadu_ps(pb.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            i += 8;
+        }
+        let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut sum = hsum256(acc);
+        while i < n {
+            sum = a[i].mul_add(b[i], sum);
+            i += 1;
+        }
+        sum
+    }
+
+    fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: this fn is only reachable through the AVX2 KernelSet,
+        // which is handed out exclusively after feature detection.
+        unsafe { dot_avx2_impl(a, b) }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot4_avx2_impl(
+        a: &[f32],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) -> [f32; 4] {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        // Two accumulators per row: enough independent FMA chains to cover
+        // the FMA latency while still reusing each loaded chunk of `a`
+        // across all four rows.
+        let mut a00 = _mm256_setzero_ps();
+        let mut a01 = _mm256_setzero_ps();
+        let mut a10 = _mm256_setzero_ps();
+        let mut a11 = _mm256_setzero_ps();
+        let mut a20 = _mm256_setzero_ps();
+        let mut a21 = _mm256_setzero_ps();
+        let mut a30 = _mm256_setzero_ps();
+        let mut a31 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let va0 = _mm256_loadu_ps(pa.add(i));
+            let va1 = _mm256_loadu_ps(pa.add(i + 8));
+            a00 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(p0.add(i)), a00);
+            a01 = _mm256_fmadd_ps(va1, _mm256_loadu_ps(p0.add(i + 8)), a01);
+            a10 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(p1.add(i)), a10);
+            a11 = _mm256_fmadd_ps(va1, _mm256_loadu_ps(p1.add(i + 8)), a11);
+            a20 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(p2.add(i)), a20);
+            a21 = _mm256_fmadd_ps(va1, _mm256_loadu_ps(p2.add(i + 8)), a21);
+            a30 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(p3.add(i)), a30);
+            a31 = _mm256_fmadd_ps(va1, _mm256_loadu_ps(p3.add(i + 8)), a31);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let va = _mm256_loadu_ps(pa.add(i));
+            a00 = _mm256_fmadd_ps(va, _mm256_loadu_ps(p0.add(i)), a00);
+            a10 = _mm256_fmadd_ps(va, _mm256_loadu_ps(p1.add(i)), a10);
+            a20 = _mm256_fmadd_ps(va, _mm256_loadu_ps(p2.add(i)), a20);
+            a30 = _mm256_fmadd_ps(va, _mm256_loadu_ps(p3.add(i)), a30);
+            i += 8;
+        }
+        let mut out = [
+            hsum256(_mm256_add_ps(a00, a01)),
+            hsum256(_mm256_add_ps(a10, a11)),
+            hsum256(_mm256_add_ps(a20, a21)),
+            hsum256(_mm256_add_ps(a30, a31)),
+        ];
+        while i < n {
+            out[0] = a[i].mul_add(b0[i], out[0]);
+            out[1] = a[i].mul_add(b1[i], out[1]);
+            out[2] = a[i].mul_add(b2[i], out[2]);
+            out[3] = a[i].mul_add(b3[i], out[3]);
+            i += 1;
+        }
+        out
+    }
+
+    fn dot4_avx2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        // SAFETY: reachable only through the detected AVX2 KernelSet.
+        unsafe { dot4_avx2_impl(a, b0, b1, b2, b3) }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpy_avx2_impl(dst: &mut [f32], src: &[f32], alpha: f32) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let va = _mm256_set1_ps(alpha);
+        let (pd, ps) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_fmadd_ps(va, _mm256_loadu_ps(ps.add(i)), _mm256_loadu_ps(pd.add(i)));
+            _mm256_storeu_ps(pd.add(i), d);
+            i += 8;
+        }
+        while i < n {
+            dst[i] = alpha.mul_add(src[i], dst[i]);
+            i += 1;
+        }
+    }
+
+    fn axpy_avx2(dst: &mut [f32], src: &[f32], alpha: f32) {
+        // SAFETY: reachable only through the detected AVX2 KernelSet.
+        unsafe { axpy_avx2_impl(dst, src, alpha) }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn bias_act_avx2_impl(row: &mut [f32], bias: &[f32], act: Activation) {
+        debug_assert_eq!(row.len(), bias.len());
+        let n = row.len();
+        let (pr, pb) = (row.as_mut_ptr(), bias.as_ptr());
+        let mut i = 0;
+        match act {
+            Activation::Linear => {
+                while i + 8 <= n {
+                    let v = _mm256_add_ps(_mm256_loadu_ps(pr.add(i)), _mm256_loadu_ps(pb.add(i)));
+                    _mm256_storeu_ps(pr.add(i), v);
+                    i += 8;
+                }
+            }
+            Activation::Relu => {
+                let zero = _mm256_setzero_ps();
+                while i + 8 <= n {
+                    let v = _mm256_add_ps(_mm256_loadu_ps(pr.add(i)), _mm256_loadu_ps(pb.add(i)));
+                    _mm256_storeu_ps(pr.add(i), _mm256_max_ps(v, zero));
+                    i += 8;
+                }
+            }
+            Activation::Tanh => {
+                while i + 8 <= n {
+                    let v = _mm256_add_ps(_mm256_loadu_ps(pr.add(i)), _mm256_loadu_ps(pb.add(i)));
+                    _mm256_storeu_ps(pr.add(i), tanh256(v));
+                    i += 8;
+                }
+            }
+            Activation::Sigmoid => {
+                while i + 8 <= n {
+                    let v = _mm256_add_ps(_mm256_loadu_ps(pr.add(i)), _mm256_loadu_ps(pb.add(i)));
+                    _mm256_storeu_ps(pr.add(i), sigmoid256(v));
+                    i += 8;
+                }
+            }
+        }
+        while i < n {
+            row[i] = act.apply(row[i] + bias[i]);
+            i += 1;
+        }
+    }
+
+    fn bias_act_avx2(row: &mut [f32], bias: &[f32], act: Activation) {
+        // SAFETY: reachable only through the detected AVX2 KernelSet.
+        unsafe { bias_act_avx2_impl(row, bias, act) }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gru_gates_avx2_impl(
+        xp: &[f32],
+        up: &[f32],
+        h: &mut [f32],
+        z: &mut [f32],
+        r: &mut [f32],
+    ) {
+        let hidden = h.len();
+        let (pxp, pup) = (xp.as_ptr(), up.as_ptr());
+        let mut i = 0;
+        while i + 8 <= hidden {
+            let vz = sigmoid256(_mm256_add_ps(
+                _mm256_loadu_ps(pxp.add(i)),
+                _mm256_loadu_ps(pup.add(i)),
+            ));
+            let vr = sigmoid256(_mm256_add_ps(
+                _mm256_loadu_ps(pxp.add(hidden + i)),
+                _mm256_loadu_ps(pup.add(hidden + i)),
+            ));
+            let vn = tanh256(_mm256_fmadd_ps(
+                vr,
+                _mm256_loadu_ps(pup.add(2 * hidden + i)),
+                _mm256_loadu_ps(pxp.add(2 * hidden + i)),
+            ));
+            let vh = _mm256_loadu_ps(h.as_ptr().add(i));
+            // (1 − z)·n + z·h = n + z·(h − n)
+            let vh_new = _mm256_fmadd_ps(vz, _mm256_sub_ps(vh, vn), vn);
+            _mm256_storeu_ps(z.as_mut_ptr().add(i), vz);
+            _mm256_storeu_ps(r.as_mut_ptr().add(i), vr);
+            _mm256_storeu_ps(h.as_mut_ptr().add(i), vh_new);
+            i += 8;
+        }
+        while i < hidden {
+            z[i] = crate::sigmoid(xp[i] + up[i]);
+            r[i] = crate::sigmoid(xp[hidden + i] + up[hidden + i]);
+            let n = (xp[2 * hidden + i] + r[i] * up[2 * hidden + i]).tanh();
+            h[i] = n + z[i] * (h[i] - n);
+            i += 1;
+        }
+    }
+
+    fn gru_gates_avx2(xp: &[f32], up: &[f32], h: &mut [f32], z: &mut [f32], r: &mut [f32]) {
+        // SAFETY: reachable only through the detected AVX2 KernelSet.
+        unsafe { gru_gates_avx2_impl(xp, up, h, z, r) }
+    }
+
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn sum_abs_diff_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        // abs via clearing the sign bit.
+        let mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+            );
+            acc0 = _mm256_add_ps(acc0, _mm256_and_ps(d0, mask));
+            acc1 = _mm256_add_ps(acc1, _mm256_and_ps(d1, mask));
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            acc0 = _mm256_add_ps(acc0, _mm256_and_ps(d, mask));
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            sum += (a[i] - b[i]).abs();
+            i += 1;
+        }
+        sum
+    }
+
+    fn sum_abs_diff_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: reachable only through the detected AVX2 KernelSet.
+        unsafe { sum_abs_diff_avx2_impl(a, b) }
+    }
+
+    // ---------------- AVX-512F ----------------
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn exp512(x: __m512) -> __m512 {
+        let x = _mm512_min_ps(x, _mm512_set1_ps(EXP_HI));
+        let x = _mm512_max_ps(x, _mm512_set1_ps(EXP_LO));
+        let n = _mm512_roundscale_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm512_mul_ps(x, _mm512_set1_ps(LOG2EF)),
+        );
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(LN2_HI), x);
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(LN2_LO), r);
+        let mut p = _mm512_set1_ps(EXP_P0);
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(EXP_P1));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(EXP_P2));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(EXP_P3));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(EXP_P4));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(EXP_P5));
+        let r2 = _mm512_mul_ps(r, r);
+        let y = _mm512_add_ps(_mm512_fmadd_ps(p, r2, r), _mm512_set1_ps(1.0));
+        let pow2n = _mm512_castsi512_ps(_mm512_slli_epi32::<23>(_mm512_add_epi32(
+            _mm512_cvtps_epi32(n),
+            _mm512_set1_epi32(127),
+        )));
+        _mm512_mul_ps(y, pow2n)
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn sigmoid512(x: __m512) -> __m512 {
+        let e = exp512(_mm512_sub_ps(_mm512_setzero_ps(), x));
+        _mm512_div_ps(_mm512_set1_ps(1.0), _mm512_add_ps(_mm512_set1_ps(1.0), e))
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tanh512(x: __m512) -> __m512 {
+        let e = exp512(_mm512_add_ps(x, x));
+        let one = _mm512_set1_ps(1.0);
+        _mm512_div_ps(_mm512_sub_ps(e, one), _mm512_add_ps(e, one))
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot_avx512_impl(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        let mut acc2 = _mm512_setzero_ps();
+        let mut acc3 = _mm512_setzero_ps();
+        let mut i = 0;
+        while i + 64 <= n {
+            acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(pa.add(i + 16)),
+                _mm512_loadu_ps(pb.add(i + 16)),
+                acc1,
+            );
+            acc2 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(pa.add(i + 32)),
+                _mm512_loadu_ps(pb.add(i + 32)),
+                acc2,
+            );
+            acc3 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(pa.add(i + 48)),
+                _mm512_loadu_ps(pb.add(i + 48)),
+                acc3,
+            );
+            i += 64;
+        }
+        while i + 16 <= n {
+            acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)), acc0);
+            i += 16;
+        }
+        if i < n {
+            let m: __mmask16 = (1u16 << (n - i)) - 1;
+            acc1 = _mm512_fmadd_ps(
+                _mm512_maskz_loadu_ps(m, pa.add(i)),
+                _mm512_maskz_loadu_ps(m, pb.add(i)),
+                acc1,
+            );
+        }
+        let acc = _mm512_add_ps(_mm512_add_ps(acc0, acc1), _mm512_add_ps(acc2, acc3));
+        _mm512_reduce_add_ps(acc)
+    }
+
+    fn dot_avx512(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: reachable only through the detected AVX-512 KernelSet.
+        unsafe { dot_avx512_impl(a, b) }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot4_avx512_impl(
+        a: &[f32],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) -> [f32; 4] {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let mut a00 = _mm512_setzero_ps();
+        let mut a01 = _mm512_setzero_ps();
+        let mut a10 = _mm512_setzero_ps();
+        let mut a11 = _mm512_setzero_ps();
+        let mut a20 = _mm512_setzero_ps();
+        let mut a21 = _mm512_setzero_ps();
+        let mut a30 = _mm512_setzero_ps();
+        let mut a31 = _mm512_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            let va0 = _mm512_loadu_ps(pa.add(i));
+            let va1 = _mm512_loadu_ps(pa.add(i + 16));
+            a00 = _mm512_fmadd_ps(va0, _mm512_loadu_ps(p0.add(i)), a00);
+            a01 = _mm512_fmadd_ps(va1, _mm512_loadu_ps(p0.add(i + 16)), a01);
+            a10 = _mm512_fmadd_ps(va0, _mm512_loadu_ps(p1.add(i)), a10);
+            a11 = _mm512_fmadd_ps(va1, _mm512_loadu_ps(p1.add(i + 16)), a11);
+            a20 = _mm512_fmadd_ps(va0, _mm512_loadu_ps(p2.add(i)), a20);
+            a21 = _mm512_fmadd_ps(va1, _mm512_loadu_ps(p2.add(i + 16)), a21);
+            a30 = _mm512_fmadd_ps(va0, _mm512_loadu_ps(p3.add(i)), a30);
+            a31 = _mm512_fmadd_ps(va1, _mm512_loadu_ps(p3.add(i + 16)), a31);
+            i += 32;
+        }
+        if i + 16 <= n {
+            let va = _mm512_loadu_ps(pa.add(i));
+            a00 = _mm512_fmadd_ps(va, _mm512_loadu_ps(p0.add(i)), a00);
+            a10 = _mm512_fmadd_ps(va, _mm512_loadu_ps(p1.add(i)), a10);
+            a20 = _mm512_fmadd_ps(va, _mm512_loadu_ps(p2.add(i)), a20);
+            a30 = _mm512_fmadd_ps(va, _mm512_loadu_ps(p3.add(i)), a30);
+            i += 16;
+        }
+        if i < n {
+            let m: __mmask16 = (1u16 << (n - i)) - 1;
+            let va = _mm512_maskz_loadu_ps(m, pa.add(i));
+            a01 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, p0.add(i)), a01);
+            a11 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, p1.add(i)), a11);
+            a21 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, p2.add(i)), a21);
+            a31 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, p3.add(i)), a31);
+        }
+        [
+            _mm512_reduce_add_ps(_mm512_add_ps(a00, a01)),
+            _mm512_reduce_add_ps(_mm512_add_ps(a10, a11)),
+            _mm512_reduce_add_ps(_mm512_add_ps(a20, a21)),
+            _mm512_reduce_add_ps(_mm512_add_ps(a30, a31)),
+        ]
+    }
+
+    fn dot4_avx512(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        // SAFETY: reachable only through the detected AVX-512 KernelSet.
+        unsafe { dot4_avx512_impl(a, b0, b1, b2, b3) }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_avx512_impl(dst: &mut [f32], src: &[f32], alpha: f32) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let va = _mm512_set1_ps(alpha);
+        let (pd, ps) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i + 16 <= n {
+            let d = _mm512_fmadd_ps(va, _mm512_loadu_ps(ps.add(i)), _mm512_loadu_ps(pd.add(i)));
+            _mm512_storeu_ps(pd.add(i), d);
+            i += 16;
+        }
+        if i < n {
+            let m: __mmask16 = (1u16 << (n - i)) - 1;
+            let d = _mm512_fmadd_ps(
+                va,
+                _mm512_maskz_loadu_ps(m, ps.add(i)),
+                _mm512_maskz_loadu_ps(m, pd.add(i)),
+            );
+            _mm512_mask_storeu_ps(pd.add(i), m, d);
+        }
+    }
+
+    fn axpy_avx512(dst: &mut [f32], src: &[f32], alpha: f32) {
+        // SAFETY: reachable only through the detected AVX-512 KernelSet.
+        unsafe { axpy_avx512_impl(dst, src, alpha) }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn bias_act_avx512_impl(row: &mut [f32], bias: &[f32], act: Activation) {
+        debug_assert_eq!(row.len(), bias.len());
+        let n = row.len();
+        let (pr, pb) = (row.as_mut_ptr(), bias.as_ptr());
+        let mut i = 0;
+        match act {
+            Activation::Linear => {
+                while i + 16 <= n {
+                    let v = _mm512_add_ps(_mm512_loadu_ps(pr.add(i)), _mm512_loadu_ps(pb.add(i)));
+                    _mm512_storeu_ps(pr.add(i), v);
+                    i += 16;
+                }
+            }
+            Activation::Relu => {
+                let zero = _mm512_setzero_ps();
+                while i + 16 <= n {
+                    let v = _mm512_add_ps(_mm512_loadu_ps(pr.add(i)), _mm512_loadu_ps(pb.add(i)));
+                    _mm512_storeu_ps(pr.add(i), _mm512_max_ps(v, zero));
+                    i += 16;
+                }
+            }
+            Activation::Tanh => {
+                while i + 16 <= n {
+                    let v = _mm512_add_ps(_mm512_loadu_ps(pr.add(i)), _mm512_loadu_ps(pb.add(i)));
+                    _mm512_storeu_ps(pr.add(i), tanh512(v));
+                    i += 16;
+                }
+            }
+            Activation::Sigmoid => {
+                while i + 16 <= n {
+                    let v = _mm512_add_ps(_mm512_loadu_ps(pr.add(i)), _mm512_loadu_ps(pb.add(i)));
+                    _mm512_storeu_ps(pr.add(i), sigmoid512(v));
+                    i += 16;
+                }
+            }
+        }
+        while i < n {
+            row[i] = act.apply(row[i] + bias[i]);
+            i += 1;
+        }
+    }
+
+    fn bias_act_avx512(row: &mut [f32], bias: &[f32], act: Activation) {
+        // SAFETY: reachable only through the detected AVX-512 KernelSet.
+        unsafe { bias_act_avx512_impl(row, bias, act) }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gru_gates_avx512_impl(
+        xp: &[f32],
+        up: &[f32],
+        h: &mut [f32],
+        z: &mut [f32],
+        r: &mut [f32],
+    ) {
+        let hidden = h.len();
+        let (pxp, pup) = (xp.as_ptr(), up.as_ptr());
+        let mut i = 0;
+        while i + 16 <= hidden {
+            let vz = sigmoid512(_mm512_add_ps(
+                _mm512_loadu_ps(pxp.add(i)),
+                _mm512_loadu_ps(pup.add(i)),
+            ));
+            let vr = sigmoid512(_mm512_add_ps(
+                _mm512_loadu_ps(pxp.add(hidden + i)),
+                _mm512_loadu_ps(pup.add(hidden + i)),
+            ));
+            let vn = tanh512(_mm512_fmadd_ps(
+                vr,
+                _mm512_loadu_ps(pup.add(2 * hidden + i)),
+                _mm512_loadu_ps(pxp.add(2 * hidden + i)),
+            ));
+            let vh = _mm512_loadu_ps(h.as_ptr().add(i));
+            let vh_new = _mm512_fmadd_ps(vz, _mm512_sub_ps(vh, vn), vn);
+            _mm512_storeu_ps(z.as_mut_ptr().add(i), vz);
+            _mm512_storeu_ps(r.as_mut_ptr().add(i), vr);
+            _mm512_storeu_ps(h.as_mut_ptr().add(i), vh_new);
+            i += 16;
+        }
+        while i < hidden {
+            z[i] = crate::sigmoid(xp[i] + up[i]);
+            r[i] = crate::sigmoid(xp[hidden + i] + up[hidden + i]);
+            let n = (xp[2 * hidden + i] + r[i] * up[2 * hidden + i]).tanh();
+            h[i] = n + z[i] * (h[i] - n);
+            i += 1;
+        }
+    }
+
+    fn gru_gates_avx512(xp: &[f32], up: &[f32], h: &mut [f32], z: &mut [f32], r: &mut [f32]) {
+        // SAFETY: reachable only through the detected AVX-512 KernelSet.
+        unsafe { gru_gates_avx512_impl(xp, up, h, z, r) }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn sum_abs_diff_avx512_impl(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            let d0 = _mm512_sub_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)));
+            let d1 = _mm512_sub_ps(
+                _mm512_loadu_ps(pa.add(i + 16)),
+                _mm512_loadu_ps(pb.add(i + 16)),
+            );
+            acc0 = _mm512_add_ps(acc0, _mm512_abs_ps(d0));
+            acc1 = _mm512_add_ps(acc1, _mm512_abs_ps(d1));
+            i += 32;
+        }
+        if i + 16 <= n {
+            let d = _mm512_sub_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)));
+            acc0 = _mm512_add_ps(acc0, _mm512_abs_ps(d));
+            i += 16;
+        }
+        if i < n {
+            let m: __mmask16 = (1u16 << (n - i)) - 1;
+            let d = _mm512_sub_ps(
+                _mm512_maskz_loadu_ps(m, pa.add(i)),
+                _mm512_maskz_loadu_ps(m, pb.add(i)),
+            );
+            acc1 = _mm512_add_ps(acc1, _mm512_abs_ps(d));
+        }
+        _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1))
+    }
+
+    fn sum_abs_diff_avx512(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: reachable only through the detected AVX-512 KernelSet.
+        unsafe { sum_abs_diff_avx512_impl(a, b) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_set_is_the_reference_path() {
+        let ks = KernelSet::scalar();
+        assert_eq!(ks.name, "scalar");
+        // The scalar dot is bitwise the documented lane-blocked reference.
+        let a: Vec<f32> = (0..37).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.91).cos()).collect();
+        let mut lanes = [0.0f32; LANES];
+        for (xa, xb) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+            for i in 0..LANES {
+                lanes[i] += xa[i] * xb[i];
+            }
+        }
+        let mut expect: f32 = lanes.iter().sum();
+        for i in (a.len() / LANES * LANES)..a.len() {
+            expect += a[i] * b[i];
+        }
+        assert_eq!(ks.dot(&a, &b), expect);
+    }
+
+    #[test]
+    fn force_scalar_env_parsing() {
+        assert!(!env_forces_scalar(None));
+        assert!(!env_forces_scalar(Some("")));
+        assert!(!env_forces_scalar(Some("0")));
+        assert!(!env_forces_scalar(Some("false")));
+        assert!(!env_forces_scalar(Some("FALSE")));
+        assert!(env_forces_scalar(Some("1")));
+        assert!(env_forces_scalar(Some("true")));
+        assert!(env_forces_scalar(Some("yes")));
+    }
+
+    #[test]
+    fn selection_honors_scalar_override() {
+        assert_eq!(
+            select(true, None).name,
+            "scalar",
+            "override must force scalar"
+        );
+        assert_eq!(select(true, Some("avx512")).name, "scalar");
+        let best = select(false, None);
+        if KernelSet::avx512().is_some() {
+            assert_eq!(best.name, "avx512");
+        } else if KernelSet::avx2().is_some() {
+            assert_eq!(best.name, "avx2");
+        } else {
+            assert_eq!(best.name, "scalar");
+        }
+    }
+
+    #[test]
+    fn selection_honors_requested_set() {
+        assert_eq!(select(false, Some("scalar")).name, "scalar");
+        if let Some(avx2) = KernelSet::avx2() {
+            assert_eq!(select(false, Some("avx2")).name, avx2.name);
+        }
+        if let Some(avx512) = KernelSet::avx512() {
+            assert_eq!(select(false, Some("avx512")).name, avx512.name);
+        }
+        // Unknown requests fall back to the normal ladder, never crash.
+        let fallback = select(false, Some("neon"));
+        assert_eq!(fallback.name, select(false, None).name);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn mismatched_dot_lengths_panic_not_ub() {
+        // The SIMD bodies size raw-pointer loads by `a.len()`; the public
+        // wrapper must reject mismatches in release builds too.
+        let _ = KernelSet::active().dot(&[1.0; 16], &[1.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gru_gates shape mismatch")]
+    fn mismatched_gate_shapes_panic_not_ub() {
+        let (mut h, mut z, mut r) = (vec![0.0f32; 8], vec![0.0f32; 4], vec![0.0f32; 8]);
+        KernelSet::active().gru_gates(&[0.0; 24], &[0.0; 24], &mut h, &mut z, &mut r);
+    }
+
+    #[test]
+    fn available_always_includes_scalar() {
+        let sets = KernelSet::available();
+        assert_eq!(sets[0].name, "scalar");
+        assert!(sets.len() <= 3);
+    }
+
+    /// Saturation and extreme inputs through every available gate kernel:
+    /// huge pre-activations must produce exactly-saturated gates, never
+    /// NaN/inf (the vector exp clamps instead of overflowing).
+    #[test]
+    fn gate_kernels_saturate_cleanly() {
+        for ks in KernelSet::available() {
+            for &v in &[-1e4f32, -100.0, -20.0, 0.0, 20.0, 100.0, 1e4] {
+                let hidden = 16;
+                let xp = vec![v; 3 * hidden];
+                let up = vec![0.0f32; 3 * hidden];
+                let mut h = vec![0.25f32; hidden];
+                let mut z = vec![0.0f32; hidden];
+                let mut r = vec![0.0f32; hidden];
+                ks.gru_gates(&xp, &up, &mut h, &mut z, &mut r);
+                for i in 0..hidden {
+                    assert!(
+                        z[i].is_finite() && (0.0..=1.0).contains(&z[i]),
+                        "{} z {v}",
+                        ks.name
+                    );
+                    assert!(
+                        r[i].is_finite() && (0.0..=1.0).contains(&r[i]),
+                        "{} r {v}",
+                        ks.name
+                    );
+                    assert!(
+                        h[i].is_finite() && h[i].abs() <= 1.0 + 1e-6,
+                        "{} h {v}",
+                        ks.name
+                    );
+                    let want_z = crate::sigmoid(v);
+                    assert!(
+                        (z[i] - want_z).abs() < 1e-6,
+                        "{} z {v}: {} vs {want_z}",
+                        ks.name,
+                        z[i]
+                    );
+                }
+            }
+        }
+    }
+}

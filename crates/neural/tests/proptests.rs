@@ -1,11 +1,28 @@
 //! Property-based tests for the neural substrate.
 
+use neural::dense::Activation;
 use neural::{
-    softmax_cross_entropy, softmax_inplace, Autoencoder, GruCell, GruWorkspace, Matrix, PackedGru,
+    softmax_cross_entropy, softmax_inplace, Autoencoder, GruCell, GruWorkspace, KernelSet, Matrix,
+    PackedGru,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Deterministic pseudo-random fill for kernel-equivalence tests.
+fn kernel_input(len: usize, seed: u64, scale: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| (i as f32 * 0.7311 + seed as f32 * 0.137).sin() * scale)
+        .collect()
+}
+
+/// Tolerance for SIMD-vs-scalar drift: 1e-6 relative to the magnitude of
+/// the scalar result (absolute 1e-6 for results inside the unit range).
+/// SIMD kernels differ from the scalar reference only by reassociation
+/// and the polynomial exp.
+fn close(simd: f32, scalar: f32) -> bool {
+    (simd - scalar).abs() <= 1e-6 * scalar.abs().max(1.0)
+}
 
 proptest! {
     /// Softmax output is a probability distribution for any finite input.
@@ -181,6 +198,117 @@ proptest! {
             prop_assert_eq!(&shared.hs, &fresh.hs, "len {} at position {}", len, k);
             prop_assert_eq!(&shared.zs, &fresh.zs);
             prop_assert_eq!(&shared.rs, &fresh.rs);
+        }
+    }
+
+    /// Every dispatched SIMD kernel set reproduces the scalar reference
+    /// dot products within 1e-6 on randomized lengths, including
+    /// remainder lanes (lengths that are not multiples of 8/16/32).
+    #[test]
+    fn simd_dot_kernels_match_scalar(
+        len in 0usize..134,
+        seed in 0u64..500,
+        scale in 0.1f32..3.0,
+    ) {
+        let a = kernel_input(len, seed, scale);
+        let b0 = kernel_input(len, seed ^ 1, scale);
+        let b1 = kernel_input(len, seed ^ 2, scale);
+        let b2 = kernel_input(len, seed ^ 3, scale);
+        let b3 = kernel_input(len, seed ^ 4, scale);
+        let scalar = KernelSet::scalar();
+        let want = scalar.dot(&a, &b0);
+        let want4 = scalar.dot4(&a, &b0, &b1, &b2, &b3);
+        for ks in KernelSet::available() {
+            let got = ks.dot(&a, &b0);
+            prop_assert!(close(got, want), "{} dot: {got} vs {want}", ks.name);
+            let got4 = ks.dot4(&a, &b0, &b1, &b2, &b3);
+            for j in 0..4 {
+                prop_assert!(
+                    close(got4[j], want4[j]),
+                    "{} dot4[{j}]: {} vs {}", ks.name, got4[j], want4[j]
+                );
+            }
+        }
+    }
+
+    /// SIMD axpy and the L1 error reduction match the scalar reference on
+    /// randomized lengths including remainders.
+    #[test]
+    fn simd_axpy_and_l1_match_scalar(
+        len in 0usize..71,
+        seed in 0u64..500,
+        alpha in -2.0f32..2.0,
+    ) {
+        let src = kernel_input(len, seed, 1.0);
+        let base = kernel_input(len, seed ^ 7, 1.0);
+        let scalar = KernelSet::scalar();
+        let mut want = base.clone();
+        scalar.axpy(&mut want, &src, alpha);
+        let want_l1 = scalar.sum_abs_diff(&base, &src);
+        for ks in KernelSet::available() {
+            let mut got = base.clone();
+            ks.axpy(&mut got, &src, alpha);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!(close(*g, *w), "{} axpy: {g} vs {w}", ks.name);
+            }
+            let got_l1 = ks.sum_abs_diff(&base, &src);
+            prop_assert!(close(got_l1, want_l1), "{} l1: {got_l1} vs {want_l1}", ks.name);
+        }
+    }
+
+    /// The SIMD GRU gate block (vectorized sigmoid/tanh over the packed 3H
+    /// slab) matches the scalar reference within 1e-6 for any hidden size
+    /// — including non-multiple-of-lane sizes — and across the whole
+    /// pre-activation range, saturation included.
+    #[test]
+    fn simd_gru_gates_match_scalar(
+        hidden in 1usize..41,
+        seed in 0u64..500,
+        scale in 0.1f32..40.0,
+    ) {
+        let xp = kernel_input(3 * hidden, seed, scale);
+        let up = kernel_input(3 * hidden, seed ^ 11, scale);
+        let h0 = kernel_input(hidden, seed ^ 13, 0.9);
+        let scalar = KernelSet::scalar();
+        let (mut wh, mut wz, mut wr) = (h0.clone(), vec![0.0; hidden], vec![0.0; hidden]);
+        scalar.gru_gates(&xp, &up, &mut wh, &mut wz, &mut wr);
+        for ks in KernelSet::available() {
+            let (mut gh, mut gz, mut gr) = (h0.clone(), vec![0.0; hidden], vec![0.0; hidden]);
+            ks.gru_gates(&xp, &up, &mut gh, &mut gz, &mut gr);
+            for i in 0..hidden {
+                prop_assert!((gz[i] - wz[i]).abs() < 1e-6, "{} z[{i}]: {} vs {}", ks.name, gz[i], wz[i]);
+                prop_assert!((gr[i] - wr[i]).abs() < 1e-6, "{} r[{i}]: {} vs {}", ks.name, gr[i], wr[i]);
+                prop_assert!((gh[i] - wh[i]).abs() < 1e-6, "{} h[{i}]: {} vs {}", ks.name, gh[i], wh[i]);
+            }
+        }
+    }
+
+    /// The SIMD bias+activation epilogue matches the scalar reference for
+    /// every activation on randomized row widths including remainders.
+    #[test]
+    fn simd_bias_act_matches_scalar(
+        len in 0usize..47,
+        seed in 0u64..500,
+        scale in 0.1f32..8.0,
+    ) {
+        let base = kernel_input(len, seed, scale);
+        let bias = kernel_input(len, seed ^ 17, scale);
+        let scalar = KernelSet::scalar();
+        for act in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let mut want = base.clone();
+            scalar.bias_act(&mut want, &bias, act);
+            for ks in KernelSet::available() {
+                let mut got = base.clone();
+                ks.bias_act(&mut got, &bias, act);
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert!(close(*g, *w), "{} {act:?}: {g} vs {w}", ks.name);
+                }
+            }
         }
     }
 
