@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin exp_stream_pcap -- [--preset quick|ci|paper]
-//!     [--pcap CAPTURE.pcap] [--write-pcap PATH] [--top N]
+//!     [--pcap CAPTURE.pcap] [--write-pcap PATH] [--top N] [--shards N]
 //! ```
 //!
 //! With `--pcap`, scores the given `LINKTYPE_RAW` capture. Without it, the
@@ -16,14 +16,21 @@
 //! runs.
 //!
 //! Packets are replayed in capture order through one [`StreamScorer`]
-//! flow table; every flow's verdict is emitted on TCP teardown, idle
-//! timeout or the end-of-capture flush, exactly as in a live deployment.
+//! flow table (`--shards 1`, the default) or through the RSS-sharded
+//! multi-queue front end (`--shards N`); every flow's verdict is emitted
+//! on TCP teardown, idle timeout or the end-of-capture flush, exactly as
+//! in a live deployment. The printed verdict table is deterministic: a
+//! pure function of (capture, shard count), byte-identical across runs —
+//! and byte-identical across shard counts too whenever no idle-timeout
+//! eviction fires (any capture shorter than the 300 s default
+//! `idle_timeout`; per-shard clocks may split longer-quiet flows
+//! differently). The sharded regression tests pin this.
 //!
 //! [`StreamScorer`]: clap_core::stream::StreamScorer
 
-use bench::{arg_value, render_table, Preset};
+use bench::{arg_value, verdict_table, Preset};
 use clap_core::stream::CloseReason;
-use clap_core::Clap;
+use clap_core::{Clap, ClosedFlow, ShardConfig};
 use net_packet::pcap::{read_pcap, write_pcap};
 use net_packet::Packet;
 use std::time::Instant;
@@ -34,6 +41,10 @@ fn main() {
     let top_n: usize = arg_value(&args, "--top")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let shards: usize = arg_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
 
     // Train CLAP only — the baselines have no streaming mode.
     eprintln!("[{}] training CLAP…", preset.name);
@@ -64,16 +75,38 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Replay in capture order through one flow table, the arrival order a
-    // line-rate tap would deliver.
+    // Replay in capture order — through one flow table, or hash-sharded
+    // across N worker queues; either way the arrival order per flow is
+    // what a line-rate tap would deliver.
     let t = Instant::now();
-    let mut scorer = clap.stream_scorer();
-    for p in &packets {
-        scorer.push(p);
-    }
-    let mut closed = scorer.drain_closed();
-    let inline_closes = closed.len();
-    closed.extend(scorer.finish());
+    let (closed, inline_closes): (Vec<ClosedFlow>, usize) = if shards > 1 {
+        let run = clap
+            .sharded_scorer_with(ShardConfig {
+                shards,
+                ..ShardConfig::default()
+            })
+            .score_stream(packets.iter());
+        let inline = run
+            .verdicts
+            .iter()
+            .filter(|v| v.flow.reason != CloseReason::Drained)
+            .count();
+        let stalls: u64 = run.stats.iter().map(|s| s.full_waits).sum();
+        eprintln!(
+            "[{}] {} shards, {} backpressure stalls",
+            preset.name, shards, stalls
+        );
+        (run.verdicts.into_iter().map(|v| v.flow).collect(), inline)
+    } else {
+        let mut scorer = clap.stream_scorer();
+        for p in &packets {
+            scorer.push(p);
+        }
+        let mut closed = scorer.drain_closed();
+        let inline = closed.len();
+        closed.extend(scorer.finish());
+        (closed, inline)
+    };
     let elapsed = t.elapsed();
 
     let streamed: usize = closed.iter().map(|c| c.packets).sum();
@@ -110,29 +143,9 @@ fn main() {
         by_reason[0], by_reason[1], by_reason[2], by_reason[3], by_reason[4]
     );
 
-    // Highest-scoring flows: where an analyst would look first.
-    closed.sort_by(|a, b| b.scored.score.total_cmp(&a.scored.score));
-    let rows: Vec<Vec<String>> = closed
-        .iter()
-        .take(top_n)
-        .map(|c| {
-            vec![
-                format!("{}:{}", c.key.client.addr, c.key.client.port),
-                format!("{}:{}", c.key.server.addr, c.key.server.port),
-                c.packets.to_string(),
-                format!("{:?}", c.reason),
-                format!("{:.5}", c.scored.score),
-                c.scored.peak_packet.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &["Client", "Server", "Pkts", "Closed by", "Score", "Peak pkt"],
-            &rows
-        )
-    );
+    // Highest-scoring flows: where an analyst would look first. The table
+    // renderer sorts internally and is deterministic across shard counts.
+    println!("{}", verdict_table(&closed, top_n));
 }
 
 /// Builds a mixed benign + adversarial capture, writes it as a pcap and

@@ -5,10 +5,18 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper]
-//!     [--threads N] [--json PATH]
+//!     [--threads N] [--shards N] [--json PATH]
 //!     [--check-against REFERENCE.json] [--max-regress 0.20]
-//!     [--max-regress-speedup 0.30]
+//!     [--max-regress-speedup 0.30] [--max-regress-sharded 0.35]
+//!     [--min-shard-scaling X]
 //! ```
+//!
+//! `--min-shard-scaling X` additionally fails the run when the sharded ÷
+//! single-thread streaming factor falls below `X` — the only check that
+//! catches "sharding silently serialized". It is core-count-dependent
+//! (≤ ~1 on one core, ≥ 2.5 expected with 4 shards on 4+ cores), so it is
+//! off by default; enable it in CI together with a multi-core-recorded
+//! reference.
 //!
 //! Writes a machine-readable `BENCH_throughput.json` (override with
 //! `--json`) so the performance trajectory is tracked across PRs. Also
@@ -32,9 +40,10 @@
 //! kernels (ratio ≈ 3.1 vs the ≈ 5.3 AVX2 reference) still fails.
 
 use bench::{
-    arg_value, check_speedup_regression, check_throughput_regression, render_table, train_all,
-    Preset, ThroughputReference,
+    arg_value, check_shard_scaling_floor, check_sharded_regression, check_speedup_regression,
+    check_throughput_regression, render_table, train_all, Preset, ThroughputReference,
 };
+use clap_core::{ShardConfig, StreamConfig};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -56,6 +65,16 @@ struct ThroughputReport {
     clap_stream_pps: f64,
     /// Streaming ÷ fused batch (the price of online per-packet delivery).
     stream_over_batch: f64,
+    /// Worker shards of the RSS-sharded streaming measurement.
+    shards: usize,
+    /// Packets/second of the RSS-sharded multi-queue streaming engine
+    /// (`shards` worker threads plus the dispatch thread — deliberately
+    /// *not* pinned by `--threads`, which models the paper's single-core
+    /// batch setup; sharding exists to use the other cores).
+    clap_sharded_pps: f64,
+    /// Sharded ÷ single-threaded streaming (the multi-core scaling
+    /// factor; bounded by the machine's core count).
+    shard_scaling: f64,
     baseline1_pps: f64,
     kitsune_pps: f64,
 }
@@ -66,6 +85,10 @@ fn main() {
     let threads: usize = arg_value(&args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let shards: usize = arg_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
     let json_path =
         arg_value(&args, "--json").unwrap_or_else(|| "BENCH_throughput.json".to_string());
 
@@ -148,6 +171,35 @@ fn main() {
         (fused, unfused, streaming, b1, kitsune)
     });
 
+    // The RSS-sharded streaming engine runs outside the pinned pool: its
+    // whole point is to use `shards` worker cores plus the dispatcher.
+    // Teardown mirrors the single-stream measurement (flows scored to
+    // stream end), so sharded and unsharded do identical per-flow work.
+    let sharded_scorer = models.clap.sharded_scorer_with(ShardConfig {
+        shards,
+        queue_capacity: 1024,
+        stream: StreamConfig::default(),
+    });
+    // Warm-up: first run pays thread spawn + page faults.
+    let warm = sharded_scorer.score_stream(stream.iter().copied());
+    let t = Instant::now();
+    let run = sharded_scorer.score_stream(stream.iter().copied());
+    let sharded = t.elapsed();
+    let sharded_packets: usize = run.verdicts.iter().map(|v| v.flow.packets).sum();
+    assert_eq!(
+        sharded_packets, packets,
+        "sharded streaming must account for every packet"
+    );
+    assert_eq!(warm.verdicts.len(), run.verdicts.len());
+    let stalls: u64 = run.stats.iter().map(|s| s.full_waits).sum();
+    eprintln!(
+        "[{}] sharded run: {} shards, {} flows, {} backpressure stalls",
+        preset.name,
+        shards,
+        run.verdicts.len(),
+        stalls
+    );
+
     let pps = |elapsed: std::time::Duration| packets as f64 / elapsed.as_secs_f64();
     let cps = |elapsed: std::time::Duration| corpus.len() as f64 / elapsed.as_secs_f64();
 
@@ -169,6 +221,11 @@ fn main() {
             "CLAP (streaming per-flow)".to_string(),
             format!("{:.1}", pps(streaming)),
             format!("{:.1}", cps(streaming)),
+        ],
+        vec![
+            format!("CLAP (sharded streaming, {shards} shards)"),
+            format!("{:.1}", pps(sharded)),
+            format!("{:.1}", cps(sharded)),
         ],
         vec![
             "Baseline #1".to_string(),
@@ -197,6 +254,13 @@ fn main() {
         pps(streaming),
         pps(fused)
     );
+    println!(
+        "shard scaling: {:.2}x over 1-thread streaming ({} shards: {:.1} pkt/s vs {:.1} pkt/s)",
+        pps(sharded) / pps(streaming),
+        shards,
+        pps(sharded),
+        pps(streaming)
+    );
 
     let report = ThroughputReport {
         preset: preset.name.clone(),
@@ -208,6 +272,9 @@ fn main() {
         fusion_speedup: pps(fused) / pps(unfused),
         clap_stream_pps: pps(streaming),
         stream_over_batch: pps(streaming) / pps(fused),
+        shards,
+        clap_sharded_pps: pps(sharded),
+        shard_scaling: pps(sharded) / pps(streaming),
         baseline1_pps: pps(b1),
         kitsune_pps: pps(kitsune),
     };
@@ -287,6 +354,66 @@ fn main() {
             }
         } else {
             eprintln!("speedup gate skipped: reference records no fusion_speedup");
+        }
+        // Third gate: the RSS-sharded streaming path. Core count and
+        // clock both shift this metric, so the checked-in reference is
+        // recorded on the smallest supported machine and the budget is
+        // wide; what it reliably catches is the sharded path collapsing
+        // (serialization, livelock, duplicated work).
+        let max_regress_sharded: f64 = match arg_value(&args, "--max-regress-sharded") {
+            Some(v) => match v.parse() {
+                Ok(m) => m,
+                Err(_) => {
+                    eprintln!("regression gate error: invalid --max-regress-sharded value `{v}`");
+                    std::process::exit(1);
+                }
+            },
+            None => 0.35,
+        };
+        if let Some(ref_sharded) = reference.clap_sharded_pps {
+            match check_sharded_regression(
+                report.clap_sharded_pps,
+                ref_sharded,
+                max_regress_sharded,
+            ) {
+                Ok(change) => eprintln!(
+                    "sharded gate OK: {:.1} pkt/s vs reference {:.1} pkt/s \
+                     ({:+.1}% change, budget -{:.0}%)",
+                    report.clap_sharded_pps,
+                    ref_sharded,
+                    change * 100.0,
+                    max_regress_sharded * 100.0
+                ),
+                Err(msg) => {
+                    eprintln!("THROUGHPUT REGRESSION: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            eprintln!("sharded gate skipped: reference records no clap_sharded_pps");
+        }
+    }
+
+    // Optional absolute scaling floor — independent of any reference
+    // record, and the only check that catches a silently serialized
+    // sharded path (see the module docs for why it ships disabled).
+    if let Some(v) = arg_value(&args, "--min-shard-scaling") {
+        let floor: f64 = match v.parse() {
+            Ok(f) => f,
+            Err(_) => {
+                eprintln!("regression gate error: invalid --min-shard-scaling value `{v}`");
+                std::process::exit(1);
+            }
+        };
+        match check_shard_scaling_floor(report.shard_scaling, floor) {
+            Ok(()) => eprintln!(
+                "shard scaling gate OK: {:.2}x over 1-thread streaming (floor {:.2}x)",
+                report.shard_scaling, floor
+            ),
+            Err(msg) => {
+                eprintln!("THROUGHPUT REGRESSION: {msg}");
+                std::process::exit(1);
+            }
         }
     }
 }

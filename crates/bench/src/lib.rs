@@ -99,51 +99,74 @@ pub struct ThroughputReference {
     /// for references recorded before the field existed — those gate on
     /// pps alone.
     pub fusion_speedup: Option<f64>,
+    /// Packets/second of the RSS-sharded multi-queue streaming engine
+    /// when the reference was recorded. `None` for references recorded
+    /// before sharding existed — those skip the sharded gate.
+    pub clap_sharded_pps: Option<f64>,
 }
 
-/// Deserialization targets for the two reference generations (the
-/// vendored serde derive has no `#[serde(default)]`, so optionality is a
-/// parse fallback instead of an attribute).
-#[derive(Deserialize)]
-struct ReferenceWithSpeedup {
-    clap_fused_pps: f64,
-    fusion_speedup: f64,
-}
-
+/// Deserialization targets for the reference generations (the vendored
+/// serde derive has no `#[serde(default)]`, so optional fields are each
+/// parsed through their own single-field struct, engaged only when the
+/// record mentions the key).
 #[derive(Deserialize)]
 struct ReferencePpsOnly {
     clap_fused_pps: f64,
 }
 
+#[derive(Deserialize)]
+struct ReferenceSpeedupField {
+    fusion_speedup: f64,
+}
+
+#[derive(Deserialize)]
+struct ReferenceShardedField {
+    clap_sharded_pps: f64,
+}
+
+/// Parses an optional reference field: absent key → `None`, present but
+/// unparseable or non-finite → hard error. Silently downgrading a broken
+/// field to "absent" would disable its gate exactly when the file is
+/// broken, so that path does not exist.
+fn optional_metric<T: Deserialize>(
+    json: &str,
+    key: &str,
+    value: impl Fn(T) -> f64,
+) -> Result<Option<f64>, String> {
+    if !json.contains(&format!("\"{key}\"")) {
+        return Ok(None);
+    }
+    let parsed = serde_json::from_str::<T>(json)
+        .map_err(|e| format!("cannot parse reference {key}: {e:?}"))?;
+    let v = value(parsed);
+    // The vendored JSON parser maps type mismatches to NaN rather than
+    // failing; treat that as the parse error it is.
+    if !v.is_finite() {
+        return Err(format!("reference {key} is not a finite number ({v})"));
+    }
+    Ok(Some(v))
+}
+
 impl ThroughputReference {
-    /// Parses a reference record, accepting both the current format (with
-    /// `fusion_speedup`) and pre-ratio-gate records (pps only). A record
-    /// that *mentions* `fusion_speedup` but fails to parse it is a hard
-    /// error — silently downgrading it to a pps-only reference would
-    /// disable the ratio gate exactly when the file is broken.
+    /// Parses a reference record, accepting every recorded generation:
+    /// pps-only (PR 2), pps + `fusion_speedup` (PR 3), and pps + speedup +
+    /// `clap_sharded_pps` (PR 4). A record that *mentions* an optional
+    /// field but fails to parse it is a hard error — silently downgrading
+    /// would disable that gate exactly when the file is broken.
     pub fn from_json(json: &str) -> Result<ThroughputReference, String> {
-        if json.contains("\"fusion_speedup\"") {
-            let r = serde_json::from_str::<ReferenceWithSpeedup>(json)
-                .map_err(|e| format!("cannot parse reference fusion_speedup/pps: {e:?}"))?;
-            // The vendored JSON parser maps type mismatches to NaN rather
-            // than failing; treat that as the parse error it is.
-            if !r.fusion_speedup.is_finite() {
-                return Err(format!(
-                    "reference fusion_speedup is not a finite number ({})",
-                    r.fusion_speedup
-                ));
-            }
-            return Ok(ThroughputReference {
-                clap_fused_pps: r.clap_fused_pps,
-                fusion_speedup: Some(r.fusion_speedup),
-            });
-        }
-        serde_json::from_str::<ReferencePpsOnly>(json)
-            .map(|r| ThroughputReference {
-                clap_fused_pps: r.clap_fused_pps,
-                fusion_speedup: None,
-            })
-            .map_err(|e| format!("cannot parse reference: {e:?}"))
+        let base = serde_json::from_str::<ReferencePpsOnly>(json)
+            .map_err(|e| format!("cannot parse reference: {e:?}"))?;
+        Ok(ThroughputReference {
+            clap_fused_pps: base.clap_fused_pps,
+            fusion_speedup: optional_metric(json, "fusion_speedup", |r: ReferenceSpeedupField| {
+                r.fusion_speedup
+            })?,
+            clap_sharded_pps: optional_metric(
+                json,
+                "clap_sharded_pps",
+                |r: ReferenceShardedField| r.clap_sharded_pps,
+            )?,
+        })
     }
 
     /// Loads a reference record from a JSON file (e.g. the checked-in
@@ -216,6 +239,87 @@ pub fn check_speedup_regression(
         current_speedup,
         reference_speedup,
         max_regress,
+    )
+}
+
+/// The sharded-streaming throughput gate. Machine-relative like the
+/// fused-pps gate (core count *and* clock shift it), so the checked-in
+/// reference is recorded on the smallest supported machine and the budget
+/// is sized generously; what this gate reliably catches is the sharded
+/// path collapsing — a serialization bug, a livelocked queue, a
+/// mis-hashed partition doing duplicate work.
+pub fn check_sharded_regression(
+    current_pps: f64,
+    reference_pps: f64,
+    max_regress: f64,
+) -> Result<f64, String> {
+    check_metric_regression(
+        "sharded throughput",
+        current_pps,
+        reference_pps,
+        max_regress,
+    )
+}
+
+/// Absolute floor on the sharded ÷ single-thread streaming scaling factor
+/// (`exp_throughput --min-shard-scaling`). This is the only gate that can
+/// catch "sharding silently adds nothing" (e.g. an accidental global
+/// lock): the relative pps gates pass a fully serialized sharded path
+/// whenever the runner is faster than the reference machine. The floor is
+/// core-count-dependent — ~0.9 is the ceiling on a single-core box, while
+/// a 4-core runner should clear 2.5 — so it ships disabled by default and
+/// is meant to be enabled in CI alongside a multi-core-recorded
+/// `BENCH_reference.json`.
+pub fn check_shard_scaling_floor(scaling: f64, floor: f64) -> Result<(), String> {
+    if !scaling.is_finite() || scaling <= 0.0 {
+        return Err(format!(
+            "measured shard_scaling {scaling} is not a positive number"
+        ));
+    }
+    if scaling < floor {
+        return Err(format!(
+            "shard scaling {scaling:.2}x is below the required floor {floor:.2}x \
+             (the sharded path is not using its cores)"
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the deterministic per-flow verdict table of a streaming replay:
+/// one row per finalized flow, sorted by score (desc) with a total
+/// tie-break on flow identity. Shared by `exp_stream_pcap` and the sharded
+/// determinism regression tests, which assert the rendered bytes are
+/// identical across runs and shard counts — so this function must stay a
+/// pure function of the verdict *set* (never of arrival or thread order).
+pub fn verdict_table(closed: &[clap_core::ClosedFlow], top_n: usize) -> String {
+    // Identity strings are formatted once per flow, not per comparison.
+    let mut flows: Vec<(String, &clap_core::ClosedFlow)> =
+        closed.iter().map(|c| (format!("{}", c.key), c)).collect();
+    flows.sort_by(|(ka, a), (kb, b)| {
+        b.scored
+            .score
+            .total_cmp(&a.scored.score)
+            .then_with(|| ka.cmp(kb))
+            .then(a.packets.cmp(&b.packets))
+    });
+    let rows: Vec<Vec<String>> = flows
+        .iter()
+        .map(|(_, c)| c)
+        .take(top_n)
+        .map(|c| {
+            vec![
+                format!("{}", c.key.client),
+                format!("{}", c.key.server),
+                c.packets.to_string(),
+                format!("{:?}", c.reason),
+                format!("{:.6}", c.scored.score),
+                c.scored.peak_packet.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Client", "Server", "Pkts", "Closed by", "Score", "Peak pkt"],
+        &rows,
     )
 }
 
@@ -597,6 +701,96 @@ mod tests {
         // Garbage ratios are rejected like garbage throughputs.
         assert!(check_speedup_regression(f64::NAN, 3.0, 0.20).is_err());
         assert!(check_speedup_regression(3.0, 0.0, 0.20).is_err());
+    }
+
+    #[test]
+    fn reference_with_sharded_pps_parses() {
+        let json = r#"{
+            "preset": "ci",
+            "clap_fused_pps": 27767.36,
+            "fusion_speedup": 3.09,
+            "clap_sharded_pps": 91234.5
+        }"#;
+        let reference = ThroughputReference::from_json(json).unwrap();
+        assert!((reference.clap_sharded_pps.unwrap() - 91234.5).abs() < 1e-9);
+        assert!((reference.fusion_speedup.unwrap() - 3.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_without_sharded_pps_skips_that_gate() {
+        let json = r#"{ "clap_fused_pps": 1000.0, "fusion_speedup": 3.0 }"#;
+        let reference = ThroughputReference::from_json(json).unwrap();
+        assert_eq!(reference.clap_sharded_pps, None);
+    }
+
+    #[test]
+    fn malformed_sharded_pps_is_a_hard_error() {
+        for bad in [
+            r#"{ "clap_fused_pps": 1000.0, "clap_sharded_pps": "fast" }"#,
+            r#"{ "clap_fused_pps": 1000.0, "clap_sharded_pps": null }"#,
+        ] {
+            let err = ThroughputReference::from_json(bad).unwrap_err();
+            assert!(
+                err.contains("clap_sharded_pps"),
+                "unexpected message: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_gate_behaves_like_the_others() {
+        assert!(check_sharded_regression(100_000.0, 90_000.0, 0.35).is_ok());
+        let err = check_sharded_regression(40_000.0, 90_000.0, 0.35).unwrap_err();
+        assert!(
+            err.contains("sharded throughput regressed"),
+            "unexpected message: {err}"
+        );
+        assert!(check_sharded_regression(f64::NAN, 90_000.0, 0.35).is_err());
+    }
+
+    #[test]
+    fn shard_scaling_floor_gate() {
+        assert!(check_shard_scaling_floor(2.8, 2.5).is_ok());
+        let err = check_shard_scaling_floor(1.02, 2.5).unwrap_err();
+        assert!(
+            err.contains("below the required floor"),
+            "unexpected message: {err}"
+        );
+        assert!(check_shard_scaling_floor(f64::NAN, 2.5).is_err());
+        assert!(check_shard_scaling_floor(-1.0, 2.5).is_err());
+    }
+
+    #[test]
+    fn verdict_table_is_order_insensitive() {
+        use clap_core::{CloseReason, ClosedFlow, ScoredConnection};
+        use net_packet::{Endpoint, FlowKey};
+        use std::net::Ipv4Addr;
+        let flow = |a: u8, score: f32| ClosedFlow {
+            key: FlowKey::new(
+                Endpoint::new(Ipv4Addr::new(10, 0, 0, a), 1000 + u16::from(a)),
+                Endpoint::new(Ipv4Addr::new(10, 0, 1, 1), 80),
+            ),
+            packets: usize::from(a) + 3,
+            reason: CloseReason::Drained,
+            scored: ScoredConnection {
+                peak_packet: 1,
+                peak_window: 0,
+                window_errors: vec![score],
+                score,
+            },
+        };
+        // Two flows with identical scores exercise the identity tie-break.
+        let mut closed = vec![flow(1, 0.5), flow(2, 0.75), flow(3, 0.5)];
+        let table = verdict_table(&closed, 10);
+        closed.reverse();
+        assert_eq!(
+            verdict_table(&closed, 10),
+            table,
+            "rendered verdicts must not depend on completion order"
+        );
+        let top = verdict_table(&closed, 1);
+        assert!(top.contains("0.750000"), "top-1 keeps the highest score");
+        assert!(!top.contains("0.500000"));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Deterministic sharded pcap-replay regression tests.
+//!
+//! `tests/data/shard_tiny.pcap` is a tiny synthesized capture (benign
+//! generated traffic plus one adversarial strategy, round-tripped through
+//! the real pcap writer) checked into the repository so this suite pins
+//! the full deployment path: file bytes → pcap reader → RSS-sharded
+//! multi-queue scoring → rendered verdict table. The table must be
+//! **byte-identical** across repeated runs (thread scheduling must not
+//! leak into output) and across shard counts (the sharded engine must
+//! equal the single-threaded one, not merely approximate it).
+//!
+//! Regenerate the capture with
+//! `cargo test -p bench --test sharded_replay -- --ignored regenerate`
+//! after an intentional traffic-generator change, and commit the result.
+
+use clap_core::{Clap, ClapConfig, ShardConfig, StreamConfig};
+use net_packet::pcap::{read_pcap, write_pcap};
+use net_packet::Packet;
+use std::sync::OnceLock;
+
+fn pcap_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("shard_tiny.pcap")
+}
+
+/// One trained model shared across tests (training dominates runtime).
+fn model() -> &'static Clap {
+    static MODEL: OnceLock<Clap> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let benign = traffic_gen::dataset(87, 20);
+        let mut cfg = ClapConfig::ci();
+        cfg.ae.epochs = 8;
+        Clap::train(&benign, &cfg).0
+    })
+}
+
+fn load_capture() -> Vec<Packet> {
+    let bytes = std::fs::read(pcap_path()).expect(
+        "tests/data/shard_tiny.pcap missing — regenerate with \
+         `cargo test -p bench --test sharded_replay -- --ignored regenerate`",
+    );
+    read_pcap(&bytes[..]).expect("checked-in capture parses")
+}
+
+/// The full `--shards N` replay path of `exp_stream_pcap`: sharded
+/// scoring with default stream policy, rendered through the shared
+/// deterministic verdict table.
+fn sharded_table(clap: &Clap, packets: &[Packet], shards: usize) -> String {
+    let run = clap
+        .sharded_scorer_with(ShardConfig {
+            shards,
+            queue_capacity: 1024,
+            stream: StreamConfig::default(),
+        })
+        .score_stream(packets.iter());
+    let closed: Vec<_> = run.verdicts.into_iter().map(|v| v.flow).collect();
+    bench::verdict_table(&closed, usize::MAX)
+}
+
+/// `exp_stream_pcap --shards 4` emits byte-identical verdict tables
+/// across two runs (scheduling independence) and against `--shards 1`
+/// and the plain single-threaded engine (shard-count independence).
+#[test]
+fn sharded_pcap_replay_is_byte_identical() {
+    let clap = model();
+    let packets = load_capture();
+    assert!(!packets.is_empty());
+
+    let four_a = sharded_table(clap, &packets, 4);
+    let four_b = sharded_table(clap, &packets, 4);
+    assert_eq!(
+        four_a, four_b,
+        "two --shards 4 replays must render identical bytes"
+    );
+
+    let one = sharded_table(clap, &packets, 1);
+    assert_eq!(four_a, one, "--shards 4 must equal --shards 1");
+
+    // The unsharded engine (the exp_stream_pcap --shards 1 default path).
+    let mut plain = clap.stream_scorer();
+    for p in &packets {
+        plain.push(p);
+    }
+    let mut closed = plain.drain_closed();
+    closed.extend(plain.finish());
+    let unsharded = bench::verdict_table(&closed, usize::MAX);
+    assert_eq!(four_a, unsharded, "sharded must equal the plain engine");
+}
+
+/// The capture itself is pinned: if the traffic generator or pcap writer
+/// drift, this fails loudly instead of silently re-baselining the
+/// determinism test above.
+#[test]
+fn shard_tiny_capture_is_stable() {
+    let packets = load_capture();
+    assert_eq!(packets.len(), synthesize_capture().len());
+    let mut buf = Vec::new();
+    write_pcap(&mut buf, &synthesize_capture()).expect("serialize");
+    let on_disk = std::fs::read(pcap_path()).expect("read checked-in capture");
+    assert_eq!(
+        buf, on_disk,
+        "regenerated capture differs from tests/data/shard_tiny.pcap — \
+         if the generator change is intentional, re-run the ignored \
+         `regenerate` test and commit the new file"
+    );
+}
+
+/// Builds the tiny capture deterministically: four benign connections
+/// plus one adversarial strategy over one more, interleaved by timestamp.
+fn synthesize_capture() -> Vec<Packet> {
+    let mut conns = traffic_gen::dataset(0x5eed_ca97, 4);
+    let strategy = &dpi_attacks::registry()[0];
+    let base = traffic_gen::dataset(0x5eed_ca98, 1);
+    let adv = dpi_attacks::build_adversarial_set(strategy, &base, 7);
+    conns.extend(adv.into_iter().map(|r| r.connection));
+    let mut stream: Vec<Packet> = conns
+        .iter()
+        .flat_map(|c| c.packets.iter().cloned())
+        .collect();
+    stream.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+    stream
+}
+
+/// Writes `tests/data/shard_tiny.pcap`. Ignored: run explicitly (and
+/// commit the result) only when the capture must change.
+#[test]
+#[ignore = "writes the checked-in capture; run explicitly to regenerate"]
+fn regenerate_shard_tiny_pcap() {
+    let stream = synthesize_capture();
+    let mut buf = Vec::new();
+    write_pcap(&mut buf, &stream).expect("serialize capture");
+    std::fs::create_dir_all(pcap_path().parent().unwrap()).expect("create tests/data");
+    std::fs::write(pcap_path(), &buf).expect("write capture");
+    eprintln!(
+        "wrote {} ({} packets, {} bytes)",
+        pcap_path().display(),
+        stream.len(),
+        buf.len()
+    );
+}

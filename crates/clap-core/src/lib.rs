@@ -21,12 +21,15 @@
 //!    score; thresholding yields detection, the error peak yields
 //!    localization.
 //!
-//! Scoring runs in two modes: **offline batch** over reassembled
+//! Scoring runs in three modes: **offline batch** over reassembled
 //! connections ([`Clap::score_connections`], sharded across rayon workers
-//! on the fused engine) and **online streaming** over an interleaved
-//! packet stream ([`stream`]: per-flow incremental state, bounded flow
-//! table, scores emitted as packets arrive — equivalent to the batch path
-//! within 1e-6).
+//! on the fused engine), **online streaming** over an interleaved packet
+//! stream ([`stream`]: per-flow incremental state, bounded flow table,
+//! scores emitted as packets arrive — equivalent to the batch path within
+//! 1e-6), and **sharded streaming** ([`shard`]: the streaming engine
+//! fanned out across worker threads by a symmetric RSS hash of the
+//! 4-tuple, with bounded SPSC ingest queues and a deterministic merged
+//! verdict order — equivalent to the single-threaded stream within 1e-6).
 //!
 //! # Quick start
 //!
@@ -49,6 +52,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod profile;
 pub mod score;
+pub mod shard;
 pub mod stream;
 
 pub use features::{
@@ -58,4 +62,5 @@ pub use metrics::{auc_roc, equal_error_rate, roc_curve, top_n_hit, RocPoint};
 pub use pipeline::{Clap, ClapConfig, ClapScorer, TrainSummary};
 pub use profile::{ProfileBuilder, ProfileWorkspace, GATE_FEATURES, PROFILE_LEN};
 pub use score::{score_errors, ScoredConnection};
+pub use shard::{ShardConfig, ShardStats, ShardVerdict, ShardedRun, ShardedStreamScorer};
 pub use stream::{CloseReason, ClosedFlow, StreamConfig, StreamScorer};

@@ -375,6 +375,21 @@ impl StreamScorer<'_> {
         self.flows.len()
     }
 
+    /// True while the table holds a live flow for this canonical tuple.
+    /// Lets a caller that attributes per-flow metadata (e.g. the sharded
+    /// front end's arrival tags) detect that a tuple's old incarnation
+    /// closed and a new one started within a single [`push`](Self::push).
+    pub fn tracks(&self, key: &CanonicalKey) -> bool {
+        self.flows.contains_key(key)
+    }
+
+    /// Flows finalized since the last drain, without taking them — lets a
+    /// polling caller (e.g. a shard worker) skip the drain entirely on the
+    /// common no-close packet.
+    pub fn closed_flows(&self) -> usize {
+        self.closed.len()
+    }
+
     /// Takes every flow finalized since the last drain.
     pub fn drain_closed(&mut self) -> Vec<ClosedFlow> {
         std::mem::take(&mut self.closed)

@@ -3,7 +3,7 @@
 
 use clap_core::{
     auc_roc, equal_error_rate, extract_connection, roc_curve, score_errors, Clap, ClapConfig,
-    RangeModel, StreamConfig,
+    RangeModel, ShardConfig, StreamConfig,
 };
 use net_packet::{Connection, TcpFlags};
 use proptest::prelude::*;
@@ -264,4 +264,166 @@ proptest! {
         // score.
         prop_assert!(s1 >= s0 - 1.0, "score collapsed: {s0} -> {s1}");
     }
+}
+
+// One sharded case runs the corpus through five engines (unsharded plus
+// four shard counts), so the case budget is kept deliberately small.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharded front end's headline guarantee: for random interleaved
+    /// corrupted+benign traffic, `ShardedStreamScorer` with N ∈ {1, 2, 4,
+    /// 7} shards produces the identical per-flow verdict set (scores
+    /// ≤1e-6, same close reasons, same localization) as the
+    /// single-threaded `StreamScorer` — regardless of queue capacity,
+    /// sweep cadence and flush timing, with teardown both on and off.
+    /// (Idle-timeout evictions never fire here: generated captures are
+    /// far shorter than the 300 s idle deadline. That is the documented
+    /// boundary of shard-count equality — per-shard clocks may split
+    /// longer-quiet flows differently — and the run-to-run determinism
+    /// that *does* hold under idle sweeps is pinned separately by
+    /// `shard::tests::shard_flow_restart_keeps_deterministic_arrivals`
+    /// and `shard_idle_sweeps_are_deterministic_per_shard_count`.)
+    #[test]
+    fn sharded_verdicts_match_unsharded(
+        seed in 0u64..10_000,
+        queue_capacity in 1usize..24,
+        sweep_interval in prop_oneof![Just(1usize), Just(7usize), Just(4096usize)],
+        teardown in any::<bool>(),
+        corrupt in any::<bool>(),
+    ) {
+        let clap = model();
+        let mut conns = traffic_gen::dataset(seed ^ 0x5a4d, 6);
+        if corrupt {
+            // Inject a bad-checksum RST (the paper's flagship evasion)
+            // into every other flow, so the stream mixes corrupted and
+            // benign traffic through the same tables.
+            for conn in conns.iter_mut().step_by(2) {
+                if let Some(idx) = conn.first_index_after_handshake() {
+                    let at = idx.min(conn.len() - 1);
+                    let mut rst = conn.packets[at].clone();
+                    rst.tcp.flags = TcpFlags::RST;
+                    rst.payload.clear();
+                    rst.fill_checksums();
+                    rst.tcp.checksum ^= 0x0bad;
+                    conn.packets.insert(at, rst);
+                }
+            }
+        }
+        let mut stream: Vec<&net_packet::Packet> =
+            conns.iter().flat_map(|c| c.packets.iter()).collect();
+        stream.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+
+        let stream_cfg = StreamConfig {
+            teardown_on_close: teardown,
+            sweep_interval,
+            ..StreamConfig::default()
+        };
+
+        // Unsharded reference verdict set.
+        let mut plain = clap.stream_scorer_with(stream_cfg.clone());
+        for p in &stream {
+            plain.push(p);
+        }
+        let mut reference = plain.drain_closed();
+        reference.extend(plain.finish());
+        let expect: Vec<_> = verdict_set(reference.iter());
+
+        for shards in [1usize, 2, 4, 7] {
+            let run = clap
+                .sharded_scorer_with(ShardConfig {
+                    shards,
+                    queue_capacity,
+                    stream: stream_cfg.clone(),
+                })
+                .score_stream(stream.iter().copied());
+            let got: Vec<_> = verdict_set(run.verdicts.iter().map(|v| &v.flow));
+            prop_assert_eq!(got.len(), expect.len(), "flow count at {} shards", shards);
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert_eq!(g.0, e.0, "flow identity at {} shards", shards);
+                prop_assert_eq!(g.1, e.1, "packet count at {} shards", shards);
+                prop_assert_eq!(g.2, e.2, "close reason at {} shards", shards);
+                prop_assert_eq!(g.3, e.3, "peak packet at {} shards", shards);
+                prop_assert!(
+                    (g.4 - e.4).abs() < 1e-6,
+                    "score drift at {} shards: {} vs {}", shards, g.4, e.4
+                );
+            }
+        }
+    }
+
+    /// The symmetric shard hash keeps every packet of a flow — both
+    /// directions, including pre-SYN orient-buffer reorderings where
+    /// server packets precede the client's SYN — on one shard.
+    #[test]
+    fn all_packets_of_a_flow_share_a_shard(
+        seed in 0u64..10_000,
+        lead in 0usize..4,
+        shards in prop_oneof![Just(2usize), Just(4usize), Just(7usize), Just(13usize)],
+    ) {
+        let conn = &traffic_gen::dataset(seed ^ 0x15a6, 1)[0];
+        // Reorder like a mid-capture start: up to `lead` server→client
+        // packets ahead of the handshake (the PR 3 orient-buffer shape).
+        let s2c: Vec<usize> = (0..conn.len())
+            .filter(|&i| i > 0 && conn.direction(i) == net_packet::Direction::ServerToClient)
+            .take(lead)
+            .collect();
+        let mut stream: Vec<&net_packet::Packet> =
+            s2c.iter().map(|&i| &conn.packets[i]).collect();
+        stream.extend(
+            conn.packets
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !s2c.contains(i))
+                .map(|(_, p)| p),
+        );
+
+        let home = net_packet::CanonicalKey::of(stream[0]).shard_of(shards);
+        for p in &stream {
+            prop_assert_eq!(
+                net_packet::CanonicalKey::of(p).shard_of(shards),
+                home,
+                "a packet left its flow's shard"
+            );
+        }
+        prop_assert_eq!(
+            net_packet::CanonicalKey::of_key(&conn.key).shard_of(shards),
+            home,
+            "the oriented flow key agrees with its packets"
+        );
+    }
+}
+
+/// Canonicalizes a verdict list into a deterministic, comparable set:
+/// sorted by (canonical flow identity, packets), carrying close reason,
+/// localization and score.
+fn verdict_set<'a>(
+    flows: impl Iterator<Item = &'a clap_core::ClosedFlow>,
+) -> Vec<(
+    net_packet::CanonicalKey,
+    usize,
+    clap_core::CloseReason,
+    usize,
+    f32,
+)> {
+    let mut set: Vec<_> = flows
+        .map(|f| {
+            (
+                net_packet::CanonicalKey::of_key(&f.key),
+                f.packets,
+                f.reason,
+                f.scored.peak_packet,
+                f.scored.score,
+            )
+        })
+        .collect();
+    // Total order (score included) so repeated incarnations of one tuple
+    // pair up deterministically between the two engines.
+    set.sort_by(|a, b| {
+        format!("{:?}", a.0)
+            .cmp(&format!("{:?}", b.0))
+            .then(a.1.cmp(&b.1))
+            .then(a.4.total_cmp(&b.4))
+    });
+    set
 }

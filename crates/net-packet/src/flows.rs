@@ -19,6 +19,33 @@ pub struct CanonicalKey {
     hi: (u32, u16),
 }
 
+/// The Microsoft reference RSS hash key (the NDIS verification-suite
+/// secret). Any fixed key works for load spreading; using the canonical
+/// one lets the Toeplitz core be validated against the published test
+/// vectors, so [`CanonicalKey::rss_hash`] can be pinned forever.
+const RSS_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// Toeplitz hash of `data` under [`RSS_KEY`] — the exact function RSS
+/// NICs evaluate in hardware. For each set bit `p` of the input, XORs the
+/// 32-bit window of the key starting at bit `p`.
+fn toeplitz(data: &[u8]) -> u32 {
+    let mut hash = 0u32;
+    for (i, &byte) in data.iter().enumerate() {
+        // Key bits [8i, 8i+64): covers every 32-bit window this byte needs.
+        let w = u64::from_be_bytes(RSS_KEY[i..i + 8].try_into().expect("8-byte window"));
+        for b in 0..8 {
+            if byte & (0x80 >> b) != 0 {
+                hash ^= (w >> (32 - b)) as u32;
+            }
+        }
+    }
+    hash
+}
+
 impl CanonicalKey {
     /// Canonical key of a packet's 4-tuple.
     pub fn of(p: &Packet) -> CanonicalKey {
@@ -29,6 +56,43 @@ impl CanonicalKey {
         } else {
             CanonicalKey { lo: b, hi: a }
         }
+    }
+
+    /// Canonical key of an oriented [`FlowKey`] — the same key either
+    /// direction's packets would produce, so flow-table entries can be
+    /// looked up from a finalized connection's identity.
+    pub fn of_key(k: &FlowKey) -> CanonicalKey {
+        let a = (u32::from(k.client.addr), k.client.port);
+        let b = (u32::from(k.server.addr), k.server.port);
+        if a <= b {
+            CanonicalKey { lo: a, hi: b }
+        } else {
+            CanonicalKey { lo: b, hi: a }
+        }
+    }
+
+    /// Symmetric RSS hash of the 4-tuple: the standard Toeplitz function
+    /// (Microsoft key) over the tuple in **canonical order**
+    /// (`lo.ip ‖ hi.ip ‖ lo.port ‖ hi.port`). Because the input is
+    /// order-normalized, both directions of a flow hash identically —
+    /// the property an RSS-sharded ingest front end needs so one worker
+    /// owns a whole flow. The value is part of the stable API (sharded
+    /// replay determinism depends on it) and is pinned by unit tests
+    /// against a fixed table of known keys.
+    pub fn rss_hash(&self) -> u32 {
+        let mut data = [0u8; 12];
+        data[0..4].copy_from_slice(&self.lo.0.to_be_bytes());
+        data[4..8].copy_from_slice(&self.hi.0.to_be_bytes());
+        data[8..10].copy_from_slice(&self.lo.1.to_be_bytes());
+        data[10..12].copy_from_slice(&self.hi.1.to_be_bytes());
+        toeplitz(&data)
+    }
+
+    /// Shard index for an `shards`-way partition: fixed-point range
+    /// reduction of [`rss_hash`](Self::rss_hash) (`hash * shards >> 32`),
+    /// which spreads the full 32-bit hash instead of only its low bits.
+    pub fn shard_of(&self, shards: usize) -> usize {
+        ((u64::from(self.rss_hash()) * shards as u64) >> 32) as usize
     }
 }
 
@@ -89,6 +153,9 @@ mod tests {
         Packet::new(ts, ip, tcp, Vec::new())
     }
 
+    /// One pinned hash case: two endpoints and the expected 32-bit hash.
+    type PinnedVector = ((Ipv4Addr, u16), (Ipv4Addr, u16), u32);
+
     const A: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 1), 40000);
     const B: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 443);
     const C: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 3), 80);
@@ -127,6 +194,109 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(assemble_connections(&[]).is_empty());
+    }
+
+    /// The Toeplitz core reproduces the published NDIS RSS verification
+    /// vectors (source ‖ destination ‖ source port ‖ destination port,
+    /// Microsoft key, IPv4 with ports). If this fails, the hash function
+    /// itself — not just its canonical wrapper — has changed.
+    #[test]
+    fn toeplitz_matches_ndis_verification_suite() {
+        let vectors: [PinnedVector; 5] = [
+            (
+                (Ipv4Addr::new(66, 9, 149, 187), 2794),
+                (Ipv4Addr::new(161, 142, 100, 80), 1766),
+                0x51cc_c178,
+            ),
+            (
+                (Ipv4Addr::new(199, 92, 111, 2), 14230),
+                (Ipv4Addr::new(65, 69, 140, 83), 4739),
+                0xc626_b0ea,
+            ),
+            (
+                (Ipv4Addr::new(24, 19, 198, 95), 12898),
+                (Ipv4Addr::new(12, 22, 207, 184), 38024),
+                0x5c2b_394a,
+            ),
+            (
+                (Ipv4Addr::new(38, 27, 205, 30), 48228),
+                (Ipv4Addr::new(209, 142, 163, 6), 2217),
+                0xafc7_327f,
+            ),
+            (
+                (Ipv4Addr::new(153, 39, 163, 191), 44251),
+                (Ipv4Addr::new(202, 188, 127, 2), 1303),
+                0x10e8_28a2,
+            ),
+        ];
+        for ((src, sport), (dst, dport), expect) in vectors {
+            let mut data = [0u8; 12];
+            data[0..4].copy_from_slice(&src.octets());
+            data[4..8].copy_from_slice(&dst.octets());
+            data[8..10].copy_from_slice(&sport.to_be_bytes());
+            data[10..12].copy_from_slice(&dport.to_be_bytes());
+            assert_eq!(
+                toeplitz(&data),
+                expect,
+                "NDIS vector {src}:{sport} -> {dst}:{dport}"
+            );
+        }
+    }
+
+    /// The canonical (symmetric) hash values are pinned so they can never
+    /// silently change across releases — sharded pcap replay determinism
+    /// and any persisted shard assignment depend on these exact values.
+    #[test]
+    fn canonical_rss_hash_is_pinned() {
+        let keys: [PinnedVector; 5] = [
+            (
+                (Ipv4Addr::new(66, 9, 149, 187), 2794),
+                (Ipv4Addr::new(161, 142, 100, 80), 1766),
+                0x51cc_c178,
+            ),
+            (
+                (Ipv4Addr::new(199, 92, 111, 2), 14230),
+                (Ipv4Addr::new(65, 69, 140, 83), 4739),
+                0xe53c_74e8,
+            ),
+            (
+                (Ipv4Addr::new(24, 19, 198, 95), 12898),
+                (Ipv4Addr::new(12, 22, 207, 184), 38024),
+                0xa802_b849,
+            ),
+            (
+                (Ipv4Addr::new(38, 27, 205, 30), 48228),
+                (Ipv4Addr::new(209, 142, 163, 6), 2217),
+                0xafc7_327f,
+            ),
+            (
+                (Ipv4Addr::new(153, 39, 163, 191), 44251),
+                (Ipv4Addr::new(202, 188, 127, 2), 1303),
+                0x10e8_28a2,
+            ),
+        ];
+        for ((ca, cp), (sa, sp), expect) in keys {
+            let fwd = pkt((ca, cp), (sa, sp), TcpFlags::SYN, 0.0);
+            let rev = pkt((sa, sp), (ca, cp), TcpFlags::ACK, 0.1);
+            assert_eq!(CanonicalKey::of(&fwd).rss_hash(), expect, "{ca}:{cp}");
+            assert_eq!(
+                CanonicalKey::of(&rev).rss_hash(),
+                expect,
+                "reverse direction must hash identically"
+            );
+            let key = FlowKey::new(Endpoint::new(ca, cp), Endpoint::new(sa, sp));
+            assert_eq!(CanonicalKey::of_key(&key), CanonicalKey::of(&fwd));
+        }
+    }
+
+    #[test]
+    fn shard_of_is_in_range_and_total() {
+        let p = pkt(A, B, TcpFlags::SYN, 0.0);
+        let ck = CanonicalKey::of(&p);
+        for shards in 1..=16 {
+            assert!(ck.shard_of(shards) < shards);
+        }
+        assert_eq!(ck.shard_of(1), 0, "single shard owns everything");
     }
 
     #[test]

@@ -109,6 +109,29 @@ proptest! {
         let _ = wire::parse_tcp_options(&data);
     }
 
+    /// The shard hash is symmetric: both directions of any 4-tuple produce
+    /// the same canonical key, the same RSS hash and the same shard — the
+    /// invariant that lets an RSS-partitioned front end keep each flow on
+    /// one worker.
+    #[test]
+    fn shard_hash_is_direction_symmetric(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        shards in 1usize..12,
+    ) {
+        let ip_fwd = Ipv4Header::new(Ipv4Addr::from(src), Ipv4Addr::from(dst), 64);
+        let ip_rev = Ipv4Header::new(Ipv4Addr::from(dst), Ipv4Addr::from(src), 64);
+        let fwd = Packet::new(0.0, ip_fwd, TcpHeader::new(sport, dport, 1, 0), Vec::new());
+        let rev = Packet::new(0.0, ip_rev, TcpHeader::new(dport, sport, 1, 0), Vec::new());
+        let (a, b) = (net_packet::CanonicalKey::of(&fwd), net_packet::CanonicalKey::of(&rev));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.rss_hash(), b.rss_hash());
+        prop_assert_eq!(a.shard_of(shards), b.shard_of(shards));
+        prop_assert!(a.shard_of(shards) < shards);
+    }
+
     /// pcap round trip preserves every packet.
     #[test]
     fn pcap_round_trip(pkts in prop::collection::vec(arb_packet(), 0..8)) {
