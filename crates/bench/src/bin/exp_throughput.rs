@@ -5,11 +5,22 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper]
-//!     [--threads N] [--shards N] [--json PATH]
+//!     [--threads N] [--shards N] [--quant int8] [--json PATH]
 //!     [--check-against REFERENCE.json] [--max-regress 0.20]
 //!     [--max-regress-speedup 0.30] [--max-regress-sharded 0.35]
+//!     [--max-regress-quant 0.30] [--min-quant-speedup X]
 //!     [--min-shard-scaling X]
 //! ```
+//!
+//! `--quant int8` additionally measures the int8 quantized fused engine
+//! (`neural::quant`: per-row int8 weights, on-the-fly 7-bit activation
+//! quantization, i32-accumulating maddubs/vpdpbusd kernels) on the same
+//! corpus and records `clap_quant_pps` / `quant_speedup` (int8 ÷ f32
+//! fused pps — machine-independent, like `fusion_speedup`). When the
+//! reference records a `quant_speedup`, the gate enforces it under
+//! `--max-regress-quant` (and requires `--quant int8` on the measuring
+//! run — a reference with a quant record can't be "passed" by simply not
+//! measuring).
 //!
 //! `--min-shard-scaling X` additionally fails the run when the sharded ÷
 //! single-thread streaming factor falls below `X` — the only check that
@@ -40,10 +51,11 @@
 //! kernels (ratio ≈ 3.1 vs the ≈ 5.3 AVX2 reference) still fails.
 
 use bench::{
-    arg_value, check_shard_scaling_floor, check_sharded_regression, check_speedup_regression,
-    check_throughput_regression, render_table, train_all, Preset, ThroughputReference,
+    arg_value, check_quant_floor, check_quant_regression, check_shard_scaling_floor,
+    check_sharded_regression, check_speedup_regression, check_throughput_regression, render_table,
+    train_all, Preset, ThroughputReference,
 };
-use clap_core::{ShardConfig, StreamConfig};
+use clap_core::{QuantMode, ShardConfig, StreamConfig};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -75,6 +87,14 @@ struct ThroughputReport {
     /// Sharded ÷ single-threaded streaming (the multi-core scaling
     /// factor; bounded by the machine's core count).
     shard_scaling: f64,
+    /// Packets/second of the int8 quantized fused engine (`--quant
+    /// int8`); `0.0` when the run did not measure it.
+    clap_quant_pps: f64,
+    /// Int8 ÷ f32 fused packets/second; `0.0` when not measured. (A
+    /// record without a real measurement is rejected as a reference —
+    /// the gate hard-errors on non-positive values — so an unmeasured
+    /// report can never silently weaken the gate.)
+    quant_speedup: f64,
     baseline1_pps: f64,
     kitsune_pps: f64,
 }
@@ -89,6 +109,14 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4)
         .max(1);
+    let measure_quant = match arg_value(&args, "--quant").as_deref() {
+        None => false,
+        Some("int8") => true,
+        Some(other) => {
+            eprintln!("invalid --quant value `{other}` (expected `int8`)");
+            std::process::exit(1);
+        }
+    };
     let json_path =
         arg_value(&args, "--json").unwrap_or_else(|| "BENCH_throughput.json".to_string());
 
@@ -121,21 +149,66 @@ fn main() {
         corpus.iter().flat_map(|c| c.packets.iter()).collect();
     stream.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
 
-    let (fused, unfused, streaming, b1, kitsune) = pool.install(|| {
+    let (fused, quant, unfused, streaming, b1, kitsune) = pool.install(|| {
         // Warm-up pass so one-time costs (page faults, lazy init) don't
-        // skew the first measurement.
-        let warm = models.clap.score_connections(&corpus);
+        // skew the first measurement. Engine precisions are pinned
+        // explicitly so a NEURAL_QUANT override in the environment can't
+        // silently turn the f32 baseline into a second int8 run.
+        let warm = models.clap.score_connections_with(&corpus, QuantMode::Off);
 
         let t = Instant::now();
-        let s_fused = models.clap.score_connections(&corpus);
+        let s_fused = models.clap.score_connections_with(&corpus, QuantMode::Off);
         let fused = t.elapsed();
+
+        // The int8 quantized fused engine, same corpus, same sharding.
+        let quant = measure_quant.then(|| {
+            let warm_q = models.clap.score_connections_with(&corpus, QuantMode::Int8);
+            let t = Instant::now();
+            let s_quant = models.clap.score_connections_with(&corpus, QuantMode::Int8);
+            let quant = t.elapsed();
+            assert_eq!(s_quant.len(), s_fused.len());
+            assert_eq!(warm_q.len(), s_quant.len());
+            // Wiring sanity only — int8 must be the same detector, not a
+            // different function. The bound is deliberately loose: on
+            // adversarial corpora a corrupted field can put an outlier in
+            // a profile row, coarsening that row's activation grid and
+            // drifting the (far-above-threshold) score by >10%. The
+            // calibrated drift and verdict-flip bounds live in the parity
+            // test suites, on controlled inputs.
+            for (q, f) in s_quant.iter().zip(&s_fused) {
+                let rel = (q.score - f.score).abs() / f.score.abs().max(1e-3);
+                assert!(
+                    rel < 0.25,
+                    "int8/f32 divergence: {} vs {} ({:.1}%)",
+                    q.score,
+                    f.score,
+                    rel * 100.0
+                );
+            }
+            // A genuinely quantized engine never reproduces f32 bitwise
+            // over a whole corpus; identical scores mean the int8 path
+            // silently degraded to f32 — which the relative-ratio gate
+            // below could never catch (ratio ≈ 1.0 is inside any sane
+            // noise budget).
+            assert!(
+                s_quant
+                    .iter()
+                    .zip(&s_fused)
+                    .any(|(q, f)| q.score != f.score),
+                "int8 scores are bitwise identical to f32 — quantization is disabled"
+            );
+            quant
+        });
 
         let t = Instant::now();
         let s_unfused = models.clap.score_connections_unfused(&corpus);
         let unfused = t.elapsed();
 
         let t = Instant::now();
-        let mut scorer = models.clap.stream_scorer();
+        let mut scorer = models.clap.stream_scorer_with(StreamConfig {
+            quant: QuantMode::Off,
+            ..StreamConfig::default()
+        });
         for p in &stream {
             scorer.push(p);
         }
@@ -168,7 +241,7 @@ fn main() {
                 b.score
             );
         }
-        (fused, unfused, streaming, b1, kitsune)
+        (fused, quant, unfused, streaming, b1, kitsune)
     });
 
     // The RSS-sharded streaming engine runs outside the pinned pool: its
@@ -178,7 +251,10 @@ fn main() {
     let sharded_scorer = models.clap.sharded_scorer_with(ShardConfig {
         shards,
         queue_capacity: 1024,
-        stream: StreamConfig::default(),
+        stream: StreamConfig {
+            quant: QuantMode::Off,
+            ..StreamConfig::default()
+        },
     });
     // Warm-up: first run pays thread spawn + page faults.
     let warm = sharded_scorer.score_stream(stream.iter().copied());
@@ -206,7 +282,7 @@ fn main() {
     println!("\n== Table 3: model processing throughput ({threads} thread(s)) ==");
     println!("   (paper, 1 core: CLAP 2,162.2 pkt/s / 97.0 conn/s; Kitsune 1,444.5 / 64.8 —");
     println!("    absolute numbers differ by implementation; the shape is CLAP > Kitsune)");
-    let table = vec![
+    let mut table = vec![
         vec![
             "CLAP (fused engine)".to_string(),
             format!("{:.1}", pps(fused)),
@@ -238,6 +314,16 @@ fn main() {
             format!("{:.1}", cps(kitsune)),
         ],
     ];
+    if let Some(q) = quant {
+        table.insert(
+            1,
+            vec![
+                "CLAP (fused, int8 quantized)".to_string(),
+                format!("{:.1}", pps(q)),
+                format!("{:.1}", cps(q)),
+            ],
+        );
+    }
     println!(
         "{}",
         render_table(&["Model", "Packets/Second", "Connections/Second"], &table)
@@ -261,6 +347,14 @@ fn main() {
         pps(sharded),
         pps(streaming)
     );
+    if let Some(q) = quant {
+        println!(
+            "quant speedup: {:.2}x (int8 {:.1} pkt/s vs f32 fused {:.1} pkt/s)",
+            pps(q) / pps(fused),
+            pps(q),
+            pps(fused)
+        );
+    }
 
     let report = ThroughputReport {
         preset: preset.name.clone(),
@@ -275,6 +369,8 @@ fn main() {
         shards,
         clap_sharded_pps: pps(sharded),
         shard_scaling: pps(sharded) / pps(streaming),
+        clap_quant_pps: quant.map_or(0.0, pps),
+        quant_speedup: quant.map_or(0.0, |q| pps(q) / pps(fused)),
         baseline1_pps: pps(b1),
         kitsune_pps: pps(kitsune),
     };
@@ -391,6 +487,73 @@ fn main() {
             }
         } else {
             eprintln!("sharded gate skipped: reference records no clap_sharded_pps");
+        }
+        // Fourth gate: the int8 quantized engine, on the machine-neutral
+        // int8 ÷ f32 ratio. A reference that records quantization numbers
+        // demands a measuring run — skipping `--quant int8` must fail the
+        // gate, not quietly bypass it.
+        let max_regress_quant: f64 = match arg_value(&args, "--max-regress-quant") {
+            Some(v) => match v.parse() {
+                Ok(m) => m,
+                Err(_) => {
+                    eprintln!("regression gate error: invalid --max-regress-quant value `{v}`");
+                    std::process::exit(1);
+                }
+            },
+            None => 0.30,
+        };
+        if let Some(ref_quant) = reference.quant_speedup {
+            if !measure_quant {
+                eprintln!(
+                    "regression gate error: reference records quant_speedup {ref_quant:.2} \
+                     but this run did not pass --quant int8"
+                );
+                std::process::exit(1);
+            }
+            match check_quant_regression(report.quant_speedup, ref_quant, max_regress_quant) {
+                Ok(change) => eprintln!(
+                    "quant gate OK: int8 {:.2}x vs reference {:.2}x \
+                     ({:+.1}% change, budget -{:.0}%)",
+                    report.quant_speedup,
+                    ref_quant,
+                    change * 100.0,
+                    max_regress_quant * 100.0
+                ),
+                Err(msg) => {
+                    eprintln!("THROUGHPUT REGRESSION: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            eprintln!("quant gate skipped: reference records no quant_speedup");
+        }
+    }
+
+    // Optional absolute quant floor — independent of any reference
+    // record. The relative quant gate runs against the AVX2-recorded
+    // reference (~1.11x), whose 30% budget bottoms out below 1.0, so
+    // "int8 slower than f32" needs this absolute check; CI passes 1.0.
+    if let Some(v) = arg_value(&args, "--min-quant-speedup") {
+        let floor: f64 = match v.parse() {
+            Ok(f) => f,
+            Err(_) => {
+                eprintln!("regression gate error: invalid --min-quant-speedup value `{v}`");
+                std::process::exit(1);
+            }
+        };
+        if !measure_quant {
+            eprintln!("regression gate error: --min-quant-speedup requires --quant int8");
+            std::process::exit(1);
+        }
+        match check_quant_floor(report.quant_speedup, floor) {
+            Ok(()) => eprintln!(
+                "quant floor gate OK: {:.2}x over f32 fused (floor {:.2}x)",
+                report.quant_speedup, floor
+            ),
+            Err(msg) => {
+                eprintln!("THROUGHPUT REGRESSION: {msg}");
+                std::process::exit(1);
+            }
         }
     }
 

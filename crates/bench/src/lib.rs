@@ -103,6 +103,13 @@ pub struct ThroughputReference {
     /// when the reference was recorded. `None` for references recorded
     /// before sharding existed — those skip the sharded gate.
     pub clap_sharded_pps: Option<f64>,
+    /// Int8 ÷ f32 fused packets/second when the reference was recorded
+    /// (`exp_throughput --quant int8`). Machine-independent like
+    /// `fusion_speedup` (both engines share the hardware), so gating on
+    /// it catches an int8 kernel regression — or quantization silently
+    /// falling back to f32 — regardless of runner speed. `None` for
+    /// references recorded before quantization existed.
+    pub quant_speedup: Option<f64>,
 }
 
 /// Deserialization targets for the reference generations (the vendored
@@ -122,6 +129,11 @@ struct ReferenceSpeedupField {
 #[derive(Deserialize)]
 struct ReferenceShardedField {
     clap_sharded_pps: f64,
+}
+
+#[derive(Deserialize)]
+struct ReferenceQuantField {
+    quant_speedup: f64,
 }
 
 /// Parses an optional reference field: absent key → `None`, present but
@@ -149,10 +161,11 @@ fn optional_metric<T: Deserialize>(
 
 impl ThroughputReference {
     /// Parses a reference record, accepting every recorded generation:
-    /// pps-only (PR 2), pps + `fusion_speedup` (PR 3), and pps + speedup +
-    /// `clap_sharded_pps` (PR 4). A record that *mentions* an optional
-    /// field but fails to parse it is a hard error — silently downgrading
-    /// would disable that gate exactly when the file is broken.
+    /// pps-only (PR 2), pps + `fusion_speedup` (PR 3), pps + speedup +
+    /// `clap_sharded_pps` (PR 4), and + `quant_speedup` (PR 5). A record
+    /// that *mentions* an optional field but fails to parse it is a hard
+    /// error — silently downgrading would disable that gate exactly when
+    /// the file is broken.
     pub fn from_json(json: &str) -> Result<ThroughputReference, String> {
         let base = serde_json::from_str::<ReferencePpsOnly>(json)
             .map_err(|e| format!("cannot parse reference: {e:?}"))?;
@@ -166,6 +179,9 @@ impl ThroughputReference {
                 "clap_sharded_pps",
                 |r: ReferenceShardedField| r.clap_sharded_pps,
             )?,
+            quant_speedup: optional_metric(json, "quant_speedup", |r: ReferenceQuantField| {
+                r.quant_speedup
+            })?,
         })
     }
 
@@ -259,6 +275,47 @@ pub fn check_sharded_regression(
         reference_pps,
         max_regress,
     )
+}
+
+/// The int8 quantization gate: int8 ÷ f32 fused packets/second. Machine
+/// speed cancels out of the ratio (both engines run back to back on the
+/// same corpus and hardware), so a drop past the budget means the int8
+/// kernels regressed or the dispatcher stopped picking them up — a faster
+/// runner cannot mask it. Note the *relative* budget, applied to an
+/// AVX2-recorded reference (~1.11×), leaves a floor below 1.0; pair with
+/// [`check_quant_floor`] to assert "int8 is never slower than f32"
+/// absolutely.
+pub fn check_quant_regression(
+    current_speedup: f64,
+    reference_speedup: f64,
+    max_regress: f64,
+) -> Result<f64, String> {
+    check_metric_regression(
+        "quant speedup",
+        current_speedup,
+        reference_speedup,
+        max_regress,
+    )
+}
+
+/// Absolute floor on the int8 ÷ f32 fused ratio (`exp_throughput
+/// --min-quant-speedup`). Independent of any reference record: with the
+/// floor at `1.0` it asserts the quantized engine is never slower than
+/// f32 on the measuring runner — the case the relative gate cannot catch
+/// when its reference was recorded on a weaker-int8 ISA.
+pub fn check_quant_floor(speedup: f64, floor: f64) -> Result<(), String> {
+    if !speedup.is_finite() || speedup <= 0.0 {
+        return Err(format!(
+            "measured quant_speedup {speedup} is not a positive number"
+        ));
+    }
+    if speedup < floor {
+        return Err(format!(
+            "quant speedup {speedup:.2}x is below the required floor {floor:.2}x \
+             (the int8 engine is not paying for itself)"
+        ));
+    }
+    Ok(())
 }
 
 /// Absolute floor on the sharded ÷ single-thread streaming scaling factor
@@ -749,6 +806,62 @@ mod tests {
     }
 
     #[test]
+    fn reference_with_quant_speedup_parses() {
+        let json = r#"{
+            "clap_fused_pps": 27767.36,
+            "fusion_speedup": 3.09,
+            "clap_sharded_pps": 91234.5,
+            "quant_speedup": 1.8
+        }"#;
+        let reference = ThroughputReference::from_json(json).unwrap();
+        assert!((reference.quant_speedup.unwrap() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_without_quant_speedup_skips_that_gate() {
+        let json = r#"{ "clap_fused_pps": 1000.0 }"#;
+        let reference = ThroughputReference::from_json(json).unwrap();
+        assert_eq!(reference.quant_speedup, None);
+    }
+
+    #[test]
+    fn malformed_quant_speedup_is_a_hard_error() {
+        for bad in [
+            r#"{ "clap_fused_pps": 1000.0, "quant_speedup": "2x" }"#,
+            r#"{ "clap_fused_pps": 1000.0, "quant_speedup": null }"#,
+        ] {
+            let err = ThroughputReference::from_json(bad).unwrap_err();
+            assert!(err.contains("quant_speedup"), "unexpected message: {err}");
+        }
+    }
+
+    #[test]
+    fn quant_gate_behaves_like_the_others() {
+        assert!(check_quant_regression(1.7, 1.8, 0.30).is_ok());
+        // Int8 degrading to f32 speed (ratio ~1.0) fails against a VNNI
+        // reference outright…
+        let err = check_quant_regression(1.0, 1.8, 0.30).unwrap_err();
+        assert!(
+            err.contains("quant speedup regressed"),
+            "unexpected message: {err}"
+        );
+        // …but slips through the relative budget against the AVX2
+        // reference (1.11 × 0.70 < 1.0) — which is exactly what the
+        // absolute floor exists to catch.
+        assert!(check_quant_regression(1.0, 1.11, 0.30).is_ok());
+        assert!(check_quant_floor(1.0, 1.0).is_ok());
+        let err = check_quant_floor(0.93, 1.0).unwrap_err();
+        assert!(
+            err.contains("below the required floor"),
+            "unexpected message: {err}"
+        );
+        assert!(check_quant_floor(f64::NAN, 1.0).is_err());
+        assert!(check_quant_floor(-1.0, 1.0).is_err());
+        assert!(check_quant_regression(f64::NAN, 1.8, 0.30).is_err());
+        assert!(check_quant_regression(1.8, 0.0, 0.30).is_err());
+    }
+
+    #[test]
     fn shard_scaling_floor_gate() {
         assert!(check_shard_scaling_floor(2.8, 2.5).is_ok());
         let err = check_shard_scaling_floor(1.02, 2.5).unwrap_err();
@@ -772,6 +885,7 @@ mod tests {
             ),
             packets: usize::from(a) + 3,
             reason: CloseReason::Drained,
+            arrival: u64::from(a),
             scored: ScoredConnection {
                 peak_packet: 1,
                 peak_window: 0,

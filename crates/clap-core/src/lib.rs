@@ -59,6 +59,7 @@ pub use features::{
     extract_connection, FeatureExtractor, FeatureVector, RangeModel, NUM_BASE, NUM_PACKET, NUM_RAW,
 };
 pub use metrics::{auc_roc, equal_error_rate, roc_curve, top_n_hit, RocPoint};
+pub use neural::QuantMode;
 pub use pipeline::{Clap, ClapConfig, ClapScorer, TrainSummary};
 pub use profile::{ProfileBuilder, ProfileWorkspace, GATE_FEATURES, PROFILE_LEN};
 pub use score::{score_errors, ScoredConnection};

@@ -5,8 +5,8 @@ use crate::profile::{ProfileBuilder, ProfileWorkspace};
 use crate::score::{score_errors, ScoredConnection};
 use net_packet::Connection;
 use neural::{
-    AeWorkspace, Autoencoder, AutoencoderConfig, GruClassifier, GruClassifierConfig, GruWorkspace,
-    Matrix, PackedGru, TrainReport,
+    AeEngine, AeWorkspace, Autoencoder, AutoencoderConfig, GruClassifier, GruClassifierConfig,
+    GruEngine, GruWorkspace, Matrix, QuantMode, TrainReport,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -155,11 +155,34 @@ impl Clap {
     /// and every scratch arena the fused hot path needs. One scorer per
     /// worker thread; scoring through it is allocation-free in steady
     /// state (aside from the returned results).
+    ///
+    /// The engine precision follows the process default
+    /// ([`QuantMode::active`], i.e. the `NEURAL_QUANT` environment
+    /// variable); use [`scorer_with`](Self::scorer_with) to pin it.
     pub fn scorer(&self) -> ClapScorer<'_> {
+        self.scorer_with(QuantMode::active())
+    }
+
+    /// [`scorer`](Self::scorer) with an explicit engine precision:
+    /// [`QuantMode::Off`] scores on the f32 engine, [`QuantMode::Int8`]
+    /// quantizes the autoencoder and packed-GRU weights once per scorer
+    /// and runs the int8 GEMM kernels.
+    pub fn scorer_with(&self, mode: QuantMode) -> ClapScorer<'_> {
+        self.scorer_from_engines(
+            GruEngine::from_packed(self.rnn.packed(), mode),
+            AeEngine::from_model(&self.ae, mode),
+        )
+    }
+
+    /// Assembles a scorer around already-built engines, so batch entry
+    /// points can pay weight (re)quantization once and hand each worker a
+    /// clone (a memcpy) instead of re-deriving the engines per chunk.
+    fn scorer_from_engines<'a>(&'a self, gru: GruEngine, ae: AeEngine<'a>) -> ClapScorer<'a> {
         ClapScorer {
             clap: self,
             builder: ProfileBuilder::new(self.config.stack),
-            packed: self.rnn.packed(),
+            gru,
+            ae,
             profiles: ProfileWorkspace::new(),
             ae_ws: AeWorkspace::new(),
             batch: Matrix::default(),
@@ -207,7 +230,18 @@ impl Clap {
     /// Scores a batch of connections, sharding them across rayon workers.
     /// Each worker owns one [`ClapScorer`] arena set and pushes its whole
     /// shard through the autoencoder in per-shard batched GEMM chains.
+    /// Engine precision follows [`QuantMode::active`].
     pub fn score_connections(&self, conns: &[Connection]) -> Vec<ScoredConnection> {
+        self.score_connections_with(conns, QuantMode::active())
+    }
+
+    /// [`score_connections`](Self::score_connections) at an explicit
+    /// engine precision.
+    pub fn score_connections_with(
+        &self,
+        conns: &[Connection],
+        mode: QuantMode,
+    ) -> Vec<ScoredConnection> {
         if conns.is_empty() {
             return Vec::new();
         }
@@ -217,9 +251,16 @@ impl Clap {
         // single-thread pool gets 4 large batches, not one per core.
         let workers = rayon::current_num_threads().max(1);
         let shard = conns.len().div_ceil(workers * 4).max(1);
+        // Pack (and at Int8, quantize) the engines once; per-chunk scorers
+        // clone the finished engines rather than re-deriving them.
+        let gru = GruEngine::from_packed(self.rnn.packed(), mode);
+        let ae = AeEngine::from_model(&self.ae, mode);
         let nested: Vec<Vec<ScoredConnection>> = conns
             .par_chunks(shard)
-            .map(|chunk| self.scorer().score_batch(chunk))
+            .map(|chunk| {
+                self.scorer_from_engines(gru.clone(), ae.clone())
+                    .score_batch(chunk)
+            })
             .collect();
         nested.into_iter().flatten().collect()
     }
@@ -236,10 +277,26 @@ impl Clap {
     }
 
     /// Suggests a detection threshold as a quantile of benign scores
-    /// (e.g. `0.95` → ≈5% false-positive budget).
+    /// (e.g. `0.95` → ≈5% false-positive budget). Engine precision
+    /// follows [`QuantMode::active`]; thresholds should be calibrated at
+    /// the precision that will score production traffic
+    /// ([`threshold_from_benign_with`](Self::threshold_from_benign_with)).
     pub fn threshold_from_benign(&self, benign: &[Connection], quantile: f64) -> f32 {
+        self.threshold_from_benign_with(benign, quantile, QuantMode::active())
+    }
+
+    /// [`threshold_from_benign`](Self::threshold_from_benign) at an
+    /// explicit engine precision — the single source of truth for the
+    /// quantile recipe (the quantization parity harnesses pin against
+    /// exactly this function).
+    pub fn threshold_from_benign_with(
+        &self,
+        benign: &[Connection],
+        quantile: f64,
+        mode: QuantMode,
+    ) -> f32 {
         let mut scores: Vec<f32> = self
-            .score_connections(benign)
+            .score_connections_with(benign, mode)
             .iter()
             .map(|s| s.score)
             .collect();
@@ -290,15 +347,17 @@ impl Clap {
     }
 }
 
-/// A scoring session: the gate-packed GRU weights plus every scratch arena
-/// the fused hot path threads through ([`ProfileWorkspace`],
-/// [`AeWorkspace`], the shard batch matrix and the error buffer). Create
-/// one per worker via [`Clap::scorer`] and feed it connections; steady
-/// state performs no heap allocation beyond the returned results.
+/// A scoring session: the gate-packed GRU and autoencoder engines (f32 or
+/// int8, see [`Clap::scorer_with`]) plus every scratch arena the fused hot
+/// path threads through ([`ProfileWorkspace`], [`AeWorkspace`], the shard
+/// batch matrix and the error buffer). Create one per worker via
+/// [`Clap::scorer`] and feed it connections; steady state performs no heap
+/// allocation beyond the returned results.
 pub struct ClapScorer<'a> {
     clap: &'a Clap,
     builder: ProfileBuilder,
-    packed: PackedGru,
+    gru: GruEngine,
+    ae: AeEngine<'a>,
     profiles: ProfileWorkspace,
     ae_ws: AeWorkspace,
     /// Concatenated stacked profiles of one shard (AE batch input).
@@ -307,17 +366,18 @@ pub struct ClapScorer<'a> {
 }
 
 impl ClapScorer<'_> {
+    /// The engine precision this scorer runs at.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.gru.mode()
+    }
+
     /// Scores one connection through the fused engine.
     pub fn score_connection(&mut self, conn: &Connection) -> ScoredConnection {
         let fvs = extract_connection(conn);
-        self.builder.stacked_profiles_into(
-            &self.clap.ranges,
-            &self.packed,
-            &fvs,
-            &mut self.profiles,
-        );
+        self.builder
+            .stacked_profiles_into(&self.clap.ranges, &self.gru, &fvs, &mut self.profiles);
         self.errors.clear();
-        self.clap.ae.reconstruction_errors_into(
+        self.ae.reconstruction_errors_into(
             &self.profiles.stacked,
             &mut self.ae_ws,
             &mut self.errors,
@@ -343,7 +403,7 @@ impl ClapScorer<'_> {
             let fvs = extract_connection(conn);
             self.builder.stacked_profiles_into(
                 &self.clap.ranges,
-                &self.packed,
+                &self.gru,
                 &fvs,
                 &mut self.profiles,
             );
@@ -355,8 +415,7 @@ impl ClapScorer<'_> {
         self.batch.rows = rows_per_conn.iter().sum();
 
         self.errors.clear();
-        self.clap
-            .ae
+        self.ae
             .reconstruction_errors_into(&self.batch, &mut self.ae_ws, &mut self.errors);
 
         let mut out = Vec::with_capacity(conns.len());
@@ -465,7 +524,11 @@ mod tests {
     /// The headline equivalence guarantee: the fused engine (packed GRU,
     /// workspace arenas, batched AE) scores every connection identically
     /// (≤1e-6) to the unfused reference path, via both the single and the
-    /// sharded batch entry points.
+    /// sharded batch entry points. Pinned to the f32 engine explicitly:
+    /// the unfused reference is f32 by construction, so this test must
+    /// keep meaning "fusion changes nothing" even when the suite runs
+    /// under `NEURAL_QUANT=int8` (int8-vs-f32 drift is bounded separately
+    /// by the quantization parity tests).
     #[test]
     fn fused_engine_matches_unfused_reference() {
         let benign = traffic_gen::dataset(26, 25);
@@ -473,8 +536,8 @@ mod tests {
         let corpus = traffic_gen::dataset(777, 30);
 
         let reference = clap.score_connections_unfused(&corpus);
-        let batched = clap.score_connections(&corpus);
-        let mut scorer = clap.scorer();
+        let batched = clap.score_connections_with(&corpus, QuantMode::Off);
+        let mut scorer = clap.scorer_with(QuantMode::Off);
         assert_eq!(reference.len(), batched.len());
         for (conn, (r, b)) in corpus.iter().zip(reference.iter().zip(&batched)) {
             let single = scorer.score_connection(conn);
@@ -511,6 +574,38 @@ mod tests {
                 assert_eq!(a.score, b.score, "arena reuse changed a score");
                 assert_eq!(a.window_errors, b.window_errors);
             }
+        }
+    }
+
+    /// The int8 engine must track the f32 engine closely (quantization
+    /// noise, not a different detector), be deterministic, and agree
+    /// between its single-connection and batched entry points exactly.
+    #[test]
+    fn int8_scorer_tracks_f32_and_is_deterministic() {
+        let benign = traffic_gen::dataset(29, 25);
+        let (clap, _) = Clap::train(&benign, &tiny_cfg());
+        let corpus = traffic_gen::dataset(779, 20);
+
+        let f32_scores = clap.score_connections_with(&corpus, QuantMode::Off);
+        let int8_a = clap.score_connections_with(&corpus, QuantMode::Int8);
+        let int8_b = clap.score_connections_with(&corpus, QuantMode::Int8);
+        let mut single = clap.scorer_with(QuantMode::Int8);
+        assert_eq!(single.quant_mode(), QuantMode::Int8);
+        for (conn, ((f, a), b)) in corpus
+            .iter()
+            .zip(f32_scores.iter().zip(&int8_a).zip(&int8_b))
+        {
+            assert_eq!(a.score, b.score, "int8 scoring must be deterministic");
+            let s = single.score_connection(conn);
+            assert_eq!(s.score, a.score, "single vs batched int8 entry points");
+            let rel = (a.score - f.score).abs() / f.score.abs().max(1e-3);
+            assert!(
+                rel < 0.05,
+                "int8 score drifted {:.2}% from f32 ({} vs {})",
+                rel * 100.0,
+                a.score,
+                f.score
+            );
         }
     }
 

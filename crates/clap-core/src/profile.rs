@@ -7,7 +7,7 @@
 //! temporal neighbourhood explicitly — the chain-graph view of Figure 5.
 
 use crate::features::{FeatureVector, RangeModel, NUM_PACKET};
-use neural::{GruClassifier, GruWorkspace, Matrix, PackedGru};
+use neural::{GruClassifier, GruEngine, GruWorkspace, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Per-worker scratch arena for fused profile construction: the RNN input
@@ -144,15 +144,18 @@ impl ProfileBuilder {
 
     /// Fused, allocation-free equivalent of
     /// [`stacked_profiles`](Self::stacked_profiles): runs the packed GRU
-    /// over the whole sequence (one GEMM for the input side), writes
-    /// features and gate activations straight into reused matrix rows, and
-    /// leaves the stacked windows in `ws.stacked`.
+    /// engine — f32 or int8 ([`GruEngine`]) — over the whole sequence (one
+    /// GEMM for the input side), writes features and gate activations
+    /// straight into reused matrix rows, and leaves the stacked windows in
+    /// `ws.stacked`.
     ///
-    /// Equivalence with the naive path is pinned to 1e-6 by the test suite.
+    /// Equivalence with the naive path is pinned to 1e-6 by the test suite
+    /// (for the f32 engine; the int8 engine is pinned by the quantization
+    /// parity harness instead).
     pub fn stacked_profiles_into(
         &self,
         ranges: &RangeModel,
-        packed: &PackedGru,
+        gru: &GruEngine,
         fvs: &[FeatureVector],
         ws: &mut ProfileWorkspace,
     ) {
@@ -161,12 +164,12 @@ impl ProfileBuilder {
             ws.stacked.resize(0, self.stacked_len());
             return;
         }
-        ws.x.resize(steps, packed.input_size());
+        ws.x.resize(steps, gru.input_size());
         for (t, fv) in fvs.iter().enumerate() {
             ws.x.row_mut(t).copy_from_slice(&fv.base);
         }
-        packed.run(&ws.x, &mut ws.gru);
-        let hidden = packed.hidden_size();
+        gru.run(&ws.x, &mut ws.gru);
+        let hidden = gru.hidden_size();
         debug_assert_eq!(2 * hidden, GATE_FEATURES);
 
         // Single-packet profiles, padded by repeating the last row so every

@@ -29,9 +29,12 @@
 //!   packets, so *where idle-timeout splits land* can depend on the
 //!   partition. In exchange, no cross-shard synchronization exists at
 //!   all.
-//! * **Stable merged output.** Workers tag every verdict with the global
-//!   arrival index of the flow's first packet; [`ShardedRun::verdicts`]
-//!   is sorted by that index. The merged order is therefore *order of
+//! * **Stable merged output.** The dispatcher hands each packet's global
+//!   arrival index to the per-shard scorer
+//!   ([`StreamScorer::push_tagged`]), which carries each flow's
+//!   first-packet index on [`ClosedFlow::arrival`] — through restarts and
+//!   orient-buffer replays — so workers keep no flow bookkeeping of their
+//!   own; [`ShardedRun::verdicts`] is sorted by that index. The merged order is therefore *order of
 //!   first appearance in the stream* — the same order
 //!   [`net_packet::assemble_connections`] returns — and is a pure
 //!   function of (input stream, shard count): independent of queue
@@ -67,7 +70,6 @@
 use crate::pipeline::Clap;
 use crate::stream::{ClosedFlow, StreamConfig, StreamScorer};
 use net_packet::{CanonicalKey, Packet};
-use std::collections::HashMap;
 
 /// Partitioning policy for a [`ShardedStreamScorer`].
 #[derive(Debug, Clone)]
@@ -268,9 +270,12 @@ impl<T> Drop for CloseRings<'_, T> {
 }
 
 /// One shard's consume loop: pop packets from the ring into this shard's
-/// [`StreamScorer`], tagging every finalized flow with the arrival index
-/// of its first packet (tracked per canonical key so a flow that restarts
-/// after a length cap gets a fresh tag, like a fresh flow).
+/// [`StreamScorer`] via [`StreamScorer::push_tagged`]. The scorer itself
+/// carries each flow incarnation's first-packet arrival index (on
+/// [`ClosedFlow::arrival`]) — including across restarts inside a single
+/// push and through orient-buffer replays, where the buffered packets keep
+/// their original tags — so the worker does no per-flow bookkeeping at
+/// all: no shadow key→arrival map, no re-tag branch, no fallbacks.
 fn shard_worker(
     clap: &Clap,
     stream_cfg: StreamConfig,
@@ -278,58 +283,44 @@ fn shard_worker(
     ring: &spsc::Ring<(u64, &Packet)>,
 ) -> (Vec<ShardVerdict>, ShardStats) {
     let mut scorer = clap.stream_scorer_with(stream_cfg);
-    let mut first_seq: HashMap<CanonicalKey, u64> = HashMap::new();
     let mut out: Vec<ShardVerdict> = Vec::new();
     let mut packets = 0u64;
 
-    let mut consume = |scorer: &mut StreamScorer<'_>,
-                       out: &mut Vec<ShardVerdict>,
-                       first_seq: &mut HashMap<CanonicalKey, u64>,
-                       (seq, p): (u64, &Packet)| {
-        packets += 1;
-        let ck = CanonicalKey::of(p);
-        first_seq.entry(ck).or_insert(seq);
-        scorer.push(p);
-        if scorer.closed_flows() > 0 {
-            collect_closed(scorer, first_seq, out, shard, seq);
-            // A single push can close a tuple's old incarnation (idle
-            // sweep on resume, teardown mid-replay) and immediately start
-            // a new one from this same packet. The close consumed the
-            // tuple's arrival tag, so re-tag the live incarnation with
-            // this packet's index — still a pure function of the stream.
-            if scorer.tracks(&ck) && !first_seq.contains_key(&ck) {
-                first_seq.insert(ck, seq);
+    let mut consume =
+        |scorer: &mut StreamScorer<'_>, out: &mut Vec<ShardVerdict>, (seq, p): (u64, &Packet)| {
+            packets += 1;
+            scorer.push_tagged(p, seq);
+            for flow in scorer.drain_closed() {
+                out.push(ShardVerdict {
+                    shard,
+                    arrival: flow.arrival,
+                    flow,
+                });
             }
-        }
-    };
+        };
 
     let mut backoff = spsc::Backoff::new();
     loop {
         while let Some(item) = ring.try_pop() {
-            consume(&mut scorer, &mut out, &mut first_seq, item);
+            consume(&mut scorer, &mut out, item);
             backoff.reset();
         }
         if ring.is_closed() {
             // Pushes that raced the close flag: one final drain after the
             // Acquire load of `closed` has ordered them before us.
             while let Some(item) = ring.try_pop() {
-                consume(&mut scorer, &mut out, &mut first_seq, item);
+                consume(&mut scorer, &mut out, item);
             }
             break;
         }
         backoff.snooze();
     }
 
-    // End-of-stream flush, same as the unsharded engine. Every live flow
-    // has an arrival tag (consume re-tags restarted incarnations), so the
-    // u64::MAX fallback is unreachable; it exists only so a future
-    // bookkeeping bug degrades to flush-order verdicts instead of a
-    // panic mid-drain.
+    // End-of-stream flush, same as the unsharded engine.
     for flow in scorer.finish() {
-        let arrival = first_arrival(&mut first_seq, &flow).unwrap_or(u64::MAX);
         out.push(ShardVerdict {
             shard,
-            arrival,
+            arrival: flow.arrival,
             flow,
         });
     }
@@ -340,33 +331,6 @@ fn shard_worker(
         full_waits: 0, // filled in by the dispatcher, which owns the count
     };
     (out, stats)
-}
-
-/// Drains the scorer's finalized flows into `out` with their arrival tags.
-fn collect_closed(
-    scorer: &mut StreamScorer<'_>,
-    first_seq: &mut HashMap<CanonicalKey, u64>,
-    out: &mut Vec<ShardVerdict>,
-    shard: usize,
-    current_seq: u64,
-) {
-    for flow in scorer.drain_closed() {
-        // The fallback covers one pathological shape: two incarnations of
-        // one tuple closing inside a single push (a teardown during an
-        // orient-buffer replay followed by another). The current packet's
-        // index is still a pure function of the stream, and tied arrivals
-        // stay deterministic through the stable merge sort.
-        let arrival = first_arrival(first_seq, &flow).unwrap_or(current_seq);
-        out.push(ShardVerdict {
-            shard,
-            arrival,
-            flow,
-        });
-    }
-}
-
-fn first_arrival(first_seq: &mut HashMap<CanonicalKey, u64>, flow: &ClosedFlow) -> Option<u64> {
-    first_seq.remove(&CanonicalKey::of_key(&flow.key))
 }
 
 /// Bounded single-producer/single-consumer ring — the per-shard ingest

@@ -28,6 +28,17 @@
 //!   cap, and — conntrack-`early_drop`-style — by probing a handful of
 //!   table entries and dropping the stalest when the table is full. Every
 //!   eviction finalizes the flow and emits its [`ScoredConnection`].
+//! * **Arrival tags.** Every packet carries an arrival tag — the scorer's
+//!   own 0-based counter under [`StreamScorer::push`], or a
+//!   caller-supplied index under [`StreamScorer::push_tagged`] — and each
+//!   flow remembers its first packet's tag ([`ClosedFlow::arrival`]),
+//!   surviving orient-buffer replays and same-push restarts. The
+//!   RSS-sharded front end merges per-shard verdicts on exactly this tag,
+//!   with no bookkeeping of its own.
+//! * **Engine precision.** [`StreamConfig::quant`] selects the f32 or the
+//!   int8 quantized inference engines (`neural::quant`); both advance
+//!   flows through identical code, and within either precision streaming
+//!   remains exactly equal to batch scoring at that precision.
 //!
 //! Orientation matches the offline reassembler for every realistic
 //! capture: a flow whose first packet is a pure SYN is oriented
@@ -66,7 +77,7 @@ use crate::pipeline::Clap;
 use crate::profile::{ProfileBuilder, PROFILE_LEN};
 use crate::score::{score_errors, ScoredConnection};
 use net_packet::{CanonicalKey, Direction, Endpoint, FlowKey, Packet, TcpFlags};
-use neural::{AeWorkspace, GruStepScratch, Matrix, PackedGru};
+use neural::{AeEngine, AeWorkspace, GruEngine, GruStepScratch, Matrix, QuantMode};
 use std::collections::HashMap;
 use tcp_state::{TcpState, TcpTracker};
 
@@ -99,6 +110,10 @@ pub struct StreamConfig {
     /// scored, so a late pure SYN among them re-orients the flow exactly
     /// like the offline reassembler. `0` restores first-packet pinning.
     pub orient_buffer: usize,
+    /// Engine precision for this scorer's GRU and autoencoder
+    /// ([`QuantMode::Int8`] runs the int8 quantized kernels). Defaults to
+    /// the process-wide [`QuantMode::active`] selection.
+    pub quant: QuantMode,
 }
 
 impl Default for StreamConfig {
@@ -110,6 +125,7 @@ impl Default for StreamConfig {
             max_packets_per_flow: 1 << 20,
             sweep_interval: 4096,
             orient_buffer: 3,
+            quant: QuantMode::active(),
         }
     }
 }
@@ -129,13 +145,23 @@ pub enum CloseReason {
     Drained,
 }
 
-/// A finalized flow: its identity, size, why it closed, and the same
-/// [`ScoredConnection`] the batch path would have produced.
+/// A finalized flow: its identity, size, why it closed, the arrival tag
+/// of its first packet and the same [`ScoredConnection`] the batch path
+/// would have produced.
 #[derive(Debug, Clone)]
 pub struct ClosedFlow {
     pub key: FlowKey,
     pub packets: usize,
     pub reason: CloseReason,
+    /// Arrival tag of this flow incarnation's **first** packet: the
+    /// caller-supplied value from [`StreamScorer::push_tagged`], or the
+    /// scorer's own 0-based packet counter under plain
+    /// [`StreamScorer::push`]. A flow that restarts (length cap, idle
+    /// sweep, teardown) carries the tag of the packet that opened the new
+    /// incarnation — a pure function of the input stream, which is what
+    /// lets the sharded front end merge verdicts deterministically
+    /// without any shadow bookkeeping.
+    pub arrival: u64,
     pub scored: ScoredConnection,
 }
 
@@ -152,16 +178,21 @@ struct FlowState {
     singles: Vec<f32>,
     /// Reconstruction error per emitted stacked window, in order.
     window_errors: Vec<f32>,
-    /// Leading packets held back while the flow's orientation is still
-    /// undecided (`Some` only for flows that did not start with a pure
-    /// SYN, until [`StreamConfig::orient_buffer`] fills or a SYN lands).
-    pending: Option<Vec<Packet>>,
+    /// Leading packets held back (with their arrival tags) while the
+    /// flow's orientation is still undecided (`Some` only for flows that
+    /// did not start with a pure SYN, until
+    /// [`StreamConfig::orient_buffer`] fills or a SYN lands). Keeping the
+    /// tag with each buffered packet means a flow that restarts
+    /// mid-replay re-opens under its true first packet's tag.
+    pending: Option<Vec<(u64, Packet)>>,
+    /// Arrival tag of this incarnation's first packet.
+    arrival: u64,
     packets: usize,
     last_seen: f64,
 }
 
 impl FlowState {
-    fn new(key: FlowKey, hidden: usize, stack: usize, now: f64) -> Self {
+    fn new(key: FlowKey, hidden: usize, stack: usize, now: f64, arrival: u64) -> Self {
         FlowState {
             key,
             extractor: FeatureExtractor::new(),
@@ -170,6 +201,7 @@ impl FlowState {
             singles: vec![0.0; stack * PROFILE_LEN],
             window_errors: Vec::new(),
             pending: None,
+            arrival,
             packets: 0,
             last_seen: now,
         }
@@ -194,7 +226,8 @@ pub struct StreamScorer<'a> {
     clap: &'a Clap,
     config: StreamConfig,
     builder: ProfileBuilder,
-    packed: PackedGru,
+    gru: GruEngine,
+    ae: AeEngine<'a>,
     flows: HashMap<CanonicalKey, FlowState>,
     /// Flows finalized since the last [`drain_closed`](Self::drain_closed).
     closed: Vec<ClosedFlow>,
@@ -215,10 +248,15 @@ pub struct StreamScorer<'a> {
     /// Max packet timestamp seen (the stream clock).
     clock: f64,
     packets_since_sweep: usize,
+    /// Arrival counter backing plain [`push`](Self::push); kept one past
+    /// the largest tag seen so mixing `push` after `push_tagged` stays
+    /// monotone.
+    auto_seq: u64,
 }
 
 impl Clap {
-    /// Builds a streaming per-flow scorer with default table policy.
+    /// Builds a streaming per-flow scorer with default table policy (and
+    /// the process-default engine precision, see [`QuantMode::active`]).
     pub fn stream_scorer(&self) -> StreamScorer<'_> {
         self.stream_scorer_with(StreamConfig::default())
     }
@@ -227,9 +265,10 @@ impl Clap {
     pub fn stream_scorer_with(&self, config: StreamConfig) -> StreamScorer<'_> {
         StreamScorer {
             clap: self,
-            config,
             builder: ProfileBuilder::new(self.config.stack),
-            packed: self.rnn.packed(),
+            gru: GruEngine::from_packed(self.rnn.packed(), config.quant),
+            ae: AeEngine::from_model(&self.ae, config.quant),
+            config,
             flows: HashMap::new(),
             closed: Vec::new(),
             gru_scratch: GruStepScratch::new(),
@@ -245,12 +284,15 @@ impl Clap {
             scan_ring: Vec::new(),
             clock: 0.0,
             packets_since_sweep: 0,
+            auto_seq: 0,
         }
     }
 }
 
 impl StreamScorer<'_> {
-    /// Consumes one packet from the interleaved stream.
+    /// Consumes one packet from the interleaved stream, tagging it with
+    /// the scorer's own 0-based arrival counter (see
+    /// [`push_tagged`](Self::push_tagged) for caller-supplied tags).
     ///
     /// Returns the reconstruction error of the stacked window completed by
     /// this packet, if the flow has accumulated enough packets — the
@@ -262,18 +304,33 @@ impl StreamScorer<'_> {
     /// close, length cap) are finalized and queued for
     /// [`drain_closed`](Self::drain_closed).
     pub fn push(&mut self, p: &Packet) -> Option<f32> {
+        let tag = self.auto_seq;
+        self.push_tagged(p, tag)
+    }
+
+    /// [`push`](Self::push) with a caller-supplied arrival tag for this
+    /// packet. The tag of a flow incarnation's *first* packet surfaces on
+    /// its [`ClosedFlow::arrival`] — the hook the RSS-sharded front end
+    /// uses to merge per-shard verdicts in global first-appearance order
+    /// without tracking any per-flow state of its own. Tags are opaque to
+    /// the scorer (any `u64`); a flow that restarts inside one push (e.g.
+    /// teardown during an orient-buffer replay) re-opens under the tag of
+    /// the buffered packet that actually starts the new incarnation.
+    pub fn push_tagged(&mut self, p: &Packet, tag: u64) -> Option<f32> {
+        self.auto_seq = self.auto_seq.max(tag.wrapping_add(1));
         self.clock = self.clock.max(p.timestamp);
         self.packets_since_sweep += 1;
         if self.packets_since_sweep >= self.config.sweep_interval.max(1) {
             self.packets_since_sweep = 0;
             self.sweep_idle();
         }
-        self.ingest(p)
+        self.ingest(p, tag)
     }
 
-    /// [`push`](Self::push) minus the clock/sweep bookkeeping, so replayed
-    /// buffered packets do not count as new stream arrivals.
-    fn ingest(&mut self, p: &Packet) -> Option<f32> {
+    /// [`push_tagged`](Self::push_tagged) minus the clock/sweep
+    /// bookkeeping, so replayed buffered packets do not count as new
+    /// stream arrivals.
+    fn ingest(&mut self, p: &Packet, tag: u64) -> Option<f32> {
         let ck = CanonicalKey::of(p);
         let is_pure_syn =
             p.tcp.flags.contains(TcpFlags::SYN) && !p.tcp.flags.contains(TcpFlags::ACK);
@@ -290,8 +347,8 @@ impl StreamScorer<'_> {
                 Endpoint::new(p.ip.dst, p.tcp.dst_port),
             );
             let stack = self.builder.stack;
-            let hidden = self.packed.hidden_size();
-            let mut flow = FlowState::new(key, hidden, stack, self.clock);
+            let hidden = self.gru.hidden_size();
+            let mut flow = FlowState::new(key, hidden, stack, self.clock, tag);
             if !is_pure_syn && self.config.orient_buffer > 0 {
                 flow.pending = Some(Vec::with_capacity(1));
             }
@@ -309,12 +366,12 @@ impl StreamScorer<'_> {
                     Endpoint::new(p.ip.dst, p.tcp.dst_port),
                 );
             } else if buf.len() < self.config.orient_buffer {
-                buf.push(p.clone());
+                buf.push((tag, p.clone()));
                 return None;
             }
             // Buffer full (no SYN showed up) or SYN-resolved: flush.
             let buffered = flow.pending.take().expect("pending checked above");
-            return self.replay(ck, &buffered, p);
+            return self.replay(ck, &buffered, p, tag);
         }
         self.score_packet(ck, p)
     }
@@ -322,10 +379,21 @@ impl StreamScorer<'_> {
     /// Scores previously buffered packets in arrival order, then the
     /// current one. Teardown can finalize the flow mid-replay; any
     /// remaining packets then re-enter through [`ingest`](Self::ingest)
-    /// and start a fresh flow, exactly as they would have live.
-    fn replay(&mut self, ck: CanonicalKey, buffered: &[Packet], current: &Packet) -> Option<f32> {
+    /// under their original arrival tags and start a fresh flow, exactly
+    /// as they would have live.
+    fn replay(
+        &mut self,
+        ck: CanonicalKey,
+        buffered: &[(u64, Packet)],
+        current: &Packet,
+        current_tag: u64,
+    ) -> Option<f32> {
         let mut last = None;
-        for q in buffered.iter().chain(std::iter::once(current)) {
+        for (t, q) in buffered
+            .iter()
+            .map(|(t, q)| (*t, q))
+            .chain(std::iter::once((current_tag, current)))
+        {
             let oriented = self
                 .flows
                 .get(&ck)
@@ -333,7 +401,7 @@ impl StreamScorer<'_> {
             last = if oriented {
                 self.score_packet(ck, q)
             } else {
-                self.ingest(q)
+                self.ingest(q, t)
             };
         }
         last
@@ -346,7 +414,8 @@ impl StreamScorer<'_> {
         let emitted = advance_flow(
             self.clap,
             &self.builder,
-            &self.packed,
+            &self.gru,
+            &self.ae,
             &mut self.gru_scratch,
             &mut self.ae_ws,
             &mut self.fv,
@@ -375,19 +444,9 @@ impl StreamScorer<'_> {
         self.flows.len()
     }
 
-    /// True while the table holds a live flow for this canonical tuple.
-    /// Lets a caller that attributes per-flow metadata (e.g. the sharded
-    /// front end's arrival tags) detect that a tuple's old incarnation
-    /// closed and a new one started within a single [`push`](Self::push).
-    pub fn tracks(&self, key: &CanonicalKey) -> bool {
-        self.flows.contains_key(key)
-    }
-
-    /// Flows finalized since the last drain, without taking them — lets a
-    /// polling caller (e.g. a shard worker) skip the drain entirely on the
-    /// common no-close packet.
-    pub fn closed_flows(&self) -> usize {
-        self.closed.len()
+    /// The engine precision this scorer runs at.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.gru.mode()
     }
 
     /// Takes every flow finalized since the last drain.
@@ -469,11 +528,12 @@ impl StreamScorer<'_> {
         // the same key the offline reassembler would use for a capture
         // with no SYN.
         if let Some(buffered) = flow.pending.take() {
-            for q in &buffered {
+            for (_, q) in &buffered {
                 advance_flow(
                     self.clap,
                     &self.builder,
-                    &self.packed,
+                    &self.gru,
+                    &self.ae,
                     &mut self.gru_scratch,
                     &mut self.ae_ws,
                     &mut self.fv,
@@ -490,7 +550,7 @@ impl StreamScorer<'_> {
             // are packets 0..packets-1; pad by repeating the last one.
             let last = flow.packets - 1;
             let err = window_error(
-                self.clap,
+                &self.ae,
                 &mut self.window,
                 &mut self.ae_ws,
                 &mut self.err_scratch,
@@ -511,6 +571,7 @@ impl StreamScorer<'_> {
             key: flow.key,
             packets: flow.packets,
             reason,
+            arrival: flow.arrival,
             scored,
         });
     }
@@ -525,7 +586,8 @@ impl StreamScorer<'_> {
 fn advance_flow(
     clap: &Clap,
     builder: &ProfileBuilder,
-    packed: &PackedGru,
+    gru: &GruEngine,
+    ae: &AeEngine<'_>,
     gru_scratch: &mut GruStepScratch,
     ae_ws: &mut AeWorkspace,
     fv: &mut FeatureVector,
@@ -535,7 +597,7 @@ fn advance_flow(
     p: &Packet,
 ) -> Option<f32> {
     let stack = builder.stack;
-    let hidden = packed.hidden_size();
+    let hidden = gru.hidden_size();
     // Same fallback as `Connection::direction`: packets matching
     // neither orientation count as client→server.
     let dir = flow
@@ -554,21 +616,15 @@ fn advance_flow(
     let (feat, gates) = row.split_at_mut(NUM_PACKET);
     clap.ranges.write_packet_features(fv, feat);
     let (z, r) = gates.split_at_mut(hidden);
-    packed.step(&fv.base, &mut flow.h, gru_scratch, z, r);
+    gru.step(&fv.base, &mut flow.h, gru_scratch, z, r);
 
     // A full stack of profiles completes one sliding window. The
     // oldest profile of the window is packet `packets - stack`.
     if flow.packets >= stack {
         let packets = flow.packets;
-        let err = window_error(
-            clap,
-            window,
-            ae_ws,
-            err_scratch,
-            &flow.singles,
-            stack,
-            |j| (packets - stack + j) % stack,
-        );
+        let err = window_error(ae, window, ae_ws, err_scratch, &flow.singles, stack, |j| {
+            (packets - stack + j) % stack
+        });
         flow.window_errors.push(err);
         return Some(err);
     }
@@ -583,7 +639,7 @@ fn advance_flow(
 /// function (not a method) because callers hold a `&mut` borrow of the
 /// flow alongside the scorer's scratch fields.
 fn window_error(
-    clap: &Clap,
+    ae: &AeEngine<'_>,
     window: &mut Matrix,
     ae_ws: &mut AeWorkspace,
     err_scratch: &mut Vec<f32>,
@@ -599,8 +655,7 @@ fn window_error(
             .copy_from_slice(&singles[src * PROFILE_LEN..(src + 1) * PROFILE_LEN]);
     }
     err_scratch.clear();
-    clap.ae
-        .reconstruction_errors_into(window, ae_ws, err_scratch);
+    ae.reconstruction_errors_into(window, ae_ws, err_scratch);
     err_scratch[0]
 }
 
@@ -849,6 +904,43 @@ mod tests {
         let mut tcp = TcpHeader::new(src.1, dst.1, 1000, 0);
         tcp.flags = flags;
         Packet::new(ts, ip, tcp, Vec::new())
+    }
+
+    /// Plain `push` tags flows with the scorer's own packet counter;
+    /// `push_tagged` records the caller's index — including through a
+    /// length-cap restart, where the new incarnation carries the tag of
+    /// the packet that opened it.
+    #[test]
+    fn arrival_tags_follow_flow_incarnations() {
+        let clap = model();
+        let mut scorer = clap.stream_scorer_with(StreamConfig {
+            max_packets_per_flow: 3,
+            teardown_on_close: false,
+            ..StreamConfig::default()
+        });
+        // Flow A at stream positions 0..3 (capped), restart at 3..;
+        // flow B interleaved at its own positions via explicit tags.
+        for t in 0..5u64 {
+            scorer.push_tagged(&raw_packet((1, 1111), (2, 80), f64::from(t as u32)), t * 10);
+        }
+        let capped = scorer.drain_closed();
+        assert_eq!(capped.len(), 1);
+        assert_eq!(capped[0].arrival, 0, "first incarnation opens at tag 0");
+        let rest = scorer.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(
+            rest[0].arrival, 30,
+            "restarted incarnation carries its opening packet's tag"
+        );
+
+        // Plain push: the scorer's own 0-based counter.
+        let mut plain = clap.stream_scorer_with(no_teardown());
+        plain.push(&raw_packet((1, 1111), (2, 80), 0.0));
+        plain.push(&raw_packet((3, 2222), (4, 80), 0.1));
+        let closed = plain.finish();
+        let mut arrivals: Vec<u64> = closed.iter().map(|c| c.arrival).collect();
+        arrivals.sort_unstable();
+        assert_eq!(arrivals, vec![0, 1]);
     }
 
     #[test]

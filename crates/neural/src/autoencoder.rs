@@ -48,14 +48,19 @@ impl AutoencoderConfig {
 /// A stack of dense layers trained to reproduce its input.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Autoencoder {
-    layers: Vec<Dense>,
+    pub(crate) layers: Vec<Dense>,
 }
 
 /// Ping-pong activation buffers for [`Autoencoder::forward_into`]. Reuse
-/// one per scoring session; buffers grow to the largest batch seen.
+/// one per scoring session; buffers grow to the largest batch seen. The
+/// same workspace also serves the int8 engine
+/// ([`crate::quant::QuantAutoencoder`]), which additionally uses the
+/// quantized-activation scratch row.
 #[derive(Debug, Clone, Default)]
 pub struct AeWorkspace {
-    bufs: [Matrix; 2],
+    pub(crate) bufs: [Matrix; 2],
+    /// Quantized-activation scratch for the int8 engine; unused on f32.
+    pub(crate) qa: Vec<u8>,
 }
 
 impl AeWorkspace {

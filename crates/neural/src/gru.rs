@@ -361,12 +361,12 @@ impl GruCell {
 #[derive(Debug, Clone)]
 pub struct PackedGru {
     /// `[Wz; Wr; Wn]` stacked row-wise: `3H×I`.
-    w: Matrix,
+    pub(crate) w: Matrix,
     /// `[Uz; Ur; Un]` stacked row-wise: `3H×H`.
-    u: Matrix,
+    pub(crate) u: Matrix,
     /// `[bz; br; bn]`: `3H`.
-    b: Vec<f32>,
-    hidden: usize,
+    pub(crate) b: Vec<f32>,
+    pub(crate) hidden: usize,
 }
 
 /// Reusable scratch arena for [`PackedGru::run`]. All buffers grow to the
@@ -376,9 +376,9 @@ pub struct PackedGru {
 #[derive(Debug, Clone, Default)]
 pub struct GruWorkspace {
     /// `T×3H` input-side projections `X·Wᵀ + b`.
-    xp: Matrix,
+    pub(crate) xp: Matrix,
     /// Current step's recurrent projections `U·h_{t-1}` (`3H`).
-    up: Vec<f32>,
+    pub(crate) up: Vec<f32>,
     /// Hidden states, one row per step (`T×H`).
     pub hs: Matrix,
     /// Update-gate activations per step (`T×H`).
@@ -386,7 +386,10 @@ pub struct GruWorkspace {
     /// Reset-gate activations per step (`T×H`).
     pub rs: Matrix,
     /// Running hidden state (`H`).
-    h: Vec<f32>,
+    pub(crate) h: Vec<f32>,
+    /// Quantized-activation scratch for the int8 engine
+    /// ([`crate::quant::QuantPackedGru`]); unused on the f32 path.
+    pub(crate) qa: Vec<u8>,
 }
 
 impl GruWorkspace {
@@ -412,9 +415,12 @@ impl GruWorkspace {
 #[derive(Debug, Clone, Default)]
 pub struct GruStepScratch {
     /// Current step's input-side projections `W·x + b` (`3H`).
-    xp: Vec<f32>,
+    pub(crate) xp: Vec<f32>,
     /// Current step's recurrent projections `U·h_{t-1}` (`3H`).
-    up: Vec<f32>,
+    pub(crate) up: Vec<f32>,
+    /// Quantized-activation scratch for the int8 engine
+    /// ([`crate::quant::QuantPackedGru`]); unused on the f32 path.
+    pub(crate) qa: Vec<u8>,
 }
 
 impl GruStepScratch {

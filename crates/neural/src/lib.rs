@@ -59,20 +59,22 @@
 //!
 //! * **Feature detection.** [`simd::KernelSet::active`] probes the CPU
 //!   with `is_x86_feature_detected!` and picks the widest supported set:
-//!   `avx512` (AVX-512F, 16-lane) → `avx2` (AVX2+FMA, 8-lane) → `scalar`.
-//!   The SIMD sets are explicit `std::arch::x86_64` intrinsic kernels, so
-//!   vectorized builds no longer depend on `-C target-cpu=native`;
-//!   non-x86 targets always get the scalar set.
+//!   `avx512vnni` (AVX-512F+BW+VNNI — adds `vpdpbusd` int8 dots) →
+//!   `avx512` (AVX-512F, 16-lane) → `avx2` (AVX2+FMA, 8-lane) →
+//!   `scalar`. The SIMD sets are explicit `std::arch::x86_64` intrinsic
+//!   kernels, so vectorized builds no longer depend on
+//!   `-C target-cpu=native`; non-x86 targets always get the scalar set.
 //! * **Override.** Setting the `NEURAL_FORCE_SCALAR` environment variable
 //!   (to anything but `0`/empty/`false`) pins the scalar reference set —
-//!   CI runs the whole suite that way. `NEURAL_KERNELS=scalar|avx2|avx512`
-//!   requests a specific set (best effort: unsupported requests fall back
-//!   to the ladder), e.g. to benchmark the AVX2 path on an AVX-512
-//!   machine. Tests can also fetch a specific set
+//!   CI runs the whole suite that way.
+//!   `NEURAL_KERNELS=scalar|avx2|avx512|avx512vnni` requests a specific
+//!   set (best effort: unsupported requests fall back to the ladder),
+//!   e.g. to benchmark the AVX2 path on an AVX-512 machine. Tests can also fetch a specific set
 //!   ([`simd::KernelSet::scalar`], `avx2()`, `avx512()`) and call its
 //!   kernels directly without affecting the process-wide choice.
-//! * **Adding an ISA.** Implement the six kernel functions (dot, dot4,
-//!   axpy, bias_act, gru_gates, sum_abs_diff) for the new instruction
+//! * **Adding an ISA.** Implement the ten kernel functions (dot, dot4,
+//!   axpy, bias_act, gru_gates, sum_abs_diff, plus the int8 quartet
+//!   dot_i8, dot4_i8, act_range, act_encode) for the new instruction
 //!   set, add a `static` `KernelSet` naming them, and extend the
 //!   `select()` ladder in `simd.rs` behind the right
 //!   `is_x86_feature_detected!`/`cfg` guard. The property tests in
@@ -87,6 +89,46 @@
 //! kernel set results are deterministic, and one-row GEMMs are bitwise
 //! identical to matvecs — which is what keeps streaming (step-at-a-time)
 //! scoring exactly equal to batched scoring.
+//!
+//! # Int8 quantized inference (`quant`)
+//!
+//! The [`quant`] module runs the same inference mathematics on int8
+//! weights with i32 accumulation — the last large single-core lever after
+//! fusion and SIMD, since the autoencoder's f32 weights dominate both the
+//! FLOPs (≈176k MACs/packet at Table-6 sizes) and the working set.
+//!
+//! * **Row-scale scheme.** Weights quantize per *output row*, symmetric:
+//!   `q = round(w / s_r)`, `s_r = max|row| / 127` ([`QuantMatrix`]), so
+//!   each row spends its full int8 range regardless of other rows.
+//!   Activations quantize per GEMM call to 7-bit unsigned over the row's
+//!   empirical `[min, max]` (asymmetric — one-sided data like profile
+//!   features and gate activations in `[0, 1]` gets double resolution);
+//!   the offset folds back through precomputed row sums at dequant time.
+//!   Both scan/encode steps are themselves `KernelSet` kernels.
+//! * **Saturation behavior.** Activation codes are confined to `0..=127`
+//!   and weights to `-127..=127`, which bounds every `maddubs` i16
+//!   pair-sum by 2·127·127 = 32258 < 32767: saturation is unreachable by
+//!   construction, so the i32 accumulators are exact and **every kernel
+//!   tier returns bit-identical results** (integer addition has no
+//!   reassociation drift). The proptests pin SIMD == scalar with `==`,
+//!   not a tolerance. Outliers cannot saturate either — the scales derive
+//!   from the row extrema — they instead coarsen that one row's grid
+//!   (drift on corrupted adversarial packets is therefore larger than on
+//!   benign traffic, bounded by the clap-core calibration harness).
+//! * **The vnni ladder.** Int8 dot kernels live in the same dispatched
+//!   [`KernelSet`]: `avx512vnni` (`vpdpbusd`, u8×i8 quads straight into
+//!   i32 lanes) → `avx512`/`avx2` (256-bit `maddubs` + `madd`) → scalar.
+//!   `NEURAL_KERNELS=avx512vnni` joins the existing override values.
+//!   Measured on the ci preset (single core): int8 fused scoring is
+//!   ≈1.75× f32 under the vnni tier and ≈1.11× under pure AVX2 (whose
+//!   3-µop maddubs sequence caps the ALU win; 256-bit AVX-VNNI would
+//!   lift that ceiling on AVX2-class client CPUs — future tier).
+//! * **Engine selection.** `NEURAL_QUANT=int8` makes every
+//!   default-constructed scorer quantized ([`QuantMode::active`]);
+//!   `QuantMode::Off`/`Int8` can be pinned per scorer. Int8 streaming is
+//!   bitwise identical to int8 batch (per-row activation quantization
+//!   keeps 1-row GEMMs == matvecs), so the streaming/sharded equivalence
+//!   guarantees hold at either precision.
 
 pub mod adam;
 pub mod autoencoder;
@@ -94,6 +136,7 @@ pub mod classifier;
 pub mod dense;
 pub mod gru;
 pub mod matrix;
+pub mod quant;
 pub mod simd;
 
 pub use adam::Adam;
@@ -102,6 +145,7 @@ pub use classifier::{GruClassifier, GruClassifierConfig, TrainReport};
 pub use dense::Dense;
 pub use gru::{GruCell, GruStepScratch, GruTrace, GruWorkspace, PackedGru};
 pub use matrix::Matrix;
+pub use quant::{AeEngine, GruEngine, QuantAutoencoder, QuantMatrix, QuantMode, QuantPackedGru};
 pub use simd::KernelSet;
 
 /// Numerically-stable softmax over a slice, in place.

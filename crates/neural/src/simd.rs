@@ -46,6 +46,9 @@ use std::sync::OnceLock;
 type Dot4Fn = fn(&[f32], &[f32], &[f32], &[f32], &[f32]) -> [f32; 4];
 /// `gru_gates(xp, up, h, z, r)` — the fused gate block over a 3H slab.
 type GruGatesFn = fn(&[f32], &[f32], &mut [f32], &mut [f32], &mut [f32]);
+/// `dot4_i8(a, b0, b1, b2, b3)` — four int8 dot products sharing one
+/// quantized activation row `a`.
+type Dot4I8Fn = fn(&[u8], &[i8], &[i8], &[i8], &[i8]) -> [i32; 4];
 
 /// A coherent set of hot-path kernels, selected once at startup. All
 /// function pointers are plain safe `fn`s; the SIMD variants wrap their
@@ -53,7 +56,8 @@ type GruGatesFn = fn(&[f32], &[f32], &mut [f32], &mut [f32], &mut [f32]);
 /// constructor verified the required CPU features.
 #[derive(Clone, Copy)]
 pub struct KernelSet {
-    /// Kernel family name: `"scalar"`, `"avx2"` or `"avx512"`.
+    /// Kernel family name: `"scalar"`, `"avx2"`, `"avx512"` or
+    /// `"avx512vnni"`.
     pub name: &'static str,
     dot: fn(&[f32], &[f32]) -> f32,
     dot4: Dot4Fn,
@@ -61,6 +65,10 @@ pub struct KernelSet {
     bias_act: fn(&mut [f32], &[f32], Activation),
     gru_gates: GruGatesFn,
     sum_abs_diff: fn(&[f32], &[f32]) -> f32,
+    dot_i8: fn(&[u8], &[i8]) -> i32,
+    dot4_i8: Dot4I8Fn,
+    act_range: fn(&[f32]) -> (f32, f32),
+    act_encode: fn(&[f32], f32, f32, &mut [u8]),
 }
 
 impl std::fmt::Debug for KernelSet {
@@ -141,6 +149,64 @@ impl KernelSet {
         (self.sum_abs_diff)(a, b)
     }
 
+    /// Int8 dot product `Σ a[k]·b[k]` with exact i32 accumulation — the
+    /// inner loop of the quantized GEMM ([`crate::quant::QuantMatrix`]).
+    ///
+    /// `a` holds quantized activations, which the quantizer confines to
+    /// the 7-bit unsigned range `0..=127`; `b` holds int8 weights in
+    /// `-127..=127`. Under that contract every pair product
+    /// fits the AVX2 `maddubs` i16 pair-sum without saturation, so all
+    /// kernel sets return the **bit-identical** i32 (integer addition is
+    /// associative — no SIMD reassociation drift exists on this path).
+    #[inline]
+    pub fn dot_i8(&self, a: &[u8], b: &[i8]) -> i32 {
+        assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+        debug_assert!(
+            a.iter().all(|&x| x <= 127),
+            "quantized activations exceed the 7-bit contract"
+        );
+        (self.dot_i8)(a, b)
+    }
+
+    /// Four simultaneous int8 dot products of `a` against `b0..b3` — the
+    /// register-blocked quantized GEMM inner loop. Same contract and
+    /// exactness guarantee as [`dot_i8`](Self::dot_i8).
+    #[inline]
+    pub fn dot4_i8(&self, a: &[u8], b0: &[i8], b1: &[i8], b2: &[i8], b3: &[i8]) -> [i32; 4] {
+        let n = a.len();
+        assert!(
+            b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n,
+            "dot4_i8 length mismatch"
+        );
+        debug_assert!(
+            a.iter().all(|&x| x <= 127),
+            "quantized activations exceed the 7-bit contract"
+        );
+        (self.dot4_i8)(a, b0, b1, b2, b3)
+    }
+
+    /// `(min, max)` of an activation row — the range scan behind
+    /// on-the-fly quantization. Pure lane-parallel float min/max, so every
+    /// set returns identical values for finite rows; a row containing
+    /// NaN/±inf may return a non-finite bound (the quantizer detects that
+    /// and falls back to a shared filtering rescan, keeping the final
+    /// quantization identical across sets).
+    #[inline]
+    pub fn act_range(&self, x: &[f32]) -> (f32, f32) {
+        (self.act_range)(x)
+    }
+
+    /// Encodes one activation row to 7-bit unsigned codes:
+    /// `out[k] = clamp(trunc((x[k] − min) · inv + 0.5), 0, 127)`, with
+    /// NaN mapping to code 0. Per-element arithmetic only (sub, mul, add,
+    /// compare, truncate — never an FMA), so all sets produce the
+    /// bit-identical codes.
+    #[inline]
+    pub fn act_encode(&self, x: &[f32], min: f32, inv: f32, out: &mut [u8]) {
+        assert_eq!(x.len(), out.len(), "act_encode length mismatch");
+        (self.act_encode)(x, min, inv, out)
+    }
+
     /// The safe scalar reference set. Always available; forced
     /// process-wide by `NEURAL_FORCE_SCALAR`.
     pub fn scalar() -> &'static KernelSet {
@@ -158,12 +224,35 @@ impl KernelSet {
         None
     }
 
-    /// The AVX-512F set, if this CPU supports it.
+    /// The AVX-512F set, if this CPU supports it. Also requires AVX2+FMA
+    /// (true of every AVX-512 CPU shipped): the set's int8 kernels are the
+    /// 256-bit `maddubs` path — AVX-512F alone has no byte-granular
+    /// multiply, that needs the VNNI set below.
     pub fn avx512() -> Option<&'static KernelSet> {
         #[cfg(target_arch = "x86_64")]
         {
-            if is_x86_feature_detected!("avx512f") {
+            if is_x86_feature_detected!("avx512f")
+                && is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+            {
                 return Some(&x86::AVX512);
+            }
+        }
+        None
+    }
+
+    /// The AVX-512 VNNI set, if this CPU supports it: identical f32
+    /// kernels to [`avx512`](Self::avx512), plus `vpdpbusd` int8 dot
+    /// kernels (u8×i8 quads accumulated straight into i32 lanes, no
+    /// intermediate i16 stage). Requires AVX-512F+BW+VNNI.
+    pub fn avx512vnni() -> Option<&'static KernelSet> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f")
+                && is_x86_feature_detected!("avx512bw")
+                && is_x86_feature_detected!("avx512vnni")
+            {
+                return Some(&x86::AVX512VNNI);
             }
         }
         None
@@ -176,6 +265,7 @@ impl KernelSet {
         let mut sets = vec![Self::scalar()];
         sets.extend(Self::avx2());
         sets.extend(Self::avx512());
+        sets.extend(Self::avx512vnni());
         sets
     }
 
@@ -227,9 +317,15 @@ fn select(force_scalar: bool, requested: Option<&str>) -> &'static KernelSet {
                 return ks;
             }
         }
+        Some("avx512vnni") => {
+            if let Some(ks) = KernelSet::avx512vnni() {
+                return ks;
+            }
+        }
         _ => {}
     }
-    KernelSet::avx512()
+    KernelSet::avx512vnni()
+        .or_else(KernelSet::avx512)
         .or_else(KernelSet::avx2)
         .unwrap_or_else(KernelSet::scalar)
 }
@@ -250,6 +346,10 @@ static SCALAR: KernelSet = KernelSet {
     bias_act: bias_act_scalar,
     gru_gates: gru_gates_scalar,
     sum_abs_diff: sum_abs_diff_scalar,
+    dot_i8: dot_i8_scalar,
+    dot4_i8: dot4_i8_scalar,
+    act_range: act_range_scalar,
+    act_encode: act_encode_scalar,
 };
 
 fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
@@ -337,6 +437,66 @@ fn gru_gates_scalar(xp: &[f32], up: &[f32], h: &mut [f32], z: &mut [f32], r: &mu
     }
 }
 
+/// Reference int8 dot. Integer accumulation is exact and associative, so
+/// this is not merely "close to" the SIMD kernels — it is bit-identical,
+/// which is what lets the proptests pin `==` instead of a tolerance.
+fn dot_i8_scalar(a: &[u8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+fn dot4_i8_scalar(a: &[u8], b0: &[i8], b1: &[i8], b2: &[i8], b3: &[i8]) -> [i32; 4] {
+    [
+        dot_i8_scalar(a, b0),
+        dot_i8_scalar(a, b1),
+        dot_i8_scalar(a, b2),
+        dot_i8_scalar(a, b3),
+    ]
+}
+
+/// Lane-blocked select-form min/max scan. A NaN comparison is false, so a
+/// NaN element never replaces a lane bound; ±inf propagates into the
+/// result, where the quantizer's finiteness check catches it.
+fn act_range_scalar(x: &[f32]) -> (f32, f32) {
+    let mut lo = [f32::INFINITY; LANES];
+    let mut hi = [f32::NEG_INFINITY; LANES];
+    let chunks = x.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for i in 0..LANES {
+            lo[i] = if c[i] < lo[i] { c[i] } else { lo[i] };
+            hi[i] = if c[i] > hi[i] { c[i] } else { hi[i] };
+        }
+    }
+    let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+    for i in 0..LANES {
+        min = if lo[i] < min { lo[i] } else { min };
+        max = if hi[i] > max { hi[i] } else { max };
+    }
+    for &v in tail {
+        min = if v < min { v } else { min };
+        max = if v > max { v } else { max };
+    }
+    (min, max)
+}
+
+/// Reference encode: `(v − min)·inv` is non-negative for every finite `v`
+/// of the row, so adding 0.5 and truncating rounds to nearest (half-up)
+/// without `f32::round` (a libm call on the SSE2 baseline). The `t > 127`
+/// select keeps NaN (comparison false), which the saturating `as u8` cast
+/// then sends to code 0.
+fn act_encode_scalar(x: &[f32], min: f32, inv: f32, out: &mut [u8]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (q, &v) in out.iter_mut().zip(x) {
+        let t = (v - min) * inv + 0.5;
+        *q = if t > 127.0 { 127.0 } else { t } as u8;
+    }
+}
+
 fn sum_abs_diff_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut lanes = [0.0f32; LANES];
@@ -375,6 +535,10 @@ mod x86 {
         bias_act: bias_act_avx2,
         gru_gates: gru_gates_avx2,
         sum_abs_diff: sum_abs_diff_avx2,
+        dot_i8: dot_i8_avx2,
+        dot4_i8: dot4_i8_avx2,
+        act_range: act_range_avx2,
+        act_encode: act_encode_avx2,
     };
 
     pub(super) static AVX512: KernelSet = KernelSet {
@@ -385,6 +549,29 @@ mod x86 {
         bias_act: bias_act_avx512,
         gru_gates: gru_gates_avx512,
         sum_abs_diff: sum_abs_diff_avx512,
+        // AVX-512F has no byte-granular multiply; without VNNI the best
+        // int8 path on these CPUs is the 256-bit maddubs kernel (the set's
+        // constructor also verifies AVX2).
+        dot_i8: dot_i8_avx2,
+        dot4_i8: dot4_i8_avx2,
+        act_range: act_range_avx2,
+        act_encode: act_encode_avx2,
+    };
+
+    /// The VNNI tier: f32 kernels identical to [`AVX512`], int8 kernels on
+    /// `vpdpbusd` (u8×i8 quads accumulated directly into i32 lanes).
+    pub(super) static AVX512VNNI: KernelSet = KernelSet {
+        name: "avx512vnni",
+        dot: dot_avx512,
+        dot4: dot4_avx512,
+        axpy: axpy_avx512,
+        bias_act: bias_act_avx512,
+        gru_gates: gru_gates_avx512,
+        sum_abs_diff: sum_abs_diff_avx512,
+        dot_i8: dot_i8_vnni,
+        dot4_i8: dot4_i8_vnni,
+        act_range: act_range_avx2,
+        act_encode: act_encode_avx2,
     };
 
     // Cephes-style polynomial `expf` constants (same as avx_mathfun /
@@ -1081,6 +1268,319 @@ mod x86 {
         // SAFETY: reachable only through the detected AVX-512 KernelSet.
         unsafe { sum_abs_diff_avx512_impl(a, b) }
     }
+
+    // ---------------- int8 (AVX2 maddubs + AVX-512 VNNI) ----------------
+    //
+    // All int8 kernels compute Σ a[k]·b[k] with a: u8 (quantized
+    // activations, ≤127 by the quantizer's contract) and b: i8 weights,
+    // exactly, in i32. `vpmaddubsw` forms pairwise u8×i8 products and
+    // saturates their i16 sum — with a ≤ 127 the pair sum is bounded by
+    // 2·127·127 = 32258 < 32767, so saturation is unreachable and the
+    // result is the exact integer the scalar reference computes.
+    // `vpdpbusd` accumulates u8×i8 quads straight into i32 lanes
+    // (no i16 stage at all; VPDPBUSD does not saturate — only the
+    // explicit VPDPBUSDS variant does). Integer addition is associative,
+    // so every lane split/reorder below preserves bit-exact equality.
+
+    /// Sums the 8 i32 lanes of a 256-bit register.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256_epi32(v: __m256i) -> i32 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0x4e>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0xb1>(s));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// One 32-byte maddubs+madd step: Σ of 32 u8×i8 products as 8 i32s.
+    ///
+    /// # Safety
+    /// Requires AVX2; 32 readable bytes at both pointers.
+    #[target_feature(enable = "avx2")]
+    unsafe fn madd32(pa: *const u8, pb: *const i8) -> __m256i {
+        let m = _mm256_maddubs_epi16(
+            _mm256_loadu_si256(pa as *const __m256i),
+            _mm256_loadu_si256(pb as *const __m256i),
+        );
+        _mm256_madd_epi16(m, _mm256_set1_epi16(1))
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i8_avx2_impl(a: &[u8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 64 <= n {
+            acc0 = _mm256_add_epi32(acc0, madd32(pa.add(i), pb.add(i)));
+            acc1 = _mm256_add_epi32(acc1, madd32(pa.add(i + 32), pb.add(i + 32)));
+            i += 64;
+        }
+        if i + 32 <= n {
+            acc0 = _mm256_add_epi32(acc0, madd32(pa.add(i), pb.add(i)));
+            i += 32;
+        }
+        let mut sum = hsum256_epi32(_mm256_add_epi32(acc0, acc1));
+        while i < n {
+            sum += i32::from(a[i]) * i32::from(b[i]);
+            i += 1;
+        }
+        sum
+    }
+
+    fn dot_i8_avx2(a: &[u8], b: &[i8]) -> i32 {
+        // SAFETY: reachable only through KernelSets whose constructors
+        // verified AVX2 (the avx2 and avx512 sets).
+        unsafe { dot_i8_avx2_impl(a, b) }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot4_i8_avx2_impl(a: &[u8], b0: &[i8], b1: &[i8], b2: &[i8], b3: &[i8]) -> [i32; 4] {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let ones = _mm256_set1_epi16(1);
+        let mut a0 = _mm256_setzero_si256();
+        let mut a1 = _mm256_setzero_si256();
+        let mut a2 = _mm256_setzero_si256();
+        let mut a3 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 32 <= n {
+            // Each loaded activation chunk is reused against four weight
+            // rows — the register-blocked GEMM inner loop.
+            let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+            let m0 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p0.add(i) as *const __m256i));
+            let m1 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p1.add(i) as *const __m256i));
+            let m2 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p2.add(i) as *const __m256i));
+            let m3 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p3.add(i) as *const __m256i));
+            a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(m0, ones));
+            a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(m1, ones));
+            a2 = _mm256_add_epi32(a2, _mm256_madd_epi16(m2, ones));
+            a3 = _mm256_add_epi32(a3, _mm256_madd_epi16(m3, ones));
+            i += 32;
+        }
+        let mut out = [
+            hsum256_epi32(a0),
+            hsum256_epi32(a1),
+            hsum256_epi32(a2),
+            hsum256_epi32(a3),
+        ];
+        while i < n {
+            let av = i32::from(a[i]);
+            out[0] += av * i32::from(b0[i]);
+            out[1] += av * i32::from(b1[i]);
+            out[2] += av * i32::from(b2[i]);
+            out[3] += av * i32::from(b3[i]);
+            i += 1;
+        }
+        out
+    }
+
+    fn dot4_i8_avx2(a: &[u8], b0: &[i8], b1: &[i8], b2: &[i8], b3: &[i8]) -> [i32; 4] {
+        // SAFETY: reachable only through KernelSets whose constructors
+        // verified AVX2 (the avx2 and avx512 sets).
+        unsafe { dot4_i8_avx2_impl(a, b0, b1, b2, b3) }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F+BW+VNNI.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    unsafe fn dot_i8_vnni_impl(a: &[u8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm512_setzero_si512();
+        let mut acc1 = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 128 <= n {
+            acc0 = _mm512_dpbusd_epi32(
+                acc0,
+                _mm512_loadu_si512(pa.add(i) as *const _),
+                _mm512_loadu_si512(pb.add(i) as *const _),
+            );
+            acc1 = _mm512_dpbusd_epi32(
+                acc1,
+                _mm512_loadu_si512(pa.add(i + 64) as *const _),
+                _mm512_loadu_si512(pb.add(i + 64) as *const _),
+            );
+            i += 128;
+        }
+        if i + 64 <= n {
+            acc0 = _mm512_dpbusd_epi32(
+                acc0,
+                _mm512_loadu_si512(pa.add(i) as *const _),
+                _mm512_loadu_si512(pb.add(i) as *const _),
+            );
+            i += 64;
+        }
+        if i < n {
+            let m: __mmask64 = (1u64 << (n - i)) - 1;
+            acc1 = _mm512_dpbusd_epi32(
+                acc1,
+                _mm512_maskz_loadu_epi8(m, pa.add(i) as *const i8),
+                _mm512_maskz_loadu_epi8(m, pb.add(i)),
+            );
+        }
+        _mm512_reduce_add_epi32(_mm512_add_epi32(acc0, acc1))
+    }
+
+    fn dot_i8_vnni(a: &[u8], b: &[i8]) -> i32 {
+        // SAFETY: reachable only through the detected AVX-512 VNNI set.
+        unsafe { dot_i8_vnni_impl(a, b) }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F+BW+VNNI.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    unsafe fn dot4_i8_vnni_impl(a: &[u8], b0: &[i8], b1: &[i8], b2: &[i8], b3: &[i8]) -> [i32; 4] {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let mut a0 = _mm512_setzero_si512();
+        let mut a1 = _mm512_setzero_si512();
+        let mut a2 = _mm512_setzero_si512();
+        let mut a3 = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 64 <= n {
+            let va = _mm512_loadu_si512(pa.add(i) as *const _);
+            a0 = _mm512_dpbusd_epi32(a0, va, _mm512_loadu_si512(p0.add(i) as *const _));
+            a1 = _mm512_dpbusd_epi32(a1, va, _mm512_loadu_si512(p1.add(i) as *const _));
+            a2 = _mm512_dpbusd_epi32(a2, va, _mm512_loadu_si512(p2.add(i) as *const _));
+            a3 = _mm512_dpbusd_epi32(a3, va, _mm512_loadu_si512(p3.add(i) as *const _));
+            i += 64;
+        }
+        if i < n {
+            let m: __mmask64 = (1u64 << (n - i)) - 1;
+            let va = _mm512_maskz_loadu_epi8(m, pa.add(i) as *const i8);
+            a0 = _mm512_dpbusd_epi32(a0, va, _mm512_maskz_loadu_epi8(m, p0.add(i)));
+            a1 = _mm512_dpbusd_epi32(a1, va, _mm512_maskz_loadu_epi8(m, p1.add(i)));
+            a2 = _mm512_dpbusd_epi32(a2, va, _mm512_maskz_loadu_epi8(m, p2.add(i)));
+            a3 = _mm512_dpbusd_epi32(a3, va, _mm512_maskz_loadu_epi8(m, p3.add(i)));
+        }
+        [
+            _mm512_reduce_add_epi32(a0),
+            _mm512_reduce_add_epi32(a1),
+            _mm512_reduce_add_epi32(a2),
+            _mm512_reduce_add_epi32(a3),
+        ]
+    }
+
+    fn dot4_i8_vnni(a: &[u8], b0: &[i8], b1: &[i8], b2: &[i8], b3: &[i8]) -> [i32; 4] {
+        // SAFETY: reachable only through the detected AVX-512 VNNI set.
+        unsafe { dot4_i8_vnni_impl(a, b0, b1, b2, b3) }
+    }
+
+    // ---------------- activation quantization ----------------
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn act_range_avx2_impl(x: &[f32]) -> (f32, f32) {
+        let n = x.len();
+        let p = x.as_ptr();
+        let mut vmin = _mm256_set1_ps(f32::INFINITY);
+        let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(p.add(i));
+            // Operand order matters: vminps/vmaxps return the *second*
+            // operand when either input is NaN, so with the data first a
+            // NaN element yields the accumulated bound — NaN never enters
+            // a lane, exactly the scalar kernel's select semantics.
+            // (The reversed order would let a NaN overwrite the lane and
+            // then be silently replaced by the next finite chunk, losing
+            // real bounds.) ±inf still propagates into the result, where
+            // the quantizer's finiteness check catches it.
+            vmin = _mm256_min_ps(v, vmin);
+            vmax = _mm256_max_ps(v, vmax);
+            i += 8;
+        }
+        let mut lo = [0.0f32; 8];
+        let mut hi = [0.0f32; 8];
+        _mm256_storeu_ps(lo.as_mut_ptr(), vmin);
+        _mm256_storeu_ps(hi.as_mut_ptr(), vmax);
+        let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+        for k in 0..8 {
+            min = if lo[k] < min { lo[k] } else { min };
+            max = if hi[k] > max { hi[k] } else { max };
+        }
+        while i < n {
+            let v = x[i];
+            min = if v < min { v } else { min };
+            max = if v > max { v } else { max };
+            i += 1;
+        }
+        (min, max)
+    }
+
+    fn act_range_avx2(x: &[f32]) -> (f32, f32) {
+        // SAFETY: reachable only through AVX2-verified KernelSets.
+        unsafe { act_range_avx2_impl(x) }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn act_encode_avx2_impl(x: &[f32], min: f32, inv: f32, out: &mut [u8]) {
+        debug_assert_eq!(x.len(), out.len());
+        let n = x.len();
+        let p = x.as_ptr();
+        let po = out.as_mut_ptr();
+        let vmin = _mm256_set1_ps(min);
+        let vinv = _mm256_set1_ps(inv);
+        let half = _mm256_set1_ps(0.5);
+        let cap = _mm256_set1_ps(127.0);
+        let mut i = 0;
+        while i + 16 <= n {
+            // Same op sequence as the scalar kernel — sub, mul, add (no
+            // FMA), ordered > compare keeping NaN — so codes are bitwise
+            // identical.
+            let mut t0 = _mm256_add_ps(
+                _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vmin), vinv),
+                half,
+            );
+            let mut t1 = _mm256_add_ps(
+                _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(p.add(i + 8)), vmin), vinv),
+                half,
+            );
+            let m0 = _mm256_cmp_ps::<_CMP_GT_OQ>(t0, cap);
+            let m1 = _mm256_cmp_ps::<_CMP_GT_OQ>(t1, cap);
+            t0 = _mm256_blendv_ps(t0, cap, m0);
+            t1 = _mm256_blendv_ps(t1, cap, m1);
+            // Truncate; NaN becomes 0x8000_0000, which the saturating
+            // packs (i32→i16: → −32768) then packus (i16→u8: → 0) send to
+            // code 0, matching the scalar cast.
+            let i0 = _mm256_cvttps_epi32(t0);
+            let i1 = _mm256_cvttps_epi32(t1);
+            let packed16 = _mm256_permute4x64_epi64::<0b11011000>(_mm256_packs_epi32(i0, i1));
+            let packed8 = _mm256_packus_epi16(packed16, packed16);
+            let lo = _mm256_castsi256_si128(packed8);
+            let hi = _mm256_extracti128_si256::<1>(packed8);
+            _mm_storel_epi64(po.add(i) as *mut __m128i, lo);
+            _mm_storel_epi64(po.add(i + 8) as *mut __m128i, hi);
+            i += 16;
+        }
+        while i < n {
+            let t = (x[i] - min) * inv + 0.5;
+            out[i] = if t > 127.0 { 127.0 } else { t } as u8;
+            i += 1;
+        }
+    }
+
+    fn act_encode_avx2(x: &[f32], min: f32, inv: f32, out: &mut [u8]) {
+        // SAFETY: reachable only through AVX2-verified KernelSets.
+        unsafe { act_encode_avx2_impl(x, min, inv, out) }
+    }
 }
 
 #[cfg(test)]
@@ -1128,7 +1628,9 @@ mod tests {
         );
         assert_eq!(select(true, Some("avx512")).name, "scalar");
         let best = select(false, None);
-        if KernelSet::avx512().is_some() {
+        if KernelSet::avx512vnni().is_some() {
+            assert_eq!(best.name, "avx512vnni");
+        } else if KernelSet::avx512().is_some() {
             assert_eq!(best.name, "avx512");
         } else if KernelSet::avx2().is_some() {
             assert_eq!(best.name, "avx2");
@@ -1145,6 +1647,9 @@ mod tests {
         }
         if let Some(avx512) = KernelSet::avx512() {
             assert_eq!(select(false, Some("avx512")).name, avx512.name);
+        }
+        if let Some(vnni) = KernelSet::avx512vnni() {
+            assert_eq!(select(false, Some("avx512vnni")).name, vnni.name);
         }
         // Unknown requests fall back to the normal ladder, never crash.
         let fallback = select(false, Some("neon"));
@@ -1170,7 +1675,92 @@ mod tests {
     fn available_always_includes_scalar() {
         let sets = KernelSet::available();
         assert_eq!(sets[0].name, "scalar");
-        assert!(sets.len() <= 3);
+        assert!(sets.len() <= 4);
+    }
+
+    /// Int8 dots are exact integer arithmetic, so every available set must
+    /// agree with the scalar reference **bit for bit** — including the
+    /// extremes of the quantization contract (a = 127, b = ±127) where a
+    /// saturating maddubs implementation would diverge.
+    #[test]
+    fn int8_kernels_are_exact_at_contract_extremes() {
+        for n in [0usize, 1, 7, 31, 32, 33, 63, 64, 65, 127, 128, 130] {
+            let a: Vec<u8> = (0..n)
+                .map(|i| if i % 3 == 0 { 127 } else { (i % 128) as u8 })
+                .collect();
+            let mk = |s: usize| -> Vec<i8> {
+                (0..n)
+                    .map(|i| match (i + s) % 4 {
+                        0 => 127,
+                        1 => -127,
+                        2 => ((i * 37 + s) % 255) as i8,
+                        _ => -(((i * 13 + s) % 128) as i8),
+                    })
+                    .collect()
+            };
+            let (b0, b1, b2, b3) = (mk(0), mk(1), mk(2), mk(3));
+            let scalar = KernelSet::scalar();
+            let want = scalar.dot_i8(&a, &b0);
+            let want4 = scalar.dot4_i8(&a, &b0, &b1, &b2, &b3);
+            for ks in KernelSet::available() {
+                assert_eq!(ks.dot_i8(&a, &b0), want, "{} dot_i8 n={n}", ks.name);
+                assert_eq!(
+                    ks.dot4_i8(&a, &b0, &b1, &b2, &b3),
+                    want4,
+                    "{} dot4_i8 n={n}",
+                    ks.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dot_i8 length mismatch")]
+    fn mismatched_i8_lengths_panic_not_ub() {
+        let _ = KernelSet::active().dot_i8(&[1u8; 16], &[1i8; 8]);
+    }
+
+    /// Every set's range scan must agree with scalar — including rows
+    /// where a NaN sits mid-lane between the real extrema. Regression
+    /// test: `vminps(vmin, v)` (accumulator first) lets a NaN overwrite a
+    /// lane's bound and the next finite chunk then hides the NaN, losing
+    /// real extrema; the data-first operand order keeps NaN out entirely.
+    #[test]
+    fn act_range_ignores_nan_without_losing_bounds() {
+        let mut x = vec![1.0f32; 24];
+        x[0] = 3.0; // real max, lane 0, first chunk
+        x[8] = f32::NAN; // same lane, second chunk
+        x[16] = 0.5; // same lane, third chunk — real min
+        for ks in KernelSet::available() {
+            assert_eq!(ks.act_range(&x), (0.5, 3.0), "{}", ks.name);
+        }
+        // All-NaN and ±inf rows must surface non-finite bounds so the
+        // quantizer takes its filtering fallback.
+        let nan_row = [f32::NAN; 9];
+        let inf_row = [1.0, f32::INFINITY, 2.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        for ks in KernelSet::available() {
+            let (lo, hi) = ks.act_range(&nan_row);
+            assert!(!lo.is_finite() && !hi.is_finite(), "{}", ks.name);
+            let (_, hi) = ks.act_range(&inf_row);
+            assert!(!hi.is_finite(), "{}", ks.name);
+        }
+    }
+
+    /// Every set's encode must emit bit-identical codes, NaN handling
+    /// included (NaN → code 0).
+    #[test]
+    fn act_encode_is_bit_identical_across_sets() {
+        let mut x: Vec<f32> = (0..37).map(|i| (i as f32 * 0.37).sin()).collect();
+        x[5] = f32::NAN;
+        let (min, inv) = (-1.0f32, 50.0f32);
+        let mut want = vec![0u8; x.len()];
+        KernelSet::scalar().act_encode(&x, min, inv, &mut want);
+        assert_eq!(want[5], 0, "NaN must encode to code 0");
+        for ks in KernelSet::available() {
+            let mut got = vec![0xffu8; x.len()];
+            ks.act_encode(&x, min, inv, &mut got);
+            assert_eq!(got, want, "{}", ks.name);
+        }
     }
 
     /// Saturation and extreme inputs through every available gate kernel:

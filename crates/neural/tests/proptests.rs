@@ -1,6 +1,7 @@
 //! Property-based tests for the neural substrate.
 
 use neural::dense::Activation;
+use neural::quant::{self, QuantMatrix, QuantPackedGru};
 use neural::{
     softmax_cross_entropy, softmax_inplace, Autoencoder, GruCell, GruWorkspace, KernelSet, Matrix,
     PackedGru,
@@ -309,6 +310,137 @@ proptest! {
                     prop_assert!(close(*g, *w), "{} {act:?}: {g} vs {w}", ks.name);
                 }
             }
+        }
+    }
+
+    /// Every available int8 kernel set equals the scalar int8 reference
+    /// **exactly** (i32 accumulation is associative integer math — there
+    /// is no reassociation drift to tolerate), across remainder-lane
+    /// lengths spanning every SIMD tail path (AVX2 32/64-byte blocks,
+    /// VNNI 64/128-byte blocks and masked tails) and the full contract
+    /// ranges (activations 0..=127, weights −127..=127).
+    #[test]
+    fn int8_kernels_match_scalar_exactly(
+        len in 0usize..300,
+        seed in 0u64..1000,
+    ) {
+        let a: Vec<u8> = (0..len)
+            .map(|i| (((i as u64).wrapping_mul(31) ^ seed.wrapping_mul(2654435761)) % 128) as u8)
+            .collect();
+        let row = |s: u64| -> Vec<i8> {
+            (0..len)
+                .map(|i| {
+                    let v = ((i as u64).wrapping_mul(17) ^ s.wrapping_mul(40503)) % 255;
+                    (v as i32 - 127) as i8
+                })
+                .collect()
+        };
+        let (b0, b1, b2, b3) = (row(seed), row(seed ^ 1), row(seed ^ 2), row(seed ^ 3));
+        let scalar = KernelSet::scalar();
+        let want = scalar.dot_i8(&a, &b0);
+        let want4 = scalar.dot4_i8(&a, &b0, &b1, &b2, &b3);
+        for ks in KernelSet::available() {
+            prop_assert_eq!(ks.dot_i8(&a, &b0), want, "{} dot_i8 len={}", ks.name, len);
+            prop_assert_eq!(
+                ks.dot4_i8(&a, &b0, &b1, &b2, &b3),
+                want4,
+                "{} dot4_i8 len={}", ks.name, len
+            );
+        }
+    }
+
+    /// The quantized matvec tracks the f32 product within the analytic
+    /// quantization-error bound: with activation grid step `s_a`, row grid
+    /// step `s_r`, activation magnitude bound `A = max(|min|, |max|)` and
+    /// weight magnitude bound `127·s_r`, the per-term error is at most
+    /// `127·s_r·s_a/2 + A·s_r/2 + s_r·s_a/4`, summed over `cols` terms.
+    #[test]
+    fn quant_matvec_within_analytic_error_bound(
+        rows in 1usize..20,
+        cols in 1usize..80,
+        seed in 0u64..500,
+        scale in 0.01f32..10.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::xavier(rows, cols, &mut rng);
+        m.scale(scale);
+        let x: Vec<f32> = (0..cols)
+            .map(|i| ((i as f32 * 0.71 + seed as f32 * 0.13).sin()) * scale)
+            .collect();
+        let q = QuantMatrix::quantize(&m);
+        let mut qa = Vec::new();
+        let act = quant::quantize_activations(&x, &mut qa);
+        let amax = x.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let mut y = vec![0.0f32; rows];
+        q.matvec_into(&x, &mut qa, &mut y);
+        let reference = m.matvec(&x);
+        for r in 0..rows {
+            let sr = q.scale(r);
+            let per_term = 127.0 * sr * act.scale * 0.5 + amax * sr * 0.5 + sr * act.scale * 0.25;
+            let bound = cols as f32 * per_term + 1e-5;
+            prop_assert!(
+                (y[r] - reference[r]).abs() <= bound,
+                "row {}: int8 {} vs f32 {} (bound {})", r, y[r], reference[r], bound
+            );
+        }
+    }
+
+    /// Int8 streaming == int8 batch, the quantized twin of the PackedGru
+    /// invariant: stepping one packet at a time is bitwise identical to
+    /// one batched run, for any shape including remainder lanes.
+    #[test]
+    fn quant_gru_step_matches_run_bitwise(
+        seed in 0u64..300,
+        input in 1usize..9,
+        hidden in 1usize..17,
+        steps in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = GruCell::new(input, hidden, &mut rng);
+        let q = QuantPackedGru::quantize(&PackedGru::pack(&cell));
+        let mut xs = Matrix::zeros(steps, input);
+        for t in 0..steps {
+            for i in 0..input {
+                xs.set(t, i, ((t * input + i) as f32 * 0.41 + seed as f32).sin());
+            }
+        }
+        let mut ws = GruWorkspace::new();
+        q.run(&xs, &mut ws);
+        let mut h = vec![0.0f32; hidden];
+        let mut z = vec![0.0f32; hidden];
+        let mut r = vec![0.0f32; hidden];
+        let mut scratch = neural::GruStepScratch::new();
+        for t in 0..steps {
+            q.step(xs.row(t), &mut h, &mut scratch, &mut z, &mut r);
+            prop_assert_eq!(h.as_slice(), ws.hs.row(t), "h diverged at t={}", t);
+            prop_assert_eq!(z.as_slice(), ws.zs.row(t), "z diverged at t={}", t);
+            prop_assert_eq!(r.as_slice(), ws.rs.row(t), "r diverged at t={}", t);
+        }
+    }
+
+    /// The L2-tiled nt-GEMM is bitwise identical to row-by-row matvec for
+    /// any shape — including `B` tall enough to span multiple tiles and
+    /// `A` blocks with ragged remainders — so tiling can never perturb
+    /// the streaming == batch equivalence chain.
+    #[test]
+    fn tiled_nt_gemm_matches_matvec_bitwise(
+        arows in 1usize..36,
+        brows in 1usize..260,
+        cols in prop_oneof![Just(256usize), Just(345usize), Just(400usize)],
+        seed in 0u64..200,
+    ) {
+        let a = Matrix::from_fn(arows, cols, |r, c| {
+            ((r * cols + c) as f32 * 0.093 + seed as f32 * 0.01).sin()
+        });
+        let b = Matrix::from_fn(brows, cols, |r, c| {
+            ((r * 13 + c * 7) as f32 * 0.051 + seed as f32 * 0.02).cos()
+        });
+        let mut c = Matrix::default();
+        Matrix::matmul_nt_into(&a, &b, &mut c);
+        let mut row = vec![0.0f32; brows];
+        for i in 0..arows {
+            b.matvec_into(a.row(i), &mut row);
+            prop_assert_eq!(c.row(i), row.as_slice(), "row {} diverged", i);
         }
     }
 

@@ -1,0 +1,136 @@
+//! Scoring hot-path time breakdown: where does a packet's budget go?
+//!
+//! ```text
+//! cargo run --release --example profile_hotpath
+//! ```
+//!
+//! Times each stage of the fused scoring pipeline in isolation — feature
+//! extraction, profile construction (GRU included), the autoencoder
+//! forward, the error reduction — at both engine precisions, so kernel
+//! work (which quantization accelerates) can be separated from bookkeeping
+//! (which it cannot). Used to size optimization work; not a benchmark
+//! gate.
+
+use clap_core::{extract_connection, Clap, ClapConfig, ProfileBuilder, ProfileWorkspace};
+use neural::quant::{AeEngine, GruEngine};
+use neural::{AeWorkspace, QuantMode};
+use std::time::Instant;
+
+fn main() {
+    // `--preset-model` trains exactly like `exp_throughput --preset ci`
+    // (same seed, epochs); default is a faster 8-epoch model.
+    let (clap, _) = if std::env::args().any(|a| a == "--preset-model") {
+        let preset = bench::Preset::ci();
+        let train = traffic_gen::dataset(preset.seed, preset.train_conns);
+        Clap::train(&train, &preset.clap)
+    } else {
+        let benign = traffic_gen::dataset(60, 60);
+        let mut cfg = ClapConfig::ci();
+        cfg.ae.epochs = 8;
+        Clap::train(&benign, &cfg)
+    };
+    // `--adversarial`: the exp_throughput corpus (mixed attack strategies)
+    // instead of benign traffic, to chase corpus-dependent effects.
+    let corpus = if std::env::args().any(|a| a == "--adversarial") {
+        let preset = bench::Preset::ci();
+        let mut corpus = Vec::new();
+        for strat in dpi_attacks::registry() {
+            let set = bench::adversarial_set(strat, &preset);
+            corpus.extend(set.into_iter().map(|r| r.connection));
+        }
+        corpus
+    } else {
+        traffic_gen::dataset(61, 300)
+    };
+    let packets: usize = corpus.iter().map(|c| c.len()).sum();
+    let reps = 5;
+
+    // Stage 1: feature extraction alone.
+    let t = Instant::now();
+    for _ in 0..reps {
+        for conn in &corpus {
+            std::hint::black_box(extract_connection(conn));
+        }
+    }
+    let t_feat = t.elapsed() / reps;
+
+    let fvs_all: Vec<_> = corpus.iter().map(extract_connection).collect();
+    for mode in [QuantMode::Off, QuantMode::Int8] {
+        let builder = ProfileBuilder::new(clap.config.stack);
+        let gru = GruEngine::from_packed(clap.rnn.packed(), mode);
+        let ae = AeEngine::from_model(&clap.ae, mode);
+        let mut ws = ProfileWorkspace::new();
+        let mut ae_ws = AeWorkspace::new();
+        let mut errors = Vec::new();
+
+        // Stage 2: profile construction (GRU run + feature writes).
+        let t = Instant::now();
+        for _ in 0..reps {
+            for fvs in &fvs_all {
+                builder.stacked_profiles_into(&clap.ranges, &gru, fvs, &mut ws);
+            }
+        }
+        let t_prof = t.elapsed() / reps;
+
+        // Stage 3: the AE reconstruction over the stacked windows.
+        let stacks: Vec<_> = fvs_all
+            .iter()
+            .map(|fvs| {
+                let mut w = ProfileWorkspace::new();
+                builder.stacked_profiles_into(&clap.ranges, &gru, fvs, &mut w);
+                w.stacked
+            })
+            .collect();
+        let t = Instant::now();
+        for _ in 0..reps {
+            for s in &stacks {
+                errors.clear();
+                ae.reconstruction_errors_into(s, &mut ae_ws, &mut errors);
+            }
+        }
+        let t_ae = t.elapsed() / reps;
+
+        // Stage 4: the whole batched scorer, end to end.
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(clap.score_connections_with(&corpus, mode));
+        }
+        let t_full = t.elapsed() / reps;
+
+        // Scorer construction alone (model quantization cost at Int8).
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(clap.scorer_with(mode));
+        }
+        println!(
+            "[{mode:?}] scorer construction: {:.1}µs",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+
+        // One reused scorer over all connections (score_batch path).
+        let mut scorer = clap.scorer_with(mode);
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(scorer.score_batch(&corpus));
+        }
+        println!(
+            "[{mode:?}] reused-scorer score_batch: {:.2}µs/packet",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64 / packets as f64
+        );
+
+        println!(
+            "[{mode:?}] features {:>7.1}µs | profiles+gru {:>7.1}µs | ae {:>7.1}µs | full {:>7.1}µs  \
+             ({} conns / {} packets; per-packet: feat {:.2}µs prof {:.2}µs ae {:.2}µs full {:.2}µs)",
+            t_feat.as_secs_f64() * 1e6,
+            t_prof.as_secs_f64() * 1e6,
+            t_ae.as_secs_f64() * 1e6,
+            t_full.as_secs_f64() * 1e6,
+            corpus.len(),
+            packets,
+            t_feat.as_secs_f64() * 1e6 / packets as f64,
+            t_prof.as_secs_f64() * 1e6 / packets as f64,
+            t_ae.as_secs_f64() * 1e6 / packets as f64,
+            t_full.as_secs_f64() * 1e6 / packets as f64,
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Raw kernel throughput: f32 vs int8 dot products at hot-path lengths.
+//!
+//! ```text
+//! cargo run --release --example profile_kernels
+//! ```
+
+use neural::quant::{self, QuantMatrix};
+use neural::{KernelSet, Matrix};
+use std::time::Instant;
+
+fn main() {
+    let ks = KernelSet::active();
+    println!("kernel set: {}", ks.name);
+    for &len in &[345usize, 192, 96, 40] {
+        let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..len).map(|i| ((i + r) as f32 * 0.51).cos()).collect())
+            .collect();
+        let qa: Vec<u8> = (0..len).map(|i| (i % 128) as u8).collect();
+        let qrows: Vec<Vec<i8>> = (0..4)
+            .map(|r| {
+                (0..len)
+                    .map(|i| (((i * 7 + r) % 255) as i32 - 127) as i8)
+                    .collect()
+            })
+            .collect();
+        let iters = 2_000_000u64 / len as u64;
+
+        let t = Instant::now();
+        let mut acc = 0.0f32;
+        for _ in 0..iters {
+            let o = ks.dot4(
+                std::hint::black_box(&a),
+                &rows[0],
+                &rows[1],
+                &rows[2],
+                &rows[3],
+            );
+            acc += o[0];
+        }
+        let f32_t = t.elapsed();
+
+        let t = Instant::now();
+        let mut iacc = 0i32;
+        for _ in 0..iters {
+            let o = ks.dot4_i8(
+                std::hint::black_box(&qa),
+                &qrows[0],
+                &qrows[1],
+                &qrows[2],
+                &qrows[3],
+            );
+            iacc = iacc.wrapping_add(o[0]);
+        }
+        let i8_t = t.elapsed();
+
+        let macs = iters as f64 * len as f64 * 4.0;
+        println!(
+            "len {len:>4}: f32 dot4 {:>7.2} GMAC/s | int8 dot4 {:>7.2} GMAC/s | ratio {:.2}x  ({acc:.1} {iacc})",
+            macs / f32_t.as_secs_f64() / 1e9,
+            macs / i8_t.as_secs_f64() / 1e9,
+            f32_t.as_secs_f64() / i8_t.as_secs_f64(),
+        );
+    }
+
+    // The full quantized GEMM (quantize-activations included) vs f32, at
+    // the AE layer-1 shape.
+    let a = Matrix::from_fn(26, 345, |r, c| ((r * 345 + c) as f32 * 0.13).sin());
+    let w = Matrix::from_fn(192, 345, |r, c| ((r * 345 + c) as f32 * 0.29).cos());
+    let qw = QuantMatrix::quantize(&w);
+    let mut c = Matrix::default();
+    let mut qa = Vec::new();
+    let iters = 200;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        Matrix::matmul_nt_into(std::hint::black_box(&a), &w, &mut c);
+    }
+    let f32_t = t.elapsed();
+    let t = Instant::now();
+    for _ in 0..iters {
+        qw.matmul_nt_into(std::hint::black_box(&a), &mut qa, &mut c);
+    }
+    let i8_t = t.elapsed();
+    let macs = iters as f64 * 26.0 * 345.0 * 192.0;
+    println!(
+        "AE layer-1 GEMM 26x345x192: f32 {:.2} GMAC/s | int8 {:.2} GMAC/s | ratio {:.2}x",
+        macs / f32_t.as_secs_f64() / 1e9,
+        macs / i8_t.as_secs_f64() / 1e9,
+        f32_t.as_secs_f64() / i8_t.as_secs_f64(),
+    );
+
+    // Large-batch GEMM (the concatenated score_batch shape).
+    for (rows, cols, outs) in [
+        (8000usize, 345usize, 192usize),
+        (8000, 192, 96),
+        (8000, 96, 40),
+    ] {
+        let a = Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.13).sin());
+        let w = Matrix::from_fn(outs, cols, |r, c| ((r * cols + c) as f32 * 0.29).cos());
+        let qw = QuantMatrix::quantize(&w);
+        let mut c = Matrix::default();
+        let iters = 3;
+        let t = Instant::now();
+        for _ in 0..iters {
+            Matrix::matmul_nt_into(std::hint::black_box(&a), &w, &mut c);
+        }
+        let f32_t = t.elapsed();
+        let t = Instant::now();
+        for _ in 0..iters {
+            qw.matmul_nt_into(std::hint::black_box(&a), &mut qa, &mut c);
+        }
+        let i8_t = t.elapsed();
+        let macs = iters as f64 * (rows * cols * outs) as f64;
+        println!(
+            "batch GEMM {rows}x{cols}x{outs}: f32 {:.2} GMAC/s | int8 {:.2} GMAC/s | ratio {:.2}x",
+            macs / f32_t.as_secs_f64() / 1e9,
+            macs / i8_t.as_secs_f64() / 1e9,
+            f32_t.as_secs_f64() / i8_t.as_secs_f64(),
+        );
+    }
+
+    // Activation quantization alone, per 345-wide row.
+    let x: Vec<f32> = (0..345).map(|i| (i as f32 * 0.17).sin()).collect();
+    let t = Instant::now();
+    for _ in 0..200_000 {
+        quant::quantize_activations(std::hint::black_box(&x), &mut qa);
+    }
+    println!(
+        "quantize_activations(345): {:.0} ns/row",
+        t.elapsed().as_secs_f64() * 1e9 / 200_000.0
+    );
+}
