@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p bench --release --bin exp_stream_pcap -- [--preset quick|ci|paper]
 //!     [--pcap CAPTURE.pcap] [--write-pcap PATH] [--top N] [--shards N]
+//!     [--overload-policy block|drop-newest|degrade[:K]] [--fault-plan SPEC]
 //! ```
 //!
 //! With `--pcap`, scores the given `LINKTYPE_RAW` capture. Without it, the
@@ -26,11 +27,19 @@
 //! `idle_timeout`; per-shard clocks may split longer-quiet flows
 //! differently). The sharded regression tests pin this.
 //!
+//! The sharded path runs the *supervised* engine: `--overload-policy`
+//! selects what happens on ring-full (default `block`), `--fault-plan`
+//! injects a deterministic fault schedule (`panic@N`, `kill@N`,
+//! `stall@N[:MS]`, `burst@A..B`, `malform@N`, `random@SEED` —
+//! comma-separated) so the failure paths can be exercised from the CLI.
+//! The per-shard supervision counters and any quarantined packets are
+//! printed after the verdict table.
+//!
 //! [`StreamScorer`]: clap_core::stream::StreamScorer
 
-use bench::{arg_value, verdict_table, Preset};
+use bench::{arg_value, shard_stats_table, verdict_table, Preset};
 use clap_core::stream::CloseReason;
-use clap_core::{Clap, ClosedFlow, ShardConfig};
+use clap_core::{Clap, ClosedFlow, FaultPlan, OverloadPolicy, ShardConfig};
 use net_packet::pcap::{read_pcap, write_pcap};
 use net_packet::Packet;
 use std::time::Instant;
@@ -75,17 +84,55 @@ fn main() {
         std::process::exit(1);
     }
 
+    let policy = match arg_value(&args, "--overload-policy") {
+        Some(spec) => OverloadPolicy::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => OverloadPolicy::Block,
+    };
+    let plan = match arg_value(&args, "--fault-plan") {
+        Some(spec) => FaultPlan::parse(&spec, packets.len() as u64).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => FaultPlan::none(),
+    };
+    if !plan.is_empty() {
+        clap_core::shard::fault::silence_injected_panics();
+        eprintln!("[{}] injecting faults: {:?}", preset.name, plan.faults());
+    }
+    // Only a fault-free Block run guarantees zero loss; under shed
+    // policies or injected faults the accounting invariant (checked
+    // below) replaces the exact packet-count assert.
+    let mut lossless = plan.is_empty() && policy == OverloadPolicy::Block;
+
     // Replay in capture order — through one flow table, or hash-sharded
     // across N worker queues; either way the arrival order per flow is
     // what a line-rate tap would deliver.
     let t = Instant::now();
+    let mut shard_report = String::new();
     let (closed, inline_closes): (Vec<ClosedFlow>, usize) = if shards > 1 {
-        let run = clap
+        let run = match clap
             .sharded_scorer_with(ShardConfig {
                 shards,
+                overload: policy,
+                faults: plan.clone(),
                 ..ShardConfig::default()
             })
-            .score_stream(packets.iter());
+            .try_score_stream(packets.iter())
+        {
+            Ok(run) => run,
+            Err(e) => {
+                // A dead or stuck shard degrades the run; the survivors'
+                // verdicts below are still exact for their flows.
+                eprintln!("[{}] DEGRADED RUN: {e}", preset.name);
+                lossless = false;
+                e.partial
+            }
+        };
+        clap_core::ShardHealth::check_accounting(&run.stats)
+            .expect("per-shard accounting invariant");
         let inline = run
             .verdicts
             .iter()
@@ -93,9 +140,13 @@ fn main() {
             .count();
         let stalls: u64 = run.stats.iter().map(|s| s.full_waits).sum();
         eprintln!(
-            "[{}] {} shards, {} backpressure stalls",
-            preset.name, shards, stalls
+            "[{}] {} shards ({} policy), {} backpressure stalls",
+            preset.name, shards, policy, stalls
         );
+        shard_report = shard_stats_table(&run.stats);
+        for q in &run.quarantined {
+            shard_report.push_str(&format!("quarantined: {q}\n"));
+        }
         (run.verdicts.into_iter().map(|v| v.flow).collect(), inline)
     } else {
         let mut scorer = clap.stream_scorer();
@@ -110,11 +161,13 @@ fn main() {
     let elapsed = t.elapsed();
 
     let streamed: usize = closed.iter().map(|c| c.packets).sum();
-    assert_eq!(
-        streamed,
-        packets.len(),
-        "every packet must be accounted for"
-    );
+    if lossless {
+        assert_eq!(
+            streamed,
+            packets.len(),
+            "every packet must be accounted for"
+        );
+    }
 
     let mut by_reason = [0usize; 5];
     for c in &closed {
@@ -146,6 +199,12 @@ fn main() {
     // Highest-scoring flows: where an analyst would look first. The table
     // renderer sorts internally and is deterministic across shard counts.
     println!("{}", verdict_table(&closed, top_n));
+
+    // Per-shard supervision counters (sharded runs only): the operator's
+    // view of backpressure, shedding, quarantines and restarts.
+    if !shard_report.is_empty() {
+        println!("{shard_report}");
+    }
 }
 
 /// Builds a mixed benign + adversarial capture, writes it as a pcap and

@@ -10,6 +10,8 @@
 //!     [--max-regress-speedup 0.30] [--max-regress-sharded 0.35]
 //!     [--max-regress-quant 0.30] [--min-quant-speedup X]
 //!     [--min-shard-scaling X]
+//!     [--overload-policy block|drop-newest|degrade[:K]] [--fault-plan SPEC]
+//!     [--require-no-shed]
 //! ```
 //!
 //! `--quant int8` additionally measures the int8 quantized fused engine
@@ -28,6 +30,15 @@
 //! (≤ ~1 on one core, ≥ 2.5 expected with 4 shards on 4+ cores), so it is
 //! off by default; enable it in CI together with a multi-core-recorded
 //! reference.
+//!
+//! The sharded measurement runs the supervised engine: `--overload-policy`
+//! selects the ring-full behaviour (default `block`), `--fault-plan`
+//! injects a deterministic fault schedule (see `exp_stream_pcap`), and the
+//! per-shard supervision counters (dropped / quarantined / restarts /
+//! degraded windows) land in the JSON report. `--require-no-shed` turns
+//! those counters into a CI gate: the run exits non-zero when the sharded
+//! measurement dropped or quarantined any packet — under the default
+//! `block` policy on a healthy engine this must be zero.
 //!
 //! Writes a machine-readable `BENCH_throughput.json` (override with
 //! `--json`) so the performance trajectory is tracked across PRs. Also
@@ -55,7 +66,7 @@ use bench::{
     check_sharded_regression, check_speedup_regression, check_throughput_regression, render_table,
     train_all, Preset, ThroughputReference,
 };
-use clap_core::{QuantMode, ShardConfig, StreamConfig};
+use clap_core::{FaultPlan, OverloadPolicy, QuantMode, ShardConfig, ShardHealth, StreamConfig};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -95,6 +106,15 @@ struct ThroughputReport {
     /// the gate hard-errors on non-positive values — so an unmeasured
     /// report can never silently weaken the gate.)
     quant_speedup: f64,
+    /// Packets shed by the sharded run's overload policy (0 under the
+    /// default `block` on a healthy engine; `--require-no-shed` pins it).
+    sharded_dropped: u64,
+    /// Packets quarantined by shard supervision (panic isolation).
+    sharded_quarantined: u64,
+    /// Shard restarts performed by the supervisor.
+    sharded_restarts: u64,
+    /// Saturation windows entered under `degrade` overload handling.
+    sharded_degraded_windows: u64,
     baseline1_pps: f64,
     kitsune_pps: f64,
 }
@@ -119,6 +139,14 @@ fn main() {
     };
     let json_path =
         arg_value(&args, "--json").unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let policy = match arg_value(&args, "--overload-policy") {
+        Some(spec) => OverloadPolicy::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => OverloadPolicy::Block,
+    };
+    let require_no_shed = args.iter().any(|a| a == "--require-no-shed");
 
     // The paper constrains both pipelines to one logical core; a local
     // rayon pool pins our parallelism the same way.
@@ -148,6 +176,26 @@ fn main() {
     let mut stream: Vec<&net_packet::Packet> =
         corpus.iter().flat_map(|c| c.packets.iter()).collect();
     stream.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+
+    let plan = match arg_value(&args, "--fault-plan") {
+        Some(spec) => FaultPlan::parse(&spec, stream.len() as u64).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => FaultPlan::none(),
+    };
+    if !plan.is_empty() {
+        clap_core::shard::fault::silence_injected_panics();
+        eprintln!(
+            "[{}] injecting faults into the sharded run: {:?}",
+            preset.name,
+            plan.faults()
+        );
+    }
+    // Only a fault-free Block run guarantees the sharded measurement
+    // scores every packet; otherwise the accounting invariant replaces
+    // the exact count assert.
+    let lossless = plan.is_empty() && policy == OverloadPolicy::Block;
 
     let (fused, quant, unfused, streaming, b1, kitsune) = pool.install(|| {
         // Warm-up pass so one-time costs (page faults, lazy init) don't
@@ -255,26 +303,58 @@ fn main() {
             quant: QuantMode::Off,
             ..StreamConfig::default()
         },
+        overload: policy,
+        faults: plan.clone(),
+        ..ShardConfig::default()
     });
+    let supervised_run = || match sharded_scorer.try_score_stream(stream.iter().copied()) {
+        Ok(run) => run,
+        Err(e) => {
+            // Dead or stuck shards degrade the measurement; the partial
+            // run still carries the survivors' verdicts and exact stats.
+            eprintln!("[{}] DEGRADED SHARDED RUN: {e}", preset.name);
+            e.partial
+        }
+    };
     // Warm-up: first run pays thread spawn + page faults.
-    let warm = sharded_scorer.score_stream(stream.iter().copied());
+    let warm = supervised_run();
     let t = Instant::now();
-    let run = sharded_scorer.score_stream(stream.iter().copied());
+    let run = supervised_run();
     let sharded = t.elapsed();
-    let sharded_packets: usize = run.verdicts.iter().map(|v| v.flow.packets).sum();
-    assert_eq!(
-        sharded_packets, packets,
-        "sharded streaming must account for every packet"
-    );
-    assert_eq!(warm.verdicts.len(), run.verdicts.len());
+    ShardHealth::check_accounting(&run.stats).expect("per-shard accounting invariant");
+    let health = ShardHealth::of(&run.stats);
+    if lossless {
+        let sharded_packets: usize = run.verdicts.iter().map(|v| v.flow.packets).sum();
+        assert_eq!(
+            sharded_packets, packets,
+            "sharded streaming must account for every packet"
+        );
+        assert_eq!(warm.verdicts.len(), run.verdicts.len());
+    }
     let stalls: u64 = run.stats.iter().map(|s| s.full_waits).sum();
     eprintln!(
-        "[{}] sharded run: {} shards, {} flows, {} backpressure stalls",
+        "[{}] sharded run: {} shards ({} policy), {} flows, {} backpressure stalls",
         preset.name,
         shards,
+        policy,
         run.verdicts.len(),
         stalls
     );
+    eprintln!("{}", bench::shard_stats_table(&run.stats));
+    if require_no_shed && health.shed() > 0 {
+        eprintln!(
+            "SHED GATE FAILED: sharded run dropped {} and quarantined {} packet(s) \
+             (policy {policy}); --require-no-shed demands zero",
+            health.dropped, health.quarantined
+        );
+        std::process::exit(1);
+    }
+    if require_no_shed {
+        eprintln!(
+            "shed gate OK: 0 dropped / 0 quarantined across {} pushed packets",
+            health.pushed
+        );
+    }
 
     let pps = |elapsed: std::time::Duration| packets as f64 / elapsed.as_secs_f64();
     let cps = |elapsed: std::time::Duration| corpus.len() as f64 / elapsed.as_secs_f64();
@@ -371,6 +451,10 @@ fn main() {
         shard_scaling: pps(sharded) / pps(streaming),
         clap_quant_pps: quant.map_or(0.0, pps),
         quant_speedup: quant.map_or(0.0, |q| pps(q) / pps(fused)),
+        sharded_dropped: health.dropped,
+        sharded_quarantined: health.quarantined,
+        sharded_restarts: health.restarts,
+        sharded_degraded_windows: health.degraded_windows,
         baseline1_pps: pps(b1),
         kitsune_pps: pps(kitsune),
     };

@@ -380,6 +380,49 @@ pub fn verdict_table(closed: &[clap_core::ClosedFlow], top_n: usize) -> String {
     )
 }
 
+/// Renders the per-shard supervision counters of a sharded run: one row
+/// per shard plus a totals row — the operator-facing health view of
+/// `exp_stream_pcap` and `exp_throughput`.
+pub fn shard_stats_table(stats: &[clap_core::ShardStats]) -> String {
+    let row = |label: String, s: &clap_core::ShardStats| {
+        vec![
+            label,
+            s.pushed.to_string(),
+            s.packets.to_string(),
+            s.flows_closed.to_string(),
+            s.full_waits.to_string(),
+            s.dropped.to_string(),
+            s.quarantined.to_string(),
+            s.restarts.to_string(),
+            s.degraded_windows.to_string(),
+        ]
+    };
+    let mut rows: Vec<Vec<String>> = stats.iter().map(|s| row(s.shard.to_string(), s)).collect();
+    let health = clap_core::ShardHealth::of(stats);
+    rows.push(vec![
+        "total".to_string(),
+        health.pushed.to_string(),
+        health.scored.to_string(),
+        stats
+            .iter()
+            .map(|s| s.flows_closed)
+            .sum::<u64>()
+            .to_string(),
+        health.full_waits.to_string(),
+        health.dropped.to_string(),
+        health.quarantined.to_string(),
+        health.restarts.to_string(),
+        health.degraded_windows.to_string(),
+    ]);
+    render_table(
+        &[
+            "Shard", "Pushed", "Scored", "Flows", "Waits", "Dropped", "Quar", "Restarts",
+            "Degraded",
+        ],
+        &rows,
+    )
+}
+
 /// Returns the value following a `--flag` argument.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()

@@ -13,7 +13,7 @@
 //! `cargo test -p bench --test sharded_replay -- --ignored regenerate`
 //! after an intentional traffic-generator change, and commit the result.
 
-use clap_core::{Clap, ClapConfig, ShardConfig, StreamConfig};
+use clap_core::{Clap, ClapConfig, Fault, FaultPlan, OverloadPolicy, ShardConfig, StreamConfig};
 use net_packet::pcap::{read_pcap, write_pcap};
 use net_packet::Packet;
 use std::sync::OnceLock;
@@ -53,6 +53,7 @@ fn sharded_table(clap: &Clap, packets: &[Packet], shards: usize) -> String {
             shards,
             queue_capacity: 1024,
             stream: StreamConfig::default(),
+            ..ShardConfig::default()
         })
         .score_stream(packets.iter());
     let closed: Vec<_> = run.verdicts.into_iter().map(|v| v.flow).collect();
@@ -87,6 +88,55 @@ fn sharded_pcap_replay_is_byte_identical() {
     closed.extend(plain.finish());
     let unsharded = bench::verdict_table(&closed, usize::MAX);
     assert_eq!(four_a, unsharded, "sharded must equal the plain engine");
+}
+
+/// The `--fault-plan` replay path of `exp_stream_pcap` is as
+/// deterministic as the fault-free one: the same seed-derived schedule
+/// (plus a supervised panic and forced burst under `degrade`) replayed
+/// twice over the checked-in capture renders byte-identical verdict
+/// tables and identical per-shard stats and quarantine logs.
+#[test]
+fn fault_plan_replay_is_byte_identical() {
+    clap_core::shard::fault::silence_injected_panics();
+    let clap = model();
+    let packets = load_capture();
+    let mid = (packets.len() / 2) as u64;
+    let plan = FaultPlan::randomized(0x5eed_ca97, packets.len() as u64)
+        .with(Fault::PanicAt { arrival: mid })
+        .with(Fault::FullBurst {
+            from: mid + 1,
+            until: (mid + 9).min(packets.len() as u64),
+        });
+    let replay = || {
+        let run = clap
+            .sharded_scorer_with(ShardConfig {
+                shards: 4,
+                queue_capacity: packets.len().max(1),
+                overload: OverloadPolicy::Degrade { keep_one_in: 2 },
+                faults: plan.clone(),
+                ..ShardConfig::default()
+            })
+            .try_score_stream(packets.iter())
+            .expect("recoverable faults must not fail the run");
+        clap_core::ShardHealth::check_accounting(&run.stats).expect("accounting invariant");
+        let closed: Vec<_> = run.verdicts.iter().map(|v| v.flow.clone()).collect();
+        (bench::verdict_table(&closed, usize::MAX), run)
+    };
+    let (table_a, run_a) = replay();
+    let (table_b, run_b) = replay();
+    assert_eq!(
+        table_a, table_b,
+        "same fault plan must render identical bytes across runs"
+    );
+    assert_eq!(run_a.stats, run_b.stats, "per-shard stats diverged");
+    assert_eq!(
+        run_a.quarantined, run_b.quarantined,
+        "quarantine logs diverged"
+    );
+    assert!(
+        run_a.quarantined.iter().any(|q| q.arrival == mid),
+        "the injected panic must be quarantined"
+    );
 }
 
 /// The capture itself is pinned: if the traffic generator or pcap writer

@@ -58,10 +58,14 @@ pub mod stream;
 pub use features::{
     extract_connection, FeatureExtractor, FeatureVector, RangeModel, NUM_BASE, NUM_PACKET, NUM_RAW,
 };
-pub use metrics::{auc_roc, equal_error_rate, roc_curve, top_n_hit, RocPoint};
+pub use metrics::{auc_roc, equal_error_rate, roc_curve, top_n_hit, RocPoint, ShardHealth};
 pub use neural::QuantMode;
 pub use pipeline::{Clap, ClapConfig, ClapScorer, TrainSummary};
 pub use profile::{ProfileBuilder, ProfileWorkspace, GATE_FEATURES, PROFILE_LEN};
 pub use score::{score_errors, ScoredConnection};
-pub use shard::{ShardConfig, ShardStats, ShardVerdict, ShardedRun, ShardedStreamScorer};
+pub use shard::fault::{Fault, FaultPlan};
+pub use shard::supervise::{Quarantined, ShardFailure, ShardFailureKind, ShardRunError};
+pub use shard::{
+    OverloadPolicy, ShardConfig, ShardStats, ShardVerdict, ShardedRun, ShardedStreamScorer,
+};
 pub use stream::{CloseReason, ClosedFlow, StreamConfig, StreamScorer};

@@ -103,6 +103,76 @@ pub fn top_n_hit(identified: usize, truth: &[usize], n: usize) -> bool {
     truth.iter().any(|&t| identified.abs_diff(t) <= radius)
 }
 
+/// Whole-run health roll-up of the sharded engine's per-shard counters —
+/// the shape the bench binaries serialize and the CI gates check. Totals
+/// only; the per-shard breakdown stays on [`ShardStats`].
+///
+/// [`ShardStats`]: crate::ShardStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Packets dispatched across all shards.
+    pub pushed: u64,
+    /// Packets scored across all shards.
+    pub scored: u64,
+    /// Packets shed (overload policy, watchdog cut-off, or a dying
+    /// worker's in-flight loss).
+    pub dropped: u64,
+    /// Packets quarantined after a supervised scoring panic.
+    pub quarantined: u64,
+    /// Flow-table rebuilds across all shards.
+    pub restarts: u64,
+    /// Saturation episodes under the `Degrade` policy.
+    pub degraded_windows: u64,
+    /// Stalled pushes (the backpressure signal).
+    pub full_waits: u64,
+}
+
+impl ShardHealth {
+    /// Sums one run's per-shard stats into the roll-up.
+    pub fn of(stats: &[crate::ShardStats]) -> ShardHealth {
+        let mut h = ShardHealth::default();
+        for s in stats {
+            h.pushed += s.pushed;
+            h.scored += s.packets;
+            h.dropped += s.dropped;
+            h.quarantined += s.quarantined;
+            h.restarts += s.restarts;
+            h.degraded_windows += s.degraded_windows;
+            h.full_waits += s.full_waits;
+        }
+        h
+    }
+
+    /// Packets that did not reach a scorer (shed + quarantined).
+    pub fn shed(&self) -> u64 {
+        self.dropped + self.quarantined
+    }
+
+    /// Fraction of dispatched packets that did not reach a scorer.
+    pub fn shed_rate(&self) -> f64 {
+        if self.pushed == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.pushed as f64
+        }
+    }
+
+    /// Verifies the exact accounting invariant
+    /// `pushed == scored + dropped + quarantined` on every shard,
+    /// naming the first violating shard.
+    pub fn check_accounting(stats: &[crate::ShardStats]) -> Result<(), String> {
+        for s in stats {
+            if s.pushed != s.packets + s.dropped + s.quarantined {
+                return Err(format!(
+                    "shard {} accounting broken: pushed {} != scored {} + dropped {} + quarantined {}",
+                    s.shard, s.pushed, s.packets, s.dropped, s.quarantined
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +256,39 @@ mod tests {
         // Multiple ground-truth positions.
         assert!(top_n_hit(5, &[100, 6], 3));
         assert!(!top_n_hit(5, &[], 5));
+    }
+
+    fn stat(shard: usize, pushed: u64, scored: u64, dropped: u64, quar: u64) -> crate::ShardStats {
+        crate::ShardStats {
+            shard,
+            pushed,
+            packets: scored,
+            flows_closed: 0,
+            full_waits: 1,
+            dropped,
+            degraded_windows: if dropped > 0 { 1 } else { 0 },
+            quarantined: quar,
+            restarts: quar,
+        }
+    }
+
+    #[test]
+    fn shard_health_rolls_up_and_checks_accounting() {
+        let stats = [stat(0, 10, 8, 1, 1), stat(1, 5, 5, 0, 0)];
+        let h = ShardHealth::of(&stats);
+        assert_eq!(h.pushed, 15);
+        assert_eq!(h.scored, 13);
+        assert_eq!(h.dropped, 1);
+        assert_eq!(h.quarantined, 1);
+        assert_eq!(h.restarts, 1);
+        assert_eq!(h.degraded_windows, 1);
+        assert_eq!(h.full_waits, 2);
+        assert_eq!(h.shed(), 2);
+        assert!((h.shed_rate() - 2.0 / 15.0).abs() < 1e-12);
+        assert!(ShardHealth::check_accounting(&stats).is_ok());
+        let broken = [stat(0, 10, 8, 1, 0)];
+        let err = ShardHealth::check_accounting(&broken).unwrap_err();
+        assert!(err.contains("shard 0"), "{err}");
+        assert_eq!(ShardHealth::default().shed_rate(), 0.0);
     }
 }

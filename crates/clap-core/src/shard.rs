@@ -15,11 +15,12 @@
 //!   one (and lets the property tests pin sharded == unsharded ≤1e-6).
 //! * **Bounded SPSC ingest queues.** The dispatch thread pushes `(arrival
 //!   index, packet)` pairs into one bounded single-producer/single-consumer
-//!   ring per shard ([`spsc`]). A full ring applies backpressure to the
-//!   dispatcher (spin-then-yield, counted per shard in
-//!   [`ShardStats::full_waits`]) rather than dropping packets or growing
-//!   without bound — the ingest path can stall, but it can never lose a
-//!   packet or exhaust memory.
+//!   ring per shard ([`spsc`]). What happens when a ring is full is the
+//!   configured [`OverloadPolicy`] (see below); the default `Block`
+//!   applies backpressure to the dispatcher (spin-then-yield, counted per
+//!   shard in [`ShardStats::full_waits`]) rather than dropping packets or
+//!   growing without bound — the ingest path can stall, but it can never
+//!   lose a packet or exhaust memory.
 //! * **Per-shard policy, per-shard clocks.** Every shard runs its own
 //!   [`StreamConfig`]: idle sweeps, capacity probing and TCP-teardown
 //!   finalization fire per shard exactly as in the unsharded engine. One
@@ -47,6 +48,58 @@
 //!   per-shard clocks may split long-quiet flows at different packets
 //!   than the single-threaded engine would (see above).
 //!
+//! # Failure modes & overload policies
+//!
+//! The engine is *supervised*: it keeps scoring N-1 shards when one
+//! fails, sheds load deterministically when it cannot keep up, and
+//! accounts for every packet exactly once no matter what.
+//!
+//! * **Panic isolation.** Each worker scores packets inside
+//!   `catch_unwind`. A panic while scoring quarantines the offending
+//!   packet ([`ShardedRun::quarantined`] logs shard, flow key and global
+//!   arrival index), rebuilds that shard's flow table from scratch
+//!   ([`StreamScorer::reset`], counted in [`ShardStats::restarts`]) and
+//!   the run completes. Because flows never span shards, the other
+//!   shards' verdicts are byte-identical to a fault-free run.
+//! * **Hard failures.** A panic that escapes the supervised region kills
+//!   the worker;
+//!   [`try_score_stream`](ShardedStreamScorer::try_score_stream) then
+//!   returns [`ShardRunError`] naming the dead shard and carrying the
+//!   surviving shards' verdicts and *every* shard's stats (the dead
+//!   shard's counters live in shared telemetry and survive it).
+//!   [`score_stream`](ShardedStreamScorer::score_stream) panics on hard
+//!   failures, preserving the pre-supervision contract.
+//! * **Overload policies** ([`OverloadPolicy`], consulted on ring-full):
+//!   `Block` (default) spins until space frees — zero loss, bitwise
+//!   determinism, unbounded dispatch latency. `DropNewest` sheds the
+//!   packet that found the ring full — bounded latency, loss counted in
+//!   [`ShardStats::dropped`]. `Degrade { keep_one_in: k }` scores one in
+//!   k packets per flow while the ring stays saturated — every flow
+//!   keeps producing (degraded) verdicts; saturation episodes are
+//!   counted in [`ShardStats::degraded_windows`]. Under the shed
+//!   policies, *which* packets are shed depends on real ring occupancy,
+//!   i.e. on thread scheduling — only `Block` keeps bitwise run-to-run
+//!   determinism. (The fault harness's forced bursts are deterministic,
+//!   which is how the shed paths are tested; see [`fault`].)
+//! * **Accounting invariant.** For every shard, exactly:
+//!   `pushed == packets + dropped + quarantined`. Every packet the
+//!   dispatcher addressed to a shard is scored, shed, or quarantined —
+//!   including packets lost to a dying worker (its in-flight packet and
+//!   its undrained ring are counted into `dropped`).
+//! * **Stuck-shard watchdog.** A shard whose ring stays full while its
+//!   progress heartbeat is frozen for [`ShardConfig::watchdog_limit`]
+//!   consecutive dispatcher wait-iterations is declared stuck: the
+//!   dispatcher stops feeding it (shedding its packets into `dropped`)
+//!   and reports it in the run's [`ShardRunError`]. A merely *slow*
+//!   shard keeps its heartbeat advancing and is never flagged. If a
+//!   stuck worker later recovers, its verdicts are still merged; the
+//!   failure report stands.
+//! * **Fault injection.** [`fault::FaultPlan`] injects panics, hard
+//!   kills, stalls, forced ring-full bursts and malformed packets at
+//!   seed-deterministic arrivals — same plan, same stream, same outcome
+//!   — so every path above is testable (see the `fault_*` tests and the
+//!   proptest suites).
+//!
 //! ```
 //! use clap_core::{Clap, ClapConfig, ShardConfig};
 //!
@@ -65,13 +118,79 @@
 //! let run = sharded.score_stream(stream.iter().copied());
 //! assert_eq!(run.verdicts.len(), 4);
 //! assert!(run.verdicts.iter().all(|v| v.flow.scored.score.is_finite()));
+//! assert!(run.stats.iter().all(|s| s.dropped == 0 && s.quarantined == 0));
 //! ```
+
+pub mod fault;
+pub mod supervise;
 
 use crate::pipeline::Clap;
 use crate::stream::{ClosedFlow, StreamConfig, StreamScorer};
+use fault::FaultPlan;
 use net_packet::{CanonicalKey, Packet};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use supervise::{Quarantined, ShardFailure, ShardFailureKind, ShardRunError, ShardTelemetry};
 
-/// Partitioning policy for a [`ShardedStreamScorer`].
+/// What the dispatcher does with a packet whose shard's ingest ring is
+/// full. See the module-level "Failure modes & overload policies"
+/// section for the guarantees each variant keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Spin (spin-then-yield) until the ring frees a slot. Zero loss and
+    /// bitwise determinism, at the price of unbounded dispatch latency
+    /// behind a slow shard. The pre-supervision behavior.
+    #[default]
+    Block,
+    /// Shed the packet that found the ring full (counted per shard in
+    /// [`ShardStats::dropped`]). Bounded dispatch latency, bounded loss.
+    DropNewest,
+    /// While the ring stays saturated, score one in `keep_one_in`
+    /// packets *per flow* (shedding the rest) so every flow keeps
+    /// producing verdicts under overload, just on thinner evidence.
+    /// Saturation episodes are counted in
+    /// [`ShardStats::degraded_windows`].
+    Degrade { keep_one_in: u32 },
+}
+
+impl OverloadPolicy {
+    /// Parses the `--overload-policy` CLI grammar: `block`,
+    /// `drop-newest` (or `drop`), `degrade` (1-in-8) or `degrade:K`.
+    pub fn parse(spec: &str) -> Result<OverloadPolicy, String> {
+        match spec {
+            "block" => Ok(OverloadPolicy::Block),
+            "drop-newest" | "drop" => Ok(OverloadPolicy::DropNewest),
+            "degrade" => Ok(OverloadPolicy::Degrade { keep_one_in: 8 }),
+            other => match other.strip_prefix("degrade:") {
+                Some(k) => {
+                    let keep_one_in: u32 = k
+                        .parse()
+                        .map_err(|_| format!("overload policy `{other}`: `{k}` is not a number"))?;
+                    if keep_one_in == 0 {
+                        return Err(format!("overload policy `{other}`: K must be ≥ 1"));
+                    }
+                    Ok(OverloadPolicy::Degrade { keep_one_in })
+                }
+                None => Err(format!(
+                    "unknown overload policy `{other}` (expected block/drop-newest/degrade[:K])"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverloadPolicy::Block => write!(f, "block"),
+            OverloadPolicy::DropNewest => write!(f, "drop-newest"),
+            OverloadPolicy::Degrade { keep_one_in } => write!(f, "degrade:{keep_one_in}"),
+        }
+    }
+}
+
+/// Partitioning and supervision policy for a [`ShardedStreamScorer`].
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
     /// Number of worker shards (≥ 1). Each shard owns one ingest queue,
@@ -87,6 +206,16 @@ pub struct ShardConfig {
     /// [`StreamScorer`] under this config). Note `max_flows` is therefore
     /// a per-shard bound: total tracked flows ≤ `shards × max_flows`.
     pub stream: StreamConfig,
+    /// What to do with a packet whose shard's ring is full.
+    pub overload: OverloadPolicy,
+    /// Stuck-shard watchdog threshold: a shard is declared stuck after
+    /// this many consecutive dispatcher wait-iterations with its ring
+    /// full and its heartbeat frozen. The default (`1 << 26`, tens of
+    /// seconds of spinning) only ever fires on a genuinely wedged
+    /// worker; tests lower it to exercise the path.
+    pub watchdog_limit: u64,
+    /// Injected fault schedule (empty in production use).
+    pub faults: FaultPlan,
 }
 
 impl Default for ShardConfig {
@@ -99,16 +228,24 @@ impl Default for ShardConfig {
             shards: workers,
             queue_capacity: 1024,
             stream: StreamConfig::default(),
+            overload: OverloadPolicy::Block,
+            watchdog_limit: 1 << 26,
+            faults: FaultPlan::none(),
         }
     }
 }
 
-/// Ingest/backpressure accounting for one shard of a finished run.
+/// Ingest/backpressure/supervision accounting for one shard of a
+/// finished run. The exact invariant, enforced under every policy and
+/// fault schedule: `pushed == packets + dropped + quarantined`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStats {
     /// Shard index (`0..shards`).
     pub shard: usize,
-    /// Packets this shard consumed.
+    /// Packets the dispatcher addressed to this shard (scored, shed or
+    /// quarantined — every one is accounted below).
+    pub pushed: u64,
+    /// Packets this shard scored.
     pub packets: u64,
     /// Flows this shard finalized (all close reasons).
     pub flows_closed: u64,
@@ -116,6 +253,18 @@ pub struct ShardStats {
     /// to wait — the backpressure signal. Counted once per stalled push,
     /// not per spin iteration.
     pub full_waits: u64,
+    /// Packets shed: by the overload policy, by the watchdog cutting off
+    /// a stuck shard, or lost to a dying worker (its in-flight packet
+    /// and undrained ring).
+    pub dropped: u64,
+    /// Saturation episodes under [`OverloadPolicy::Degrade`]: incremented
+    /// once per full→saturated transition, not per packet.
+    pub degraded_windows: u64,
+    /// Packets quarantined after a supervised scoring panic.
+    pub quarantined: u64,
+    /// Times this shard's flow table was rebuilt from scratch (one per
+    /// quarantine, plus one if the end-of-stream flush panicked).
+    pub restarts: u64,
 }
 
 /// One merged verdict: which shard scored the flow, the global arrival
@@ -141,12 +290,16 @@ pub struct ShardedRun {
     pub verdicts: Vec<ShardVerdict>,
     /// Per-shard ingest accounting, indexed by shard.
     pub stats: Vec<ShardStats>,
+    /// Every quarantined packet, sorted by arrival index (empty on a
+    /// fault-free run).
+    pub quarantined: Vec<Quarantined>,
 }
 
 /// RSS-sharded scoring session: a hash-partitioned fan-out of
 /// [`StreamScorer`]s. Create via [`Clap::sharded_scorer`] (or
 /// [`Clap::sharded_scorer_with`] for explicit policy), then feed one
-/// interleaved packet stream to [`score_stream`](Self::score_stream).
+/// interleaved packet stream to [`score_stream`](Self::score_stream) or
+/// [`try_score_stream`](Self::try_score_stream).
 pub struct ShardedStreamScorer<'a> {
     clap: &'a Clap,
     config: ShardConfig,
@@ -165,6 +318,59 @@ impl Clap {
     }
 }
 
+/// Outcome of one blocking (policy `Block`, or a `Degrade` keeper) push.
+enum PushOutcome {
+    Delivered {
+        stalled: bool,
+    },
+    /// The worker terminated with its ring full — it will never drain.
+    WorkerDead,
+    /// Ring full and heartbeat frozen past the watchdog limit.
+    Stuck {
+        heartbeat: u64,
+    },
+}
+
+/// Pushes `item`, spinning while the ring is full; watches the worker's
+/// liveness (thread finished) and progress (heartbeat) while waiting. A
+/// *slow* worker keeps its heartbeat moving and resets the frozen count,
+/// so only a genuinely wedged shard ever trips `Stuck`.
+fn blocking_push<T>(
+    ring: &spsc::Ring<T>,
+    worker_finished: impl Fn() -> bool,
+    telemetry: &ShardTelemetry,
+    watchdog_limit: u64,
+    mut item: T,
+) -> PushOutcome {
+    let mut backoff = spsc::Backoff::new();
+    let mut stalled = false;
+    let mut beat = 0u64;
+    let mut frozen_iters = 0u64;
+    loop {
+        match ring.try_push(item) {
+            Ok(()) => return PushOutcome::Delivered { stalled },
+            Err(back) => {
+                item = back;
+                if worker_finished() {
+                    return PushOutcome::WorkerDead;
+                }
+                let now = telemetry.heartbeat();
+                if !stalled || now != beat {
+                    stalled = true;
+                    beat = now;
+                    frozen_iters = 0;
+                } else {
+                    frozen_iters += 1;
+                    if frozen_iters >= watchdog_limit {
+                        return PushOutcome::Stuck { heartbeat: now };
+                    }
+                }
+                backoff.snooze();
+            }
+        }
+    }
+}
+
 impl ShardedStreamScorer<'_> {
     /// The effective shard count (the configured value, floored at 1).
     pub fn shards(&self) -> usize {
@@ -172,26 +378,65 @@ impl ShardedStreamScorer<'_> {
     }
 
     /// Replays one interleaved packet stream through the sharded engine
-    /// and returns the merged verdicts plus per-shard accounting.
+    /// and returns the merged verdicts plus per-shard accounting,
+    /// panicking if any shard fails hard. Prefer
+    /// [`try_score_stream`](Self::try_score_stream) when the caller can
+    /// use a degraded run.
+    pub fn score_stream<'p>(&self, packets: impl IntoIterator<Item = &'p Packet>) -> ShardedRun {
+        match self.try_score_stream(packets) {
+            Ok(run) => run,
+            Err(e) => panic!("sharded run failed hard: {e}"),
+        }
+    }
+
+    /// Replays one interleaved packet stream through the supervised
+    /// sharded engine. On a clean (possibly degraded-by-policy) run,
+    /// returns the merged verdicts plus per-shard accounting; if any
+    /// shard dies or is declared stuck, returns a [`ShardRunError`]
+    /// naming the failed shards and carrying the surviving shards'
+    /// verdicts and every shard's stats.
     ///
     /// The calling thread runs the dispatch loop (hash → shard → SPSC
-    /// push, blocking when a ring is full); `shards` scoped worker
-    /// threads consume their rings into per-shard [`StreamScorer`]s. All
-    /// live flows are finalized at end of stream, exactly like
-    /// [`StreamScorer::finish`].
-    pub fn score_stream<'p>(&self, packets: impl IntoIterator<Item = &'p Packet>) -> ShardedRun {
+    /// push under the configured [`OverloadPolicy`]); `shards` scoped
+    /// worker threads consume their rings into per-shard supervised
+    /// [`StreamScorer`]s. All live flows are finalized at end of stream,
+    /// exactly like [`StreamScorer::finish`].
+    pub fn try_score_stream<'p>(
+        &self,
+        packets: impl IntoIterator<Item = &'p Packet>,
+    ) -> Result<ShardedRun, ShardRunError> {
         let shards = self.shards();
         let capacity = self.config.queue_capacity.max(1);
-        let queues: Vec<spsc::Ring<(u64, &'p Packet)>> =
+        let policy = self.config.overload;
+        let watchdog_limit = self.config.watchdog_limit.max(1);
+        let plan = &self.config.faults;
+
+        // Malformed substitutes are owned packets; build them (and
+        // therefore collect the stream) before the worker scope so the
+        // rings can borrow them.
+        let stream: Vec<&'p Packet> = packets.into_iter().collect();
+        let mangled: HashMap<u64, Packet> = if plan.is_empty() {
+            HashMap::new()
+        } else {
+            stream
+                .iter()
+                .enumerate()
+                .filter(|(seq, _)| plan.malform_at(*seq as u64))
+                .map(|(seq, p)| (seq as u64, fault::malform(p)))
+                .collect()
+        };
+        let telemetry: Vec<ShardTelemetry> =
+            (0..shards).map(|_| ShardTelemetry::default()).collect();
+        let queues: Vec<spsc::Ring<(u64, &Packet)>> =
             (0..shards).map(|_| spsc::Ring::new(capacity)).collect();
 
         std::thread::scope(|s| {
-            // Any unwind out of this closure — a worker death detected
-            // below, or a panic inside the caller's `packets` iterator —
-            // must still close every ring, or the scope's implicit join
-            // would hang on workers spinning against open rings. The
-            // guard closes them on drop; the normal path drops it (and
-            // thus closes the rings) before joining.
+            // Any unwind out of this closure — e.g. a panic inside the
+            // caller's `packets` iterator — must still close every ring,
+            // or the scope's implicit join would hang on workers spinning
+            // against open rings. The guard closes them on drop; the
+            // normal path drops it (and thus closes the rings) before
+            // joining.
             let close_rings = CloseRings(&queues);
 
             let handles: Vec<_> = queues
@@ -200,49 +445,138 @@ impl ShardedStreamScorer<'_> {
                 .map(|(i, ring)| {
                     let stream_cfg = self.config.stream.clone();
                     let clap = self.clap;
-                    s.spawn(move || shard_worker(clap, stream_cfg, i, ring))
+                    let tel = &telemetry[i];
+                    s.spawn(move || shard_worker(clap, stream_cfg, i, ring, tel, plan))
                 })
                 .collect();
 
+            let mut pushed = vec![0u64; shards];
+            let mut dropped = vec![0u64; shards];
             let mut full_waits = vec![0u64; shards];
-            for (seq, p) in packets.into_iter().enumerate() {
-                let shard = CanonicalKey::of(p).shard_of(shards);
-                let mut item = (seq as u64, p);
-                let mut backoff = spsc::Backoff::new();
-                let mut stalled = false;
-                loop {
-                    match queues[shard].try_push(item) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            item = back;
-                            // A worker that died (panicked) will never
-                            // drain its full ring: fail the run loudly
-                            // instead of spinning forever (the guard
-                            // closes the rings as the panic unwinds, so
-                            // surviving workers wind down and the join
-                            // cannot hang).
-                            assert!(
-                                !handles[shard].is_finished(),
-                                "shard {shard} worker terminated with its ingest ring full"
-                            );
-                            if !stalled {
-                                stalled = true;
-                                full_waits[shard] += 1;
-                            }
-                            backoff.snooze();
+            let mut degraded_windows = vec![0u64; shards];
+            let mut was_saturated = vec![false; shards];
+            let mut degrade_seq: Vec<HashMap<CanonicalKey, u64>> =
+                (0..shards).map(|_| HashMap::new()).collect();
+            let mut dead = vec![false; shards];
+            let mut failures: Vec<ShardFailure> = Vec::new();
+
+            for (seq, orig) in stream.iter().enumerate() {
+                let seq = seq as u64;
+                let ck = CanonicalKey::of(orig);
+                let shard = ck.shard_of(shards);
+                pushed[shard] += 1;
+                if dead[shard] {
+                    dropped[shard] += 1;
+                    continue;
+                }
+                let p: &Packet = mangled.get(&seq).map_or(*orig, |m| m);
+                // A forced burst makes the ring *look* full to the policy
+                // without being full, so shed decisions are reproducible.
+                let forced = plan.forced_full(seq);
+                let deliver = match policy {
+                    OverloadPolicy::Block => {
+                        if forced {
+                            full_waits[shard] += 1;
                         }
+                        true
+                    }
+                    OverloadPolicy::DropNewest => {
+                        if forced {
+                            false
+                        } else {
+                            match queues[shard].try_push((seq, p)) {
+                                Ok(()) => continue,
+                                Err(_) => false,
+                            }
+                        }
+                    }
+                    OverloadPolicy::Degrade { keep_one_in } => {
+                        let saturated = forced || queues[shard].is_full();
+                        if saturated && !was_saturated[shard] {
+                            degraded_windows[shard] += 1;
+                        }
+                        was_saturated[shard] = saturated;
+                        if saturated {
+                            let count = degrade_seq[shard].entry(ck).or_insert(0);
+                            let keep = (*count).is_multiple_of(u64::from(keep_one_in.max(1)));
+                            *count += 1;
+                            keep
+                        } else {
+                            true
+                        }
+                    }
+                };
+                if !deliver {
+                    dropped[shard] += 1;
+                    continue;
+                }
+                match blocking_push(
+                    &queues[shard],
+                    || handles[shard].is_finished(),
+                    &telemetry[shard],
+                    watchdog_limit,
+                    (seq, p),
+                ) {
+                    PushOutcome::Delivered { stalled } => {
+                        if stalled {
+                            full_waits[shard] += 1;
+                        }
+                    }
+                    PushOutcome::WorkerDead => {
+                        // The join below records the Died failure with
+                        // the actual panic message.
+                        dead[shard] = true;
+                        dropped[shard] += 1;
+                    }
+                    PushOutcome::Stuck { heartbeat } => {
+                        dead[shard] = true;
+                        dropped[shard] += 1;
+                        failures.push(ShardFailure {
+                            shard,
+                            kind: ShardFailureKind::Stuck { heartbeat },
+                        });
                     }
                 }
             }
             drop(close_rings);
 
             let mut verdicts = Vec::new();
+            let mut quarantined: Vec<Quarantined> = Vec::new();
             let mut stats = Vec::with_capacity(shards);
             for (shard, handle) in handles.into_iter().enumerate() {
-                let (mut out, mut st) = handle.join().expect("shard worker panicked");
-                st.full_waits = full_waits[shard];
-                verdicts.append(&mut out);
-                stats.push(st);
+                match handle.join() {
+                    Ok(mut output) => {
+                        verdicts.append(&mut output.verdicts);
+                        quarantined.append(&mut output.quarantined);
+                    }
+                    Err(payload) => {
+                        failures.push(ShardFailure {
+                            shard,
+                            kind: ShardFailureKind::Died(supervise::panic_message(
+                                payload.as_ref(),
+                            )),
+                        });
+                        // The dead worker never drained its leftovers;
+                        // the join above makes this thread the sole ring
+                        // user, so count them as dropped to keep the
+                        // accounting invariant exact.
+                        while queues[shard].try_pop().is_some() {
+                            dropped[shard] += 1;
+                        }
+                    }
+                }
+                let tel = &telemetry[shard];
+                stats.push(ShardStats {
+                    shard,
+                    pushed: pushed[shard],
+                    packets: tel.scored.load(Ordering::Relaxed),
+                    flows_closed: tel.flows_closed.load(Ordering::Relaxed),
+                    full_waits: full_waits[shard],
+                    dropped: dropped[shard] + tel.dropped.load(Ordering::Relaxed),
+                    degraded_windows: degraded_windows[shard],
+                    quarantined: tel.quarantined.load(Ordering::Relaxed),
+                    restarts: tel.restarts.load(Ordering::Relaxed),
+                });
             }
             // First-packet arrival indices are unique across flows (each
             // tags a distinct packet), so this order is total in
@@ -251,14 +585,28 @@ impl ShardedStreamScorer<'_> {
             // and keep that shard's emission order, which is itself a
             // pure function of the input).
             verdicts.sort_by_key(|v| v.arrival);
-            ShardedRun { verdicts, stats }
+            quarantined.sort_by_key(|q| q.arrival);
+            let run = ShardedRun {
+                verdicts,
+                stats,
+                quarantined,
+            };
+            if failures.is_empty() {
+                Ok(run)
+            } else {
+                failures.sort_by_key(|f| f.shard);
+                Err(ShardRunError {
+                    failures,
+                    partial: run,
+                })
+            }
         })
     }
 }
 
 /// Closes every ring when dropped. Held across the dispatch loop so that
-/// both the normal path and any unwind (worker death, a panicking caller
-/// iterator) release the workers from their pop loops.
+/// both the normal path and any unwind (a panicking caller iterator)
+/// release the workers from their pop loops.
 struct CloseRings<'q, T>(&'q [spsc::Ring<T>]);
 
 impl<T> Drop for CloseRings<'_, T> {
@@ -269,68 +617,133 @@ impl<T> Drop for CloseRings<'_, T> {
     }
 }
 
-/// One shard's consume loop: pop packets from the ring into this shard's
-/// [`StreamScorer`] via [`StreamScorer::push_tagged`]. The scorer itself
-/// carries each flow incarnation's first-packet arrival index (on
-/// [`ClosedFlow::arrival`]) — including across restarts inside a single
-/// push and through orient-buffer replays, where the buffered packets keep
-/// their original tags — so the worker does no per-flow bookkeeping at
-/// all: no shadow key→arrival map, no re-tag branch, no fallbacks.
-fn shard_worker(
+/// What one (surviving) worker hands back at join.
+struct WorkerOutput {
+    verdicts: Vec<ShardVerdict>,
+    quarantined: Vec<Quarantined>,
+}
+
+/// One shard's supervised consume loop: pop packets from the ring into
+/// this shard's [`StreamScorer`] via [`StreamScorer::push_tagged`], each
+/// push wrapped in `catch_unwind` — a scoring panic quarantines the
+/// packet and rebuilds the flow table instead of killing the worker. The
+/// scorer itself carries each flow incarnation's first-packet arrival
+/// index (on [`ClosedFlow::arrival`]) — including across restarts inside
+/// a single push and through orient-buffer replays, where the buffered
+/// packets keep their original tags — so the worker does no per-flow
+/// bookkeeping at all: no shadow key→arrival map, no re-tag branch, no
+/// fallbacks.
+fn shard_worker<'p>(
     clap: &Clap,
     stream_cfg: StreamConfig,
     shard: usize,
-    ring: &spsc::Ring<(u64, &Packet)>,
-) -> (Vec<ShardVerdict>, ShardStats) {
+    ring: &spsc::Ring<(u64, &'p Packet)>,
+    telemetry: &ShardTelemetry,
+    plan: &FaultPlan,
+) -> WorkerOutput {
     let mut scorer = clap.stream_scorer_with(stream_cfg);
-    let mut out: Vec<ShardVerdict> = Vec::new();
-    let mut packets = 0u64;
+    let mut out = WorkerOutput {
+        verdicts: Vec::new(),
+        quarantined: Vec::new(),
+    };
 
-    let mut consume =
-        |scorer: &mut StreamScorer<'_>, out: &mut Vec<ShardVerdict>, (seq, p): (u64, &Packet)| {
-            packets += 1;
-            scorer.push_tagged(p, seq);
-            for flow in scorer.drain_closed() {
-                out.push(ShardVerdict {
-                    shard,
-                    arrival: flow.arrival,
-                    flow,
-                });
+    let consume =
+        |scorer: &mut StreamScorer<'_>, out: &mut WorkerOutput, (seq, p): (u64, &Packet)| {
+            if let Some(millis) = plan.stall_at(seq) {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            if plan.kill_at(seq) {
+                // Deliberately outside the supervised region: models an
+                // unrecoverable failure that takes the whole worker down.
+                panic!(
+                    "{}: hard kill at arrival {seq} (shard {shard})",
+                    fault::INJECTED_TAG
+                );
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if plan.panic_at(seq) {
+                    panic!(
+                        "{}: scorer panic at arrival {seq} (shard {shard})",
+                        fault::INJECTED_TAG
+                    );
+                }
+                scorer.push_tagged(p, seq);
+            }));
+            match result {
+                Ok(_) => {
+                    ShardTelemetry::bump(&telemetry.scored);
+                    for flow in scorer.drain_closed() {
+                        ShardTelemetry::bump(&telemetry.flows_closed);
+                        out.verdicts.push(ShardVerdict {
+                            shard,
+                            arrival: flow.arrival,
+                            flow,
+                        });
+                    }
+                }
+                Err(payload) => {
+                    // Quarantine: log the packet, throw away whatever state
+                    // the unwinding push may have left half-mutated, keep
+                    // going on a fresh flow table.
+                    ShardTelemetry::bump(&telemetry.quarantined);
+                    ShardTelemetry::bump(&telemetry.restarts);
+                    out.quarantined.push(Quarantined {
+                        shard,
+                        arrival: seq,
+                        key: CanonicalKey::of(p),
+                        panic: supervise::panic_message(payload.as_ref()),
+                    });
+                    scorer.reset();
+                }
+            }
+            telemetry.heartbeat.fetch_add(1, Ordering::Relaxed);
+        };
+    // A panic escaping `consume` (a hard kill, or a bug in the
+    // quarantine path itself) takes this thread down; account for the
+    // in-flight packet first so `pushed == packets + dropped +
+    // quarantined` stays exact even for a dead shard, then let it fly —
+    // the dispatcher picks the payload up at join.
+    let supervised =
+        |scorer: &mut StreamScorer<'_>, out: &mut WorkerOutput, item: (u64, &'p Packet)| {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| consume(scorer, out, item))) {
+                ShardTelemetry::bump(&telemetry.dropped);
+                resume_unwind(payload);
             }
         };
 
     let mut backoff = spsc::Backoff::new();
     loop {
         while let Some(item) = ring.try_pop() {
-            consume(&mut scorer, &mut out, item);
+            supervised(&mut scorer, &mut out, item);
             backoff.reset();
         }
         if ring.is_closed() {
             // Pushes that raced the close flag: one final drain after the
             // Acquire load of `closed` has ordered them before us.
             while let Some(item) = ring.try_pop() {
-                consume(&mut scorer, &mut out, item);
+                supervised(&mut scorer, &mut out, item);
             }
             break;
         }
         backoff.snooze();
     }
 
-    // End-of-stream flush, same as the unsharded engine.
-    for flow in scorer.finish() {
-        out.push(ShardVerdict {
-            shard,
-            arrival: flow.arrival,
-            flow,
-        });
+    // End-of-stream flush, supervised like every per-packet push: a
+    // panicking flush costs the pending verdicts of this shard only.
+    match catch_unwind(AssertUnwindSafe(|| scorer.finish())) {
+        Ok(flows) => {
+            for flow in flows {
+                ShardTelemetry::bump(&telemetry.flows_closed);
+                out.verdicts.push(ShardVerdict {
+                    shard,
+                    arrival: flow.arrival,
+                    flow,
+                });
+            }
+        }
+        Err(_) => ShardTelemetry::bump(&telemetry.restarts),
     }
-    let stats = ShardStats {
-        shard,
-        packets,
-        flows_closed: out.len() as u64,
-        full_waits: 0, // filled in by the dispatcher, which owns the count
-    };
-    (out, stats)
+    out
 }
 
 /// Bounded single-producer/single-consumer ring — the per-shard ingest
@@ -434,6 +847,17 @@ pub mod spsc {
             self.len() == 0
         }
 
+        /// Producer side: true when the ring currently holds `capacity`
+        /// items (the saturation signal the `Degrade` policy keys on).
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.slots.len()
+        }
+
+        /// The fixed capacity this ring was built with.
+        pub fn capacity(&self) -> usize {
+            self.slots.len()
+        }
+
         /// Producer side: marks the stream finished. The consumer must
         /// drain once more *after* observing the flag — `close` is
         /// ordered after every preceding push.
@@ -495,10 +919,14 @@ pub mod spsc {
         #[test]
         fn fifo_order_and_capacity() {
             let ring: Ring<u32> = Ring::new(2);
+            assert_eq!(ring.capacity(), 2);
+            assert!(!ring.is_full());
             assert!(ring.try_push(1).is_ok());
             assert!(ring.try_push(2).is_ok());
+            assert!(ring.is_full());
             assert_eq!(ring.try_push(3), Err(3), "full ring rejects");
             assert_eq!(ring.try_pop(), Some(1));
+            assert!(!ring.is_full());
             assert!(ring.try_push(3).is_ok());
             assert_eq!(ring.try_pop(), Some(2));
             assert_eq!(ring.try_pop(), Some(3));
@@ -572,6 +1000,7 @@ pub mod spsc {
 
 #[cfg(test)]
 mod tests {
+    use super::fault::Fault;
     use super::*;
     use crate::pipeline::ClapConfig;
     use crate::stream::CloseReason;
@@ -598,6 +1027,7 @@ mod tests {
                 teardown_on_close: false,
                 ..StreamConfig::default()
             },
+            ..ShardConfig::default()
         }
     }
 
@@ -627,6 +1057,34 @@ mod tests {
                 CanonicalKey::of(&p).shard_of(shards) == target
             })
             .take(n)
+            .collect()
+    }
+
+    /// Asserts the exact accounting invariant on every shard of a run.
+    fn assert_accounting(stats: &[ShardStats]) {
+        for s in stats {
+            assert_eq!(
+                s.pushed,
+                s.packets + s.dropped + s.quarantined,
+                "accounting invariant broken on shard {}: {s:?}",
+                s.shard
+            );
+        }
+    }
+
+    /// Bitwise fingerprint of a run's verdicts, for determinism and
+    /// survivor-identity checks.
+    fn fingerprint(run: &ShardedRun) -> Vec<(u64, usize, usize, u32)> {
+        run.verdicts
+            .iter()
+            .map(|v| {
+                (
+                    v.arrival,
+                    v.flow.packets,
+                    v.shard,
+                    v.flow.scored.score.to_bits(),
+                )
+            })
             .collect()
     }
 
@@ -674,6 +1132,9 @@ mod tests {
         assert_eq!(run.stats.len(), 4);
         let consumed: u64 = run.stats.iter().map(|s| s.packets).sum();
         assert_eq!(consumed as usize, stream.len());
+        let pushed: u64 = run.stats.iter().map(|s| s.pushed).sum();
+        assert_eq!(pushed as usize, stream.len());
+        assert_accounting(&run.stats);
         let closed: u64 = run.stats.iter().map(|s| s.flows_closed).sum();
         assert_eq!(closed as usize, run.verdicts.len());
         let scored: usize = run.verdicts.iter().map(|v| v.flow.packets).sum();
@@ -711,6 +1172,7 @@ mod tests {
             shards,
             queue_capacity: 8,
             stream: stream_cfg.clone(),
+            ..ShardConfig::default()
         };
         let run = clap
             .sharded_scorer_with(config)
@@ -772,6 +1234,7 @@ mod tests {
             shards,
             queue_capacity: 8,
             stream: stream_cfg.clone(),
+            ..ShardConfig::default()
         };
         let run = clap
             .sharded_scorer_with(config)
@@ -815,6 +1278,7 @@ mod tests {
             shards: 4,
             queue_capacity: 8,
             stream: StreamConfig::default(), // teardown_on_close: true
+            ..ShardConfig::default()
         };
         let run = clap
             .sharded_scorer_with(config)
@@ -870,6 +1334,7 @@ mod tests {
                 teardown_on_close: false,
                 ..StreamConfig::default()
             },
+            ..ShardConfig::default()
         };
         let run = clap
             .sharded_scorer_with(config)
@@ -915,6 +1380,7 @@ mod tests {
                 shards,
                 queue_capacity: 8,
                 stream: stream_cfg.clone(),
+                ..ShardConfig::default()
             };
             let run = clap
                 .sharded_scorer_with(config)
@@ -974,19 +1440,7 @@ mod tests {
                 shards,
                 queue_capacity: 2,
                 stream: stream_cfg.clone(),
-            };
-            let fingerprint = |run: &ShardedRun| -> Vec<(u64, usize, usize, u32)> {
-                run.verdicts
-                    .iter()
-                    .map(|v| {
-                        (
-                            v.arrival,
-                            v.flow.packets,
-                            v.shard,
-                            v.flow.scored.score.to_bits(),
-                        )
-                    })
-                    .collect()
+                ..ShardConfig::default()
             };
             let a = clap
                 .sharded_scorer_with(config.clone())
@@ -1017,5 +1471,320 @@ mod tests {
             .score_stream(stream.iter().copied());
         assert_eq!(run.stats.len(), 1);
         assert_eq!(run.verdicts.len(), corpus.len());
+    }
+
+    /// An injected scoring panic quarantines exactly that packet,
+    /// restarts the shard, and the run still completes with exact
+    /// accounting.
+    #[test]
+    fn fault_panic_quarantines_packet_and_completes() {
+        fault::silence_injected_panics();
+        let clap = model();
+        let corpus = traffic_gen::dataset(875, 10);
+        let stream = interleave(&corpus);
+        let arrival = (stream.len() / 2) as u64;
+        let victim = CanonicalKey::of(stream[arrival as usize]).shard_of(4);
+        let mut config = cfg(4);
+        config.faults = FaultPlan::none().with(Fault::PanicAt { arrival });
+        let run = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(stream.iter().copied())
+            .expect("supervised panic must not fail the run");
+        assert_accounting(&run.stats);
+        assert_eq!(run.quarantined.len(), 1);
+        let q = &run.quarantined[0];
+        assert_eq!(q.arrival, arrival);
+        assert_eq!(q.shard, victim);
+        assert_eq!(q.key, CanonicalKey::of(stream[arrival as usize]));
+        assert!(q.panic.contains(fault::INJECTED_TAG));
+        assert_eq!(run.stats[victim].quarantined, 1);
+        assert_eq!(run.stats[victim].restarts, 1);
+        for s in &run.stats {
+            if s.shard != victim {
+                assert_eq!(s.quarantined, 0);
+                assert_eq!(s.restarts, 0);
+            }
+        }
+        let pushed: u64 = run.stats.iter().map(|s| s.pushed).sum();
+        assert_eq!(pushed as usize, stream.len());
+    }
+
+    /// Flows owned by surviving shards score byte-identically whether or
+    /// not another shard quarantined and restarted mid-run — panic
+    /// isolation leaks nothing across the partition.
+    #[test]
+    fn fault_panic_leaves_other_shards_bitwise_identical() {
+        fault::silence_injected_panics();
+        let clap = model();
+        let corpus = traffic_gen::dataset(876, 10);
+        let stream = interleave(&corpus);
+        let arrival = (stream.len() / 3) as u64;
+        let victim = CanonicalKey::of(stream[arrival as usize]).shard_of(4);
+        let clean = clap
+            .sharded_scorer_with(cfg(4))
+            .score_stream(stream.iter().copied());
+        let mut config = cfg(4);
+        config.faults = FaultPlan::none().with(Fault::PanicAt { arrival });
+        let faulted = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(stream.iter().copied())
+            .expect("supervised panic must not fail the run");
+        let survivors = |run: &ShardedRun| -> Vec<(u64, usize, usize, u32)> {
+            fingerprint(run)
+                .into_iter()
+                .filter(|&(_, _, shard, _)| shard != victim)
+                .collect()
+        };
+        assert!(
+            !survivors(&clean).is_empty(),
+            "test premise: other shards own flows"
+        );
+        assert_eq!(
+            survivors(&clean),
+            survivors(&faulted),
+            "surviving shards must be byte-identical to the fault-free run"
+        );
+    }
+
+    /// A panic escaping the supervised region kills the worker: the run
+    /// reports a typed error naming the dead shard, keeps the survivors'
+    /// verdicts and every shard's stats, and accounting stays exact.
+    #[test]
+    fn fault_kill_returns_shard_run_error_with_survivors() {
+        fault::silence_injected_panics();
+        let clap = model();
+        let corpus = traffic_gen::dataset(877, 10);
+        let stream = interleave(&corpus);
+        let arrival = (stream.len() / 2) as u64;
+        let victim = CanonicalKey::of(stream[arrival as usize]).shard_of(4);
+        let mut config = cfg(4);
+        config.faults = FaultPlan::none().with(Fault::KillAt { arrival });
+        let err = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(stream.iter().copied())
+            .expect_err("a hard kill must fail the run");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].shard, victim);
+        match &err.failures[0].kind {
+            ShardFailureKind::Died(msg) => assert!(msg.contains(fault::INJECTED_TAG)),
+            other => panic!("expected Died, got {other:?}"),
+        }
+        assert!(err.to_string().contains(&format!("shard {victim}")));
+        let run = &err.partial;
+        assert_eq!(run.stats.len(), 4, "dead shard's stats are retained");
+        assert_accounting(&run.stats);
+        let pushed: u64 = run.stats.iter().map(|s| s.pushed).sum();
+        assert_eq!(pushed as usize, stream.len());
+        assert!(run.stats[victim].dropped >= 1, "the in-flight packet");
+        assert!(
+            run.verdicts.iter().all(|v| v.shard != victim),
+            "a dead shard contributes no verdicts"
+        );
+        assert!(!run.verdicts.is_empty(), "survivors' verdicts are retained");
+        // And the survivors are byte-identical to a fault-free run.
+        let clean = clap
+            .sharded_scorer_with(cfg(4))
+            .score_stream(stream.iter().copied());
+        let survivors = |run: &ShardedRun| -> Vec<(u64, usize, usize, u32)> {
+            fingerprint(run)
+                .into_iter()
+                .filter(|&(_, _, shard, _)| shard != victim)
+                .collect()
+        };
+        assert_eq!(survivors(&clean), survivors(run));
+    }
+
+    /// A worker wedged long enough (injected stall, frozen heartbeat,
+    /// full ring) trips the watchdog: the dispatcher cuts the shard off,
+    /// sheds its remaining packets, and reports it stuck — while exact
+    /// accounting holds throughout.
+    #[test]
+    fn fault_stall_trips_watchdog_and_sheds() {
+        fault::silence_injected_panics();
+        let clap = model();
+        let shards = 4;
+        let target = 0;
+        let ports = ports_on_shard(target, shards, 4);
+        let packets: Vec<Packet> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, &port)| raw_packet((1, port), (2, 80), TcpFlags::SYN, i as f64))
+            .collect();
+        let mut config = cfg(shards);
+        config.queue_capacity = 1;
+        config.watchdog_limit = 5_000;
+        config.faults = FaultPlan::none().with(Fault::StallAt {
+            arrival: 1,
+            millis: 1_500,
+        });
+        let err = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(packets.iter())
+            .expect_err("a wedged shard must fail the run");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].shard, target);
+        assert!(matches!(
+            err.failures[0].kind,
+            ShardFailureKind::Stuck { .. }
+        ));
+        let st = &err.partial.stats[target];
+        assert_eq!(st.pushed as usize, packets.len());
+        assert!(st.dropped >= 1, "the watchdog shed at least one packet");
+        assert_eq!(st.quarantined, 0);
+        assert_accounting(&err.partial.stats);
+    }
+
+    /// Under `DropNewest` with a deterministic forced burst, exactly the
+    /// burst's packets are shed — and two runs agree bit for bit.
+    #[test]
+    fn fault_drop_newest_sheds_only_during_burst() {
+        let clap = model();
+        let shards = 4;
+        let target = 1;
+        let ports = ports_on_shard(target, shards, 5);
+        let packets: Vec<Packet> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, &port)| raw_packet((1, port), (2, 80), TcpFlags::SYN, i as f64))
+            .collect();
+        let mut config = cfg(shards);
+        config.overload = OverloadPolicy::DropNewest;
+        config.faults = FaultPlan::none().with(Fault::FullBurst { from: 1, until: 3 });
+        let a = clap
+            .sharded_scorer_with(config.clone())
+            .try_score_stream(packets.iter())
+            .expect("shedding is not a failure");
+        let st = &a.stats[target];
+        assert_eq!(st.pushed, 5);
+        assert_eq!(st.dropped, 2, "exactly the burst arrivals are shed");
+        assert_eq!(st.packets, 3);
+        assert_eq!(st.quarantined, 0);
+        assert_accounting(&a.stats);
+        assert_eq!(a.verdicts.len(), 3, "shed single-packet flows never open");
+        let b = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(packets.iter())
+            .expect("shedding is not a failure");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(a.stats, b.stats, "forced bursts shed deterministically");
+    }
+
+    /// Under `Degrade { keep_one_in: 2 }` with the ring forced saturated
+    /// for the whole stream, each flow keeps every other packet — all
+    /// flows keep producing verdicts, on thinner evidence.
+    #[test]
+    fn fault_degrade_keeps_one_in_k_per_flow() {
+        let clap = model();
+        let shards = 4;
+        let target = 2;
+        let ports = ports_on_shard(target, shards, 2);
+        // Two flows interleaved: A B A B A B (arrivals 0..6).
+        let mut packets = Vec::new();
+        for i in 0..3 {
+            for (j, &port) in ports.iter().enumerate() {
+                let flags = if i == 0 { TcpFlags::SYN } else { TcpFlags::ACK };
+                packets.push(raw_packet(
+                    (1, port),
+                    (2, 80),
+                    flags,
+                    f64::from(i) + 0.1 * j as f64,
+                ));
+            }
+        }
+        let mut config = cfg(shards);
+        config.overload = OverloadPolicy::Degrade { keep_one_in: 2 };
+        config.faults = FaultPlan::none().with(Fault::FullBurst {
+            from: 0,
+            until: packets.len() as u64,
+        });
+        let run = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(packets.iter())
+            .expect("degrading is not a failure");
+        let st = &run.stats[target];
+        assert_eq!(st.pushed, 6);
+        assert_eq!(st.packets, 4, "each flow keeps packets 0 and 2 of 3");
+        assert_eq!(st.dropped, 2, "each flow sheds its middle packet");
+        assert_eq!(st.degraded_windows, 1, "one saturation episode");
+        assert_accounting(&run.stats);
+        assert_eq!(run.verdicts.len(), 2, "both flows still produce verdicts");
+        for v in &run.verdicts {
+            assert_eq!(v.flow.packets, 2, "each flow scored 2 of its 3 packets");
+        }
+    }
+
+    /// A garbage-header packet must be *scored*, not crash the worker:
+    /// the pipeline models invalid fields by design (attacks store them
+    /// deliberately).
+    #[test]
+    fn fault_malformed_packet_is_scored_not_fatal() {
+        let clap = model();
+        let corpus = traffic_gen::dataset(878, 8);
+        let stream = interleave(&corpus);
+        let arrival = (stream.len() / 2) as u64;
+        let mut config = cfg(4);
+        config.faults = FaultPlan::none().with(Fault::MalformAt { arrival });
+        let run = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(stream.iter().copied())
+            .expect("a malformed packet must not fail the run");
+        assert_accounting(&run.stats);
+        assert_eq!(run.quarantined.len(), 0, "malformed packets are scored");
+        let scored: u64 = run.stats.iter().map(|s| s.packets).sum();
+        assert_eq!(scored as usize, stream.len(), "nothing is shed");
+        let clean = clap
+            .sharded_scorer_with(cfg(4))
+            .score_stream(stream.iter().copied());
+        assert_eq!(run.verdicts.len(), clean.verdicts.len());
+    }
+
+    /// A fault-free run under the default policy sheds, quarantines and
+    /// restarts nothing — the regression gate the CI throughput job
+    /// leans on.
+    #[test]
+    fn fault_free_runs_report_zero_shed() {
+        let clap = model();
+        let corpus = traffic_gen::dataset(879, 10);
+        let stream = interleave(&corpus);
+        let mut config = cfg(4);
+        config.queue_capacity = 2; // heavy real backpressure, zero loss
+        let run = clap
+            .sharded_scorer_with(config)
+            .try_score_stream(stream.iter().copied())
+            .expect("fault-free runs succeed");
+        assert_accounting(&run.stats);
+        for s in &run.stats {
+            assert_eq!(s.pushed, s.packets, "Block loses nothing");
+            assert_eq!(s.dropped, 0);
+            assert_eq!(s.quarantined, 0);
+            assert_eq!(s.restarts, 0);
+            assert_eq!(s.degraded_windows, 0);
+        }
+        assert!(run.quarantined.is_empty());
+    }
+
+    /// The `--overload-policy` grammar round-trips through Display.
+    #[test]
+    fn fault_overload_policy_parse_round_trips() {
+        for (spec, policy) in [
+            ("block", OverloadPolicy::Block),
+            ("drop-newest", OverloadPolicy::DropNewest),
+            ("drop", OverloadPolicy::DropNewest),
+            ("degrade", OverloadPolicy::Degrade { keep_one_in: 8 }),
+            ("degrade:3", OverloadPolicy::Degrade { keep_one_in: 3 }),
+        ] {
+            assert_eq!(OverloadPolicy::parse(spec), Ok(policy));
+        }
+        assert_eq!(
+            OverloadPolicy::parse("degrade:3").unwrap().to_string(),
+            "degrade:3"
+        );
+        assert_eq!(OverloadPolicy::default(), OverloadPolicy::Block);
+        for bad in ["", "shed", "degrade:0", "degrade:x"] {
+            assert!(
+                OverloadPolicy::parse(bad).is_err(),
+                "`{bad}` must not parse"
+            );
+        }
     }
 }

@@ -468,6 +468,20 @@ impl StreamScorer<'_> {
         self.drain_closed()
     }
 
+    /// Discards every live flow and pending verdict without finalizing
+    /// anything — the supervised sharded engine's post-panic restart. The
+    /// clock and arrival counter survive (they are stream positions, not
+    /// flow state), so flows started after the reset keep globally
+    /// consistent tags; everything that could have been left
+    /// half-mutated by an unwinding `push_tagged` is dropped wholesale.
+    pub fn reset(&mut self) {
+        self.flows.clear();
+        self.closed.clear();
+        self.sweep_keys.clear();
+        self.scan_ring.clear();
+        self.packets_since_sweep = 0;
+    }
+
     /// Pops the next *live* key from the rotating scan ring, refilling the
     /// ring from the table when it runs dry (keys that left the table
     /// since the refill are skipped for free). Returns `None` only when

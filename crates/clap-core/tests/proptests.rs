@@ -429,6 +429,7 @@ proptest! {
                     shards,
                     queue_capacity,
                     stream: stream_cfg.clone(),
+                    ..ShardConfig::default()
                 })
                 .score_stream(stream.iter().copied());
             let got: Vec<_> = verdict_set(run.verdicts.iter().map(|v| &v.flow));
@@ -484,6 +485,64 @@ proptest! {
             net_packet::CanonicalKey::of_key(&conn.key).shard_of(shards),
             home,
             "the oriented flow key agrees with its packets"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `spsc::Ring` close/drain protocol under a real thread race: a
+    /// producer pushes `sent` items and calls `close()` immediately —
+    /// racing a consumer that is draining concurrently — and the
+    /// consumer must still receive exactly the pushed prefix, in order,
+    /// with nothing lost to the close and nothing double-delivered.
+    #[test]
+    fn shard_spsc_close_race_delivers_exactly_once(
+        capacity in 1usize..8,
+        sent in 0usize..200,
+        consumer_delay_spins in 0u32..64,
+    ) {
+        let ring: clap_core::shard::spsc::Ring<usize> = clap_core::shard::spsc::Ring::new(capacity);
+        let seen = std::thread::scope(|s| {
+            let consumer = s.spawn(|| {
+                // A variable head start skews the race both ways: sometimes
+                // the close lands before the first pop, sometimes mid-drain.
+                for _ in 0..consumer_delay_spins {
+                    std::hint::spin_loop();
+                }
+                let mut seen = Vec::new();
+                let mut backoff = clap_core::shard::spsc::Backoff::new();
+                loop {
+                    while let Some(v) = ring.try_pop() {
+                        seen.push(v);
+                        backoff.reset();
+                    }
+                    if ring.is_closed() {
+                        while let Some(v) = ring.try_pop() {
+                            seen.push(v);
+                        }
+                        break;
+                    }
+                    backoff.snooze();
+                }
+                seen
+            });
+            let mut backoff = clap_core::shard::spsc::Backoff::new();
+            for v in 0..sent {
+                let mut item = v;
+                while let Err(back) = ring.try_push(item) {
+                    item = back;
+                    backoff.snooze();
+                }
+            }
+            ring.close();
+            consumer.join().unwrap()
+        });
+        prop_assert_eq!(
+            seen,
+            (0..sent).collect::<Vec<_>>(),
+            "every pushed item must arrive exactly once, in order"
         );
     }
 }
