@@ -4,15 +4,31 @@
 //! engine comparison for this reproduction.
 //!
 //! ```text
-//! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper]
+//! cargo run -p bench --release --bin exp_throughput -- [--preset quick|ci|paper|scale]
 //!     [--threads N] [--shards N] [--quant int8] [--json PATH]
 //!     [--check-against REFERENCE.json] [--max-regress 0.20]
 //!     [--max-regress-speedup 0.30] [--max-regress-sharded 0.35]
 //!     [--max-regress-quant 0.30] [--min-quant-speedup X]
 //!     [--min-shard-scaling X]
+//!     [--churn-flows N] [--churn-packets N] [--resident f32|int8]
+//!     [--max-regress-scale 0.35] [--max-grow-bytes-per-flow 0.25]
+//!     [--max-bytes-per-flow BYTES]
 //!     [--overload-policy block|drop-newest|degrade[:K]] [--fault-plan SPEC]
 //!     [--require-no-shed]
 //! ```
+//!
+//! `--preset scale` (or an explicit `--churn-flows N`) additionally runs
+//! the **churn phase**: `traffic_gen::churn`'s elephant/mice workload —
+//! heavy-tailed flow sizes, high arrival rate, a plateau of `--churn-flows`
+//! (default 1M) concurrent flows — streamed through one `StreamScorer`
+//! whose per-flow state is held in the int8 resident form (`--resident`
+//! overrides). The phase records `flows_peak`, sustained `scale_pps`,
+//! measured heap `bytes_per_flow` and the eviction counters in the JSON
+//! report. Gates: `scale_pps` is machine-relative and gated like the other
+//! throughput numbers (`--max-regress-scale` vs the reference record);
+//! `bytes_per_flow` is pure data-structure layout, gated both relative to
+//! the reference (`--max-grow-bytes-per-flow`) and against the absolute
+//! design-budget ceiling (`--max-bytes-per-flow`).
 //!
 //! `--quant int8` additionally measures the int8 quantized fused engine
 //! (`neural::quant`: per-row int8 weights, on-the-fly 7-bit activation
@@ -62,13 +78,17 @@
 //! kernels (ratio ≈ 3.1 vs the ≈ 5.3 AVX2 reference) still fails.
 
 use bench::{
-    arg_value, check_quant_floor, check_quant_regression, check_shard_scaling_floor,
+    arg_value, check_bytes_per_flow, check_memory_regression, check_quant_floor,
+    check_quant_regression, check_scale_regression, check_shard_scaling_floor,
     check_sharded_regression, check_speedup_regression, check_throughput_regression, render_table,
     train_all, Preset, ThroughputReference,
 };
-use clap_core::{FaultPlan, OverloadPolicy, QuantMode, ShardConfig, ShardHealth, StreamConfig};
+use clap_core::{
+    FaultPlan, OverloadPolicy, QuantMode, ResidentMode, ShardConfig, ShardHealth, StreamConfig,
+};
 use serde::Serialize;
 use std::time::Instant;
+use traffic_gen::ChurnConfig;
 
 /// Machine-readable throughput record, one per run.
 #[derive(Debug, Serialize)]
@@ -117,6 +137,28 @@ struct ThroughputReport {
     sharded_degraded_windows: u64,
     baseline1_pps: f64,
     kitsune_pps: f64,
+    /// Peak concurrently tracked flows of the churn phase; `0` when the
+    /// run did not measure it (same convention as `clap_quant_pps`).
+    flows_peak: u64,
+    /// Packets/second sustained by the churn phase; `0.0` when not
+    /// measured.
+    scale_pps: f64,
+    /// Measured flow-table heap bytes per peak live flow; `0.0` when not
+    /// measured. (Non-positive values are rejected as references, so an
+    /// unmeasured report can never weaken the memory gate.)
+    bytes_per_flow: f64,
+    /// Churn-phase packets pushed.
+    scale_packets: u64,
+    /// Flows reclaimed by idle (timer-wheel) expiry during the churn
+    /// phase.
+    scale_evicted_idle: u64,
+    /// Flows evicted at the `max_flows` capacity wall during the churn
+    /// phase.
+    scale_evicted_capacity: u64,
+    /// Flows finalized by observed TCP teardown during the churn phase.
+    scale_closed_tcp: u64,
+    /// Flows still live at the end of the churn phase (drained).
+    scale_drained: u64,
 }
 
 fn main() {
@@ -356,6 +398,129 @@ fn main() {
         );
     }
 
+    // The churn phase: a high-arrival-rate elephant/mice workload against
+    // a million-flow table, measuring sustained pps and per-flow memory.
+    // Runs for `--preset scale` (1M flows unless overridden) or whenever
+    // `--churn-flows` is passed explicitly.
+    let churn_flows: usize = match arg_value(&args, "--churn-flows") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --churn-flows value `{v}`");
+            std::process::exit(2);
+        }),
+        None if preset.name == "scale" => 1_000_000,
+        None => 0,
+    };
+    let scale = (churn_flows > 0).then(|| {
+        let churn_packets: usize = match arg_value(&args, "--churn-packets") {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --churn-packets value `{v}`");
+                std::process::exit(2);
+            }),
+            // Ramp (one SYN per packet) plus enough steady-state churn to
+            // cycle the mice several times over.
+            None => churn_flows.saturating_mul(6),
+        };
+        let resident = match arg_value(&args, "--resident").as_deref() {
+            None | Some("int8") => ResidentMode::Int8,
+            Some("f32") => ResidentMode::F32,
+            Some(other) => {
+                eprintln!("invalid --resident value `{other}` (expected `f32` or `int8`)");
+                std::process::exit(2);
+            }
+        };
+        let churn_cfg = ChurnConfig {
+            // High arrival rate: at the plateau, live flows see a mean
+            // inter-packet gap of concurrent/pps seconds — well inside
+            // the idle timeout, so eviction pressure comes from TCP
+            // teardown churn, not spurious idle expiry.
+            pps: 2_000_000.0,
+            ..ChurnConfig::new(preset.seed ^ 0x5ca1e, churn_flows, churn_packets)
+        };
+        let mut scorer = models.clap.stream_scorer_with(StreamConfig {
+            quant: if measure_quant {
+                QuantMode::Int8
+            } else {
+                QuantMode::Off
+            },
+            resident,
+            idle_timeout: 30.0,
+            // ~3% headroom above the plateau for abandoned (FIN-less)
+            // flows awaiting idle expiry; sized so the slab's capacity
+            // clamp stays tight around the measured peak.
+            max_flows: churn_flows + churn_flows / 32,
+            ..StreamConfig::default()
+        });
+        eprintln!(
+            "[{}] churn phase: {} packets toward a {}-flow plateau ({:?} resident, {:?} weights)…",
+            preset.name,
+            churn_packets,
+            churn_flows,
+            resident,
+            scorer.quant_mode()
+        );
+        let mut gen = traffic_gen::churn(&churn_cfg);
+        let mut closed_packets: usize = 0;
+        let mut pushed: usize = 0;
+        let t = Instant::now();
+        for p in &mut gen {
+            scorer.push(&p);
+            pushed += 1;
+            // Periodic verdict drain, as a long-running tap would do —
+            // otherwise the closed-flow queue, not the flow table, would
+            // dominate the memory measurement.
+            if pushed.is_multiple_of(65_536) {
+                closed_packets += scorer
+                    .drain_closed()
+                    .iter()
+                    .map(|c| c.packets)
+                    .sum::<usize>();
+            }
+        }
+        let elapsed = t.elapsed();
+        // Memory is sampled at full plateau, before the final flush.
+        let mem = scorer.mem_bytes();
+        let live = scorer.live_flows();
+        closed_packets += scorer.finish().iter().map(|c| c.packets).sum::<usize>();
+        let stats = scorer.stats();
+        assert_eq!(
+            closed_packets, pushed,
+            "churn phase must account for every packet"
+        );
+        assert!(
+            stats.flows_peak >= churn_flows,
+            "churn phase never reached the {churn_flows}-flow plateau (peak {})",
+            stats.flows_peak
+        );
+        let scale_pps = pushed as f64 / elapsed.as_secs_f64();
+        let bytes_per_flow = mem as f64 / stats.flows_peak as f64;
+        println!("\n== Flow-table scale: {churn_flows}-flow churn phase ==");
+        println!(
+            "{}",
+            render_table(
+                &["Metric", "Value"],
+                &[
+                    vec!["packets".into(), pushed.to_string()],
+                    vec!["sustained pkt/s".into(), format!("{scale_pps:.1}")],
+                    vec!["flows_peak".into(), stats.flows_peak.to_string()],
+                    vec!["live at end".into(), live.to_string()],
+                    vec!["table heap (MB)".into(), format!("{:.1}", mem as f64 / 1e6)],
+                    vec!["bytes/flow".into(), format!("{bytes_per_flow:.0}")],
+                    vec![
+                        "closed by TCP teardown".into(),
+                        stats.closed_tcp.to_string()
+                    ],
+                    vec!["evicted idle".into(), stats.evicted_idle.to_string()],
+                    vec![
+                        "evicted at capacity".into(),
+                        stats.evicted_capacity.to_string(),
+                    ],
+                    vec!["drained at end".into(), stats.drained.to_string()],
+                ],
+            )
+        );
+        (scale_pps, bytes_per_flow, stats, pushed)
+    });
+
     let pps = |elapsed: std::time::Duration| packets as f64 / elapsed.as_secs_f64();
     let cps = |elapsed: std::time::Duration| corpus.len() as f64 / elapsed.as_secs_f64();
 
@@ -457,6 +622,14 @@ fn main() {
         sharded_degraded_windows: health.degraded_windows,
         baseline1_pps: pps(b1),
         kitsune_pps: pps(kitsune),
+        flows_peak: scale.as_ref().map_or(0, |(_, _, s, _)| s.flows_peak as u64),
+        scale_pps: scale.as_ref().map_or(0.0, |(p, _, _, _)| *p),
+        bytes_per_flow: scale.as_ref().map_or(0.0, |(_, b, _, _)| *b),
+        scale_packets: scale.as_ref().map_or(0, |(_, _, _, n)| *n as u64),
+        scale_evicted_idle: scale.as_ref().map_or(0, |(_, _, s, _)| s.evicted_idle),
+        scale_evicted_capacity: scale.as_ref().map_or(0, |(_, _, s, _)| s.evicted_capacity),
+        scale_closed_tcp: scale.as_ref().map_or(0, |(_, _, s, _)| s.closed_tcp),
+        scale_drained: scale.as_ref().map_or(0, |(_, _, s, _)| s.drained),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&json_path, json).expect("write throughput json");
@@ -611,6 +784,75 @@ fn main() {
         } else {
             eprintln!("quant gate skipped: reference records no quant_speedup");
         }
+        // Fifth gate pair: the churn phase. Engaged only when this run
+        // measured it — unlike quant, a reference with scale numbers must
+        // not fail the plain `ci` throughput job, which shares the
+        // reference file but never runs the (minutes-long) churn phase.
+        if let Some((scale_pps, bytes_per_flow, _, _)) = scale {
+            let max_regress_scale: f64 = match arg_value(&args, "--max-regress-scale") {
+                Some(v) => match v.parse() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        eprintln!("regression gate error: invalid --max-regress-scale value `{v}`");
+                        std::process::exit(1);
+                    }
+                },
+                None => 0.35,
+            };
+            if let Some(ref_scale) = reference.scale_pps {
+                match check_scale_regression(scale_pps, ref_scale, max_regress_scale) {
+                    Ok(change) => eprintln!(
+                        "scale gate OK: {:.1} pkt/s vs reference {:.1} pkt/s \
+                         ({:+.1}% change, budget -{:.0}%)",
+                        scale_pps,
+                        ref_scale,
+                        change * 100.0,
+                        max_regress_scale * 100.0
+                    ),
+                    Err(msg) => {
+                        eprintln!("THROUGHPUT REGRESSION: {msg}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                eprintln!("scale gate skipped: reference records no scale_pps");
+            }
+            let max_grow: f64 = match arg_value(&args, "--max-grow-bytes-per-flow") {
+                Some(v) => match v.parse() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        eprintln!(
+                            "regression gate error: invalid --max-grow-bytes-per-flow value `{v}`"
+                        );
+                        std::process::exit(1);
+                    }
+                },
+                None => 0.25,
+            };
+            if let Some(ref_bpf) = reference.bytes_per_flow {
+                match check_memory_regression(bytes_per_flow, ref_bpf, max_grow) {
+                    Ok(change) => eprintln!(
+                        "memory gate OK: {:.0} bytes/flow vs reference {:.0} \
+                         ({:+.1}% change, budget +{:.0}%)",
+                        bytes_per_flow,
+                        ref_bpf,
+                        change * 100.0,
+                        max_grow * 100.0
+                    ),
+                    Err(msg) => {
+                        eprintln!("THROUGHPUT REGRESSION: {msg}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                eprintln!("memory gate skipped: reference records no bytes_per_flow");
+            }
+        } else if reference.scale_pps.is_some() || reference.bytes_per_flow.is_some() {
+            eprintln!(
+                "scale gates skipped: reference records scale numbers but this run \
+                 did not measure the churn phase (use --preset scale or --churn-flows)"
+            );
+        }
     }
 
     // Optional absolute quant floor — independent of any reference
@@ -633,6 +875,35 @@ fn main() {
             Ok(()) => eprintln!(
                 "quant floor gate OK: {:.2}x over f32 fused (floor {:.2}x)",
                 report.quant_speedup, floor
+            ),
+            Err(msg) => {
+                eprintln!("THROUGHPUT REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Optional absolute per-flow memory ceiling — independent of any
+    // reference record: the per-flow byte budget is a design property of
+    // the slab + resident-int8 layout, so CI pins the absolute number.
+    if let Some(v) = arg_value(&args, "--max-bytes-per-flow") {
+        let ceiling: f64 = match v.parse() {
+            Ok(c) => c,
+            Err(_) => {
+                eprintln!("regression gate error: invalid --max-bytes-per-flow value `{v}`");
+                std::process::exit(1);
+            }
+        };
+        let Some((_, bytes_per_flow, _, _)) = scale else {
+            eprintln!(
+                "regression gate error: --max-bytes-per-flow requires the churn phase \
+                 (use --preset scale or --churn-flows)"
+            );
+            std::process::exit(1);
+        };
+        match check_bytes_per_flow(bytes_per_flow, ceiling) {
+            Ok(()) => eprintln!(
+                "bytes/flow gate OK: {bytes_per_flow:.0} within the {ceiling:.0}-byte ceiling"
             ),
             Err(msg) => {
                 eprintln!("THROUGHPUT REGRESSION: {msg}");

@@ -74,11 +74,22 @@ impl Preset {
         p
     }
 
+    /// Flow-table-scale preset: CI-sized models (training cost is not the
+    /// point), but `exp_throughput` additionally runs the elephant/mice
+    /// churn phase against a million-flow table and records `flows_peak`,
+    /// `scale_pps` and `bytes_per_flow`.
+    pub fn scale() -> Self {
+        let mut p = Self::ci();
+        p.name = "scale".into();
+        p
+    }
+
     /// Parses `--preset <name>` from CLI args; defaults to quick.
     pub fn from_args(args: &[String]) -> Preset {
         match arg_value(args, "--preset").as_deref() {
             Some("paper") => Preset::paper(),
             Some("ci") => Preset::ci(),
+            Some("scale") => Preset::scale(),
             _ => Preset::quick(),
         }
     }
@@ -110,6 +121,15 @@ pub struct ThroughputReference {
     /// falling back to f32 — regardless of runner speed. `None` for
     /// references recorded before quantization existed.
     pub quant_speedup: Option<f64>,
+    /// Packets/second of the million-flow churn phase (`--preset scale`)
+    /// when the reference was recorded. `None` for references recorded
+    /// before the scale phase existed — those skip the scale gate.
+    pub scale_pps: Option<f64>,
+    /// Heap bytes per peak live flow measured by the churn phase when the
+    /// reference was recorded. Machine-independent (pure data-structure
+    /// layout), so its growth budget can be tight. `None` for references
+    /// recorded before the scale phase existed.
+    pub bytes_per_flow: Option<f64>,
 }
 
 /// Deserialization targets for the reference generations (the vendored
@@ -134,6 +154,16 @@ struct ReferenceShardedField {
 #[derive(Deserialize)]
 struct ReferenceQuantField {
     quant_speedup: f64,
+}
+
+#[derive(Deserialize)]
+struct ReferenceScalePpsField {
+    scale_pps: f64,
+}
+
+#[derive(Deserialize)]
+struct ReferenceBytesPerFlowField {
+    bytes_per_flow: f64,
 }
 
 /// Parses an optional reference field: absent key → `None`, present but
@@ -182,6 +212,12 @@ impl ThroughputReference {
             quant_speedup: optional_metric(json, "quant_speedup", |r: ReferenceQuantField| {
                 r.quant_speedup
             })?,
+            scale_pps: optional_metric(json, "scale_pps", |r: ReferenceScalePpsField| r.scale_pps)?,
+            bytes_per_flow: optional_metric(
+                json,
+                "bytes_per_flow",
+                |r: ReferenceBytesPerFlowField| r.bytes_per_flow,
+            )?,
         })
     }
 
@@ -337,6 +373,73 @@ pub fn check_shard_scaling_floor(scaling: f64, floor: f64) -> Result<(), String>
         return Err(format!(
             "shard scaling {scaling:.2}x is below the required floor {floor:.2}x \
              (the sharded path is not using its cores)"
+        ));
+    }
+    Ok(())
+}
+
+/// The churn-phase throughput gate (`--preset scale`): packets/second
+/// sustained against a million-flow table. Machine-relative like the
+/// fused-pps gate, so the budget is sized generously; what it reliably
+/// catches is the flow-table substrate collapsing — a scan creeping back
+/// into the hot path, an O(n) eviction, a map rebuild storm.
+pub fn check_scale_regression(
+    current_pps: f64,
+    reference_pps: f64,
+    max_regress: f64,
+) -> Result<f64, String> {
+    check_metric_regression("scale throughput", current_pps, reference_pps, max_regress)
+}
+
+/// The per-flow memory gate, relative form: fails when the churn phase's
+/// measured bytes/flow has *grown* more than `max_growth` (a fraction)
+/// over the reference record. Unlike the throughput gates this one is
+/// machine-independent — bytes/flow is pure data-structure layout — so
+/// the budget can be tight. Returns the relative change (`+0.10` = 10%
+/// fatter) on success.
+pub fn check_memory_regression(
+    current: f64,
+    reference: f64,
+    max_growth: f64,
+) -> Result<f64, String> {
+    if !reference.is_finite() || reference <= 0.0 {
+        return Err(format!(
+            "reference bytes_per_flow {reference} is not a positive number"
+        ));
+    }
+    if !current.is_finite() || current <= 0.0 {
+        return Err(format!(
+            "measured bytes_per_flow {current} is not a positive number"
+        ));
+    }
+    let change = current / reference - 1.0;
+    let ceiling = reference * (1.0 + max_growth);
+    if current > ceiling {
+        return Err(format!(
+            "bytes_per_flow grew {:.1}% (measured {current:.0} vs reference {reference:.0}, \
+             budget +{:.0}%)",
+            change * 100.0,
+            max_growth * 100.0,
+        ));
+    }
+    Ok(change)
+}
+
+/// Absolute ceiling on the churn phase's bytes/flow (`exp_throughput
+/// --max-bytes-per-flow`). Independent of any reference record: the
+/// per-flow budget is a design property of the slab + resident-int8
+/// layout (see `clap_core::stream` docs), so CI pins the absolute number
+/// rather than only its drift.
+pub fn check_bytes_per_flow(bytes_per_flow: f64, ceiling: f64) -> Result<(), String> {
+    if !bytes_per_flow.is_finite() || bytes_per_flow <= 0.0 {
+        return Err(format!(
+            "measured bytes_per_flow {bytes_per_flow} is not a positive number"
+        ));
+    }
+    if bytes_per_flow > ceiling {
+        return Err(format!(
+            "bytes_per_flow {bytes_per_flow:.0} exceeds the ceiling {ceiling:.0} \
+             (the flow table no longer fits its per-flow budget)"
         ));
     }
     Ok(())
@@ -902,6 +1005,90 @@ mod tests {
         assert!(check_quant_floor(-1.0, 1.0).is_err());
         assert!(check_quant_regression(f64::NAN, 1.8, 0.30).is_err());
         assert!(check_quant_regression(1.8, 0.0, 0.30).is_err());
+    }
+
+    #[test]
+    fn reference_with_scale_fields_parses() {
+        let json = r#"{
+            "clap_fused_pps": 27767.36,
+            "scale_pps": 48000.5,
+            "bytes_per_flow": 540.0
+        }"#;
+        let reference = ThroughputReference::from_json(json).unwrap();
+        assert!((reference.scale_pps.unwrap() - 48000.5).abs() < 1e-9);
+        assert!((reference.bytes_per_flow.unwrap() - 540.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_without_scale_fields_skips_those_gates() {
+        let json = r#"{ "clap_fused_pps": 1000.0 }"#;
+        let reference = ThroughputReference::from_json(json).unwrap();
+        assert_eq!(reference.scale_pps, None);
+        assert_eq!(reference.bytes_per_flow, None);
+    }
+
+    #[test]
+    fn malformed_scale_fields_are_hard_errors() {
+        for (bad, key) in [
+            (
+                r#"{ "clap_fused_pps": 1000.0, "scale_pps": "fast" }"#,
+                "scale_pps",
+            ),
+            (
+                r#"{ "clap_fused_pps": 1000.0, "bytes_per_flow": null }"#,
+                "bytes_per_flow",
+            ),
+        ] {
+            let err = ThroughputReference::from_json(bad).unwrap_err();
+            assert!(err.contains(key), "unexpected message: {err}");
+        }
+    }
+
+    #[test]
+    fn scale_gate_behaves_like_the_others() {
+        assert!(check_scale_regression(45_000.0, 48_000.0, 0.35).is_ok());
+        let err = check_scale_regression(20_000.0, 48_000.0, 0.35).unwrap_err();
+        assert!(
+            err.contains("scale throughput regressed"),
+            "unexpected message: {err}"
+        );
+        assert!(check_scale_regression(f64::NAN, 48_000.0, 0.35).is_err());
+    }
+
+    #[test]
+    fn memory_gate_fails_on_growth_not_shrinkage() {
+        // Memory regressions point the other way: shrinking is always
+        // fine, growing past the budget fails.
+        let change = check_memory_regression(500.0, 540.0, 0.10).unwrap();
+        assert!(change < 0.0);
+        assert!(check_memory_regression(590.0, 540.0, 0.10).is_ok());
+        let err = check_memory_regression(700.0, 540.0, 0.10).unwrap_err();
+        assert!(err.contains("bytes_per_flow grew"), "unexpected: {err}");
+        assert!(check_memory_regression(f64::NAN, 540.0, 0.10).is_err());
+        assert!(check_memory_regression(540.0, 0.0, 0.10).is_err());
+    }
+
+    #[test]
+    fn bytes_per_flow_ceiling_gate() {
+        assert!(check_bytes_per_flow(540.0, 700.0).is_ok());
+        assert!(check_bytes_per_flow(700.0, 700.0).is_ok());
+        let err = check_bytes_per_flow(701.0, 700.0).unwrap_err();
+        assert!(err.contains("exceeds the ceiling"), "unexpected: {err}");
+        assert!(check_bytes_per_flow(f64::NAN, 700.0).is_err());
+        assert!(check_bytes_per_flow(-5.0, 700.0).is_err());
+    }
+
+    #[test]
+    fn scale_preset_rides_on_ci_models() {
+        let s = Preset::scale();
+        let ci = Preset::ci();
+        assert_eq!(s.name, "scale");
+        assert_eq!(s.train_conns, ci.train_conns);
+        let args: Vec<String> = ["--preset", "scale"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(Preset::from_args(&args).name, "scale");
     }
 
     #[test]

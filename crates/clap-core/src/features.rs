@@ -78,16 +78,28 @@ fn rel_seq(value: u32, isn: Option<u32>) -> f32 {
 /// Feeding a connection's packets through [`push_into`](Self::push_into)
 /// in capture order produces exactly the vectors `extract_connection`
 /// returns (same code path, so bitwise identical).
+///
+/// The optional anchors live as raw values plus presence bits rather than
+/// `Option`s: sequence numbers and timestamps span the full `u32` range,
+/// so presence cannot be encoded in-band, and `Option` padding would
+/// nearly double this struct — which sits resident in every flow-table
+/// slot at million-flow scale.
 #[derive(Debug, Clone, Default)]
 pub struct FeatureExtractor {
-    isn: [Option<u32>; 2],
-    prev_tsval: [Option<u32>; 2],
-    prev_time: Option<f64>,
+    isn: [u32; 2],
+    prev_tsval: [u32; 2],
+    prev_time: f64,
+    /// Presence bits: 0–1 `isn[d]`, 2–3 `prev_tsval[d]`, 4 `prev_time`.
+    present: u8,
 }
 
 impl FeatureExtractor {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn get(&self, bit: u8, value: u32) -> Option<u32> {
+        (self.present & (1 << bit) != 0).then_some(value)
     }
 
     /// Extracts the next packet's features into a caller-owned
@@ -96,17 +108,28 @@ impl FeatureExtractor {
     pub fn push_into(&mut self, p: &Packet, dir: Direction, out: &mut FeatureVector) {
         // The first sequence number seen per direction anchors relative
         // SEQ/ACK (for SYNs this is the true ISN).
-        if self.isn[dir.index()].is_none() {
-            self.isn[dir.index()] = Some(p.tcp.seq);
+        let d = dir.index();
+        if self.present & (1 << d) == 0 {
+            self.isn[d] = p.tcp.seq;
+            self.present |= 1 << d;
         }
-        extract_packet_into(
-            p,
-            dir,
-            self.isn,
-            &mut self.prev_tsval,
-            &mut self.prev_time,
-            out,
-        );
+        let isn = [self.get(0, self.isn[0]), self.get(1, self.isn[1])];
+        let mut prev_tsval = [
+            self.get(2, self.prev_tsval[0]),
+            self.get(3, self.prev_tsval[1]),
+        ];
+        let mut prev_time = (self.present & (1 << 4) != 0).then_some(self.prev_time);
+        extract_packet_into(p, dir, isn, &mut prev_tsval, &mut prev_time, out);
+        for (d, v) in prev_tsval.iter().enumerate() {
+            if let Some(v) = v {
+                self.prev_tsval[d] = *v;
+                self.present |= 1 << (2 + d);
+            }
+        }
+        if let Some(t) = prev_time {
+            self.prev_time = t;
+            self.present |= 1 << 4;
+        }
     }
 
     /// Allocating convenience wrapper around [`push_into`](Self::push_into).

@@ -68,4 +68,6 @@ pub use shard::supervise::{Quarantined, ShardFailure, ShardFailureKind, ShardRun
 pub use shard::{
     OverloadPolicy, ShardConfig, ShardStats, ShardVerdict, ShardedRun, ShardedStreamScorer,
 };
-pub use stream::{CloseReason, ClosedFlow, StreamConfig, StreamScorer};
+pub use stream::{
+    CloseReason, ClosedFlow, EvictionMode, ResidentMode, StreamConfig, StreamScorer, StreamStats,
+};

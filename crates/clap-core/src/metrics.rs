@@ -269,6 +269,7 @@ mod tests {
             degraded_windows: if dropped > 0 { 1 } else { 0 },
             quarantined: quar,
             restarts: quar,
+            stream: crate::StreamStats::default(),
         }
     }
 

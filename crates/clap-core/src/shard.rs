@@ -125,7 +125,7 @@ pub mod fault;
 pub mod supervise;
 
 use crate::pipeline::Clap;
-use crate::stream::{ClosedFlow, StreamConfig, StreamScorer};
+use crate::stream::{ClosedFlow, StreamConfig, StreamScorer, StreamStats};
 use fault::FaultPlan;
 use net_packet::{CanonicalKey, Packet};
 use std::collections::HashMap;
@@ -265,6 +265,10 @@ pub struct ShardStats {
     /// Times this shard's flow table was rebuilt from scratch (one per
     /// quarantine, plus one if the end-of-stream flush panicked).
     pub restarts: u64,
+    /// This shard's flow-table counters ([`StreamStats`]): peak live
+    /// flows, eviction breakdown by cause. Zeroed for a shard whose
+    /// worker died (its scorer went down with it).
+    pub stream: StreamStats,
 }
 
 /// One merged verdict: which shard scored the flow, the global arrival
@@ -544,10 +548,12 @@ impl ShardedStreamScorer<'_> {
             let mut quarantined: Vec<Quarantined> = Vec::new();
             let mut stats = Vec::with_capacity(shards);
             for (shard, handle) in handles.into_iter().enumerate() {
+                let mut stream = StreamStats::default();
                 match handle.join() {
                     Ok(mut output) => {
                         verdicts.append(&mut output.verdicts);
                         quarantined.append(&mut output.quarantined);
+                        stream = output.stream;
                     }
                     Err(payload) => {
                         failures.push(ShardFailure {
@@ -576,6 +582,7 @@ impl ShardedStreamScorer<'_> {
                     degraded_windows: degraded_windows[shard],
                     quarantined: tel.quarantined.load(Ordering::Relaxed),
                     restarts: tel.restarts.load(Ordering::Relaxed),
+                    stream,
                 });
             }
             // First-packet arrival indices are unique across flows (each
@@ -621,6 +628,7 @@ impl<T> Drop for CloseRings<'_, T> {
 struct WorkerOutput {
     verdicts: Vec<ShardVerdict>,
     quarantined: Vec<Quarantined>,
+    stream: StreamStats,
 }
 
 /// One shard's supervised consume loop: pop packets from the ring into
@@ -645,6 +653,7 @@ fn shard_worker<'p>(
     let mut out = WorkerOutput {
         verdicts: Vec::new(),
         quarantined: Vec::new(),
+        stream: StreamStats::default(),
     };
 
     let consume =
@@ -743,6 +752,7 @@ fn shard_worker<'p>(
         }
         Err(_) => ShardTelemetry::bump(&telemetry.restarts),
     }
+    out.stream = scorer.stats();
     out
 }
 

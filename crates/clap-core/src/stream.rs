@@ -10,12 +10,12 @@
 //!   the model mathematically needs: the incremental feature-extraction
 //!   anchors ([`FeatureExtractor`]), a [`TcpTracker`] for teardown
 //!   detection, the GRU hidden state (`H` floats, advanced by
-//!   [`PackedGru::step`]), a ring of the last `stack` single-packet
-//!   profiles, and the flow's window-error log. Everything else — GRU step
-//!   scratch, the 1×345 window matrix, the autoencoder workspace — is
-//!   scorer-level and shared across all flows, so per-flow memory is a few
-//!   hundred floats and steady-state scoring performs **no per-packet heap
-//!   allocation** (the only growth is each flow's error log, amortized).
+//!   [`PackedGru::step`]), the last `stack − 1` single-packet profiles,
+//!   and the flow's window-error log. Everything else — GRU step scratch,
+//!   the 1×345 window matrix, the autoencoder workspace, the current
+//!   packet's profile row — is scorer-level and shared across all flows,
+//!   so steady-state scoring performs **no per-packet heap allocation**
+//!   (the only growth is each flow's error log, amortized).
 //! * **Exact batch equivalence.** Feeding a connection's packets one at a
 //!   time yields the same window errors and final score as the offline
 //!   path: the resumable GRU step is bitwise identical to the batched run,
@@ -23,11 +23,11 @@
 //!   computes the same dot products as a batched one. The property tests
 //!   pin streaming-vs-batch to ≤1e-6.
 //! * **Bounded memory.** Flows are evicted on TCP teardown (RST, or an
-//!   orderly close reaching TIME_WAIT), on idle timeout (amortized sweeps
-//!   every [`StreamConfig::sweep_interval`] packets), on a per-flow packet
-//!   cap, and — conntrack-`early_drop`-style — by probing a handful of
-//!   table entries and dropping the stalest when the table is full. Every
-//!   eviction finalizes the flow and emits its [`ScoredConnection`].
+//!   orderly close reaching TIME_WAIT), on idle timeout (a hierarchical
+//!   timing wheel, see below), on a per-flow packet cap, and —
+//!   conntrack-`early_drop`-style — by probing a handful of slab entries
+//!   and dropping the stalest when the table is full. Every eviction
+//!   finalizes the flow and emits its [`ScoredConnection`].
 //! * **Arrival tags.** Every packet carries an arrival tag — the scorer's
 //!   own 0-based counter under [`StreamScorer::push`], or a
 //!   caller-supplied index under [`StreamScorer::push_tagged`] — and each
@@ -39,6 +39,83 @@
 //!   int8 quantized inference engines (`neural::quant`); both advance
 //!   flows through identical code, and within either precision streaming
 //!   remains exactly equal to batch scoring at that precision.
+//!
+//! # Flow-table substrate
+//!
+//! The table is built for millions of concurrent flows: a dense slab with
+//! handle-based addressing, a hierarchical timing wheel for expiry, and an
+//! optionally int8-quantized *resident* form of the per-flow neural state.
+//!
+//! **Slab + handle map.** Flow state lives in a dense `Vec<Slot>` slab
+//! addressed by a `u32` handle; the `CanonicalKey → handle` hash map holds
+//! only 16-byte entries. Departed slots go on an intrusive free list
+//! (reusing the wheel's `next` link) and are recycled in place — eviction
+//! and admission never reallocate at steady state, slab iteration is
+//! cache-linear, and `slab.len()` is exactly the peak concurrent flow
+//! count. The slab grows by doubling, clamped to
+//! [`StreamConfig::max_flows`] so capacity never overshoots the
+//! configured table size by more than 2× below the cap and not at all at
+//! it.
+//!
+//! **Timing wheel.** Idle eviction and TIME_WAIT linger expiry share one
+//! hierarchical timing wheel: 4 levels × 64 slots, level `l` covering
+//! `64^(l+1)` ticks, one tick = `max(idle_timeout, …)/512` seconds
+//! (clamped to `[1 ms, 60 s]`). A flow's timer is an intrusive
+//! doubly-linked node threaded through its own slab slot, so arming,
+//! re-arming (every packet) and cancelling are O(1) pointer splices, and
+//! re-arming into the unchanged wheel slot — the overwhelmingly common
+//! case, since a deadline moves only `granularity`-fraction per packet —
+//! is a no-op. Timers are *lazy*: a slot stores no deadline, it is
+//! recomputed from `last_seen` at fire time, so a timer that fires early
+//! (coarse high-level slots, stale same-slot re-arms) is simply re-armed
+//! at its true remaining delta. The wheel only advances at sweep
+//! boundaries (every [`StreamConfig::sweep_interval`] packets, on the
+//! max-timestamp stream clock); each advance detaches every list the
+//! per-level cursors passed — at most one full revolution per level, so a
+//! multi-hour clock jump costs O(levels × 64), not O(elapsed) — plus the
+//! current tick's level-0 slot, which is how deadlines landing *inside*
+//! the current tick still get their exact `last_seen < clock − timeout`
+//! recheck at every boundary. Leaving a tick drains that tick's level-0
+//! slot as part of the advance: a timer re-armed *into* the current tick
+//! (its deadline already inside it) lives in a slot the per-level pass
+//! never revisits, and would otherwise sit out a full 64-tick revolution. That recheck is the same float expression
+//! the full-scan [`EvictionMode::Sweep`] reference uses, which is what
+//! makes wheel and sweep evict bitwise-identical flow sets (pinned by
+//! proptest): both fire at the same boundaries, both apply the same
+//! predicate, and a flow that outlives an early fire is re-armed, never
+//! dropped. The old rotating key-copy sweep (`sweep_keys` clear+extend —
+//! a multi-MB copy per sweep at 1M flows) is gone entirely.
+//!
+//! **Resident int8 state.** [`ResidentMode::Int8`] stores each flow's GRU
+//! hidden vector and its profile ring in the 7-bit activation format of
+//! `neural::quant` (`quantize_activations`): codes plus one
+//! `(scale, min)` pair per row, dequantized into scorer scratch on step
+//! and requantized on store — ~4× shrink of the dominant per-flow arrays.
+//! Unlike [`StreamConfig::quant`] (which quantizes *weights* and keeps
+//! activations exact per GEMM), resident quantization round-trips state
+//! through the grid once per packet, so scores drift; the drift is
+//! bounded and calibrated by the same proptest harness that pins the PR 5
+//! activation path (grid step `(max−min)/127` of each stored row).
+//! Whichever mode, only the *last `stack − 1`* profiles are resident —
+//! the current packet's row is built in scorer scratch and enters the
+//! window from there, so the ring holds strictly the rows future windows
+//! will re-read.
+//!
+//! **TIME_WAIT linger.** With [`StreamConfig::time_wait`] > 0, a flow
+//! reaching TIME_WAIT is *not* finalized inline: it keeps scoring (FIN
+//! retransmits, stray ACKs stay attributed to it) and its wheel timer
+//! switches to the linger timeout. It finalizes (reason
+//! [`CloseReason::TcpClose`]) when the linger expires — or immediately,
+//! old incarnation first, when a fresh pure SYN reuses the 4-tuple. The
+//! default `0.0` keeps the historical finalize-at-TIME_WAIT behavior that
+//! the batch-equivalence guarantees are stated against.
+//!
+//! Per-flow memory at Table-6 sizes (`H = 32`, `stack = 3`, 115-float
+//! profiles): a 16-byte map entry, a ~176-byte slot (key, compact
+//! extractor/tracker, error-log Vec header, links), and resident state —
+//! f32: `32 + 2×115` floats ≈ 1048 B; int8: `32 + 2×115` codes + 3
+//! quant pairs ≈ 286 B. [`StreamScorer::mem_bytes`] reports the live
+//! estimate; `exp_throughput --preset scale` gates `bytes_per_flow` in CI.
 //!
 //! Orientation matches the offline reassembler for every realistic
 //! capture: a flow whose first packet is a pure SYN is oriented
@@ -71,15 +148,46 @@
 //! assert!(!closed.is_empty());
 //! assert!(closed.iter().all(|c| c.scored.score.is_finite()));
 //! ```
+//!
+//! [`PackedGru::step`]: neural::PackedGru::step
 
 use crate::features::{FeatureExtractor, FeatureVector, NUM_PACKET};
 use crate::pipeline::Clap;
 use crate::profile::{ProfileBuilder, PROFILE_LEN};
 use crate::score::{score_errors, ScoredConnection};
 use net_packet::{CanonicalKey, Direction, Endpoint, FlowKey, Packet, TcpFlags};
-use neural::{AeEngine, AeWorkspace, GruEngine, GruStepScratch, Matrix, QuantMode};
+use neural::{
+    dequantize_activations_into, quantize_activations, ActQuant, AeEngine, AeWorkspace, GruEngine,
+    GruStepScratch, Matrix, QuantMode,
+};
 use std::collections::HashMap;
 use tcp_state::{TcpState, TcpTracker};
+
+/// How idle (and TIME_WAIT-linger) expiry walks the flow table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionMode {
+    /// Hierarchical timing wheel: O(1) per-packet re-arm, each sweep
+    /// boundary touches only the flows whose timers fired.
+    #[default]
+    Wheel,
+    /// Full slab scan at every sweep boundary. O(live flows) per sweep —
+    /// the reference implementation the wheel is proptest-pinned against,
+    /// kept for that harness and for debugging, not for production use.
+    Sweep,
+}
+
+/// In-table representation of each flow's GRU hidden vector and profile
+/// ring (see the module docs' *Resident int8 state* note).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidentMode {
+    /// Exact f32 resident state — preserves every batch-equivalence
+    /// guarantee bit for bit.
+    #[default]
+    F32,
+    /// 7-bit quantized resident state (~4× smaller). Scores drift within
+    /// the calibrated resident-quantization bound.
+    Int8,
+}
 
 /// Flow-table policy for a [`StreamScorer`].
 #[derive(Debug, Clone)]
@@ -96,14 +204,20 @@ pub struct StreamConfig {
     /// when comparing against batch scoring of captures that keep packets
     /// after a close.
     pub teardown_on_close: bool,
+    /// Keep a flow that reached TIME_WAIT alive for this many seconds
+    /// after its last packet instead of finalizing it inline (`0.0`, the
+    /// default, finalizes at TIME_WAIT exactly as before). A lingering
+    /// flow still scores late packets; a fresh pure SYN on the same
+    /// 4-tuple closes it immediately and starts the new incarnation.
+    /// Only meaningful with `teardown_on_close`.
+    pub time_wait: f64,
     /// Finalize a flow after this many packets regardless of TCP state,
     /// bounding per-flow memory (the error log grows one `f32` per packet
     /// past the stack depth). Subsequent packets start a fresh flow.
     pub max_packets_per_flow: usize,
-    /// Run an idle-flow sweep every this many packets. Each sweep visits
-    /// a bounded chunk of the table through a rotating scan ring, so
-    /// per-packet cost is O(1) regardless of table size; an idle flow is
-    /// reclaimed within one ring cycle.
+    /// Advance the expiry machinery every this many packets. With
+    /// [`EvictionMode::Wheel`] each boundary costs O(timers fired); with
+    /// [`EvictionMode::Sweep`] it costs O(live flows).
     pub sweep_interval: usize,
     /// A flow that does **not** begin with a pure SYN (a mid-capture
     /// start) buffers up to this many leading packets before anything is
@@ -114,6 +228,14 @@ pub struct StreamConfig {
     /// ([`QuantMode::Int8`] runs the int8 quantized kernels). Defaults to
     /// the process-wide [`QuantMode::active`] selection.
     pub quant: QuantMode,
+    /// Expiry mechanism — wheel by default, full-scan sweep as the
+    /// equivalence-test reference.
+    pub eviction: EvictionMode,
+    /// Per-flow resident-state precision. Independent of [`quant`]
+    /// (weights vs state); defaults to exact f32.
+    ///
+    /// [`quant`]: StreamConfig::quant
+    pub resident: ResidentMode,
 }
 
 impl Default for StreamConfig {
@@ -122,10 +244,13 @@ impl Default for StreamConfig {
             idle_timeout: 300.0,
             max_flows: 1 << 20,
             teardown_on_close: true,
+            time_wait: 0.0,
             max_packets_per_flow: 1 << 20,
             sweep_interval: 4096,
             orient_buffer: 3,
             quant: QuantMode::active(),
+            eviction: EvictionMode::default(),
+            resident: ResidentMode::default(),
         }
     }
 }
@@ -133,7 +258,8 @@ impl Default for StreamConfig {
 /// Why a flow left the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CloseReason {
-    /// TCP teardown observed (RST, or orderly close reaching TIME_WAIT).
+    /// TCP teardown observed (RST, or orderly close reaching TIME_WAIT —
+    /// after the [`StreamConfig::time_wait`] linger, if one is set).
     TcpClose,
     /// No packets for [`StreamConfig::idle_timeout`] seconds.
     IdleTimeout,
@@ -165,58 +291,411 @@ pub struct ClosedFlow {
     pub scored: ScoredConnection,
 }
 
-/// Per-flow incremental state (see the module docs for the size budget).
+/// Lifetime flow-table counters (they survive [`StreamScorer::reset`];
+/// `flows_peak` is the high-water mark of concurrently live flows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Peak concurrently tracked flows (== slab size: slots are only
+    /// allocated when the free list is empty).
+    pub flows_peak: usize,
+    /// Flows evicted by the idle timeout.
+    pub evicted_idle: u64,
+    /// Flows evicted to admit new ones at [`StreamConfig::max_flows`].
+    pub evicted_capacity: u64,
+    /// Flows finalized by TCP teardown (including expired TIME_WAIT
+    /// lingers).
+    pub closed_tcp: u64,
+    /// Flows finalized at [`StreamConfig::max_packets_per_flow`].
+    pub length_capped: u64,
+    /// Flows flushed by [`StreamScorer::finish`].
+    pub drained: u64,
+    /// Subset of `closed_tcp` whose TIME_WAIT linger expired on the wheel.
+    pub time_wait_expired: u64,
+}
+
+/// Null handle / list terminator for the slab's intrusive links.
+const NIL: u32 = u32::MAX;
+/// "Not armed" marker for [`Slot::wheel_pos`].
+const NIL_POS: u16 = u16::MAX;
+
+/// Slot flag: occupied by a live flow (clear = on the free list).
+const FLAG_LIVE: u8 = 1;
+/// Slot flag: flow reached TIME_WAIT and is lingering (timer runs on
+/// [`StreamConfig::time_wait`] instead of the idle timeout).
+const FLAG_LINGER: u8 = 1 << 1;
+
+/// How many slab entries the capacity evictor probes before dropping the
+/// stalest (conntrack's `early_drop` idea: O(1) bounded work instead of a
+/// full LRU structure).
+const EVICT_PROBES: usize = 8;
+
+/// log2 of the wheel fan-out: 64 slots per level.
+const WHEEL_BITS: u32 = 6;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// 4 levels cover `64^4 ≈ 16.7M` ticks; later deadlines clamp into the
+/// top level and cascade on (early) fire.
+const WHEEL_LEVELS: usize = 4;
+
+/// Per-flow slab slot. The neural resident state (hidden vector, profile
+/// ring) lives in the parallel [`ResidentArena`], indexed by the same
+/// handle; the wheel links double as the free-list link when the slot is
+/// vacant.
 #[derive(Debug, Clone)]
-struct FlowState {
+struct Slot {
     key: FlowKey,
     extractor: FeatureExtractor,
     tracker: TcpTracker,
-    /// GRU hidden state carried across this flow's packets (`H`).
-    h: Vec<f32>,
-    /// Ring buffer of the last `stack` single-packet profiles
-    /// (`stack × PROFILE_LEN`, slot `t % stack` holds packet `t`).
-    singles: Vec<f32>,
     /// Reconstruction error per emitted stacked window, in order.
     window_errors: Vec<f32>,
     /// Leading packets held back (with their arrival tags) while the
     /// flow's orientation is still undecided (`Some` only for flows that
     /// did not start with a pure SYN, until
-    /// [`StreamConfig::orient_buffer`] fills or a SYN lands). Keeping the
-    /// tag with each buffered packet means a flow that restarts
-    /// mid-replay re-opens under its true first packet's tag.
-    pending: Option<Vec<(u64, Packet)>>,
+    /// [`StreamConfig::orient_buffer`] fills or a SYN lands). Boxed: the
+    /// common case is `None` and the slab stays dense — the extra
+    /// indirection trades a pointer-sized field here for 16 fewer bytes
+    /// in every one of a million slots.
+    #[allow(clippy::box_collection)]
+    pending: Option<Box<Vec<(u64, Packet)>>>,
     /// Arrival tag of this incarnation's first packet.
     arrival: u64,
-    packets: usize,
     last_seen: f64,
+    packets: u32,
+    /// Intrusive wheel list forward link; the free-list link when vacant.
+    wheel_next: u32,
+    wheel_prev: u32,
+    /// `level * 64 + slot` the timer is linked into, or [`NIL_POS`].
+    wheel_pos: u16,
+    flags: u8,
 }
 
-impl FlowState {
-    fn new(key: FlowKey, hidden: usize, stack: usize, now: f64, arrival: u64) -> Self {
-        FlowState {
+impl Slot {
+    fn new(key: FlowKey, now: f64, arrival: u64) -> Slot {
+        Slot {
             key,
             extractor: FeatureExtractor::new(),
             tracker: TcpTracker::new(),
-            h: vec![0.0; hidden],
-            singles: vec![0.0; stack * PROFILE_LEN],
             window_errors: Vec::new(),
             pending: None,
             arrival,
-            packets: 0,
             last_seen: now,
+            packets: 0,
+            wheel_next: NIL,
+            wheel_prev: NIL,
+            wheel_pos: NIL_POS,
+            flags: FLAG_LIVE,
+        }
+    }
+
+    fn live(&self) -> bool {
+        self.flags & FLAG_LIVE != 0
+    }
+
+    fn lingering(&self) -> bool {
+        self.flags & FLAG_LINGER != 0
+    }
+}
+
+/// Dense per-flow neural state, parallel to the slab: flow `h` owns
+/// `hidden` elements of the hidden-state arena and `stack − 1` rows of
+/// the profile-ring arena. One enum for the whole table (not per flow) so
+/// the f32 path stays branch-free per row and the int8 path adds no
+/// per-flow discriminant.
+#[derive(Debug)]
+enum ResidentArena {
+    F32 {
+        h: Vec<f32>,
+        ring: Vec<f32>,
+    },
+    Int8 {
+        h: Vec<u8>,
+        hq: Vec<ActQuant>,
+        ring: Vec<u8>,
+        ringq: Vec<ActQuant>,
+    },
+}
+
+/// Quant pair of an all-zero row (`scale` 0 dequantizes every code to
+/// `min` = 0), the state of a fresh flow's hidden vector.
+const ZERO_Q: ActQuant = ActQuant {
+    scale: 0.0,
+    min: 0.0,
+};
+
+impl ResidentArena {
+    fn new(mode: ResidentMode) -> ResidentArena {
+        match mode {
+            ResidentMode::F32 => ResidentArena::F32 {
+                h: Vec::new(),
+                ring: Vec::new(),
+            },
+            ResidentMode::Int8 => ResidentArena::Int8 {
+                h: Vec::new(),
+                hq: Vec::new(),
+                ring: Vec::new(),
+                ringq: Vec::new(),
+            },
+        }
+    }
+
+    /// Appends one zeroed slot's worth of state.
+    fn push_slot(&mut self, hidden: usize, ring_rows: usize) {
+        match self {
+            ResidentArena::F32 { h, ring } => {
+                h.resize(h.len() + hidden, 0.0);
+                ring.resize(ring.len() + ring_rows * PROFILE_LEN, 0.0);
+            }
+            ResidentArena::Int8 { h, hq, ring, ringq } => {
+                h.resize(h.len() + hidden, 0);
+                hq.push(ZERO_Q);
+                ring.resize(ring.len() + ring_rows * PROFILE_LEN, 0);
+                ringq.resize(ringq.len() + ring_rows, ZERO_Q);
+            }
+        }
+    }
+
+    /// Zeroes a recycled slot's hidden state. Ring rows need no clearing:
+    /// row `j` of a flow is written before any window reads it, so stale
+    /// rows of the previous occupant are unreachable (pinned by the slab
+    /// recycling test).
+    fn clear_slot(&mut self, hi: usize, hidden: usize) {
+        match self {
+            ResidentArena::F32 { h, .. } => h[hi * hidden..(hi + 1) * hidden].fill(0.0),
+            ResidentArena::Int8 { h, hq, .. } => {
+                h[hi * hidden..(hi + 1) * hidden].fill(0);
+                hq[hi] = ZERO_Q;
+            }
+        }
+    }
+
+    /// Copies (f32) or dequantizes (int8) ring row `r` into `out`.
+    fn read_ring_row(&self, r: usize, out: &mut [f32]) {
+        match self {
+            ResidentArena::F32 { ring, .. } => {
+                out.copy_from_slice(&ring[r * PROFILE_LEN..(r + 1) * PROFILE_LEN]);
+            }
+            ResidentArena::Int8 { ring, ringq, .. } => {
+                dequantize_activations_into(
+                    &ring[r * PROFILE_LEN..(r + 1) * PROFILE_LEN],
+                    ringq[r],
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Stores `row` as ring row `r` (quantizing through `codes` scratch
+    /// in int8 mode).
+    fn store_ring_row(&mut self, r: usize, row: &[f32], codes: &mut Vec<u8>) {
+        match self {
+            ResidentArena::F32 { ring, .. } => {
+                ring[r * PROFILE_LEN..(r + 1) * PROFILE_LEN].copy_from_slice(row);
+            }
+            ResidentArena::Int8 { ring, ringq, .. } => {
+                let q = quantize_activations(row, codes);
+                ring[r * PROFILE_LEN..(r + 1) * PROFILE_LEN].copy_from_slice(codes);
+                ringq[r] = q;
+            }
+        }
+    }
+
+    /// Mirrors the slab's exact-growth policy so arena capacity tracks
+    /// `target_slots`, not Vec doubling.
+    fn reserve_slots(&mut self, target_slots: usize, hidden: usize, ring_rows: usize) {
+        fn up_to<T>(v: &mut Vec<T>, target: usize) {
+            if target > v.capacity() {
+                v.reserve_exact(target - v.len());
+            }
+        }
+        match self {
+            ResidentArena::F32 { h, ring } => {
+                up_to(h, target_slots * hidden);
+                up_to(ring, target_slots * ring_rows * PROFILE_LEN);
+            }
+            ResidentArena::Int8 { h, hq, ring, ringq } => {
+                up_to(h, target_slots * hidden);
+                up_to(hq, target_slots);
+                up_to(ring, target_slots * ring_rows * PROFILE_LEN);
+                up_to(ringq, target_slots * ring_rows);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            ResidentArena::F32 { h, ring } => {
+                h.clear();
+                ring.clear();
+            }
+            ResidentArena::Int8 { h, hq, ring, ringq } => {
+                h.clear();
+                hq.clear();
+                ring.clear();
+                ringq.clear();
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match self {
+            ResidentArena::F32 { h, ring } => (h.capacity() + ring.capacity()) * size_of::<f32>(),
+            ResidentArena::Int8 { h, hq, ring, ringq } => {
+                h.capacity()
+                    + ring.capacity()
+                    + (hq.capacity() + ringq.capacity()) * size_of::<ActQuant>()
+            }
         }
     }
 }
 
-/// How many table entries the capacity evictor probes before dropping the
-/// stalest (conntrack's `early_drop` idea: O(1) bounded work instead of a
-/// full LRU structure).
-const EVICT_PROBES: usize = 8;
+/// Hierarchical timing wheel over the slab (see the module docs' design
+/// note). Owns only the slot heads and the cursor; the list links live in
+/// the slab slots themselves.
+#[derive(Debug)]
+struct Wheel {
+    /// Seconds per level-0 tick.
+    granularity: f64,
+    /// `WHEEL_LEVELS × WHEEL_SLOTS` list heads, flattened.
+    heads: Vec<u32>,
+    /// Current level-0 tick (`floor(clock / granularity)` as of the last
+    /// advance).
+    cur: u64,
+    /// Number of armed timers, to short-circuit empty advances.
+    armed: usize,
+}
 
-/// How many table entries one idle sweep visits. Bounds sweep cost
-/// independently of table size; the scan ring rotates, so every flow is
-/// still visited once per ring cycle.
-const SWEEP_CHUNK: usize = 256;
+impl Wheel {
+    fn new(granularity: f64) -> Wheel {
+        Wheel {
+            granularity,
+            heads: vec![NIL; WHEEL_LEVELS * WHEEL_SLOTS],
+            cur: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, t: f64) -> u64 {
+        (t.max(0.0) / self.granularity) as u64
+    }
+
+    /// `level * 64 + slot` where a timer due at `tick` belongs, given the
+    /// current cursor: the level whose span covers the remaining delta,
+    /// indexed by the deadline's digit at that level. Deadlines beyond
+    /// the top level's span clamp into it (they fire early and cascade).
+    fn pos_for(&self, tick: u64) -> u16 {
+        let max_span = 1u64 << (WHEEL_BITS * WHEEL_LEVELS as u32);
+        let delta = tick.saturating_sub(self.cur).min(max_span - 1);
+        let eff = self.cur + delta;
+        let mut level = 0;
+        while level + 1 < WHEEL_LEVELS && delta >= (1u64 << (WHEEL_BITS * (level as u32 + 1))) {
+            level += 1;
+        }
+        let idx = ((eff >> (WHEEL_BITS * level as u32)) & (WHEEL_SLOTS as u64 - 1)) as usize;
+        (level * WHEEL_SLOTS + idx) as u16
+    }
+
+    /// Links `handle` at `pos` (front of the list). Caller guarantees it
+    /// is not currently linked.
+    fn link(&mut self, slab: &mut [Slot], handle: u32, pos: u16) {
+        let head = self.heads[pos as usize];
+        {
+            let s = &mut slab[handle as usize];
+            debug_assert_eq!(s.wheel_pos, NIL_POS);
+            s.wheel_pos = pos;
+            s.wheel_prev = NIL;
+            s.wheel_next = head;
+        }
+        if head != NIL {
+            slab[head as usize].wheel_prev = handle;
+        }
+        self.heads[pos as usize] = handle;
+        self.armed += 1;
+    }
+
+    /// Splices `handle` out of its list; no-op if unarmed.
+    fn unlink(&mut self, slab: &mut [Slot], handle: u32) {
+        let (prev, next, pos) = {
+            let s = &slab[handle as usize];
+            (s.wheel_prev, s.wheel_next, s.wheel_pos)
+        };
+        if pos == NIL_POS {
+            return;
+        }
+        if prev == NIL {
+            self.heads[pos as usize] = next;
+        } else {
+            slab[prev as usize].wheel_next = next;
+        }
+        if next != NIL {
+            slab[next as usize].wheel_prev = prev;
+        }
+        let s = &mut slab[handle as usize];
+        s.wheel_pos = NIL_POS;
+        s.wheel_next = NIL;
+        s.wheel_prev = NIL;
+        self.armed -= 1;
+    }
+
+    /// Detaches every timer in list `pos` into `out`.
+    fn detach_list(&mut self, slab: &mut [Slot], pos: usize, out: &mut Vec<u32>) {
+        let mut handle = self.heads[pos];
+        self.heads[pos] = NIL;
+        while handle != NIL {
+            let s = &mut slab[handle as usize];
+            let next = s.wheel_next;
+            s.wheel_pos = NIL_POS;
+            s.wheel_next = NIL;
+            s.wheel_prev = NIL;
+            self.armed -= 1;
+            out.push(handle);
+            handle = next;
+        }
+    }
+
+    /// Moves the cursor to `to`, detaching into `out` every timer whose
+    /// slot a per-level cursor passed (capped at one revolution per
+    /// level) plus the destination tick's level-0 slot — the lazy
+    /// recheck for deadlines inside the current tick. The caller
+    /// exact-checks each detached timer and re-arms survivors.
+    fn advance(&mut self, slab: &mut [Slot], to: u64, out: &mut Vec<u32>) {
+        let to = to.max(self.cur);
+        if self.armed > 0 {
+            // Leaving the current tick: drain its level-0 slot first. It
+            // can only hold deadlines at tick ≤ `cur` (a delta of 1..=63
+            // indexes a different slot and 64+ a higher level), and the
+            // per-level pass below starts at `cur + 1`, so anything parked
+            // here by a within-tick re-arm would otherwise wait a full
+            // revolution.
+            if to > self.cur {
+                self.detach_list(slab, (self.cur & (WHEEL_SLOTS as u64 - 1)) as usize, out);
+            }
+            for level in 0..WHEEL_LEVELS {
+                let shift = WHEEL_BITS * level as u32;
+                let from_pos = self.cur >> shift;
+                let to_pos = to >> shift;
+                if from_pos == to_pos {
+                    break;
+                }
+                let steps = (to_pos - from_pos).min(WHEEL_SLOTS as u64);
+                for s in 1..=steps {
+                    let idx = ((from_pos + s) & (WHEEL_SLOTS as u64 - 1)) as usize;
+                    self.detach_list(slab, level * WHEEL_SLOTS + idx, out);
+                }
+            }
+            self.cur = to;
+            self.detach_list(slab, (to & (WHEEL_SLOTS as u64 - 1)) as usize, out);
+        } else {
+            self.cur = to;
+        }
+    }
+
+    /// Drops every armed timer (the slab is being cleared wholesale).
+    /// The cursor survives, like the stream clock it follows.
+    fn reset(&mut self) {
+        self.heads.fill(NIL);
+        self.armed = 0;
+    }
+}
 
 /// Online per-flow scoring session over one interleaved packet stream.
 /// Create via [`Clap::stream_scorer`] (or
@@ -228,9 +707,19 @@ pub struct StreamScorer<'a> {
     builder: ProfileBuilder,
     gru: GruEngine,
     ae: AeEngine<'a>,
-    flows: HashMap<CanonicalKey, FlowState>,
+    /// `CanonicalKey → slab handle`.
+    flows: HashMap<CanonicalKey, u32>,
+    slab: Vec<Slot>,
+    resident: ResidentArena,
+    /// Head of the vacant-slot free list (threaded through `wheel_next`).
+    free_head: u32,
+    wheel: Wheel,
+    /// Rotating slab cursor for capacity-eviction probes, so victim
+    /// selection is unbiased across the table.
+    probe_cursor: u32,
     /// Flows finalized since the last [`drain_closed`](Self::drain_closed).
     closed: Vec<ClosedFlow>,
+    stats: StreamStats,
     // --- shared scratch (flow-independent) ---
     gru_scratch: GruStepScratch,
     ae_ws: AeWorkspace,
@@ -238,13 +727,15 @@ pub struct StreamScorer<'a> {
     /// 1×stacked_len window staged for the autoencoder.
     window: Matrix,
     err_scratch: Vec<f32>,
-    sweep_keys: Vec<CanonicalKey>,
-    /// Rotating scan ring over flow keys, lazily refilled from the table.
-    /// Idle sweeps and capacity probes draw from it so their coverage is
-    /// unbiased and amortized O(1) — std `HashMap` iteration always
-    /// restarts at the same buckets, which would pin eviction victims to
-    /// the leading entries and never visit the rest.
-    scan_ring: Vec<CanonicalKey>,
+    /// The current packet's profile row (features ‖ z ‖ r), built here
+    /// and copied into the flow's ring after the window uses it.
+    row: Vec<f32>,
+    /// Dequantized hidden state staging for [`ResidentMode::Int8`].
+    h_scratch: Vec<f32>,
+    /// Activation-code staging for resident-int8 stores.
+    code_scratch: Vec<u8>,
+    /// Handles detached by the last wheel advance.
+    fired: Vec<u32>,
     /// Max packet timestamp seen (the stream clock).
     clock: f64,
     packets_since_sweep: usize,
@@ -263,14 +754,27 @@ impl Clap {
 
     /// Builds a streaming per-flow scorer with an explicit table policy.
     pub fn stream_scorer_with(&self, config: StreamConfig) -> StreamScorer<'_> {
+        // One tick ≈ timeout/512 keeps the shortest timeout within the
+        // bottom two wheel levels; the clamp guards degenerate configs.
+        let mut shortest = config.idle_timeout;
+        if config.time_wait > 0.0 {
+            shortest = shortest.min(config.time_wait);
+        }
+        let granularity = (shortest / 512.0).clamp(1e-3, 60.0);
         StreamScorer {
             clap: self,
             builder: ProfileBuilder::new(self.config.stack),
             gru: GruEngine::from_packed(self.rnn.packed(), config.quant),
             ae: AeEngine::from_model(&self.ae, config.quant),
+            resident: ResidentArena::new(config.resident),
             config,
             flows: HashMap::new(),
+            slab: Vec::new(),
+            free_head: NIL,
+            wheel: Wheel::new(granularity),
+            probe_cursor: 0,
             closed: Vec::new(),
+            stats: StreamStats::default(),
             gru_scratch: GruStepScratch::new(),
             ae_ws: AeWorkspace::new(),
             fv: FeatureVector {
@@ -280,8 +784,10 @@ impl Clap {
             },
             window: Matrix::default(),
             err_scratch: Vec::new(),
-            sweep_keys: Vec::new(),
-            scan_ring: Vec::new(),
+            row: Vec::new(),
+            h_scratch: Vec::new(),
+            code_scratch: Vec::new(),
+            fired: Vec::new(),
             clock: 0.0,
             packets_since_sweep: 0,
             auto_seq: 0,
@@ -322,7 +828,7 @@ impl StreamScorer<'_> {
         self.packets_since_sweep += 1;
         if self.packets_since_sweep >= self.config.sweep_interval.max(1) {
             self.packets_since_sweep = 0;
-            self.sweep_idle();
+            self.expire_due();
         }
         self.ingest(p, tag)
     }
@@ -334,34 +840,46 @@ impl StreamScorer<'_> {
         let ck = CanonicalKey::of(p);
         let is_pure_syn =
             p.tcp.flags.contains(TcpFlags::SYN) && !p.tcp.flags.contains(TcpFlags::ACK);
-        if !self.flows.contains_key(&ck) {
-            if self.flows.len() >= self.config.max_flows.max(1) {
-                self.evict_stalest();
+        let mut handle = self.flows.get(&ck).copied();
+        if let Some(h) = handle {
+            // 4-tuple reuse during a TIME_WAIT linger: the old
+            // incarnation closes now, the SYN opens a fresh one.
+            if is_pure_syn && self.slab[h as usize].lingering() {
+                self.close_flow(h, CloseReason::TcpClose);
+                handle = None;
             }
-            // Orientation: a pure SYN identifies the initiator outright;
-            // anything else is provisionally first-packet-oriented and —
-            // with a non-zero orient buffer — held back so a late SYN can
-            // still re-orient it.
-            let key = FlowKey::new(
-                Endpoint::new(p.ip.src, p.tcp.src_port),
-                Endpoint::new(p.ip.dst, p.tcp.dst_port),
-            );
-            let stack = self.builder.stack;
-            let hidden = self.gru.hidden_size();
-            let mut flow = FlowState::new(key, hidden, stack, self.clock, tag);
-            if !is_pure_syn && self.config.orient_buffer > 0 {
-                flow.pending = Some(Vec::with_capacity(1));
-            }
-            self.flows.insert(ck, flow);
         }
+        let h = match handle {
+            Some(h) => h,
+            None => {
+                if self.flows.len() >= self.config.max_flows.max(1) {
+                    self.evict_stalest();
+                }
+                // Orientation: a pure SYN identifies the initiator
+                // outright; anything else is provisionally
+                // first-packet-oriented and — with a non-zero orient
+                // buffer — held back so a late SYN can still re-orient it.
+                let key = FlowKey::new(
+                    Endpoint::new(p.ip.src, p.tcp.src_port),
+                    Endpoint::new(p.ip.dst, p.tcp.dst_port),
+                );
+                let h = self.alloc_slot(key, tag);
+                if !is_pure_syn && self.config.orient_buffer > 0 {
+                    self.slab[h as usize].pending = Some(Box::new(Vec::with_capacity(1)));
+                }
+                self.flows.insert(ck, h);
+                h
+            }
+        };
 
-        let flow = self.flows.get_mut(&ck).expect("flow inserted above");
-        flow.last_seen = self.clock;
-        if let Some(buf) = flow.pending.as_mut() {
+        self.slab[h as usize].last_seen = self.clock;
+        self.arm(h);
+        let slot = &mut self.slab[h as usize];
+        if let Some(buf) = slot.pending.as_mut() {
             if is_pure_syn {
                 // The SYN sender is the real client; re-orient before any
                 // packet of this flow has been scored, then replay.
-                flow.key = FlowKey::new(
+                slot.key = FlowKey::new(
                     Endpoint::new(p.ip.src, p.tcp.src_port),
                     Endpoint::new(p.ip.dst, p.tcp.dst_port),
                 );
@@ -370,10 +888,10 @@ impl StreamScorer<'_> {
                 return None;
             }
             // Buffer full (no SYN showed up) or SYN-resolved: flush.
-            let buffered = flow.pending.take().expect("pending checked above");
+            let buffered = slot.pending.take().expect("pending checked above");
             return self.replay(ck, &buffered, p, tag);
         }
-        self.score_packet(ck, p)
+        self.score_packet(h, p)
     }
 
     /// Scores previously buffered packets in arrival order, then the
@@ -397,44 +915,140 @@ impl StreamScorer<'_> {
             let oriented = self
                 .flows
                 .get(&ck)
-                .is_some_and(|flow| flow.pending.is_none());
-            last = if oriented {
-                self.score_packet(ck, q)
-            } else {
-                self.ingest(q, t)
+                .copied()
+                .filter(|&h| self.slab[h as usize].pending.is_none());
+            last = match oriented {
+                Some(h) => self.score_packet(h, q),
+                None => self.ingest(q, t),
             };
         }
         last
     }
 
     /// Runs one packet of an oriented flow through the scoring engine and
-    /// applies the teardown / length-cap policy.
-    fn score_packet(&mut self, ck: CanonicalKey, p: &Packet) -> Option<f32> {
-        let flow = self.flows.get_mut(&ck).expect("oriented flow present");
-        let emitted = advance_flow(
-            self.clap,
-            &self.builder,
-            &self.gru,
-            &self.ae,
-            &mut self.gru_scratch,
-            &mut self.ae_ws,
-            &mut self.fv,
-            &mut self.window,
-            &mut self.err_scratch,
-            flow,
-            p,
-        );
-        let torn_down = self.config.teardown_on_close
-            && matches!(flow.tracker.state(), TcpState::Close | TcpState::TimeWait);
-        let capped = flow.packets >= self.config.max_packets_per_flow;
+    /// applies the teardown / length-cap / TIME_WAIT-linger policy.
+    fn score_packet(&mut self, h: u32, p: &Packet) -> Option<f32> {
+        let hi = h as usize;
+        let emitted = self.advance_one(hi, p);
+        let slot = &self.slab[hi];
+        let mut torn_down = false;
+        let mut start_linger = false;
+        if self.config.teardown_on_close {
+            match slot.tracker.state() {
+                TcpState::Close => torn_down = true,
+                TcpState::TimeWait => {
+                    if self.config.time_wait > 0.0 {
+                        start_linger = !slot.lingering();
+                    } else {
+                        torn_down = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let capped = self.slab[hi].packets as usize >= self.config.max_packets_per_flow;
         if torn_down || capped {
-            let flow = self.flows.remove(&ck).expect("flow present");
             let reason = if torn_down {
                 CloseReason::TcpClose
             } else {
                 CloseReason::LengthCapped
             };
-            self.finalize(flow, reason);
+            self.close_flow(h, reason);
+        } else if start_linger {
+            self.slab[hi].flags |= FLAG_LINGER;
+            // Switch the timer from the idle to the linger timeout.
+            self.arm(h);
+        }
+        emitted
+    }
+
+    /// Advances one oriented flow by one packet: TCP tracking,
+    /// incremental feature extraction, the resumable GRU step, the
+    /// sliding-window reconstruction error (once a full stack exists) and
+    /// the profile-ring store.
+    fn advance_one(&mut self, hi: usize, p: &Packet) -> Option<f32> {
+        let Self {
+            clap,
+            builder,
+            gru,
+            ae,
+            slab,
+            resident,
+            gru_scratch,
+            ae_ws,
+            fv,
+            window,
+            err_scratch,
+            row,
+            h_scratch,
+            code_scratch,
+            ..
+        } = self;
+        let stack = builder.stack;
+        let hidden = gru.hidden_size();
+        let ring_rows = stack - 1;
+
+        let slot = &mut slab[hi];
+        // Same fallback as `Connection::direction`: packets matching
+        // neither orientation count as client→server.
+        let dir = slot
+            .key
+            .direction_of(p)
+            .unwrap_or(Direction::ClientToServer);
+        slot.tracker.process(p, dir);
+        slot.extractor.push_into(p, dir, fv);
+        let t = slot.packets as usize;
+        slot.packets += 1;
+        let packets = t + 1;
+
+        // Packet `t`'s single-packet context profile, built in scorer
+        // scratch: packet features ‖ update gates ‖ reset gates.
+        row.resize(PROFILE_LEN, 0.0);
+        let (feat, gates) = row.split_at_mut(NUM_PACKET);
+        clap.ranges.write_packet_features(fv, feat);
+        let (z, r) = gates.split_at_mut(hidden);
+        match resident {
+            ResidentArena::F32 { h, .. } => {
+                gru.step(
+                    &fv.base,
+                    &mut h[hi * hidden..(hi + 1) * hidden],
+                    gru_scratch,
+                    z,
+                    r,
+                );
+            }
+            ResidentArena::Int8 { h, hq, .. } => {
+                h_scratch.resize(hidden, 0.0);
+                dequantize_activations_into(&h[hi * hidden..(hi + 1) * hidden], hq[hi], h_scratch);
+                gru.step(&fv.base, h_scratch, gru_scratch, z, r);
+                hq[hi] = quantize_activations(h_scratch, code_scratch);
+                h[hi * hidden..(hi + 1) * hidden].copy_from_slice(code_scratch);
+            }
+        }
+
+        // A full stack of profiles completes one sliding window: the
+        // previous `stack − 1` rows from the flow's ring, packet `t`'s
+        // from scratch.
+        let mut emitted = None;
+        if packets >= stack {
+            window.resize(1, stack * PROFILE_LEN);
+            let dst = window.row_mut(0);
+            for j in 0..ring_rows {
+                let rj = (packets - stack + j) % ring_rows;
+                resident.read_ring_row(
+                    hi * ring_rows + rj,
+                    &mut dst[j * PROFILE_LEN..(j + 1) * PROFILE_LEN],
+                );
+            }
+            dst[ring_rows * PROFILE_LEN..].copy_from_slice(row);
+            err_scratch.clear();
+            ae.reconstruction_errors_into(window, ae_ws, err_scratch);
+            let err = err_scratch[0];
+            slab[hi].window_errors.push(err);
+            emitted = Some(err);
+        }
+        if ring_rows > 0 {
+            resident.store_ring_row(hi * ring_rows + t % ring_rows, row, code_scratch);
         }
         emitted
     }
@@ -449,20 +1063,59 @@ impl StreamScorer<'_> {
         self.gru.mode()
     }
 
+    /// Lifetime flow-table counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Estimated heap footprint of the flow table: handle map, slab,
+    /// resident arenas, wheel and the live flows' error logs / orient
+    /// buffers. O(slab) — meant for periodic sampling, not the hot path.
+    /// Excludes the pending-verdict queue (drained by the caller) and the
+    /// shared scratch (constant-size, flow-independent).
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // hashbrown resizes at 7/8 load; one ctrl byte per bucket.
+        let map = if self.flows.capacity() == 0 {
+            0
+        } else {
+            (self.flows.capacity() * 8 / 7).next_power_of_two()
+                * (size_of::<(CanonicalKey, u32)>() + 1)
+        };
+        let logs: usize = self
+            .slab
+            .iter()
+            .map(|s| {
+                s.window_errors.capacity() * size_of::<f32>()
+                    + s.pending.as_ref().map_or(0, |b| {
+                        size_of::<Vec<(u64, Packet)>>() + b.capacity() * size_of::<(u64, Packet)>()
+                    })
+            })
+            .sum();
+        map + self.slab.capacity() * size_of::<Slot>()
+            + self.resident.heap_bytes()
+            + self.wheel.heads.capacity() * size_of::<u32>()
+            + logs
+    }
+
     /// Takes every flow finalized since the last drain.
     pub fn drain_closed(&mut self) -> Vec<ClosedFlow> {
         std::mem::take(&mut self.closed)
     }
 
     /// Finalizes all remaining live flows and returns everything closed
-    /// since the last drain (end-of-capture flush).
+    /// since the last drain (end-of-capture flush). Lingering TIME_WAIT
+    /// flows close as [`CloseReason::TcpClose`] (teardown was observed),
+    /// everything else as [`CloseReason::Drained`].
     pub fn finish(&mut self) -> Vec<ClosedFlow> {
-        self.sweep_keys.clear();
-        self.sweep_keys.extend(self.flows.keys().copied());
-        for i in 0..self.sweep_keys.len() {
-            let k = self.sweep_keys[i];
-            if let Some(flow) = self.flows.remove(&k) {
-                self.finalize(flow, CloseReason::Drained);
+        for hi in 0..self.slab.len() {
+            if self.slab[hi].live() {
+                let reason = if self.slab[hi].lingering() {
+                    CloseReason::TcpClose
+                } else {
+                    CloseReason::Drained
+                };
+                self.close_flow(hi as u32, reason);
             }
         }
         self.drain_closed()
@@ -474,203 +1127,254 @@ impl StreamScorer<'_> {
     /// flow state), so flows started after the reset keep globally
     /// consistent tags; everything that could have been left
     /// half-mutated by an unwinding `push_tagged` is dropped wholesale.
+    /// [`StreamStats`] counters survive too (they are lifetime totals).
     pub fn reset(&mut self) {
         self.flows.clear();
+        self.slab.clear();
+        self.resident.clear();
+        self.free_head = NIL;
+        self.wheel.reset();
         self.closed.clear();
-        self.sweep_keys.clear();
-        self.scan_ring.clear();
+        self.fired.clear();
+        self.probe_cursor = 0;
         self.packets_since_sweep = 0;
     }
 
-    /// Pops the next *live* key from the rotating scan ring, refilling the
-    /// ring from the table when it runs dry (keys that left the table
-    /// since the refill are skipped for free). Returns `None` only when
-    /// the table is empty. Amortized O(1): each refill costs one pass
-    /// over the table and funds as many pops.
-    fn next_scan_key(&mut self) -> Option<CanonicalKey> {
-        loop {
-            match self.scan_ring.pop() {
-                Some(k) if self.flows.contains_key(&k) => return Some(k),
-                Some(_) => continue,
-                None => {
-                    if self.flows.is_empty() {
-                        return None;
+    /// Allocates a slab slot (recycling the free list first) for a new
+    /// flow and tracks the peak.
+    fn alloc_slot(&mut self, key: FlowKey, arrival: u64) -> u32 {
+        let hidden = self.gru.hidden_size();
+        let now = self.clock;
+        let h = if self.free_head != NIL {
+            let h = self.free_head;
+            let slot = &mut self.slab[h as usize];
+            self.free_head = slot.wheel_next;
+            *slot = Slot {
+                // Reuse the error log's allocation across occupants.
+                window_errors: std::mem::take(&mut slot.window_errors),
+                ..Slot::new(key, now, arrival)
+            };
+            self.resident.clear_slot(h as usize, hidden);
+            h
+        } else {
+            let ring_rows = self.builder.stack - 1;
+            if self.slab.len() == self.slab.capacity() {
+                // Exact doubling clamped to the table cap, so slab (and
+                // arena) capacity never overshoots `max_flows`.
+                let target = (self.slab.capacity() * 2)
+                    .clamp(64, self.config.max_flows.max(64))
+                    .max(self.slab.len() + 1);
+                self.slab.reserve_exact(target - self.slab.len());
+                self.resident.reserve_slots(target, hidden, ring_rows);
+            }
+            let h = self.slab.len() as u32;
+            self.slab.push(Slot::new(key, now, arrival));
+            self.resident.push_slot(hidden, ring_rows);
+            h
+        };
+        self.stats.flows_peak = self.stats.flows_peak.max(self.slab.len());
+        h
+    }
+
+    /// Returns a finalized slot to the free list, keeping its error-log
+    /// allocation for the next occupant.
+    fn free_slot(&mut self, h: u32) {
+        let slot = &mut self.slab[h as usize];
+        debug_assert_eq!(slot.wheel_pos, NIL_POS, "freed slot must be unarmed");
+        slot.flags = 0;
+        slot.pending = None;
+        slot.window_errors.clear();
+        slot.wheel_prev = NIL;
+        slot.wheel_next = self.free_head;
+        self.free_head = h;
+    }
+
+    /// (Re-)arms a flow's expiry timer from its `last_seen` and active
+    /// timeout. A no-op in [`EvictionMode::Sweep`] and when the deadline
+    /// maps to the timer's current wheel slot (the common per-packet
+    /// case).
+    fn arm(&mut self, h: u32) {
+        if self.config.eviction != EvictionMode::Wheel {
+            return;
+        }
+        let slot = &self.slab[h as usize];
+        let timeout = if slot.lingering() {
+            self.config.time_wait
+        } else {
+            self.config.idle_timeout
+        };
+        let pos = self
+            .wheel
+            .pos_for(self.wheel.tick_of(slot.last_seen + timeout));
+        if slot.wheel_pos == pos {
+            return;
+        }
+        self.wheel.unlink(&mut self.slab, h);
+        self.wheel.link(&mut self.slab, h, pos);
+    }
+
+    /// Expires idle and linger-complete flows at a sweep boundary. Both
+    /// modes apply the identical `last_seen < clock − timeout` predicate,
+    /// so they finalize identical flow sets — the wheel just skips
+    /// straight to the candidates its fired timers name.
+    fn expire_due(&mut self) {
+        match self.config.eviction {
+            EvictionMode::Wheel => {
+                let to = self.wheel.tick_of(self.clock);
+                let mut fired = std::mem::take(&mut self.fired);
+                fired.clear();
+                self.wheel.advance(&mut self.slab, to, &mut fired);
+                for &h in &fired {
+                    let slot = &self.slab[h as usize];
+                    debug_assert!(slot.live(), "wheel fired a vacant slot");
+                    let lingering = slot.lingering();
+                    let timeout = if lingering {
+                        self.config.time_wait
+                    } else {
+                        self.config.idle_timeout
+                    };
+                    if slot.last_seen < self.clock - timeout {
+                        if lingering {
+                            self.stats.time_wait_expired += 1;
+                            self.close_flow(h, CloseReason::TcpClose);
+                        } else {
+                            self.close_flow(h, CloseReason::IdleTimeout);
+                        }
+                    } else {
+                        self.arm(h);
                     }
-                    self.scan_ring.extend(self.flows.keys().copied());
+                }
+                self.fired = fired;
+            }
+            EvictionMode::Sweep => {
+                for hi in 0..self.slab.len() {
+                    let slot = &self.slab[hi];
+                    if !slot.live() {
+                        continue;
+                    }
+                    let lingering = slot.lingering();
+                    let timeout = if lingering {
+                        self.config.time_wait
+                    } else {
+                        self.config.idle_timeout
+                    };
+                    if slot.last_seen < self.clock - timeout {
+                        if lingering {
+                            self.stats.time_wait_expired += 1;
+                            self.close_flow(hi as u32, CloseReason::TcpClose);
+                        } else {
+                            self.close_flow(hi as u32, CloseReason::IdleTimeout);
+                        }
+                    }
                 }
             }
         }
     }
 
-    /// Evicts flows idle past the timeout. Called every `sweep_interval`
-    /// packets; each call visits at most [`SWEEP_CHUNK`] ring entries, so
-    /// sweep cost is bounded regardless of table size and an idle flow is
-    /// reclaimed within one ring cycle.
-    fn sweep_idle(&mut self) {
-        let deadline = self.clock - self.config.idle_timeout;
-        for _ in 0..SWEEP_CHUNK.min(self.flows.len()) {
-            let Some(k) = self.next_scan_key() else { break };
-            if self.flows[&k].last_seen < deadline {
-                let flow = self.flows.remove(&k).expect("scanned key is live");
-                self.finalize(flow, CloseReason::IdleTimeout);
-            }
-        }
-    }
-
-    /// Table-full eviction: probe a few ring entries, drop the stalest.
+    /// Table-full eviction: probe a few slab entries past a rotating
+    /// cursor, drop the stalest.
     fn evict_stalest(&mut self) {
-        let mut victim: Option<(CanonicalKey, f64)> = None;
-        for _ in 0..EVICT_PROBES.min(self.flows.len()) {
-            let Some(k) = self.next_scan_key() else { break };
-            let last_seen = self.flows[&k].last_seen;
-            if victim.is_none_or(|(_, t)| last_seen < t) {
-                victim = Some((k, last_seen));
-            }
+        let n = self.slab.len();
+        if n == 0 {
+            return;
         }
-        if let Some((k, _)) = victim {
-            let flow = self.flows.remove(&k).expect("probed key is live");
-            self.finalize(flow, CloseReason::CapacityEvicted);
+        let mut cursor = self.probe_cursor as usize % n;
+        let mut victim: Option<(u32, f64)> = None;
+        let mut probed = 0;
+        let want = EVICT_PROBES.min(self.flows.len());
+        for _ in 0..n {
+            if probed >= want {
+                break;
+            }
+            let slot = &self.slab[cursor];
+            if slot.live() {
+                probed += 1;
+                if victim.is_none_or(|(_, t)| slot.last_seen < t) {
+                    victim = Some((cursor as u32, slot.last_seen));
+                }
+            }
+            cursor = (cursor + 1) % n;
+        }
+        self.probe_cursor = cursor as u32;
+        if let Some((h, _)) = victim {
+            self.close_flow(h, CloseReason::CapacityEvicted);
         }
     }
 
-    /// Scores a departing flow and queues the result. Mirrors the batch
-    /// path exactly, including the short-connection padding rule (repeat
-    /// the final profile until one full window exists).
-    fn finalize(&mut self, mut flow: FlowState, reason: CloseReason) {
+    /// Scores a departing flow, queues the result and recycles its slot.
+    /// Mirrors the batch path exactly, including the short-connection
+    /// padding rule (repeat the final profile until one full window
+    /// exists).
+    fn close_flow(&mut self, h: u32, reason: CloseReason) {
+        let hi = h as usize;
         // A flow evicted while still orientation-buffering scores its held
         // packets now, under the provisional (first-packet) orientation —
         // the same key the offline reassembler would use for a capture
         // with no SYN.
-        if let Some(buffered) = flow.pending.take() {
-            for (_, q) in &buffered {
-                advance_flow(
-                    self.clap,
-                    &self.builder,
-                    &self.gru,
-                    &self.ae,
-                    &mut self.gru_scratch,
-                    &mut self.ae_ws,
-                    &mut self.fv,
-                    &mut self.window,
-                    &mut self.err_scratch,
-                    &mut flow,
-                    q,
-                );
+        if let Some(buffered) = self.slab[hi].pending.take() {
+            for (_, q) in buffered.iter() {
+                self.advance_one(hi, q);
             }
         }
         let stack = self.builder.stack;
-        if flow.packets > 0 && flow.packets < stack {
-            // Fewer packets than the stack depth: ring slots 0..packets-1
-            // are packets 0..packets-1; pad by repeating the last one.
-            let last = flow.packets - 1;
-            let err = window_error(
-                &self.ae,
-                &mut self.window,
-                &mut self.ae_ws,
-                &mut self.err_scratch,
-                &flow.singles,
-                stack,
-                |j| j.min(last),
-            );
-            flow.window_errors.push(err);
+        let packets = self.slab[hi].packets as usize;
+        if packets > 0 && packets < stack {
+            // Fewer packets than the stack depth: ring rows 0..packets-1
+            // are packets 0..packets-1 (all within the `stack − 1`-row
+            // ring); pad by repeating the last one.
+            let last = packets - 1;
+            let ring_rows = stack - 1;
+            let Self {
+                ae,
+                resident,
+                ae_ws,
+                window,
+                err_scratch,
+                ..
+            } = self;
+            window.resize(1, stack * PROFILE_LEN);
+            let dst = window.row_mut(0);
+            for j in 0..stack {
+                resident.read_ring_row(
+                    hi * ring_rows + j.min(last),
+                    &mut dst[j * PROFILE_LEN..(j + 1) * PROFILE_LEN],
+                );
+            }
+            err_scratch.clear();
+            ae.reconstruction_errors_into(window, ae_ws, err_scratch);
+            let err = err_scratch[0];
+            self.slab[hi].window_errors.push(err);
         }
-        let (peak_window, score) = score_errors(&flow.window_errors, self.clap.config.score_window);
+        let slot = &mut self.slab[hi];
+        let (peak_window, score) = score_errors(&slot.window_errors, self.clap.config.score_window);
         let scored = ScoredConnection {
-            peak_packet: self.builder.window_center(peak_window, flow.packets),
+            peak_packet: self.builder.window_center(peak_window, packets),
             peak_window,
-            window_errors: std::mem::take(&mut flow.window_errors),
+            window_errors: std::mem::take(&mut slot.window_errors),
             score,
         };
         self.closed.push(ClosedFlow {
-            key: flow.key,
-            packets: flow.packets,
+            key: slot.key,
+            packets,
             reason,
-            arrival: flow.arrival,
+            arrival: slot.arrival,
             scored,
         });
+        match reason {
+            CloseReason::TcpClose => self.stats.closed_tcp += 1,
+            CloseReason::IdleTimeout => self.stats.evicted_idle += 1,
+            CloseReason::CapacityEvicted => self.stats.evicted_capacity += 1,
+            CloseReason::LengthCapped => self.stats.length_capped += 1,
+            CloseReason::Drained => self.stats.drained += 1,
+        }
+        // CanonicalKey is orientation-invariant, so the re-oriented key
+        // still maps back to the entry `ingest` created.
+        let ck = CanonicalKey::of_key(&self.slab[hi].key);
+        let removed = self.flows.remove(&ck);
+        debug_assert_eq!(removed, Some(h), "map entry must match the slot");
+        self.wheel.unlink(&mut self.slab, h);
+        self.free_slot(h);
     }
-}
-
-/// Advances one oriented flow by one packet: TCP tracking, incremental
-/// feature extraction, the profile-ring write, the resumable GRU step and
-/// — once a full stack of profiles exists — the sliding-window
-/// reconstruction error. A free function (not a method) because callers
-/// hold a `&mut` borrow of the flow alongside the scorer's scratch fields.
-#[allow(clippy::too_many_arguments)]
-fn advance_flow(
-    clap: &Clap,
-    builder: &ProfileBuilder,
-    gru: &GruEngine,
-    ae: &AeEngine<'_>,
-    gru_scratch: &mut GruStepScratch,
-    ae_ws: &mut AeWorkspace,
-    fv: &mut FeatureVector,
-    window: &mut Matrix,
-    err_scratch: &mut Vec<f32>,
-    flow: &mut FlowState,
-    p: &Packet,
-) -> Option<f32> {
-    let stack = builder.stack;
-    let hidden = gru.hidden_size();
-    // Same fallback as `Connection::direction`: packets matching
-    // neither orientation count as client→server.
-    let dir = flow
-        .key
-        .direction_of(p)
-        .unwrap_or(Direction::ClientToServer);
-    flow.tracker.process(p, dir);
-    flow.extractor.push_into(p, dir, fv);
-    let t = flow.packets;
-    flow.packets += 1;
-
-    // Single-packet context profile straight into the ring slot:
-    // packet features ‖ update gates ‖ reset gates.
-    let slot = t % stack;
-    let row = &mut flow.singles[slot * PROFILE_LEN..(slot + 1) * PROFILE_LEN];
-    let (feat, gates) = row.split_at_mut(NUM_PACKET);
-    clap.ranges.write_packet_features(fv, feat);
-    let (z, r) = gates.split_at_mut(hidden);
-    gru.step(&fv.base, &mut flow.h, gru_scratch, z, r);
-
-    // A full stack of profiles completes one sliding window. The
-    // oldest profile of the window is packet `packets - stack`.
-    if flow.packets >= stack {
-        let packets = flow.packets;
-        let err = window_error(ae, window, ae_ws, err_scratch, &flow.singles, stack, |j| {
-            (packets - stack + j) % stack
-        });
-        flow.window_errors.push(err);
-        return Some(err);
-    }
-    None
-}
-
-/// Gathers `stack` single-packet profiles from a flow's ring buffer
-/// (slot `slot_of(j)` becomes window position `j`), stages them as one
-/// 1×stacked row and returns its autoencoder reconstruction error. Shared
-/// by the live-window path in [`StreamScorer::push`] and the short-flow
-/// padding path in finalization, so the two can never drift apart. A free
-/// function (not a method) because callers hold a `&mut` borrow of the
-/// flow alongside the scorer's scratch fields.
-fn window_error(
-    ae: &AeEngine<'_>,
-    window: &mut Matrix,
-    ae_ws: &mut AeWorkspace,
-    err_scratch: &mut Vec<f32>,
-    singles: &[f32],
-    stack: usize,
-    slot_of: impl Fn(usize) -> usize,
-) -> f32 {
-    window.resize(1, stack * PROFILE_LEN);
-    let dst = window.row_mut(0);
-    for j in 0..stack {
-        let src = slot_of(j);
-        dst[j * PROFILE_LEN..(j + 1) * PROFILE_LEN]
-            .copy_from_slice(&singles[src * PROFILE_LEN..(src + 1) * PROFILE_LEN]);
-    }
-    err_scratch.clear();
-    ae.reconstruction_errors_into(window, ae_ws, err_scratch);
-    err_scratch[0]
 }
 
 #[cfg(test)]
@@ -960,22 +1664,26 @@ mod tests {
     #[test]
     fn idle_flows_are_swept() {
         let clap = model();
-        let mut scorer = clap.stream_scorer_with(StreamConfig {
-            idle_timeout: 1.0,
-            sweep_interval: 1,
-            teardown_on_close: false,
-            ..StreamConfig::default()
-        });
-        scorer.push(&raw_packet((1, 1111), (2, 80), 0.0));
-        scorer.push(&raw_packet((3, 2222), (4, 80), 0.5));
-        assert_eq!(scorer.live_flows(), 2);
-        // 10s later: both earlier flows are past the idle deadline.
-        scorer.push(&raw_packet((5, 3333), (6, 80), 10.0));
-        assert_eq!(scorer.live_flows(), 1);
-        let closed = scorer.drain_closed();
-        assert_eq!(closed.len(), 2);
-        assert!(closed.iter().all(|c| c.reason == CloseReason::IdleTimeout));
-        assert!(closed.iter().all(|c| c.packets == 1));
+        for eviction in [EvictionMode::Wheel, EvictionMode::Sweep] {
+            let mut scorer = clap.stream_scorer_with(StreamConfig {
+                idle_timeout: 1.0,
+                sweep_interval: 1,
+                teardown_on_close: false,
+                eviction,
+                ..StreamConfig::default()
+            });
+            scorer.push(&raw_packet((1, 1111), (2, 80), 0.0));
+            scorer.push(&raw_packet((3, 2222), (4, 80), 0.5));
+            assert_eq!(scorer.live_flows(), 2);
+            // 10s later: both earlier flows are past the idle deadline.
+            scorer.push(&raw_packet((5, 3333), (6, 80), 10.0));
+            assert_eq!(scorer.live_flows(), 1, "{eviction:?}");
+            let closed = scorer.drain_closed();
+            assert_eq!(closed.len(), 2);
+            assert!(closed.iter().all(|c| c.reason == CloseReason::IdleTimeout));
+            assert!(closed.iter().all(|c| c.packets == 1));
+            assert_eq!(scorer.stats().evicted_idle, 2);
+        }
     }
 
     #[test]
@@ -999,6 +1707,9 @@ mod tests {
         assert!(closed
             .iter()
             .all(|c| c.reason == CloseReason::CapacityEvicted));
+        let stats = scorer.stats();
+        assert_eq!(stats.evicted_capacity, 3);
+        assert_eq!(stats.flows_peak, 2, "slab never outgrew max_flows");
     }
 
     #[test]
@@ -1020,5 +1731,184 @@ mod tests {
         let rest = scorer.finish();
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].packets, 2);
+    }
+
+    /// A recycled slab slot must carry nothing of its previous occupant:
+    /// run the same connection through a fresh scorer and through one
+    /// whose only slot previously held a different, finalized flow — the
+    /// scores must be identical (hidden state, ring and error log all
+    /// reset), at both resident precisions.
+    #[test]
+    fn recycled_slot_leaks_no_prior_state() {
+        let clap = model();
+        let corpus = traffic_gen::dataset(923, 2);
+        for resident in [ResidentMode::F32, ResidentMode::Int8] {
+            let cfg = StreamConfig {
+                resident,
+                teardown_on_close: false,
+                max_packets_per_flow: usize::MAX,
+                ..StreamConfig::default()
+            };
+            let mut fresh = clap.stream_scorer_with(cfg.clone());
+            for p in &corpus[1].packets {
+                fresh.push(p);
+            }
+            let want = fresh.finish();
+            assert_eq!(want.len(), 1);
+
+            let mut reused = clap.stream_scorer_with(cfg);
+            // Occupy slot 0 with connection 0, finalize it (slot goes to
+            // the free list), then run connection 1 through the recycled
+            // slot.
+            for p in &corpus[0].packets {
+                reused.push(p);
+            }
+            assert_eq!(reused.finish().len(), 1);
+            assert_eq!(reused.stats().flows_peak, 1, "one slot, recycled");
+            for p in &corpus[1].packets {
+                reused.push(p);
+            }
+            let got = reused.finish();
+            assert_eq!(got.len(), 1);
+            assert_eq!(reused.stats().flows_peak, 1, "slot was recycled");
+            assert_eq!(got[0].scored.window_errors, want[0].scored.window_errors);
+            assert_eq!(got[0].scored.score, want[0].scored.score);
+        }
+    }
+
+    /// Resident int8 state drifts from f32 but stays bounded and sane on
+    /// real traffic (the calibrated bound lives in the proptest suite).
+    #[test]
+    fn resident_int8_scores_are_finite_and_close() {
+        let clap = model();
+        let corpus = traffic_gen::dataset(929, 6);
+        let run = |resident| {
+            let mut scorer = clap.stream_scorer_with(StreamConfig {
+                resident,
+                teardown_on_close: false,
+                ..StreamConfig::default()
+            });
+            for conn in &corpus {
+                for p in &conn.packets {
+                    scorer.push(p);
+                }
+            }
+            let mut closed = scorer.finish();
+            closed.sort_by_key(|c| c.arrival);
+            closed
+        };
+        let exact = run(ResidentMode::F32);
+        let compact = run(ResidentMode::Int8);
+        assert_eq!(exact.len(), compact.len());
+        for (e, c) in exact.iter().zip(&compact) {
+            assert_eq!(e.key, c.key);
+            assert_eq!(e.packets, c.packets);
+            assert!(c.scored.score.is_finite());
+            let rel = (e.scored.score - c.scored.score).abs() / e.scored.score.abs().max(1e-3);
+            assert!(
+                rel < 0.25,
+                "resident drift too large: f32 {} vs int8 {}",
+                e.scored.score,
+                c.scored.score
+            );
+        }
+    }
+
+    /// `time_wait > 0`: an orderly close lingers (still counted live),
+    /// then expires on the wheel as a TcpClose; a pure SYN reusing the
+    /// tuple during the linger closes the old incarnation immediately.
+    #[test]
+    fn time_wait_linger_expires_on_the_wheel() {
+        let clap = model();
+        let conn = &traffic_gen::dataset(931, 1)[0];
+        for eviction in [EvictionMode::Wheel, EvictionMode::Sweep] {
+            let mut scorer = clap.stream_scorer_with(StreamConfig {
+                time_wait: 5.0,
+                sweep_interval: 1,
+                eviction,
+                ..StreamConfig::default()
+            });
+            for p in &conn.packets {
+                scorer.push(p);
+            }
+            assert_eq!(
+                scorer.live_flows(),
+                1,
+                "{eviction:?}: closed flow lingers in TIME_WAIT"
+            );
+            assert!(scorer.drain_closed().is_empty());
+            // An unrelated packet far past the linger deadline expires it.
+            let late = conn.packets.last().unwrap().timestamp + 60.0;
+            scorer.push(&raw_packet((9, 9999), (8, 80), late));
+            let closed = scorer.drain_closed();
+            assert_eq!(closed.len(), 1);
+            assert_eq!(closed[0].reason, CloseReason::TcpClose);
+            assert_eq!(closed[0].packets, conn.len());
+            assert_eq!(scorer.stats().time_wait_expired, 1);
+            assert_scored_eq(&closed[0].scored, &clap.score_connection(conn));
+        }
+
+        // Tuple reuse: a pure SYN during the linger starts incarnation 2.
+        let mut scorer = clap.stream_scorer_with(StreamConfig {
+            time_wait: 300.0,
+            sweep_interval: 1,
+            ..StreamConfig::default()
+        });
+        for p in &conn.packets {
+            scorer.push(p);
+        }
+        assert_eq!(scorer.live_flows(), 1);
+        let t = conn.packets.last().unwrap().timestamp + 1.0;
+        let syn = raw_packet_flags(
+            (u32::from(conn.key.client.addr) as u8, conn.key.client.port),
+            (u32::from(conn.key.server.addr) as u8, conn.key.server.port),
+            TcpFlags::SYN,
+            t,
+        );
+        // raw_packet_flags builds 10.0.0.x addresses; rebuild with the
+        // connection's real endpoints instead.
+        let ip = Ipv4Header::new(conn.key.client.addr, conn.key.server.addr, 64);
+        let mut tcp = TcpHeader::new(conn.key.client.port, conn.key.server.port, 77, 0);
+        tcp.flags = TcpFlags::SYN;
+        let syn = Packet::new(syn.timestamp, ip, tcp, Vec::new());
+        scorer.push(&syn);
+        let closed = scorer.drain_closed();
+        assert_eq!(closed.len(), 1, "old incarnation closed by tuple reuse");
+        assert_eq!(closed[0].reason, CloseReason::TcpClose);
+        assert_eq!(closed[0].packets, conn.len());
+        assert_eq!(scorer.live_flows(), 1, "the SYN opened incarnation 2");
+    }
+
+    /// The wheel survives huge clock jumps (multi-level cascades) and
+    /// still evicts exactly the idle flows, matching the sweep reference.
+    #[test]
+    fn wheel_handles_large_clock_jumps() {
+        let clap = model();
+        let run = |eviction| {
+            let mut scorer = clap.stream_scorer_with(StreamConfig {
+                idle_timeout: 50.0,
+                sweep_interval: 1,
+                teardown_on_close: false,
+                eviction,
+                ..StreamConfig::default()
+            });
+            // Flows opening at exponentially spaced times; each new push
+            // expires some prefix of the earlier ones.
+            for (i, ts) in [0.0, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6]
+                .into_iter()
+                .enumerate()
+            {
+                let i = i as u8;
+                scorer.push(&raw_packet((i + 1, 1000 + u16::from(i)), (99, 80), ts));
+            }
+            let mut closed: Vec<(FlowKey, u64)> = scorer
+                .finish()
+                .into_iter()
+                .map(|c| (c.key, c.arrival))
+                .collect();
+            closed.sort_by_key(|&(_, a)| a);
+            closed
+        };
+        assert_eq!(run(EvictionMode::Wheel), run(EvictionMode::Sweep));
     }
 }

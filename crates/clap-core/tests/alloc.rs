@@ -1,0 +1,117 @@
+//! Steady-state allocation discipline for the streaming flow table.
+//!
+//! At a churn plateau the scorer recycles slab slots, resident-arena rows
+//! and the canonical-key map in place, so the per-packet hot path must not
+//! allocate. The only inherent allocation is per flow *retirement*: a
+//! [`ClosedFlow`] takes ownership of the flow's score log (`mem::take` of
+//! `window_errors`), so the recycled slot regrows a small vector for its
+//! next occupant. This test pins both facts with a counting global
+//! allocator: allocations across a measured window scale with flows
+//! closed, not with packets pushed.
+//!
+//! The whole file is one `#[test]` because the counter is process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use clap_core::{Clap, ClapConfig, EvictionMode, QuantMode, ResidentMode, StreamConfig};
+use traffic_gen::ChurnConfig;
+
+/// Counts every heap acquisition (alloc, alloc_zeroed, realloc).
+/// Deallocation is free and uncounted.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const WARMUP_PACKETS: usize = 20_000;
+const WINDOW_PACKETS: usize = 40_000;
+const PLATEAU_FLOWS: usize = 96;
+
+#[test]
+fn steady_state_pushes_do_not_allocate_per_packet() {
+    let benign = traffic_gen::dataset(77, 20);
+    let mut cfg = ClapConfig::ci();
+    cfg.ae.epochs = 8;
+    let clap = Clap::train(&benign, &cfg).0;
+
+    // Pre-materialize the whole stream so generator allocations (packet
+    // buffers, RNG state) stay outside the measured window.
+    let churn = ChurnConfig::new(0xa110c, PLATEAU_FLOWS, WARMUP_PACKETS + WINDOW_PACKETS);
+    let packets: Vec<_> = traffic_gen::churn(&churn).collect();
+    assert_eq!(packets.len(), WARMUP_PACKETS + WINDOW_PACKETS);
+
+    let mut scorer = clap.stream_scorer_with(StreamConfig {
+        quant: QuantMode::Off,
+        resident: ResidentMode::Int8,
+        eviction: EvictionMode::Wheel,
+        idle_timeout: 30.0,
+        ..StreamConfig::default()
+    });
+
+    // Warmup: reach the churn plateau so the slab, resident arena, key
+    // map, wheel lists and every scratch buffer are at their steady size.
+    for p in &packets[..WARMUP_PACKETS] {
+        scorer.push(p);
+    }
+    drop(scorer.drain_closed());
+    let closed_before: u64 = {
+        let s = scorer.stats();
+        s.closed_tcp + s.evicted_idle + s.evicted_capacity + s.length_capped
+    };
+
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for p in &packets[WARMUP_PACKETS..] {
+        scorer.push(p);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+
+    let closed: u64 = {
+        let s = scorer.stats();
+        s.closed_tcp + s.evicted_idle + s.evicted_capacity + s.length_capped
+    } - closed_before;
+    assert!(
+        closed > 1_000,
+        "churn window retired only {closed} flows — not a steady-state measurement"
+    );
+
+    eprintln!("steady window: {allocs} allocations, {WINDOW_PACKETS} packets, {closed} closes");
+
+    // Retiring a flow hands its score log to the ClosedFlow and regrows a
+    // small vector in the recycled slot: a handful of allocations per
+    // close. Nothing on the per-packet path allocates.
+    let budget = closed * 8 + 256;
+    assert!(
+        allocs <= budget,
+        "{allocs} allocations for {WINDOW_PACKETS} packets / {closed} closes \
+         (budget {budget}) — the per-packet path is allocating"
+    );
+    assert!(
+        allocs < (WINDOW_PACKETS as u64) / 4,
+        "{allocs} allocations across {WINDOW_PACKETS} packets — \
+         allocation is scaling with packets, not flow turnover"
+    );
+}

@@ -3,7 +3,7 @@
 
 use clap_core::{
     auc_roc, equal_error_rate, extract_connection, roc_curve, score_errors, Clap, ClapConfig,
-    QuantMode, RangeModel, ShardConfig, StreamConfig,
+    EvictionMode, QuantMode, RangeModel, ResidentMode, ShardConfig, StreamConfig,
 };
 use net_packet::{Connection, TcpFlags};
 use proptest::prelude::*;
@@ -486,6 +486,168 @@ proptest! {
             home,
             "the oriented flow key agrees with its packets"
         );
+    }
+}
+
+/// Maximum relative drift the int8 *resident* form (quantized per-flow
+/// hidden state + profile ring, requantized on every store) may add over
+/// the f32 resident form. Calibrated over this suite's randomized traffic:
+/// observed drift sits in the low single-digit percents — repeated
+/// dequant/requant cycles do not compound, because each store re-derives
+/// the codes from full-precision values. The bound matches the int8
+/// *weights* budget: resident quantization must behave like quantization
+/// noise, not like a different detector.
+const RESIDENT_INT8_REL_DRIFT: f32 = 0.10;
+
+// The eviction-equivalence cases run the corpus through two full engines
+// per case; budget like the sharded suite.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The timing wheel's headline guarantee: for random interleaved
+    /// traffic re-timed with randomized idle gaps — under randomized
+    /// sweep cadences, teardown on/off and TIME_WAIT lingers — the wheel
+    /// finalizes the *identical* flow set as the O(n)-scan reference
+    /// (`EvictionMode::Sweep`): same identities, close reasons,
+    /// localization, scores within 1e-6, and identical lifetime counters.
+    /// Both modes fire at sweep boundaries through the same exact
+    /// `last_seen < clock − timeout` predicate; the wheel only narrows
+    /// *which flows get checked*, so any divergence is a wheel bug
+    /// (a slot never re-armed, an entry stranded on a higher level, a
+    /// linger timer lost).
+    #[test]
+    fn wheel_idle_eviction_matches_sweep(
+        seed in 0u64..10_000,
+        sweep_interval in prop_oneof![Just(1usize), Just(7usize), Just(64usize)],
+        idle_timeout in prop_oneof![Just(2.0f64), Just(8.0)],
+        teardown in any::<bool>(),
+        time_wait in prop_oneof![Just(0.0f64), Just(3.0)],
+        gap_seed in 0u64..1_000,
+    ) {
+        let clap = model();
+        let conns = traffic_gen::dataset(seed ^ 0x37ee, 5);
+        let mut pkts: Vec<net_packet::Packet> = conns
+            .iter()
+            .flat_map(|c| c.packets.iter().cloned())
+            .collect();
+        pkts.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+        // Re-time the stream: mostly sub-second spacing, with occasional
+        // jumps past the idle timeout so mid-flow evictions (and reopened
+        // incarnations of the same tuple) actually happen.
+        let mut t = 0.0f64;
+        let mut x = gap_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for p in &mut pkts {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += if x % 11 == 0 {
+                idle_timeout * 1.5 + (x % 7) as f64
+            } else {
+                0.05 * ((x % 16) as f64)
+            };
+            p.timestamp = t;
+        }
+
+        let run = |eviction: EvictionMode| {
+            let mut s = clap.stream_scorer_with(StreamConfig {
+                eviction,
+                idle_timeout,
+                sweep_interval,
+                teardown_on_close: teardown,
+                time_wait,
+                ..StreamConfig::default()
+            });
+            for p in &pkts {
+                s.push(p);
+            }
+            let mut closed = s.drain_closed();
+            closed.extend(s.finish());
+            (closed, s.stats())
+        };
+        let (wheel_closed, wheel_stats) = run(EvictionMode::Wheel);
+        let (sweep_closed, sweep_stats) = run(EvictionMode::Sweep);
+
+        prop_assert_eq!(wheel_stats, sweep_stats, "lifetime counters diverged");
+        let wheel = verdict_set(wheel_closed.iter());
+        let sweep = verdict_set(sweep_closed.iter());
+        prop_assert_eq!(wheel.len(), sweep.len(), "finalized flow count");
+        for (w, s) in wheel.iter().zip(&sweep) {
+            prop_assert_eq!(w.0, s.0, "flow identity");
+            prop_assert_eq!(w.1, s.1, "packet count");
+            prop_assert_eq!(w.2, s.2, "close reason");
+            prop_assert_eq!(w.3, s.3, "peak packet");
+            prop_assert!(
+                (w.4 - s.4).abs() < 1e-6,
+                "score drift: wheel {} vs sweep {}", w.4, s.4
+            );
+        }
+    }
+
+    /// The int8 resident form's calibration harness: holding the per-flow
+    /// GRU hidden state and profile ring as 7-bit codes (dequantized on
+    /// step, requantized on store) stays within the calibrated relative
+    /// drift of the f32 resident form on randomized corrupted+benign
+    /// traffic, flow for flow — with identical flow sets, close reasons
+    /// and window counts. Weights stay f32 in both runs, so every
+    /// observed divergence is attributable to the resident codes alone.
+    #[test]
+    fn resident_int8_drift_is_calibrated(
+        seed in 0u64..10_000,
+        corrupt in any::<bool>(),
+    ) {
+        let clap = model();
+        let mut conns = traffic_gen::dataset(seed ^ 0x8e51, 3);
+        if corrupt {
+            for conn in conns.iter_mut().step_by(2) {
+                if let Some(idx) = conn.first_index_after_handshake() {
+                    let at = idx.min(conn.len() - 1);
+                    let mut rst = conn.packets[at].clone();
+                    rst.tcp.flags = TcpFlags::RST;
+                    rst.payload.clear();
+                    rst.fill_checksums();
+                    rst.tcp.checksum ^= 0x0bad;
+                    conn.packets.insert(at, rst);
+                }
+            }
+        }
+        let mut stream: Vec<&net_packet::Packet> =
+            conns.iter().flat_map(|c| c.packets.iter()).collect();
+        stream.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+
+        let run = |resident: ResidentMode| {
+            let mut s = clap.stream_scorer_with(StreamConfig {
+                resident,
+                teardown_on_close: false,
+                ..StreamConfig::default()
+            });
+            for p in &stream {
+                s.push(p);
+            }
+            let mut closed = s.finish();
+            closed.sort_by(|a, b| format!("{}", a.key).cmp(&format!("{}", b.key)));
+            closed
+        };
+        let f32_closed = run(ResidentMode::F32);
+        let int8_closed = run(ResidentMode::Int8);
+
+        prop_assert_eq!(f32_closed.len(), int8_closed.len());
+        for (f, q) in f32_closed.iter().zip(&int8_closed) {
+            prop_assert_eq!(&f.key, &q.key);
+            prop_assert_eq!(f.packets, q.packets);
+            prop_assert_eq!(f.reason, q.reason);
+            prop_assert_eq!(
+                f.scored.window_errors.len(),
+                q.scored.window_errors.len()
+            );
+            prop_assert!(q.scored.score.is_finite());
+            let rel = (q.scored.score - f.scored.score).abs()
+                / f.scored.score.abs().max(1e-3);
+            prop_assert!(
+                rel <= RESIDENT_INT8_REL_DRIFT,
+                "resident int8 drifted {:.2}%: {} vs {}",
+                rel * 100.0, q.scored.score, f.scored.score
+            );
+        }
     }
 }
 

@@ -1,6 +1,12 @@
 //! RFC 1071 Internet checksum and the TCP pseudo-header checksum.
+//!
+//! The header checksums are computed by streaming the wire-format field
+//! bytes through a chunked accumulator instead of serializing the header
+//! to a scratch buffer first: checksum validation sits on the reference
+//! tracker's per-packet path, where a heap allocation per packet would
+//! dominate the flow-table work.
 
-use crate::{Ipv4Header, TcpHeader};
+use crate::{Ipv4Header, TcpFlags, TcpHeader};
 
 /// Ones'-complement sum over 16-bit words with odd-byte handling, folded to
 /// 16 bits. `initial` allows chaining (pseudo-header then segment).
@@ -24,29 +30,123 @@ pub fn finalize(mut sum: u32) -> u16 {
     !(sum as u16)
 }
 
-/// IPv4 header checksum over the serialized header with the checksum field
-/// taken from `header.checksum` (set it to zero before computing).
-pub fn ipv4_checksum(header: &Ipv4Header) -> u16 {
-    let bytes = crate::wire::serialize_ipv4(header);
-    finalize(ones_complement_sum(&bytes, 0))
+/// Chunk-streaming RFC 1071 accumulator: feed the byte stream in arbitrary
+/// pieces (header fields, option chunks, payload) and the pairing into
+/// 16-bit big-endian words carries across chunk boundaries exactly as if
+/// the stream were contiguous.
+#[derive(Default)]
+struct Summer {
+    sum: u32,
+    pending: Option<u8>,
 }
 
-/// TCP checksum over the pseudo-header, the serialized TCP header (with the
-/// checksum field from `tcp.checksum`; set it to zero before computing) and
-/// the payload.
-pub fn tcp_checksum(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8]) -> u16 {
-    let tcp_bytes = crate::wire::serialize_tcp(tcp);
-    let tcp_len = (tcp_bytes.len() + payload.len()) as u32;
+impl Summer {
+    fn push(&mut self, mut data: &[u8]) {
+        if let Some(hi) = self.pending.take() {
+            match data.split_first() {
+                Some((&lo, rest)) => {
+                    self.sum += u32::from(u16::from_be_bytes([hi, lo]));
+                    data = rest;
+                }
+                None => {
+                    self.pending = Some(hi);
+                    return;
+                }
+            }
+        }
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.pending = Some(*last);
+        }
+    }
+
+    fn finish(self) -> u32 {
+        match self.pending {
+            Some(hi) => self.sum + u32::from(u16::from_be_bytes([hi, 0])),
+            None => self.sum,
+        }
+    }
+}
+
+/// Sums the serialized IPv4 header with the checksum field replaced by
+/// `checksum_field`, without materializing the bytes.
+fn ipv4_sum(h: &Ipv4Header, checksum_field: u16) -> u16 {
+    let mut s = Summer::default();
+    s.push(&[(h.version << 4) | (h.ihl & 0x0f), h.tos]);
+    s.push(&h.total_length.to_be_bytes());
+    s.push(&h.identification.to_be_bytes());
+    let frag = (u16::from(h.flags & 0x7) << 13) | (h.fragment_offset & 0x1fff);
+    s.push(&frag.to_be_bytes());
+    s.push(&[h.ttl, h.protocol]);
+    s.push(&checksum_field.to_be_bytes());
+    s.push(&h.src.octets());
+    s.push(&h.dst.octets());
+    s.push(&h.options);
+    // Zero padding to the 4-byte boundary cannot change the sum; skip it.
+    finalize(s.finish())
+}
+
+/// Sums pseudo-header + TCP header (checksum field replaced by
+/// `checksum_field`) + payload, without materializing the header bytes.
+fn tcp_sum(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8], checksum_field: u16) -> u16 {
+    let mut s = Summer::default();
+    s.push(&tcp.src_port.to_be_bytes());
+    s.push(&tcp.dst_port.to_be_bytes());
+    s.push(&tcp.seq.to_be_bytes());
+    s.push(&tcp.ack.to_be_bytes());
+    let ns = u8::from(tcp.flags.contains(TcpFlags::NS));
+    s.push(&[(tcp.data_offset << 4) | ns, (tcp.flags.0 & 0xff) as u8]);
+    s.push(&tcp.window.to_be_bytes());
+    s.push(&checksum_field.to_be_bytes());
+    s.push(&tcp.urgent.to_be_bytes());
+    let mut opt_len = 0usize;
+    crate::wire::emit_tcp_options(&tcp.options, &mut |b: &[u8]| {
+        opt_len += b.len();
+        s.push(b);
+    });
+    s.push(payload);
+    let tcp_len = (20 + opt_len + payload.len()) as u32;
     let mut pseudo = [0u8; 12];
     pseudo[0..4].copy_from_slice(&ip.src.octets());
     pseudo[4..8].copy_from_slice(&ip.dst.octets());
     pseudo[8] = 0;
     pseudo[9] = ip.protocol;
     pseudo[10..12].copy_from_slice(&(tcp_len as u16).to_be_bytes());
-    let sum = ones_complement_sum(&pseudo, 0);
-    let sum = ones_complement_sum(&tcp_bytes, sum);
-    let sum = ones_complement_sum(payload, sum);
-    finalize(sum)
+    finalize(ones_complement_sum(&pseudo, s.finish()))
+}
+
+/// IPv4 header checksum over the serialized header with the checksum field
+/// taken from `header.checksum` (set it to zero before computing).
+pub fn ipv4_checksum(header: &Ipv4Header) -> u16 {
+    ipv4_sum(header, header.checksum)
+}
+
+/// [`ipv4_checksum`] with the stored checksum field treated as zero — the
+/// validation path, which would otherwise have to clone the header to zero
+/// the field.
+pub(crate) fn ipv4_checksum_ignoring_stored(header: &Ipv4Header) -> u16 {
+    ipv4_sum(header, 0)
+}
+
+/// TCP checksum over the pseudo-header, the serialized TCP header (with the
+/// checksum field from `tcp.checksum`; set it to zero before computing) and
+/// the payload.
+pub fn tcp_checksum(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8]) -> u16 {
+    tcp_sum(ip, tcp, payload, tcp.checksum)
+}
+
+/// [`tcp_checksum`] with the stored checksum field treated as zero — the
+/// validation path, which would otherwise have to clone the header (and
+/// its options) to zero the field.
+pub(crate) fn tcp_checksum_ignoring_stored(
+    ip: &Ipv4Header,
+    tcp: &TcpHeader,
+    payload: &[u8],
+) -> u16 {
+    tcp_sum(ip, tcp, payload, 0)
 }
 
 #[cfg(test)]

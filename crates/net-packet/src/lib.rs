@@ -79,17 +79,14 @@ impl Packet {
 
     /// True when the stored IPv4 header checksum matches the header contents.
     pub fn ip_checksum_valid(&self) -> bool {
-        let mut ip = self.ip.clone();
-        ip.checksum = 0;
-        checksum::ipv4_checksum(&ip) == self.ip.checksum
+        checksum::ipv4_checksum_ignoring_stored(&self.ip) == self.ip.checksum
     }
 
     /// True when the stored TCP checksum matches the segment contents
     /// (including the pseudo-header derived from the IP addresses).
     pub fn tcp_checksum_valid(&self) -> bool {
-        let mut tcp = self.tcp.clone();
-        tcp.checksum = 0;
-        checksum::tcp_checksum(&self.ip, &tcp, &self.payload) == self.tcp.checksum
+        checksum::tcp_checksum_ignoring_stored(&self.ip, &self.tcp, &self.payload)
+            == self.tcp.checksum
     }
 
     /// Total on-wire length implied by the *actual* structure (not the

@@ -53,49 +53,81 @@ pub fn serialize_ipv4(h: &Ipv4Header) -> Vec<u8> {
     out
 }
 
-/// Serializes TCP options with end-of-list padding to a 4-byte boundary.
-pub fn serialize_tcp_options(options: &[TcpOption]) -> Vec<u8> {
-    let mut out = Vec::new();
+/// Streams the serialized TCP options — including end-of-list padding to
+/// a 4-byte boundary — into `sink` as a series of byte chunks, without
+/// allocating. This is the single source of truth for the option wire
+/// format: [`serialize_tcp_options`] collects these chunks into a `Vec`,
+/// and the checksum routines sum them directly so the per-packet
+/// validation path stays allocation-free.
+pub(crate) fn emit_tcp_options(options: &[TcpOption], sink: &mut impl FnMut(&[u8])) {
+    let mut len = 0usize;
     for opt in options {
         match opt {
             TcpOption::Mss(v) => {
-                out.extend_from_slice(&[2, 4]);
-                out.extend_from_slice(&v.to_be_bytes());
+                let mut b = [2, 4, 0, 0];
+                b[2..4].copy_from_slice(&v.to_be_bytes());
+                sink(&b);
+                len += 4;
             }
-            TcpOption::WindowScale(v) => out.extend_from_slice(&[3, 3, *v]),
-            TcpOption::SackPermitted => out.extend_from_slice(&[4, 2]),
+            TcpOption::WindowScale(v) => {
+                sink(&[3, 3, *v]);
+                len += 3;
+            }
+            TcpOption::SackPermitted => {
+                sink(&[4, 2]);
+                len += 2;
+            }
             TcpOption::Sack(blocks) => {
-                out.extend_from_slice(&[5, (2 + blocks.len() * 8) as u8]);
+                sink(&[5, (2 + blocks.len() * 8) as u8]);
                 for (l, r) in blocks {
-                    out.extend_from_slice(&l.to_be_bytes());
-                    out.extend_from_slice(&r.to_be_bytes());
+                    sink(&l.to_be_bytes());
+                    sink(&r.to_be_bytes());
                 }
+                len += 2 + blocks.len() * 8;
             }
             TcpOption::Timestamps { tsval, tsecr } => {
-                out.extend_from_slice(&[8, 10]);
-                out.extend_from_slice(&tsval.to_be_bytes());
-                out.extend_from_slice(&tsecr.to_be_bytes());
+                let mut b = [0u8; 10];
+                b[0] = 8;
+                b[1] = 10;
+                b[2..6].copy_from_slice(&tsval.to_be_bytes());
+                b[6..10].copy_from_slice(&tsecr.to_be_bytes());
+                sink(&b);
+                len += 10;
             }
             TcpOption::Md5(digest) => {
-                out.extend_from_slice(&[19, 18]);
-                out.extend_from_slice(digest);
+                sink(&[19, 18]);
+                sink(digest);
+                len += 18;
             }
             TcpOption::UserTimeout(v) => {
-                out.extend_from_slice(&[28, 4]);
-                out.extend_from_slice(&v.to_be_bytes());
+                let mut b = [28, 4, 0, 0];
+                b[2..4].copy_from_slice(&v.to_be_bytes());
+                sink(&b);
+                len += 4;
             }
             TcpOption::Unknown { kind, data } => {
-                out.push(*kind);
-                out.push((2 + data.len()) as u8);
-                out.extend_from_slice(data);
+                sink(&[*kind, (2 + data.len()) as u8]);
+                sink(data);
+                len += 2 + data.len();
             }
-            TcpOption::Nop => out.push(1),
-            TcpOption::Raw(bytes) => out.extend_from_slice(bytes),
+            TcpOption::Nop => {
+                sink(&[1]);
+                len += 1;
+            }
+            TcpOption::Raw(bytes) => {
+                sink(bytes);
+                len += bytes.len();
+            }
         }
     }
-    while out.len() % 4 != 0 {
-        out.push(0); // End-of-list padding
-    }
+    const PAD: [u8; 3] = [0; 3]; // End-of-list padding
+    sink(&PAD[..(4 - len % 4) % 4]);
+}
+
+/// Serializes TCP options with end-of-list padding to a 4-byte boundary.
+pub fn serialize_tcp_options(options: &[TcpOption]) -> Vec<u8> {
+    let mut out = Vec::new();
+    emit_tcp_options(options, &mut |b| out.extend_from_slice(b));
     out
 }
 
@@ -113,7 +145,7 @@ pub fn serialize_tcp(h: &TcpHeader) -> Vec<u8> {
     out.extend_from_slice(&h.window.to_be_bytes());
     out.extend_from_slice(&h.checksum.to_be_bytes());
     out.extend_from_slice(&h.urgent.to_be_bytes());
-    out.extend_from_slice(&serialize_tcp_options(&h.options));
+    emit_tcp_options(&h.options, &mut |b| out.extend_from_slice(b));
     out
 }
 

@@ -145,7 +145,10 @@ pub use classifier::{GruClassifier, GruClassifierConfig, TrainReport};
 pub use dense::Dense;
 pub use gru::{GruCell, GruStepScratch, GruTrace, GruWorkspace, PackedGru};
 pub use matrix::Matrix;
-pub use quant::{AeEngine, GruEngine, QuantAutoencoder, QuantMatrix, QuantMode, QuantPackedGru};
+pub use quant::{
+    dequantize_activations_into, quantize_activations, ActQuant, AeEngine, GruEngine,
+    QuantAutoencoder, QuantMatrix, QuantMode, QuantPackedGru,
+};
 pub use simd::KernelSet;
 
 /// Numerically-stable softmax over a slice, in place.

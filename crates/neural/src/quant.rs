@@ -157,6 +157,19 @@ pub fn quantize_activations(x: &[f32], qa: &mut Vec<u8>) -> ActQuant {
     ActQuant { scale, min }
 }
 
+/// Decodes a row quantized by [`quantize_activations`] back to f32:
+/// `out[k] = min + scale · codes[k]`. This is the read path for *resident*
+/// quantized state — per-flow vectors a streaming engine keeps in int8
+/// form between packets (quantize on store, dequantize on use). Plain
+/// scalar arithmetic, so the decoded values are identical on every kernel
+/// tier.
+pub fn dequantize_activations_into(codes: &[u8], q: ActQuant, out: &mut [f32]) {
+    debug_assert_eq!(codes.len(), out.len());
+    for (o, &c) in out.iter_mut().zip(codes) {
+        *o = q.scale.mul_add(f32::from(c), q.min);
+    }
+}
+
 /// Dequantizes one i32 accumulator: the activation offset re-enters
 /// through the precomputed weight-row sum (`Σ w ≈ s_r · R_r`), then the
 /// combined scales apply.

@@ -121,21 +121,47 @@ fn seq_lte(a: u32, b: u32) -> bool {
 /// values are (with overwhelming probability) far outside this range.
 const MAX_ACK_LAG: u32 = 1 << 22; // 4 MiB
 
+/// Presence bits for [`PeerState`]'s optional fields. Sequence and
+/// timestamp values span the full `u32` range, so presence cannot be
+/// encoded in-band with a sentinel; a flag byte keeps the struct at 20
+/// bytes where three `Option<u32>`s would pad it to 32 — the tracker
+/// lives in every flow-table slot, so at million-flow scale the padding
+/// alone would cost tens of megabytes.
+const HAS_ISN: u8 = 1;
+const HAS_TS_RECENT: u8 = 1 << 1;
+const HAS_FIN_SEQ: u8 = 1 << 2;
+
 #[derive(Debug, Clone, Default)]
 struct PeerState {
     /// Initial sequence number (first SYN seen from this direction).
-    isn: Option<u32>,
+    isn: u32,
     /// Next sequence expected from this direction (highest seg_end seen).
     seq_nxt: u32,
+    /// Highest timestamp value seen from this direction (PAWS).
+    ts_recent: u32,
+    /// Sequence just past this direction's FIN, once one was accepted.
+    fin_seq: u32,
     /// Last raw window advertised by this direction.
     window: u16,
     /// Window-scale shift negotiated by this direction (applies once both
     /// sides offered the option).
     wscale: u8,
-    /// Highest timestamp value seen from this direction (PAWS).
-    ts_recent: Option<u32>,
-    /// Sequence just past this direction's FIN, once one was accepted.
-    fin_seq: Option<u32>,
+    /// `HAS_*` presence bits for the three optional fields above.
+    present: u8,
+}
+
+impl PeerState {
+    fn isn(&self) -> Option<u32> {
+        (self.present & HAS_ISN != 0).then_some(self.isn)
+    }
+
+    fn ts_recent(&self) -> Option<u32> {
+        (self.present & HAS_TS_RECENT != 0).then_some(self.ts_recent)
+    }
+
+    fn fin_seq(&self) -> Option<u32> {
+        (self.present & HAS_FIN_SEQ != 0).then_some(self.fin_seq)
+    }
 }
 
 /// Middlebox-viewpoint TCP connection tracker.
@@ -227,11 +253,11 @@ impl TcpTracker {
             // old sequence space does not constrain it.
             return true;
         }
-        let Some(_) = ps.isn else {
+        if ps.isn().is_none() {
             // First packet we see from this direction mid-connection
             // (e.g. the responder's SYN-ACK): nothing to violate yet.
             return true;
-        };
+        }
         let rcv_nxt = ps.seq_nxt;
         let rwin = self.scaled_window(dir.flip()).max(1);
         let seg_seq = p.tcp.seq;
@@ -248,11 +274,11 @@ impl TcpTracker {
             return true;
         }
         let other = &self.peers[dir.flip().index()];
-        let Some(_) = other.isn else {
+        if other.isn().is_none() {
             // Acking a direction we have never seen: cannot belong
             // (e.g. a SYN-ACK injected before any SYN).
             return self.state == TcpState::None;
-        };
+        }
         let lag = other.seq_nxt.wrapping_sub(p.tcp.ack);
         (lag as i32) >= 0 && lag <= MAX_ACK_LAG
     }
@@ -262,14 +288,14 @@ impl TcpTracker {
         let Some((tsval, _)) = p.tcp.timestamps() else {
             return true;
         };
-        match self.peers[dir.index()].ts_recent {
+        match self.peers[dir.index()].ts_recent() {
             Some(recent) => seq_lte(recent, tsval),
             Option::None => true,
         }
     }
 
     fn acks_fin_of(&self, p: &Packet, fin_owner: Direction) -> bool {
-        match self.peers[fin_owner.index()].fin_seq {
+        match self.peers[fin_owner.index()].fin_seq() {
             Some(fs) => p.tcp.flags.contains(TcpFlags::ACK) && seq_lte(fs, p.tcp.ack),
             Option::None => false,
         }
@@ -425,27 +451,32 @@ impl TcpTracker {
             if let Some(ws) = p.tcp.window_scale() {
                 self.peers[dir.index()].wscale = ws;
                 let other_offered = self.peers[dir.flip().index()].wscale > 0
-                    || self.peers[dir.flip().index()].isn.is_none();
+                    || self.peers[dir.flip().index()].isn().is_none();
                 // Activate tentatively; corrected when the other SYN arrives.
                 self.wscale_ok = other_offered;
             }
         }
         let ps = &mut self.peers[dir.index()];
-        if syn && ps.isn.is_none() {
-            ps.isn = Some(p.tcp.seq);
+        if syn && ps.isn().is_none() {
+            ps.isn = p.tcp.seq;
+            ps.present |= HAS_ISN;
             ps.seq_nxt = seg_end;
         } else if seq_lte(ps.seq_nxt, seg_end) {
             ps.seq_nxt = seg_end;
         }
         ps.window = p.tcp.window;
         if let Some((tsval, _)) = p.tcp.timestamps() {
-            match ps.ts_recent {
+            match ps.ts_recent() {
                 Some(r) if seq_lte(tsval, r) => {}
-                _ => ps.ts_recent = Some(tsval),
+                _ => {
+                    ps.ts_recent = tsval;
+                    ps.present |= HAS_TS_RECENT;
+                }
             }
         }
-        if fin {
-            ps.fin_seq.get_or_insert(seg_end);
+        if fin && ps.fin_seq().is_none() {
+            ps.fin_seq = seg_end;
+            ps.present |= HAS_FIN_SEQ;
         }
     }
 }

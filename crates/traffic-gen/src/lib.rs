@@ -22,8 +22,10 @@
 //!
 //! Everything is driven by a seeded RNG so datasets are reproducible.
 
+mod churn;
 mod generator;
 
+pub use churn::{churn, ChurnConfig, ChurnStats, ChurnStream};
 pub use generator::{ConnectionSketch, FlowProfile, Teardown};
 
 use net_packet::Connection;
