@@ -16,11 +16,13 @@ use net_packet::Packet;
 use std::sync::OnceLock;
 
 /// Maximum relative int8-vs-f32 score drift tolerated on the capture.
-/// Deliberately tighter than the 0.10 proptest bound in
+/// Deliberately tighter than the 0.05 proptest bound in
 /// `clap-core/tests/proptests.rs`: that one must absorb randomized
-/// corrupted traffic (outliers coarsen a row's activation grid), while
-/// this fixed capture measures deterministically and sits well inside 5%.
-const INT8_REL_DRIFT: f32 = 0.05;
+/// corrupted traffic across CI kernel-ISA legs, while this fixed capture
+/// measures deterministically — worst flow drift is 0.59% since the
+/// outlier-aware activation clip landed, so 2% pins the calibration with
+/// real margin.
+const INT8_REL_DRIFT: f32 = 0.02;
 
 fn pcap_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

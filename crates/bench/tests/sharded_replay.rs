@@ -90,6 +90,70 @@ fn sharded_pcap_replay_is_byte_identical() {
     assert_eq!(four_a, unsharded, "sharded must equal the plain engine");
 }
 
+/// Cross-flow micro-batching must be invisible in the rendered output:
+/// over the checked-in capture, the verdict table is **byte-identical**
+/// with batching on vs off — through both the plain engine and the
+/// sharded front end, at f32 and at int8 — for several flush budgets.
+#[test]
+fn microbatched_pcap_replay_is_byte_identical() {
+    let clap = model();
+    let packets = load_capture();
+    assert!(!packets.is_empty());
+
+    let table = |quant: clap_core::QuantMode, microbatch: usize, shards: usize| {
+        let stream = StreamConfig {
+            quant,
+            microbatch,
+            ..StreamConfig::default()
+        };
+        let closed = if shards == 0 {
+            let mut s = clap.stream_scorer_with(stream);
+            for p in &packets {
+                s.push(p);
+            }
+            let mut closed = s.drain_closed();
+            closed.extend(s.finish());
+            closed
+        } else {
+            clap.sharded_scorer_with(ShardConfig {
+                shards,
+                queue_capacity: 1024,
+                stream,
+                ..ShardConfig::default()
+            })
+            .score_stream(packets.iter())
+            .verdicts
+            .into_iter()
+            .map(|v| v.flow)
+            .collect()
+        };
+        bench::verdict_table(&closed, usize::MAX)
+    };
+
+    for quant in [clap_core::QuantMode::Off, clap_core::QuantMode::Int8] {
+        let per_packet = table(quant, 0, 0);
+        for cap in [2usize, 16, 64] {
+            assert_eq!(
+                per_packet,
+                table(quant, cap, 0),
+                "plain engine diverged at {quant:?} with microbatch {cap}"
+            );
+        }
+        for shards in [1usize, 4] {
+            assert_eq!(
+                table(quant, 0, shards),
+                table(quant, 16, shards),
+                "sharded engine diverged at {quant:?} with {shards} shards"
+            );
+        }
+        assert_eq!(
+            per_packet,
+            table(quant, 16, 4),
+            "micro-batched sharded run diverged from the plain per-packet engine at {quant:?}"
+        );
+    }
+}
+
 /// The `--fault-plan` replay path of `exp_stream_pcap` is as
 /// deterministic as the fault-free one: the same seed-derived schedule
 /// (plus a supervised panic and forced burst under `degrade`) replayed

@@ -48,6 +48,21 @@
 //!     and advance it as packets arrive. Step-by-step trajectories are
 //!     bitwise identical to a batched [`PackedGru::run`] (pinned in tests),
 //!     which is what makes online scores match offline ones exactly.
+//!   * *Cross-flow batched stepping* ([`PackedGru::step_batch`] +
+//!     [`GruBatchScratch`]): one timestep for `B` *independent* flows at
+//!     once. **Gather layout:** the caller packs row `i` of the `B×I`
+//!     input matrix with flow `i`'s feature vector and row `i` of the
+//!     `B×H` hidden matrix with flow `i`'s resident state (gathered from
+//!     wherever it lives — `clap-core` copies f32 slab rows directly and
+//!     dequantizes int8-resident rows first); the step updates the hidden
+//!     rows in place and fills `B×H` gate matrices, and the caller
+//!     scatters row `i` back to flow `i`'s slot. Because the batched GEMM
+//!     processes each row through the exact per-row path of the matvec
+//!     (and each activation row quantizes independently at int8), **row
+//!     `i` is bitwise identical to a separate `step` call for that
+//!     flow** — at both precisions — which is what lets a streaming
+//!     scorer micro-batch packets across flows without perturbing a
+//!     single score.
 //!
 //! # Kernel dispatch
 //!
@@ -60,21 +75,23 @@
 //! * **Feature detection.** [`simd::KernelSet::active`] probes the CPU
 //!   with `is_x86_feature_detected!` and picks the widest supported set:
 //!   `avx512vnni` (AVX-512F+BW+VNNI — adds `vpdpbusd` int8 dots) →
-//!   `avx512` (AVX-512F, 16-lane) → `avx2` (AVX2+FMA, 8-lane) →
-//!   `scalar`. The SIMD sets are explicit `std::arch::x86_64` intrinsic
+//!   `avx512` (AVX-512F, 16-lane) → `avxvnni` (AVX2 + 256-bit
+//!   `vpdpbusd`, for AVX2-class client CPUs with AVX-VNNI) → `avx2`
+//!   (AVX2+FMA, 8-lane) → `scalar`. The SIMD sets are explicit `std::arch::x86_64` intrinsic
 //!   kernels, so vectorized builds no longer depend on
 //!   `-C target-cpu=native`; non-x86 targets always get the scalar set.
 //! * **Override.** Setting the `NEURAL_FORCE_SCALAR` environment variable
 //!   (to anything but `0`/empty/`false`) pins the scalar reference set —
 //!   CI runs the whole suite that way.
-//!   `NEURAL_KERNELS=scalar|avx2|avx512|avx512vnni` requests a specific
+//!   `NEURAL_KERNELS=scalar|avx2|avxvnni|avx512|avx512vnni` requests a specific
 //!   set (best effort: unsupported requests fall back to the ladder),
 //!   e.g. to benchmark the AVX2 path on an AVX-512 machine. Tests can also fetch a specific set
 //!   ([`simd::KernelSet::scalar`], `avx2()`, `avx512()`) and call its
 //!   kernels directly without affecting the process-wide choice.
-//! * **Adding an ISA.** Implement the ten kernel functions (dot, dot4,
-//!   axpy, bias_act, gru_gates, sum_abs_diff, plus the int8 quartet
-//!   dot_i8, dot4_i8, act_range, act_encode) for the new instruction
+//! * **Adding an ISA.** Implement the eleven kernel functions (dot, dot4,
+//!   axpy, bias_act, gru_gates, sum_abs_diff, plus the int8 kernels
+//!   dot_i8, dot4_i8, act_range, act_encode and the fused
+//!   encode_dot4_i8) for the new instruction
 //!   set, add a `static` `KernelSet` naming them, and extend the
 //!   `select()` ladder in `simd.rs` behind the right
 //!   `is_x86_feature_detected!`/`cfg` guard. The property tests in
@@ -111,18 +128,25 @@
 //!   construction, so the i32 accumulators are exact and **every kernel
 //!   tier returns bit-identical results** (integer addition has no
 //!   reassociation drift). The proptests pin SIMD == scalar with `==`,
-//!   not a tolerance. Outliers cannot saturate either — the scales derive
-//!   from the row extrema — they instead coarsen that one row's grid
-//!   (drift on corrupted adversarial packets is therefore larger than on
-//!   benign traffic, bounded by the clap-core calibration harness).
+//!   not a tolerance. Outliers cannot saturate the accumulators either.
+//!   For long activation rows (the autoencoder's) the quantization grid
+//!   is *outlier-clipped*: a histogram pass excludes an isolated extreme
+//!   tail (≲1/64 of samples, separated by a clear gap) from the scan
+//!   range, so one adversarially-inflated feature saturates to the top
+//!   code instead of coarsening the entire row's grid — shrinking the
+//!   int8-vs-f32 drift tail on corrupted traffic (still bounded by the
+//!   clap-core calibration harness).
 //! * **The vnni ladder.** Int8 dot kernels live in the same dispatched
 //!   [`KernelSet`]: `avx512vnni` (`vpdpbusd`, u8×i8 quads straight into
-//!   i32 lanes) → `avx512`/`avx2` (256-bit `maddubs` + `madd`) → scalar.
-//!   `NEURAL_KERNELS=avx512vnni` joins the existing override values.
+//!   i32 lanes) → `avx512` (256-bit `maddubs` + `madd`) → `avxvnni`
+//!   (256-bit `vpdpbusd` — lifts the ≈1.1× maddubs ceiling on
+//!   AVX2-class client CPUs) → `avx2` → scalar.
+//!   `NEURAL_KERNELS=avx512vnni|avxvnni` join the existing override
+//!   values. The recurrent matvec's activation re-quantization is fused
+//!   into the first 4-row dot quad (`encode_dot4_i8`), eliminating one
+//!   full pass over each freshly-encoded activation row.
 //!   Measured on the ci preset (single core): int8 fused scoring is
-//!   ≈1.75× f32 under the vnni tier and ≈1.11× under pure AVX2 (whose
-//!   3-µop maddubs sequence caps the ALU win; 256-bit AVX-VNNI would
-//!   lift that ceiling on AVX2-class client CPUs — future tier).
+//!   ≈1.75× f32 under the vnni tier and ≈1.11× under pure AVX2.
 //! * **Engine selection.** `NEURAL_QUANT=int8` makes every
 //!   default-constructed scorer quantized ([`QuantMode::active`]);
 //!   `QuantMode::Off`/`Int8` can be pinned per scorer. Int8 streaming is
@@ -143,7 +167,7 @@ pub use adam::Adam;
 pub use autoencoder::{AeWorkspace, Autoencoder, AutoencoderConfig};
 pub use classifier::{GruClassifier, GruClassifierConfig, TrainReport};
 pub use dense::Dense;
-pub use gru::{GruCell, GruStepScratch, GruTrace, GruWorkspace, PackedGru};
+pub use gru::{GruBatchScratch, GruCell, GruStepScratch, GruTrace, GruWorkspace, PackedGru};
 pub use matrix::Matrix;
 pub use quant::{
     dequantize_activations_into, quantize_activations, ActQuant, AeEngine, GruEngine,

@@ -22,7 +22,18 @@
 //!   and confining them to `0..=127` bounds every i16 pair-sum by
 //!   2·127·127 = 32258 < 32767 — saturation is *unreachable by
 //!   construction*, so all kernel tiers (scalar, AVX2 `maddubs`+`madd`,
-//!   AVX-512 `vpdpbusd`) produce the bit-identical i32.
+//!   256-bit and 512-bit `vpdpbusd`) produce the bit-identical i32.
+//!   For rows of at least [`CLIP_MIN_LEN`] elements the scan range is
+//!   *outlier-clipped*: a 128-bin histogram pass finds the highest bin
+//!   whose upper tail holds at most ~1/64 of the samples, and if that
+//!   cut is separated from the raw maximum by a clear gap (≥25% of the
+//!   raw width) the grid covers only `[min, cut)` and everything above
+//!   saturates to code 127. One adversarially-inflated feature then
+//!   costs *itself* its resolution instead of stretching the grid —
+//!   and flattening every honest value — across the whole row. The
+//!   clip decision is a pure function of the row, applied by the shared
+//!   planner behind every matvec *and* every GEMM row, so it never
+//!   perturbs the streaming == batch equivalences below.
 //! * **Dequantization**: with `R_r = Σ_k q[r][k]` precomputed,
 //!   `y[r] = s_r · (s_a · acc[r] + m · R_r)` — the per-row zero-point
 //!   correction folds the activation offset back in exactly. The result
@@ -51,13 +62,14 @@
 //! environment variable once per process — `int8` selects the quantized
 //! engines wherever a scorer is built with the default mode, anything else
 //! (including unset) keeps f32. The int8 kernels themselves live in the
-//! [`KernelSet`] ladder (`avx512vnni → avx512 → avx2 → scalar`), so
+//! [`KernelSet`] ladder (`avx512vnni → avx512 → avxvnni → avx2 →
+//! scalar`), so
 //! `NEURAL_KERNELS`/`NEURAL_FORCE_SCALAR` pin their ISA exactly as for the
 //! f32 kernels.
 
 use crate::autoencoder::{AeWorkspace, Autoencoder};
 use crate::dense::{Activation, Dense};
-use crate::gru::{GruStepScratch, GruWorkspace, PackedGru};
+use crate::gru::{GruBatchScratch, GruStepScratch, GruWorkspace, PackedGru};
 use crate::matrix::Matrix;
 use crate::simd::KernelSet;
 use std::sync::OnceLock;
@@ -67,6 +79,16 @@ use std::sync::OnceLock;
 pub const ACT_LEVELS: f32 = 127.0;
 /// Weight quantization levels (symmetric int8, −128 never emitted).
 pub const WEIGHT_LEVELS: f32 = 127.0;
+
+/// Rows shorter than this skip outlier-aware calibration: the histogram
+/// scan isn't worth it, and short rows (the GRU's 37-wide inputs and
+/// 32-wide hidden state) have too few samples for a quantile to be
+/// meaningful. The autoencoder's ≥96-wide activation rows — where one
+/// adversarially-inflated feature would otherwise stretch the grid over
+/// the whole profile — are the target.
+const CLIP_MIN_LEN: usize = 48;
+/// Histogram resolution of the outlier scan.
+const CLIP_BINS: usize = 128;
 
 /// The affine parameters of one quantized activation row:
 /// `x[k] ≈ min + scale · qa[k]`.
@@ -107,13 +129,97 @@ fn parse_quant_mode(value: Option<&str>) -> QuantMode {
     }
 }
 
-/// Quantizes one f32 activation row into the caller's u8 buffer and
-/// returns the affine parameters (see the module docs for the scheme). A
-/// constant or empty row — including all-zero — gets scale `0.0` and
-/// all-zero codes, dequantizing to exactly `min` everywhere; non-finite
-/// values are excluded from the range and clamp to its nearest edge.
-pub fn quantize_activations(x: &[f32], qa: &mut Vec<u8>) -> ActQuant {
-    let ks = KernelSet::active();
+/// How one activation row quantizes: either it degrades to an exact
+/// constant representation (zeroed codes) or it encodes on an affine
+/// grid. Shared by every quantizing entry point — the resident-state
+/// store, the matvec and each GEMM row — so all of them land on the
+/// identical grid for the identical row (the bitwise
+/// streaming == batch invariant).
+#[derive(Debug, Clone, Copy)]
+enum ActPlan {
+    /// Zero every code; the row dequantizes to exactly `min`.
+    Degenerate(ActQuant),
+    /// Encode with `code = clamp(trunc((v − min)·inv + 0.5), 0, 127)`.
+    Encode { min: f32, inv: f32, scale: f32 },
+}
+
+/// Outlier-aware upper calibration bound: if a small tail (> the 63/64
+/// quantile) of the row sits far above the rest, return a clipped upper
+/// bound just above the body so the 7-bit grid resolves the body instead
+/// of stretching over the outliers (which saturate to code 127 via the
+/// encoder's cap — the same clamp that already guards rounding at the
+/// true maximum). Returns `max` unchanged when the row has no such gap,
+/// so benign data keeps the exact empirical range.
+///
+/// One 128-bin histogram over `[min, max]`: walk bins top-down
+/// accumulating the tail; the cut lands on the lowest bin whose dropped
+/// tail stays within 1/64 of the row. The clip only engages when it
+/// shaves at least a quarter of the span — a genuine body/outlier gap —
+/// which keeps dense-extreme rows (sine-shaped test data, uniform ramps)
+/// bit-identical to the unclipped scheme.
+fn clip_upper(x: &[f32], min: f32, max: f32) -> f32 {
+    let width = max - min;
+    if width <= 0.0 || !width.is_finite() {
+        return max;
+    }
+    let inv = CLIP_BINS as f32 / width;
+
+    // Branchless pre-gate, one auto-vectorizable pass: the clip can only
+    // engage when the cut lands at or below bin 3/4·BINS (the ≥25%-span
+    // gap gate), which bounds the population of bins [3/4·BINS, BINS) by
+    // the tail allowance. Count that population with the *identical* bin
+    // arithmetic the histogram uses (`(v−min)·inv`, so the boundary
+    // rounds the same way) and skip the scalar histogram pass — the
+    // expensive part of calibration — whenever the bound already fails.
+    // Dense rows (all benign traffic, in practice) exit here, which is
+    // what keeps calibration off the int8 hot path's critical ~20%;
+    // only genuinely gappy rows pay for the full quantile scan.
+    let gate_bin = (CLIP_BINS - CLIP_BINS / 4) as f32;
+    let mut n = 0u32;
+    let mut top = 0u32;
+    for &v in x {
+        let finite = v.is_finite();
+        n += u32::from(finite);
+        top += u32::from(finite && (v - min) * inv >= gate_bin);
+    }
+    let allow = (n / 64).max(1);
+    if top > allow {
+        return max;
+    }
+
+    let mut hist = [0u32; CLIP_BINS];
+    for &v in x {
+        if v.is_finite() {
+            let b = ((v - min) * inv) as usize;
+            hist[b.min(CLIP_BINS - 1)] += 1;
+        }
+    }
+    let mut tail = 0u32;
+    let mut cut = CLIP_BINS;
+    for b in (0..CLIP_BINS).rev() {
+        tail += hist[b];
+        if tail > allow {
+            break;
+        }
+        cut = b;
+    }
+    if cut >= CLIP_BINS {
+        return max;
+    }
+    let hi = min + cut as f32 * (width / CLIP_BINS as f32);
+    // Gap gate: only clip when the tail sits well above the body.
+    if hi > min && (max - hi) >= 0.25 * width {
+        hi
+    } else {
+        max
+    }
+}
+
+/// The shared first half of activation quantization: range scan (with
+/// the non-finite filtering rescan), outlier-aware calibration, and the
+/// degenerate/overflow checks. Every kernel set computes the identical
+/// plan for the identical row.
+fn act_plan(ks: &KernelSet, x: &[f32]) -> ActPlan {
     // Vectorized range scan; a non-finite bound (a NaN/±inf element
     // reached a lane) reroutes to the filtering rescan, so every kernel
     // set lands on the same finite `[min, max]` for the same row.
@@ -133,9 +239,10 @@ pub fn quantize_activations(x: &[f32], qa: &mut Vec<u8>) -> ActQuant {
     // which degrade to the exact constant representation below.
     if max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) {
         let m = if min.is_finite() { min } else { 0.0 };
-        qa.clear();
-        qa.resize(x.len(), 0);
-        return ActQuant { scale: 0.0, min: m };
+        return ActPlan::Degenerate(ActQuant { scale: 0.0, min: m });
+    }
+    if x.len() >= CLIP_MIN_LEN {
+        max = clip_upper(x, min, max);
     }
     let scale = (max - min) / ACT_LEVELS;
     if !scale.is_finite() {
@@ -144,17 +251,37 @@ pub fn quantize_activations(x: &[f32], qa: &mut Vec<u8>) -> ActQuant {
         // same way) can represent it. Such a row is garbage input, not
         // traffic; degrade it to the exact zero row — deterministic and
         // finite — rather than letting ±inf/NaN leak into scores.
-        qa.clear();
-        qa.resize(x.len(), 0);
-        return ActQuant {
+        return ActPlan::Degenerate(ActQuant {
             scale: 0.0,
             min: 0.0,
-        };
+        });
     }
     let inv = ACT_LEVELS / (max - min);
-    qa.resize(x.len(), 0);
-    ks.act_encode(x, min, inv, qa);
-    ActQuant { scale, min }
+    ActPlan::Encode { min, inv, scale }
+}
+
+/// Quantizes one f32 activation row into the caller's u8 buffer and
+/// returns the affine parameters (see the module docs for the scheme). A
+/// constant or empty row — including all-zero — gets scale `0.0` and
+/// all-zero codes, dequantizing to exactly `min` everywhere; non-finite
+/// values are excluded from the range and clamp to its nearest edge.
+/// Rows of [`CLIP_MIN_LEN`] or more elements get outlier-aware
+/// calibration: an isolated high tail saturates to code 127 instead of
+/// stretching the grid (see [`clip_upper`]).
+pub fn quantize_activations(x: &[f32], qa: &mut Vec<u8>) -> ActQuant {
+    let ks = KernelSet::active();
+    match act_plan(ks, x) {
+        ActPlan::Degenerate(act) => {
+            qa.clear();
+            qa.resize(x.len(), 0);
+            act
+        }
+        ActPlan::Encode { min, inv, scale } => {
+            qa.resize(x.len(), 0);
+            ks.act_encode(x, min, inv, qa);
+            ActQuant { scale, min }
+        }
+    }
 }
 
 /// Decodes a row quantized by [`quantize_activations`] back to f32:
@@ -247,32 +374,85 @@ impl QuantMatrix {
     }
 
     /// `y = self · x`: quantizes `x` into `qa` and runs the int8 GEMM
-    /// inner loops on the dispatched kernel set.
+    /// inner loops on the dispatched kernel set. The encode pass of the
+    /// activation quantization is fused into the first 4-row dot quad
+    /// (`encode_dot4_i8`) so the freshly encoded chunk is consumed while
+    /// register-resident; remaining rows reuse the encoded `qa`. The
+    /// range scan cannot fuse — the grid depends on the full row's
+    /// min/max — and the fusion is bitwise-neutral (pinned by the kernel
+    /// tests), so results are identical to the unfused composition.
     pub fn matvec_into(&self, x: &[f32], qa: &mut Vec<u8>, y: &mut [f32]) {
-        debug_assert_eq!(x.len(), self.cols);
-        debug_assert_eq!(y.len(), self.rows);
-        let act = quantize_activations(x, qa);
-        self.qnt_row(KernelSet::active(), qa, act, y);
+        self.score_row(KernelSet::active(), x, qa, y)
     }
 
-    /// `C = A · selfᵀ`, quantizing each row of `A` independently — which
-    /// makes the 1-row case bitwise identical to
-    /// [`matvec_into`](Self::matvec_into), the invariant behind
-    /// int8 streaming == int8 batch.
+    /// `C = A · selfᵀ`, quantizing each row of `A` independently through
+    /// the very same per-row path as [`matvec_into`](Self::matvec_into) —
+    /// which makes every row of the GEMM bitwise identical to its matvec,
+    /// the invariant behind int8 streaming == int8 batch (and micro-batched
+    /// == per-packet streaming). A weight-blocked loop nest (outer over
+    /// weight quads, inner over activation rows) was measured here and
+    /// *lost* ~15% on the ci-preset models: their weight matrices fit in
+    /// L2, so the per-row pass already streams them cache-resident, and
+    /// blocking only bought strided writes into `C`.
     pub fn matmul_nt_into(&self, a: &Matrix, qa: &mut Vec<u8>, c: &mut Matrix) {
         assert_eq!(a.cols, self.cols, "quant nt shape mismatch");
         c.resize(a.rows, self.rows);
         let ks = KernelSet::active();
         for i in 0..a.rows {
-            let act = quantize_activations(a.row(i), qa);
-            self.qnt_row(ks, qa, act, c.row_mut(i));
+            self.score_row(ks, a.row(i), qa, c.row_mut(i));
         }
     }
 
-    /// One output row of the int8 GEMM: 4-way register-blocked int8 dots,
-    /// then the dequantizing epilogue.
-    fn qnt_row(&self, ks: &KernelSet, qa: &[u8], act: ActQuant, crow: &mut [f32]) {
-        let mut j = 0;
+    /// Quantize one activation row and produce one output row — the
+    /// shared body of [`matvec_into`](Self::matvec_into) and each
+    /// [`matmul_nt_into`](Self::matmul_nt_into) row.
+    fn score_row(&self, ks: &KernelSet, x: &[f32], qa: &mut Vec<u8>, y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        match act_plan(ks, x) {
+            ActPlan::Degenerate(act) => {
+                qa.clear();
+                qa.resize(x.len(), 0);
+                self.qnt_rows_from(ks, qa, act, y, 0);
+            }
+            ActPlan::Encode { min, inv, scale } => {
+                let act = ActQuant { scale, min };
+                qa.resize(x.len(), 0);
+                if self.rows >= 4 {
+                    let acc = ks.encode_dot4_i8(
+                        x,
+                        min,
+                        inv,
+                        qa,
+                        self.row(0),
+                        self.row(1),
+                        self.row(2),
+                        self.row(3),
+                    );
+                    for (k, &a) in acc.iter().enumerate() {
+                        y[k] = dequantize(a, self.row_sums[k], act, self.scales[k]);
+                    }
+                    self.qnt_rows_from(ks, qa, act, y, 4);
+                } else {
+                    ks.act_encode(x, min, inv, qa);
+                    self.qnt_rows_from(ks, qa, act, y, 0);
+                }
+            }
+        }
+    }
+
+    /// Output rows `start..` of the int8 GEMM over an already-encoded
+    /// activation row: 4-way register-blocked int8 dots, then the
+    /// dequantizing epilogue.
+    fn qnt_rows_from(
+        &self,
+        ks: &KernelSet,
+        qa: &[u8],
+        act: ActQuant,
+        crow: &mut [f32],
+        start: usize,
+    ) {
+        let mut j = start;
         while j + 4 <= self.rows {
             let acc = ks.dot4_i8(
                 qa,
@@ -473,6 +653,50 @@ impl QuantPackedGru {
         self.u.matvec_into(h, &mut scratch.qa, &mut scratch.up);
         KernelSet::active().gru_gates(&scratch.xp, &scratch.up, h, z, r);
     }
+
+    /// Int8 twin of [`PackedGru::step_batch`]: one GRU step for `B`
+    /// independent flows at once. Because the int8 GEMM quantizes each
+    /// activation row independently and scores it through the exact
+    /// per-row path of [`QuantMatrix::matvec_into`], every row of the
+    /// batch is bitwise identical to a separate [`step`](Self::step)
+    /// call with that flow's `x`/`h` — the invariant the micro-batched
+    /// streaming path relies on.
+    pub fn step_batch(
+        &self,
+        xs: &Matrix,
+        hs: &mut Matrix,
+        scratch: &mut GruBatchScratch,
+        zs: &mut Matrix,
+        rs: &mut Matrix,
+    ) {
+        let hidden = self.hidden;
+        let b = xs.rows;
+        debug_assert_eq!(xs.cols, self.input_size());
+        debug_assert_eq!(hs.rows, b);
+        debug_assert_eq!(hs.cols, hidden);
+
+        self.w.matmul_nt_into(xs, &mut scratch.qa, &mut scratch.xp);
+        for i in 0..b {
+            let row = scratch.xp.row_mut(i);
+            for (v, &bv) in row.iter_mut().zip(&self.b) {
+                *v += bv;
+            }
+        }
+        self.u.matmul_nt_into(hs, &mut scratch.qa, &mut scratch.up);
+
+        zs.resize(b, hidden);
+        rs.resize(b, hidden);
+        let ks = KernelSet::active();
+        for i in 0..b {
+            ks.gru_gates(
+                scratch.xp.row(i),
+                scratch.up.row(i),
+                hs.row_mut(i),
+                zs.row_mut(i),
+                rs.row_mut(i),
+            );
+        }
+    }
 }
 
 /// A GRU inference engine at either precision, so the scoring paths hold
@@ -534,6 +758,23 @@ impl GruEngine {
         match self {
             GruEngine::F32(p) => p.step(x, h, scratch, z, r),
             GruEngine::Int8(q) => q.step(x, h, scratch, z, r),
+        }
+    }
+
+    /// One GRU step for `B` independent flows at once (row `i` of
+    /// `xs`/`hs`/`zs`/`rs` belongs to flow `i`). At both precisions each
+    /// row is bitwise identical to a separate [`step`](Self::step) call.
+    pub fn step_batch(
+        &self,
+        xs: &Matrix,
+        hs: &mut Matrix,
+        scratch: &mut GruBatchScratch,
+        zs: &mut Matrix,
+        rs: &mut Matrix,
+    ) {
+        match self {
+            GruEngine::F32(p) => p.step_batch(xs, hs, scratch, zs, rs),
+            GruEngine::Int8(q) => q.step_batch(xs, hs, scratch, zs, rs),
         }
     }
 }
@@ -783,6 +1024,98 @@ mod tests {
         q.reconstruction_errors_into(&x, &mut ws, &mut qe);
         for (a, b) in f.iter().zip(&qe) {
             assert!((a - b).abs() < 0.02, "drift too large: f32 {a} vs int8 {b}");
+        }
+    }
+
+    /// One adversarially-inflated element in a long row must not stretch
+    /// the activation grid: the clip planner saturates the spike to code
+    /// 127 and keeps near-full resolution for the honest body.
+    #[test]
+    fn outlier_clip_engages_on_isolated_spike() {
+        let mut x: Vec<f32> = (0..96).map(|i| ((i as f32) * 0.37).sin().abs()).collect();
+        x[40] = 50.0;
+        let mut qa = Vec::new();
+        let act = quantize_activations(&x, &mut qa);
+        assert_eq!(qa[40], 127, "the spike saturates to the top code");
+        let unclipped = (50.0 - 0.0) / ACT_LEVELS;
+        assert!(
+            act.scale < unclipped * 0.1,
+            "grid step {} should be far below the unclipped {}",
+            act.scale,
+            unclipped
+        );
+        for (i, (&v, &q)) in x.iter().zip(&qa).enumerate() {
+            if i == 40 {
+                continue;
+            }
+            let back = act.min + f32::from(q) * act.scale;
+            assert!(
+                (back - v).abs() <= act.scale * 0.5 + 1e-6,
+                "body element {i}: {v} -> {q} -> {back} (scale {})",
+                act.scale
+            );
+        }
+    }
+
+    /// A dense ramp has no outlier gap: the clip gate must leave the raw
+    /// `[min, max]` grid untouched (bitwise — same scale computation).
+    #[test]
+    fn outlier_clip_skips_dense_rows() {
+        let x: Vec<f32> = (0..96).map(|i| i as f32 / 95.0).collect();
+        let mut qa = Vec::new();
+        let act = quantize_activations(&x, &mut qa);
+        assert_eq!(act.scale, (1.0 - 0.0) / ACT_LEVELS);
+        assert_eq!(qa[95], 127);
+        // Short rows never clip, whatever their shape.
+        let mut short: Vec<f32> = (0..37).map(|i| ((i as f32) * 0.37).sin().abs()).collect();
+        short[20] = 50.0;
+        let act = quantize_activations(&short, &mut qa);
+        let min = short.iter().cloned().fold(f32::MAX, f32::min);
+        assert_eq!(act.scale, (50.0 - min) / ACT_LEVELS);
+    }
+
+    /// Int8 twin of the f32 `step_batch` pin: batching B live flows
+    /// through one GEMM must be bitwise identical to stepping each flow
+    /// on its own.
+    #[test]
+    fn quant_step_batch_matches_per_flow_step_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cell = GruCell::new(6, 10, &mut rng);
+        let q = QuantPackedGru::quantize(&PackedGru::pack(&cell));
+        let mut scratch = GruStepScratch::new();
+        let mut batch_scratch = GruBatchScratch::new();
+        for b in [0usize, 1, 3, 4, 7, 16] {
+            // Per-flow reference: distinct mid-flow hidden states.
+            let mut xs = Matrix::zeros(b, 6);
+            let mut hs = Matrix::zeros(b, 10);
+            for f in 0..b {
+                for i in 0..6 {
+                    xs.set(f, i, ((f * 6 + i) as f32 * 0.29).cos());
+                }
+                for i in 0..10 {
+                    hs.set(f, i, ((f * 10 + i) as f32 * 0.13).sin() * 0.8);
+                }
+            }
+            let mut want_h = Vec::new();
+            let mut want_z = Vec::new();
+            let mut want_r = Vec::new();
+            for f in 0..b {
+                let mut h = hs.row(f).to_vec();
+                let mut z = vec![0.0f32; 10];
+                let mut r = vec![0.0f32; 10];
+                q.step(xs.row(f), &mut h, &mut scratch, &mut z, &mut r);
+                want_h.push(h);
+                want_z.push(z);
+                want_r.push(r);
+            }
+            let mut zs = Matrix::default();
+            let mut rs = Matrix::default();
+            q.step_batch(&xs, &mut hs, &mut batch_scratch, &mut zs, &mut rs);
+            for f in 0..b {
+                assert_eq!(hs.row(f), want_h[f].as_slice(), "h row {f} (b={b})");
+                assert_eq!(zs.row(f), want_z[f].as_slice(), "z row {f} (b={b})");
+                assert_eq!(rs.row(f), want_r[f].as_slice(), "r row {f} (b={b})");
+            }
         }
     }
 

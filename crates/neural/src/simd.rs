@@ -18,13 +18,20 @@
 //! * **avx512** — the same kernels widened to 16 lanes with masked tails,
 //!   used where AVX-512F is available.
 //!
+//! Two int8-oriented tiers ride on top: **avxvnni** (256-bit `vpdpbusd`
+//! int8 dots over the avx2 f32 kernels, for AVX2-class CPUs without
+//! AVX-512) and **avx512vnni** (512-bit `vpdpbusd` over the avx512 f32
+//! kernels).
+//!
 //! Selection happens **once per process** via
 //! [`is_x86_feature_detected!`]: [`KernelSet::active`] picks the widest
-//! supported set (avx512 → avx2 → scalar) and caches it. Setting the
+//! supported set (avx512vnni → avx512 → avxvnni → avx2 → scalar) and
+//! caches it. Setting the
 //! environment variable `NEURAL_FORCE_SCALAR` (to anything but `0`, the
 //! empty string, or `false`) pins the scalar set — CI runs the whole test
 //! suite that way to keep the reference path exercised — and
-//! `NEURAL_KERNELS=scalar|avx2|avx512` requests a specific set, falling
+//! `NEURAL_KERNELS=scalar|avx2|avxvnni|avx512|avx512vnni` requests a
+//! specific set, falling
 //! back to the ladder when the CPU lacks it. Tests can also grab a
 //! specific set directly ([`KernelSet::scalar`], [`KernelSet::avx2`],
 //! [`KernelSet::avx512`]) without touching the process-wide choice.
@@ -49,6 +56,9 @@ type GruGatesFn = fn(&[f32], &[f32], &mut [f32], &mut [f32], &mut [f32]);
 /// `dot4_i8(a, b0, b1, b2, b3)` — four int8 dot products sharing one
 /// quantized activation row `a`.
 type Dot4I8Fn = fn(&[u8], &[i8], &[i8], &[i8], &[i8]) -> [i32; 4];
+/// `encode_dot4_i8(x, min, inv, qa, b0, b1, b2, b3)` — encodes one
+/// activation row to 7-bit codes while accumulating four int8 dots.
+type EncodeDot4I8Fn = fn(&[f32], f32, f32, &mut [u8], &[i8], &[i8], &[i8], &[i8]) -> [i32; 4];
 
 /// A coherent set of hot-path kernels, selected once at startup. All
 /// function pointers are plain safe `fn`s; the SIMD variants wrap their
@@ -56,8 +66,8 @@ type Dot4I8Fn = fn(&[u8], &[i8], &[i8], &[i8], &[i8]) -> [i32; 4];
 /// constructor verified the required CPU features.
 #[derive(Clone, Copy)]
 pub struct KernelSet {
-    /// Kernel family name: `"scalar"`, `"avx2"`, `"avx512"` or
-    /// `"avx512vnni"`.
+    /// Kernel family name: `"scalar"`, `"avx2"`, `"avxvnni"`, `"avx512"`
+    /// or `"avx512vnni"`.
     pub name: &'static str,
     dot: fn(&[f32], &[f32]) -> f32,
     dot4: Dot4Fn,
@@ -69,6 +79,7 @@ pub struct KernelSet {
     dot4_i8: Dot4I8Fn,
     act_range: fn(&[f32]) -> (f32, f32),
     act_encode: fn(&[f32], f32, f32, &mut [u8]),
+    encode_dot4_i8: EncodeDot4I8Fn,
 }
 
 impl std::fmt::Debug for KernelSet {
@@ -207,6 +218,39 @@ impl KernelSet {
         (self.act_encode)(x, min, inv, out)
     }
 
+    /// Fused quantize-encode + four int8 dot products: writes the 7-bit
+    /// codes of `x` into `qa` (bit-identical to
+    /// [`act_encode`](Self::act_encode)) while accumulating `qa·b0..qa·b3`
+    /// in the same pass, so each encoded activation chunk is consumed by
+    /// the GEMM inner loop while still register-resident instead of making
+    /// a separate encode round trip through memory. Because the dots are
+    /// exact integer arithmetic, the result is **bit-identical** to
+    /// `act_encode` followed by [`dot4_i8`](Self::dot4_i8) on every set.
+    ///
+    /// This is the inner kernel of the recurrent int8 matvec's per-step
+    /// activation re-quantization (the range scan cannot fuse — the encode
+    /// scale depends on the full row's min/max — but the encode pass can).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_dot4_i8(
+        &self,
+        x: &[f32],
+        min: f32,
+        inv: f32,
+        qa: &mut [u8],
+        b0: &[i8],
+        b1: &[i8],
+        b2: &[i8],
+        b3: &[i8],
+    ) -> [i32; 4] {
+        let n = x.len();
+        assert!(
+            qa.len() == n && b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n,
+            "encode_dot4_i8 length mismatch"
+        );
+        (self.encode_dot4_i8)(x, min, inv, qa, b0, b1, b2, b3)
+    }
+
     /// The safe scalar reference set. Always available; forced
     /// process-wide by `NEURAL_FORCE_SCALAR`.
     pub fn scalar() -> &'static KernelSet {
@@ -219,6 +263,25 @@ impl KernelSet {
         {
             if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
                 return Some(&x86::AVX2);
+            }
+        }
+        None
+    }
+
+    /// The 256-bit AVX-VNNI set, if this CPU supports it: f32 kernels
+    /// identical to [`avx2`](Self::avx2), plus `vpdpbusd` int8 dot kernels
+    /// on 256-bit vectors (u8×i8 quads accumulated straight into i32
+    /// lanes, no `maddubs` i16 stage). This is the fast int8 tier for
+    /// AVX2-class CPUs without AVX-512 (Alder Lake and newer client
+    /// parts). Requires AVX2+FMA+AVX-VNNI.
+    pub fn avxvnni() -> Option<&'static KernelSet> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+                && is_x86_feature_detected!("avxvnni")
+            {
+                return Some(&x86::AVXVNNI);
             }
         }
         None
@@ -264,6 +327,7 @@ impl KernelSet {
     pub fn available() -> Vec<&'static KernelSet> {
         let mut sets = vec![Self::scalar()];
         sets.extend(Self::avx2());
+        sets.extend(Self::avxvnni());
         sets.extend(Self::avx512());
         sets.extend(Self::avx512vnni());
         sets
@@ -271,7 +335,8 @@ impl KernelSet {
 
     /// The process-wide dispatched set: the widest ISA the CPU supports,
     /// unless `NEURAL_FORCE_SCALAR` pins the scalar reference or
-    /// `NEURAL_KERNELS=scalar|avx2|avx512` requests a specific set (best
+    /// `NEURAL_KERNELS=scalar|avx2|avxvnni|avx512|avx512vnni` requests a
+    /// specific set (best
     /// effort — an unsupported or unknown request falls back to the
     /// normal ladder, so `NEURAL_KERNELS=avx2` on an AVX-512 machine
     /// reproduces what an AVX2-only host would dispatch, e.g. to record a
@@ -312,6 +377,11 @@ fn select(force_scalar: bool, requested: Option<&str>) -> &'static KernelSet {
                 return ks;
             }
         }
+        Some("avxvnni") => {
+            if let Some(ks) = KernelSet::avxvnni() {
+                return ks;
+            }
+        }
         Some("avx512") => {
             if let Some(ks) = KernelSet::avx512() {
                 return ks;
@@ -326,6 +396,7 @@ fn select(force_scalar: bool, requested: Option<&str>) -> &'static KernelSet {
     }
     KernelSet::avx512vnni()
         .or_else(KernelSet::avx512)
+        .or_else(KernelSet::avxvnni)
         .or_else(KernelSet::avx2)
         .unwrap_or_else(KernelSet::scalar)
 }
@@ -350,7 +421,27 @@ static SCALAR: KernelSet = KernelSet {
     dot4_i8: dot4_i8_scalar,
     act_range: act_range_scalar,
     act_encode: act_encode_scalar,
+    encode_dot4_i8: encode_dot4_i8_scalar,
 };
+
+/// Reference fused encode+dot: the unfused composition *is* the spec —
+/// encode the whole row, then take the four integer dots. The SIMD
+/// variants interleave the two per 32-element chunk but compute the exact
+/// same codes and (associative) integer sums, so they stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn encode_dot4_i8_scalar(
+    x: &[f32],
+    min: f32,
+    inv: f32,
+    qa: &mut [u8],
+    b0: &[i8],
+    b1: &[i8],
+    b2: &[i8],
+    b3: &[i8],
+) -> [i32; 4] {
+    act_encode_scalar(x, min, inv, qa);
+    dot4_i8_scalar(qa, b0, b1, b2, b3)
+}
 
 fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -539,6 +630,26 @@ mod x86 {
         dot4_i8: dot4_i8_avx2,
         act_range: act_range_avx2,
         act_encode: act_encode_avx2,
+        encode_dot4_i8: encode_dot4_i8_avx2,
+    };
+
+    /// The 256-bit AVX-VNNI tier: f32 kernels identical to [`AVX2`], int8
+    /// kernels on the VEX-encoded `vpdpbusd` (`_mm256_dpbusd_avx_epi32`)
+    /// — same 256-bit shape as the maddubs kernels but one µop per 32
+    /// products and no i16 stage. For AVX2-class CPUs without AVX-512.
+    pub(super) static AVXVNNI: KernelSet = KernelSet {
+        name: "avxvnni",
+        dot: dot_avx2,
+        dot4: dot4_avx2,
+        axpy: axpy_avx2,
+        bias_act: bias_act_avx2,
+        gru_gates: gru_gates_avx2,
+        sum_abs_diff: sum_abs_diff_avx2,
+        dot_i8: dot_i8_avxvnni,
+        dot4_i8: dot4_i8_avxvnni,
+        act_range: act_range_avx2,
+        act_encode: act_encode_avx2,
+        encode_dot4_i8: encode_dot4_i8_avxvnni,
     };
 
     pub(super) static AVX512: KernelSet = KernelSet {
@@ -556,10 +667,13 @@ mod x86 {
         dot4_i8: dot4_i8_avx2,
         act_range: act_range_avx2,
         act_encode: act_encode_avx2,
+        encode_dot4_i8: encode_dot4_i8_avx2,
     };
 
     /// The VNNI tier: f32 kernels identical to [`AVX512`], int8 kernels on
-    /// `vpdpbusd` (u8×i8 quads accumulated directly into i32 lanes).
+    /// `vpdpbusd` (u8×i8 quads accumulated directly into i32 lanes). The
+    /// fused encode+dot stays on the 256-bit maddubs body (its encode
+    /// stage is 256-bit; it only runs on one row-quad per matvec).
     pub(super) static AVX512VNNI: KernelSet = KernelSet {
         name: "avx512vnni",
         dot: dot_avx512,
@@ -572,6 +686,7 @@ mod x86 {
         dot4_i8: dot4_i8_vnni,
         act_range: act_range_avx2,
         act_encode: act_encode_avx2,
+        encode_dot4_i8: encode_dot4_i8_avx2,
     };
 
     // Cephes-style polynomial `expf` constants (same as avx_mathfun /
@@ -1581,6 +1696,298 @@ mod x86 {
         // SAFETY: reachable only through AVX2-verified KernelSets.
         unsafe { act_encode_avx2_impl(x, min, inv, out) }
     }
+
+    // ---------------- 256-bit AVX-VNNI int8 dots ----------------
+
+    /// # Safety
+    /// Requires AVX2+AVX-VNNI.
+    #[target_feature(enable = "avx2,avxvnni")]
+    unsafe fn dot_i8_avxvnni_impl(a: &[u8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 64 <= n {
+            acc0 = _mm256_dpbusd_avx_epi32(
+                acc0,
+                _mm256_loadu_si256(pa.add(i) as *const __m256i),
+                _mm256_loadu_si256(pb.add(i) as *const __m256i),
+            );
+            acc1 = _mm256_dpbusd_avx_epi32(
+                acc1,
+                _mm256_loadu_si256(pa.add(i + 32) as *const __m256i),
+                _mm256_loadu_si256(pb.add(i + 32) as *const __m256i),
+            );
+            i += 64;
+        }
+        if i + 32 <= n {
+            acc0 = _mm256_dpbusd_avx_epi32(
+                acc0,
+                _mm256_loadu_si256(pa.add(i) as *const __m256i),
+                _mm256_loadu_si256(pb.add(i) as *const __m256i),
+            );
+            i += 32;
+        }
+        let mut sum = hsum256_epi32(_mm256_add_epi32(acc0, acc1));
+        while i < n {
+            sum += i32::from(a[i]) * i32::from(b[i]);
+            i += 1;
+        }
+        sum
+    }
+
+    fn dot_i8_avxvnni(a: &[u8], b: &[i8]) -> i32 {
+        // SAFETY: reachable only through the detected AVX-VNNI set.
+        unsafe { dot_i8_avxvnni_impl(a, b) }
+    }
+
+    /// # Safety
+    /// Requires AVX2+AVX-VNNI.
+    #[target_feature(enable = "avx2,avxvnni")]
+    unsafe fn dot4_i8_avxvnni_impl(
+        a: &[u8],
+        b0: &[i8],
+        b1: &[i8],
+        b2: &[i8],
+        b3: &[i8],
+    ) -> [i32; 4] {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let mut a0 = _mm256_setzero_si256();
+        let mut a1 = _mm256_setzero_si256();
+        let mut a2 = _mm256_setzero_si256();
+        let mut a3 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 32 <= n {
+            let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+            a0 = _mm256_dpbusd_avx_epi32(a0, va, _mm256_loadu_si256(p0.add(i) as *const __m256i));
+            a1 = _mm256_dpbusd_avx_epi32(a1, va, _mm256_loadu_si256(p1.add(i) as *const __m256i));
+            a2 = _mm256_dpbusd_avx_epi32(a2, va, _mm256_loadu_si256(p2.add(i) as *const __m256i));
+            a3 = _mm256_dpbusd_avx_epi32(a3, va, _mm256_loadu_si256(p3.add(i) as *const __m256i));
+            i += 32;
+        }
+        let mut out = [
+            hsum256_epi32(a0),
+            hsum256_epi32(a1),
+            hsum256_epi32(a2),
+            hsum256_epi32(a3),
+        ];
+        while i < n {
+            let av = i32::from(a[i]);
+            out[0] += av * i32::from(b0[i]);
+            out[1] += av * i32::from(b1[i]);
+            out[2] += av * i32::from(b2[i]);
+            out[3] += av * i32::from(b3[i]);
+            i += 1;
+        }
+        out
+    }
+
+    fn dot4_i8_avxvnni(a: &[u8], b0: &[i8], b1: &[i8], b2: &[i8], b3: &[i8]) -> [i32; 4] {
+        // SAFETY: reachable only through the detected AVX-VNNI set.
+        unsafe { dot4_i8_avxvnni_impl(a, b0, b1, b2, b3) }
+    }
+
+    // ---------------- fused encode + dot4 ----------------
+
+    /// Encodes 16 floats at `p` to 16 contiguous u8 codes in one __m128i.
+    /// Exactly the op sequence of `act_encode_avx2_impl` (sub, mul, add —
+    /// no FMA; ordered `>` keeps NaN; truncating cvt; saturating packs
+    /// send NaN's 0x8000_0000 to code 0), so codes are bit-identical to
+    /// every other encode path.
+    ///
+    /// # Safety
+    /// Requires AVX2; 16 readable floats at `p`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn encode16(
+        p: *const f32,
+        vmin: __m256,
+        vinv: __m256,
+        half: __m256,
+        cap: __m256,
+    ) -> __m128i {
+        let mut t0 = _mm256_add_ps(
+            _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(p), vmin), vinv),
+            half,
+        );
+        let mut t1 = _mm256_add_ps(
+            _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(p.add(8)), vmin), vinv),
+            half,
+        );
+        let m0 = _mm256_cmp_ps::<_CMP_GT_OQ>(t0, cap);
+        let m1 = _mm256_cmp_ps::<_CMP_GT_OQ>(t1, cap);
+        t0 = _mm256_blendv_ps(t0, cap, m0);
+        t1 = _mm256_blendv_ps(t1, cap, m1);
+        let i0 = _mm256_cvttps_epi32(t0);
+        let i1 = _mm256_cvttps_epi32(t1);
+        let packed16 = _mm256_permute4x64_epi64::<0b11011000>(_mm256_packs_epi32(i0, i1));
+        let packed8 = _mm256_packus_epi16(packed16, packed16);
+        _mm_unpacklo_epi64(
+            _mm256_castsi256_si128(packed8),
+            _mm256_extracti128_si256::<1>(packed8),
+        )
+    }
+
+    /// Shared scalar tail of the fused kernels: encode + accumulate one
+    /// element at a time from `i`.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_dot4_tail(
+        i: usize,
+        x: &[f32],
+        min: f32,
+        inv: f32,
+        qa: &mut [u8],
+        b0: &[i8],
+        b1: &[i8],
+        b2: &[i8],
+        b3: &[i8],
+        out: &mut [i32; 4],
+    ) {
+        for k in i..x.len() {
+            let t = (x[k] - min) * inv + 0.5;
+            let q = if t > 127.0 { 127.0 } else { t } as u8;
+            qa[k] = q;
+            let av = i32::from(q);
+            out[0] += av * i32::from(b0[k]);
+            out[1] += av * i32::from(b1[k]);
+            out[2] += av * i32::from(b2[k]);
+            out[3] += av * i32::from(b3[k]);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn encode_dot4_i8_avx2_impl(
+        x: &[f32],
+        min: f32,
+        inv: f32,
+        qa: &mut [u8],
+        b0: &[i8],
+        b1: &[i8],
+        b2: &[i8],
+        b3: &[i8],
+    ) -> [i32; 4] {
+        let n = x.len();
+        let p = x.as_ptr();
+        let pq = qa.as_mut_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let vmin = _mm256_set1_ps(min);
+        let vinv = _mm256_set1_ps(inv);
+        let half = _mm256_set1_ps(0.5);
+        let cap = _mm256_set1_ps(127.0);
+        let ones = _mm256_set1_epi16(1);
+        let mut a0 = _mm256_setzero_si256();
+        let mut a1 = _mm256_setzero_si256();
+        let mut a2 = _mm256_setzero_si256();
+        let mut a3 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 32 <= n {
+            let c0 = encode16(p.add(i), vmin, vinv, half, cap);
+            let c1 = encode16(p.add(i + 16), vmin, vinv, half, cap);
+            let va = _mm256_set_m128i(c1, c0);
+            _mm256_storeu_si256(pq.add(i) as *mut __m256i, va);
+            let m0 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p0.add(i) as *const __m256i));
+            let m1 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p1.add(i) as *const __m256i));
+            let m2 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p2.add(i) as *const __m256i));
+            let m3 = _mm256_maddubs_epi16(va, _mm256_loadu_si256(p3.add(i) as *const __m256i));
+            a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(m0, ones));
+            a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(m1, ones));
+            a2 = _mm256_add_epi32(a2, _mm256_madd_epi16(m2, ones));
+            a3 = _mm256_add_epi32(a3, _mm256_madd_epi16(m3, ones));
+            i += 32;
+        }
+        let mut out = [
+            hsum256_epi32(a0),
+            hsum256_epi32(a1),
+            hsum256_epi32(a2),
+            hsum256_epi32(a3),
+        ];
+        encode_dot4_tail(i, x, min, inv, qa, b0, b1, b2, b3, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn encode_dot4_i8_avx2(
+        x: &[f32],
+        min: f32,
+        inv: f32,
+        qa: &mut [u8],
+        b0: &[i8],
+        b1: &[i8],
+        b2: &[i8],
+        b3: &[i8],
+    ) -> [i32; 4] {
+        // SAFETY: reachable only through AVX2-verified KernelSets.
+        unsafe { encode_dot4_i8_avx2_impl(x, min, inv, qa, b0, b1, b2, b3) }
+    }
+
+    /// # Safety
+    /// Requires AVX2+AVX-VNNI.
+    #[target_feature(enable = "avx2,avxvnni")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn encode_dot4_i8_avxvnni_impl(
+        x: &[f32],
+        min: f32,
+        inv: f32,
+        qa: &mut [u8],
+        b0: &[i8],
+        b1: &[i8],
+        b2: &[i8],
+        b3: &[i8],
+    ) -> [i32; 4] {
+        let n = x.len();
+        let p = x.as_ptr();
+        let pq = qa.as_mut_ptr();
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let vmin = _mm256_set1_ps(min);
+        let vinv = _mm256_set1_ps(inv);
+        let half = _mm256_set1_ps(0.5);
+        let cap = _mm256_set1_ps(127.0);
+        let mut a0 = _mm256_setzero_si256();
+        let mut a1 = _mm256_setzero_si256();
+        let mut a2 = _mm256_setzero_si256();
+        let mut a3 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 32 <= n {
+            let c0 = encode16(p.add(i), vmin, vinv, half, cap);
+            let c1 = encode16(p.add(i + 16), vmin, vinv, half, cap);
+            let va = _mm256_set_m128i(c1, c0);
+            _mm256_storeu_si256(pq.add(i) as *mut __m256i, va);
+            a0 = _mm256_dpbusd_avx_epi32(a0, va, _mm256_loadu_si256(p0.add(i) as *const __m256i));
+            a1 = _mm256_dpbusd_avx_epi32(a1, va, _mm256_loadu_si256(p1.add(i) as *const __m256i));
+            a2 = _mm256_dpbusd_avx_epi32(a2, va, _mm256_loadu_si256(p2.add(i) as *const __m256i));
+            a3 = _mm256_dpbusd_avx_epi32(a3, va, _mm256_loadu_si256(p3.add(i) as *const __m256i));
+            i += 32;
+        }
+        let mut out = [
+            hsum256_epi32(a0),
+            hsum256_epi32(a1),
+            hsum256_epi32(a2),
+            hsum256_epi32(a3),
+        ];
+        encode_dot4_tail(i, x, min, inv, qa, b0, b1, b2, b3, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn encode_dot4_i8_avxvnni(
+        x: &[f32],
+        min: f32,
+        inv: f32,
+        qa: &mut [u8],
+        b0: &[i8],
+        b1: &[i8],
+        b2: &[i8],
+        b3: &[i8],
+    ) -> [i32; 4] {
+        // SAFETY: reachable only through the detected AVX-VNNI set.
+        unsafe { encode_dot4_i8_avxvnni_impl(x, min, inv, qa, b0, b1, b2, b3) }
+    }
 }
 
 #[cfg(test)]
@@ -1632,6 +2039,8 @@ mod tests {
             assert_eq!(best.name, "avx512vnni");
         } else if KernelSet::avx512().is_some() {
             assert_eq!(best.name, "avx512");
+        } else if KernelSet::avxvnni().is_some() {
+            assert_eq!(best.name, "avxvnni");
         } else if KernelSet::avx2().is_some() {
             assert_eq!(best.name, "avx2");
         } else {
@@ -1644,6 +2053,9 @@ mod tests {
         assert_eq!(select(false, Some("scalar")).name, "scalar");
         if let Some(avx2) = KernelSet::avx2() {
             assert_eq!(select(false, Some("avx2")).name, avx2.name);
+        }
+        if let Some(avxvnni) = KernelSet::avxvnni() {
+            assert_eq!(select(false, Some("avxvnni")).name, avxvnni.name);
         }
         if let Some(avx512) = KernelSet::avx512() {
             assert_eq!(select(false, Some("avx512")).name, avx512.name);
@@ -1675,7 +2087,7 @@ mod tests {
     fn available_always_includes_scalar() {
         let sets = KernelSet::available();
         assert_eq!(sets[0].name, "scalar");
-        assert!(sets.len() <= 4);
+        assert!(sets.len() <= 5);
     }
 
     /// Int8 dots are exact integer arithmetic, so every available set must
@@ -1718,6 +2130,39 @@ mod tests {
     #[should_panic(expected = "dot_i8 length mismatch")]
     fn mismatched_i8_lengths_panic_not_ub() {
         let _ = KernelSet::active().dot_i8(&[1u8; 16], &[1i8; 8]);
+    }
+
+    /// The fused encode+dot kernel must be bit-identical to its unfused
+    /// composition (`act_encode` then `dot4_i8`) on every set — codes and
+    /// dots both — including NaN elements (code 0), values past the cap
+    /// (code 127) and every tail length.
+    #[test]
+    fn fused_encode_dot4_matches_unfused_composition() {
+        for n in [0usize, 1, 5, 16, 31, 32, 33, 37, 63, 64, 65, 96, 130] {
+            let mut x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 2.0).collect();
+            if n > 5 {
+                x[5] = f32::NAN;
+            }
+            if n > 7 {
+                x[7] = 10.0; // past the cap once scaled
+            }
+            let mk = |s: usize| -> Vec<i8> {
+                (0..n)
+                    .map(|i| (((i * 37 + s * 13) % 255) as i16 - 127) as i8)
+                    .collect()
+            };
+            let (b0, b1, b2, b3) = (mk(0), mk(1), mk(2), mk(3));
+            let (min, inv) = (-1.0f32, 50.0f32);
+            let mut want_qa = vec![0u8; n];
+            KernelSet::scalar().act_encode(&x, min, inv, &mut want_qa);
+            let want = KernelSet::scalar().dot4_i8(&want_qa, &b0, &b1, &b2, &b3);
+            for ks in KernelSet::available() {
+                let mut qa = vec![0xffu8; n];
+                let got = ks.encode_dot4_i8(&x, min, inv, &mut qa, &b0, &b1, &b2, &b3);
+                assert_eq!(qa, want_qa, "{} codes n={n}", ks.name);
+                assert_eq!(got, want, "{} dots n={n}", ks.name);
+            }
+        }
     }
 
     /// Every set's range scan must agree with scalar — including rows
