@@ -79,7 +79,7 @@ proptest! {
         let conns = traffic_gen::dataset(seed, 1);
         let mut corrupted = conns[0].clone();
         let idx = which % corrupted.len();
-        corrupted.packets[idx].tcp.checksum ^= 0xbeef;
+        corrupted.packets[idx].tcp_mut().checksum ^= 0xbeef;
         let a = extract_features(&conns[0]);
         let b = extract_features(&corrupted);
         prop_assert_eq!(a, b, "volume/timing features must ignore checksum bits");

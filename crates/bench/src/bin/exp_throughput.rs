@@ -96,8 +96,9 @@
 use bench::{
     arg_value, check_bytes_per_flow, check_memory_regression, check_microbatch_regression,
     check_quant_floor, check_quant_regression, check_scale_regression, check_shard_scaling_floor,
-    check_sharded_regression, check_speedup_regression, check_throughput_regression, render_table,
-    train_all, Preset, ThroughputReference,
+    check_sharded_regression, check_speedup_regression, check_throughput_regression,
+    evaluate_extended_families, render_table, train_all, ExtendedFamilyRow, Preset,
+    ThroughputReference,
 };
 use clap_core::{
     FaultPlan, OverloadPolicy, QuantMode, ResidentMode, ShardConfig, ShardHealth, StreamConfig,
@@ -189,6 +190,10 @@ struct ThroughputReport {
     scale_closed_tcp: u64,
     /// Flows still live at the end of the churn phase (drained).
     scale_drained: u64,
+    /// Measured detection for the three Extended protocol-diversity attack
+    /// families (IPv6 ext-header corruption, UDP length/checksum games,
+    /// overlapping-fragment evasion) over mixed v4/v6/TCP/UDP traffic.
+    extended_detection: Vec<ExtendedFamilyRow>,
 }
 
 fn main() {
@@ -238,6 +243,29 @@ fn main() {
         .expect("thread pool");
 
     let models = train_all(&preset);
+
+    // Detection for the Extended protocol-diversity families rides along
+    // with the throughput run (the paper's 73 are exp_detection's job):
+    // each family only applies to mixed v4/v6/TCP/UDP traffic, scored here
+    // against a mixed benign distribution.
+    let extended_detection = evaluate_extended_families(&models, &preset);
+    println!("\n== Extended families: detection over mixed v4/v6/TCP/UDP traffic ==");
+    println!(
+        "{}",
+        render_table(
+            &["Family", "Conns", "AUC", "Detect@5%FPR"],
+            &extended_detection
+                .iter()
+                .map(|r| vec![
+                    r.strategy_name.clone(),
+                    r.connections.to_string(),
+                    format!("{:.3}", r.auc),
+                    format!("{:.1}%", r.detection_rate * 100.0),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
     // Adversarial corpus mirroring §4.4: a mixed bag across strategies.
     let mut corpus = Vec::new();
     for strat in dpi_attacks::registry() {
@@ -776,6 +804,7 @@ fn main() {
         scale_evicted_capacity: scale.as_ref().map_or(0, |(_, _, s, _)| s.evicted_capacity),
         scale_closed_tcp: scale.as_ref().map_or(0, |(_, _, s, _)| s.closed_tcp),
         scale_drained: scale.as_ref().map_or(0, |(_, _, s, _)| s.drained),
+        extended_detection,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&json_path, json).expect("write throughput json");

@@ -14,7 +14,7 @@
 //! after an intentional traffic-generator change, and commit the result.
 
 use clap_core::{Clap, ClapConfig, Fault, FaultPlan, OverloadPolicy, ShardConfig, StreamConfig};
-use net_packet::pcap::{read_pcap, write_pcap};
+use net_packet::pcap::{read_pcap, write_pcap, write_pcap_raw};
 use net_packet::Packet;
 use std::sync::OnceLock;
 
@@ -23,6 +23,13 @@ fn pcap_path() -> std::path::PathBuf {
         .join("tests")
         .join("data")
         .join("shard_tiny.pcap")
+}
+
+fn mixed_pcap_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("mixed_tiny.pcap")
 }
 
 /// One trained model shared across tests (training dominates runtime).
@@ -235,6 +242,106 @@ fn synthesize_capture() -> Vec<Packet> {
         .collect();
     stream.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
     stream
+}
+
+/// Builds the mixed-protocol capture deterministically: eight mixed
+/// v4/v6, TCP/UDP connections plus one connection attacked with each
+/// Extended protocol-diversity family, serialized to raw wire records
+/// with IPv4 datagrams over 600 bytes split into fragments. The pcap
+/// reader reassembles those fragments inline on load, so this capture
+/// exercises the full v4/v6/UDP/fragment dispatch of the parser in
+/// front of the sharded engine.
+fn synthesize_mixed_capture() -> Vec<(f64, Vec<u8>)> {
+    let mut conns = traffic_gen::mixed_dataset(0x9ca9_5eed, 8);
+    let base = traffic_gen::mixed_dataset(0x9ca9_5eee, 6);
+    for strat in dpi_attacks::strategies_from(dpi_attacks::AttackSource::Extended) {
+        let adv = dpi_attacks::build_adversarial_set(strat, &base, 7);
+        conns.extend(adv.into_iter().take(1).map(|r| r.connection));
+    }
+    traffic_gen::capture_records(&conns, Some(600))
+}
+
+fn load_mixed_capture() -> Vec<Packet> {
+    let bytes = std::fs::read(mixed_pcap_path()).expect(
+        "tests/data/mixed_tiny.pcap missing — regenerate with \
+         `cargo test -p bench --test sharded_replay -- --ignored regenerate`",
+    );
+    read_pcap(&bytes[..]).expect("checked-in mixed capture parses")
+}
+
+/// The mixed v4/v6/UDP (and fragmented) capture replays byte-identically
+/// across shard counts and against the plain single-threaded engine —
+/// the widened `FlowKey` must hash and route every protocol shape
+/// deterministically, exactly like the all-v4 capture above.
+#[test]
+fn protocol_mixed_pcap_replay_is_byte_identical() {
+    let clap = model();
+    let packets = load_mixed_capture();
+    assert!(!packets.is_empty());
+    assert!(
+        packets.iter().any(|p| p.ip.version_field() == 6),
+        "mixed capture must contain IPv6 packets"
+    );
+    assert!(
+        packets.iter().any(|p| p.is_udp()),
+        "mixed capture must contain UDP packets"
+    );
+    assert!(
+        packets.iter().any(|p| p.reassembly.is_some()),
+        "mixed capture must contain reassembled fragments"
+    );
+
+    let four_a = sharded_table(clap, &packets, 4);
+    let four_b = sharded_table(clap, &packets, 4);
+    assert_eq!(
+        four_a, four_b,
+        "two --shards 4 mixed replays must render identical bytes"
+    );
+    let one = sharded_table(clap, &packets, 1);
+    assert_eq!(four_a, one, "--shards 4 must equal --shards 1");
+
+    let mut plain = clap.stream_scorer();
+    for p in &packets {
+        plain.push(p);
+    }
+    let mut closed = plain.drain_closed();
+    closed.extend(plain.finish());
+    let unsharded = bench::verdict_table(&closed, usize::MAX);
+    assert_eq!(four_a, unsharded, "sharded must equal the plain engine");
+}
+
+/// The mixed capture is pinned like the all-v4 one: generator or
+/// fragmenter drift fails loudly instead of re-baselining silently.
+#[test]
+fn protocol_mixed_capture_is_stable() {
+    let mut buf = Vec::new();
+    write_pcap_raw(&mut buf, &synthesize_mixed_capture()).expect("serialize");
+    let on_disk = std::fs::read(mixed_pcap_path()).expect("read checked-in mixed capture");
+    assert_eq!(
+        buf, on_disk,
+        "regenerated capture differs from tests/data/mixed_tiny.pcap — \
+         if the generator change is intentional, re-run the ignored \
+         `regenerate` test and commit the new file"
+    );
+}
+
+/// Writes `tests/data/shard_tiny.pcap` and `tests/data/mixed_tiny.pcap`.
+/// Ignored: run explicitly (and commit the result) only when a capture
+/// must change.
+#[test]
+#[ignore = "writes the checked-in captures; run explicitly to regenerate"]
+fn regenerate_mixed_tiny_pcap() {
+    let records = synthesize_mixed_capture();
+    let mut buf = Vec::new();
+    write_pcap_raw(&mut buf, &records).expect("serialize mixed capture");
+    std::fs::create_dir_all(mixed_pcap_path().parent().unwrap()).expect("create tests/data");
+    std::fs::write(mixed_pcap_path(), &buf).expect("write mixed capture");
+    eprintln!(
+        "wrote {} ({} records, {} bytes)",
+        mixed_pcap_path().display(),
+        records.len(),
+        buf.len()
+    );
 }
 
 /// Writes `tests/data/shard_tiny.pcap`. Ignored: run explicitly (and

@@ -20,7 +20,7 @@
 //! numeric values; the trained [`RangeModel`] then materializes the final
 //! 51-dim packet-feature vector.
 
-use net_packet::{Connection, Direction, Packet, TcpFlags};
+use net_packet::{Connection, Direction, IpHeader, Packet, TcpFlags};
 use serde::{Deserialize, Serialize};
 
 /// Base (RNN-input) feature count — Table 7 features #1–#32.
@@ -107,10 +107,11 @@ impl FeatureExtractor {
     /// vector has been through one call.
     pub fn push_into(&mut self, p: &Packet, dir: Direction, out: &mut FeatureVector) {
         // The first sequence number seen per direction anchors relative
-        // SEQ/ACK (for SYNs this is the true ISN).
+        // SEQ/ACK (for SYNs this is the true ISN). UDP has no sequence
+        // space; its anchor stays 0 and the relative slots read 0.
         let d = dir.index();
         if self.present & (1 << d) == 0 {
-            self.isn[d] = p.tcp.seq;
+            self.isn[d] = p.transport.tcp().map_or(0, |t| t.seq);
             self.present |= 1 << d;
         }
         let isn = [self.get(0, self.isn[0]), self.get(1, self.isn[1])];
@@ -165,22 +166,30 @@ fn extract_packet_into(
     prev_time: &mut Option<f64>,
     out: &mut FeatureVector,
 ) {
-    let f = p.tcp.flags;
+    // TCP-specific slots read 0 for UDP packets — the feature layout is
+    // fixed at 51 dims across transports, and a constant-zero slot is
+    // exactly what "this protocol has no such field" should look like to
+    // the autoencoder.
+    let tcp = p.transport.tcp();
+    let f = p.tcp_flags();
     let has_ack = f.contains(TcpFlags::ACK);
+    let timestamps = tcp.and_then(|t| t.timestamps());
 
     // --- Raw numeric values -------------------------------------------
-    let r_seq = rel_seq(p.tcp.seq, isn[dir.index()]);
-    let r_ack = if has_ack {
-        rel_seq(p.tcp.ack, isn[dir.flip().index()])
-    } else {
-        0.0
+    let r_seq = match tcp {
+        Some(t) => rel_seq(t.seq, isn[dir.index()]),
+        None => 0.0,
     };
-    let (tsval, tsecr) = p.tcp.timestamps().unwrap_or((0, 0));
-    let ts_delta = match (p.tcp.timestamps(), prev_tsval[dir.index()]) {
+    let r_ack = match tcp {
+        Some(t) if has_ack => rel_seq(t.ack, isn[dir.flip().index()]),
+        _ => 0.0,
+    };
+    let (tsval, tsecr) = timestamps.unwrap_or((0, 0));
+    let ts_delta = match (timestamps, prev_tsval[dir.index()]) {
         (Some((v, _)), Some(prev)) => v.wrapping_sub(prev) as i32 as f32,
         _ => 0.0,
     };
-    if let Some((v, _)) = p.tcp.timestamps() {
+    if let Some((v, _)) = timestamps {
         prev_tsval[dir.index()] = Some(v);
     }
     let iat = match *prev_time {
@@ -189,26 +198,54 @@ fn extract_packet_into(
     };
     *prev_time = Some(p.timestamp);
 
+    // IP-layer slots, version-erased. The "IHL" slot carries the *claimed*
+    // header length in 32-bit words for both versions: the v4 IHL nibble
+    // verbatim, or the v6 fixed header plus what the extension chain's
+    // `hdr_ext_len` fields claim — so a lying length field surfaces here
+    // for either version.
+    let claimed_ip_hdr_words = match &p.ip {
+        IpHeader::V4(h) => f32::from(h.ihl),
+        IpHeader::V6(h) => {
+            let claimed: usize = h.ext.iter().map(|e| 8 * (e.hdr_ext_len as usize + 1)).sum();
+            (net_packet::ipv6::IPV6_HEADER_LEN + claimed) as f32 / 4.0
+        }
+    };
+    let tos = match &p.ip {
+        IpHeader::V4(h) => h.tos,
+        IpHeader::V6(h) => h.traffic_class,
+    };
+    let ip_anomalous_options = match &p.ip {
+        IpHeader::V4(h) => h.has_nonstandard_options(),
+        IpHeader::V6(h) => h.ext_chain_anomalous(),
+    };
+
+    let data_offset = tcp.map_or(0, |t| t.data_offset);
+    let window = tcp.map_or(0, |t| t.window);
+    let urgent = tcp.map_or(0, |t| t.urgent);
+    let mss = tcp.and_then(|t| t.mss()).unwrap_or(0);
+    let wscale = tcp.and_then(|t| t.window_scale()).unwrap_or(0);
+    let uto = tcp.and_then(|t| t.user_timeout()).unwrap_or(0);
+
     out.raw.clear();
     out.raw.extend_from_slice(&[
         r_seq,
         r_ack,
-        p.tcp.data_offset as f32,
-        p.tcp.window as f32,
-        p.tcp.urgent as f32,
+        data_offset as f32,
+        window as f32,
+        urgent as f32,
         p.payload.len() as f32,
-        p.tcp.mss().unwrap_or(0) as f32,
+        mss as f32,
         ts_delta,
         tsecr as f32,
-        p.tcp.window_scale().unwrap_or(0) as f32,
-        p.tcp.user_timeout().unwrap_or(0) as f32,
+        wscale as f32,
+        uto as f32,
         tsval as f32,
         iat,
-        p.ip.total_length as f32,
-        p.ip.ttl as f32,
-        p.ip.ihl as f32,
-        p.ip.version as f32,
-        p.ip.tos as f32,
+        p.ip.total_length_field() as f32,
+        p.ip.ttl() as f32,
+        claimed_ip_hdr_words,
+        p.ip.version_field() as f32,
+        tos as f32,
     ]);
 
     // --- Base features #1..#32, scaled --------------------------------
@@ -223,35 +260,51 @@ fn extract_packet_into(
     base.push(dir.index() as f32); // #1 direction
     base.push(log_scale(r_seq, u32::MAX as f32)); // #2
     base.push(log_scale(r_ack, u32::MAX as f32)); // #3
-    base.push(p.tcp.data_offset as f32 / 15.0); // #4
+    base.push(data_offset as f32 / 15.0); // #4
     for flag in TcpFlags::ALL {
         base.push(f.contains(flag) as u8 as f32); // #5..#13
     }
-    base.push(p.tcp.window as f32 / 65_535.0); // #14
-    base.push(p.tcp_checksum_valid() as u8 as f32); // #15
-    base.push(p.tcp.urgent as f32 / 65_535.0); // #16
+    base.push(window as f32 / 65_535.0); // #14
+    base.push(p.transport_checksum_valid() as u8 as f32); // #15
+    base.push(urgent as f32 / 65_535.0); // #16
     base.push((p.payload.len() as f32 / 1500.0).min(2.0) / 2.0); // #17
-    base.push(p.tcp.mss().unwrap_or(0) as f32 / 1460.0); // #18
+    base.push(mss as f32 / 1460.0); // #18
     base.push((ts_delta / 1.0e6).clamp(-1.0, 1.0) * 0.5 + 0.5); // #19
     base.push(tsecr as f32 / u32::MAX as f32); // #20
-    base.push(p.tcp.window_scale().unwrap_or(0) as f32 / 14.0); // #21
-    base.push((p.tcp.user_timeout().unwrap_or(0) as f32 / 600.0).min(2.0) / 2.0); // #22
-    base.push(p.tcp.has_md5() as u8 as f32); // #23
+    base.push(wscale as f32 / 14.0); // #21
+    base.push((uto as f32 / 600.0).min(2.0) / 2.0); // #22
+    base.push(tcp.is_some_and(|t| t.has_md5()) as u8 as f32); // #23
     base.push(tsval as f32 / u32::MAX as f32); // #24
     base.push(log_scale(iat * 1000.0, 60_000.0)); // #25 (log-ms, cap 60 s)
-    base.push((p.ip.total_length as f32 / 1500.0).min(2.0) / 2.0); // #26
-    base.push(p.ip.ttl as f32 / 255.0); // #27
-    base.push(p.ip.ihl as f32 / 15.0); // #28
+    base.push((p.ip.total_length_field() as f32 / 1500.0).min(2.0) / 2.0); // #26
+    base.push(p.ip.ttl() as f32 / 255.0); // #27
+    base.push(claimed_ip_hdr_words / 15.0); // #28
     base.push(p.ip_checksum_valid() as u8 as f32); // #29
-    base.push(p.ip.version as f32 / 15.0); // #30
-    base.push(p.ip.tos as f32 / 255.0); // #31
-    base.push(p.ip.has_nonstandard_options() as u8 as f32); // #32
+    base.push(p.ip.version_field() as f32 / 15.0); // #30
+    base.push(tos as f32 / 255.0); // #31
+    base.push(ip_anomalous_options as u8 as f32); // #32
     debug_assert_eq!(base.len(), NUM_BASE);
 
-    // --- Equivalence relation #51: payload_len = ip_len - ihl*4 - off*4 --
-    let expected =
-        i64::from(p.ip.total_length) - i64::from(p.ip.ihl) * 4 - i64::from(p.tcp.data_offset) * 4;
-    out.equiv_ok = expected == p.payload.len() as i64;
+    // --- Equivalence relation #51 --------------------------------------
+    // TCP/IPv4: payload_len = total_length − 4·IHL − 4·data_offset (the
+    // paper's `#17 = #26 − #28 − 4·#4`). The same relation generalizes to
+    // v6 (claimed header words) and UDP (the UDP length field must agree
+    // both with the IP datagram length and the actual payload). A packet
+    // reassembled from *conflicting* overlapping fragments also breaks the
+    // equivalence: its byte ranges were claimed twice with different
+    // contents, which is precisely the length/content lying this feature
+    // exists to expose.
+    let ip_payload = p.ip.total_length_field() as i64 - (claimed_ip_hdr_words as i64) * 4;
+    let lengths_ok = match &p.transport {
+        net_packet::Transport::Tcp(t) => {
+            ip_payload - i64::from(t.data_offset) * 4 == p.payload.len() as i64
+        }
+        net_packet::Transport::Udp(u) => {
+            ip_payload == i64::from(u.length) && u.length_consistent(p.payload.len())
+        }
+    };
+    let overlap_conflict = p.reassembly.is_some_and(|r| r.conflicting);
+    out.equiv_ok = lengths_ok && !overlap_conflict;
 }
 
 /// Benign value ranges for the 18 raw numerics; lights the out-of-range
@@ -342,7 +395,11 @@ mod tests {
                 Direction::ClientToServer => (key.client, key.server),
                 Direction::ServerToClient => (key.server, key.client),
             };
-            let ip = Ipv4Header::new(src.addr, dst.addr, 57);
+            let v4 = |a: std::net::IpAddr| match a {
+                std::net::IpAddr::V4(v) => v,
+                std::net::IpAddr::V6(_) => unreachable!("test key is IPv4"),
+            };
+            let ip = Ipv4Header::new(v4(src.addr), v4(dst.addr), 57);
             let mut tcp = TcpHeader::new(src.port, dst.port, seq, ack);
             tcp.flags = flags;
             Packet::new(ts, ip, tcp, payload.to_vec())
@@ -418,7 +475,7 @@ mod tests {
     #[test]
     fn checksum_validity_features() {
         let mut conn = test_conn();
-        conn.packets[3].tcp.checksum ^= 0xbad;
+        conn.packets[3].tcp_mut().checksum ^= 0xbad;
         let fvs = extract_connection(&conn);
         assert_eq!(fvs[3].base[14], 0.0); // #15 invalid
         assert_eq!(fvs[2].base[14], 1.0);
@@ -428,7 +485,7 @@ mod tests {
     fn equivalence_feature_detects_length_lies() {
         let mut conn = test_conn();
         assert!(extract_connection(&conn)[3].equiv_ok);
-        conn.packets[3].ip.total_length += 7;
+        conn.packets[3].ipv4_mut().total_length += 7;
         assert!(!extract_connection(&conn)[3].equiv_ok);
     }
 
@@ -446,13 +503,93 @@ mod tests {
     #[test]
     fn md5_and_urgent_features() {
         let mut conn = test_conn();
-        conn.packets[3].tcp.options.push(TcpOption::Md5([1; 16]));
-        conn.packets[3].tcp.urgent = 5;
         let p = conn.packets[3].clone();
-        conn.packets[3] = Packet::new(p.timestamp, p.ip, p.tcp, p.payload);
+        let mut tcp = p.tcp().clone();
+        tcp.options.push(TcpOption::Md5([1; 16]));
+        tcp.urgent = 5;
+        conn.packets[3] = Packet::new(p.timestamp, p.ipv4().clone(), tcp, p.payload.clone());
         let fvs = extract_connection(&conn);
         assert_eq!(fvs[3].base[22], 1.0); // #23 MD5 present
         assert!(fvs[3].base[15] > 0.0); // #16 urgent pointer
+    }
+
+    #[test]
+    fn protocol_udp_features_zero_tcp_slots() {
+        use net_packet::UdpHeader;
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 57);
+        let p = Packet::new_udp(0.0, ip, UdpHeader::new(40000, 53), b"query".to_vec());
+        let mut ex = FeatureExtractor::new();
+        let fv = ex.push(&p, Direction::ClientToServer);
+        assert_eq!(fv.base.len(), NUM_BASE);
+        assert_eq!(fv.raw.len(), NUM_RAW);
+        // TCP-only slots are zero: rel seq/ack, data offset, window, urgent.
+        for slot in [0, 1, 2, 3, 4] {
+            assert_eq!(fv.raw[slot], 0.0, "raw slot {slot}");
+        }
+        // Flag one-hots (#5..#13) all off.
+        for i in 4..13 {
+            assert_eq!(fv.base[i], 0.0, "base #{}", i + 1);
+        }
+        assert_eq!(fv.raw[5], 5.0); // payload length is real
+        assert_eq!(fv.base[14], 1.0); // #15 checksum valid
+        assert!(fv.equiv_ok, "consistent UDP lengths satisfy #51");
+        // A lying UDP length breaks the equivalence.
+        let mut bad = p.clone();
+        bad.udp_mut().length += 3;
+        let fv = FeatureExtractor::new().push(&bad, Direction::ClientToServer);
+        assert!(!fv.equiv_ok);
+    }
+
+    #[test]
+    fn protocol_v6_features_fill_ip_slots() {
+        use net_packet::{Ipv6ExtHeader, Ipv6Header};
+        use std::net::Ipv6Addr;
+        let mut ip = Ipv6Header::new(
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+            61,
+        );
+        let tcp = TcpHeader::new(40000, 443, 1, 0);
+        let plain = Packet::new_v6(0.0, ip.clone(), tcp.clone(), vec![]);
+        let fv = FeatureExtractor::new().push(&plain, Direction::ClientToServer);
+        assert_eq!(fv.raw[16], 6.0); // version slot
+        assert_eq!(fv.raw[14], 61.0); // hop limit in the TTL slot
+        assert_eq!(fv.raw[15], 10.0); // 40-byte fixed header = 10 words
+        assert_eq!(fv.base[31], 0.0); // #32: no extensions
+        assert!(fv.equiv_ok);
+
+        // An extension chain lights the anomalous-options channel and
+        // widens the claimed-header slot.
+        ip.next_header = net_packet::ipv6::EXT_HOP_BY_HOP;
+        ip.ext = vec![Ipv6ExtHeader::well_formed(
+            net_packet::ipv4::PROTO_TCP,
+            0,
+            vec![],
+        )];
+        let with_ext = Packet::new_v6(0.0, ip, tcp, vec![]);
+        let fv = FeatureExtractor::new().push(&with_ext, Direction::ClientToServer);
+        assert_eq!(fv.base[31], 1.0); // #32
+        assert_eq!(fv.raw[15], 12.0); // +8 bytes = +2 words
+        assert!(fv.equiv_ok, "well-formed ext chain keeps #51 intact");
+    }
+
+    #[test]
+    fn protocol_conflicting_reassembly_breaks_equivalence() {
+        let mut conn = test_conn();
+        assert!(extract_connection(&conn)[3].equiv_ok);
+        conn.packets[3].reassembly = Some(net_packet::ReassemblyInfo {
+            fragments: 3,
+            overlapped: true,
+            conflicting: true,
+        });
+        assert!(!extract_connection(&conn)[3].equiv_ok);
+        // Benign duplicate overlap (no conflicting bytes) is not punished.
+        conn.packets[3].reassembly = Some(net_packet::ReassemblyInfo {
+            fragments: 2,
+            overlapped: true,
+            conflicting: false,
+        });
+        assert!(extract_connection(&conn)[3].equiv_ok);
     }
 
     #[test]

@@ -479,10 +479,10 @@ mod tests {
         for conn in &mut attacked {
             if let Some(idx) = conn.first_index_after_handshake() {
                 let mut rst = conn.packets[idx.min(conn.len() - 1)].clone();
-                rst.tcp.flags = net_packet::TcpFlags::RST;
+                rst.tcp_mut().flags = net_packet::TcpFlags::RST;
                 rst.payload.clear();
                 rst.fill_checksums();
-                rst.tcp.checksum ^= 0x0bad;
+                rst.tcp_mut().checksum ^= 0x0bad;
                 conn.packets.insert(idx.min(conn.len() - 1), rst);
             }
         }

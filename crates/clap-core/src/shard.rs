@@ -1025,8 +1025,10 @@ mod tests {
     use super::*;
     use crate::pipeline::ClapConfig;
     use crate::stream::CloseReason;
-    use net_packet::{Connection, Endpoint, FlowKey, Ipv4Header, TcpFlags, TcpHeader};
-    use std::net::Ipv4Addr;
+    use net_packet::{
+        Connection, Endpoint, FlowKey, Ipv4Header, Ipv6Header, TcpFlags, TcpHeader, UdpHeader,
+    };
+    use std::net::{Ipv4Addr, Ipv6Addr};
     use std::sync::OnceLock;
 
     /// One trained model shared across tests (training dominates runtime).
@@ -1067,6 +1069,35 @@ mod tests {
         let mut tcp = TcpHeader::new(src.1, dst.1, 1000, 0);
         tcp.flags = flags;
         Packet::new(ts, ip, tcp, Vec::new())
+    }
+
+    fn v6_packet(src: (u16, u16), dst: (u16, u16), flags: TcpFlags, ts: f64) -> Packet {
+        let ip = Ipv6Header::new(
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, src.0),
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, dst.0),
+            64,
+        );
+        let mut tcp = TcpHeader::new(src.1, dst.1, 1000, 0);
+        tcp.flags = flags;
+        Packet::new_v6(ts, ip, tcp, Vec::new())
+    }
+
+    fn udp_packet(src: (u8, u16), dst: (u8, u16), ts: f64, payload: Vec<u8>) -> Packet {
+        let ip = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, src.0),
+            Ipv4Addr::new(10, 0, 0, dst.0),
+            64,
+        );
+        Packet::new_udp(ts, ip, UdpHeader::new(src.1, dst.1), payload)
+    }
+
+    fn udp6_packet(src: (u16, u16), dst: (u16, u16), ts: f64, payload: Vec<u8>) -> Packet {
+        let ip = Ipv6Header::new(
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, src.0),
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, dst.0),
+            64,
+        );
+        Packet::new_udp6(ts, ip, UdpHeader::new(src.1, dst.1), payload)
     }
 
     /// Client ports whose flows (10.0.0.1:port -> 10.0.0.2:80) land on
@@ -1477,6 +1508,76 @@ mod tests {
                 fingerprint(&a),
                 fingerprint(&b),
                 "identical runs diverged at {shards} shards"
+            );
+        }
+    }
+
+    /// A mixed v4/v6/TCP/UDP stream (plus generated v4 background
+    /// traffic) must yield *byte-identical* verdicts — same arrivals,
+    /// keys, packet counts, reasons and bitwise scores — at every shard
+    /// count. This is the PR-9 acceptance gate for the widened flow key:
+    /// if the v6 or UDP key hashed or compared inconsistently anywhere in
+    /// the dispatch path, flows would split or land on moving shards and
+    /// the fingerprints would diverge.
+    #[test]
+    fn protocol_mixed_stream_verdicts_are_shard_count_invariant() {
+        let clap = model();
+        let mut packets: Vec<Packet> = traffic_gen::dataset(871, 6)
+            .iter()
+            .flat_map(|c| c.packets.iter().cloned())
+            .collect();
+        // v6 TCP handshake + data.
+        packets.push(v6_packet((0xa, 5555), (0xb, 443), TcpFlags::SYN, 0.11));
+        packets.push(v6_packet(
+            (0xb, 443),
+            (0xa, 5555),
+            TcpFlags::SYN | TcpFlags::ACK,
+            0.22,
+        ));
+        packets.push(v6_packet((0xa, 5555), (0xb, 443), TcpFlags::ACK, 0.33));
+        // v4 UDP exchange.
+        packets.push(udp_packet((7, 9999), (8, 53), 0.15, vec![1, 2, 3]));
+        packets.push(udp_packet((8, 53), (7, 9999), 0.25, vec![4, 5, 6, 7]));
+        // v6 UDP exchange.
+        packets.push(udp6_packet((0xc, 7777), (0xd, 53), 0.18, vec![9; 12]));
+        packets.push(udp6_packet((0xd, 53), (0xc, 7777), 0.28, vec![8; 20]));
+        packets.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+
+        let mut runs = Vec::new();
+        for shards in [1usize, 2, 4, 7] {
+            let run = clap
+                .sharded_scorer_with(cfg(shards))
+                .score_stream(packets.iter());
+            let print: Vec<(u64, FlowKey, usize, CloseReason, u32)> = run
+                .verdicts
+                .iter()
+                .map(|v| {
+                    (
+                        v.arrival,
+                        v.flow.key,
+                        v.flow.packets,
+                        v.flow.reason,
+                        v.flow.scored.score.to_bits(),
+                    )
+                })
+                .collect();
+            runs.push((shards, print));
+        }
+        let (_, reference) = &runs[0];
+        assert!(
+            reference
+                .iter()
+                .any(|(_, k, ..)| k.proto == net_packet::ipv4::PROTO_UDP),
+            "test premise: stream produced UDP flows"
+        );
+        assert!(
+            reference.iter().any(|(_, k, ..)| k.client.addr.is_ipv6()),
+            "test premise: stream produced IPv6 flows"
+        );
+        for (shards, print) in &runs[1..] {
+            assert_eq!(
+                print, reference,
+                "mixed-protocol verdicts diverged at {shards} shards"
             );
         }
     }

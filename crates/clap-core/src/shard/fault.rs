@@ -30,7 +30,7 @@
 //! [`FaultPlan::parse`] (the `--fault-plan` CLI grammar of the bench
 //! binaries).
 
-use net_packet::Packet;
+use net_packet::{IpHeader, Packet, Transport};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Marker every injected panic message carries, so
@@ -243,17 +243,34 @@ impl FaultPlan {
 /// must be *scored*, not crash the worker — the fault tests pin that.
 pub fn malform(p: &Packet) -> Packet {
     let mut m = p.clone();
-    m.ip.version = 0xf;
-    m.ip.ihl = 1; // below the minimum legal 5
-    m.ip.total_length = u16::MAX; // wildly longer than the packet
-    m.ip.ttl = 0;
-    m.ip.checksum = !m.ip.checksum;
-    m.tcp.data_offset = 3; // below the minimum legal 5
-    m.tcp.seq = u32::MAX;
-    m.tcp.ack = u32::MAX;
-    m.tcp.window = 0;
-    m.tcp.urgent = u16::MAX;
-    m.tcp.checksum = !m.tcp.checksum;
+    match &mut m.ip {
+        IpHeader::V4(h) => {
+            h.version = 0xf;
+            h.ihl = 1; // below the minimum legal 5
+            h.total_length = u16::MAX; // wildly longer than the packet
+            h.ttl = 0;
+            h.checksum = !h.checksum;
+        }
+        IpHeader::V6(h) => {
+            h.version = 0xf;
+            h.payload_length = u16::MAX;
+            h.hop_limit = 0;
+        }
+    }
+    match &mut m.transport {
+        Transport::Tcp(t) => {
+            t.data_offset = 3; // below the minimum legal 5
+            t.seq = u32::MAX;
+            t.ack = u32::MAX;
+            t.window = 0;
+            t.urgent = u16::MAX;
+            t.checksum = !t.checksum;
+        }
+        Transport::Udp(u) => {
+            u.length = u16::MAX;
+            u.checksum = !u.checksum;
+        }
+    }
     m
 }
 
@@ -365,7 +382,7 @@ mod tests {
         let m = malform(&p);
         assert_eq!(CanonicalKey::of(&m), CanonicalKey::of(&p));
         assert_eq!(m.timestamp, p.timestamp);
-        assert_ne!(m.tcp.data_offset, p.tcp.data_offset);
-        assert_ne!(m.ip.total_length, p.ip.total_length);
+        assert_ne!(m.tcp().data_offset, p.tcp().data_offset);
+        assert_ne!(m.ipv4().total_length, p.ipv4().total_length);
     }
 }

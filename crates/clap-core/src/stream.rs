@@ -8,7 +8,7 @@
 //!
 //! * **Per-flow state, shared arenas.** Each live flow persists only what
 //!   the model mathematically needs: the incremental feature-extraction
-//!   anchors ([`FeatureExtractor`]), a [`TcpTracker`] for teardown
+//!   anchors ([`FeatureExtractor`]), a [`FlowTracker`] for teardown
 //!   detection, the GRU hidden state (`H` floats, advanced by
 //!   [`PackedGru::step`]), the last `stack − 1` single-packet profiles,
 //!   and the flow's window-error log. Everything else — GRU step scratch,
@@ -232,7 +232,7 @@ use neural::{
 };
 use std::collections::HashMap;
 use std::sync::OnceLock;
-use tcp_state::{TcpState, TcpTracker};
+use tcp_state::{FlowTracker, TcpState};
 
 /// How idle (and TIME_WAIT-linger) expiry walks the flow table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -445,7 +445,7 @@ const WHEEL_LEVELS: usize = 4;
 struct Slot {
     key: FlowKey,
     extractor: FeatureExtractor,
-    tracker: TcpTracker,
+    tracker: FlowTracker,
     /// Reconstruction error per emitted stacked window, in order.
     window_errors: Vec<f32>,
     /// Leading packets held back (with their arrival tags) while the
@@ -471,10 +471,11 @@ struct Slot {
 
 impl Slot {
     fn new(key: FlowKey, now: f64, arrival: u64) -> Slot {
+        let tracker = FlowTracker::for_proto(key.proto);
         Slot {
             key,
             extractor: FeatureExtractor::new(),
-            tracker: TcpTracker::new(),
+            tracker,
             window_errors: Vec::new(),
             pending: None,
             arrival,
@@ -1039,7 +1040,7 @@ impl StreamScorer<'_> {
     fn ingest(&mut self, p: &Packet, tag: u64) -> Option<f32> {
         let ck = CanonicalKey::of(p);
         let is_pure_syn =
-            p.tcp.flags.contains(TcpFlags::SYN) && !p.tcp.flags.contains(TcpFlags::ACK);
+            p.tcp_flags().contains(TcpFlags::SYN) && !p.tcp_flags().contains(TcpFlags::ACK);
         let mut handle = self.flows.get(&ck).copied();
         if let Some(h) = handle {
             // 4-tuple reuse during a TIME_WAIT linger: the old
@@ -1060,9 +1061,10 @@ impl StreamScorer<'_> {
                 // first-packet-oriented and — with a non-zero orient
                 // buffer — held back so a late SYN can still re-orient it.
                 let key = FlowKey::new(
-                    Endpoint::new(p.ip.src, p.tcp.src_port),
-                    Endpoint::new(p.ip.dst, p.tcp.dst_port),
-                );
+                    Endpoint::new(p.src_addr(), p.src_port()),
+                    Endpoint::new(p.dst_addr(), p.dst_port()),
+                )
+                .with_proto(p.transport.protocol_number());
                 let h = self.alloc_slot(key, tag);
                 if !is_pure_syn && self.config.orient_buffer > 0 {
                     self.slab[h as usize].pending = Some(Box::new(Vec::with_capacity(1)));
@@ -1080,9 +1082,10 @@ impl StreamScorer<'_> {
                 // The SYN sender is the real client; re-orient before any
                 // packet of this flow has been scored, then replay.
                 slot.key = FlowKey::new(
-                    Endpoint::new(p.ip.src, p.tcp.src_port),
-                    Endpoint::new(p.ip.dst, p.tcp.dst_port),
-                );
+                    Endpoint::new(p.src_addr(), p.src_port()),
+                    Endpoint::new(p.dst_addr(), p.dst_port()),
+                )
+                .with_proto(p.transport.protocol_number());
             } else if buf.len() < self.config.orient_buffer {
                 buf.push((tag, p.clone()));
                 return None;
@@ -1147,9 +1150,9 @@ impl StreamScorer<'_> {
         let mut torn_down = false;
         let mut start_linger = false;
         if self.config.teardown_on_close {
-            match slot.tracker.state() {
-                TcpState::Close => torn_down = true,
-                TcpState::TimeWait => {
+            match slot.tracker.tcp_state() {
+                Some(TcpState::Close) => torn_down = true,
+                Some(TcpState::TimeWait) => {
                     if self.config.time_wait > 0.0 {
                         start_linger = !slot.lingering();
                     } else {
@@ -1998,9 +2001,10 @@ mod tests {
             .min(conn.len() - 1);
         let stream_pkts: Vec<_> = conn.packets[start..].to_vec();
         assert!(
-            stream_pkts.iter().all(
-                |p| !p.tcp.flags.contains(TcpFlags::SYN) || p.tcp.flags.contains(TcpFlags::ACK)
-            ),
+            stream_pkts
+                .iter()
+                .all(|p| !p.tcp_flags().contains(TcpFlags::SYN)
+                    || p.tcp_flags().contains(TcpFlags::ACK)),
             "test premise: no pure SYN in the tail"
         );
         let offline = net_packet::assemble_connections(&stream_pkts);
@@ -2295,18 +2299,14 @@ mod tests {
         }
         assert_eq!(scorer.live_flows(), 1);
         let t = conn.packets.last().unwrap().timestamp + 1.0;
-        let syn = raw_packet_flags(
-            (u32::from(conn.key.client.addr) as u8, conn.key.client.port),
-            (u32::from(conn.key.server.addr) as u8, conn.key.server.port),
-            TcpFlags::SYN,
-            t,
-        );
-        // raw_packet_flags builds 10.0.0.x addresses; rebuild with the
-        // connection's real endpoints instead.
-        let ip = Ipv4Header::new(conn.key.client.addr, conn.key.server.addr, 64);
+        let v4 = |a: std::net::IpAddr| match a {
+            std::net::IpAddr::V4(x) => x,
+            std::net::IpAddr::V6(_) => unreachable!("test key is IPv4"),
+        };
+        let ip = Ipv4Header::new(v4(conn.key.client.addr), v4(conn.key.server.addr), 64);
         let mut tcp = TcpHeader::new(conn.key.client.port, conn.key.server.port, 77, 0);
         tcp.flags = TcpFlags::SYN;
-        let syn = Packet::new(syn.timestamp, ip, tcp, Vec::new());
+        let syn = Packet::new(t, ip, tcp, Vec::new());
         scorer.push(&syn);
         let closed = scorer.drain_closed();
         assert_eq!(closed.len(), 1, "old incarnation closed by tuple reuse");

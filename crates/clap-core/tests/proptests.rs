@@ -159,10 +159,10 @@ proptest! {
                 if let Some(idx) = conn.first_index_after_handshake() {
                     let at = idx.min(conn.len() - 1);
                     let mut rst = conn.packets[at].clone();
-                    rst.tcp.flags = TcpFlags::RST;
+                    rst.tcp_mut().flags = TcpFlags::RST;
                     rst.payload.clear();
                     rst.fill_checksums();
-                    rst.tcp.checksum ^= 0x0bad;
+                    rst.tcp_mut().checksum ^= 0x0bad;
                     conn.packets.insert(at, rst);
                 }
             }
@@ -286,10 +286,10 @@ proptest! {
                 if let Some(idx) = conn.first_index_after_handshake() {
                     let at = idx.min(conn.len() - 1);
                     let mut rst = conn.packets[at].clone();
-                    rst.tcp.flags = TcpFlags::RST;
+                    rst.tcp_mut().flags = TcpFlags::RST;
                     rst.payload.clear();
                     rst.fill_checksums();
-                    rst.tcp.checksum ^= 0x0bad;
+                    rst.tcp_mut().checksum ^= 0x0bad;
                     conn.packets.insert(at, rst);
                 }
             }
@@ -398,10 +398,10 @@ proptest! {
                 if let Some(idx) = conn.first_index_after_handshake() {
                     let at = idx.min(conn.len() - 1);
                     let mut rst = conn.packets[at].clone();
-                    rst.tcp.flags = TcpFlags::RST;
+                    rst.tcp_mut().flags = TcpFlags::RST;
                     rst.payload.clear();
                     rst.fill_checksums();
-                    rst.tcp.checksum ^= 0x0bad;
+                    rst.tcp_mut().checksum ^= 0x0bad;
                     conn.packets.insert(at, rst);
                 }
             }
@@ -480,10 +480,10 @@ proptest! {
                 if let Some(idx) = conn.first_index_after_handshake() {
                     let at = idx.min(conn.len() - 1);
                     let mut rst = conn.packets[at].clone();
-                    rst.tcp.flags = TcpFlags::RST;
+                    rst.tcp_mut().flags = TcpFlags::RST;
                     rst.payload.clear();
                     rst.fill_checksums();
-                    rst.tcp.checksum ^= 0x0bad;
+                    rst.tcp_mut().checksum ^= 0x0bad;
                     conn.packets.insert(at, rst);
                 }
             }
@@ -731,10 +731,10 @@ proptest! {
                 if let Some(idx) = conn.first_index_after_handshake() {
                     let at = idx.min(conn.len() - 1);
                     let mut rst = conn.packets[at].clone();
-                    rst.tcp.flags = TcpFlags::RST;
+                    rst.tcp_mut().flags = TcpFlags::RST;
                     rst.payload.clear();
                     rst.fill_checksums();
-                    rst.tcp.checksum ^= 0x0bad;
+                    rst.tcp_mut().checksum ^= 0x0bad;
                     conn.packets.insert(at, rst);
                 }
             }

@@ -90,116 +90,118 @@ impl Corruption {
     pub fn apply(self, p: &mut Packet, ctx: &SeqContext, rng: &mut StdRng) {
         match self {
             Corruption::BadTcpChecksum => {
-                p.tcp.checksum ^= rng.gen_range(1u16..=u16::MAX);
+                p.tcp_mut().checksum ^= rng.gen_range(1u16..=u16::MAX);
             }
             Corruption::BadSeq => {
-                p.tcp.seq = ctx
+                p.tcp_mut().seq = ctx
                     .snd_nxt
                     .wrapping_add(rng.gen_range(0x1000_0000u32..0x7000_0000));
             }
             Corruption::UnderflowSeq => {
-                p.tcp.seq = ctx.isn.wrapping_sub(rng.gen_range(100_000u32..50_000_000));
+                p.tcp_mut().seq = ctx.isn.wrapping_sub(rng.gen_range(100_000u32..50_000_000));
             }
             Corruption::PartialInWindowSeq => {
-                p.tcp.seq = ctx.snd_nxt.wrapping_add(rng.gen_range(64u32..8_192));
+                p.tcp_mut().seq = ctx.snd_nxt.wrapping_add(rng.gen_range(64u32..8_192));
             }
             Corruption::OverlappingSeq => {
                 let back = rng
                     .gen_range(1u32..64)
                     .min(ctx.snd_nxt.wrapping_sub(ctx.isn).max(1));
-                p.tcp.seq = ctx.snd_nxt.wrapping_sub(back);
+                p.tcp_mut().seq = ctx.snd_nxt.wrapping_sub(back);
             }
             Corruption::BadAck => {
-                p.tcp.flags |= TcpFlags::ACK;
-                p.tcp.ack = rng.gen::<u32>() | 0x4000_0000;
+                p.tcp_mut().flags |= TcpFlags::ACK;
+                p.tcp_mut().ack = rng.gen::<u32>() | 0x4000_0000;
             }
             Corruption::NoAckFlag => {
-                p.tcp.flags = p.tcp.flags & !TcpFlags::ACK;
-                p.tcp.ack = 0;
+                p.tcp_mut().flags = p.tcp_mut().flags & !TcpFlags::ACK;
+                p.tcp_mut().ack = 0;
             }
             Corruption::UrgentPointer => {
-                p.tcp.urgent = rng.gen_range(1u16..=2048);
+                p.tcp_mut().urgent = rng.gen_range(1u16..=2048);
             }
             Corruption::Md5Option => {
                 let mut digest = [0u8; 16];
                 rng.fill(&mut digest);
-                p.tcp.options.push(TcpOption::Md5(digest));
-                p.tcp.normalize_data_offset();
+                p.tcp_mut().options.push(TcpOption::Md5(digest));
+                p.tcp_mut().normalize_data_offset();
             }
             Corruption::BadTimestamp => {
                 let base = ctx.last_tsval.unwrap_or(1_000_000);
                 let old = base.wrapping_sub(rng.gen_range(0x0100_0000u32..0x4000_0000));
-                p.tcp
+                p.tcp_mut()
                     .options
                     .retain(|o| !matches!(o, TcpOption::Timestamps { .. }));
-                p.tcp.options.push(TcpOption::Timestamps {
+                p.tcp_mut().options.push(TcpOption::Timestamps {
                     tsval: old,
                     tsecr: 0,
                 });
-                p.tcp.normalize_data_offset();
+                p.tcp_mut().normalize_data_offset();
             }
             Corruption::UtoOption => {
-                p.tcp
+                p.tcp_mut()
                     .options
                     .push(TcpOption::UserTimeout(rng.gen_range(1u16..=0x7fff)));
-                p.tcp.normalize_data_offset();
+                p.tcp_mut().normalize_data_offset();
             }
             Corruption::InvalidWScale => {
-                p.tcp
+                p.tcp_mut()
                     .options
                     .retain(|o| !matches!(o, TcpOption::WindowScale(_)));
-                p.tcp
+                p.tcp_mut()
                     .options
                     .push(TcpOption::WindowScale(rng.gen_range(15u8..=200)));
-                p.tcp.normalize_data_offset();
+                p.tcp_mut().normalize_data_offset();
             }
             Corruption::LowTtl => {
-                p.ip.ttl = rng.gen_range(1u8..=4);
+                p.ipv4_mut().ttl = rng.gen_range(1u8..=4);
             }
             Corruption::DataOffsetTooLarge => {
-                let real = (p.tcp.header_len_bytes() / 4) as u8;
-                p.tcp.data_offset = rng
+                let real = (p.tcp_mut().header_len_bytes() / 4) as u8;
+                p.tcp_mut().data_offset = rng
                     .gen_range((real + 1).min(15)..=15)
                     .max(real.saturating_add(1).min(15));
             }
             Corruption::DataOffsetTooSmall => {
-                p.tcp.data_offset = rng.gen_range(0u8..5);
+                p.tcp_mut().data_offset = rng.gen_range(0u8..5);
             }
             Corruption::InvalidFlagsSynFin => {
-                p.tcp.flags = TcpFlags::SYN | TcpFlags::FIN | (p.tcp.flags & TcpFlags::ACK);
+                p.tcp_mut().flags =
+                    TcpFlags::SYN | TcpFlags::FIN | (p.tcp_mut().flags & TcpFlags::ACK);
             }
             Corruption::InvalidFlagsNull => {
-                p.tcp.flags = TcpFlags::empty();
-                p.tcp.ack = 0;
+                p.tcp_mut().flags = TcpFlags::empty();
+                p.tcp_mut().ack = 0;
             }
             Corruption::InvalidFlagsXmas => {
-                p.tcp.flags = TcpFlags::FIN | TcpFlags::URG | TcpFlags::PSH;
-                p.tcp.ack = 0;
+                p.tcp_mut().flags = TcpFlags::FIN | TcpFlags::URG | TcpFlags::PSH;
+                p.tcp_mut().ack = 0;
             }
             Corruption::BadIpLenLong => {
-                p.ip.total_length =
-                    (p.wire_len() as u16).saturating_add(rng.gen_range(8u16..=1200));
+                let lied = (p.wire_len() as u16).saturating_add(rng.gen_range(8u16..=1200));
+                p.ipv4_mut().total_length = lied;
             }
             Corruption::BadIpLenShort => {
-                let hdrs = (p.ip.header_len_bytes() + p.tcp.header_len_bytes()) as u16;
-                p.ip.total_length = hdrs.saturating_sub(rng.gen_range(1u16..=12));
+                let hdrs =
+                    (p.ipv4_mut().header_len_bytes() + p.tcp_mut().header_len_bytes()) as u16;
+                p.ipv4_mut().total_length = hdrs.saturating_sub(rng.gen_range(1u16..=12));
             }
             Corruption::IhlTooLarge => {
-                p.ip.ihl = rng.gen_range(11u8..=15);
+                p.ipv4_mut().ihl = rng.gen_range(11u8..=15);
             }
             Corruption::IhlTooSmall => {
-                p.ip.ihl = rng.gen_range(0u8..5);
+                p.ipv4_mut().ihl = rng.gen_range(0u8..5);
             }
             Corruption::InvalidIpVersion => {
-                p.ip.version = *[0u8, 5, 6, 7, 15].get(rng.gen_range(0..5)).unwrap();
+                p.ipv4_mut().version = *[0u8, 5, 6, 7, 15].get(rng.gen_range(0..5)).unwrap();
             }
             Corruption::BadPayloadLength => {
                 // Lie by a small amount so only the equivalence (#51) and
                 // length plausibility break.
                 let delta = rng.gen_range(1i32..=64);
                 let sign: i32 = if rng.gen_bool(0.5) { 1 } else { -1 };
-                let v = p.ip.total_length as i32 + sign * delta;
-                p.ip.total_length = v.clamp(20, 65_535) as u16;
+                let v = p.ipv4_mut().total_length as i32 + sign * delta;
+                p.ipv4_mut().total_length = v.clamp(20, 65_535) as u16;
             }
         }
     }
@@ -254,7 +256,7 @@ mod tests {
         Corruption::apply_all(&[Corruption::BadTcpChecksum], &mut p, &ctx(), &mut rng());
         assert!(!p.tcp_checksum_valid());
         assert!(p.ip_checksum_valid());
-        assert!(p.tcp.data_offset_consistent());
+        assert!(p.tcp().data_offset_consistent());
     }
 
     #[test]
@@ -264,20 +266,20 @@ mod tests {
         for _ in 0..20 {
             let mut p = packet();
             Corruption::BadSeq.apply(&mut p, &c, &mut r);
-            assert!(p.tcp.seq.wrapping_sub(c.snd_nxt) >= 0x1000_0000);
+            assert!(p.tcp().seq.wrapping_sub(c.snd_nxt) >= 0x1000_0000);
 
             let mut p = packet();
             Corruption::UnderflowSeq.apply(&mut p, &c, &mut r);
-            assert!((p.tcp.seq.wrapping_sub(c.isn) as i32) < 0);
+            assert!((p.tcp().seq.wrapping_sub(c.isn) as i32) < 0);
 
             let mut p = packet();
             Corruption::PartialInWindowSeq.apply(&mut p, &c, &mut r);
-            let d = p.tcp.seq.wrapping_sub(c.snd_nxt);
+            let d = p.tcp().seq.wrapping_sub(c.snd_nxt);
             assert!((64..=8192).contains(&d));
 
             let mut p = packet();
             Corruption::OverlappingSeq.apply(&mut p, &c, &mut r);
-            assert!((p.tcp.seq.wrapping_sub(c.snd_nxt) as i32) < 0);
+            assert!((p.tcp().seq.wrapping_sub(c.snd_nxt) as i32) < 0);
         }
     }
 
@@ -291,7 +293,7 @@ mod tests {
         ] {
             let mut p = packet();
             Corruption::apply_all(&[c], &mut p, &ctx(), &mut rng());
-            assert!(p.tcp.data_offset_consistent(), "{c:?} broke data offset");
+            assert!(p.tcp().data_offset_consistent(), "{c:?} broke data offset");
             assert!(p.tcp_checksum_valid(), "{c:?} should keep checksum valid");
         }
     }
@@ -325,7 +327,7 @@ mod tests {
     fn bad_timestamp_is_older_than_context() {
         let mut p = packet();
         Corruption::apply_all(&[Corruption::BadTimestamp], &mut p, &ctx(), &mut rng());
-        let (tsval, _) = p.tcp.timestamps().unwrap();
+        let (tsval, _) = p.tcp().timestamps().unwrap();
         assert!((tsval.wrapping_sub(500_000) as i32) < 0);
     }
 
@@ -333,7 +335,7 @@ mod tests {
     fn low_ttl_in_expected_band() {
         let mut p = packet();
         Corruption::apply_all(&[Corruption::LowTtl], &mut p, &ctx(), &mut rng());
-        assert!((1..=4).contains(&p.ip.ttl));
+        assert!((1..=4).contains(&p.ipv4().ttl));
         assert!(
             p.ip_checksum_valid(),
             "TTL rewrite must refresh the IP checksum"
@@ -349,7 +351,7 @@ mod tests {
             &ctx(),
             &mut rng(),
         );
-        assert!((1..=4).contains(&p.ip.ttl));
+        assert!((1..=4).contains(&p.ipv4().ttl));
         assert!(!p.tcp_checksum_valid());
         assert!(p.ip_checksum_valid());
     }

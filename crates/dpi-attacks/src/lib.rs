@@ -25,6 +25,13 @@
 //! Table 8 / Table 2 (24 inter, 49 intra); where the published table is
 //! ambiguous we apply the paper's own rule of thumb (§4.3): strategies
 //! whose detection requires connection-state context are inter-packet.
+//!
+//! Beyond the paper's IPv4/TCP catalogue, the registry appends three
+//! [`AttackSource::Extended`] protocol-diversity families: IPv6
+//! extension-header corruption, UDP length/checksum games, and
+//! overlapping-fragment evasion with conflicting bytes. Each is guarded to
+//! the flows it applies to (v6 TCP, UDP, v4 TCP respectively) and returns
+//! `None` elsewhere.
 
 pub mod corruption;
 pub mod registry;
@@ -71,24 +78,30 @@ mod tests {
     use super::*;
     use tcp_state::TcpTracker;
 
+    /// Strategies from the paper's catalogue (all of the registry except
+    /// the Extended families).
+    fn paper_strategies() -> impl Iterator<Item = &'static Strategy> {
+        registry().iter().filter(|s| s.source.in_paper())
+    }
+
     #[test]
-    fn registry_has_exactly_73_strategies() {
-        let reg = registry();
-        assert_eq!(reg.len(), 73);
+    fn registry_has_exactly_73_paper_strategies() {
         let sym = strategies_from(AttackSource::SymTcp).len();
         let lib = strategies_from(AttackSource::Liberate).len();
         let gen = strategies_from(AttackSource::Geneva).len();
         assert_eq!((sym, lib, gen), (30, 23, 20));
+        assert_eq!(paper_strategies().count(), 73);
+        assert_eq!(strategies_from(AttackSource::Extended).len(), 3);
+        assert_eq!(registry().len(), 76);
     }
 
     #[test]
     fn categorization_matches_table_2() {
-        let inter = registry()
-            .iter()
+        let inter = paper_strategies()
             .filter(|s| s.category == ContextCategory::InterPacket)
             .count();
         assert_eq!(inter, 24, "Table 2: 24 inter-packet strategies");
-        assert_eq!(registry().len() - inter, 49, "Table 2: 49 intra-packet");
+        assert_eq!(73 - inter, 49, "Table 2: 49 intra-packet");
     }
 
     #[test]
@@ -102,8 +115,10 @@ mod tests {
 
     #[test]
     fn every_strategy_applies_to_most_benign_connections() {
+        // Paper strategies only: the benign dataset is all-v4 TCP, which
+        // the v6/UDP-guarded Extended families correctly skip.
         let benign = traffic_gen::dataset(31, 20);
-        for strat in registry() {
+        for strat in paper_strategies() {
             let set = build_adversarial_set(strat, &benign, 7);
             assert!(
                 set.len() >= benign.len() / 2,
@@ -140,8 +155,10 @@ mod tests {
 
     #[test]
     fn non_adversarial_packets_are_preserved() {
+        // Paper strategies only: they apply to every all-v4-TCP benign
+        // connection here, keeping the benign/attacked zip aligned.
         let benign = traffic_gen::dataset(33, 10);
-        for strat in registry() {
+        for strat in paper_strategies() {
             let set = build_adversarial_set(strat, &benign, 5);
             for (orig, r) in benign.iter().zip(set.iter()) {
                 // Every original packet appears in the attacked trace
@@ -173,7 +190,7 @@ mod tests {
         let benign = traffic_gen::dataset(34, 15);
         let mut total = 0usize;
         let mut flagged = 0usize;
-        for strat in registry() {
+        for strat in paper_strategies() {
             let set = build_adversarial_set(strat, &benign, 3);
             for r in &set {
                 let mut tracker = TcpTracker::new();
@@ -195,5 +212,75 @@ mod tests {
             frac > 0.55,
             "only {frac:.2} of adversarial packets flagged by the reference tracker"
         );
+    }
+
+    #[test]
+    fn protocol_extended_families_apply_to_mixed_traffic() {
+        let benign = traffic_gen::mixed_dataset(71, 60);
+        for strat in strategies_from(AttackSource::Extended) {
+            let set = build_adversarial_set(strat, &benign, 7);
+            assert!(
+                set.len() >= 5,
+                "{} applied to only {}/{} mixed connections",
+                strat.id,
+                set.len(),
+                benign.len()
+            );
+            for r in &set {
+                assert!(
+                    !r.adversarial_indices.is_empty(),
+                    "{}: no ground truth",
+                    strat.id
+                );
+                for &i in &r.adversarial_indices {
+                    assert!(i < r.connection.len(), "{}: index out of range", strat.id);
+                }
+                for w in r.connection.packets.windows(2) {
+                    assert!(w[1].timestamp >= w[0].timestamp - 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Every Extended adversarial packet is observable at a rigorous
+    /// endhost: structurally dropped (malformed v6 extension chain, lying
+    /// UDP length, garbled checksum) or carrying a recorded conflicting
+    /// fragment reassembly.
+    #[test]
+    fn protocol_extended_packets_are_endhost_observable() {
+        let benign = traffic_gen::mixed_dataset(72, 60);
+        for strat in strategies_from(AttackSource::Extended) {
+            let set = build_adversarial_set(strat, &benign, 3);
+            for r in &set {
+                for &i in &r.adversarial_indices {
+                    let p = &r.connection.packets[i];
+                    let observable = !TcpTracker::segment_acceptable(p)
+                        || p.reassembly.as_ref().is_some_and(|x| x.conflicting);
+                    assert!(observable, "{}: packet {} looks benign", strat.id, i);
+                }
+            }
+        }
+    }
+
+    /// Each Extended family is guarded to the flow shape it targets.
+    #[test]
+    fn protocol_extended_families_respect_guards() {
+        let benign = traffic_gen::mixed_dataset(73, 80);
+        let mut rng = StdRng::seed_from_u64(11);
+        for strat in strategies_from(AttackSource::Extended) {
+            for conn in &benign {
+                if let Some(r) = strat.apply(conn, &mut rng) {
+                    let v6 = conn.key.client.addr.is_ipv6();
+                    let udp = conn.key.proto == net_packet::ipv4::PROTO_UDP;
+                    match strat.id {
+                        "ext6-hopbyhop-malformed" => assert!(v6 && !udp),
+                        "udp-length-lie" => assert!(udp),
+                        "frag-overlap-conflict" => assert!(!v6 && !udp),
+                        other => panic!("unexpected Extended id {other}"),
+                    }
+                    assert_eq!(r.connection.key, conn.key);
+                }
+            }
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! The catalogue of all 73 evaluated strategies (paper Table 8, Figures
-//! 7–9), named after the paper's figure titles.
+//! 7–9), named after the paper's figure titles, plus the three Extended
+//! protocol-diversity families this reproduction adds (IPv6 extension-header
+//! corruption, UDP length/checksum games, overlapping-fragment evasion).
 
 use crate::corruption::Corruption::{self, *};
 use crate::strategy::{
@@ -28,8 +30,9 @@ impl Strategy {
     }
 }
 
-/// All 73 strategies: 30 SymTCP + 23 Liberate + 20 Geneva,
-/// 24 inter-packet + 49 intra-packet (Table 2).
+/// All strategies: the paper's 73 (30 SymTCP + 23 Liberate + 20 Geneva,
+/// 24 inter-packet + 49 intra-packet per Table 2) at indices `0..73`,
+/// followed by the 3 Extended protocol-diversity families.
 pub fn registry() -> &'static [Strategy] {
     static REGISTRY: OnceLock<Vec<Strategy>> = OnceLock::new();
     REGISTRY.get_or_init(build_registry)
@@ -624,6 +627,31 @@ fn build_registry() -> Vec<Strategy> {
             IntraPacket,
             shadow(All, &[BadIpLenLong]),
         ),
+        // ============== Extended (this work) — 3 families ===============
+        // Protocol-diversity strategies beyond the paper's IPv4/TCP
+        // catalogue; appended last so the paper-pinned 73 keep their
+        // registry indices.
+        s(
+            "ext6-hopbyhop-malformed",
+            "IPv6: Malformed Extension Chain Shadow",
+            AttackSource::Extended,
+            IntraPacket,
+            Mechanic::ShadowExtHeader { count: All },
+        ),
+        s(
+            "udp-length-lie",
+            "UDP: Lying Length / Garbled Checksum Shadow",
+            AttackSource::Extended,
+            IntraPacket,
+            Mechanic::ShadowUdpGame { count: All },
+        ),
+        s(
+            "frag-overlap-conflict",
+            "IPv4: Overlapping Fragments w/ Conflicting Bytes",
+            AttackSource::Extended,
+            InterPacket,
+            Mechanic::FragOverlap,
+        ),
     ]
 }
 
@@ -641,8 +669,25 @@ mod tests {
     fn sources_partition_registry() {
         let total = strategies_from(AttackSource::SymTcp).len()
             + strategies_from(AttackSource::Liberate).len()
-            + strategies_from(AttackSource::Geneva).len();
+            + strategies_from(AttackSource::Geneva).len()
+            + strategies_from(AttackSource::Extended).len();
         assert_eq!(total, registry().len());
+    }
+
+    #[test]
+    fn protocol_extended_families_appended_after_paper_set() {
+        // Paper-pinned strategies keep indices 0..73; the Extended families
+        // come after, so index-based samplers stay stable.
+        assert!(registry()[..73].iter().all(|s| s.source.in_paper()));
+        let ext: Vec<_> = registry()[73..].iter().map(|s| s.id).collect();
+        assert_eq!(
+            ext,
+            [
+                "ext6-hopbyhop-malformed",
+                "udp-length-lie",
+                "frag-overlap-conflict"
+            ]
+        );
     }
 
     #[test]

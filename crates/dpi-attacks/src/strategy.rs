@@ -3,6 +3,7 @@
 use crate::corruption::{Corruption, SeqContext};
 use net_packet::{Connection, Direction, Packet, TcpFlags, TcpHeader};
 use rand::rngs::StdRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which research effort a strategy was published in.
@@ -17,6 +18,10 @@ pub enum AttackSource {
     /// Geneva (Bock et al., CCS '19) — genetically evolved strategies with
     /// up to two stacked modifications; paper reference [4].
     Geneva,
+    /// Protocol-diversity families added by this reproduction, beyond the
+    /// paper's IPv4/TCP catalogue: IPv6 extension-header corruption, UDP
+    /// length/checksum games and overlapping-fragment evasion.
+    Extended,
 }
 
 impl AttackSource {
@@ -25,7 +30,15 @@ impl AttackSource {
             AttackSource::SymTcp => "SymTCP [23]",
             AttackSource::Liberate => "Liberate [10]",
             AttackSource::Geneva => "Geneva [4]",
+            AttackSource::Extended => "Extended (this work)",
         }
+    }
+
+    /// True for the three sources catalogued by the paper (the 73-strategy
+    /// Table 8 set); `Extended` strategies are excluded from paper-pinned
+    /// counts.
+    pub fn in_paper(self) -> bool {
+        !matches!(self, AttackSource::Extended)
     }
 }
 
@@ -100,6 +113,21 @@ pub enum Mechanic {
         with_ack: bool,
         corruptions: Vec<Corruption>,
     },
+    /// IPv6-only: shadow data packets with copies whose extension-header
+    /// chain is malformed (misplaced Hop-by-Hop or a lying `hdr_ext_len`).
+    /// A conformant endhost drops the shadow; a DPI that skips the chain
+    /// check desynchronizes.
+    ShadowExtHeader { count: ShadowCount },
+    /// UDP-only: shadow datagrams with copies playing a header game — a
+    /// lying `udp.length` or a garbled checksum (chosen per shadow) — that
+    /// endhosts discard but length-blind DPI consumes.
+    ShadowUdpGame { count: ShadowCount },
+    /// IPv4/TCP-only: deliver a data packet as overlapping fragments whose
+    /// shared bytes disagree. The endhost reassembly policy (first-received
+    /// wins here) yields the genuine payload, but the conflict itself is
+    /// recorded in [`net_packet::ReassemblyInfo`] — a DPI reassembling with
+    /// the opposite policy reads attacker-chosen bytes.
+    FragOverlap,
 }
 
 /// Output of applying a strategy: the attacked trace and ground truth.
@@ -112,6 +140,14 @@ pub struct AttackResult {
     pub strategy_id: &'static str,
 }
 
+/// Extracts the IPv4 address of a guarded-v4 flow endpoint.
+pub(crate) fn v4(addr: std::net::IpAddr) -> std::net::Ipv4Addr {
+    match addr {
+        std::net::IpAddr::V4(a) => a,
+        std::net::IpAddr::V6(a) => unreachable!("v4-guarded strategy saw v6 address {a}"),
+    }
+}
+
 /// Sequence-space snapshot just before packet index `at`.
 pub(crate) fn seq_context_at(conn: &Connection, at: usize) -> SeqContext {
     let mut isn: Option<u32> = None;
@@ -122,14 +158,14 @@ pub(crate) fn seq_context_at(conn: &Connection, at: usize) -> SeqContext {
             continue;
         }
         if isn.is_none() {
-            isn = Some(p.tcp.seq);
-            snd_nxt = p.tcp.seq;
+            isn = Some(p.tcp().seq);
+            snd_nxt = p.tcp().seq;
         }
-        let end = p.tcp.seq.wrapping_add(p.seq_len());
+        let end = p.tcp().seq.wrapping_add(p.seq_len());
         if (end.wrapping_sub(snd_nxt) as i32) > 0 {
             snd_nxt = end;
         }
-        if let Some((tsval, _)) = p.tcp.timestamps() {
+        if let Some((tsval, _)) = p.tcp().timestamps() {
             last_tsval = Some(tsval);
         }
     }
@@ -155,12 +191,12 @@ fn server_state(conn: &Connection, at: usize) -> (u32, u32) {
         if conn.direction(i) != Direction::ServerToClient {
             continue;
         }
-        let end = p.tcp.seq.wrapping_add(p.seq_len());
+        let end = p.tcp().seq.wrapping_add(p.seq_len());
         if !seen || (end.wrapping_sub(next) as i32) > 0 {
             next = end;
             seen = true;
         }
-        if let Some((v, _)) = p.tcp.timestamps() {
+        if let Some((v, _)) = p.tcp().timestamps() {
             tsval = v;
         }
     }
@@ -182,13 +218,14 @@ pub(crate) fn craft_client_segment(
         .iter()
         .enumerate()
         .find(|(i, _)| conn.direction(*i) == Direction::ClientToServer)
-        .map(|(_, p)| p.ip.ttl)
+        .map(|(_, p)| p.ipv4().ttl)
         .unwrap_or(64);
     let ctx = seq_context_at(conn, at);
     let ack = server_next_seq(conn, at);
 
     let ts = timestamp_between(conn, at);
-    let mut ip = net_packet::Ipv4Header::new(key.client.addr, key.server.addr, template_ttl);
+    let mut ip =
+        net_packet::Ipv4Header::new(v4(key.client.addr), v4(key.server.addr), template_ttl);
     ip.identification = 0x7e57;
     let mut tcp = TcpHeader::new(key.client.port, key.server.port, ctx.snd_nxt, 0);
     tcp.flags = flags;
@@ -218,6 +255,26 @@ fn timestamp_between(conn: &Connection, at: usize) -> f64 {
     }
 }
 
+/// Data-packet indices a shadow strategy targets: the first `count`
+/// client-to-server data packets, falling back to any-direction data
+/// packets for pure-download flows.
+fn shadow_targets(conn: &Connection, count: ShadowCount) -> Vec<usize> {
+    let targets: Vec<usize> = conn
+        .data_packet_indices()
+        .into_iter()
+        .filter(|&i| conn.direction(i) == Direction::ClientToServer)
+        .take(count.limit())
+        .collect();
+    if targets.is_empty() {
+        conn.data_packet_indices()
+            .into_iter()
+            .take(count.limit())
+            .collect()
+    } else {
+        targets
+    }
+}
+
 /// Resolves an [`InjectionPoint`] to a packet index, or `None` when the
 /// trace lacks the required state.
 fn resolve_point(conn: &Connection, point: InjectionPoint) -> Option<usize> {
@@ -226,7 +283,7 @@ fn resolve_point(conn: &Connection, point: InjectionPoint) -> Option<usize> {
         InjectionPoint::DuringSynRecv => {
             // After the SYN-ACK, before the client's completing ACK.
             conn.packets.iter().enumerate().find_map(|(i, p)| {
-                (p.tcp.flags.contains(TcpFlags::SYN) && p.tcp.flags.contains(TcpFlags::ACK))
+                (p.tcp().flags.contains(TcpFlags::SYN) && p.tcp().flags.contains(TcpFlags::ACK))
                     .then_some(i + 1)
             })
         }
@@ -243,6 +300,20 @@ impl Mechanic {
         strategy_id: &'static str,
         rng: &mut StdRng,
     ) -> Option<AttackResult> {
+        // The legacy (paper-catalogued) mechanics craft IPv4 TCP segments;
+        // they do not apply to v6 or UDP flows.
+        if matches!(
+            self,
+            Mechanic::Inject { .. }
+                | Mechanic::ModifySyn { .. }
+                | Mechanic::ShadowData { .. }
+                | Mechanic::ShadowRst { .. }
+        ) && (conn.key.proto != net_packet::ipv4::PROTO_TCP
+            || !conn.key.client.addr.is_ipv4()
+            || !conn.key.server.addr.is_ipv4())
+        {
+            return None;
+        }
         match self {
             Mechanic::Inject {
                 point,
@@ -268,8 +339,8 @@ impl Mechanic {
             } => {
                 // Locate the client SYN.
                 let idx = conn.packets.iter().enumerate().find_map(|(i, p)| {
-                    (p.tcp.flags.contains(TcpFlags::SYN)
-                        && !p.tcp.flags.contains(TcpFlags::ACK)
+                    (p.tcp().flags.contains(TcpFlags::SYN)
+                        && !p.tcp().flags.contains(TcpFlags::ACK)
                         && conn.direction(i) == Direction::ClientToServer)
                         .then_some(i)
                 })?;
@@ -277,8 +348,8 @@ impl Mechanic {
                 let orig = &conn.packets[idx];
                 let mut pkt = Packet::new(
                     orig.timestamp,
-                    orig.ip.clone(),
-                    orig.tcp.clone(),
+                    orig.ipv4().clone(),
+                    orig.tcp().clone(),
                     vec![0x45u8; *payload],
                 );
                 let ctx = seq_context_at(conn, idx + 1);
@@ -305,7 +376,144 @@ impl Mechanic {
                 };
                 self.shadow(conn, strategy_id, rng, *count, corruptions, Some(flags))
             }
+            Mechanic::ShadowExtHeader { count } => {
+                if conn.key.proto != net_packet::ipv4::PROTO_TCP || !conn.key.client.addr.is_ipv6()
+                {
+                    return None;
+                }
+                Self::shadow_with(conn, strategy_id, *count, rng, |p, i, rng| {
+                    let mut ip = p.ip.v6()?.clone();
+                    if rng.gen_bool(0.5) {
+                        // A single Destination Options header whose length
+                        // octet claims 48 bytes while 8 are stored.
+                        let mut ext = net_packet::Ipv6ExtHeader::well_formed(0, 0, Vec::new());
+                        ext.hdr_ext_len = 5;
+                        ip.next_header = net_packet::ipv6::EXT_DEST_OPTS;
+                        ip.ext = vec![ext];
+                    } else {
+                        // Hop-by-Hop in second position — RFC 8200 requires
+                        // it first.
+                        ip.next_header = net_packet::ipv6::EXT_DEST_OPTS;
+                        ip.ext = vec![
+                            net_packet::Ipv6ExtHeader::well_formed(
+                                net_packet::ipv6::EXT_HOP_BY_HOP,
+                                0,
+                                Vec::new(),
+                            ),
+                            net_packet::Ipv6ExtHeader::well_formed(0, 0, Vec::new()),
+                        ];
+                    }
+                    Some(Packet::new_v6(i, ip, p.tcp().clone(), p.payload.clone()))
+                })
+            }
+            Mechanic::ShadowUdpGame { count } => {
+                if conn.key.proto != net_packet::ipv4::PROTO_UDP {
+                    return None;
+                }
+                Self::shadow_with(conn, strategy_id, *count, rng, |p, i, rng| {
+                    let mut s = p.clone();
+                    s.timestamp = i;
+                    if rng.gen_bool(0.5) {
+                        // Lying length: claim fewer bytes than the datagram
+                        // actually carries (clamped above the 8-byte header).
+                        let real = s.udp().length;
+                        s.udp_mut().length = real.saturating_sub(rng.gen_range(1..=8)).max(8);
+                    } else {
+                        // Garbled checksum; avoid 0, which means "disabled"
+                        // (and validates) over IPv4.
+                        let stored = s.udp().checksum;
+                        let garbled = stored ^ 0x1400;
+                        s.udp_mut().checksum = if garbled == 0 { 0x0a00 } else { garbled };
+                    }
+                    Some(s)
+                })
+            }
+            Mechanic::FragOverlap => {
+                if conn.key.proto != net_packet::ipv4::PROTO_TCP || !conn.key.client.addr.is_ipv4()
+                {
+                    return None;
+                }
+                let idx = conn
+                    .data_packet_indices()
+                    .into_iter()
+                    .find(|&i| conn.packets[i].ip.is_v4() && conn.packets[i].payload.len() >= 16)?;
+                let orig = &conn.packets[idx];
+                let bytes = orig.to_bytes();
+                // Split the transport area roughly in half, 8-byte aligned.
+                let area = bytes.len() - orig.ip.header_len_bytes();
+                let chunk = (area / 2).div_ceil(8) * 8;
+                let frags = net_packet::fragment_datagram(&bytes, chunk.max(8));
+                if frags.len() < 2 {
+                    return None;
+                }
+                // The evil duplicate of the first fragment: same range, its
+                // bytes disagree. Arriving second, it loses to the genuine
+                // fragment under first-received-wins — but the conflict is
+                // recorded.
+                let mut evil = frags[0].clone();
+                let hdr = ((evil[0] & 0x0f) as usize * 4).clamp(20, evil.len());
+                for b in &mut evil[hdr..] {
+                    *b ^= 0x5a;
+                }
+                let mut reasm = net_packet::Reassembler::new();
+                let order = std::iter::once(&frags[0])
+                    .chain(std::iter::once(&evil))
+                    .chain(frags[1..].iter());
+                let mut done = None;
+                for (k, f) in order.enumerate() {
+                    if let Some(p) = reasm.push(orig.timestamp + k as f64 * 1e-7, f) {
+                        done = Some(p);
+                    }
+                }
+                let mut done = done?;
+                done.timestamp = orig.timestamp;
+                if !done.reassembly.as_ref().is_some_and(|r| r.conflicting) {
+                    return None;
+                }
+                let mut out = conn.clone();
+                out.packets[idx] = done;
+                Some(AttackResult {
+                    connection: out,
+                    adversarial_indices: vec![idx],
+                    strategy_id,
+                })
+            }
         }
+    }
+
+    /// Shadow-insertion skeleton for the Extended families: before each of
+    /// the first `count` data packets, insert the shadow produced by
+    /// `craft(packet, timestamp, rng)`.
+    fn shadow_with(
+        conn: &Connection,
+        strategy_id: &'static str,
+        count: ShadowCount,
+        rng: &mut StdRng,
+        mut craft: impl FnMut(&Packet, f64, &mut StdRng) -> Option<Packet>,
+    ) -> Option<AttackResult> {
+        let targets = shadow_targets(conn, count);
+        if targets.is_empty() {
+            return None;
+        }
+        let mut out = Connection::new(conn.key);
+        let mut adversarial = Vec::new();
+        for (i, p) in conn.packets.iter().enumerate() {
+            if targets.contains(&i) {
+                if let Some(shadow) = craft(p, timestamp_between(conn, i), rng) {
+                    adversarial.push(out.packets.len());
+                    out.packets.push(shadow);
+                }
+            }
+            out.packets.push(p.clone());
+        }
+        if adversarial.is_empty() {
+            return None;
+        }
+        Some(AttackResult {
+            connection: out,
+            adversarial_indices: adversarial,
+            strategy_id,
+        })
     }
 
     /// Shared shadow-insertion logic: before each of the first `count`
@@ -320,21 +528,7 @@ impl Mechanic {
         corruptions: &[Corruption],
         rst_flags: Option<TcpFlags>,
     ) -> Option<AttackResult> {
-        let targets: Vec<usize> = conn
-            .data_packet_indices()
-            .into_iter()
-            .filter(|&i| conn.direction(i) == Direction::ClientToServer)
-            .take(count.limit())
-            .collect();
-        // Fall back to any-direction data packets for pure-download flows.
-        let targets = if targets.is_empty() {
-            conn.data_packet_indices()
-                .into_iter()
-                .take(count.limit())
-                .collect()
-        } else {
-            targets
-        };
+        let targets = shadow_targets(conn, count);
         if targets.is_empty() {
             return None;
         }
@@ -392,7 +586,7 @@ mod tests {
                 assert_eq!(r.connection.len(), conn.len() + 1);
                 let idx = r.adversarial_indices[0];
                 let injected = &r.connection.packets[idx];
-                assert!(injected.tcp.flags.contains(TcpFlags::RST));
+                assert!(injected.tcp().flags.contains(TcpFlags::RST));
                 assert!(!injected.tcp_checksum_valid());
                 // Comes after the handshake-completing ACK.
                 assert!(idx >= 3);
@@ -415,7 +609,7 @@ mod tests {
             if let Some(r) = mech.apply(conn, "t", &mut rng) {
                 let idx = r.adversarial_indices[0];
                 let ctx = seq_context_at(conn, idx);
-                assert_eq!(r.connection.packets[idx].tcp.seq, ctx.snd_nxt);
+                assert_eq!(r.connection.packets[idx].tcp().seq, ctx.snd_nxt);
             }
         }
     }
@@ -433,7 +627,7 @@ mod tests {
             assert_eq!(r.connection.len(), conn.len());
             let idx = r.adversarial_indices[0];
             let p = &r.connection.packets[idx];
-            assert!(p.tcp.flags.contains(TcpFlags::SYN));
+            assert!(p.tcp().flags.contains(TcpFlags::SYN));
             assert_eq!(p.payload.len(), 32);
             assert!(p.tcp_checksum_valid());
         }
@@ -458,7 +652,7 @@ mod tests {
                     }
                     assert_eq!(r.connection.len(), conn.len() + n);
                     for &i in &r.adversarial_indices {
-                        assert!((1..=4).contains(&r.connection.packets[i].ip.ttl));
+                        assert!((1..=4).contains(&r.connection.packets[i].ipv4().ttl));
                     }
                 }
             }
@@ -477,8 +671,8 @@ mod tests {
         for conn in &conns {
             if let Some(r) = mech.apply(conn, "t", &mut rng) {
                 let p = &r.connection.packets[r.adversarial_indices[0]];
-                assert!(p.tcp.flags.contains(TcpFlags::RST));
-                assert!(p.tcp.flags.contains(TcpFlags::ACK));
+                assert!(p.tcp().flags.contains(TcpFlags::RST));
+                assert!(p.tcp().flags.contains(TcpFlags::ACK));
             }
         }
     }

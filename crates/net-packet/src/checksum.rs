@@ -1,4 +1,5 @@
-//! RFC 1071 Internet checksum and the TCP pseudo-header checksum.
+//! RFC 1071 Internet checksum and the TCP/UDP pseudo-header checksums,
+//! over both IPv4 and IPv6.
 //!
 //! The header checksums are computed by streaming the wire-format field
 //! bytes through a chunked accumulator instead of serializing the header
@@ -6,7 +7,7 @@
 //! tracker's per-packet path, where a heap allocation per packet would
 //! dominate the flow-table work.
 
-use crate::{Ipv4Header, TcpFlags, TcpHeader};
+use crate::{IpHeader, Ipv4Header, TcpFlags, TcpHeader, Transport, UdpHeader};
 
 /// Ones'-complement sum over 16-bit words with odd-byte handling, folded to
 /// 16 bits. `initial` allows chaining (pseudo-header then segment).
@@ -89,9 +90,34 @@ fn ipv4_sum(h: &Ipv4Header, checksum_field: u16) -> u16 {
     finalize(s.finish())
 }
 
+/// Adds the pseudo-header for `ip` (v4: 12 bytes; v6: 40 bytes) to the
+/// running sum. `proto` is the transport protocol number and `length` the
+/// transport length (header + payload) used in the pseudo-header.
+fn pseudo_header_sum(ip: &IpHeader, proto: u8, length: u32, segment_sum: u32) -> u32 {
+    match ip {
+        IpHeader::V4(h) => {
+            let mut pseudo = [0u8; 12];
+            pseudo[0..4].copy_from_slice(&h.src.octets());
+            pseudo[4..8].copy_from_slice(&h.dst.octets());
+            pseudo[8] = 0;
+            pseudo[9] = proto;
+            pseudo[10..12].copy_from_slice(&(length as u16).to_be_bytes());
+            ones_complement_sum(&pseudo, segment_sum)
+        }
+        IpHeader::V6(h) => {
+            let mut pseudo = [0u8; 40];
+            pseudo[0..16].copy_from_slice(&h.src.octets());
+            pseudo[16..32].copy_from_slice(&h.dst.octets());
+            pseudo[32..36].copy_from_slice(&length.to_be_bytes());
+            pseudo[39] = proto;
+            ones_complement_sum(&pseudo, segment_sum)
+        }
+    }
+}
+
 /// Sums pseudo-header + TCP header (checksum field replaced by
 /// `checksum_field`) + payload, without materializing the header bytes.
-fn tcp_sum(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8], checksum_field: u16) -> u16 {
+fn tcp_sum(ip: &IpHeader, tcp: &TcpHeader, payload: &[u8], checksum_field: u16) -> u16 {
     let mut s = Summer::default();
     s.push(&tcp.src_port.to_be_bytes());
     s.push(&tcp.dst_port.to_be_bytes());
@@ -108,14 +134,37 @@ fn tcp_sum(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8], checksum_field: u16
         s.push(b);
     });
     s.push(payload);
+    // Pseudo-header TCP length: derived from the actual structure, which —
+    // because the parser slices the payload by the IP datagram length —
+    // equals the `total_length`-derived value for any packet whose length
+    // fields are honest (link-layer trailer padding never reaches here).
     let tcp_len = (20 + opt_len + payload.len()) as u32;
-    let mut pseudo = [0u8; 12];
-    pseudo[0..4].copy_from_slice(&ip.src.octets());
-    pseudo[4..8].copy_from_slice(&ip.dst.octets());
-    pseudo[8] = 0;
-    pseudo[9] = ip.protocol;
-    pseudo[10..12].copy_from_slice(&(tcp_len as u16).to_be_bytes());
-    finalize(ones_complement_sum(&pseudo, s.finish()))
+    finalize(pseudo_header_sum(
+        ip,
+        crate::ipv4::PROTO_TCP,
+        tcp_len,
+        s.finish(),
+    ))
+}
+
+/// Sums pseudo-header + UDP header (checksum field replaced by
+/// `checksum_field`) + payload. Per RFC 768 the pseudo-header length is the
+/// UDP `length` **field** — so a lying length changes the checksum, which
+/// is exactly the coupling the UDP length/checksum attack family plays
+/// with.
+fn udp_sum(ip: &IpHeader, udp: &UdpHeader, payload: &[u8], checksum_field: u16) -> u16 {
+    let mut s = Summer::default();
+    s.push(&udp.src_port.to_be_bytes());
+    s.push(&udp.dst_port.to_be_bytes());
+    s.push(&udp.length.to_be_bytes());
+    s.push(&checksum_field.to_be_bytes());
+    s.push(payload);
+    finalize(pseudo_header_sum(
+        ip,
+        crate::ipv4::PROTO_UDP,
+        u32::from(udp.length),
+        s.finish(),
+    ))
 }
 
 /// IPv4 header checksum over the serialized header with the checksum field
@@ -131,22 +180,34 @@ pub(crate) fn ipv4_checksum_ignoring_stored(header: &Ipv4Header) -> u16 {
     ipv4_sum(header, 0)
 }
 
-/// TCP checksum over the pseudo-header, the serialized TCP header (with the
-/// checksum field from `tcp.checksum`; set it to zero before computing) and
-/// the payload.
-pub fn tcp_checksum(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8]) -> u16 {
-    tcp_sum(ip, tcp, payload, tcp.checksum)
+/// Transport checksum over the pseudo-header (v4 or v6), the serialized
+/// transport header (with the stored checksum field; set it to zero before
+/// computing) and the payload.
+pub fn transport_checksum(ip: &IpHeader, transport: &Transport, payload: &[u8]) -> u16 {
+    match transport {
+        Transport::Tcp(t) => tcp_sum(ip, t, payload, t.checksum),
+        Transport::Udp(u) => udp_sum(ip, u, payload, u.checksum),
+    }
 }
 
-/// [`tcp_checksum`] with the stored checksum field treated as zero — the
-/// validation path, which would otherwise have to clone the header (and
-/// its options) to zero the field.
-pub(crate) fn tcp_checksum_ignoring_stored(
-    ip: &Ipv4Header,
-    tcp: &TcpHeader,
+/// [`transport_checksum`] with the stored checksum field treated as zero —
+/// the validation path, which would otherwise have to clone the header
+/// (and its options) to zero the field.
+pub(crate) fn transport_checksum_ignoring_stored(
+    ip: &IpHeader,
+    transport: &Transport,
     payload: &[u8],
 ) -> u16 {
-    tcp_sum(ip, tcp, payload, 0)
+    match transport {
+        Transport::Tcp(t) => tcp_sum(ip, t, payload, 0),
+        Transport::Udp(u) => udp_sum(ip, u, payload, 0),
+    }
+}
+
+/// TCP checksum for explicitly v4/TCP headers (legacy-shaped helper used
+/// by code that crafts raw segments).
+pub fn tcp_checksum(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8]) -> u16 {
+    tcp_sum(&IpHeader::V4(ip.clone()), tcp, payload, tcp.checksum)
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! Connection-level containers shared across the workspace.
 
-use crate::{Packet, TcpFlags};
+use crate::ipv4::PROTO_TCP;
+use crate::{IpHeader, Packet, TcpFlags};
 use serde::{Deserialize, Serialize};
-use std::net::Ipv4Addr;
+use std::net::IpAddr;
 
 /// Direction of a packet relative to the connection initiator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -31,42 +32,64 @@ impl Direction {
     }
 }
 
-/// One endpoint of a TCP connection.
+/// One endpoint of a connection (IPv4 or IPv6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Endpoint {
-    pub addr: Ipv4Addr,
+    pub addr: IpAddr,
     pub port: u16,
 }
 
 impl Endpoint {
-    pub fn new(addr: Ipv4Addr, port: u16) -> Self {
-        Endpoint { addr, port }
+    /// `impl Into<IpAddr>` so existing `Ipv4Addr` call sites keep working
+    /// unchanged alongside `Ipv6Addr` and `IpAddr` ones.
+    pub fn new(addr: impl Into<IpAddr>, port: u16) -> Self {
+        Endpoint {
+            addr: addr.into(),
+            port,
+        }
     }
 }
 
 impl std::fmt::Display for Endpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}", self.addr, self.port)
+        match self.addr {
+            IpAddr::V4(a) => write!(f, "{}:{}", a, self.port),
+            IpAddr::V6(a) => write!(f, "[{}]:{}", a, self.port),
+        }
     }
 }
 
-/// The 4-tuple identifying a connection, oriented client → server.
+/// The 5-tuple identifying a connection, oriented client → server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FlowKey {
     pub client: Endpoint,
     pub server: Endpoint,
+    /// Transport protocol number (6 TCP, 17 UDP): a TCP and a UDP flow on
+    /// the same address/port pair are distinct flows.
+    pub proto: u8,
 }
 
 impl FlowKey {
+    /// A TCP flow key; use [`with_proto`](Self::with_proto) for UDP.
     pub fn new(client: Endpoint, server: Endpoint) -> Self {
-        FlowKey { client, server }
+        FlowKey {
+            client,
+            server,
+            proto: PROTO_TCP,
+        }
+    }
+
+    /// The same key with a different transport protocol.
+    pub fn with_proto(mut self, proto: u8) -> Self {
+        self.proto = proto;
+        self
     }
 
     /// Classifies a packet against this key by source address/port.
     /// Returns `None` for packets that belong to neither direction.
     pub fn direction_of(&self, p: &Packet) -> Option<Direction> {
-        let src = Endpoint::new(p.ip.src, p.tcp.src_port);
-        let dst = Endpoint::new(p.ip.dst, p.tcp.dst_port);
+        let src = Endpoint::new(p.src_addr(), p.src_port());
+        let dst = Endpoint::new(p.dst_addr(), p.dst_port());
         if src == self.client && dst == self.server {
             Some(Direction::ClientToServer)
         } else if src == self.server && dst == self.client {
@@ -83,7 +106,7 @@ impl std::fmt::Display for FlowKey {
     }
 }
 
-/// A single TCP connection: its 4-tuple and time-ordered packets.
+/// A single connection: its 5-tuple and time-ordered packets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Connection {
     pub key: FlowKey,
@@ -120,15 +143,16 @@ impl Connection {
 
     /// Indices of packets carrying payload in the ESTABLISHED phase, i.e.
     /// candidate "data packets" as the attack literature uses the term:
-    /// non-SYN, non-RST packets with non-empty payload.
+    /// non-SYN, non-RST packets with non-empty payload. (UDP packets have
+    /// no flags, so every payload-carrying one qualifies.)
     pub fn data_packet_indices(&self) -> Vec<usize> {
         self.packets
             .iter()
             .enumerate()
             .filter(|(_, p)| {
                 !p.payload.is_empty()
-                    && !p.tcp.flags.contains(TcpFlags::SYN)
-                    && !p.tcp.flags.contains(TcpFlags::RST)
+                    && !p.tcp_flags().contains(TcpFlags::SYN)
+                    && !p.tcp_flags().contains(TcpFlags::RST)
             })
             .map(|(i, _)| i)
             .collect()
@@ -143,7 +167,7 @@ impl Connection {
         let mut saw_syn = false;
         let mut saw_synack = false;
         for (i, p) in self.packets.iter().enumerate() {
-            let f = p.tcp.flags;
+            let f = p.tcp_flags();
             if f.contains(TcpFlags::SYN) && !f.contains(TcpFlags::ACK) {
                 saw_syn = true;
             } else if f.contains(TcpFlags::SYN) && f.contains(TcpFlags::ACK) {
@@ -160,12 +184,15 @@ impl Connection {
         self.packets.iter().map(|p| p.payload.len()).sum()
     }
 
-    /// Renumbers IP identification fields and recomputes checksums for all
-    /// packets, preserving any deliberately-corrupted fields is NOT done —
-    /// this is a helper for generators producing benign traffic only.
+    /// Renumbers IP identification fields (IPv4 only; v6 has none) and
+    /// recomputes checksums for all packets. Preserving deliberately
+    /// corrupted fields is NOT done — this is a helper for generators
+    /// producing benign traffic only.
     pub fn finalize_benign(&mut self) {
         for (i, p) in self.packets.iter_mut().enumerate() {
-            p.ip.identification = i as u16;
+            if let IpHeader::V4(h) = &mut p.ip {
+                h.identification = i as u16;
+            }
             p.fill_checksums();
         }
     }
@@ -175,6 +202,7 @@ impl Connection {
 mod tests {
     use super::*;
     use crate::{Ipv4Header, TcpHeader};
+    use std::net::Ipv4Addr;
 
     fn key() -> FlowKey {
         FlowKey::new(
@@ -183,12 +211,19 @@ mod tests {
         )
     }
 
+    fn v4(a: IpAddr) -> Ipv4Addr {
+        match a {
+            IpAddr::V4(v) => v,
+            IpAddr::V6(_) => unreachable!("v4 test fixture"),
+        }
+    }
+
     fn pkt(key: &FlowKey, dir: Direction, flags: TcpFlags, payload: &[u8]) -> Packet {
         let (src, dst) = match dir {
             Direction::ClientToServer => (key.client, key.server),
             Direction::ServerToClient => (key.server, key.client),
         };
-        let ip = Ipv4Header::new(src.addr, dst.addr, 64);
+        let ip = Ipv4Header::new(v4(src.addr), v4(dst.addr), 64);
         let mut tcp = TcpHeader::new(src.port, dst.port, 100, 200);
         tcp.flags = flags;
         Packet::new(0.0, ip, tcp, payload.to_vec())
@@ -248,8 +283,16 @@ mod tests {
         let k = key();
         let mut conn = Connection::new(k);
         let mut stray = pkt(&k, Direction::ClientToServer, TcpFlags::RST, &[]);
-        stray.ip.src = Ipv4Addr::new(8, 8, 8, 8);
+        stray.ipv4_mut().src = Ipv4Addr::new(8, 8, 8, 8);
         conn.packets.push(stray);
         assert_eq!(conn.direction(0), Direction::ClientToServer);
+    }
+
+    #[test]
+    fn protocol_distinguishes_flows_on_same_tuple() {
+        let tcp_key = key();
+        let udp_key = tcp_key.with_proto(crate::ipv4::PROTO_UDP);
+        assert_ne!(tcp_key, udp_key);
+        assert_eq!(udp_key.client, tcp_key.client);
     }
 }

@@ -1,5 +1,5 @@
 //! Flow reassembly: grouping a raw packet stream (e.g. a pcap capture)
-//! into [`Connection`]s by 4-tuple.
+//! into [`Connection`]s by flow tuple.
 //!
 //! This is what turns `pcap::read_pcap` output into CLAP's unit of
 //! analysis. Orientation follows the first packet seen for a tuple, unless
@@ -8,15 +8,20 @@
 
 use crate::{Connection, Endpoint, FlowKey, Packet, TcpFlags};
 use std::collections::HashMap;
+use std::net::IpAddr;
 
-/// Canonical (order-independent) form of a 4-tuple for hashing: both
+/// Canonical (order-independent) form of a flow 5-tuple for hashing: both
 /// directions of a flow map to the same key. This is the lookup key of
 /// both the offline reassembler below and the streaming per-flow tables
-/// in `clap-core`.
+/// in `clap-core`. v4 addresses live in the low 32 bits of the `u128`
+/// slots; the `v6` discriminant keeps `::a.b.c.d` v6 flows distinct from
+/// the v4 flows they would otherwise alias.
 #[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
 pub struct CanonicalKey {
-    lo: (u32, u16),
-    hi: (u32, u16),
+    v6: bool,
+    proto: u8,
+    lo: (u128, u16),
+    hi: (u128, u16),
 }
 
 /// The Microsoft reference RSS hash key (the NDIS verification-suite
@@ -29,6 +34,20 @@ const RSS_KEY: [u8; 40] = [
     0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
+/// [`RSS_KEY`] extended by cyclic repetition so inputs longer than 32
+/// bytes (the v6 tuple is 37) always have a full 8-byte key window.
+/// `RSS_KEY_EXT[..40] == RSS_KEY`, so hashes of inputs up to 32 bytes —
+/// including the published NDIS verification vectors — are unchanged.
+const RSS_KEY_EXT: [u8; 64] = {
+    let mut k = [0u8; 64];
+    let mut i = 0;
+    while i < 64 {
+        k[i] = RSS_KEY[i % 40];
+        i += 1;
+    }
+    k
+};
+
 /// Toeplitz hash of `data` under [`RSS_KEY`] — the exact function RSS
 /// NICs evaluate in hardware. For each set bit `p` of the input, XORs the
 /// 32-bit window of the key starting at bit `p`.
@@ -36,7 +55,7 @@ fn toeplitz(data: &[u8]) -> u32 {
     let mut hash = 0u32;
     for (i, &byte) in data.iter().enumerate() {
         // Key bits [8i, 8i+64): covers every 32-bit window this byte needs.
-        let w = u64::from_be_bytes(RSS_KEY[i..i + 8].try_into().expect("8-byte window"));
+        let w = u64::from_be_bytes(RSS_KEY_EXT[i..i + 8].try_into().expect("8-byte window"));
         for b in 0..8 {
             if byte & (0x80 >> b) != 0 {
                 hash ^= (w >> (32 - b)) as u32;
@@ -46,46 +65,71 @@ fn toeplitz(data: &[u8]) -> u32 {
     hash
 }
 
+fn addr_bits(a: IpAddr) -> u128 {
+    match a {
+        IpAddr::V4(v) => u128::from(u32::from(v)),
+        IpAddr::V6(v) => u128::from(v),
+    }
+}
+
 impl CanonicalKey {
-    /// Canonical key of a packet's 4-tuple.
+    fn of_parts(src: (IpAddr, u16), dst: (IpAddr, u16), proto: u8) -> CanonicalKey {
+        let v6 = src.0.is_ipv6() || dst.0.is_ipv6();
+        let a = (addr_bits(src.0), src.1);
+        let b = (addr_bits(dst.0), dst.1);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        CanonicalKey { v6, proto, lo, hi }
+    }
+
+    /// Canonical key of a packet's 5-tuple. The protocol discriminant is
+    /// the structural transport (6/17), not the corruptible IP protocol
+    /// field, so a flow's packets land in one table entry even when an
+    /// attack lies in the header.
     pub fn of(p: &Packet) -> CanonicalKey {
-        let a = (u32::from(p.ip.src), p.tcp.src_port);
-        let b = (u32::from(p.ip.dst), p.tcp.dst_port);
-        if a <= b {
-            CanonicalKey { lo: a, hi: b }
-        } else {
-            CanonicalKey { lo: b, hi: a }
-        }
+        Self::of_parts(
+            (p.src_addr(), p.src_port()),
+            (p.dst_addr(), p.dst_port()),
+            p.transport.protocol_number(),
+        )
     }
 
     /// Canonical key of an oriented [`FlowKey`] — the same key either
     /// direction's packets would produce, so flow-table entries can be
     /// looked up from a finalized connection's identity.
     pub fn of_key(k: &FlowKey) -> CanonicalKey {
-        let a = (u32::from(k.client.addr), k.client.port);
-        let b = (u32::from(k.server.addr), k.server.port);
-        if a <= b {
-            CanonicalKey { lo: a, hi: b }
-        } else {
-            CanonicalKey { lo: b, hi: a }
-        }
+        Self::of_parts(
+            (k.client.addr, k.client.port),
+            (k.server.addr, k.server.port),
+            k.proto,
+        )
     }
 
-    /// Symmetric RSS hash of the 4-tuple: the standard Toeplitz function
+    /// Symmetric RSS hash of the 5-tuple: the standard Toeplitz function
     /// (Microsoft key) over the tuple in **canonical order**
-    /// (`lo.ip ‖ hi.ip ‖ lo.port ‖ hi.port`). Because the input is
-    /// order-normalized, both directions of a flow hash identically —
-    /// the property an RSS-sharded ingest front end needs so one worker
-    /// owns a whole flow. The value is part of the stable API (sharded
-    /// replay determinism depends on it) and is pinned by unit tests
-    /// against a fixed table of known keys.
+    /// (`lo.ip ‖ hi.ip ‖ lo.port ‖ hi.port ‖ proto` — 13 bytes for v4,
+    /// 37 for v6). Because the input is order-normalized, both directions
+    /// of a flow hash identically — the property an RSS-sharded ingest
+    /// front end needs so one worker owns a whole flow. The value is part
+    /// of the stable API (sharded replay determinism depends on it) and is
+    /// pinned by unit tests against a fixed table of known keys.
     pub fn rss_hash(&self) -> u32 {
-        let mut data = [0u8; 12];
-        data[0..4].copy_from_slice(&self.lo.0.to_be_bytes());
-        data[4..8].copy_from_slice(&self.hi.0.to_be_bytes());
-        data[8..10].copy_from_slice(&self.lo.1.to_be_bytes());
-        data[10..12].copy_from_slice(&self.hi.1.to_be_bytes());
-        toeplitz(&data)
+        let mut data = [0u8; 37];
+        let n = if self.v6 {
+            data[0..16].copy_from_slice(&self.lo.0.to_be_bytes());
+            data[16..32].copy_from_slice(&self.hi.0.to_be_bytes());
+            data[32..34].copy_from_slice(&self.lo.1.to_be_bytes());
+            data[34..36].copy_from_slice(&self.hi.1.to_be_bytes());
+            data[36] = self.proto;
+            37
+        } else {
+            data[0..4].copy_from_slice(&(self.lo.0 as u32).to_be_bytes());
+            data[4..8].copy_from_slice(&(self.hi.0 as u32).to_be_bytes());
+            data[8..10].copy_from_slice(&self.lo.1.to_be_bytes());
+            data[10..12].copy_from_slice(&self.hi.1.to_be_bytes());
+            data[12] = self.proto;
+            13
+        };
+        toeplitz(&data[..n])
     }
 
     /// Shard index for an `shards`-way partition: fixed-point range
@@ -96,11 +140,11 @@ impl CanonicalKey {
     }
 }
 
-/// Groups packets into connections by TCP 4-tuple, preserving capture
+/// Groups packets into connections by flow 5-tuple, preserving capture
 /// order within each flow.
 ///
 /// * The connection's client/server orientation is taken from the first
-///   pure SYN if one exists, else from the first packet of the flow.
+///   pure SYN if one exists (TCP), else from the first packet of the flow.
 /// * Connections are returned in order of first appearance.
 pub fn assemble_connections(packets: &[Packet]) -> Vec<Connection> {
     let mut index: HashMap<CanonicalKey, usize> = HashMap::new();
@@ -115,11 +159,12 @@ pub fn assemble_connections(packets: &[Packet]) -> Vec<Connection> {
         let (pkts, key) = &mut flows[slot];
         // A pure SYN pins the initiator regardless of capture order.
         let is_pure_syn =
-            p.tcp.flags.contains(TcpFlags::SYN) && !p.tcp.flags.contains(TcpFlags::ACK);
+            p.tcp_flags().contains(TcpFlags::SYN) && !p.tcp_flags().contains(TcpFlags::ACK);
         let this_key = FlowKey::new(
-            Endpoint::new(p.ip.src, p.tcp.src_port),
-            Endpoint::new(p.ip.dst, p.tcp.dst_port),
-        );
+            Endpoint::new(p.src_addr(), p.src_port()),
+            Endpoint::new(p.dst_addr(), p.dst_port()),
+        )
+        .with_proto(p.transport.protocol_number());
         match key {
             None => *key = Some(this_key),
             Some(k) if is_pure_syn && k.client != this_key.client => {
@@ -143,8 +188,8 @@ pub fn assemble_connections(packets: &[Packet]) -> Vec<Connection> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Ipv4Header, TcpHeader};
-    use std::net::Ipv4Addr;
+    use crate::{Ipv4Header, Ipv6Header, TcpHeader, UdpHeader};
+    use std::net::{Ipv4Addr, Ipv6Addr};
 
     fn pkt(src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), flags: TcpFlags, ts: f64) -> Packet {
         let ip = Ipv4Header::new(src.0, dst.0, 64);
@@ -194,6 +239,51 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(assemble_connections(&[]).is_empty());
+    }
+
+    /// TCP and UDP on the same address/port pair are distinct flows, and
+    /// v6 flows group bidirectionally like v4 ones.
+    #[test]
+    fn protocol_separates_flows_and_groups_v6() {
+        let sa = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1);
+        let sb = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2);
+        let tcp_fwd = pkt(A, B, TcpFlags::ACK, 0.0);
+        let udp_fwd = Packet::new_udp(
+            0.1,
+            Ipv4Header::new(A.0, B.0, 64),
+            UdpHeader::new(A.1, B.1),
+            vec![1],
+        );
+        let v6_fwd = Packet::new_v6(
+            0.2,
+            Ipv6Header::new(sa, sb, 64),
+            TcpHeader::new(A.1, B.1, 1, 0),
+            Vec::new(),
+        );
+        let v6_rev = Packet::new_v6(
+            0.3,
+            Ipv6Header::new(sb, sa, 64),
+            TcpHeader::new(B.1, A.1, 1, 0),
+            Vec::new(),
+        );
+        assert_ne!(
+            CanonicalKey::of(&tcp_fwd),
+            CanonicalKey::of(&udp_fwd),
+            "same tuple, different protocol"
+        );
+        assert_ne!(
+            CanonicalKey::of(&tcp_fwd),
+            CanonicalKey::of(&v6_fwd),
+            "v4 and v6 flows never collide"
+        );
+        assert_eq!(CanonicalKey::of(&v6_fwd), CanonicalKey::of(&v6_rev));
+        assert_eq!(
+            CanonicalKey::of(&v6_fwd).rss_hash(),
+            CanonicalKey::of(&v6_rev).rss_hash()
+        );
+        let conns = assemble_connections(&[tcp_fwd, udp_fwd, v6_fwd, v6_rev]);
+        assert_eq!(conns.len(), 3);
+        assert_eq!(conns[2].len(), 2, "both v6 directions in one flow");
     }
 
     /// The Toeplitz core reproduces the published NDIS RSS verification
@@ -246,33 +336,39 @@ mod tests {
     /// The canonical (symmetric) hash values are pinned so they can never
     /// silently change across releases — sharded pcap replay determinism
     /// and any persisted shard assignment depend on these exact values.
+    ///
+    /// The values were recomputed once, deliberately, when the protocol
+    /// byte joined the hash input (PR 9: the canonical tuple grew from
+    /// 12 to 13 bytes, so every symmetric hash changed). The Toeplitz
+    /// core itself is unchanged — see
+    /// [`toeplitz_matches_ndis_verification_suite`].
     #[test]
     fn canonical_rss_hash_is_pinned() {
         let keys: [PinnedVector; 5] = [
             (
                 (Ipv4Addr::new(66, 9, 149, 187), 2794),
                 (Ipv4Addr::new(161, 142, 100, 80), 1766),
-                0x51cc_c178,
+                0xcd5e_db56,
             ),
             (
                 (Ipv4Addr::new(199, 92, 111, 2), 14230),
                 (Ipv4Addr::new(65, 69, 140, 83), 4739),
-                0xe53c_74e8,
+                0x79ae_6ec6,
             ),
             (
                 (Ipv4Addr::new(24, 19, 198, 95), 12898),
                 (Ipv4Addr::new(12, 22, 207, 184), 38024),
-                0xa802_b849,
+                0x3490_a267,
             ),
             (
                 (Ipv4Addr::new(38, 27, 205, 30), 48228),
                 (Ipv4Addr::new(209, 142, 163, 6), 2217),
-                0xafc7_327f,
+                0x3355_2851,
             ),
             (
                 (Ipv4Addr::new(153, 39, 163, 191), 44251),
                 (Ipv4Addr::new(202, 188, 127, 2), 1303),
-                0x10e8_28a2,
+                0x8c7a_328c,
             ),
         ];
         for ((ca, cp), (sa, sp), expect) in keys {

@@ -13,6 +13,15 @@ pub const BASE_IHL: u8 = 5;
 /// IP protocol number for TCP.
 pub const PROTO_TCP: u8 = 6;
 
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// More-fragments bit within the IPv4 flags field.
+pub const FLAG_MF: u8 = 0b001;
+
+/// Don't-fragment bit within the IPv4 flags field.
+pub const FLAG_DF: u8 = 0b010;
+
 /// Structured IPv4 header.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Ipv4Header {

@@ -1,0 +1,219 @@
+//! IPv6 header model with extension-header walking.
+//!
+//! Mirrors the [`crate::Ipv4Header`] philosophy: every field is stored
+//! verbatim — including a `payload_length` that lies about the datagram and
+//! extension headers whose `hdr_ext_len` overruns the buffer — so the
+//! IPv6 extension-header corruption family in `dpi-attacks` can emit
+//! ill-formed packets that survive a round trip through the wire format.
+//!
+//! The parser walks the extension chain for the three "options-shaped"
+//! extension types (Hop-by-Hop 0, Routing 43, Destination Options 60),
+//! which all share the `next_header ‖ hdr_ext_len ‖ data` layout. Any
+//! other next-header value — including the IPv6 Fragment header (44),
+//! whose fixed 8-byte layout has no length octet — terminates the chain
+//! and is treated as the upper-layer protocol.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv6Addr;
+
+/// Fixed IPv6 header length in bytes (no extension headers).
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// Hop-by-Hop Options extension header type.
+pub const EXT_HOP_BY_HOP: u8 = 0;
+/// Routing extension header type.
+pub const EXT_ROUTING: u8 = 43;
+/// Destination Options extension header type.
+pub const EXT_DEST_OPTS: u8 = 60;
+
+/// True for next-header values the parser walks as extension headers.
+pub fn is_walkable_extension(proto: u8) -> bool {
+    matches!(proto, EXT_HOP_BY_HOP | EXT_ROUTING | EXT_DEST_OPTS)
+}
+
+/// One options-shaped extension header, stored verbatim.
+///
+/// Its own type is implied by position: the first extension's type is the
+/// fixed header's `next_header`, each later one the previous extension's
+/// `next_header`. For an honest header `data.len() == 8·(hdr_ext_len+1) − 2`;
+/// the parser clamps `data` to the buffer but keeps `hdr_ext_len` as
+/// written, so a lying length survives re-serialization byte-exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv6ExtHeader {
+    /// Next-header value as written on the wire.
+    pub next_header: u8,
+    /// Length octet as written: header size in 8-byte units, not counting
+    /// the first 8 bytes. May disagree with `data.len()`.
+    pub hdr_ext_len: u8,
+    /// Body bytes after the two fixed octets, verbatim.
+    pub data: Vec<u8>,
+}
+
+impl Ipv6ExtHeader {
+    /// An honest extension header of the claimed size: `data` is padded
+    /// with PadN-style zeros to `8·(units+1) − 2` bytes.
+    pub fn well_formed(next_header: u8, units: u8, mut data: Vec<u8>) -> Self {
+        data.resize(8 * (units as usize + 1) - 2, 0);
+        Ipv6ExtHeader {
+            next_header,
+            hdr_ext_len: units,
+            data,
+        }
+    }
+
+    /// On-wire size of this header as stored (2 fixed octets + body).
+    pub fn wire_len(&self) -> usize {
+        2 + self.data.len()
+    }
+
+    /// True when `hdr_ext_len` agrees with the stored body size.
+    pub fn length_consistent(&self) -> bool {
+        self.wire_len() == 8 * (self.hdr_ext_len as usize + 1)
+    }
+}
+
+/// Structured IPv6 header: the 40-byte fixed part plus the walked
+/// extension chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv6Header {
+    /// IP version. 6 for well-formed packets (stored verbatim).
+    pub version: u8,
+    /// Traffic class byte (DSCP+ECN).
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length (extension headers + transport) as written on the
+    /// wire; attacks may store lying values.
+    pub payload_length: u16,
+    /// First next-header value (start of the extension chain).
+    pub next_header: u8,
+    /// Hop limit (the v6 TTL).
+    pub hop_limit: u8,
+    pub src: Ipv6Addr,
+    pub dst: Ipv6Addr,
+    /// Walked extension chain, in wire order.
+    pub ext: Vec<Ipv6ExtHeader>,
+}
+
+impl Ipv6Header {
+    /// A well-formed TCP/IPv6 header with no extensions; `payload_length`
+    /// and the next-header chain are finalized by the `Packet`
+    /// constructors.
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, hop_limit: u8) -> Self {
+        Ipv6Header {
+            version: 6,
+            traffic_class: 0,
+            flow_label: 0,
+            payload_length: 0,
+            next_header: crate::ipv4::PROTO_TCP,
+            hop_limit,
+            src,
+            dst,
+            ext: Vec::new(),
+        }
+    }
+
+    /// Actual header length in bytes implied by the structure: the fixed
+    /// 40 bytes plus the stored extension bytes (not what `hdr_ext_len`
+    /// fields claim).
+    pub fn header_len_bytes(&self) -> usize {
+        IPV6_HEADER_LEN + self.ext.iter().map(Ipv6ExtHeader::wire_len).sum::<usize>()
+    }
+
+    /// The upper-layer protocol at the end of the extension chain.
+    pub fn final_protocol(&self) -> u8 {
+        self.ext
+            .last()
+            .map(|e| e.next_header)
+            .unwrap_or(self.next_header)
+    }
+
+    /// The extension-header types in chain order (each header's type is
+    /// the previous link's next-header value).
+    pub fn ext_types(&self) -> Vec<u8> {
+        let mut types = Vec::with_capacity(self.ext.len());
+        let mut cur = self.next_header;
+        for e in &self.ext {
+            types.push(cur);
+            cur = e.next_header;
+        }
+        types
+    }
+
+    /// True when the chain is anomalous: any extension present at all is
+    /// already unusual on the open Internet (the v6 analogue of IPv4
+    /// options being essentially extinct). This feeds the "non-standard
+    /// IP options" feature channel for v6.
+    pub fn ext_chain_anomalous(&self) -> bool {
+        !self.ext.is_empty()
+    }
+
+    /// True when the chain is outright malformed: a Hop-by-Hop header not
+    /// in first position (RFC 8200 requires it first) or a lying
+    /// `hdr_ext_len`.
+    pub fn ext_chain_malformed(&self) -> bool {
+        let hop_by_hop_misplaced = self
+            .ext_types()
+            .iter()
+            .skip(1)
+            .any(|&t| t == EXT_HOP_BY_HOP);
+        hop_by_hop_misplaced || self.ext.iter().any(|e| !e.length_consistent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Ipv6Header {
+        Ipv6Header::new(
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+            64,
+        )
+    }
+
+    #[test]
+    fn base_header_is_40_bytes() {
+        let h = hdr();
+        assert_eq!(h.header_len_bytes(), 40);
+        assert_eq!(h.final_protocol(), crate::ipv4::PROTO_TCP);
+        assert!(!h.ext_chain_anomalous());
+    }
+
+    #[test]
+    fn ext_chain_walks_types_and_lengths() {
+        let mut h = hdr();
+        h.next_header = EXT_HOP_BY_HOP;
+        h.ext = vec![
+            Ipv6ExtHeader::well_formed(EXT_DEST_OPTS, 0, vec![1, 4, 0, 0, 0, 0]),
+            Ipv6ExtHeader::well_formed(crate::ipv4::PROTO_TCP, 1, vec![]),
+        ];
+        assert_eq!(h.header_len_bytes(), 40 + 8 + 16);
+        assert_eq!(h.final_protocol(), crate::ipv4::PROTO_TCP);
+        assert_eq!(h.ext_types(), vec![EXT_HOP_BY_HOP, EXT_DEST_OPTS]);
+        // A well-formed chain is still "anomalous" for the feature channel:
+        // benign Internet traffic virtually never carries extensions.
+        assert!(h.ext_chain_anomalous());
+        assert!(!h.ext_chain_malformed());
+    }
+
+    #[test]
+    fn misplaced_hop_by_hop_is_malformed() {
+        let mut h = hdr();
+        h.next_header = EXT_DEST_OPTS;
+        h.ext = vec![
+            Ipv6ExtHeader::well_formed(EXT_HOP_BY_HOP, 0, vec![]),
+            Ipv6ExtHeader::well_formed(crate::ipv4::PROTO_TCP, 0, vec![]),
+        ];
+        assert!(h.ext_chain_malformed(), "hop-by-hop must come first");
+    }
+
+    #[test]
+    fn lying_ext_len_is_flagged() {
+        let mut ext = Ipv6ExtHeader::well_formed(crate::ipv4::PROTO_TCP, 0, vec![]);
+        assert!(ext.length_consistent());
+        ext.hdr_ext_len = 5; // claims 48 bytes, stores 8
+        assert!(!ext.length_consistent());
+    }
+}

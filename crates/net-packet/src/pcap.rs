@@ -4,8 +4,14 @@
 //! the raw link type can be ingested in place of synthetic traffic. Only the
 //! classic (non-ng) little-endian format is produced; both byte orders and
 //! microsecond/nanosecond precision are accepted on read.
+//!
+//! Reading runs an inline [`Reassembler`]: IPv4 fragment records are not
+//! skipped but collected, and each datagram that completes is emitted as a
+//! single packet (carrying [`crate::ReassemblyInfo`]) at the position of
+//! its completing fragment — so a fragmented flow yields exactly the
+//! packets an end host would deliver, in arrival order.
 
-use crate::Packet;
+use crate::{Packet, Reassembler};
 use std::io::{self, Read, Write};
 
 const MAGIC_LE_US: u32 = 0xa1b2c3d4;
@@ -46,31 +52,51 @@ impl From<io::Error> for PcapError {
     }
 }
 
-/// Writes packets as a classic little-endian microsecond pcap stream.
-pub fn write_pcap<W: Write>(mut w: W, packets: &[Packet]) -> io::Result<()> {
+fn write_header<W: Write>(w: &mut W) -> io::Result<()> {
     w.write_all(&MAGIC_LE_US.to_le_bytes())?;
     w.write_all(&2u16.to_le_bytes())?; // major
     w.write_all(&4u16.to_le_bytes())?; // minor
     w.write_all(&0i32.to_le_bytes())?; // thiszone
     w.write_all(&0u32.to_le_bytes())?; // sigfigs
     w.write_all(&65535u32.to_le_bytes())?; // snaplen
-    w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+    w.write_all(&LINKTYPE_RAW.to_le_bytes())
+}
+
+fn write_record<W: Write>(w: &mut W, timestamp: f64, data: &[u8]) -> io::Result<()> {
+    let secs = timestamp.floor() as u32;
+    let usecs = ((timestamp - timestamp.floor()) * 1e6).round() as u32;
+    w.write_all(&secs.to_le_bytes())?;
+    w.write_all(&usecs.to_le_bytes())?;
+    w.write_all(&(data.len() as u32).to_le_bytes())?;
+    w.write_all(&(data.len() as u32).to_le_bytes())?;
+    w.write_all(data)
+}
+
+/// Writes packets as a classic little-endian microsecond pcap stream.
+pub fn write_pcap<W: Write>(mut w: W, packets: &[Packet]) -> io::Result<()> {
+    write_header(&mut w)?;
     for p in packets {
-        let data = p.to_bytes();
-        let secs = p.timestamp.floor() as u32;
-        let usecs = ((p.timestamp - p.timestamp.floor()) * 1e6).round() as u32;
-        w.write_all(&secs.to_le_bytes())?;
-        w.write_all(&usecs.to_le_bytes())?;
-        w.write_all(&(data.len() as u32).to_le_bytes())?;
-        w.write_all(&(data.len() as u32).to_le_bytes())?;
-        w.write_all(&data)?;
+        write_record(&mut w, p.timestamp, &p.to_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes raw IP records — bytes that need not parse as whole transport
+/// packets, e.g. the output of [`crate::fragment_datagram`] — as a classic
+/// pcap stream. `records` pairs each timestamp with its raw datagram.
+pub fn write_pcap_raw<W: Write>(mut w: W, records: &[(f64, Vec<u8>)]) -> io::Result<()> {
+    write_header(&mut w)?;
+    for (ts, data) in records {
+        write_record(&mut w, *ts, data)?;
     }
     Ok(())
 }
 
 /// Reads a pcap stream produced by [`write_pcap`] (or any `LINKTYPE_RAW`
-/// classic pcap). Records that fail TCP/IPv4 parsing (e.g. UDP traffic in a
-/// real capture) are skipped rather than failing the whole file.
+/// classic pcap). IPv4 fragments are reassembled inline (see the module
+/// docs); records that still fail parsing (unsupported protocols in a real
+/// capture, incomplete fragment trains) are skipped rather than failing
+/// the whole file.
 pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<Packet>, PcapError> {
     let mut header = [0u8; 24];
     r.read_exact(&mut header)?;
@@ -95,6 +121,7 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<Packet>, PcapError> {
     }
 
     let mut packets = Vec::new();
+    let mut reassembler = Reassembler::new();
     loop {
         let mut rec = [0u8; 16];
         match r.read_exact(&mut rec) {
@@ -108,8 +135,14 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<Packet>, PcapError> {
         let ts = secs + frac / if ns { 1e9 } else { 1e6 };
         let mut data = vec![0u8; caplen];
         r.read_exact(&mut data).map_err(|_| PcapError::Truncated)?;
-        if let Ok(p) = Packet::from_bytes(ts, &data) {
-            packets.push(p);
+        match Packet::from_bytes(ts, &data) {
+            Ok(p) => packets.push(p),
+            Err(crate::wire::ParseError::Fragment { .. }) => {
+                if let Some(p) = reassembler.push(ts, &data) {
+                    packets.push(p);
+                }
+            }
+            Err(_) => {}
         }
     }
     Ok(packets)
@@ -118,7 +151,7 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<Packet>, PcapError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Ipv4Header, TcpFlags, TcpHeader};
+    use crate::{fragment_datagram, Ipv4Header, TcpFlags, TcpHeader};
     use std::net::Ipv4Addr;
 
     fn sample(n: usize) -> Vec<Packet> {
@@ -142,7 +175,7 @@ mod tests {
         assert_eq!(back.len(), 5);
         for (a, b) in pkts.iter().zip(&back) {
             assert_eq!(a.ip, b.ip);
-            assert_eq!(a.tcp, b.tcp);
+            assert_eq!(a.tcp(), b.tcp());
             assert_eq!(a.payload, b.payload);
             assert!((a.timestamp - b.timestamp).abs() < 1e-5);
         }
@@ -178,5 +211,32 @@ mod tests {
         write_pcap(&mut buf, &sample(1)).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(matches!(read_pcap(&buf[..]), Err(PcapError::Truncated)));
+    }
+
+    /// Regression (PR 9): a fragmented datagram in a capture used to decode
+    /// as N garbage packets (phantom flows); now it reads back as ONE
+    /// reassembled packet.
+    #[test]
+    fn protocol_fragmented_capture_reads_as_one_packet() {
+        let mut ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 9), Ipv4Addr::new(10, 0, 0, 2), 64);
+        ip.identification = 0x4242;
+        let mut tcp = TcpHeader::new(50000, 80, 1, 1);
+        tcp.flags = TcpFlags::ACK | TcpFlags::PSH;
+        let p = Packet::new(1000.0, ip, tcp, vec![7u8; 96]);
+        let frags = fragment_datagram(&p.to_bytes(), 40);
+        assert!(frags.len() > 1);
+        let records: Vec<(f64, Vec<u8>)> = frags
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (1000.0 + i as f64 * 0.001, f))
+            .collect();
+        let mut buf = Vec::new();
+        write_pcap_raw(&mut buf, &records).unwrap();
+        let back = read_pcap(&buf[..]).unwrap();
+        assert_eq!(back.len(), 1, "one datagram, not one flow per fragment");
+        assert_eq!(back[0].payload, p.payload);
+        assert_eq!(back[0].tcp().src_port, 50000);
+        assert!(back[0].reassembly.is_some());
+        assert!(back[0].transport_checksum_valid());
     }
 }

@@ -1,0 +1,64 @@
+//! UDP header model.
+//!
+//! Like [`crate::Ipv4Header`], every field is stored verbatim so that
+//! deliberately inconsistent values — a `length` that lies about the
+//! datagram, a zeroed or garbled checksum — survive serialization. The
+//! UDP length/checksum evasion family in `dpi-attacks` depends on this.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// Structured UDP header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Header + payload length in bytes as written on the wire. Attacks
+    /// may store values longer or shorter than the actual datagram.
+    pub length: u16,
+    /// Checksum as written on the wire. `0` means "no checksum" in IPv4
+    /// (legal) and is forbidden over IPv6.
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// A well-formed UDP header; `length` and `checksum` are finalized by
+    /// [`crate::Packet::new_udp`] / [`crate::Packet::new_udp6`].
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Actual header length in bytes (always 8; provided for symmetry with
+    /// the TCP header's structure-derived length).
+    pub fn header_len_bytes(&self) -> usize {
+        UDP_HEADER_LEN
+    }
+
+    /// True when the on-wire `length` field agrees with the actual
+    /// header + payload size.
+    pub fn length_consistent(&self, payload_len: usize) -> bool {
+        self.length as usize == UDP_HEADER_LEN + payload_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_consistency() {
+        let mut h = UdpHeader::new(53, 40000);
+        h.length = 8 + 12;
+        assert!(h.length_consistent(12));
+        assert!(!h.length_consistent(13));
+        h.length = 3; // shorter than its own header: always inconsistent
+        assert!(!h.length_consistent(0));
+    }
+}

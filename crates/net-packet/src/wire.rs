@@ -1,31 +1,54 @@
-//! Wire-format serialization and lenient parsing.
+//! Wire-format serialization and lenient parsing for IPv4/IPv6 × TCP/UDP.
 //!
 //! Serialization writes stored field values verbatim — including inconsistent
-//! lengths, offsets and checksums — because the attack simulator must emit
-//! ill-formed packets. Parsing never panics on hostile input: length fields
-//! are clamped to the actual buffer, and structurally unreadable options are
-//! preserved as raw bytes.
+//! lengths, offsets, extension chains and checksums — because the attack
+//! simulator must emit ill-formed packets. Parsing never panics on hostile
+//! input: length fields are clamped to the actual buffer, trailer padding
+//! beyond the IP datagram length is excluded from the payload (but kept in
+//! [`Packet::trailer`] so re-serialization reproduces the captured bytes
+//! exactly), and structurally unreadable options are preserved as raw
+//! bytes. See the crate-level docs for the full dispatch and lenient-parse
+//! contract.
 
-use crate::{Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption};
-use std::net::Ipv4Addr;
+use crate::ipv4::{FLAG_MF, PROTO_TCP, PROTO_UDP};
+use crate::ipv6::{is_walkable_extension, Ipv6ExtHeader, IPV6_HEADER_LEN};
+use crate::{
+    IpHeader, Ipv4Header, Ipv6Header, Packet, TcpFlags, TcpHeader, TcpOption, Transport, UdpHeader,
+};
+use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// Errors returned by the packet parser.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// Buffer shorter than the 20-byte fixed IPv4 header.
+    /// Buffer shorter than the fixed IP header (20 bytes v4, 40 bytes v6).
     TruncatedIpHeader,
     /// Buffer shorter than the 20-byte fixed TCP header.
     TruncatedTcpHeader,
-    /// IP protocol field is not TCP.
-    NotTcp(u8),
+    /// Buffer shorter than the 8-byte UDP header.
+    TruncatedUdpHeader,
+    /// Upper-layer protocol is neither TCP nor UDP.
+    UnsupportedProtocol(u8),
+    /// An IPv4 fragment (non-zero offset, or MF set): not decodable as a
+    /// standalone transport packet — route the raw bytes to a
+    /// [`crate::frag::Reassembler`]. `offset` is in bytes.
+    Fragment { offset: u16, more: bool },
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::TruncatedIpHeader => write!(f, "buffer too short for IPv4 header"),
+            ParseError::TruncatedIpHeader => write!(f, "buffer too short for IP header"),
             ParseError::TruncatedTcpHeader => write!(f, "buffer too short for TCP header"),
-            ParseError::NotTcp(p) => write!(f, "IP protocol {p} is not TCP"),
+            ParseError::TruncatedUdpHeader => write!(f, "buffer too short for UDP header"),
+            ParseError::UnsupportedProtocol(p) => {
+                write!(f, "IP protocol {p} is neither TCP nor UDP")
+            }
+            ParseError::Fragment { offset, more } => {
+                write!(
+                    f,
+                    "IPv4 fragment (offset {offset}, more={more}) awaits reassembly"
+                )
+            }
         }
     }
 }
@@ -49,6 +72,25 @@ pub fn serialize_ipv4(h: &Ipv4Header) -> Vec<u8> {
     out.extend_from_slice(&h.options);
     while out.len() % 4 != 0 {
         out.push(0);
+    }
+    out
+}
+
+/// Serializes an IPv6 header (fixed part + extension chain, verbatim).
+pub fn serialize_ipv6(h: &Ipv6Header) -> Vec<u8> {
+    let mut out = Vec::with_capacity(h.header_len_bytes());
+    out.push((h.version << 4) | ((h.traffic_class >> 4) & 0x0f));
+    out.push(((h.traffic_class & 0x0f) << 4) | ((h.flow_label >> 16) as u8 & 0x0f));
+    out.extend_from_slice(&((h.flow_label & 0xffff) as u16).to_be_bytes());
+    out.extend_from_slice(&h.payload_length.to_be_bytes());
+    out.push(h.next_header);
+    out.push(h.hop_limit);
+    out.extend_from_slice(&h.src.octets());
+    out.extend_from_slice(&h.dst.octets());
+    for ext in &h.ext {
+        out.push(ext.next_header);
+        out.push(ext.hdr_ext_len);
+        out.extend_from_slice(&ext.data);
     }
     out
 }
@@ -149,11 +191,28 @@ pub fn serialize_tcp(h: &TcpHeader) -> Vec<u8> {
     out
 }
 
-/// Serializes a whole packet to raw IPv4 bytes.
+/// Serializes a UDP header to bytes.
+pub fn serialize_udp(h: &UdpHeader) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&h.src_port.to_be_bytes());
+    out.extend_from_slice(&h.dst_port.to_be_bytes());
+    out.extend_from_slice(&h.length.to_be_bytes());
+    out.extend_from_slice(&h.checksum.to_be_bytes());
+    out
+}
+
+/// Serializes a whole packet to raw IP bytes.
 pub fn serialize_packet(p: &Packet) -> Vec<u8> {
-    let mut out = serialize_ipv4(&p.ip);
-    out.extend_from_slice(&serialize_tcp(&p.tcp));
+    let mut out = match &p.ip {
+        IpHeader::V4(h) => serialize_ipv4(h),
+        IpHeader::V6(h) => serialize_ipv6(h),
+    };
+    match &p.transport {
+        Transport::Tcp(t) => out.extend_from_slice(&serialize_tcp(t)),
+        Transport::Udp(u) => out.extend_from_slice(&serialize_udp(u)),
+    }
     out.extend_from_slice(&p.payload);
+    out.extend_from_slice(&p.trailer);
     out
 }
 
@@ -238,11 +297,64 @@ pub fn parse_tcp_options(mut data: &[u8]) -> Vec<TcpOption> {
     opts
 }
 
-/// Parses a raw IPv4+TCP packet leniently. The IP header length is taken
-/// from the IHL field but clamped to the buffer; the TCP header length from
-/// the data offset, also clamped. Everything after the TCP header is
-/// payload.
-pub fn parse_packet(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
+/// Parses the transport header + payload from the IP-datagram bytes that
+/// follow the network header. `data` is already clamped to the datagram
+/// end, so trailer padding never reaches the payload.
+fn parse_transport(proto: u8, data: &[u8]) -> Result<(Transport, Vec<u8>), ParseError> {
+    match proto {
+        PROTO_TCP => {
+            if data.len() < 20 {
+                return Err(ParseError::TruncatedTcpHeader);
+            }
+            let data_offset = data[12] >> 4;
+            let tcp_hdr_len = (data_offset as usize * 4).clamp(20, data.len());
+            let ns = data[12] & 0x01;
+            let flags = TcpFlags(u16::from(data[13]) | (u16::from(ns) << 8));
+            let tcp = TcpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+                ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+                data_offset,
+                flags,
+                window: u16::from_be_bytes([data[14], data[15]]),
+                checksum: u16::from_be_bytes([data[16], data[17]]),
+                urgent: u16::from_be_bytes([data[18], data[19]]),
+                options: parse_tcp_options(&data[20..tcp_hdr_len]),
+            };
+            Ok((Transport::Tcp(tcp), data[tcp_hdr_len..].to_vec()))
+        }
+        PROTO_UDP => {
+            if data.len() < 8 {
+                return Err(ParseError::TruncatedUdpHeader);
+            }
+            let udp = UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                length: u16::from_be_bytes([data[4], data[5]]),
+                checksum: u16::from_be_bytes([data[6], data[7]]),
+            };
+            Ok((Transport::Udp(udp), data[8..].to_vec()))
+        }
+        other => Err(ParseError::UnsupportedProtocol(other)),
+    }
+}
+
+/// Effective end of the IP datagram inside the captured buffer: the claimed
+/// datagram length when plausible (at least `min_len`, at most the capture),
+/// else the whole buffer. Excludes link-layer trailer padding — the bytes an
+/// Ethernet driver appends to reach the 60-byte frame minimum — from the
+/// transport payload, while still tolerating deliberately corrupt length
+/// fields (which fall back to the captured size, the pre-fix behavior).
+fn effective_datagram_end(claimed: usize, min_len: usize, captured: usize) -> usize {
+    if claimed >= min_len && claimed <= captured {
+        claimed
+    } else {
+        captured
+    }
+}
+
+fn parse_v4(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
     if data.len() < 20 {
         return Err(ParseError::TruncatedIpHeader);
     }
@@ -250,18 +362,26 @@ pub fn parse_packet(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
     let ihl = data[0] & 0x0f;
     let ip_hdr_len = (ihl as usize * 4).clamp(20, data.len());
     let frag = u16::from_be_bytes([data[6], data[7]]);
-    let protocol = data[9];
-    if protocol != crate::ipv4::PROTO_TCP {
-        return Err(ParseError::NotTcp(protocol));
+    let flags = (frag >> 13) as u8;
+    let fragment_offset = frag & 0x1fff;
+    // A fragment's bytes past the IP header are mid-datagram content, not a
+    // transport header; decoding them would fabricate phantom flows.
+    if fragment_offset > 0 || flags & FLAG_MF != 0 {
+        return Err(ParseError::Fragment {
+            offset: fragment_offset * 8,
+            more: flags & FLAG_MF != 0,
+        });
     }
+    let protocol = data[9];
+    let total_length = u16::from_be_bytes([data[2], data[3]]);
     let ip = Ipv4Header {
         version,
         ihl,
         tos: data[1],
-        total_length: u16::from_be_bytes([data[2], data[3]]),
+        total_length,
         identification: u16::from_be_bytes([data[4], data[5]]),
-        flags: (frag >> 13) as u8,
-        fragment_offset: frag & 0x1fff,
+        flags,
+        fragment_offset,
         ttl: data[8],
         protocol,
         checksum: u16::from_be_bytes([data[10], data[11]]),
@@ -270,32 +390,102 @@ pub fn parse_packet(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
         options: data[20..ip_hdr_len].to_vec(),
     };
 
-    let tcp_data = &data[ip_hdr_len..];
-    if tcp_data.len() < 20 {
-        return Err(ParseError::TruncatedTcpHeader);
-    }
-    let data_offset = tcp_data[12] >> 4;
-    let tcp_hdr_len = (data_offset as usize * 4).clamp(20, tcp_data.len());
-    let ns = tcp_data[12] & 0x01;
-    let flags = TcpFlags(u16::from(tcp_data[13]) | (u16::from(ns) << 8));
-    let tcp = TcpHeader {
-        src_port: u16::from_be_bytes([tcp_data[0], tcp_data[1]]),
-        dst_port: u16::from_be_bytes([tcp_data[2], tcp_data[3]]),
-        seq: u32::from_be_bytes([tcp_data[4], tcp_data[5], tcp_data[6], tcp_data[7]]),
-        ack: u32::from_be_bytes([tcp_data[8], tcp_data[9], tcp_data[10], tcp_data[11]]),
-        data_offset,
-        flags,
-        window: u16::from_be_bytes([tcp_data[14], tcp_data[15]]),
-        checksum: u16::from_be_bytes([tcp_data[16], tcp_data[17]]),
-        urgent: u16::from_be_bytes([tcp_data[18], tcp_data[19]]),
-        options: parse_tcp_options(&tcp_data[20..tcp_hdr_len]),
-    };
+    let min_transport = if protocol == PROTO_UDP { 8 } else { 20 };
+    let end = effective_datagram_end(
+        total_length as usize,
+        ip_hdr_len + min_transport,
+        data.len(),
+    );
+    let (transport, payload) = parse_transport(protocol, &data[ip_hdr_len..end])?;
     Ok(Packet {
         timestamp,
-        ip,
-        tcp,
-        payload: tcp_data[tcp_hdr_len..].to_vec(),
+        ip: IpHeader::V4(ip),
+        transport,
+        payload,
+        reassembly: None,
+        trailer: data[end..].to_vec(),
     })
+}
+
+fn parse_v6(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
+    if data.len() < IPV6_HEADER_LEN {
+        return Err(ParseError::TruncatedIpHeader);
+    }
+    let version = data[0] >> 4;
+    let traffic_class = ((data[0] & 0x0f) << 4) | (data[1] >> 4);
+    let flow_label =
+        (u32::from(data[1] & 0x0f) << 16) | u32::from(u16::from_be_bytes([data[2], data[3]]));
+    let payload_length = u16::from_be_bytes([data[4], data[5]]);
+    let next_header = data[6];
+    let hop_limit = data[7];
+    let src = Ipv6Addr::from(<[u8; 16]>::try_from(&data[8..24]).expect("16 bytes"));
+    let dst = Ipv6Addr::from(<[u8; 16]>::try_from(&data[24..40]).expect("16 bytes"));
+
+    // Walk the options-shaped extension chain. Each header's claimed size
+    // is clamped to the remaining buffer; a clamped (truncated) header ends
+    // the chain with its bytes preserved verbatim.
+    let mut ext = Vec::new();
+    let mut proto = next_header;
+    let mut off = IPV6_HEADER_LEN;
+    while is_walkable_extension(proto) && data.len() - off >= 2 {
+        let ext_next = data[off];
+        let hdr_ext_len = data[off + 1];
+        let claimed = 8 * (hdr_ext_len as usize + 1);
+        let take = claimed.min(data.len() - off);
+        ext.push(Ipv6ExtHeader {
+            next_header: ext_next,
+            hdr_ext_len,
+            data: data[off + 2..off + take].to_vec(),
+        });
+        off += take;
+        proto = ext_next;
+        if take < claimed {
+            break;
+        }
+    }
+
+    let ip = Ipv6Header {
+        version,
+        traffic_class,
+        flow_label,
+        payload_length,
+        next_header,
+        hop_limit,
+        src,
+        dst,
+        ext,
+    };
+
+    let min_transport = if proto == PROTO_UDP { 8 } else { 20 };
+    let end = effective_datagram_end(
+        IPV6_HEADER_LEN + payload_length as usize,
+        off + min_transport,
+        data.len(),
+    );
+    let transport_bytes = if off <= end { &data[off..end] } else { &[][..] };
+    let (transport, payload) = parse_transport(proto, transport_bytes)?;
+    Ok(Packet {
+        timestamp,
+        ip: IpHeader::V6(ip),
+        transport,
+        payload,
+        reassembly: None,
+        trailer: data[end.max(off)..].to_vec(),
+    })
+}
+
+/// Parses a raw IP packet leniently, dispatching on the version nibble:
+/// `6` takes the IPv6 path, everything else the IPv4 path with the version
+/// stored verbatim (so deliberately corrupt v4 versions still parse as the
+/// corrupt packets they are). See the crate docs for the full contract.
+pub fn parse_packet(timestamp: f64, data: &[u8]) -> Result<Packet, ParseError> {
+    if data.is_empty() {
+        return Err(ParseError::TruncatedIpHeader);
+    }
+    match data[0] >> 4 {
+        6 => parse_v6(timestamp, data),
+        _ => parse_v4(timestamp, data),
+    }
 }
 
 #[cfg(test)]
@@ -315,47 +505,163 @@ mod tests {
         Packet::new(0.0, ip, tcp, Vec::new())
     }
 
+    fn well_formed_v6() -> Packet {
+        let ip = Ipv6Header::new(
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+            64,
+        );
+        let mut tcp = TcpHeader::new(4321, 443, 0xdeadbeef, 0x01020304);
+        tcp.flags = TcpFlags::ACK | TcpFlags::PSH;
+        Packet::new_v6(0.1, ip, tcp, b"v6 payload".to_vec())
+    }
+
     #[test]
     fn round_trip_well_formed() {
         let p = well_formed();
         let bytes = serialize_packet(&p);
         let q = parse_packet(0.0, &bytes).unwrap();
         assert_eq!(p.ip, q.ip);
-        assert_eq!(p.tcp.src_port, q.tcp.src_port);
-        assert_eq!(p.tcp.seq, q.tcp.seq);
-        assert_eq!(p.tcp.flags, q.tcp.flags);
-        assert_eq!(p.tcp.options, q.tcp.options);
+        assert_eq!(p.tcp().src_port, q.tcp().src_port);
+        assert_eq!(p.tcp().seq, q.tcp().seq);
+        assert_eq!(p.tcp().flags, q.tcp().flags);
+        assert_eq!(p.tcp().options, q.tcp().options);
         assert_eq!(p.payload, q.payload);
         assert!(q.ip_checksum_valid());
-        assert!(q.tcp_checksum_valid());
+        assert!(q.transport_checksum_valid());
+    }
+
+    #[test]
+    fn protocol_round_trip_v6_tcp() {
+        let p = well_formed_v6();
+        let bytes = serialize_packet(&p);
+        assert_eq!(bytes.len(), 40 + 20 + 10);
+        let q = parse_packet(0.1, &bytes).unwrap();
+        assert_eq!(p, q);
+        assert!(q.transport_checksum_valid());
+    }
+
+    #[test]
+    fn protocol_round_trip_v6_ext_chain() {
+        let mut ip = Ipv6Header::new(
+            Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 1),
+            Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 2),
+            64,
+        );
+        ip.next_header = crate::ipv6::EXT_HOP_BY_HOP;
+        ip.ext = vec![
+            Ipv6ExtHeader::well_formed(crate::ipv6::EXT_DEST_OPTS, 0, vec![1, 4]),
+            Ipv6ExtHeader::well_formed(0xff, 1, vec![1, 12]),
+        ];
+        let tcp = TcpHeader::new(1000, 2000, 1, 2);
+        let p = Packet::new_v6(0.0, ip, tcp, b"x".to_vec());
+        // Packet::new_v6 rewires the chain tail to TCP.
+        assert_eq!(p.ip.protocol(), PROTO_TCP);
+        let q = parse_packet(0.0, &serialize_packet(&p)).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.ip.v6().unwrap().ext.len(), 2);
+        assert!(q.transport_checksum_valid());
+    }
+
+    #[test]
+    fn protocol_round_trip_udp_v4() {
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let p = Packet::new_udp(0.0, ip, UdpHeader::new(40000, 53), b"dns?".to_vec());
+        let bytes = serialize_packet(&p);
+        assert_eq!(bytes.len(), 20 + 8 + 4);
+        let q = parse_packet(0.0, &bytes).unwrap();
+        assert_eq!(p, q);
+        assert!(q.ip_checksum_valid());
+        assert!(q.transport_checksum_valid());
     }
 
     #[test]
     fn ns_flag_round_trips() {
         let mut p = well_formed();
-        p.tcp.flags |= TcpFlags::NS;
+        p.tcp_mut().flags |= TcpFlags::NS;
         p.fill_checksums();
         let q = parse_packet(0.0, &serialize_packet(&p)).unwrap();
-        assert!(q.tcp.flags.contains(TcpFlags::NS));
+        assert!(q.tcp().flags.contains(TcpFlags::NS));
     }
 
     #[test]
     fn corrupt_total_length_survives_round_trip() {
         let mut p = well_formed();
-        p.ip.total_length = 9; // nonsense, deliberately
+        p.ipv4_mut().total_length = 9; // nonsense, deliberately
         let bytes = serialize_packet(&p);
         let q = parse_packet(0.0, &bytes).unwrap();
-        assert_eq!(q.ip.total_length, 9);
+        assert_eq!(q.ipv4().total_length, 9);
         assert!(!q.ip_checksum_valid()); // checksum was for the old value
     }
 
     #[test]
     fn corrupt_data_offset_is_clamped_not_panicking() {
         let mut p = well_formed();
-        p.tcp.data_offset = 15; // claims 60-byte header, actual is 36
+        p.tcp_mut().data_offset = 15; // claims 60-byte header, actual is 36
         let bytes = serialize_packet(&p);
         let q = parse_packet(0.0, &bytes).unwrap();
-        assert_eq!(q.tcp.data_offset, 15);
+        assert_eq!(q.tcp().data_offset, 15);
+    }
+
+    /// Regression (PR 9): an Ethernet driver pads short frames to the
+    /// 60-byte minimum; the trailer bytes are link-layer junk beyond the IP
+    /// datagram and must not be decoded as TCP payload — they corrupted
+    /// payload-length features and broke checksum validation.
+    #[test]
+    fn protocol_trailer_padding_excluded_from_payload() {
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let mut tcp = TcpHeader::new(4321, 443, 7, 9);
+        tcp.flags = TcpFlags::ACK | TcpFlags::PSH;
+        let p = Packet::new(0.0, ip, tcp, b"ok".to_vec());
+        let mut bytes = serialize_packet(&p);
+        assert_eq!(bytes.len(), 42);
+        bytes.resize(60, 0xaa); // Ethernet-minimum padding, nonzero junk
+        let q = parse_packet(0.0, &bytes).unwrap();
+        assert_eq!(q.payload, b"ok".to_vec(), "padding must not become payload");
+        assert!(
+            q.transport_checksum_valid(),
+            "padding must not break checksums"
+        );
+        assert_eq!(q.wire_len(), 42);
+        // The junk lands in the trailer, so the captured frame re-serializes
+        // bit-exactly (capture fidelity) while staying out of the payload.
+        assert_eq!(q.trailer, vec![0xaa; 18]);
+        assert_eq!(serialize_packet(&q), bytes);
+    }
+
+    /// Regression (PR 9): a non-initial fragment's bytes were decoded as a
+    /// TCP header (garbage ports/seq — phantom flows). Fragments now route
+    /// to the reassembler via a typed error.
+    #[test]
+    fn protocol_fragments_not_parsed_as_transport() {
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let tcp = TcpHeader::new(4321, 443, 7, 9);
+        let p = Packet::new(0.0, ip, tcp, vec![0x61; 64]);
+        let whole = serialize_packet(&p);
+
+        // Non-initial fragment: offset 3 (24 bytes), MF clear.
+        let mut tail = whole.clone();
+        let frag = 3u16; // flags clear, offset 3
+        tail[6..8].copy_from_slice(&frag.to_be_bytes());
+        assert_eq!(
+            parse_packet(0.0, &tail),
+            Err(ParseError::Fragment {
+                offset: 24,
+                more: false
+            })
+        );
+
+        // Initial fragment with MF set: also pending reassembly.
+        let mut head = whole;
+        let frag = u16::from(FLAG_MF) << 13; // MF set, offset 0
+        head[6..8].copy_from_slice(&frag.to_be_bytes());
+        assert_eq!(
+            parse_packet(0.0, &head),
+            Err(ParseError::Fragment {
+                offset: 0,
+                more: true
+            })
+        );
     }
 
     #[test]
@@ -366,15 +672,31 @@ mod tests {
         );
         let mut buf = vec![0x45u8; 25];
         buf[9] = 6;
+        buf[2..4].copy_from_slice(&25u16.to_be_bytes());
+        buf[6..8].copy_from_slice(&0u16.to_be_bytes());
         assert_eq!(parse_packet(0.0, &buf), Err(ParseError::TruncatedTcpHeader));
     }
 
     #[test]
-    fn non_tcp_rejected() {
+    fn unsupported_protocol_rejected() {
         let mut buf = vec![0u8; 40];
         buf[0] = 0x45;
-        buf[9] = 17; // UDP
-        assert_eq!(parse_packet(0.0, &buf), Err(ParseError::NotTcp(17)));
+        buf[9] = 1; // ICMP
+        assert_eq!(
+            parse_packet(0.0, &buf),
+            Err(ParseError::UnsupportedProtocol(1))
+        );
+    }
+
+    #[test]
+    fn protocol_udp_now_parses() {
+        let mut buf = vec![0u8; 40];
+        buf[0] = 0x45;
+        buf[9] = 17;
+        buf[2..4].copy_from_slice(&40u16.to_be_bytes());
+        let p = parse_packet(0.0, &buf).expect("UDP parses since PR 9");
+        assert!(p.is_udp());
+        assert_eq!(p.payload.len(), 40 - 20 - 8);
     }
 
     #[test]
@@ -405,5 +727,29 @@ mod tests {
         assert_eq!(bytes.len(), 20); // 18 padded to 20
         let opts = parse_tcp_options(&bytes);
         assert_eq!(opts, vec![TcpOption::Md5([0xaa; 16])]);
+    }
+
+    /// A lying v6 extension length is clamped to the buffer but survives
+    /// re-serialization byte-exactly (lenient-parse contract).
+    #[test]
+    fn protocol_v6_overrun_ext_len_preserved() {
+        let p = {
+            let mut ip = Ipv6Header::new(
+                Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 1),
+                Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 2),
+                64,
+            );
+            ip.next_header = crate::ipv6::EXT_DEST_OPTS;
+            ip.ext = vec![Ipv6ExtHeader::well_formed(PROTO_TCP, 0, vec![])];
+            Packet::new_v6(0.0, ip, TcpHeader::new(1, 2, 3, 4), Vec::new())
+        };
+        let mut bytes = serialize_packet(&p);
+        bytes[41] = 200; // hdr_ext_len now claims 1608 bytes
+                         // The chain swallows the rest of the buffer; no transport remains.
+        let err = parse_packet(0.0, &bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::TruncatedTcpHeader | ParseError::UnsupportedProtocol(_)
+        ));
     }
 }

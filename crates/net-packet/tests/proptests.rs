@@ -1,8 +1,11 @@
 //! Property-based tests for the wire codecs.
 
-use net_packet::{wire, Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption};
+use net_packet::{
+    fragment_datagram, wire, Ipv4Header, Ipv6Header, Packet, Reassembler, TcpFlags, TcpHeader,
+    TcpOption, UdpHeader,
+};
 use proptest::prelude::*;
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 
 fn arb_flags() -> impl Strategy<Value = TcpFlags> {
     (0u16..=0x1ff).prop_map(TcpFlags)
@@ -52,6 +55,48 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         )
 }
 
+/// A well-formed packet drawn across both IP versions and both transports.
+fn arb_mixed_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<[u8; 16]>(),
+        any::<[u8; 16]>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        arb_flags(),
+        prop::collection::vec(any::<u8>(), 0..64),
+        1u8..=255,
+    )
+        .prop_map(
+            |(src, dst, v6, udp, sport, dport, seq, flags, payload, ttl)| {
+                if v6 {
+                    let (s, d) = (Ipv6Addr::from(src), Ipv6Addr::from(dst));
+                    let ip = Ipv6Header::new(s, d, ttl);
+                    if udp {
+                        Packet::new_udp6(0.0, ip, UdpHeader::new(sport, dport), payload)
+                    } else {
+                        let mut tcp = TcpHeader::new(sport, dport, seq, 0);
+                        tcp.flags = flags;
+                        Packet::new_v6(0.0, ip, tcp, payload)
+                    }
+                } else {
+                    let s = Ipv4Addr::new(src[0], src[1], src[2], src[3]);
+                    let d = Ipv4Addr::new(dst[0], dst[1], dst[2], dst[3]);
+                    let ip = Ipv4Header::new(s, d, ttl);
+                    if udp {
+                        Packet::new_udp(0.0, ip, UdpHeader::new(sport, dport), payload)
+                    } else {
+                        let mut tcp = TcpHeader::new(sport, dport, seq, 0);
+                        tcp.flags = flags;
+                        Packet::new(0.0, ip, tcp, payload)
+                    }
+                }
+            },
+        )
+}
+
 proptest! {
     /// Any consistent packet survives serialize → parse unchanged.
     #[test]
@@ -59,8 +104,80 @@ proptest! {
         let bytes = p.to_bytes();
         let q = Packet::from_bytes(0.0, &bytes).unwrap();
         prop_assert_eq!(&p.ip, &q.ip);
-        prop_assert_eq!(&p.tcp, &q.tcp);
+        prop_assert_eq!(p.tcp(), q.tcp());
         prop_assert_eq!(&p.payload, &q.payload);
+    }
+
+    /// Any consistent v4/v6 × TCP/UDP packet survives serialize → parse
+    /// unchanged, with valid checksums on both sides.
+    #[test]
+    fn protocol_round_trip_mixed_packet(p in arb_mixed_packet()) {
+        prop_assert!(p.ip_checksum_valid());
+        prop_assert!(p.transport_checksum_valid());
+        let bytes = p.to_bytes();
+        let q = Packet::from_bytes(0.0, &bytes).unwrap();
+        prop_assert_eq!(&p, &q);
+        prop_assert!(q.transport_checksum_valid());
+    }
+
+    /// Trailer padding (an Ethernet driver padding short frames) never
+    /// leaks into the payload or breaks checksum validation — the PR-9
+    /// padding bug, generalized across versions and transports.
+    #[test]
+    fn protocol_trailer_padding_never_corrupts(
+        p in arb_mixed_packet(),
+        pad in 1usize..24,
+        junk in any::<u8>(),
+    ) {
+        let mut bytes = p.to_bytes();
+        bytes.extend(std::iter::repeat_n(junk, pad));
+        let q = Packet::from_bytes(0.0, &bytes).unwrap();
+        prop_assert_eq!(&p.payload, &q.payload);
+        prop_assert!(q.transport_checksum_valid());
+        prop_assert_eq!(q.wire_len(), p.wire_len());
+    }
+
+    /// A fragmented v4 datagram reassembles to the original packet
+    /// regardless of fragment size.
+    #[test]
+    fn protocol_fragmentation_reassembles(
+        payload in prop::collection::vec(any::<u8>(), 32..256),
+        chunk in 8usize..64,
+    ) {
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let mut tcp = TcpHeader::new(40000, 80, 1, 2);
+        tcp.flags = TcpFlags::ACK;
+        let p = Packet::new(0.0, ip, tcp, payload);
+        let frags = fragment_datagram(&p.to_bytes(), chunk);
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in &frags {
+            done = r.push(0.0, f);
+        }
+        let q = done.expect("all fragments delivered");
+        prop_assert_eq!(&p.payload, &q.payload);
+        prop_assert_eq!(p.tcp(), q.tcp());
+        prop_assert!(q.transport_checksum_valid());
+    }
+
+    /// Corrupting the IHL nibble, total length or data offset of a valid
+    /// packet never panics the parser, and whatever parses re-serializes
+    /// without panicking.
+    #[test]
+    fn protocol_corrupt_length_fields_never_panic(
+        p in arb_packet(),
+        field in 0usize..3,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = p.to_bytes();
+        match field {
+            0 => bytes[0] = (bytes[0] & 0xf0) | (value & 0x0f), // IHL
+            1 => bytes[2] = value,                              // total_length high byte
+            _ => bytes[32] = (value & 0xf0) | (bytes[32] & 0x0f), // data offset
+        }
+        if let Ok(q) = Packet::from_bytes(0.0, &bytes) {
+            let _ = q.to_bytes();
+        }
     }
 
     /// Freshly built packets always carry valid checksums and consistent
@@ -69,9 +186,9 @@ proptest! {
     fn new_packets_are_well_formed(p in arb_packet()) {
         prop_assert!(p.ip_checksum_valid());
         prop_assert!(p.tcp_checksum_valid());
-        prop_assert!(p.ip.ihl_consistent());
-        prop_assert!(p.tcp.data_offset_consistent());
-        prop_assert_eq!(p.ip.total_length as usize, p.wire_len());
+        prop_assert!(p.ipv4().ihl_consistent());
+        prop_assert!(p.tcp().data_offset_consistent());
+        prop_assert_eq!(p.ipv4().total_length as usize, p.wire_len());
     }
 
     /// Flipping any single byte of the fixed TCP header or the payload
@@ -82,7 +199,7 @@ proptest! {
     #[test]
     fn checksum_detects_single_byte_corruption(p in arb_packet(), which in 0usize..1000) {
         let ip_len = p.ip.header_len_bytes();
-        let tcp_hdr_len = p.tcp.header_len_bytes();
+        let tcp_hdr_len = p.tcp().header_len_bytes();
         let seg_len = p.wire_len() - ip_len;
         let mut bytes = p.to_bytes();
         // Candidates: fixed header minus checksum bytes (16..18), plus payload.
@@ -102,6 +219,17 @@ proptest! {
         let _ = Packet::from_bytes(0.0, &data);
     }
 
+    /// Neither does the reassembler.
+    #[test]
+    fn reassembler_never_panics(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 0..8),
+    ) {
+        let mut r = Reassembler::with_limits(4, 1.0);
+        for (i, rec) in records.iter().enumerate() {
+            let _ = r.push(i as f64 * 0.7, rec);
+        }
+    }
+
     /// Arbitrary bytes through the option parser never panic and always
     /// terminate.
     #[test]
@@ -109,23 +237,40 @@ proptest! {
         let _ = wire::parse_tcp_options(&data);
     }
 
-    /// The shard hash is symmetric: both directions of any 4-tuple produce
+    /// The shard hash is symmetric: both directions of any tuple produce
     /// the same canonical key, the same RSS hash and the same shard — the
     /// invariant that lets an RSS-partitioned front end keep each flow on
-    /// one worker.
+    /// one worker. Checked across v4/v6 and TCP/UDP.
     #[test]
     fn shard_hash_is_direction_symmetric(
-        src in any::<[u8; 4]>(),
-        dst in any::<[u8; 4]>(),
-        sport in any::<u16>(),
-        dport in any::<u16>(),
+        p in arb_mixed_packet(),
         shards in 1usize..12,
     ) {
-        let ip_fwd = Ipv4Header::new(Ipv4Addr::from(src), Ipv4Addr::from(dst), 64);
-        let ip_rev = Ipv4Header::new(Ipv4Addr::from(dst), Ipv4Addr::from(src), 64);
-        let fwd = Packet::new(0.0, ip_fwd, TcpHeader::new(sport, dport, 1, 0), Vec::new());
-        let rev = Packet::new(0.0, ip_rev, TcpHeader::new(dport, sport, 1, 0), Vec::new());
-        let (a, b) = (net_packet::CanonicalKey::of(&fwd), net_packet::CanonicalKey::of(&rev));
+        // Build the reverse-direction packet by swapping addresses/ports.
+        let rev = {
+            let mut q = p.clone();
+            match (&mut q.ip, &p.ip) {
+                (net_packet::IpHeader::V4(qh), net_packet::IpHeader::V4(ph)) => {
+                    qh.src = ph.dst;
+                    qh.dst = ph.src;
+                }
+                (net_packet::IpHeader::V6(qh), net_packet::IpHeader::V6(ph)) => {
+                    qh.src = ph.dst;
+                    qh.dst = ph.src;
+                }
+                _ => unreachable!("same packet, same version"),
+            }
+            match &mut q.transport {
+                net_packet::Transport::Tcp(t) => {
+                    std::mem::swap(&mut t.src_port, &mut t.dst_port)
+                }
+                net_packet::Transport::Udp(u) => {
+                    std::mem::swap(&mut u.src_port, &mut u.dst_port)
+                }
+            }
+            q
+        };
+        let (a, b) = (net_packet::CanonicalKey::of(&p), net_packet::CanonicalKey::of(&rev));
         prop_assert_eq!(a, b);
         prop_assert_eq!(a.rss_hash(), b.rss_hash());
         prop_assert_eq!(a.shard_of(shards), b.shard_of(shards));
@@ -134,14 +279,14 @@ proptest! {
 
     /// pcap round trip preserves every packet.
     #[test]
-    fn pcap_round_trip(pkts in prop::collection::vec(arb_packet(), 0..8)) {
+    fn pcap_round_trip(pkts in prop::collection::vec(arb_mixed_packet(), 0..8)) {
         let mut buf = Vec::new();
         net_packet::pcap::write_pcap(&mut buf, &pkts).unwrap();
         let back = net_packet::pcap::read_pcap(&buf[..]).unwrap();
         prop_assert_eq!(pkts.len(), back.len());
         for (a, b) in pkts.iter().zip(&back) {
             prop_assert_eq!(&a.ip, &b.ip);
-            prop_assert_eq!(&a.tcp, &b.tcp);
+            prop_assert_eq!(&a.transport, &b.transport);
             prop_assert_eq!(&a.payload, &b.payload);
         }
     }

@@ -21,7 +21,9 @@
 
 pub mod tracker;
 
-pub use tracker::{label_connection, StateLabel, TcpState, TcpTracker};
+pub use tracker::{
+    label_connection, FlowTracker, GenericTracker, StateLabel, TcpState, TcpTracker, UdpTracker,
+};
 
 /// Number of master TCP states tracked.
 pub const NUM_STATES: usize = 11;

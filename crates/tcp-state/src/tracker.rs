@@ -1,6 +1,6 @@
 //! The conntrack-style tracker and window validator.
 
-use net_packet::{Direction, Packet, TcpFlags};
+use net_packet::{ipv4, Direction, IpHeader, Packet, TcpFlags, Transport};
 use serde::{Deserialize, Serialize};
 
 /// Master TCP connection states, following the alphabet of Linux
@@ -213,21 +213,32 @@ impl TcpTracker {
     }
 
     /// Structural acceptability: would a rigorous endhost even parse this
-    /// packet? Checks checksums, version, header-length consistency and
-    /// illegal flag combinations. Unacceptable packets are dropped without
-    /// any state change — precisely the discrepancy evasion attacks exploit
-    /// against lenient DPIs.
+    /// packet? Checks checksums, version, header-length and datagram-length
+    /// consistency and (for TCP) illegal flag combinations. Unacceptable
+    /// packets are dropped without any state change — precisely the
+    /// discrepancy evasion attacks exploit against lenient DPIs.
     pub fn segment_acceptable(p: &Packet) -> bool {
-        let f = p.tcp.flags;
-        p.ip.version == 4
-            && p.ip.ihl_consistent()
-            && p.ip.total_length as usize == p.wire_len()
-            && p.tcp.data_offset_consistent()
+        let ip_ok = match &p.ip {
+            IpHeader::V4(h) => h.version == 4 && h.ihl_consistent(),
+            // v6 has no IHL; the analogous structural lie is a malformed
+            // extension chain (misplaced Hop-by-Hop, lying hdr_ext_len).
+            IpHeader::V6(h) => h.version == 6 && !h.ext_chain_malformed(),
+        };
+        let transport_ok = match &p.transport {
+            Transport::Tcp(t) => {
+                let f = t.flags;
+                t.data_offset_consistent()
+                    && f.0 != 0 // null scan
+                    && !(f.contains(TcpFlags::SYN) && f.contains(TcpFlags::FIN))
+                    && !(f.contains(TcpFlags::SYN) && f.contains(TcpFlags::RST))
+            }
+            Transport::Udp(u) => u.length_consistent(p.payload.len()),
+        };
+        ip_ok
+            && p.ip.total_length_field() == p.wire_len()
+            && transport_ok
             && p.ip_checksum_valid()
-            && p.tcp_checksum_valid()
-            && f.0 != 0 // null scan
-            && !(f.contains(TcpFlags::SYN) && f.contains(TcpFlags::FIN))
-            && !(f.contains(TcpFlags::SYN) && f.contains(TcpFlags::RST))
+            && p.transport_checksum_valid()
     }
 
     fn scaled_window(&self, dir: Direction) -> u32 {
@@ -240,14 +251,14 @@ impl TcpTracker {
     /// A one-byte grace below `rcv_nxt` admits keepalive probes.
     fn seq_ok(&self, p: &Packet, dir: Direction) -> bool {
         let ps = &self.peers[dir.index()];
-        let syn = p.tcp.flags.contains(TcpFlags::SYN);
+        let syn = p.tcp().flags.contains(TcpFlags::SYN);
         if self.state == TcpState::None {
             // Nothing tracked: only an opening SYN "belongs".
-            return syn && !p.tcp.flags.contains(TcpFlags::ACK);
+            return syn && !p.tcp().flags.contains(TcpFlags::ACK);
         }
         if matches!(self.state, TcpState::TimeWait | TcpState::Close)
             && syn
-            && !p.tcp.flags.contains(TcpFlags::ACK)
+            && !p.tcp().flags.contains(TcpFlags::ACK)
         {
             // Connection reuse: a fresh SYN after close starts over, so the
             // old sequence space does not constrain it.
@@ -260,7 +271,7 @@ impl TcpTracker {
         }
         let rcv_nxt = ps.seq_nxt;
         let rwin = self.scaled_window(dir.flip()).max(1);
-        let seg_seq = p.tcp.seq;
+        let seg_seq = p.tcp().seq;
         let seg_end = seg_seq.wrapping_add(p.seq_len());
         let ok_low = seq_lte(rcv_nxt.wrapping_sub(1), seg_end);
         let ok_high = seq_lte(seg_seq, rcv_nxt.wrapping_add(rwin));
@@ -270,7 +281,7 @@ impl TcpTracker {
     /// Acknowledgment plausibility: the ack must not exceed what the other
     /// side has sent, nor trail it by more than `MAX_ACK_LAG`.
     fn ack_ok(&self, p: &Packet, dir: Direction) -> bool {
-        if !p.tcp.flags.contains(TcpFlags::ACK) {
+        if !p.tcp().flags.contains(TcpFlags::ACK) {
             return true;
         }
         let other = &self.peers[dir.flip().index()];
@@ -279,13 +290,13 @@ impl TcpTracker {
             // (e.g. a SYN-ACK injected before any SYN).
             return self.state == TcpState::None;
         }
-        let lag = other.seq_nxt.wrapping_sub(p.tcp.ack);
+        let lag = other.seq_nxt.wrapping_sub(p.tcp().ack);
         (lag as i32) >= 0 && lag <= MAX_ACK_LAG
     }
 
     /// PAWS-style timestamp monotonicity for this direction.
     fn ts_ok(&self, p: &Packet, dir: Direction) -> bool {
-        let Some((tsval, _)) = p.tcp.timestamps() else {
+        let Some((tsval, _)) = p.tcp().timestamps() else {
             return true;
         };
         match self.peers[dir.index()].ts_recent() {
@@ -296,7 +307,7 @@ impl TcpTracker {
 
     fn acks_fin_of(&self, p: &Packet, fin_owner: Direction) -> bool {
         match self.peers[fin_owner.index()].fin_seq() {
-            Some(fs) => p.tcp.flags.contains(TcpFlags::ACK) && seq_lte(fs, p.tcp.ack),
+            Some(fs) => p.tcp().flags.contains(TcpFlags::ACK) && seq_lte(fs, p.tcp().ack),
             Option::None => false,
         }
     }
@@ -305,6 +316,16 @@ impl TcpTracker {
     pub fn process(&mut self, p: &Packet, dir: Direction) -> StateLabel {
         use TcpState::*;
         self.packets_seen += 1;
+
+        if !p.is_tcp() {
+            // A non-TCP packet on a TCP-tracked flow (e.g. a corrupted
+            // protocol field steering a UDP datagram into the tuple) can
+            // never belong to the connection's sequence space.
+            return StateLabel {
+                state: self.state,
+                in_window: false,
+            };
+        }
 
         if !Self::segment_acceptable(p) {
             // A rigorous endhost drops the packet: no transition, and by
@@ -315,7 +336,7 @@ impl TcpTracker {
             };
         }
 
-        let f = p.tcp.flags;
+        let f = p.tcp().flags;
         let syn = f.contains(TcpFlags::SYN);
         let ack = f.contains(TcpFlags::ACK);
         let fin = f.contains(TcpFlags::FIN);
@@ -445,10 +466,10 @@ impl TcpTracker {
     }
 
     fn update_peer(&mut self, p: &Packet, dir: Direction, syn: bool, fin: bool) {
-        let seg_end = p.tcp.seq.wrapping_add(p.seq_len());
+        let seg_end = p.tcp().seq.wrapping_add(p.seq_len());
         // Window scaling becomes active only when both sides offer it.
         if syn {
-            if let Some(ws) = p.tcp.window_scale() {
+            if let Some(ws) = p.tcp().window_scale() {
                 self.peers[dir.index()].wscale = ws;
                 let other_offered = self.peers[dir.flip().index()].wscale > 0
                     || self.peers[dir.flip().index()].isn().is_none();
@@ -458,14 +479,14 @@ impl TcpTracker {
         }
         let ps = &mut self.peers[dir.index()];
         if syn && ps.isn().is_none() {
-            ps.isn = p.tcp.seq;
+            ps.isn = p.tcp().seq;
             ps.present |= HAS_ISN;
             ps.seq_nxt = seg_end;
         } else if seq_lte(ps.seq_nxt, seg_end) {
             ps.seq_nxt = seg_end;
         }
-        ps.window = p.tcp.window;
-        if let Some((tsval, _)) = p.tcp.timestamps() {
+        ps.window = p.tcp().window;
+        if let Some((tsval, _)) = p.tcp().timestamps() {
             match ps.ts_recent() {
                 Some(r) if seq_lte(tsval, r) => {}
                 _ => {
@@ -481,9 +502,135 @@ impl TcpTracker {
     }
 }
 
-/// Labels every packet of a connection with a fresh tracker.
+/// Idle-only lifecycle tracker for UDP flows.
+///
+/// UDP has no state machine: conntrack considers a UDP flow "established"
+/// from its first datagram and tears it down purely by idle timeout. The
+/// label alphabet is shared with TCP, so every datagram maps to
+/// `Established`, and the in-window bit carries the only per-packet signal
+/// UDP offers: whether the datagram is structurally plausible (length field
+/// agrees with the payload, checksum validates, IP header is consistent).
+/// There is never a transition to `Close`/`TimeWait` — eviction is the flow
+/// table's idle policy, not the tracker's.
+#[derive(Debug, Clone, Default)]
+pub struct UdpTracker {
+    packets_seen: usize,
+}
+
+impl UdpTracker {
+    pub fn new() -> Self {
+        UdpTracker::default()
+    }
+
+    /// Number of packets processed.
+    pub fn packets_seen(&self) -> usize {
+        self.packets_seen
+    }
+
+    /// Processes one datagram. A TCP segment arriving on a UDP-tracked flow
+    /// is a transport mismatch and never "belongs".
+    pub fn process(&mut self, p: &Packet, _dir: Direction) -> StateLabel {
+        self.packets_seen += 1;
+        StateLabel {
+            state: TcpState::Established,
+            in_window: p.is_udp() && TcpTracker::segment_acceptable(p),
+        }
+    }
+}
+
+/// Fallback tracker for flows whose protocol is neither TCP nor UDP.
+///
+/// Unreachable from parsed captures today (the wire parser only admits
+/// TCP and UDP), but [`FlowTracker::for_proto`] is total over the protocol
+/// byte, and a flow keyed by a corrupted protocol field must still label
+/// every packet. Mirrors the UDP idle-only lifecycle with the structural
+/// checks of whatever transport the packet actually carries.
+#[derive(Debug, Clone, Default)]
+pub struct GenericTracker {
+    packets_seen: usize,
+}
+
+impl GenericTracker {
+    pub fn new() -> Self {
+        GenericTracker::default()
+    }
+
+    /// Number of packets processed.
+    pub fn packets_seen(&self) -> usize {
+        self.packets_seen
+    }
+
+    pub fn process(&mut self, p: &Packet, _dir: Direction) -> StateLabel {
+        self.packets_seen += 1;
+        StateLabel {
+            state: TcpState::Established,
+            in_window: TcpTracker::segment_acceptable(p),
+        }
+    }
+}
+
+/// Per-flow tracker dispatching on the flow's transport protocol.
+///
+/// The flow table stores one of these per slot; [`FlowTracker::for_proto`]
+/// picks the lifecycle from the protocol byte carried in the flow key
+/// (which is derived from the packet's *structural* transport, not the
+/// corruptible IP protocol field).
+#[derive(Debug, Clone)]
+pub enum FlowTracker {
+    Tcp(TcpTracker),
+    Udp(UdpTracker),
+    Generic(GenericTracker),
+}
+
+impl FlowTracker {
+    /// Tracker for the given IP protocol number.
+    pub fn for_proto(proto: u8) -> Self {
+        match proto {
+            ipv4::PROTO_TCP => FlowTracker::Tcp(TcpTracker::new()),
+            ipv4::PROTO_UDP => FlowTracker::Udp(UdpTracker::new()),
+            _ => FlowTracker::Generic(GenericTracker::new()),
+        }
+    }
+
+    /// Tracker matching the packet's structural transport.
+    pub fn for_packet(p: &Packet) -> Self {
+        Self::for_proto(p.transport.protocol_number())
+    }
+
+    /// Processes one packet, returning its 22-class label.
+    pub fn process(&mut self, p: &Packet, dir: Direction) -> StateLabel {
+        match self {
+            FlowTracker::Tcp(t) => t.process(p, dir),
+            FlowTracker::Udp(t) => t.process(p, dir),
+            FlowTracker::Generic(t) => t.process(p, dir),
+        }
+    }
+
+    /// The TCP master state, when this flow has one. `None` for UDP and
+    /// generic flows, whose idle-only lifecycle has no teardown states —
+    /// callers watching for `Close`/`TimeWait` to evict a flow must fall
+    /// back to idle timeouts for those.
+    pub fn tcp_state(&self) -> Option<TcpState> {
+        match self {
+            FlowTracker::Tcp(t) => Some(t.state()),
+            FlowTracker::Udp(_) | FlowTracker::Generic(_) => None,
+        }
+    }
+
+    /// Number of packets processed.
+    pub fn packets_seen(&self) -> usize {
+        match self {
+            FlowTracker::Tcp(t) => t.packets_seen(),
+            FlowTracker::Udp(t) => t.packets_seen(),
+            FlowTracker::Generic(t) => t.packets_seen(),
+        }
+    }
+}
+
+/// Labels every packet of a connection with a fresh tracker chosen by the
+/// flow key's transport protocol.
 pub fn label_connection(conn: &net_packet::Connection) -> Vec<StateLabel> {
-    let mut tracker = TcpTracker::new();
+    let mut tracker = FlowTracker::for_proto(conn.key.proto);
     conn.packets
         .iter()
         .enumerate()
@@ -507,6 +654,13 @@ mod tests {
         )
     }
 
+    fn v4(a: std::net::IpAddr) -> Ipv4Addr {
+        match a {
+            std::net::IpAddr::V4(v) => v,
+            std::net::IpAddr::V6(_) => unreachable!("test key is IPv4"),
+        }
+    }
+
     struct Builder {
         key: FlowKey,
         tracker: TcpTracker,
@@ -520,6 +674,25 @@ mod tests {
             }
         }
 
+        /// Headers for a segment in `dir`, for tests that tweak options or
+        /// fields before building the packet.
+        fn parts(
+            &self,
+            dir: Direction,
+            flags: TcpFlags,
+            seq: u32,
+            ackn: u32,
+        ) -> (Ipv4Header, TcpHeader) {
+            let (src, dst) = match dir {
+                Direction::ClientToServer => (self.key.client, self.key.server),
+                Direction::ServerToClient => (self.key.server, self.key.client),
+            };
+            let ip = Ipv4Header::new(v4(src.addr), v4(dst.addr), 64);
+            let mut tcp = TcpHeader::new(src.port, dst.port, seq, ackn);
+            tcp.flags = flags;
+            (ip, tcp)
+        }
+
         fn packet(
             &self,
             dir: Direction,
@@ -528,13 +701,7 @@ mod tests {
             ackn: u32,
             payload: &[u8],
         ) -> Packet {
-            let (src, dst) = match dir {
-                Direction::ClientToServer => (self.key.client, self.key.server),
-                Direction::ServerToClient => (self.key.server, self.key.client),
-            };
-            let ip = Ipv4Header::new(src.addr, dst.addr, 64);
-            let mut tcp = TcpHeader::new(src.port, dst.port, seq, ackn);
-            tcp.flags = flags;
+            let (ip, tcp) = self.parts(dir, flags, seq, ackn);
             Packet::new(0.0, ip, tcp, payload.to_vec())
         }
 
@@ -732,7 +899,7 @@ mod tests {
         let mut b = Builder::new();
         b.handshake();
         let mut p = b.packet(C2S, TcpFlags::RST, CLIENT_ISN + 1, 0, &[]);
-        p.tcp.checksum ^= 0x0bad;
+        p.tcp_mut().checksum ^= 0x0bad;
         let l = b.tracker.process(&p, C2S);
         assert_eq!(
             l,
@@ -821,40 +988,38 @@ mod tests {
     fn paws_rejects_old_timestamp() {
         let mut b = Builder::new();
         // Handshake with timestamps.
-        let mut p = b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
-        p.tcp.options.push(TcpOption::Timestamps {
+        let (ip, mut tcp) = b.parts(C2S, TcpFlags::SYN, CLIENT_ISN, 0);
+        tcp.options.push(TcpOption::Timestamps {
             tsval: 1000,
             tsecr: 0,
         });
-        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        let p = Packet::new(0.0, ip, tcp, vec![]);
         assert!(b.tracker.process(&p, C2S).in_window);
-        let mut p = b.packet(
+        let (ip, mut tcp) = b.parts(
             S2C,
             TcpFlags::SYN | TcpFlags::ACK,
             SERVER_ISN,
             CLIENT_ISN + 1,
-            &[],
         );
-        p.tcp.options.push(TcpOption::Timestamps {
+        tcp.options.push(TcpOption::Timestamps {
             tsval: 2000,
             tsecr: 1000,
         });
-        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        let p = Packet::new(0.0, ip, tcp, vec![]);
         assert!(b.tracker.process(&p, S2C).in_window);
-        let mut p = b.packet(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
-        p.tcp.options.push(TcpOption::Timestamps {
+        let (ip, mut tcp) = b.parts(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1);
+        tcp.options.push(TcpOption::Timestamps {
             tsval: 1001,
             tsecr: 2000,
         });
-        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        let p = Packet::new(0.0, ip, tcp, vec![]);
         assert!(b.tracker.process(&p, C2S).in_window);
         assert_eq!(b.tracker.state(), TcpState::Established);
         // RST with a wildly old timestamp: PAWS says it does not belong.
-        let mut p = b.packet(C2S, TcpFlags::RST, CLIENT_ISN + 1, 0, &[]);
-        p.tcp
-            .options
+        let (ip, mut tcp) = b.parts(C2S, TcpFlags::RST, CLIENT_ISN + 1, 0);
+        tcp.options
             .push(TcpOption::Timestamps { tsval: 3, tsecr: 0 });
-        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        let p = Packet::new(0.0, ip, tcp, vec![]);
         let l = b.tracker.process(&p, C2S);
         assert!(!l.in_window);
         assert_eq!(b.tracker.state(), TcpState::Established);
@@ -962,20 +1127,19 @@ mod tests {
     fn window_scaling_applies_after_negotiation() {
         let mut b = Builder::new();
         // SYN with wscale 7 on both sides, tiny raw window afterwards.
-        let mut p = b.packet(C2S, TcpFlags::SYN, CLIENT_ISN, 0, &[]);
-        p.tcp.options.push(TcpOption::WindowScale(7));
-        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        let (ip, mut tcp) = b.parts(C2S, TcpFlags::SYN, CLIENT_ISN, 0);
+        tcp.options.push(TcpOption::WindowScale(7));
+        let p = Packet::new(0.0, ip, tcp, vec![]);
         b.tracker.process(&p, C2S);
-        let mut p = b.packet(
+        let (ip, mut tcp) = b.parts(
             S2C,
             TcpFlags::SYN | TcpFlags::ACK,
             SERVER_ISN,
             CLIENT_ISN + 1,
-            &[],
         );
-        p.tcp.options.push(TcpOption::WindowScale(7));
-        p.tcp.window = 1000; // scaled: 128,000
-        let p = Packet::new(0.0, p.ip, p.tcp, vec![]);
+        tcp.options.push(TcpOption::WindowScale(7));
+        tcp.window = 1000; // scaled: 128,000
+        let p = Packet::new(0.0, ip, tcp, vec![]);
         b.tracker.process(&p, S2C);
         b.feed(C2S, TcpFlags::ACK, CLIENT_ISN + 1, SERVER_ISN + 1, &[]);
         // Data at rcv_nxt + 100,000 fits only thanks to scaling.
@@ -987,6 +1151,134 @@ mod tests {
             b"z",
         );
         assert!(l.in_window);
+    }
+
+    #[test]
+    fn protocol_udp_flow_is_idle_established() {
+        use net_packet::UdpHeader;
+        let mut t = FlowTracker::for_proto(ipv4::PROTO_UDP);
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let p = Packet::new_udp(0.0, ip, UdpHeader::new(5000, 53), b"q".to_vec());
+        for _ in 0..3 {
+            let l = t.process(&p, C2S);
+            assert_eq!(
+                l,
+                StateLabel {
+                    state: TcpState::Established,
+                    in_window: true
+                }
+            );
+        }
+        // A lying length field makes the datagram implausible.
+        let mut bad = p.clone();
+        bad.udp_mut().length += 4;
+        assert!(!t.process(&bad, C2S).in_window);
+        // So does a corrupted checksum.
+        let mut bad = p.clone();
+        bad.udp_mut().checksum ^= 0x1111;
+        assert!(!t.process(&bad, C2S).in_window);
+        // Idle-only lifecycle: no TCP master state, never a teardown state.
+        assert_eq!(t.tcp_state(), Option::None);
+        assert_eq!(t.packets_seen(), 5);
+    }
+
+    #[test]
+    fn protocol_v6_handshake_reaches_established() {
+        use net_packet::Ipv6Header;
+        use std::net::Ipv6Addr;
+        let c = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1);
+        let s = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2);
+        let seg = |src: Ipv6Addr, dst: Ipv6Addr, sp, dp, flags: TcpFlags, seq, ack| {
+            let mut tcp = TcpHeader::new(sp, dp, seq, ack);
+            tcp.flags = flags;
+            Packet::new_v6(0.0, Ipv6Header::new(src, dst, 64), tcp, vec![])
+        };
+        let mut t = TcpTracker::new();
+        assert!(
+            t.process(&seg(c, s, 40000, 443, TcpFlags::SYN, CLIENT_ISN, 0), C2S)
+                .in_window
+        );
+        assert!(
+            t.process(
+                &seg(
+                    s,
+                    c,
+                    443,
+                    40000,
+                    TcpFlags::SYN | TcpFlags::ACK,
+                    SERVER_ISN,
+                    CLIENT_ISN + 1
+                ),
+                S2C
+            )
+            .in_window
+        );
+        let l = t.process(
+            &seg(
+                c,
+                s,
+                40000,
+                443,
+                TcpFlags::ACK,
+                CLIENT_ISN + 1,
+                SERVER_ISN + 1,
+            ),
+            C2S,
+        );
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Established,
+                in_window: true
+            }
+        );
+    }
+
+    #[test]
+    fn protocol_transport_mismatch_never_belongs() {
+        // A UDP datagram steered onto a TCP-tracked flow (or vice versa)
+        // is never in-window and never advances the machine.
+        let mut b = Builder::new();
+        b.handshake();
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let udp_p = Packet::new_udp(0.0, ip, net_packet::UdpHeader::new(40000, 443), vec![]);
+        let l = b.tracker.process(&udp_p, C2S);
+        assert_eq!(
+            l,
+            StateLabel {
+                state: TcpState::Established,
+                in_window: false
+            }
+        );
+        let mut u = FlowTracker::for_proto(ipv4::PROTO_UDP);
+        let tcp_p = b.packet(C2S, TcpFlags::ACK, 1, 1, &[]);
+        assert!(!u.process(&tcp_p, C2S).in_window);
+    }
+
+    #[test]
+    fn protocol_label_connection_dispatches_on_key_proto() {
+        use net_packet::{Connection, UdpHeader};
+        let key = FlowKey::new(
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 40000),
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 53),
+        )
+        .with_proto(ipv4::PROTO_UDP);
+        let mut conn = Connection::new(key);
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 64);
+        conn.packets.push(Packet::new_udp(
+            0.0,
+            ip,
+            UdpHeader::new(40000, 53),
+            b"query".to_vec(),
+        ));
+        let labels = label_connection(&conn);
+        assert_eq!(
+            labels,
+            vec![StateLabel {
+                state: TcpState::Established,
+                in_window: true
+            }]
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn make_packet(
     } else {
         (k.server, k.client)
     };
-    let ip = Ipv4Header::new(src.addr, dst.addr, 60);
+    let ip = match (src.addr, dst.addr) {
+        (std::net::IpAddr::V4(s), std::net::IpAddr::V4(d)) => Ipv4Header::new(s, d, 60),
+        _ => unreachable!("test key is IPv4"),
+    };
     let mut tcp = TcpHeader::new(src.port, dst.port, seq, ack);
     tcp.flags = TcpFlags(flags);
     tcp.window = window;
@@ -97,7 +100,7 @@ proptest! {
 
         // Trace A: packet `idx` has a corrupted checksum.
         let mut corrupted = conn.clone();
-        corrupted.packets[idx].tcp.checksum ^= 0x5a5a;
+        corrupted.packets[idx].tcp_mut().checksum ^= 0x5a5a;
         let mut t1 = TcpTracker::new();
         for (i, p) in corrupted.packets.iter().enumerate() {
             t1.process(p, corrupted.direction(i));

@@ -374,12 +374,12 @@ mod tests {
             p_abandon: 0.0,
             ..ChurnConfig::new(3, 30, 30_000)
         };
-        let mut sizes: HashMap<(u32, u16), u32> = HashMap::new();
+        let mut sizes: HashMap<(std::net::IpAddr, u16), u32> = HashMap::new();
         for p in churn(&cfg) {
             assert!(p.ip_checksum_valid() && p.tcp_checksum_valid());
             if !p.payload.is_empty() {
-                let src = u32::from(p.ip.src);
-                *sizes.entry((src, p.tcp.src_port)).or_insert(0) += 1;
+                let src = p.src_addr();
+                *sizes.entry((src, p.src_port())).or_insert(0) += 1;
             }
         }
         // Heavy tail: the largest completed flow dwarfs the median mouse.
@@ -413,10 +413,10 @@ mod tests {
         let mut syns = 0u64;
         let mut fins = 0u64;
         for p in &mut stream {
-            if p.tcp.flags.contains(TcpFlags::SYN) && !p.tcp.flags.contains(TcpFlags::ACK) {
+            if p.tcp().flags.contains(TcpFlags::SYN) && !p.tcp().flags.contains(TcpFlags::ACK) {
                 syns += 1;
             }
-            if p.tcp.flags.contains(TcpFlags::FIN) {
+            if p.tcp().flags.contains(TcpFlags::FIN) {
                 fins += 1;
             }
         }

@@ -2,13 +2,14 @@
 
 use crate::TrafficConfig;
 use net_packet::{
-    Connection, Direction, Endpoint, FlowKey, Ipv4Header, Packet, TcpFlags, TcpHeader, TcpOption,
+    ipv4, Connection, Direction, Endpoint, FlowKey, Ipv4Header, Ipv6Header, Packet, TcpFlags,
+    TcpHeader, TcpOption, Transport, UdpHeader,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand_distr::{Distribution, Exp, LogNormal};
 use serde::{Deserialize, Serialize};
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// High-level shape of a generated flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,7 +108,7 @@ impl<'a> Sim<'a> {
         };
         let src = self.peers[si].ep;
         let dst = self.peers[di].ep;
-        let mut ip = Ipv4Header::new(src.addr, dst.addr, self.peers[si].ttl);
+        let mut ip = Ipv4Header::new(v4(src.addr), v4(dst.addr), self.peers[si].ttl);
         ip.identification = self.peers[si].ip_id;
         self.peers[si].ip_id = self.peers[si].ip_id.wrapping_add(1);
         let mut tcp = TcpHeader::new(src.port, dst.port, seq, ack);
@@ -174,6 +175,15 @@ impl<'a> Sim<'a> {
     }
 }
 
+/// IPv4 address of an endpoint known to be v4 (the generator's legacy
+/// address pool is all-v4; v6 flows carry their own addresses).
+fn v4(addr: std::net::IpAddr) -> Ipv4Addr {
+    match addr {
+        std::net::IpAddr::V4(a) => a,
+        std::net::IpAddr::V6(a) => unreachable!("v4 flow with v6 address {a}"),
+    }
+}
+
 fn random_endpoints(rng: &mut StdRng) -> (Endpoint, Endpoint) {
     const SERVER_PORTS: [u16; 10] = [80, 443, 22, 25, 110, 143, 993, 3306, 8080, 8443];
     let client = Endpoint::new(
@@ -230,10 +240,115 @@ fn sample_sketch(cfg: &TrafficConfig, rng: &mut StdRng) -> ConnectionSketch {
 }
 
 /// Generates one benign connection (public via [`crate::generate`]).
+///
+/// Protocol selection rolls the dice ONLY when the corresponding knob is
+/// non-zero: with `p_udp == 0.0 && p_ipv6 == 0.0` (the defaults) the RNG
+/// stream is untouched and existing seeds reproduce byte-identical
+/// datasets.
 pub(crate) fn generate_connection(cfg: &TrafficConfig, rng: &mut StdRng) -> Connection {
-    let (sketch, conn) = generate_with_sketch(cfg, rng);
-    let _ = sketch;
-    conn
+    let udp = cfg.p_udp > 0.0 && rng.gen_bool(cfg.p_udp);
+    let v6 = cfg.p_ipv6 > 0.0 && rng.gen_bool(cfg.p_ipv6);
+    let conn = if udp {
+        generate_udp_connection(rng)
+    } else {
+        generate_with_sketch(cfg, rng).1
+    };
+    if v6 {
+        map_connection_v6(conn)
+    } else {
+        conn
+    }
+}
+
+/// NAT64-style well-known-prefix embedding (RFC 6052, `64:ff9b::/96`),
+/// used to render a v4-generated flow over IPv6 deterministically.
+fn nat64(a: Ipv4Addr) -> Ipv6Addr {
+    let o = a.octets();
+    Ipv6Addr::new(
+        0x64,
+        0xff9b,
+        0,
+        0,
+        0,
+        0,
+        u16::from_be_bytes([o[0], o[1]]),
+        u16::from_be_bytes([o[2], o[3]]),
+    )
+}
+
+/// Re-renders every packet of a v4 connection over IPv6, preserving the
+/// transport headers, payloads and timestamps (checksums are recomputed
+/// against the v6 pseudo-header by the `Packet` constructors).
+fn map_connection_v6(conn: Connection) -> Connection {
+    let map_ep = |ep: Endpoint| match ep.addr {
+        IpAddr::V4(a) => Endpoint::new(nat64(a), ep.port),
+        IpAddr::V6(_) => ep,
+    };
+    let packets = conn
+        .packets
+        .iter()
+        .map(|p| {
+            let (s, d) = match (p.src_addr(), p.dst_addr()) {
+                (IpAddr::V4(s), IpAddr::V4(d)) => (nat64(s), nat64(d)),
+                (s, d) => unreachable!("v4 source flow carried {s}/{d}"),
+            };
+            let ip = Ipv6Header::new(s, d, p.ip.ttl());
+            match &p.transport {
+                Transport::Tcp(t) => Packet::new_v6(p.timestamp, ip, t.clone(), p.payload.clone()),
+                Transport::Udp(u) => {
+                    Packet::new_udp6(p.timestamp, ip, u.clone(), p.payload.clone())
+                }
+            }
+        })
+        .collect();
+    Connection {
+        key: FlowKey::new(map_ep(conn.key.client), map_ep(conn.key.server))
+            .with_proto(conn.key.proto),
+        packets,
+    }
+}
+
+/// Generates one benign UDP exchange: a few request/response rounds
+/// against a well-known UDP service port (DNS/NTP/QUIC-like), idle-only
+/// lifecycle, no handshake or teardown.
+fn generate_udp_connection(rng: &mut StdRng) -> Connection {
+    const UDP_SERVER_PORTS: [u16; 5] = [53, 123, 443, 514, 1900];
+    let (client, server_v4) = random_endpoints(rng);
+    let server = Endpoint::new(
+        server_v4.addr,
+        UDP_SERVER_PORTS[rng.gen_range(0..UDP_SERVER_PORTS.len())],
+    );
+    let client_ttl: u8 = 64u8.saturating_sub(rng.gen_range(3..25));
+    let server_ttl: u8 = 64u8.saturating_sub(rng.gen_range(3..25));
+    let mut time = 0.0f64;
+    let mut packets = Vec::new();
+    let dgram = |time: f64, src: Endpoint, dst: Endpoint, ttl: u8, len: usize, id: u16| {
+        let mut ip = Ipv4Header::new(v4(src.addr), v4(dst.addr), ttl);
+        ip.identification = id;
+        Packet::new_udp(
+            time,
+            ip,
+            UdpHeader::new(src.port, dst.port),
+            vec![0x62u8; len],
+        )
+    };
+    let rounds = rng.gen_range(1..=6);
+    for _ in 0..rounds {
+        time += rng.gen_range(0.0005..0.05);
+        let qlen = rng.gen_range(12..=220);
+        let id = rng.gen();
+        packets.push(dgram(time, client, server, client_ttl, qlen, id));
+        if rng.gen_bool(0.85) {
+            time += rng.gen_range(0.0005..0.03);
+            let rlen = rng.gen_range(24..=1200);
+            let id = rng.gen();
+            packets.push(dgram(time, server, client, server_ttl, rlen, id));
+        }
+    }
+    Connection {
+        key: FlowKey::new(client, server).with_proto(ipv4::PROTO_UDP),
+        packets,
+    }
 }
 
 /// Generates one benign connection together with the plan that produced it.

@@ -59,6 +59,13 @@ pub struct TrafficConfig {
     pub p_rst_teardown: f64,
     /// Probability of simultaneous close.
     pub p_simultaneous_close: f64,
+    /// Probability a connection is rendered over IPv6 (NAT64-style
+    /// address mapping). **Default 0.0**: at zero the protocol dice are
+    /// never rolled, so existing seeds produce byte-identical datasets.
+    pub p_ipv6: f64,
+    /// Probability a flow is a UDP exchange instead of a TCP connection.
+    /// **Default 0.0**, with the same never-rolled guarantee.
+    pub p_udp: f64,
 }
 
 impl Default for TrafficConfig {
@@ -75,6 +82,8 @@ impl Default for TrafficConfig {
             p_half_open: 0.04,
             p_rst_teardown: 0.10,
             p_simultaneous_close: 0.03,
+            p_ipv6: 0.0,
+            p_udp: 0.0,
         }
     }
 }
@@ -128,6 +137,45 @@ pub fn generate(config: &TrafficConfig) -> Vec<Connection> {
 /// Shorthand: `n` connections with the default mix and the given seed.
 pub fn dataset(seed: u64, n: usize) -> Vec<Connection> {
     generate(&TrafficConfig::new(seed, n))
+}
+
+/// `n` connections with a mixed protocol blend — IPv4 and IPv6, TCP and
+/// UDP — the protocol-diversity surface added in PR 9. Deterministic in
+/// `seed`, like [`dataset`].
+pub fn mixed_dataset(seed: u64, n: usize) -> Vec<Connection> {
+    let mut cfg = TrafficConfig::new(seed, n);
+    cfg.p_ipv6 = 0.35;
+    cfg.p_udp = 0.3;
+    generate(&cfg)
+}
+
+/// Serializes connections into raw capture records `(timestamp, wire
+/// bytes)`, interleaved by timestamp — the shape [`net_packet::write_pcap_raw`]
+/// consumes. When `fragment_over` is set, IPv4 datagrams larger than that
+/// many wire bytes are split with [`net_packet::fragment_datagram`]; the
+/// fragments keep the datagram's capture timestamp plus a sub-microsecond
+/// skew so they stay ordered. IPv6 datagrams are never fragmented here
+/// (routers cannot fragment v6 in flight).
+pub fn capture_records(conns: &[Connection], fragment_over: Option<usize>) -> Vec<(f64, Vec<u8>)> {
+    let mut pkts: Vec<&net_packet::Packet> = conns.iter().flat_map(|c| c.packets.iter()).collect();
+    pkts.sort_by(|a, b| a.timestamp.total_cmp(&b.timestamp));
+    let mut records = Vec::with_capacity(pkts.len());
+    for p in pkts {
+        let bytes = p.to_bytes();
+        match fragment_over {
+            Some(limit) if p.ip.is_v4() && bytes.len() > limit => {
+                let chunk = limit.saturating_sub(p.ip.header_len_bytes()).max(8);
+                for (i, f) in net_packet::fragment_datagram(&bytes, chunk)
+                    .into_iter()
+                    .enumerate()
+                {
+                    records.push((p.timestamp + i as f64 * 1e-7, f));
+                }
+            }
+            _ => records.push((p.timestamp, bytes)),
+        }
+    }
+    records
 }
 
 #[cfg(test)]
@@ -214,6 +262,87 @@ mod tests {
                 assert!(p.ip_checksum_valid());
                 assert!(p.tcp_checksum_valid());
             }
+        }
+    }
+
+    /// Pin of the default (all-v4, all-TCP) RNG stream: the mixed-protocol
+    /// knobs must not consume a single extra draw when they are zero, so
+    /// pre-existing seeds keep producing byte-identical datasets. If this
+    /// test breaks, a new knob rolled the dice unconditionally.
+    #[test]
+    fn protocol_default_stream_is_pinned() {
+        let conns = dataset(42, 3);
+        let packets: usize = conns.iter().map(Connection::len).sum();
+        let payload: usize = conns
+            .iter()
+            .flat_map(|c| &c.packets)
+            .map(|p| p.payload.len())
+            .sum();
+        assert_eq!(packets, 87);
+        assert_eq!(conns[0].packets[0].tcp().seq, 0x36ba_2593);
+        assert_eq!(payload, 32_239);
+        let last_ts = conns[2].packets.last().unwrap().timestamp;
+        assert!((last_ts - 0.634_679_031).abs() < 1e-9, "got {last_ts}");
+    }
+
+    #[test]
+    fn protocol_mixed_dataset_covers_all_variants() {
+        let conns = mixed_dataset(11, 200);
+        let v6 = conns.iter().filter(|c| c.key.client.addr.is_ipv6()).count();
+        let udp = conns
+            .iter()
+            .filter(|c| c.key.proto == net_packet::ipv4::PROTO_UDP)
+            .count();
+        let v6_udp = conns
+            .iter()
+            .filter(|c| c.key.client.addr.is_ipv6() && c.key.proto == net_packet::ipv4::PROTO_UDP)
+            .count();
+        assert!(v6 >= 30, "only {v6}/200 v6 flows");
+        assert!(udp >= 30, "only {udp}/200 UDP flows");
+        assert!(v6_udp >= 5, "only {v6_udp}/200 v6 UDP flows");
+        assert!(v6 < 200 && udp < 200, "mix collapsed to one protocol");
+        // Every flow is internally consistent regardless of protocol.
+        for c in &conns {
+            assert!(!c.packets.is_empty());
+            for p in &c.packets {
+                assert!(p.ip_checksum_valid());
+                assert!(p.transport_checksum_valid());
+                assert_eq!(p.is_udp(), c.key.proto == net_packet::ipv4::PROTO_UDP);
+                assert_eq!(p.src_addr().is_ipv6(), c.key.client.addr.is_ipv6());
+            }
+        }
+        // Determinism holds for the mixed blend too.
+        assert_eq!(conns, mixed_dataset(11, 200));
+    }
+
+    #[test]
+    fn protocol_mixed_wire_round_trip() {
+        use net_packet::Packet;
+        for c in mixed_dataset(12, 40) {
+            for p in &c.packets {
+                let q = Packet::from_bytes(p.timestamp, &p.to_bytes()).expect("parses back");
+                assert_eq!(&q, p);
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_fragmented_capture_records_reassemble() {
+        let conns = mixed_dataset(13, 30);
+        let records = capture_records(&conns, Some(600));
+        let plain = capture_records(&conns, None);
+        assert!(records.len() > plain.len(), "nothing got fragmented");
+        let mut buf = Vec::new();
+        net_packet::pcap::write_pcap_raw(&mut buf, &records).unwrap();
+        let back = net_packet::pcap::read_pcap(&buf[..]).unwrap();
+        assert_eq!(
+            back.len(),
+            plain.len(),
+            "every fragmented datagram must reassemble to one packet"
+        );
+        assert!(back.iter().any(|p| p.reassembly.is_some()));
+        for p in back.iter().filter(|p| p.reassembly.is_some()) {
+            assert!(p.transport_checksum_valid());
         }
     }
 }

@@ -16,17 +16,17 @@ proptest! {
         let conns = generate(&TrafficConfig::new(seed, 2));
         for conn in &conns {
             let first = &conn.packets[0];
-            prop_assert!(first.tcp.flags.contains(TcpFlags::SYN));
-            prop_assert!(!first.tcp.flags.contains(TcpFlags::ACK));
+            prop_assert!(first.tcp().flags.contains(TcpFlags::SYN));
+            prop_assert!(!first.tcp().flags.contains(TcpFlags::ACK));
             prop_assert_eq!(conn.direction(0), Direction::ClientToServer);
-            prop_assert!(first.tcp.mss().is_some(), "SYN must carry MSS");
+            prop_assert!(first.tcp().mss().is_some(), "SYN must carry MSS");
 
             // Window scaling is negotiated symmetrically.
-            let syn_ws = first.tcp.window_scale().is_some();
+            let syn_ws = first.tcp().window_scale().is_some();
             if let Some(synack) = conn.packets.iter().find(|p| {
-                p.tcp.flags.contains(TcpFlags::SYN) && p.tcp.flags.contains(TcpFlags::ACK)
+                p.tcp().flags.contains(TcpFlags::SYN) && p.tcp().flags.contains(TcpFlags::ACK)
             }) {
-                prop_assert_eq!(syn_ws, synack.tcp.window_scale().is_some());
+                prop_assert_eq!(syn_ws, synack.tcp().window_scale().is_some());
             }
         }
     }
@@ -36,7 +36,7 @@ proptest! {
     fn segments_respect_mss(seed in 0u64..10_000) {
         let conns = generate(&TrafficConfig::new(seed, 2));
         for conn in &conns {
-            let mss = conn.packets[0].tcp.mss().unwrap() as usize;
+            let mss = conn.packets[0].tcp().mss().unwrap() as usize;
             for p in &conn.packets {
                 prop_assert!(p.payload.len() <= mss, "payload {} > mss {mss}", p.payload.len());
             }
@@ -78,8 +78,8 @@ proptest! {
             for (i, p) in conn.packets.iter().enumerate() {
                 let d = conn.direction(i).index();
                 match ttl[d] {
-                    None => ttl[d] = Some(p.ip.ttl),
-                    Some(t) => prop_assert_eq!(t, p.ip.ttl, "TTL changed mid-flow"),
+                    None => ttl[d] = Some(p.ipv4().ttl),
+                    Some(t) => prop_assert_eq!(t, p.ipv4().ttl, "TTL changed mid-flow"),
                 }
             }
         }
@@ -91,7 +91,7 @@ proptest! {
     fn flow_keys_are_unique(seed in 0u64..5_000) {
         let conns = generate(&TrafficConfig::new(seed, 20));
         let mut keys: Vec<_> = conns.iter().map(|c| c.key).collect();
-        keys.sort_by_key(|k| (u32::from(k.client.addr), k.client.port, u32::from(k.server.addr), k.server.port));
+        keys.sort_by_key(|k| (k.client.addr, k.client.port, k.server.addr, k.server.port));
         let n = keys.len();
         keys.dedup();
         prop_assert_eq!(keys.len(), n);

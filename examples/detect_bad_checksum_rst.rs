@@ -23,10 +23,10 @@ fn inject_bad_checksum_rst(conn: &Connection) -> Option<(Connection, usize)> {
     let mut out = conn.clone();
     let template = &conn.packets[at.min(conn.len() - 1)];
     let mut rst = template.clone();
-    rst.tcp.flags = TcpFlags::RST;
+    rst.tcp_mut().flags = TcpFlags::RST;
     rst.payload.clear();
     rst.fill_checksums();
-    rst.tcp.checksum ^= 0x0bad; // the garbled checksum
+    rst.tcp_mut().checksum ^= 0x0bad; // the garbled checksum
     out.packets.insert(at, rst);
     Some((out, at))
 }

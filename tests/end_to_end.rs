@@ -119,11 +119,16 @@ fn every_strategy_produces_scoreable_traces() {
 
 #[test]
 fn sources_cover_the_paper_corpus() {
-    assert_eq!(registry().len(), 73);
+    // 73 paper strategies plus the Extended protocol-diversity families.
+    assert_eq!(
+        registry().iter().filter(|s| s.source.in_paper()).count(),
+        73
+    );
     for (source, count) in [
         (AttackSource::SymTcp, 30),
         (AttackSource::Liberate, 23),
         (AttackSource::Geneva, 20),
+        (AttackSource::Extended, 3),
     ] {
         assert_eq!(
             registry().iter().filter(|s| s.source == source).count(),

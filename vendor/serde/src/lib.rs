@@ -128,6 +128,18 @@ impl Serialize for std::net::Ipv4Addr {
     }
 }
 
+impl Serialize for std::net::Ipv6Addr {
+    fn ser_json(&self, out: &mut String) {
+        escape_into(&self.to_string(), out);
+    }
+}
+
+impl Serialize for std::net::IpAddr {
+    fn ser_json(&self, out: &mut String) {
+        escape_into(&self.to_string(), out);
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn ser_json(&self, out: &mut String) {
         self.as_slice().ser_json(out);
@@ -253,6 +265,22 @@ impl Deserialize for std::net::Ipv4Addr {
         let s = p.parse_string()?;
         s.parse()
             .map_err(|_| p.error(&format!("invalid IPv4 address `{s}`")))
+    }
+}
+
+impl Deserialize for std::net::Ipv6Addr {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let s = p.parse_string()?;
+        s.parse()
+            .map_err(|_| p.error(&format!("invalid IPv6 address `{s}`")))
+    }
+}
+
+impl Deserialize for std::net::IpAddr {
+    fn de_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let s = p.parse_string()?;
+        s.parse()
+            .map_err(|_| p.error(&format!("invalid IP address `{s}`")))
     }
 }
 
