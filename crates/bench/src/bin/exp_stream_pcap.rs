@@ -6,6 +6,8 @@
 //! cargo run -p bench --release --bin exp_stream_pcap -- [--preset quick|ci|paper]
 //!     [--pcap CAPTURE.pcap] [--write-pcap PATH] [--top N] [--shards N]
 //!     [--overload-policy block|drop-newest|degrade[:K]] [--fault-plan SPEC]
+//!     [--telemetry-out PATH] [--dump-flows] [--render head-tail]
+//!     [--render-frames N]
 //! ```
 //!
 //! With `--pcap`, scores the given `LINKTYPE_RAW` capture. Without it, the
@@ -35,13 +37,42 @@
 //! The per-shard supervision counters and any quarantined packets are
 //! printed after the verdict table.
 //!
+//! # Telemetry and introspection
+//!
+//! Either path feeds the live telemetry plane (a [`TelemetryHub`]; the
+//! single-table path gets a one-shard hub wired to the same counter
+//! cells), and the replay harness times the wire→packet **parse** stage
+//! from a 1-in-32 sample of the raw capture records — the scorer never
+//! sees wire bytes, so that stage belongs to the harness.
+//!
+//! - `--dump-flows` prints the rendered telemetry snapshot plus a
+//!   conntrack-style table of every flow still live at end of stream
+//!   (state, age, idle, packets, bytes, current score), before the final
+//!   drain closes them.
+//! - `--telemetry-out PATH` exports the run over the binary introspection
+//!   wire format (`clap-telemetry::wire`): one snapshot frame, one
+//!   verdict frame per finalized flow, one flow frame per live
+//!   end-of-stream entry. The written bytes are parsed back before the
+//!   file is kept — a run never leaves behind an export it cannot read.
+//! - `--render head-tail` hexdumps the first and last `--render-frames`
+//!   (default 4) records of the capture with their true file offsets and
+//!   a parse annotation per frame — the quickest "is this capture what I
+//!   think it is" check.
+//!
 //! [`StreamScorer`]: clap_core::stream::StreamScorer
+//! [`TelemetryHub`]: clap_core::TelemetryHub
 
-use bench::{arg_value, shard_stats_table, verdict_table, Preset};
+use bench::{arg_value, render_table, shard_stats_table, verdict_table, Preset};
 use clap_core::stream::CloseReason;
-use clap_core::{Clap, ClosedFlow, FaultPlan, OverloadPolicy, ShardConfig};
-use net_packet::pcap::{read_pcap, write_pcap};
+use clap_core::{
+    Clap, ClosedFlow, FaultPlan, FlowEntry, OverloadPolicy, ShardConfig, Stage, StageHists,
+    TelemetryHub, TelemetrySnapshot,
+};
+use clap_telemetry::render::{hexdump, render_snapshot};
+use clap_telemetry::wire;
+use net_packet::pcap::{read_pcap, read_pcap_raw, write_pcap};
 use net_packet::Packet;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -54,19 +85,39 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    let telemetry_out = arg_value(&args, "--telemetry-out");
+    let dump_flows = args.iter().any(|a| a == "--dump-flows");
+    let render_head_tail = match arg_value(&args, "--render").as_deref() {
+        None => false,
+        Some("head-tail") => true,
+        Some(other) => {
+            eprintln!("invalid --render value `{other}` (expected `head-tail`)");
+            std::process::exit(2);
+        }
+    };
+    let render_frames: usize = arg_value(&args, "--render-frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    // The flow dump is collected for the export too: a telemetry stream
+    // without the conntrack frames would be a partial picture.
+    let want_flows = dump_flows || telemetry_out.is_some();
 
     // Train CLAP only — the baselines have no streaming mode.
     eprintln!("[{}] training CLAP…", preset.name);
     let benign = traffic_gen::dataset(preset.seed, preset.train_conns);
     let (clap, _) = Clap::train(&benign, &preset.clap);
 
-    let packets = match arg_value(&args, "--pcap") {
+    // The raw capture bytes are kept alongside the parsed packets: the
+    // head/tail view and the parse-stage timing both consume what is on
+    // disk, not the post-parse form.
+    let (packets, raw_capture) = match arg_value(&args, "--pcap") {
         Some(path) => {
-            let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+            let bytes = std::fs::read(&path).unwrap_or_else(|e| {
                 eprintln!("cannot open {path}: {e}");
                 std::process::exit(1);
             });
-            let packets = read_pcap(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+            let packets = read_pcap(&bytes[..]).unwrap_or_else(|e| {
                 eprintln!("cannot parse {path}: {e}");
                 std::process::exit(1);
             });
@@ -75,13 +126,17 @@ fn main() {
                 preset.name,
                 packets.len()
             );
-            packets
+            (packets, bytes)
         }
         None => synthetic_capture(&preset, arg_value(&args, "--write-pcap").as_deref()),
     };
     if packets.is_empty() {
         eprintln!("capture contains no scorable TCP packets");
         std::process::exit(1);
+    }
+
+    if render_head_tail {
+        show_head_tail(&raw_capture, render_frames);
     }
 
     let policy = match arg_value(&args, "--overload-policy") {
@@ -112,16 +167,22 @@ fn main() {
     // what a line-rate tap would deliver.
     let t = Instant::now();
     let mut shard_report = String::new();
-    let (closed, inline_closes): (Vec<ClosedFlow>, usize) = if shards > 1 {
-        let run = match clap
-            .sharded_scorer_with(ShardConfig {
-                shards,
-                overload: policy,
-                faults: plan.clone(),
-                ..ShardConfig::default()
-            })
-            .try_score_stream(packets.iter())
-        {
+    let (closed, verdict_shards, live_flows, hub, inline_closes): (
+        Vec<ClosedFlow>,
+        Vec<u16>,
+        Vec<FlowEntry>,
+        Arc<TelemetryHub>,
+        usize,
+    ) = if shards > 1 {
+        let scorer = clap.sharded_scorer_with(ShardConfig {
+            shards,
+            overload: policy,
+            faults: plan.clone(),
+            dump_flows: want_flows,
+            ..ShardConfig::default()
+        });
+        let hub = scorer.telemetry();
+        let run = match scorer.try_score_stream(packets.iter()) {
             Ok(run) => run,
             Err(e) => {
                 // A dead or stuck shard degrades the run; the survivors'
@@ -147,18 +208,49 @@ fn main() {
         for q in &run.quarantined {
             shard_report.push_str(&format!("quarantined: {q}\n"));
         }
-        (run.verdicts.into_iter().map(|v| v.flow).collect(), inline)
+        let verdict_shards = run.verdicts.iter().map(|v| v.shard as u16).collect();
+        let closed: Vec<ClosedFlow> = run.verdicts.into_iter().map(|v| v.flow).collect();
+        (closed, verdict_shards, run.flows, hub, inline)
     } else {
+        // The single flow table gets a one-shard hub: the scorer's
+        // stream counters re-home onto the hub's cells, and the replay
+        // loop plays both dispatcher and worker for the packet ledger.
+        let hub = Arc::new(TelemetryHub::new(1));
+        let cells = hub.shard(0);
         let mut scorer = clap.stream_scorer();
+        scorer.attach_telemetry(Arc::clone(&cells.stream));
+        scorer.attach_stages(Arc::clone(&cells.stages));
         for p in &packets {
+            cells.dispatch.dispatched_inc();
             scorer.push(p);
+            cells.worker.scored();
         }
         let mut closed = scorer.drain_closed();
         let inline = closed.len();
+        // The conntrack view is cut *before* the final drain: these are
+        // the flows a live tap would still be tracking right now.
+        let live = if want_flows {
+            scorer.flow_entries()
+        } else {
+            Vec::new()
+        };
         closed.extend(scorer.finish());
-        (closed, inline)
+        for _ in &closed {
+            cells.worker.flow_closed();
+        }
+        let n = closed.len();
+        (closed, vec![0u16; n], live, hub, inline)
     };
     let elapsed = t.elapsed();
+
+    // Parse-stage latency, sampled from the raw capture bytes outside
+    // the timed replay — the histograms are cumulative, so recording
+    // after the fact lands in the same snapshot.
+    time_parse_stage(&hub.shard(0).stages, &raw_capture);
+    let snapshot = hub.snapshot();
+    snapshot
+        .check_invariants()
+        .expect("telemetry snapshot invariant");
 
     let streamed: usize = closed.iter().map(|c| c.packets).sum();
     if lossless {
@@ -205,12 +297,27 @@ fn main() {
     if !shard_report.is_empty() {
         println!("{shard_report}");
     }
+
+    if dump_flows {
+        println!("== Telemetry snapshot ==");
+        print!("{}", render_snapshot(&snapshot));
+        println!(
+            "\n== Flow table at end of stream ({} live flows) ==",
+            live_flows.len()
+        );
+        println!("{}", flow_table(&live_flows));
+    }
+
+    if let Some(path) = telemetry_out {
+        export_telemetry(&path, &snapshot, &closed, &verdict_shards, &live_flows);
+    }
 }
 
 /// Builds a mixed benign + adversarial capture, writes it as a pcap and
 /// reads it back, so scoring consumes exactly what a real capture file
 /// would deliver (including the microsecond timestamp quantization).
-fn synthetic_capture(preset: &Preset, keep_path: Option<&str>) -> Vec<Packet> {
+/// Returns the parsed packets together with the capture bytes.
+fn synthetic_capture(preset: &Preset, keep_path: Option<&str>) -> (Vec<Packet>, Vec<u8>) {
     let mut conns = traffic_gen::dataset(preset.seed ^ 0x9ca9, preset.test_benign.max(8));
     // A few adversarial connections so the top-of-table scores mean
     // something: one strategy is plenty for a replay demo.
@@ -240,5 +347,196 @@ fn synthetic_capture(preset: &Preset, keep_path: Option<&str>) -> Vec<Packet> {
         conns.len(),
         packets.len()
     );
-    packets
+    (packets, buf)
+}
+
+/// Times the wire→[`Packet`] parse over a 1-in-32 sample of the raw
+/// capture records, under [`Stage::Parse`]. The scorer never touches
+/// wire bytes — parsing belongs to the replay harness — so this stage is
+/// timed here, with a plain [`Instant`], not by the scorer's sampled
+/// clocks.
+fn time_parse_stage(stages: &StageHists, raw_capture: &[u8]) {
+    let Ok(records) = read_pcap_raw(raw_capture) else {
+        return;
+    };
+    for (ts, bytes) in records.iter().step_by(32) {
+        let t = Instant::now();
+        let _ = Packet::from_bytes(*ts, bytes);
+        stages.record(Stage::Parse, t.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Hexdumps the first and last `n` records of the capture with their
+/// true file offsets (24-byte global header, 16-byte record headers) and
+/// a one-line parse annotation per frame.
+fn show_head_tail(raw_capture: &[u8], n: usize) {
+    let records = match read_pcap_raw(raw_capture) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot re-read capture for --render: {e}");
+            return;
+        }
+    };
+    let mut offsets = Vec::with_capacity(records.len());
+    let mut off = 24usize;
+    for (_, bytes) in &records {
+        offsets.push(off + 16); // frame data starts past the record header
+        off += 16 + bytes.len();
+    }
+    let show = |i: usize| {
+        let (ts, bytes) = &records[i];
+        let note = match Packet::from_bytes(*ts, bytes) {
+            Ok(p) => format!(
+                "{}:{} -> {}:{}, {} payload bytes",
+                p.src_addr(),
+                p.src_port(),
+                p.dst_addr(),
+                p.dst_port(),
+                p.payload.len()
+            ),
+            Err(e) => format!("unparsed ({e:?})"),
+        };
+        println!("frame {i} @ {ts:.6}s, {} bytes — {note}", bytes.len());
+        print!("{}", hexdump(bytes, offsets[i]));
+    };
+    println!(
+        "\n== Capture head/tail ({} records, showing {} each end) ==",
+        records.len(),
+        n.min(records.len())
+    );
+    for i in 0..records.len().min(n) {
+        show(i);
+    }
+    let tail_start = records.len().saturating_sub(n).max(records.len().min(n));
+    if tail_start > n {
+        println!("… {} records elided …", tail_start - n);
+    }
+    for i in tail_start..records.len() {
+        show(i);
+    }
+}
+
+/// Renders the conntrack-style flow table: one row per flow still live
+/// at end of stream. A trailing `*` on the state marks a TIME_WAIT
+/// linger.
+fn flow_table(flows: &[FlowEntry]) -> String {
+    render_table(
+        &[
+            "Proto", "Client", "Server", "State", "Age (s)", "Idle (s)", "Pkts", "Bytes", "Score",
+        ],
+        &flows
+            .iter()
+            .map(|f| {
+                vec![
+                    match f.key.proto {
+                        6 => "tcp".to_string(),
+                        17 => "udp".to_string(),
+                        p => p.to_string(),
+                    },
+                    f.key.client.to_string(),
+                    f.key.server.to_string(),
+                    match f.state {
+                        Some(s) if f.lingering => format!("{s:?}*"),
+                        Some(s) => format!("{s:?}"),
+                        None => "-".to_string(),
+                    },
+                    format!("{:.3}", f.age),
+                    format!("{:.3}", f.idle),
+                    f.packets.to_string(),
+                    f.bytes.to_string(),
+                    format!("{:.4}", f.score),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Splits a [`net_packet::FlowKey`] into the wire format's raw identity
+/// block: v6 flag, zero-padded 16-byte address blocks, ports.
+fn wire_identity(key: &net_packet::FlowKey) -> (bool, [u8; 16], u16, [u8; 16], u16) {
+    fn addr_block(addr: std::net::IpAddr) -> (bool, [u8; 16]) {
+        let mut block = [0u8; 16];
+        match addr {
+            std::net::IpAddr::V4(a) => {
+                block[..4].copy_from_slice(&a.octets());
+                (false, block)
+            }
+            std::net::IpAddr::V6(a) => {
+                block.copy_from_slice(&a.octets());
+                (true, block)
+            }
+        }
+    }
+    let (v6, client) = addr_block(key.client.addr);
+    let (_, server) = addr_block(key.server.addr);
+    (v6, client, key.client.port, server, key.server.port)
+}
+
+/// Writes the run over the introspection wire format — one snapshot
+/// frame, a verdict frame per finalized flow, a flow frame per live
+/// end-of-stream entry — and parses the bytes back before keeping the
+/// file, so an unreadable export can never be produced.
+fn export_telemetry(
+    path: &str,
+    snapshot: &TelemetrySnapshot,
+    closed: &[ClosedFlow],
+    verdict_shards: &[u16],
+    live_flows: &[FlowEntry],
+) {
+    let mut out = Vec::new();
+    wire::write_snapshot(&mut out, snapshot).expect("in-memory write");
+    for (c, &shard) in closed.iter().zip(verdict_shards) {
+        let (v6, client_addr, client_port, server_addr, server_port) = wire_identity(&c.key);
+        wire::write_verdict(
+            &mut out,
+            &wire::VerdictRecord {
+                v6,
+                proto: c.key.proto,
+                client_addr,
+                client_port,
+                server_addr,
+                server_port,
+                arrival: c.arrival,
+                packets: c.packets as u32,
+                reason: c.reason as u8,
+                shard,
+                score: c.scored.score,
+                peak_packet: c.scored.peak_packet as u32,
+            },
+        )
+        .expect("in-memory write");
+    }
+    for f in live_flows {
+        let (v6, client_addr, client_port, server_addr, server_port) = wire_identity(&f.key);
+        wire::write_flow(
+            &mut out,
+            &wire::FlowRecord {
+                v6,
+                proto: f.key.proto,
+                client_addr,
+                client_port,
+                server_addr,
+                server_port,
+                state: f.state.map(|s| s as u8).unwrap_or(255),
+                lingering: f.lingering,
+                age: f.age,
+                idle: f.idle,
+                packets: f.packets,
+                bytes: f.bytes,
+                score: f.score,
+                arrival: f.arrival,
+            },
+        )
+        .expect("in-memory write");
+    }
+    let frames = wire::read_frames(&out).expect("self-written telemetry must parse back");
+    std::fs::write(path, &out).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {} telemetry frames ({} bytes) to {path}",
+        frames.len(),
+        out.len()
+    );
 }

@@ -12,10 +12,22 @@
 //!     [--max-regress-microbatch 0.30] [--min-shard-scaling X]
 //!     [--churn-flows N] [--churn-packets N] [--resident f32|int8]
 //!     [--max-regress-scale 0.35] [--max-grow-bytes-per-flow 0.25]
-//!     [--max-bytes-per-flow BYTES]
+//!     [--max-bytes-per-flow BYTES] [--max-telemetry-overhead X]
 //!     [--overload-policy block|drop-newest|degrade[:K]] [--fault-plan SPEC]
 //!     [--require-no-shed]
 //! ```
+//!
+//! The run also measures the **telemetry tax**: the per-packet streaming
+//! engine with live counter cells and stage histograms attached versus
+//! detached (the median over many alternating attached/detached pairs),
+//! recorded as `telemetry_overhead` = 1 − attached ÷ detached pps.
+//! Counters are always compiled in; building with
+//! `--features telemetry` additionally pays the 1-in-32 sampled stage
+//! clocks, and that build is the one CI gates with
+//! `--max-telemetry-overhead` (absolute budget, no reference record
+//! needed — both numbers come from one process so machine speed cancels
+//! out). The measured sharded run's per-shard counter deltas and stage
+//! latency summaries land in the JSON as `shard_telemetry`.
 //!
 //! `--preset scale` (or an explicit `--churn-flows N`) additionally runs
 //! the **churn phase**: `traffic_gen::churn`'s elephant/mice workload —
@@ -96,14 +108,16 @@
 use bench::{
     arg_value, check_bytes_per_flow, check_memory_regression, check_microbatch_regression,
     check_quant_floor, check_quant_regression, check_scale_regression, check_shard_scaling_floor,
-    check_sharded_regression, check_speedup_regression, check_throughput_regression,
-    evaluate_extended_families, render_table, train_all, ExtendedFamilyRow, Preset,
-    ThroughputReference,
+    check_sharded_regression, check_speedup_regression, check_telemetry_overhead,
+    check_throughput_regression, evaluate_extended_families, render_table, train_all,
+    ExtendedFamilyRow, Preset, ThroughputReference,
 };
 use clap_core::{
-    FaultPlan, OverloadPolicy, QuantMode, ResidentMode, ShardConfig, ShardHealth, StreamConfig,
+    FaultPlan, OverloadPolicy, QuantMode, ResidentMode, ShardConfig, ShardHealth, Stage,
+    StageHists, StreamCells, StreamConfig,
 };
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use traffic_gen::ChurnConfig;
 
@@ -166,6 +180,14 @@ struct ThroughputReport {
     sharded_restarts: u64,
     /// Saturation windows entered under `degrade` overload handling.
     sharded_degraded_windows: u64,
+    /// 1 − (telemetry-attached ÷ detached) single-stream pps: the
+    /// measured fractional hot-path cost of the live telemetry plane.
+    /// Slightly negative under run-to-run noise. Gated by
+    /// `--max-telemetry-overhead`.
+    telemetry_overhead: f64,
+    /// Per-shard counter deltas and stage latency summaries of the
+    /// measured sharded run, straight from the telemetry hub.
+    shard_telemetry: Vec<ShardTelemetryRow>,
     baseline1_pps: f64,
     kitsune_pps: f64,
     /// Peak concurrently tracked flows of the churn phase; `0` when the
@@ -195,6 +217,41 @@ struct ThroughputReport {
     /// overlapping-fragment evasion) over mixed v4/v6/TCP/UDP traffic.
     extended_detection: Vec<ExtendedFamilyRow>,
 }
+
+/// One shard's slice of the measured sharded run: counter deltas across
+/// the timed pass only (the hub is lifetime-cumulative and the warm-up
+/// would otherwise double every number), plus per-stage latency
+/// summaries. The histograms cannot be delta'd — percentiles aren't
+/// subtractive — but warm-up and measured pass are the identical
+/// workload, so the cumulative distribution is the measured one. Stage
+/// rows carry zero samples unless built with `--features telemetry`.
+#[derive(Debug, Serialize)]
+struct ShardTelemetryRow {
+    shard: usize,
+    pushed: u64,
+    scored: u64,
+    dropped: u64,
+    quarantined: u64,
+    full_waits: u64,
+    stages: Vec<StageLatencyRow>,
+}
+
+/// One pipeline stage's latency summary (log2-bucket lower bounds).
+#[derive(Debug, Serialize)]
+struct StageLatencyRow {
+    stage: &'static str,
+    samples: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+/// Corpus replays per timed run of the telemetry-overhead pair.
+const TELEM_PASSES: usize = 1;
+/// Attached/detached pairs measured for the telemetry-overhead median.
+/// Many short pairs interleave the two sides at a finer grain than few
+/// long ones, so machine-wide throughput drift cancels inside each pair.
+const TELEM_PAIRS: usize = 21;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -307,7 +364,7 @@ fn main() {
     // the exact count assert.
     let lossless = plan.is_empty() && policy == OverloadPolicy::Block;
 
-    let (fused, quant, unfused, streaming, micro, b1, kitsune) = pool.install(|| {
+    let (fused, quant, unfused, streaming, micro, telem, b1, kitsune) = pool.install(|| {
         // Warm-up pass so one-time costs (page faults, lazy init) don't
         // skew the first measurement. Engine precisions are pinned
         // explicitly so a NEURAL_QUANT override in the environment can't
@@ -380,6 +437,81 @@ fn main() {
             streamed_packets, packets,
             "streaming must account for every packet"
         );
+
+        // The telemetry tax, measured rather than assumed: the same
+        // per-packet streaming run with live counter cells + stage
+        // histograms attached vs detached, interleaved as TELEM_PAIRS
+        // attached/detached pairs whose per-pair ratios feed a median.
+        // (Counters are always compiled; the `telemetry` feature adds
+        // the 1-in-32 sampled clock reads to the attached run.)
+        //
+        // Each timed run replays the corpus TELEM_PASSES times
+        // (timestamps shifted to keep the stream clock monotone).
+        let telem_stream: Vec<net_packet::Packet> = {
+            let span = stream.last().map_or(0.0, |p| p.timestamp) + 1.0;
+            (0..TELEM_PASSES)
+                .flat_map(|pass| {
+                    stream.iter().map(move |p| {
+                        let mut q = (*p).clone();
+                        q.timestamp += span * pass as f64;
+                        q
+                    })
+                })
+                .collect()
+        };
+        let run_telemetry = |attach: bool| {
+            let mut scorer = models.clap.stream_scorer_with(StreamConfig {
+                quant: QuantMode::Off,
+                microbatch: 0,
+                ..StreamConfig::default()
+            });
+            if attach {
+                scorer.attach_telemetry(Arc::new(StreamCells::default()));
+                scorer.attach_stages(Arc::new(StageHists::default()));
+            }
+            let t = Instant::now();
+            for p in &telem_stream {
+                scorer.push(p);
+            }
+            let closed = scorer.finish();
+            let elapsed = t.elapsed();
+            let n: usize = closed.iter().map(|c| c.packets).sum();
+            assert_eq!(
+                n,
+                telem_stream.len(),
+                "telemetry run must account for every packet"
+            );
+            elapsed
+        };
+        // warm-up
+        let _ = run_telemetry(true);
+        // The estimator is the median of per-pair ratios, not a ratio
+        // of per-side minima: the two runs of a pair are adjacent in
+        // time, so frequency/thermal drift cancels inside each pair,
+        // and the median discards pairs hit by interference — whereas
+        // per-side floors can come from different machine states and
+        // make the ratio a comparison across them. Which side runs
+        // first alternates per pair so cache/scheduler position bias
+        // cancels across the median too. Many short pairs beat few long
+        // ones for the same total budget: the shorter the pair window,
+        // the less machine-wide drift fits inside it.
+        let mut telem_off = Duration::MAX;
+        let mut telem_on = Duration::MAX;
+        let mut overheads = Vec::new();
+        for pair in 0..TELEM_PAIRS {
+            let (off, on) = if pair % 2 == 0 {
+                let off = run_telemetry(false);
+                (off, run_telemetry(true))
+            } else {
+                let on = run_telemetry(true);
+                (run_telemetry(false), on)
+            };
+            overheads.push(1.0 - off.as_secs_f64() / on.as_secs_f64());
+            telem_off = telem_off.min(off);
+            telem_on = telem_on.min(on);
+        }
+        overheads.sort_by(f64::total_cmp);
+        let telem = (telem_off, telem_on, overheads[overheads.len() / 2]);
 
         // Cross-flow micro-batched streaming vs a per-packet baseline at
         // the same precision (int8 under --quant int8). Byte-identical
@@ -460,7 +592,7 @@ fn main() {
                 b.score
             );
         }
-        (fused, quant, unfused, streaming, micro, b1, kitsune)
+        (fused, quant, unfused, streaming, micro, telem, b1, kitsune)
     });
 
     // The RSS-sharded streaming engine runs outside the pinned pool: its
@@ -490,9 +622,14 @@ fn main() {
     };
     // Warm-up: first run pays thread spawn + page faults.
     let warm = supervised_run();
+    // The hub is lifetime-cumulative; snapshotting around the timed run
+    // confines the reported counters to the measured pass.
+    let hub = sharded_scorer.telemetry();
+    let tel_base = hub.snapshot();
     let t = Instant::now();
     let run = supervised_run();
     let sharded = t.elapsed();
+    let tel_end = hub.snapshot();
     ShardHealth::check_accounting(&run.stats).expect("per-shard accounting invariant");
     let health = ShardHealth::of(&run.stats);
     if lossless {
@@ -513,6 +650,63 @@ fn main() {
         stalls
     );
     eprintln!("{}", bench::shard_stats_table(&run.stats));
+    let shard_telemetry: Vec<ShardTelemetryRow> = tel_end
+        .shards
+        .iter()
+        .zip(&tel_base.shards)
+        .enumerate()
+        .map(|(i, (e, b))| ShardTelemetryRow {
+            shard: i,
+            pushed: e.pushed - b.pushed,
+            scored: e.scored - b.scored,
+            dropped: e.dropped - b.dropped,
+            quarantined: e.quarantined - b.quarantined,
+            full_waits: e.full_waits - b.full_waits,
+            stages: Stage::ALL
+                .iter()
+                .map(|s| {
+                    let sum = e.stages[s.index()];
+                    StageLatencyRow {
+                        stage: s.name(),
+                        samples: sum.count,
+                        p50_ns: sum.p50_ns,
+                        p99_ns: sum.p99_ns,
+                        max_ns: sum.max_ns,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    // Stage histograms carry samples only under `--features telemetry`;
+    // the table appears exactly when there is something to show.
+    if shard_telemetry
+        .iter()
+        .any(|r| r.stages.iter().any(|s| s.samples > 0))
+    {
+        let rows: Vec<Vec<String>> = shard_telemetry
+            .iter()
+            .flat_map(|r| {
+                r.stages.iter().filter(|s| s.samples > 0).map(|s| {
+                    vec![
+                        r.shard.to_string(),
+                        s.stage.to_string(),
+                        s.samples.to_string(),
+                        s.p50_ns.to_string(),
+                        s.p99_ns.to_string(),
+                        s.max_ns.to_string(),
+                    ]
+                })
+            })
+            .collect();
+        println!("\n== Per-stage latency (sampled log2 histograms, bucket floors) ==");
+        println!(
+            "{}",
+            render_table(
+                &["Shard", "Stage", "Samples", "p50 (ns)", "p99 (ns)", "max (ns)"],
+                &rows
+            )
+        );
+    }
     if require_no_shed && health.shed() > 0 {
         eprintln!(
             "SHED GATE FAILED: sharded run dropped {} and quarantined {} packet(s) \
@@ -769,6 +963,19 @@ fn main() {
         }
     }
 
+    // overhead = 1 − pps_on/pps_off = 1 − elapsed_off/elapsed_on per
+    // pair; the reported number is the median pair (computed above).
+    let telemetry_overhead = telem.2;
+    let telem_pps = |d: Duration| (packets * TELEM_PASSES) as f64 / d.as_secs_f64();
+    println!(
+        "telemetry overhead: {:+.2}% (median of {} pairs; best attached {:.1} pkt/s, \
+         best detached {:.1} pkt/s)",
+        telemetry_overhead * 100.0,
+        TELEM_PAIRS,
+        telem_pps(telem.1),
+        telem_pps(telem.0)
+    );
+
     let report = ThroughputReport {
         preset: preset.name.clone(),
         threads,
@@ -794,6 +1001,8 @@ fn main() {
         sharded_quarantined: health.quarantined,
         sharded_restarts: health.restarts,
         sharded_degraded_windows: health.degraded_windows,
+        telemetry_overhead,
+        shard_telemetry,
         baseline1_pps: pps(b1),
         kitsune_pps: pps(kitsune),
         flows_peak: scale.as_ref().map_or(0, |(_, _, s, _)| s.flows_peak as u64),
@@ -1097,6 +1306,31 @@ fn main() {
             Ok(()) => eprintln!(
                 "quant floor gate OK: {:.2}x over f32 fused (floor {:.2}x)",
                 report.quant_speedup, floor
+            ),
+            Err(msg) => {
+                eprintln!("THROUGHPUT REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Optional absolute telemetry-tax ceiling — independent of any
+    // reference record: attached and detached runs come from one process
+    // back to back, so machine speed cancels out of the ratio and an
+    // absolute budget is meaningful everywhere.
+    if let Some(v) = arg_value(&args, "--max-telemetry-overhead") {
+        let budget: f64 = match v.parse() {
+            Ok(b) => b,
+            Err(_) => {
+                eprintln!("regression gate error: invalid --max-telemetry-overhead value `{v}`");
+                std::process::exit(1);
+            }
+        };
+        match check_telemetry_overhead(report.telemetry_overhead, budget) {
+            Ok(()) => eprintln!(
+                "telemetry overhead gate OK: {:+.2}% within the {:.0}% budget",
+                report.telemetry_overhead * 100.0,
+                budget * 100.0
             ),
             Err(msg) => {
                 eprintln!("THROUGHPUT REGRESSION: {msg}");

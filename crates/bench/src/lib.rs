@@ -483,6 +483,29 @@ pub fn check_bytes_per_flow(bytes_per_flow: f64, ceiling: f64) -> Result<(), Str
     Ok(())
 }
 
+/// Absolute ceiling on the telemetry tax (`exp_throughput
+/// --max-telemetry-overhead`): the fractional single-stream pps cost of
+/// running with live counters + stage clocks attached versus detached,
+/// measured back to back in one process (machine speed cancels out).
+/// Negative overhead (telemetry-on measuring faster, i.e. noise) passes;
+/// a non-finite measurement or a cost past the budget fails.
+pub fn check_telemetry_overhead(overhead: f64, budget: f64) -> Result<(), String> {
+    if !overhead.is_finite() {
+        return Err(format!(
+            "measured telemetry_overhead {overhead} is not a number"
+        ));
+    }
+    if overhead > budget {
+        return Err(format!(
+            "telemetry overhead {:.2}% exceeds the {:.2}% budget \
+             (the observability plane is taxing the hot path)",
+            overhead * 100.0,
+            budget * 100.0,
+        ));
+    }
+    Ok(())
+}
+
 /// Renders the deterministic per-flow verdict table of a streaming replay:
 /// one row per finalized flow, sorted by score (desc) with a total
 /// tie-break on flow identity. Shared by `exp_stream_pcap` and the sharded
@@ -1230,6 +1253,19 @@ mod tests {
         assert!(err.contains("exceeds the ceiling"), "unexpected: {err}");
         assert!(check_bytes_per_flow(f64::NAN, 700.0).is_err());
         assert!(check_bytes_per_flow(-5.0, 700.0).is_err());
+    }
+
+    #[test]
+    fn telemetry_overhead_gate() {
+        assert!(check_telemetry_overhead(0.01, 0.02).is_ok());
+        assert!(check_telemetry_overhead(0.02, 0.02).is_ok());
+        // Noise can make the telemetry-on run the faster one; a negative
+        // overhead is a pass, never an error.
+        assert!(check_telemetry_overhead(-0.05, 0.02).is_ok());
+        let err = check_telemetry_overhead(0.08, 0.02).unwrap_err();
+        assert!(err.contains("exceeds the"), "unexpected message: {err}");
+        assert!(check_telemetry_overhead(f64::NAN, 0.02).is_err());
+        assert!(check_telemetry_overhead(f64::INFINITY, 0.02).is_err());
     }
 
     #[test]

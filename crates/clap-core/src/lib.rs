@@ -69,5 +69,13 @@ pub use shard::{
     OverloadPolicy, ShardConfig, ShardStats, ShardVerdict, ShardedRun, ShardedStreamScorer,
 };
 pub use stream::{
-    CloseReason, ClosedFlow, EvictionMode, ResidentMode, StreamConfig, StreamScorer, StreamStats,
+    CloseReason, ClosedFlow, EvictionMode, FlowEntry, ResidentMode, StreamConfig, StreamScorer,
+    StreamStats,
+};
+// The live telemetry plane (re-exported so callers need not depend on
+// `clap-telemetry` directly): wait-free counters + coherent snapshots,
+// per-stage latency histograms, and the verdict/flow wire format.
+pub use clap_telemetry::{
+    self as telemetry, ShardSnapshot, Stage, StageHists, StageSummary, StreamCells, TelemetryHub,
+    TelemetrySnapshot,
 };

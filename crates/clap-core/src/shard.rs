@@ -125,13 +125,15 @@ pub mod fault;
 pub mod supervise;
 
 use crate::pipeline::Clap;
-use crate::stream::{ClosedFlow, StreamConfig, StreamScorer, StreamStats};
+use crate::stream::{ClosedFlow, FlowEntry, StreamConfig, StreamScorer, StreamStats};
+use clap_telemetry::hist::Stage;
+use clap_telemetry::{ShardCells, StageRecorder, TelemetryHub, WorkerCells};
 use fault::FaultPlan;
 use net_packet::{CanonicalKey, Packet};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
-use supervise::{Quarantined, ShardFailure, ShardFailureKind, ShardRunError, ShardTelemetry};
+use std::sync::Arc;
+use supervise::{Quarantined, ShardFailure, ShardFailureKind, ShardRunError};
 
 /// What the dispatcher does with a packet whose shard's ingest ring is
 /// full. See the module-level "Failure modes & overload policies"
@@ -219,6 +221,11 @@ pub struct ShardConfig {
     pub watchdog_limit: u64,
     /// Injected fault schedule (empty in production use).
     pub faults: FaultPlan,
+    /// Dump every shard's live flow table (conntrack-style
+    /// [`FlowEntry`] records, as of end of stream, before the final
+    /// drain) into [`ShardedRun::flows`]. Off by default: the dump is
+    /// O(live flows) per shard.
+    pub dump_flows: bool,
 }
 
 impl Default for ShardConfig {
@@ -234,6 +241,7 @@ impl Default for ShardConfig {
             overload: OverloadPolicy::Block,
             watchdog_limit: 1 << 26,
             faults: FaultPlan::none(),
+            dump_flows: false,
         }
     }
 }
@@ -269,8 +277,9 @@ pub struct ShardStats {
     /// quarantine, plus one if the end-of-stream flush panicked).
     pub restarts: u64,
     /// This shard's flow-table counters ([`StreamStats`]): peak live
-    /// flows, eviction breakdown by cause. Zeroed for a shard whose
-    /// worker died (its scorer went down with it).
+    /// flows, eviction breakdown by cause. The counters live in the
+    /// shared telemetry hub ([`ShardedStreamScorer::telemetry`]), so they
+    /// survive even a shard whose worker died mid-run.
     pub stream: StreamStats,
 }
 
@@ -300,6 +309,10 @@ pub struct ShardedRun {
     /// Every quarantined packet, sorted by arrival index (empty on a
     /// fault-free run).
     pub quarantined: Vec<Quarantined>,
+    /// Conntrack-style dump of every shard's live flow table as of end
+    /// of stream (before the final drain finalized them), sorted by
+    /// arrival index. Empty unless [`ShardConfig::dump_flows`] is set.
+    pub flows: Vec<FlowEntry>,
 }
 
 /// RSS-sharded scoring session: a hash-partitioned fan-out of
@@ -310,6 +323,10 @@ pub struct ShardedRun {
 pub struct ShardedStreamScorer<'a> {
     clap: &'a Clap,
     config: ShardConfig,
+    /// Per-shard telemetry cells, shared with every thread that wants a
+    /// live view: counters are lifetime-cumulative across runs of this
+    /// scorer; each run's [`ShardStats`] is the baseline-vs-end delta.
+    hub: Arc<TelemetryHub>,
 }
 
 impl Clap {
@@ -321,7 +338,12 @@ impl Clap {
 
     /// Builds a sharded streaming scorer with an explicit [`ShardConfig`].
     pub fn sharded_scorer_with(&self, config: ShardConfig) -> ShardedStreamScorer<'_> {
-        ShardedStreamScorer { clap: self, config }
+        let hub = Arc::new(TelemetryHub::new(config.shards.max(1)));
+        ShardedStreamScorer {
+            clap: self,
+            config,
+            hub,
+        }
     }
 }
 
@@ -345,7 +367,7 @@ enum PushOutcome {
 fn blocking_push<T>(
     ring: &spsc::Ring<T>,
     worker_finished: impl Fn() -> bool,
-    telemetry: &ShardTelemetry,
+    worker: &WorkerCells,
     watchdog_limit: u64,
     mut item: T,
 ) -> PushOutcome {
@@ -361,7 +383,7 @@ fn blocking_push<T>(
                 if worker_finished() {
                     return PushOutcome::WorkerDead;
                 }
-                let now = telemetry.heartbeat();
+                let now = worker.heartbeat();
                 if !stalled || now != beat {
                     stalled = true;
                     beat = now;
@@ -382,6 +404,14 @@ impl ShardedStreamScorer<'_> {
     /// The effective shard count (the configured value, floored at 1).
     pub fn shards(&self) -> usize {
         self.config.shards.max(1)
+    }
+
+    /// The scorer's live telemetry hub. Any thread holding the `Arc` can
+    /// take coherent [`TelemetryHub::snapshot`]s while a run is in
+    /// flight — counters are wait-free for the writers and
+    /// lifetime-cumulative across runs of this scorer.
+    pub fn telemetry(&self) -> Arc<TelemetryHub> {
+        Arc::clone(&self.hub)
     }
 
     /// Replays one interleaved packet stream through the sharded engine
@@ -432,10 +462,13 @@ impl ShardedStreamScorer<'_> {
                 .map(|(seq, p)| (seq as u64, fault::malform(p)))
                 .collect()
         };
-        let telemetry: Vec<ShardTelemetry> =
-            (0..shards).map(|_| ShardTelemetry::default()).collect();
         let queues: Vec<spsc::Ring<(u64, &Packet)>> =
             (0..shards).map(|_| spsc::Ring::new(capacity)).collect();
+        let hub = &self.hub;
+        // The hub is lifetime-cumulative; this run's ShardStats is the
+        // delta against the baseline taken before any worker starts.
+        let base = hub.snapshot();
+        let dump_flows = self.config.dump_flows;
 
         std::thread::scope(|s| {
             // Any unwind out of this closure — e.g. a panic inside the
@@ -452,15 +485,13 @@ impl ShardedStreamScorer<'_> {
                 .map(|(i, ring)| {
                     let stream_cfg = self.config.stream.clone();
                     let clap = self.clap;
-                    let tel = &telemetry[i];
-                    s.spawn(move || shard_worker(clap, stream_cfg, i, ring, tel, plan))
+                    let cells = hub.shard(i);
+                    s.spawn(move || {
+                        shard_worker(clap, stream_cfg, i, ring, cells, plan, dump_flows)
+                    })
                 })
                 .collect();
 
-            let mut pushed = vec![0u64; shards];
-            let mut dropped = vec![0u64; shards];
-            let mut full_waits = vec![0u64; shards];
-            let mut degraded_windows = vec![0u64; shards];
             let mut was_saturated = vec![false; shards];
             let mut degrade_seq: Vec<HashMap<CanonicalKey, u64>> =
                 (0..shards).map(|_| HashMap::new()).collect();
@@ -471,9 +502,10 @@ impl ShardedStreamScorer<'_> {
                 let seq = seq as u64;
                 let ck = CanonicalKey::of(orig);
                 let shard = ck.shard_of(shards);
-                pushed[shard] += 1;
+                let cells = hub.shard(shard);
+                cells.dispatch.dispatched_inc();
                 if dead[shard] {
-                    dropped[shard] += 1;
+                    cells.dispatch.shed();
                     continue;
                 }
                 let p: &Packet = mangled.get(&seq).map_or(*orig, |m| m);
@@ -483,7 +515,7 @@ impl ShardedStreamScorer<'_> {
                 let deliver = match policy {
                     OverloadPolicy::Block => {
                         if forced {
-                            full_waits[shard] += 1;
+                            cells.dispatch.full_wait();
                         }
                         true
                     }
@@ -500,7 +532,7 @@ impl ShardedStreamScorer<'_> {
                     OverloadPolicy::Degrade { keep_one_in } => {
                         let saturated = forced || queues[shard].is_full();
                         if saturated && !was_saturated[shard] {
-                            degraded_windows[shard] += 1;
+                            cells.dispatch.degraded_window();
                         }
                         was_saturated[shard] = saturated;
                         if saturated {
@@ -514,30 +546,30 @@ impl ShardedStreamScorer<'_> {
                     }
                 };
                 if !deliver {
-                    dropped[shard] += 1;
+                    cells.dispatch.shed();
                     continue;
                 }
                 match blocking_push(
                     &queues[shard],
                     || handles[shard].is_finished(),
-                    &telemetry[shard],
+                    &cells.worker,
                     watchdog_limit,
                     (seq, p),
                 ) {
                     PushOutcome::Delivered { stalled } => {
                         if stalled {
-                            full_waits[shard] += 1;
+                            cells.dispatch.full_wait();
                         }
                     }
                     PushOutcome::WorkerDead => {
                         // The join below records the Died failure with
                         // the actual panic message.
                         dead[shard] = true;
-                        dropped[shard] += 1;
+                        cells.dispatch.shed();
                     }
                     PushOutcome::Stuck { heartbeat } => {
                         dead[shard] = true;
-                        dropped[shard] += 1;
+                        cells.dispatch.shed();
                         failures.push(ShardFailure {
                             shard,
                             kind: ShardFailureKind::Stuck { heartbeat },
@@ -549,14 +581,13 @@ impl ShardedStreamScorer<'_> {
 
             let mut verdicts = Vec::new();
             let mut quarantined: Vec<Quarantined> = Vec::new();
-            let mut stats = Vec::with_capacity(shards);
+            let mut flows: Vec<FlowEntry> = Vec::new();
             for (shard, handle) in handles.into_iter().enumerate() {
-                let mut stream = StreamStats::default();
                 match handle.join() {
                     Ok(mut output) => {
                         verdicts.append(&mut output.verdicts);
                         quarantined.append(&mut output.quarantined);
-                        stream = output.stream;
+                        flows.append(&mut output.flows);
                     }
                     Err(payload) => {
                         failures.push(ShardFailure {
@@ -569,37 +600,65 @@ impl ShardedStreamScorer<'_> {
                         // the join above makes this thread the sole ring
                         // user, so count them as dropped to keep the
                         // accounting invariant exact.
+                        let mut leftovers = 0u64;
                         while queues[shard].try_pop().is_some() {
-                            dropped[shard] += 1;
+                            leftovers += 1;
                         }
+                        hub.shard(shard).dispatch.shed_many(leftovers);
                     }
                 }
-                let tel = &telemetry[shard];
-                stats.push(ShardStats {
-                    shard,
-                    pushed: pushed[shard],
-                    packets: tel.scored.load(Ordering::Relaxed),
-                    flows_closed: tel.flows_closed.load(Ordering::Relaxed),
-                    full_waits: full_waits[shard],
-                    dropped: dropped[shard] + tel.dropped.load(Ordering::Relaxed),
-                    degraded_windows: degraded_windows[shard],
-                    quarantined: tel.quarantined.load(Ordering::Relaxed),
-                    restarts: tel.restarts.load(Ordering::Relaxed),
-                    stream,
-                });
             }
+            // Every worker has joined and every leftover is accounted, so
+            // this cut has `dispatched == pushed` per shard; the delta
+            // against the run-start baseline is this run's stats.
+            let end = hub.snapshot();
+            let stats: Vec<ShardStats> = (0..shards)
+                .map(|shard| {
+                    let b = &base.shards[shard];
+                    let e = &end.shards[shard];
+                    ShardStats {
+                        shard,
+                        pushed: e.dispatched - b.dispatched,
+                        packets: e.scored - b.scored,
+                        flows_closed: e.flows_closed - b.flows_closed,
+                        full_waits: e.full_waits - b.full_waits,
+                        dropped: e.dropped - b.dropped,
+                        degraded_windows: e.degraded_windows - b.degraded_windows,
+                        quarantined: e.quarantined - b.quarantined,
+                        restarts: e.restarts - b.restarts,
+                        stream: StreamStats {
+                            // A high-water mark, not a rate: reported raw.
+                            flows_peak: e.flows_peak as usize,
+                            evicted_idle: e.evicted_idle - b.evicted_idle,
+                            evicted_capacity: e.evicted_capacity - b.evicted_capacity,
+                            closed_tcp: e.closed_tcp - b.closed_tcp,
+                            length_capped: e.length_capped - b.length_capped,
+                            drained: e.drained - b.drained,
+                            time_wait_expired: e.time_wait_expired - b.time_wait_expired,
+                        },
+                    }
+                })
+                .collect();
             // First-packet arrival indices are unique across flows (each
             // tags a distinct packet), so this order is total in
             // practice; the stable sort makes even a pathological tie
             // deterministic (tied verdicts share a tuple, hence a shard,
             // and keep that shard's emission order, which is itself a
             // pure function of the input).
+            let mut merge_rec = StageRecorder::new();
+            merge_rec.attach(Arc::clone(&hub.shard(0).stages));
+            let mut merge_clock = merge_rec.start();
             verdicts.sort_by_key(|v| v.arrival);
             quarantined.sort_by_key(|q| q.arrival);
+            flows.sort_by_key(|f| f.arrival);
+            if let Some(c) = merge_clock.as_mut() {
+                c.lap(Stage::Merge);
+            }
             let run = ShardedRun {
                 verdicts,
                 stats,
                 quarantined,
+                flows,
             };
             if failures.is_empty() {
                 Ok(run)
@@ -631,7 +690,9 @@ impl<T> Drop for CloseRings<'_, T> {
 struct WorkerOutput {
     verdicts: Vec<ShardVerdict>,
     quarantined: Vec<Quarantined>,
-    stream: StreamStats,
+    /// End-of-stream flow-table dump (empty unless
+    /// [`ShardConfig::dump_flows`]).
+    flows: Vec<FlowEntry>,
 }
 
 /// One shard's supervised consume loop: pop packets from the ring into
@@ -649,14 +710,21 @@ fn shard_worker<'p>(
     stream_cfg: StreamConfig,
     shard: usize,
     ring: &spsc::Ring<(u64, &'p Packet)>,
-    telemetry: &ShardTelemetry,
+    cells: &ShardCells,
     plan: &FaultPlan,
+    dump_flows: bool,
 ) -> WorkerOutput {
     let mut scorer = clap.stream_scorer_with(stream_cfg);
+    // Re-home the scorer's flow-table counters and stage clocks onto the
+    // shard's hub slot, so they are visible to mid-run snapshots and
+    // survive this worker if it dies.
+    scorer.attach_telemetry(Arc::clone(&cells.stream));
+    scorer.attach_stages(Arc::clone(&cells.stages));
+    let telemetry = &cells.worker;
     let mut out = WorkerOutput {
         verdicts: Vec::new(),
         quarantined: Vec::new(),
-        stream: StreamStats::default(),
+        flows: Vec::new(),
     };
 
     let consume =
@@ -683,9 +751,9 @@ fn shard_worker<'p>(
             }));
             match result {
                 Ok(_) => {
-                    ShardTelemetry::bump(&telemetry.scored);
+                    telemetry.scored();
                     for flow in scorer.drain_closed() {
-                        ShardTelemetry::bump(&telemetry.flows_closed);
+                        telemetry.flow_closed();
                         out.verdicts.push(ShardVerdict {
                             shard,
                             arrival: flow.arrival,
@@ -697,8 +765,7 @@ fn shard_worker<'p>(
                     // Quarantine: log the packet, throw away whatever state
                     // the unwinding push may have left half-mutated, keep
                     // going on a fresh flow table.
-                    ShardTelemetry::bump(&telemetry.quarantined);
-                    ShardTelemetry::bump(&telemetry.restarts);
+                    telemetry.quarantined();
                     out.quarantined.push(Quarantined {
                         shard,
                         arrival: seq,
@@ -708,7 +775,7 @@ fn shard_worker<'p>(
                     scorer.reset();
                 }
             }
-            telemetry.heartbeat.fetch_add(1, Ordering::Relaxed);
+            telemetry.beat();
         };
     // A panic escaping `consume` (a hard kill, or a bug in the
     // quarantine path itself) takes this thread down; account for the
@@ -718,7 +785,7 @@ fn shard_worker<'p>(
     let supervised =
         |scorer: &mut StreamScorer<'_>, out: &mut WorkerOutput, item: (u64, &'p Packet)| {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| consume(scorer, out, item))) {
-                ShardTelemetry::bump(&telemetry.dropped);
+                telemetry.dropped_in_flight();
                 resume_unwind(payload);
             }
         };
@@ -742,10 +809,16 @@ fn shard_worker<'p>(
         // flow, so there are no verdicts to drain here). Supervised like
         // a push — a flush panic rebuilds the flow table.
         if catch_unwind(AssertUnwindSafe(|| scorer.flush_pending())).is_err() {
-            ShardTelemetry::bump(&telemetry.restarts);
+            telemetry.restart();
             scorer.reset();
         }
         backoff.snooze();
+    }
+
+    // The conntrack-style dump captures the table as of end of stream —
+    // before the final drain below finalizes (and removes) every flow.
+    if dump_flows {
+        out.flows = scorer.flow_entries();
     }
 
     // End-of-stream flush, supervised like every per-packet push: a
@@ -753,7 +826,7 @@ fn shard_worker<'p>(
     match catch_unwind(AssertUnwindSafe(|| scorer.finish())) {
         Ok(flows) => {
             for flow in flows {
-                ShardTelemetry::bump(&telemetry.flows_closed);
+                telemetry.flow_closed();
                 out.verdicts.push(ShardVerdict {
                     shard,
                     arrival: flow.arrival,
@@ -761,9 +834,8 @@ fn shard_worker<'p>(
                 });
             }
         }
-        Err(_) => ShardTelemetry::bump(&telemetry.restarts),
+        Err(_) => telemetry.restart(),
     }
-    out.stream = scorer.stats();
     out
 }
 
@@ -1112,15 +1184,29 @@ mod tests {
             .collect()
     }
 
-    /// Asserts the exact accounting invariant on every shard of a run.
+    /// Asserts the exact accounting invariant on every shard of a run,
+    /// through the library-level checker
+    /// ([`TelemetrySnapshot::check_invariants`]) — the same one the
+    /// mid-run snapshot proptests apply while packets are still flowing.
     fn assert_accounting(stats: &[ShardStats]) {
-        for s in stats {
-            assert_eq!(
-                s.pushed,
-                s.packets + s.dropped + s.quarantined,
-                "accounting invariant broken on shard {}: {s:?}",
-                s.shard
-            );
+        use clap_telemetry::{ShardSnapshot, TelemetrySnapshot};
+        let snap = TelemetrySnapshot {
+            shards: stats
+                .iter()
+                .map(|s| ShardSnapshot {
+                    pushed: s.pushed,
+                    scored: s.packets,
+                    dropped: s.dropped,
+                    quarantined: s.quarantined,
+                    // At end of run every dispatched packet is accounted.
+                    dispatched: s.pushed,
+                    flows_peak: s.stream.flows_peak as u64,
+                    ..ShardSnapshot::default()
+                })
+                .collect(),
+        };
+        if let Err(e) = snap.check_invariants() {
+            panic!("accounting invariant broken: {e}\nstats: {stats:?}");
         }
     }
 

@@ -1,61 +1,21 @@
-//! Supervision primitives for the sharded engine: shared per-shard
-//! telemetry, quarantine records, and the typed error a degraded run
-//! returns instead of a bare panic.
+//! Supervision primitives for the sharded engine: quarantine records and
+//! the typed error a degraded run returns instead of a bare panic.
 //!
 //! The design constraint is that a shard's accounting must survive the
 //! shard's own death: if the worker thread panics outside the supervised
 //! per-packet region, its local counters die with it. So every counter a
-//! failure report needs lives in [`ShardTelemetry`] — plain relaxed
-//! atomics owned by the dispatcher and *shared by reference* into the
-//! scoped worker — and the worker updates them as it goes. Joining the
-//! (dead or alive) worker synchronizes those writes, after which the
+//! failure report needs lives in the shared telemetry hub
+//! (`clap_telemetry::TelemetryHub`, one `WorkerCells` region per shard)
+//! — owned by the [`ShardedStreamScorer`] and *shared by reference* into
+//! the scoped worker — and the worker updates it wait-free as it goes.
+//! Any thread can take a coherent snapshot mid-run; joining the (dead or
+//! alive) worker synchronizes the final values, after which the
 //! dispatcher reads them into the final [`ShardStats`].
 //!
 //! [`ShardStats`]: super::ShardStats
+//! [`ShardedStreamScorer`]: super::ShardedStreamScorer
 
 use net_packet::CanonicalKey;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Lock-free per-shard counters shared between one worker and the
-/// supervising dispatcher. All counters are monotone and updated with
-/// relaxed ordering — they are accounting and progress signals, not
-/// synchronization; the thread join at the end of a run is what makes
-/// the final values exact.
-#[derive(Debug, Default)]
-pub struct ShardTelemetry {
-    /// Packets fully scored (pushed through the shard's `StreamScorer`).
-    pub scored: AtomicU64,
-    /// Packets quarantined: the push panicked inside the supervised
-    /// region and the packet was logged + discarded.
-    pub quarantined: AtomicU64,
-    /// Times the shard's flow table was rebuilt from scratch (one per
-    /// quarantine, plus one if the end-of-stream flush itself panicked).
-    pub restarts: AtomicU64,
-    /// Flows this shard finalized (all close reasons).
-    pub flows_closed: AtomicU64,
-    /// Packets the *worker* lost to a hard death: the in-flight packet a
-    /// thread-killing panic took down with it. Merged into
-    /// `ShardStats::dropped` so the accounting invariant stays exact
-    /// even for dead shards.
-    pub dropped: AtomicU64,
-    /// Progress heartbeat, bumped once per consumed packet. The
-    /// dispatcher's watchdog distinguishes a *slow* shard (heartbeat
-    /// advances — never flagged) from a *stuck* one (ring full, heartbeat
-    /// frozen past the configured limit).
-    pub heartbeat: AtomicU64,
-}
-
-impl ShardTelemetry {
-    /// Current heartbeat reading (relaxed; a progress signal only).
-    pub fn heartbeat(&self) -> u64 {
-        self.heartbeat.load(Ordering::Relaxed)
-    }
-
-    /// Bumps a counter by one (relaxed).
-    pub(super) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-}
 
 /// One quarantined packet: a panic inside the supervised scoring region,
 /// logged with the flow identity and the packet's global arrival index.

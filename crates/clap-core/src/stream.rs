@@ -225,6 +225,8 @@ use crate::features::{FeatureExtractor, FeatureVector, NUM_PACKET};
 use crate::pipeline::Clap;
 use crate::profile::{ProfileBuilder, PROFILE_LEN};
 use crate::score::{score_errors, ScoredConnection};
+use clap_telemetry::hist::Stage;
+use clap_telemetry::{StageHists, StageRecorder, StreamCells};
 use net_packet::{CanonicalKey, Direction, Endpoint, FlowKey, Packet, TcpFlags};
 use neural::{
     dequantize_activations_into, quantize_activations, ActQuant, AeEngine, AeWorkspace,
@@ -409,6 +411,31 @@ pub struct StreamStats {
     pub time_wait_expired: u64,
 }
 
+/// Point-in-time view of one live flow-table entry — the conntrack-style
+/// introspection record behind [`StreamScorer::flow_entries`]. Everything
+/// here is a *current* value; the flow keeps scoring after the dump.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEntry {
+    /// The flow's oriented 5-tuple (client endpoint first).
+    pub key: FlowKey,
+    /// TCP connection state, `None` for non-TCP flows.
+    pub state: Option<TcpState>,
+    /// Whether the flow is in its TIME_WAIT linger window.
+    pub lingering: bool,
+    /// Packets scored so far (this incarnation).
+    pub packets: u64,
+    /// Wire bytes seen so far (this incarnation).
+    pub bytes: u64,
+    /// Seconds since the incarnation's first packet, on the stream clock.
+    pub age: f64,
+    /// Seconds since the flow's last packet, on the stream clock.
+    pub idle: f64,
+    /// Arrival tag of the incarnation's first packet.
+    pub arrival: u64,
+    /// The anomaly score the flow would close with right now.
+    pub score: f32,
+}
+
 /// Null handle / list terminator for the slab's intrusive links.
 const NIL: u32 = u32::MAX;
 /// "Not armed" marker for [`Slot::wheel_pos`].
@@ -459,8 +486,14 @@ struct Slot {
     pending: Option<Box<Vec<(u64, Packet)>>>,
     /// Arrival tag of this incarnation's first packet.
     arrival: u64,
+    /// Capture timestamp of this incarnation's first packet (flow age in
+    /// the introspection dump is measured from here).
+    first_seen: f64,
     last_seen: f64,
     packets: u32,
+    /// Total wire bytes seen by this incarnation (conntrack-style
+    /// accounting for the flow dump).
+    bytes: u64,
     /// Intrusive wheel list forward link; the free-list link when vacant.
     wheel_next: u32,
     wheel_prev: u32,
@@ -479,8 +512,10 @@ impl Slot {
             window_errors: Vec::new(),
             pending: None,
             arrival,
+            first_seen: now,
             last_seen: now,
             packets: 0,
+            bytes: 0,
             wheel_next: NIL,
             wheel_prev: NIL,
             wheel_pos: NIL_POS,
@@ -904,7 +939,14 @@ pub struct StreamScorer<'a> {
     probe_cursor: u32,
     /// Flows finalized since the last [`drain_closed`](Self::drain_closed).
     closed: Vec<ClosedFlow>,
-    stats: StreamStats,
+    /// Flow-table counters, published through wait-free telemetry cells so
+    /// any thread can snapshot them mid-run (see
+    /// [`attach_telemetry`](Self::attach_telemetry)). A scorer built
+    /// standalone owns a private set.
+    cells: std::sync::Arc<StreamCells>,
+    /// Per-stage latency clocks (inert unless a [`StageHists`] sink is
+    /// attached *and* the `telemetry` feature is on).
+    stages: StageRecorder,
     // --- shared scratch (flow-independent) ---
     gru_scratch: GruStepScratch,
     ae_ws: AeWorkspace,
@@ -963,7 +1005,8 @@ impl Clap {
             wheel: Wheel::new(granularity),
             probe_cursor: 0,
             closed: Vec::new(),
-            stats: StreamStats::default(),
+            cells: std::sync::Arc::new(StreamCells::default()),
+            stages: StageRecorder::new(),
             gru_scratch: GruStepScratch::new(),
             ae_ws: AeWorkspace::new(),
             fv: FeatureVector {
@@ -1070,6 +1113,8 @@ impl StreamScorer<'_> {
                     self.slab[h as usize].pending = Some(Box::new(Vec::with_capacity(1)));
                 }
                 self.flows.insert(ck, h);
+                self.cells
+                    .flow_opened(self.flows.len() as u64, self.slab.len() as u64);
                 h
             }
         };
@@ -1198,8 +1243,10 @@ impl StreamScorer<'_> {
             row,
             h_scratch,
             code_scratch,
+            stages,
             ..
         } = self;
+        let mut clock = stages.sample();
         let stack = builder.stack;
         let hidden = gru.hidden_size();
         let ring_rows = stack - 1;
@@ -1215,6 +1262,7 @@ impl StreamScorer<'_> {
         slot.extractor.push_into(p, dir, fv);
         let t = slot.packets as usize;
         slot.packets += 1;
+        slot.bytes += p.wire_len() as u64;
         let packets = t + 1;
 
         // Packet `t`'s single-packet context profile, built in scorer
@@ -1222,6 +1270,9 @@ impl StreamScorer<'_> {
         row.resize(PROFILE_LEN, 0.0);
         let (feat, gates) = row.split_at_mut(NUM_PACKET);
         clap.ranges.write_packet_features(fv, feat);
+        if let Some(c) = clock.as_mut() {
+            c.lap(Stage::Extract);
+        }
         let (z, r) = gates.split_at_mut(hidden);
         match resident {
             ResidentArena::F32 { h, .. } => {
@@ -1240,6 +1291,9 @@ impl StreamScorer<'_> {
                 hq[hi] = quantize_activations(h_scratch, code_scratch);
                 h[hi * hidden..(hi + 1) * hidden].copy_from_slice(code_scratch);
             }
+        }
+        if let Some(c) = clock.as_mut() {
+            c.lap(Stage::Gru);
         }
 
         // A full stack of profiles completes one sliding window: the
@@ -1262,6 +1316,9 @@ impl StreamScorer<'_> {
             let err = err_scratch[0];
             slab[hi].window_errors.push(err);
             emitted = Some(err);
+            if let Some(c) = clock.as_mut() {
+                c.lap(Stage::AeWindow);
+            }
         }
         if ring_rows > 0 {
             resident.store_ring_row(hi * ring_rows + t % ring_rows, row, code_scratch);
@@ -1284,8 +1341,10 @@ impl StreamScorer<'_> {
             slab,
             fv,
             mb,
+            stages,
             ..
         } = self;
+        let mut clock = stages.sample();
         let stack = builder.stack;
 
         let slot = &mut slab[hi];
@@ -1297,6 +1356,7 @@ impl StreamScorer<'_> {
         slot.extractor.push_into(p, dir, fv);
         let t = slot.packets as usize;
         slot.packets += 1;
+        slot.bytes += p.wire_len() as u64;
         let round = if slot.flags & FLAG_PENDING != 0 {
             mb.items.iter().filter(|it| it.handle == hi as u32).count() as u32
         } else {
@@ -1316,6 +1376,9 @@ impl StreamScorer<'_> {
             round,
             window: t + 1 >= stack,
         });
+        if let Some(c) = clock.as_mut() {
+            c.lap(Stage::Extract);
+        }
     }
 
     /// Scores every pending micro-batched item in chain rounds: round
@@ -1342,8 +1405,12 @@ impl StreamScorer<'_> {
             err_scratch,
             code_scratch,
             mb,
+            stages,
             ..
         } = self;
+        // Batched work amortizes across flows, so time the whole flush
+        // (per-stage) rather than sampling individual packets.
+        let mut clock = stages.start();
         let stack = builder.stack;
         let hidden = gru.hidden_size();
         let ring_rows = stack - 1;
@@ -1449,6 +1516,9 @@ impl StreamScorer<'_> {
             remaining -= b;
             round += 1;
         }
+        if let Some(c) = clock.as_mut() {
+            c.lap(Stage::Gru);
+        }
 
         err_scratch.clear();
         if windows.rows > 0 {
@@ -1458,6 +1528,9 @@ impl StreamScorer<'_> {
         // (a flow's windows sit in consecutive rounds).
         for (k, &h) in win_flows.iter().enumerate() {
             slab[h as usize].window_errors.push(err_scratch[k]);
+        }
+        if let Some(c) = clock.as_mut() {
+            c.lap(Stage::AeWindow);
         }
         for item in items.iter() {
             slab[item.handle as usize].flags &= !FLAG_PENDING;
@@ -1487,14 +1560,82 @@ impl StreamScorer<'_> {
         self.flows.len()
     }
 
+    /// Dumps every live flow-table entry (conntrack-style list), ordered
+    /// by arrival tag — a stable, stream-deterministic order. O(live
+    /// flows); meant for operator introspection, not the hot path.
+    pub fn flow_entries(&self) -> Vec<FlowEntry> {
+        let mut out: Vec<FlowEntry> = self
+            .flows
+            .values()
+            .map(|&h| self.flow_entry_at(h))
+            .collect();
+        out.sort_by_key(|e| e.arrival);
+        out
+    }
+
+    /// Looks up one live flow by its canonical (orientation-invariant)
+    /// key — conntrack's `get` analogue.
+    pub fn flow_entry(&self, key: &CanonicalKey) -> Option<FlowEntry> {
+        self.flows.get(key).map(|&h| self.flow_entry_at(h))
+    }
+
+    fn flow_entry_at(&self, h: u32) -> FlowEntry {
+        let slot = &self.slab[h as usize];
+        let (_, score) = score_errors(&slot.window_errors, self.clap.config.score_window);
+        FlowEntry {
+            key: slot.key,
+            state: slot.tracker.tcp_state(),
+            lingering: slot.lingering(),
+            packets: slot.packets as u64,
+            bytes: slot.bytes,
+            age: (self.clock - slot.first_seen).max(0.0),
+            idle: (self.clock - slot.last_seen).max(0.0),
+            arrival: slot.arrival,
+            score,
+        }
+    }
+
     /// The engine precision this scorer runs at.
     pub fn quant_mode(&self) -> QuantMode {
         self.gru.mode()
     }
 
-    /// Lifetime flow-table counters.
+    /// Lifetime flow-table counters (a point-in-time read of the
+    /// telemetry cells — see [`telemetry`](Self::telemetry)).
     pub fn stats(&self) -> StreamStats {
-        self.stats
+        let c = self.cells.read();
+        StreamStats {
+            flows_peak: c.flows_peak as usize,
+            evicted_idle: c.evicted_idle,
+            evicted_capacity: c.evicted_capacity,
+            closed_tcp: c.closed_tcp,
+            length_capped: c.length_capped,
+            drained: c.drained,
+            time_wait_expired: c.time_wait_expired,
+        }
+    }
+
+    /// The scorer's live flow-table telemetry cells: any thread holding
+    /// the `Arc` can take coherent counter reads while packets flow.
+    pub fn telemetry(&self) -> std::sync::Arc<StreamCells> {
+        std::sync::Arc::clone(&self.cells)
+    }
+
+    /// Re-homes the flow-table counters onto caller-owned cells (the
+    /// sharded engine points every worker's scorer at its hub slot).
+    /// Counters already accumulated on the old cells are left behind;
+    /// attach before pushing packets. The current live-flow gauge is
+    /// re-published so the new cells never under-report.
+    pub fn attach_telemetry(&mut self, cells: std::sync::Arc<StreamCells>) {
+        self.cells = cells;
+        self.cells
+            .flow_opened(self.flows.len() as u64, self.slab.len() as u64);
+    }
+
+    /// Routes per-stage latency samples into caller-owned histograms
+    /// (no-op timing-wise unless the `telemetry` feature is on).
+    pub fn attach_stages(&mut self, hists: std::sync::Arc<StageHists>) {
+        self.stages.attach(hists);
     }
 
     /// Estimated heap footprint of the flow table: handle map, slab,
@@ -1573,6 +1714,7 @@ impl StreamScorer<'_> {
         // like the stats).
         self.mb.items.clear();
         self.mb.age = 0;
+        self.cells.live_sync(0);
     }
 
     /// Allocates a slab slot (recycling the free list first) for a new
@@ -1607,7 +1749,9 @@ impl StreamScorer<'_> {
             self.resident.push_slot(hidden, ring_rows);
             h
         };
-        self.stats.flows_peak = self.stats.flows_peak.max(self.slab.len());
+        // The peak gauge advances in `ingest` (flow_opened), after the
+        // new flow is mapped — slab growth and the map insert land in one
+        // telemetry write section.
         h
     }
 
@@ -1670,7 +1814,7 @@ impl StreamScorer<'_> {
                     };
                     if slot.last_seen < self.clock - timeout {
                         if lingering {
-                            self.stats.time_wait_expired += 1;
+                            self.cells.time_wait_expired();
                             self.close_flow(h, CloseReason::TcpClose);
                         } else {
                             self.close_flow(h, CloseReason::IdleTimeout);
@@ -1695,7 +1839,7 @@ impl StreamScorer<'_> {
                     };
                     if slot.last_seen < self.clock - timeout {
                         if lingering {
-                            self.stats.time_wait_expired += 1;
+                            self.cells.time_wait_expired();
                             self.close_flow(hi as u32, CloseReason::TcpClose);
                         } else {
                             self.close_flow(hi as u32, CloseReason::IdleTimeout);
@@ -1800,17 +1944,18 @@ impl StreamScorer<'_> {
             scored,
         });
         match reason {
-            CloseReason::TcpClose => self.stats.closed_tcp += 1,
-            CloseReason::IdleTimeout => self.stats.evicted_idle += 1,
-            CloseReason::CapacityEvicted => self.stats.evicted_capacity += 1,
-            CloseReason::LengthCapped => self.stats.length_capped += 1,
-            CloseReason::Drained => self.stats.drained += 1,
+            CloseReason::TcpClose => self.cells.closed_tcp(),
+            CloseReason::IdleTimeout => self.cells.evicted_idle(),
+            CloseReason::CapacityEvicted => self.cells.evicted_capacity(),
+            CloseReason::LengthCapped => self.cells.length_capped(),
+            CloseReason::Drained => self.cells.drained(),
         }
         // CanonicalKey is orientation-invariant, so the re-oriented key
         // still maps back to the entry `ingest` created.
         let ck = CanonicalKey::of_key(&self.slab[hi].key);
         let removed = self.flows.remove(&ck);
         debug_assert_eq!(removed, Some(h), "map entry must match the slot");
+        self.cells.live_sync(self.flows.len() as u64);
         self.wheel.unlink(&mut self.slab, h);
         self.free_slot(h);
     }

@@ -14,7 +14,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use clap_core::{Clap, ClapConfig, EvictionMode, QuantMode, ResidentMode, StreamConfig};
+use clap_core::{
+    Clap, ClapConfig, EvictionMode, QuantMode, ResidentMode, StageHists, StreamCells, StreamConfig,
+};
 use traffic_gen::ChurnConfig;
 
 /// Counts every heap acquisition (alloc, alloc_zeroed, realloc).
@@ -71,6 +73,12 @@ fn steady_state_pushes_do_not_allocate_per_packet() {
         idle_timeout: 30.0,
         ..StreamConfig::default()
     });
+    // Telemetry on: counter cells and stage histograms attached up front
+    // must keep the measured hot path allocation-free (the cells are
+    // fixed-size atomics; a latency sample records into preallocated
+    // buckets).
+    scorer.attach_telemetry(std::sync::Arc::new(StreamCells::default()));
+    scorer.attach_stages(std::sync::Arc::new(StageHists::default()));
 
     // Warmup: reach the churn plateau so the slab, resident arena, key
     // map, wheel lists and every scratch buffer are at their steady size.

@@ -1,0 +1,801 @@
+//! The introspection wire format: a compact length-prefixed binary
+//! framing for verdict records, telemetry snapshots and conntrack-style
+//! flow-table dumps, written to any `io::Write` sink and read back with
+//! zero-copy accessor views (the same hand-rolled idiom as
+//! `net-packet::wire` — fixed offsets, big-endian, no codegen).
+//!
+//! # Frame layout
+//!
+//! Every frame is an 8-byte header followed by `payload_len` bytes:
+//!
+//! | offset | size | field        | value                                 |
+//! |--------|------|--------------|---------------------------------------|
+//! | 0      | 1    | version      | [`WIRE_VERSION`] (= 1)                |
+//! | 1      | 1    | kind         | 1 verdict, 2 snapshot, 3 flow         |
+//! | 2      | 2    | reserved     | 0 (readers reject anything else)      |
+//! | 4      | 4    | payload_len  | big-endian payload byte count         |
+//!
+//! # Verdict payload ([`VERDICT_LEN`] = 61 bytes)
+//!
+//! | offset | size | field       | encoding                               |
+//! |--------|------|-------------|----------------------------------------|
+//! | 0      | 1    | v6          | 0 = IPv4 (first 4 addr bytes), 1 = IPv6 |
+//! | 1      | 1    | proto       | IP protocol number                     |
+//! | 2      | 16   | client addr | network order, zero-padded for v4      |
+//! | 18     | 2    | client port | big-endian                             |
+//! | 20     | 16   | server addr |                                        |
+//! | 36     | 2    | server port |                                        |
+//! | 38     | 8    | arrival     | first-packet arrival tag               |
+//! | 46     | 4    | packets     | packets in the flow incarnation        |
+//! | 50     | 1    | reason      | `CloseReason` discriminant             |
+//! | 51     | 2    | shard       | scoring shard index                    |
+//! | 53     | 4    | score       | f32 bits, big-endian (bit-exact)       |
+//! | 57     | 4    | peak_packet | packet index of the peak window        |
+//!
+//! # Flow payload ([`FLOW_LEN`] = 84 bytes)
+//!
+//! | offset | size | field     | encoding                                 |
+//! |--------|------|-----------|------------------------------------------|
+//! | 0..38  |      | identity  | same v6/proto/endpoints block as above   |
+//! | 38     | 1    | state     | `TcpState` discriminant, 255 = non-TCP   |
+//! | 39     | 1    | lingering | 1 = TIME_WAIT linger                     |
+//! | 40     | 8    | age       | f64 bits: seconds since first packet     |
+//! | 48     | 8    | idle      | f64 bits: seconds since last packet      |
+//! | 56     | 8    | packets   |                                          |
+//! | 64     | 8    | bytes     | wire bytes ingested                      |
+//! | 72     | 4    | score     | current anomaly score (f32 bits)         |
+//! | 76     | 8    | arrival   | first-packet arrival tag                 |
+//!
+//! # Snapshot payload (2 + shards × [`SHARD_BLOCK_LEN`] bytes)
+//!
+//! A big-endian u16 shard count, then per shard: the 19
+//! [`ShardSnapshot`] counters in declaration order (8 bytes each), then
+//! [`STAGES`] stage blocks of `count, sum_ns, p50_ns, p99_ns, max_ns`
+//! (8 bytes each). Decoding reproduces the exact [`TelemetrySnapshot`].
+
+use crate::hist::{StageSummary, STAGES};
+use crate::{ShardSnapshot, TelemetrySnapshot};
+use std::io::{self, Write};
+
+/// Format version stamped into (and required of) every frame header.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Verdict payload length in bytes.
+pub const VERDICT_LEN: usize = 61;
+
+/// Flow-dump payload length in bytes.
+pub const FLOW_LEN: usize = 84;
+
+/// Counters per shard in a snapshot payload.
+const SHARD_COUNTERS: usize = 19;
+
+/// u64 fields per stage block in a snapshot payload.
+const STAGE_FIELDS: usize = 5;
+
+/// Per-shard block length inside a snapshot payload.
+pub const SHARD_BLOCK_LEN: usize = (SHARD_COUNTERS + STAGES * STAGE_FIELDS) * 8;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    Verdict = 1,
+    Snapshot = 2,
+    Flow = 3,
+}
+
+impl FrameKind {
+    fn from_u8(k: u8) -> Option<FrameKind> {
+        match k {
+            1 => Some(FrameKind::Verdict),
+            2 => Some(FrameKind::Snapshot),
+            3 => Some(FrameKind::Flow),
+            _ => None,
+        }
+    }
+}
+
+/// Typed decode failure. Reads never panic on foreign bytes: every
+/// malformed input maps to one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the header or the declared payload requires.
+    Truncated { need: usize, have: usize },
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Reserved header bytes were not zero.
+    BadReserved(u16),
+    /// Payload length inconsistent with the frame kind.
+    BadLength { kind: FrameKind, len: usize },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadReserved(r) => write!(f, "reserved header bytes nonzero ({r:#06x})"),
+            WireError::BadLength { kind, len } => {
+                write!(f, "bad payload length {len} for {kind:?} frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One exported verdict (a finalized flow), decoupled from the engine's
+/// in-memory types so the wire crate stays dependency-free: addresses
+/// are raw 16-byte network-order blocks (IPv4 in the first 4 bytes,
+/// `v6 == false`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictRecord {
+    pub v6: bool,
+    pub proto: u8,
+    pub client_addr: [u8; 16],
+    pub client_port: u16,
+    pub server_addr: [u8; 16],
+    pub server_port: u16,
+    /// Arrival tag of the flow incarnation's first packet.
+    pub arrival: u64,
+    /// Packets scored in this incarnation.
+    pub packets: u32,
+    /// `CloseReason` discriminant.
+    pub reason: u8,
+    /// Shard that scored the flow.
+    pub shard: u16,
+    /// Final anomaly score (bit-exact across the wire).
+    pub score: f32,
+    /// Packet index of the peak-scoring window.
+    pub peak_packet: u32,
+}
+
+/// One live flow-table entry, conntrack style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRecord {
+    pub v6: bool,
+    pub proto: u8,
+    pub client_addr: [u8; 16],
+    pub client_port: u16,
+    pub server_addr: [u8; 16],
+    pub server_port: u16,
+    /// `TcpState` discriminant; 255 for a non-TCP flow.
+    pub state: u8,
+    /// TIME_WAIT linger (verdict already emitted, timer running).
+    pub lingering: bool,
+    /// Seconds since the flow's first packet (stream clock).
+    pub age: f64,
+    /// Seconds since the flow's last packet.
+    pub idle: f64,
+    pub packets: u64,
+    /// Wire bytes ingested.
+    pub bytes: u64,
+    /// Current anomaly score over the windows seen so far.
+    pub score: f32,
+    /// Arrival tag of the first packet.
+    pub arrival: u64,
+}
+
+#[inline]
+fn be16(b: &[u8], o: usize) -> u16 {
+    u16::from_be_bytes([b[o], b[o + 1]])
+}
+
+#[inline]
+fn be32(b: &[u8], o: usize) -> u32 {
+    u32::from_be_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
+}
+
+#[inline]
+fn be64(b: &[u8], o: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&b[o..o + 8]);
+    u64::from_be_bytes(raw)
+}
+
+#[inline]
+fn put16(b: &mut [u8], o: usize, v: u16) {
+    b[o..o + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+#[inline]
+fn put32(b: &mut [u8], o: usize, v: u32) {
+    b[o..o + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+#[inline]
+fn put64(b: &mut [u8], o: usize, v: u64) {
+    b[o..o + 8].copy_from_slice(&v.to_be_bytes());
+}
+
+fn put_header(buf: &mut [u8], kind: FrameKind, payload_len: usize) {
+    buf[0] = WIRE_VERSION;
+    buf[1] = kind as u8;
+    put16(buf, 2, 0);
+    put32(buf, 4, payload_len as u32);
+}
+
+/// Encodes the shared 38-byte identity block (offsets 0..38).
+fn put_identity(
+    b: &mut [u8],
+    v6: bool,
+    proto: u8,
+    client_addr: &[u8; 16],
+    client_port: u16,
+    server_addr: &[u8; 16],
+    server_port: u16,
+) {
+    b[0] = v6 as u8;
+    b[1] = proto;
+    b[2..18].copy_from_slice(client_addr);
+    put16(b, 18, client_port);
+    b[20..36].copy_from_slice(server_addr);
+    put16(b, 36, server_port);
+}
+
+/// Writes one verdict frame.
+pub fn write_verdict<W: Write>(w: &mut W, r: &VerdictRecord) -> io::Result<()> {
+    let mut buf = [0u8; HEADER_LEN + VERDICT_LEN];
+    put_header(&mut buf, FrameKind::Verdict, VERDICT_LEN);
+    let p = &mut buf[HEADER_LEN..];
+    put_identity(
+        p,
+        r.v6,
+        r.proto,
+        &r.client_addr,
+        r.client_port,
+        &r.server_addr,
+        r.server_port,
+    );
+    put64(p, 38, r.arrival);
+    put32(p, 46, r.packets);
+    p[50] = r.reason;
+    put16(p, 51, r.shard);
+    put32(p, 53, r.score.to_bits());
+    put32(p, 57, r.peak_packet);
+    w.write_all(&buf)
+}
+
+/// Writes one flow-dump frame.
+pub fn write_flow<W: Write>(w: &mut W, r: &FlowRecord) -> io::Result<()> {
+    let mut buf = [0u8; HEADER_LEN + FLOW_LEN];
+    put_header(&mut buf, FrameKind::Flow, FLOW_LEN);
+    let p = &mut buf[HEADER_LEN..];
+    put_identity(
+        p,
+        r.v6,
+        r.proto,
+        &r.client_addr,
+        r.client_port,
+        &r.server_addr,
+        r.server_port,
+    );
+    p[38] = r.state;
+    p[39] = r.lingering as u8;
+    put64(p, 40, r.age.to_bits());
+    put64(p, 48, r.idle.to_bits());
+    put64(p, 56, r.packets);
+    put64(p, 64, r.bytes);
+    put32(p, 72, r.score.to_bits());
+    put64(p, 76, r.arrival);
+    w.write_all(&buf)
+}
+
+/// Writes one snapshot frame covering every shard.
+pub fn write_snapshot<W: Write>(w: &mut W, snap: &TelemetrySnapshot) -> io::Result<()> {
+    let payload_len = 2 + snap.shards.len() * SHARD_BLOCK_LEN;
+    let mut buf = vec![0u8; HEADER_LEN + payload_len];
+    put_header(&mut buf, FrameKind::Snapshot, payload_len);
+    put16(&mut buf, HEADER_LEN, snap.shards.len() as u16);
+    let mut o = HEADER_LEN + 2;
+    for s in &snap.shards {
+        for v in shard_counter_values(s) {
+            put64(&mut buf, o, v);
+            o += 8;
+        }
+        for st in &s.stages {
+            for v in [st.count, st.sum_ns, st.p50_ns, st.p99_ns, st.max_ns] {
+                put64(&mut buf, o, v);
+                o += 8;
+            }
+        }
+    }
+    debug_assert_eq!(o, buf.len());
+    w.write_all(&buf)
+}
+
+/// The 19 snapshot counters in wire order (declaration order of
+/// [`ShardSnapshot`], gauges included).
+fn shard_counter_values(s: &ShardSnapshot) -> [u64; SHARD_COUNTERS] {
+    [
+        s.pushed,
+        s.scored,
+        s.dropped,
+        s.quarantined,
+        s.dispatched,
+        s.in_flight,
+        s.restarts,
+        s.flows_closed,
+        s.full_waits,
+        s.degraded_windows,
+        s.heartbeat,
+        s.live_flows,
+        s.flows_peak,
+        s.evicted_idle,
+        s.evicted_capacity,
+        s.closed_tcp,
+        s.length_capped,
+        s.drained,
+        s.time_wait_expired,
+    ]
+}
+
+/// A zero-copy view of one frame: header validated, payload borrowed
+/// from the input buffer (no bytes copied until a record is
+/// materialized).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    kind: FrameKind,
+    payload: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Parses one frame from the front of `buf`, returning the view and
+    /// the remaining bytes.
+    pub fn parse(buf: &'a [u8]) -> Result<(FrameView<'a>, &'a [u8]), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                need: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        if buf[0] != WIRE_VERSION {
+            return Err(WireError::BadVersion(buf[0]));
+        }
+        let kind = FrameKind::from_u8(buf[1]).ok_or(WireError::BadKind(buf[1]))?;
+        let reserved = be16(buf, 2);
+        if reserved != 0 {
+            return Err(WireError::BadReserved(reserved));
+        }
+        let len = be32(buf, 4) as usize;
+        if buf.len() < HEADER_LEN + len {
+            return Err(WireError::Truncated {
+                need: HEADER_LEN + len,
+                have: buf.len(),
+            });
+        }
+        let ok_len = match kind {
+            FrameKind::Verdict => len == VERDICT_LEN,
+            FrameKind::Flow => len == FLOW_LEN,
+            FrameKind::Snapshot => len >= 2 && (len - 2).is_multiple_of(SHARD_BLOCK_LEN),
+        };
+        if !ok_len {
+            return Err(WireError::BadLength { kind, len });
+        }
+        let view = FrameView {
+            kind,
+            payload: &buf[HEADER_LEN..HEADER_LEN + len],
+        };
+        Ok((view, &buf[HEADER_LEN + len..]))
+    }
+
+    /// The frame kind.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// The raw payload bytes.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Zero-copy verdict accessors (frame must be a verdict).
+    pub fn verdict(&self) -> Result<VerdictView<'a>, WireError> {
+        if self.kind != FrameKind::Verdict {
+            return Err(WireError::BadKind(self.kind as u8));
+        }
+        Ok(VerdictView(self.payload))
+    }
+
+    /// Zero-copy flow accessors (frame must be a flow dump).
+    pub fn flow(&self) -> Result<FlowView<'a>, WireError> {
+        if self.kind != FrameKind::Flow {
+            return Err(WireError::BadKind(self.kind as u8));
+        }
+        Ok(FlowView(self.payload))
+    }
+
+    /// Decodes a snapshot frame back into a [`TelemetrySnapshot`].
+    pub fn snapshot(&self) -> Result<TelemetrySnapshot, WireError> {
+        if self.kind != FrameKind::Snapshot {
+            return Err(WireError::BadKind(self.kind as u8));
+        }
+        let p = self.payload;
+        let declared = be16(p, 0) as usize;
+        let fits = (p.len() - 2) / SHARD_BLOCK_LEN;
+        if declared != fits {
+            return Err(WireError::BadLength {
+                kind: FrameKind::Snapshot,
+                len: p.len(),
+            });
+        }
+        let mut shards = Vec::with_capacity(declared);
+        let mut o = 2;
+        for _ in 0..declared {
+            let mut c = [0u64; SHARD_COUNTERS];
+            for v in c.iter_mut() {
+                *v = be64(p, o);
+                o += 8;
+            }
+            let stages = std::array::from_fn(|_| {
+                let st = StageSummary {
+                    count: be64(p, o),
+                    sum_ns: be64(p, o + 8),
+                    p50_ns: be64(p, o + 16),
+                    p99_ns: be64(p, o + 24),
+                    max_ns: be64(p, o + 32),
+                };
+                o += STAGE_FIELDS * 8;
+                st
+            });
+            shards.push(ShardSnapshot {
+                pushed: c[0],
+                scored: c[1],
+                dropped: c[2],
+                quarantined: c[3],
+                dispatched: c[4],
+                in_flight: c[5],
+                restarts: c[6],
+                flows_closed: c[7],
+                full_waits: c[8],
+                degraded_windows: c[9],
+                heartbeat: c[10],
+                live_flows: c[11],
+                flows_peak: c[12],
+                evicted_idle: c[13],
+                evicted_capacity: c[14],
+                closed_tcp: c[15],
+                length_capped: c[16],
+                drained: c[17],
+                time_wait_expired: c[18],
+                stages,
+            });
+        }
+        Ok(TelemetrySnapshot { shards })
+    }
+}
+
+/// Parses a whole buffer of concatenated frames.
+pub fn read_frames(buf: &[u8]) -> Result<Vec<FrameView<'_>>, WireError> {
+    let mut rest = buf;
+    let mut frames = Vec::new();
+    while !rest.is_empty() {
+        let (frame, tail) = FrameView::parse(rest)?;
+        frames.push(frame);
+        rest = tail;
+    }
+    Ok(frames)
+}
+
+macro_rules! identity_accessors {
+    () => {
+        /// IPv6 flag (false: IPv4 in the first 4 address bytes).
+        pub fn v6(&self) -> bool {
+            self.0[0] != 0
+        }
+
+        /// IP protocol number.
+        pub fn proto(&self) -> u8 {
+            self.0[1]
+        }
+
+        /// Client address block (network order, zero-padded for v4).
+        pub fn client_addr(&self) -> [u8; 16] {
+            let mut a = [0u8; 16];
+            a.copy_from_slice(&self.0[2..18]);
+            a
+        }
+
+        /// Client port.
+        pub fn client_port(&self) -> u16 {
+            be16(self.0, 18)
+        }
+
+        /// Server address block.
+        pub fn server_addr(&self) -> [u8; 16] {
+            let mut a = [0u8; 16];
+            a.copy_from_slice(&self.0[20..36]);
+            a
+        }
+
+        /// Server port.
+        pub fn server_port(&self) -> u16 {
+            be16(self.0, 36)
+        }
+    };
+}
+
+/// Zero-copy accessors over a validated 61-byte verdict payload.
+#[derive(Debug, Clone, Copy)]
+pub struct VerdictView<'a>(&'a [u8]);
+
+impl VerdictView<'_> {
+    identity_accessors!();
+
+    /// First-packet arrival tag.
+    pub fn arrival(&self) -> u64 {
+        be64(self.0, 38)
+    }
+
+    /// Packets in the flow incarnation.
+    pub fn packets(&self) -> u32 {
+        be32(self.0, 46)
+    }
+
+    /// `CloseReason` discriminant.
+    pub fn reason(&self) -> u8 {
+        self.0[50]
+    }
+
+    /// Scoring shard index.
+    pub fn shard(&self) -> u16 {
+        be16(self.0, 51)
+    }
+
+    /// Final anomaly score (bit-exact).
+    pub fn score(&self) -> f32 {
+        f32::from_bits(be32(self.0, 53))
+    }
+
+    /// Packet index of the peak-scoring window.
+    pub fn peak_packet(&self) -> u32 {
+        be32(self.0, 57)
+    }
+
+    /// Materializes the record (copies out of the buffer).
+    pub fn to_record(&self) -> VerdictRecord {
+        VerdictRecord {
+            v6: self.v6(),
+            proto: self.proto(),
+            client_addr: self.client_addr(),
+            client_port: self.client_port(),
+            server_addr: self.server_addr(),
+            server_port: self.server_port(),
+            arrival: self.arrival(),
+            packets: self.packets(),
+            reason: self.reason(),
+            shard: self.shard(),
+            score: self.score(),
+            peak_packet: self.peak_packet(),
+        }
+    }
+}
+
+/// Zero-copy accessors over a validated 84-byte flow payload.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowView<'a>(&'a [u8]);
+
+impl FlowView<'_> {
+    identity_accessors!();
+
+    /// `TcpState` discriminant (255: non-TCP).
+    pub fn state(&self) -> u8 {
+        self.0[38]
+    }
+
+    /// TIME_WAIT linger flag.
+    pub fn lingering(&self) -> bool {
+        self.0[39] != 0
+    }
+
+    /// Seconds since the first packet.
+    pub fn age(&self) -> f64 {
+        f64::from_bits(be64(self.0, 40))
+    }
+
+    /// Seconds since the last packet.
+    pub fn idle(&self) -> f64 {
+        f64::from_bits(be64(self.0, 48))
+    }
+
+    /// Packets ingested.
+    pub fn packets(&self) -> u64 {
+        be64(self.0, 56)
+    }
+
+    /// Wire bytes ingested.
+    pub fn bytes(&self) -> u64 {
+        be64(self.0, 64)
+    }
+
+    /// Current anomaly score.
+    pub fn score(&self) -> f32 {
+        f32::from_bits(be32(self.0, 72))
+    }
+
+    /// First-packet arrival tag.
+    pub fn arrival(&self) -> u64 {
+        be64(self.0, 76)
+    }
+
+    /// Materializes the record.
+    pub fn to_record(&self) -> FlowRecord {
+        FlowRecord {
+            v6: self.v6(),
+            proto: self.proto(),
+            client_addr: self.client_addr(),
+            client_port: self.client_port(),
+            server_addr: self.server_addr(),
+            server_port: self.server_port(),
+            state: self.state(),
+            lingering: self.lingering(),
+            age: self.age(),
+            idle: self.idle(),
+            packets: self.packets(),
+            bytes: self.bytes(),
+            score: self.score(),
+            arrival: self.arrival(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_verdict() -> VerdictRecord {
+        VerdictRecord {
+            v6: false,
+            proto: 6,
+            client_addr: [10, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            client_port: 43210,
+            server_addr: [192, 168, 1, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            server_port: 443,
+            arrival: 12345,
+            packets: 99,
+            reason: 0,
+            shard: 3,
+            score: 0.875,
+            peak_packet: 61,
+        }
+    }
+
+    #[test]
+    fn verdict_frames_round_trip() {
+        let mut buf = Vec::new();
+        write_verdict(&mut buf, &sample_verdict()).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + VERDICT_LEN);
+        let (frame, rest) = FrameView::parse(&buf).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(frame.kind(), FrameKind::Verdict);
+        let v = frame.verdict().unwrap();
+        assert_eq!(v.to_record(), sample_verdict());
+        assert_eq!(v.score().to_bits(), 0.875f32.to_bits());
+    }
+
+    #[test]
+    fn snapshot_frames_round_trip() {
+        let mut snap = TelemetrySnapshot {
+            shards: vec![ShardSnapshot::default(); 3],
+        };
+        snap.shards[1].pushed = 7;
+        snap.shards[1].scored = 6;
+        snap.shards[1].dropped = 1;
+        snap.shards[1].dispatched = 9;
+        snap.shards[1].in_flight = 2;
+        snap.shards[2].stages[1].count = 4;
+        snap.shards[2].stages[1].p99_ns = 2048;
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        let (frame, rest) = FrameView::parse(&buf).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(frame.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn mixed_streams_parse_in_order() {
+        let mut buf = Vec::new();
+        write_verdict(&mut buf, &sample_verdict()).unwrap();
+        write_snapshot(&mut buf, &TelemetrySnapshot::default()).unwrap();
+        let flow = FlowRecord {
+            v6: true,
+            proto: 17,
+            client_addr: [0xfe; 16],
+            client_port: 1,
+            server_addr: [0x20; 16],
+            server_port: 2,
+            state: 255,
+            lingering: false,
+            age: 1.5,
+            idle: 0.25,
+            packets: 11,
+            bytes: 4096,
+            score: -0.0,
+            arrival: 3,
+        };
+        write_flow(&mut buf, &flow).unwrap();
+        let frames = read_frames(&buf).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].kind(), FrameKind::Verdict);
+        assert_eq!(frames[1].kind(), FrameKind::Snapshot);
+        assert_eq!(frames[2].flow().unwrap().to_record(), flow);
+        assert_eq!(
+            frames[2].flow().unwrap().score().to_bits(),
+            (-0.0f32).to_bits(),
+            "score bits survive, sign of zero included"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_yield_typed_errors() {
+        let mut buf = Vec::new();
+        write_verdict(&mut buf, &sample_verdict()).unwrap();
+
+        assert!(matches!(
+            FrameView::parse(&buf[..4]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            FrameView::parse(&buf[..HEADER_LEN + 10]),
+            Err(WireError::Truncated { .. })
+        ));
+
+        let mut bad = buf.clone();
+        bad[0] = 9;
+        assert_eq!(
+            FrameView::parse(&bad).unwrap_err(),
+            WireError::BadVersion(9)
+        );
+
+        let mut bad = buf.clone();
+        bad[1] = 77;
+        assert_eq!(FrameView::parse(&bad).unwrap_err(), WireError::BadKind(77));
+
+        let mut bad = buf.clone();
+        bad[2] = 1;
+        assert!(matches!(
+            FrameView::parse(&bad).unwrap_err(),
+            WireError::BadReserved(_)
+        ));
+
+        let mut bad = buf.clone();
+        bad[7] = VERDICT_LEN as u8 - 1; // shorten the declared payload
+        assert!(matches!(
+            FrameView::parse(&bad).unwrap_err(),
+            WireError::BadLength { .. }
+        ));
+
+        // A snapshot whose declared shard count disagrees with its length.
+        let mut buf = Vec::new();
+        write_snapshot(
+            &mut buf,
+            &TelemetrySnapshot {
+                shards: vec![ShardSnapshot::default()],
+            },
+        )
+        .unwrap();
+        buf[HEADER_LEN + 1] = 2;
+        let (frame, _) = FrameView::parse(&buf).unwrap();
+        assert!(matches!(
+            frame.snapshot().unwrap_err(),
+            WireError::BadLength { .. }
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let mut buf = Vec::new();
+        write_verdict(&mut buf, &sample_verdict()).unwrap();
+        let (frame, _) = FrameView::parse(&buf).unwrap();
+        assert!(frame.flow().is_err());
+        assert!(frame.snapshot().is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Property-based tests for the introspection wire format: randomized
+//! records round-trip bit-exactly (floats compared by bit pattern, so
+//! NaNs and signed zeros count too), concatenated streams parse frame by
+//! frame, and arbitrary bytes never panic the parser.
+
+use clap_telemetry::hist::{StageSummary, STAGES};
+use clap_telemetry::wire::{
+    read_frames, write_flow, write_snapshot, write_verdict, FlowRecord, FrameKind, FrameView,
+    VerdictRecord,
+};
+use clap_telemetry::{ShardSnapshot, TelemetrySnapshot};
+use proptest::prelude::*;
+
+fn arb_verdict() -> impl Strategy<Value = VerdictRecord> {
+    (
+        (
+            any::<bool>(),
+            any::<u8>(),
+            any::<[u8; 16]>(),
+            any::<u16>(),
+            any::<[u8; 16]>(),
+            any::<u16>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            0u8..5,
+            any::<u16>(),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (v6, proto, client_addr, client_port, server_addr, server_port),
+                (arrival, packets, reason, shard, score_bits, peak_packet),
+            )| VerdictRecord {
+                v6,
+                proto,
+                client_addr,
+                client_port,
+                server_addr,
+                server_port,
+                arrival,
+                packets,
+                reason,
+                shard,
+                score: f32::from_bits(score_bits),
+                peak_packet,
+            },
+        )
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        (
+            any::<bool>(),
+            any::<u8>(),
+            any::<[u8; 16]>(),
+            any::<u16>(),
+            any::<[u8; 16]>(),
+            any::<u16>(),
+        ),
+        (
+            any::<u8>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (v6, proto, client_addr, client_port, server_addr, server_port),
+                (state, lingering, age_bits, idle_bits, packets, bytes, score_bits, arrival),
+            )| FlowRecord {
+                v6,
+                proto,
+                client_addr,
+                client_port,
+                server_addr,
+                server_port,
+                state,
+                lingering,
+                age: f64::from_bits(age_bits),
+                idle: f64::from_bits(idle_bits),
+                packets,
+                bytes,
+                score: f32::from_bits(score_bits),
+                arrival,
+            },
+        )
+}
+
+fn arb_shard_snapshot() -> impl Strategy<Value = ShardSnapshot> {
+    (
+        prop::collection::vec(any::<u64>(), 19),
+        prop::collection::vec(any::<u64>(), STAGES * 5),
+    )
+        .prop_map(|(c, st)| ShardSnapshot {
+            pushed: c[0],
+            scored: c[1],
+            dropped: c[2],
+            quarantined: c[3],
+            dispatched: c[4],
+            in_flight: c[5],
+            restarts: c[6],
+            flows_closed: c[7],
+            full_waits: c[8],
+            degraded_windows: c[9],
+            heartbeat: c[10],
+            live_flows: c[11],
+            flows_peak: c[12],
+            evicted_idle: c[13],
+            evicted_capacity: c[14],
+            closed_tcp: c[15],
+            length_capped: c[16],
+            drained: c[17],
+            time_wait_expired: c[18],
+            stages: std::array::from_fn(|i| StageSummary {
+                count: st[i * 5],
+                sum_ns: st[i * 5 + 1],
+                p50_ns: st[i * 5 + 2],
+                p99_ns: st[i * 5 + 3],
+                max_ns: st[i * 5 + 4],
+            }),
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = TelemetrySnapshot> {
+    prop::collection::vec(arb_shard_snapshot(), 0..5)
+        .prop_map(|shards| TelemetrySnapshot { shards })
+}
+
+/// Field-by-field equality with floats compared by bit pattern.
+fn verdicts_bit_equal(a: &VerdictRecord, b: &VerdictRecord) -> bool {
+    a.v6 == b.v6
+        && a.proto == b.proto
+        && a.client_addr == b.client_addr
+        && a.client_port == b.client_port
+        && a.server_addr == b.server_addr
+        && a.server_port == b.server_port
+        && a.arrival == b.arrival
+        && a.packets == b.packets
+        && a.reason == b.reason
+        && a.shard == b.shard
+        && a.score.to_bits() == b.score.to_bits()
+        && a.peak_packet == b.peak_packet
+}
+
+fn flows_bit_equal(a: &FlowRecord, b: &FlowRecord) -> bool {
+    a.v6 == b.v6
+        && a.proto == b.proto
+        && a.client_addr == b.client_addr
+        && a.client_port == b.client_port
+        && a.server_addr == b.server_addr
+        && a.server_port == b.server_port
+        && a.state == b.state
+        && a.lingering == b.lingering
+        && a.age.to_bits() == b.age.to_bits()
+        && a.idle.to_bits() == b.idle.to_bits()
+        && a.packets == b.packets
+        && a.bytes == b.bytes
+        && a.score.to_bits() == b.score.to_bits()
+        && a.arrival == b.arrival
+}
+
+proptest! {
+    /// Any verdict record survives encode → zero-copy view → record
+    /// bit-exactly, including NaN and -0.0 scores.
+    #[test]
+    fn wire_verdict_round_trips_bit_exact(r in arb_verdict()) {
+        let mut buf = Vec::new();
+        write_verdict(&mut buf, &r).unwrap();
+        let (frame, rest) = FrameView::parse(&buf).unwrap();
+        prop_assert!(rest.is_empty());
+        let back = frame.verdict().unwrap().to_record();
+        prop_assert!(verdicts_bit_equal(&r, &back), "{r:?} != {back:?}");
+    }
+
+    /// Any flow record survives the round trip bit-exactly.
+    #[test]
+    fn wire_flow_round_trips_bit_exact(r in arb_flow()) {
+        let mut buf = Vec::new();
+        write_flow(&mut buf, &r).unwrap();
+        let (frame, rest) = FrameView::parse(&buf).unwrap();
+        prop_assert!(rest.is_empty());
+        let back = frame.flow().unwrap().to_record();
+        prop_assert!(flows_bit_equal(&r, &back), "{r:?} != {back:?}");
+    }
+
+    /// Any snapshot (any shard count, arbitrary counter values) decodes
+    /// to an equal snapshot.
+    #[test]
+    fn wire_snapshot_round_trips(s in arb_snapshot()) {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &s).unwrap();
+        let (frame, rest) = FrameView::parse(&buf).unwrap();
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(frame.snapshot().unwrap(), s);
+    }
+
+    /// A concatenated stream of mixed frames parses back in order with
+    /// every record intact — the shape a telemetry sink actually sees.
+    #[test]
+    fn wire_mixed_stream_round_trips(
+        verdicts in prop::collection::vec(arb_verdict(), 0..6),
+        flows in prop::collection::vec(arb_flow(), 0..6),
+        snap in arb_snapshot(),
+    ) {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        for v in &verdicts {
+            write_verdict(&mut buf, v).unwrap();
+        }
+        for f in &flows {
+            write_flow(&mut buf, f).unwrap();
+        }
+        let frames = read_frames(&buf).unwrap();
+        prop_assert_eq!(frames.len(), 1 + verdicts.len() + flows.len());
+        prop_assert_eq!(frames[0].snapshot().unwrap(), snap);
+        for (v, frame) in verdicts.iter().zip(&frames[1..]) {
+            prop_assert_eq!(frame.kind(), FrameKind::Verdict);
+            prop_assert!(verdicts_bit_equal(v, &frame.verdict().unwrap().to_record()));
+        }
+        for (f, frame) in flows.iter().zip(&frames[1 + verdicts.len()..]) {
+            prop_assert!(flows_bit_equal(f, &frame.flow().unwrap().to_record()));
+        }
+    }
+
+    /// The frame parser never panics on arbitrary bytes: every outcome
+    /// is a frame or a typed error.
+    #[test]
+    fn wire_parser_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_frames(&data);
+        let _ = FrameView::parse(&data);
+    }
+
+    /// Truncating a valid stream anywhere inside the final frame yields
+    /// `Truncated`, never garbage or a panic.
+    #[test]
+    fn wire_truncation_is_detected(r in arb_verdict(), cut in 1usize..68) {
+        let mut buf = Vec::new();
+        write_verdict(&mut buf, &r).unwrap();
+        let cut = cut.min(buf.len() - 1);
+        match read_frames(&buf[..cut]) {
+            Err(clap_telemetry::wire::WireError::Truncated { .. }) => {}
+            other => prop_assert!(false, "expected Truncated, got {other:?}"),
+        }
+    }
+}

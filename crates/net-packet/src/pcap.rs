@@ -148,6 +148,54 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<Packet>, PcapError> {
     Ok(packets)
 }
 
+/// Reads a `LINKTYPE_RAW` classic pcap as raw records — each timestamp
+/// paired with the undecoded capture bytes, in file order, with no
+/// parsing, reassembly or skipping. The inverse of [`write_pcap_raw`],
+/// and the input for byte-level capture views (hexdumps, frame-length
+/// audits) that must show exactly what is on disk, including records
+/// [`read_pcap`] would reassemble or drop.
+pub fn read_pcap_raw<R: Read>(mut r: R) -> Result<Vec<(f64, Vec<u8>)>, PcapError> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let (big_endian, ns) = match magic {
+        MAGIC_LE_US => (false, false),
+        MAGIC_LE_NS => (false, true),
+        MAGIC_BE_US => (true, false),
+        MAGIC_BE_NS => (true, true),
+        other => return Err(PcapError::BadMagic(other)),
+    };
+    let read_u32 = |b: &[u8]| {
+        if big_endian {
+            u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+        } else {
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+        }
+    };
+    let linktype = read_u32(&header[20..24]);
+    if linktype != LINKTYPE_RAW {
+        return Err(PcapError::UnsupportedLinkType(linktype));
+    }
+
+    let mut records = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match r.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let secs = read_u32(&rec[0..4]) as f64;
+        let frac = read_u32(&rec[4..8]) as f64;
+        let caplen = read_u32(&rec[8..12]) as usize;
+        let ts = secs + frac / if ns { 1e9 } else { 1e6 };
+        let mut data = vec![0u8; caplen];
+        r.read_exact(&mut data).map_err(|_| PcapError::Truncated)?;
+        records.push((ts, data));
+    }
+    Ok(records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +286,42 @@ mod tests {
         assert_eq!(back[0].tcp().src_port, 50000);
         assert!(back[0].reassembly.is_some());
         assert!(back[0].transport_checksum_valid());
+    }
+
+    /// Raw reads return every record byte-for-byte, fragments included —
+    /// no reassembly, no skipping.
+    #[test]
+    fn raw_read_preserves_records_verbatim() {
+        let pkts = sample(3);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &pkts).unwrap();
+        let raw = read_pcap_raw(&buf[..]).unwrap();
+        assert_eq!(raw.len(), 3);
+        for (p, (ts, bytes)) in pkts.iter().zip(&raw) {
+            assert!((p.timestamp - ts).abs() < 1e-5);
+            assert_eq!(&p.to_bytes(), bytes);
+        }
+
+        // A fragment train stays N raw records where read_pcap yields 1.
+        let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 9), Ipv4Addr::new(10, 0, 0, 2), 64);
+        let mut tcp = TcpHeader::new(50000, 80, 1, 1);
+        tcp.flags = TcpFlags::ACK;
+        let p = Packet::new(1000.0, ip, tcp, vec![7u8; 96]);
+        let frags = fragment_datagram(&p.to_bytes(), 40);
+        let records: Vec<(f64, Vec<u8>)> = frags.into_iter().map(|f| (1000.0, f)).collect();
+        let mut buf = Vec::new();
+        write_pcap_raw(&mut buf, &records).unwrap();
+        let raw = read_pcap_raw(&buf[..]).unwrap();
+        assert_eq!(raw.len(), records.len());
+        assert_eq!(raw, records);
+        assert_eq!(read_pcap(&buf[..]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn raw_read_detects_truncation() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &sample(1)).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_pcap_raw(&buf[..]), Err(PcapError::Truncated)));
     }
 }
